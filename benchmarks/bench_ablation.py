@@ -1,0 +1,161 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Four ablations, each isolating one knob of the framework:
+
+* **iSLIP iteration count** — matching quality vs hardware cost.
+* **Demand estimator** (instant / EWMA / sketch) inside the full
+  framework — does estimation error reach end-to-end utilisation?
+* **EPS residual capacity** — how thin can the electrical path be
+  before residue backs up?
+* **Distributed scheduling staleness** — what decentralising the
+  scheduler costs in matching weight as its demand view ages.
+"""
+
+import numpy as np
+
+from repro.analysis.tables import render_table
+from repro.control.distributed import DistributedGreedyScheduler
+from repro.core.config import FrameworkConfig
+from repro.core.framework import HybridSwitchFramework
+from repro.fabric.cellsim import CellFabricSim
+from repro.fabric.workloads import diagonal_rates
+from repro.schedulers.islip import IslipScheduler
+from repro.schedulers.mwm import MwmScheduler
+from repro.sim.time import GIGABIT, MICROSECONDS, MILLISECONDS
+from repro.traffic.patterns import HotspotDestination
+from repro.traffic.sources import OnOffSource
+
+
+def _hotspot_framework(estimator="instant", eps_rate=2.5 * GIGABIT,
+                       seed=17):
+    config = FrameworkConfig(
+        n_ports=8,
+        switching_time_ps=20 * MICROSECONDS,
+        scheduler="hotspot",
+        scheduler_kwargs={"threshold_bytes": 20_000.0},
+        timing_preset="netfpga_sume",
+        estimator=estimator,
+        epoch_ps=200 * MICROSECONDS,
+        default_slot_ps=160 * MICROSECONDS,
+        eps_rate_bps=eps_rate,
+        seed=seed,
+    )
+    fw = HybridSwitchFramework(config)
+    for host in fw.hosts:
+        OnOffSource(
+            fw.sim, host,
+            burst_rate_bps=0.6 * config.port_rate_bps,
+            mean_on_ps=200 * MICROSECONDS,
+            mean_off_ps=250 * MICROSECONDS,
+            chooser=HotspotDestination(
+                8, host.host_id, skew=0.7,
+                rng=fw.sim.streams.stream(f"d{host.host_id}")),
+            rng=fw.sim.streams.stream(f"s{host.host_id}"))
+    return fw
+
+
+def test_ablation_islip_iterations(benchmark):
+    """Throughput vs iteration count on adversarial load."""
+
+    def run():
+        rows = []
+        series = {}
+        for iterations in (1, 2, 4, 8):
+            sched = IslipScheduler(16, iterations=iterations)
+            stats = CellFabricSim(sched, diagonal_rates(16, 0.9),
+                                  seed=6).run(3_000, warmup=500)
+            series[iterations] = stats.throughput
+            rows.append([str(iterations), f"{stats.throughput:.3f}",
+                         f"{stats.mean_delay_slots:.1f}"])
+        print()
+        print(render_table(
+            ["iSLIP iterations", "throughput", "mean delay (slots)"],
+            rows, title="ablation: iSLIP iterations, diagonal 0.9"))
+        return series
+
+    series = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert series[4] >= series[1] - 0.02
+
+
+def test_ablation_demand_estimator(benchmark):
+    """Does estimator choice reach end-to-end OCS offload?"""
+
+    def run():
+        rows = []
+        fractions = {}
+        for estimator in ("instant", "ewma", "sketch"):
+            fw = _hotspot_framework(estimator=estimator)
+            result = fw.run(6 * MILLISECONDS)
+            fractions[estimator] = result.ocs_fraction
+            rows.append([estimator, f"{result.ocs_fraction:.3f}",
+                         f"{result.utilisation():.3f}"])
+        print()
+        print(render_table(
+            ["estimator", "OCS byte fraction", "utilisation"],
+            rows, title="ablation: demand estimator in the framework"))
+        return fractions
+
+    fractions = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert all(0.0 <= f <= 1.0 for f in fractions.values())
+
+
+def test_ablation_eps_capacity(benchmark):
+    """Residual-path provisioning: EPS rate from 10G down to 0.5G."""
+
+    def run():
+        rows = []
+        peaks = {}
+        for eps_gbps in (10.0, 2.5, 1.0, 0.5):
+            fw = _hotspot_framework(eps_rate=eps_gbps * GIGABIT)
+            result = fw.run(6 * MILLISECONDS)
+            peaks[eps_gbps] = result.eps_peak_buffer_bytes
+            rows.append([f"{eps_gbps:.1f}G",
+                         f"{result.utilisation():.3f}",
+                         str(result.eps_peak_buffer_bytes),
+                         str(result.drops["eps_tail"])])
+        print()
+        print(render_table(
+            ["EPS rate", "utilisation", "peak EPS queue (B)",
+             "EPS drops"],
+            rows, title="ablation: residual electrical capacity"))
+        return peaks
+
+    peaks = benchmark.pedantic(run, rounds=1, iterations=1)
+    # A thinner residual path must queue at least as much residue.
+    assert peaks[0.5] >= peaks[10.0]
+
+
+def test_ablation_distributed_staleness(benchmark):
+    """Matching weight lost to stale demand views (decentralisation)."""
+
+    def run():
+        rng = np.random.default_rng(11)
+        # A drifting demand sequence: hotspots move every few epochs.
+        demands = []
+        base = rng.exponential(50_000, (8, 8))
+        np.fill_diagonal(base, 0.0)
+        for epoch in range(40):
+            drift = np.roll(base, epoch // 4, axis=1).copy()
+            np.fill_diagonal(drift, 0.0)
+            demands.append(drift)
+        central = MwmScheduler(8)
+        rows = []
+        ratios = {}
+        for staleness in (0, 1, 2, 4, 8):
+            distributed = DistributedGreedyScheduler(
+                8, staleness_epochs=staleness)
+            got = 0.0
+            best = 0.0
+            for demand in demands:
+                got += distributed.compute(demand).first.weight(demand)
+                best += central.compute(demand).first.weight(demand)
+            ratios[staleness] = got / best
+            rows.append([str(staleness), f"{got / best:.3f}"])
+        print()
+        print(render_table(
+            ["staleness (epochs)", "weight vs centralized MWM"],
+            rows, title="ablation: distributed scheduling staleness"))
+        return ratios
+
+    ratios = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert ratios[8] <= ratios[0] + 1e-9  # staleness never helps

@@ -1,0 +1,12 @@
+"""Bench E2 — scheduler-loop latency, software vs hardware (§2 claim)."""
+
+from conftest import run_and_report
+
+from repro.experiments.e2_latency import run_e2
+
+
+def test_bench_e2_loop_latency(benchmark):
+    report = run_and_report(benchmark, run_e2)
+    assert report.data["sw_helios_ps"] > 500_000_000       # ms-class
+    assert report.data["hw_fpga_ps"] < 10_000_000          # < 10 us
+    assert report.data["sw_helios_ps"] / report.data["hw_fpga_ps"] > 1_000

@@ -1,0 +1,14 @@
+"""Bench E3 — utilisation vs scheduling period (+ grant-ordering
+ablation)."""
+
+from conftest import run_and_report
+
+from repro.experiments.e3_utilization import run_e3
+
+
+def test_bench_e3_utilisation(benchmark):
+    report = run_and_report(benchmark, run_e3)
+    utils = report.data["utilisation"]
+    assert utils[0] > utils[-1]          # slow schedulers waste capacity
+    ablation = report.data["ablation"]
+    assert ablation["optimistic"]["drops"] > ablation["ordered"]["drops"]

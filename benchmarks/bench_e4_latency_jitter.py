@@ -1,0 +1,12 @@
+"""Bench E4 — VOIP-class latency & jitter, slow vs fast scheduling."""
+
+from conftest import run_and_report
+
+from repro.experiments.e4_jitter import run_e4
+
+
+def test_bench_e4_latency_jitter(benchmark):
+    report = run_and_report(benchmark, run_e4)
+    fast, slow = report.data["fast"], report.data["slow"]
+    assert slow["p99_ps"] > 10 * fast["p99_ps"]
+    assert slow["jitter_ps"] > 10 * max(fast["jitter_ps"], 1.0)

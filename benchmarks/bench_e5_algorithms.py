@@ -1,0 +1,15 @@
+"""Bench E5 — scheduling-algorithm study (throughput/delay vs load)."""
+
+from conftest import run_and_report
+
+from repro.experiments.e5_algorithms import run_e5
+
+
+def test_bench_e5_algorithm_curves(benchmark):
+    report = run_and_report(benchmark, run_e5)
+    uniform = report.data["uniform"]
+    diagonal = report.data["diagonal"]
+    # Textbook shapes at the heaviest load point.
+    assert uniform["islip-1"][-1][1] > uniform["pim-1"][-1][1]
+    assert diagonal["mwm"][-1][1] > diagonal["tdma"][-1][1]
+    assert diagonal["islip-4"][-1][1] >= diagonal["islip-1"][-1][1] - 0.02

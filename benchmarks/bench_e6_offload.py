@@ -1,0 +1,16 @@
+"""Bench E6 — OCS offload fraction vs demand skew (+ estimator
+ablation)."""
+
+from conftest import run_and_report
+
+from repro.experiments.e6_offload import run_e6
+
+
+def test_bench_e6_offload(benchmark):
+    report = run_and_report(benchmark, run_e6)
+    hotspot = report.data["hotspot_fraction"]
+    assert hotspot[-1] > hotspot[0]   # circuits capture skewed demand
+    e2e = report.data["e2e_ocs_fraction"]
+    assert e2e[-1] >= e2e[0]
+    errors = report.data["estimator_errors"]
+    assert errors["instant"] <= errors["sketch(w=16)"] + 1e-9

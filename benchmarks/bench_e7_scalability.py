@@ -1,0 +1,17 @@
+"""Bench E7 — schedule-computation scalability with port count."""
+
+from conftest import run_and_report
+
+from repro.experiments.e7_scalability import run_e7
+
+
+def test_bench_e7_scalability(benchmark):
+    report = run_and_report(benchmark, run_e7)
+    model = report.data["model_compute_ps"]
+    # iSLIP-class stays sub-microsecond at the largest port count.
+    assert model["islip"][-1] < 1_000_000
+    # Exact MWM leaves the fast class as ports grow.
+    assert model["mwm"][-1] > model["islip"][-1]
+    # Monotone growth with port count for every algorithm.
+    for series in model.values():
+        assert series == sorted(series)

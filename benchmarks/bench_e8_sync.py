@@ -1,0 +1,13 @@
+"""Bench E8 — sensitivity to host-switch clock skew."""
+
+from conftest import run_and_report
+
+from repro.experiments.e8_sync import run_e8
+
+
+def test_bench_e8_sync_sensitivity(benchmark):
+    report = run_and_report(benchmark, run_e8)
+    slow = report.data["slow_delivery_ratio"]
+    fast = report.data["fast_delivery_ratio"]
+    assert slow[-1] < slow[0]                 # skew hurts slow mode
+    assert max(fast) - min(fast) < 0.05       # fast mode indifferent

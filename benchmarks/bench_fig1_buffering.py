@@ -1,0 +1,20 @@
+"""Bench E1 — regenerates Figure 1 (buffering vs switching time).
+
+Run with ``pytest benchmarks/bench_fig1_buffering.py --benchmark-only -s``.
+Set ``REPRO_BENCH_QUICK=1`` for reduced problem sizes.
+"""
+
+from conftest import run_and_report
+
+from repro.experiments.e1_buffering import run_e1
+
+
+def test_bench_e1_figure1(benchmark):
+    report = run_and_report(benchmark, run_e1)
+    # Paper shape: GB at ms, KB at ns, monotone in switching time.
+    ideal = report.data["analytic_ideal_total_bytes"]
+    assert ideal[0] <= 100_000
+    assert max(ideal) >= 1_000_000_000
+    assert ideal == sorted(ideal)
+    peaks = report.data["simulated_peak_bytes"]
+    assert peaks == sorted(peaks)

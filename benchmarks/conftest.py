@@ -1,0 +1,30 @@
+"""Benchmark-harness helpers.
+
+Every experiment bench follows the same pattern: run the experiment
+once under pytest-benchmark (pedantic, one round — these are system
+runs, not microbenchmarks), print the paper-style tables, and persist
+them under ``benchmarks/output/`` so the artifacts survive output
+capture.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+def run_and_report(benchmark, experiment_fn, quick=None):
+    """Run ``experiment_fn`` once under the benchmark, print + save."""
+    if quick is None:
+        quick = bool(int(os.environ.get("REPRO_BENCH_QUICK", "0")))
+    report = benchmark.pedantic(
+        experiment_fn, kwargs={"quick": quick}, rounds=1, iterations=1)
+    text = report.render()
+    print()
+    print(text)
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    out_path = OUTPUT_DIR / f"{report.experiment_id}.txt"
+    out_path.write_text(text + "\n")
+    return report

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Explore Figure 1's buffering model beyond the paper's operating point.
+
+The paper works one example (64 x 10 Gbps).  This script regenerates
+that point and then asks the forward-looking questions the model makes
+cheap: what happens at 100 Gbps ports (the NetFPGA-SUME target) and at
+higher radix, and how much switching time a given ToR SRAM budget can
+tolerate before buffering must move to the hosts.
+
+    python examples/buffering_analysis.py
+"""
+
+from repro.analysis.buffering import BufferingModel, format_bytes
+from repro.analysis.tables import render_table
+from repro.hwmodel.presets import make_timing
+from repro.sim.time import (
+    GIGABIT,
+    MICROSECONDS,
+    MILLISECONDS,
+    NANOSECONDS,
+    format_time,
+)
+
+SWITCHING_TIMES = (
+    1 * NANOSECONDS, 100 * NANOSECONDS, 10 * MICROSECONDS,
+    1 * MILLISECONDS,
+)
+
+OPERATING_POINTS = (
+    (64, 10 * GIGABIT),     # the paper's example
+    (64, 100 * GIGABIT),    # NetFPGA-SUME-era line rate
+    (256, 10 * GIGABIT),    # high radix
+)
+
+
+def requirement_tables() -> None:
+    for n_ports, rate in OPERATING_POINTS:
+        model = BufferingModel(n_ports=n_ports, port_rate_bps=rate)
+        rows = [model.point(t).row() for t in SWITCHING_TIMES]
+        print(render_table(
+            ["switching time", "per-port", "total", "regime"],
+            rows,
+            title=f"{n_ports} ports x {rate / 1e9:.0f} Gbps"))
+        print()
+
+
+def boundary_table() -> None:
+    rows = []
+    for n_ports, rate in OPERATING_POINTS:
+        model = BufferingModel(n_ports=n_ports, port_rate_bps=rate)
+        ideal = model.regime_boundary_ps()
+        with_hw = model.regime_boundary_ps(
+            make_timing("netfpga_sume").total_ps("islip", n_ports))
+        rows.append([
+            f"{n_ports}x{rate / 1e9:.0f}G",
+            format_time(ideal),
+            format_time(with_hw),
+        ])
+    print(render_table(
+        ["fabric", "max switching time (ideal sched)",
+         "max switching time (FPGA sched)"],
+        rows,
+        title="Largest switching time a 12MB ToR can absorb "
+              "(switch-buffering regime boundary)"))
+
+
+def main() -> None:
+    requirement_tables()
+    boundary_table()
+    model = BufferingModel()
+    print()
+    print("The paper's sentence, recomputed:")
+    print(f"  1 ms switching  -> "
+          f"{format_bytes(model.total_bytes(1 * MILLISECONDS))} "
+          "('approximately gigabytes')")
+    print(f"  1 ns switching  -> "
+          f"{format_bytes(model.total_bytes(1 * NANOSECONDS))} "
+          "('only kilobytes')")
+
+
+if __name__ == "__main__":
+    main()

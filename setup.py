@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The pyproject.toml carries all metadata; this file exists so the package
+installs in environments whose setuptools predates PEP 660 editable
+wheels (``pip install -e . --no-build-isolation`` or
+``python setup.py develop`` both work).
+"""
+
+from setuptools import setup
+
+setup()

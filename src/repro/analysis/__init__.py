@@ -1,0 +1,43 @@
+"""Analytics: the Figure 1 buffering model, metrics, stats, reporting."""
+
+from repro.analysis.buffering import (
+    BufferingModel,
+    BufferingPoint,
+    figure1_curve,
+)
+from repro.analysis.charts import line_chart, sparkline
+from repro.analysis.metrics import (
+    LatencySummary,
+    interarrival_jitter_ps,
+    latency_summary,
+    percentile,
+)
+from repro.analysis.stats import (
+    ConfidenceInterval,
+    batch_means_ci,
+    compare_means,
+    truncate_warmup,
+)
+from repro.analysis.sweep import sweep
+from repro.analysis.tables import render_series, render_table
+from repro.analysis.tracing import PathTracer
+
+__all__ = [
+    "BufferingModel",
+    "BufferingPoint",
+    "figure1_curve",
+    "LatencySummary",
+    "latency_summary",
+    "percentile",
+    "interarrival_jitter_ps",
+    "render_table",
+    "render_series",
+    "sweep",
+    "sparkline",
+    "line_chart",
+    "ConfidenceInterval",
+    "batch_means_ci",
+    "truncate_warmup",
+    "compare_means",
+    "PathTracer",
+]

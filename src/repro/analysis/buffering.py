@@ -1,0 +1,185 @@
+"""The Figure 1 analytic buffering model.
+
+§2's worked example: "a switching infrastructure containing 64x64
+input-queued switch (operating at a rate of 10 Gbps per port) with a
+millisecond switching time results in approximately gigabytes of
+buffering memory requirement ... a nanosecond switching time requires
+only kilobytes".
+
+Reconstructing the arithmetic behind that sentence: in an input-queued
+switch each input keeps one VOQ per output, and a (partial-permutation)
+circuit schedule serves **one VOQ per input per reconfiguration**.  In
+the worst case a given VOQ therefore waits a full *service round* of
+``n_ports`` reconfigurations between visits, and during that round the
+input may keep receiving at line rate.  The loss-free requirement is:
+
+    round window     = n_ports × (switching_time + scheduler_latency)
+    per-port bytes   = rate × round window / 8
+    switch bytes     = n_ports × per-port bytes
+
+At the paper's operating point (64 × 10 Gbps) this gives **5.1 GB for a
+1 ms switching time and 5.1 KB for 1 ns** — exactly the "gigabytes" and
+"kilobytes" the paper quotes.  (A single-blackout model, also provided
+as :meth:`BufferingModel.single_blackout_bytes`, under-counts by a
+factor of n and cannot reproduce the GB figure.)
+
+Adding ``scheduler_latency`` to each reconfiguration captures the
+paper's other point: a slow scheduler inflates the requirement even
+when the optical device itself is fast.
+
+:func:`figure1_curve` sweeps switching time and reports, per point, the
+total requirement and which device can host it (ToR SRAM vs host DRAM),
+reproducing both the quantitative axis and the qualitative
+"host-buffering vs switch-buffering" split of Figure 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.sim.errors import ConfigurationError
+from repro.sim.time import GIGABIT, SECONDS, format_time
+from repro.switches.memory import TOR_SRAM_BUDGET_BYTES
+
+
+@dataclass(frozen=True)
+class BufferingPoint:
+    """One point on the Figure 1 curve."""
+
+    switching_time_ps: int
+    scheduler_latency_ps: int
+    per_port_bytes: int
+    total_bytes: int
+    fits_in_tor: bool
+
+    @property
+    def regime(self) -> str:
+        """"switch" when the ToR can buffer it, else "host"."""
+        return "switch" if self.fits_in_tor else "host"
+
+    def row(self) -> List[str]:
+        """Table row: switching time, per-port, total, regime."""
+        return [
+            format_time(self.switching_time_ps),
+            format_bytes(self.per_port_bytes),
+            format_bytes(self.total_bytes),
+            self.regime,
+        ]
+
+
+class BufferingModel:
+    """Analytic burst-absorption requirement for a hybrid switch.
+
+    Parameters
+    ----------
+    n_ports:
+        Switch radix (64 in the paper's example).
+    port_rate_bps:
+        Line rate per port (10 Gbps in the paper's example).
+    tor_budget_bytes:
+        Packet memory a ToR can host; beyond it, buffering must move to
+        the hosts (Figure 1's regime boundary).
+    """
+
+    def __init__(self, n_ports: int = 64,
+                 port_rate_bps: float = 10 * GIGABIT,
+                 tor_budget_bytes: int = TOR_SRAM_BUDGET_BYTES) -> None:
+        if n_ports < 1:
+            raise ConfigurationError("n_ports must be >= 1")
+        if port_rate_bps <= 0:
+            raise ConfigurationError("port rate must be positive")
+        self.n_ports = n_ports
+        self.port_rate_bps = port_rate_bps
+        self.tor_budget_bytes = tor_budget_bytes
+
+    # -- windows ---------------------------------------------------------------
+
+    def round_window_ps(self, switching_time_ps: int,
+                        scheduler_latency_ps: int = 0) -> int:
+        """Worst-case VOQ revisit interval: n reconfigurations."""
+        if switching_time_ps < 0 or scheduler_latency_ps < 0:
+            raise ConfigurationError("times must be non-negative")
+        return self.n_ports * (switching_time_ps + scheduler_latency_ps)
+
+    # -- requirements ------------------------------------------------------------
+
+    def per_port_bytes(self, switching_time_ps: int,
+                       scheduler_latency_ps: int = 0) -> int:
+        """Bytes one port must absorb across a full service round."""
+        window_ps = self.round_window_ps(switching_time_ps,
+                                         scheduler_latency_ps)
+        return int(self.port_rate_bps * window_ps // (8 * SECONDS))
+
+    def total_bytes(self, switching_time_ps: int,
+                    scheduler_latency_ps: int = 0) -> int:
+        """Whole-switch requirement (all ports bursting simultaneously)."""
+        return self.n_ports * self.per_port_bytes(
+            switching_time_ps, scheduler_latency_ps)
+
+    def single_blackout_bytes(self, switching_time_ps: int,
+                              scheduler_latency_ps: int = 0) -> int:
+        """Per-port bytes across ONE blackout (the naive lower bound).
+
+        Kept for comparison: this model cannot reproduce the paper's
+        gigabyte figure — see module docstring.
+        """
+        if switching_time_ps < 0 or scheduler_latency_ps < 0:
+            raise ConfigurationError("times must be non-negative")
+        window_ps = switching_time_ps + scheduler_latency_ps
+        return int(self.port_rate_bps * window_ps // (8 * SECONDS))
+
+    def point(self, switching_time_ps: int,
+              scheduler_latency_ps: int = 0) -> BufferingPoint:
+        """Evaluate one sweep point."""
+        per_port = self.per_port_bytes(switching_time_ps,
+                                       scheduler_latency_ps)
+        total = self.n_ports * per_port
+        return BufferingPoint(
+            switching_time_ps=switching_time_ps,
+            scheduler_latency_ps=scheduler_latency_ps,
+            per_port_bytes=per_port,
+            total_bytes=total,
+            fits_in_tor=total <= self.tor_budget_bytes,
+        )
+
+    def regime_boundary_ps(self, scheduler_latency_ps: int = 0) -> int:
+        """Switching time at which the requirement exactly fills the ToR.
+
+        Below this, Figure 1's "Fast Scheduling / switch buffering"
+        regime applies; above it, packets must be stored at hosts.
+        """
+        # total = n^2 * rate * (sw + lat) / 8 => solve for sw.
+        boundary = (self.tor_budget_bytes * 8 * SECONDS
+                    / (self.n_ports * self.n_ports * self.port_rate_bps))
+        return max(0, round(boundary) - scheduler_latency_ps)
+
+
+def figure1_curve(switching_times_ps: Sequence[int],
+                  n_ports: int = 64,
+                  port_rate_bps: float = 10 * GIGABIT,
+                  scheduler_latency_ps: int = 0,
+                  tor_budget_bytes: int = TOR_SRAM_BUDGET_BYTES,
+                  ) -> List[BufferingPoint]:
+    """Sweep switching time at the paper's operating point.
+
+    Defaults are the paper's example: 64 ports × 10 Gbps.
+    """
+    model = BufferingModel(n_ports, port_rate_bps, tor_budget_bytes)
+    return [model.point(ps, scheduler_latency_ps)
+            for ps in switching_times_ps]
+
+
+def format_bytes(nbytes: int) -> str:
+    """Human-readable byte size (decimal units, like the paper's GB/KB)."""
+    if nbytes >= 1_000_000_000:
+        return f"{nbytes / 1_000_000_000:.3g}GB"
+    if nbytes >= 1_000_000:
+        return f"{nbytes / 1_000_000:.3g}MB"
+    if nbytes >= 1_000:
+        return f"{nbytes / 1_000:.3g}KB"
+    return f"{nbytes}B"
+
+
+__all__ = ["BufferingModel", "BufferingPoint", "figure1_curve",
+           "format_bytes"]

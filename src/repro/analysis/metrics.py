@@ -1,0 +1,126 @@
+"""Traffic metrics: latency percentiles, jitter, throughput.
+
+These are the measurements behind E4 (latency/jitter of VOIP-class
+traffic) and the generic quality numbers every experiment reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.net.packet import Packet
+from repro.sim.time import SECONDS, format_time
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (0..100) with linear interpolation.
+
+    Returns 0.0 for an empty sequence — experiments treat "no packets"
+    as a degenerate-but-reportable outcome, not an error.
+    """
+    if len(values) == 0:
+        return 0.0
+    return float(np.percentile(np.asarray(values, dtype=np.float64), q))
+
+
+def interarrival_jitter_ps(arrival_times_ps: Sequence[int],
+                           period_ps: int) -> float:
+    """RFC 3550-style smoothed interarrival jitter, in picoseconds.
+
+    For a nominally periodic stream (period ``period_ps``), jitter is
+    the running average of ``|deviation of interarrival from period|``
+    with gain 1/16, exactly as RTP receivers compute it.  This is the
+    right measure for the paper's VOIP/gaming argument.
+    """
+    if len(arrival_times_ps) < 2:
+        return 0.0
+    jitter = 0.0
+    previous = arrival_times_ps[0]
+    for arrival in arrival_times_ps[1:]:
+        deviation = abs((arrival - previous) - period_ps)
+        jitter += (deviation - jitter) / 16.0
+        previous = arrival
+    return jitter
+
+
+def latency_std_ps(latencies_ps: Sequence[int]) -> float:
+    """Standard deviation of latency — the coarse jitter measure."""
+    if len(latencies_ps) < 2:
+        return 0.0
+    return float(np.std(np.asarray(latencies_ps, dtype=np.float64)))
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Latency distribution of a packet population, in picoseconds."""
+
+    count: int
+    mean_ps: float
+    p50_ps: float
+    p95_ps: float
+    p99_ps: float
+    max_ps: float
+    std_ps: float
+
+    def row(self) -> List[str]:
+        """Human-readable table row (count, mean, p50, p99, max, std)."""
+        return [
+            str(self.count),
+            format_time(round(self.mean_ps)),
+            format_time(round(self.p50_ps)),
+            format_time(round(self.p99_ps)),
+            format_time(round(self.max_ps)),
+            format_time(round(self.std_ps)),
+        ]
+
+
+def latency_summary(packets: Iterable[Packet],
+                    priority: Optional[int] = None) -> LatencySummary:
+    """Summarise delivered-packet latency, optionally filtered by priority."""
+    latencies = [
+        p.latency_ps for p in packets
+        if p.latency_ps is not None
+        and (priority is None or p.priority == priority)
+    ]
+    if not latencies:
+        return LatencySummary(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+    array = np.asarray(latencies, dtype=np.float64)
+    return LatencySummary(
+        count=len(latencies),
+        mean_ps=float(array.mean()),
+        p50_ps=float(np.percentile(array, 50)),
+        p95_ps=float(np.percentile(array, 95)),
+        p99_ps=float(np.percentile(array, 99)),
+        max_ps=float(array.max()),
+        std_ps=float(array.std()),
+    )
+
+
+def throughput_bps(delivered_bytes: int, duration_ps: int) -> float:
+    """Achieved goodput over a window."""
+    if duration_ps <= 0:
+        return 0.0
+    return delivered_bytes * 8 * SECONDS / duration_ps
+
+
+def utilisation(delivered_bytes: int, duration_ps: int,
+                capacity_bps: float) -> float:
+    """Goodput as a fraction of ``capacity_bps``."""
+    if capacity_bps <= 0 or duration_ps <= 0:
+        return 0.0
+    return min(1.0, throughput_bps(delivered_bytes, duration_ps)
+               / capacity_bps)
+
+
+__all__ = [
+    "percentile",
+    "interarrival_jitter_ps",
+    "latency_std_ps",
+    "LatencySummary",
+    "latency_summary",
+    "throughput_bps",
+    "utilisation",
+]

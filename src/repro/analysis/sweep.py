@@ -1,0 +1,29 @@
+"""Parameter-sweep helper.
+
+Most experiments are "run the framework once per point on an axis".
+:func:`sweep` keeps that loop in one place so every bench gets the same
+error behaviour (a failing point raises with the parameter attached,
+rather than silently vanishing from the series).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Tuple, TypeVar
+
+P = TypeVar("P")
+R = TypeVar("R")
+
+
+def sweep(points: Iterable[P],
+          run: Callable[[P], R]) -> List[Tuple[P, R]]:
+    """Evaluate ``run`` at each point, returning (point, result) pairs."""
+    results: List[Tuple[P, R]] = []
+    for point in points:
+        try:
+            results.append((point, run(point)))
+        except Exception as exc:
+            raise RuntimeError(f"sweep failed at point {point!r}") from exc
+    return results
+
+
+__all__ = ["sweep"]

@@ -1,0 +1,150 @@
+"""Per-packet path tracing through the hybrid switch.
+
+Attach a :class:`PathTracer` to a framework before ``run()`` and every
+packet's journey is recorded as a sequence of ``(stage, time)`` hops:
+
+    emitted -> switch_ingress -> [voq_enqueue -> voq_dequeue] ->
+    (ocs_in | eps_in) -> delivered
+
+The tracer answers the questions a testbed's logic analyser would:
+where did a given packet spend its time, which stage dominates the
+latency distribution, and which path (OCS/EPS) did each flow take.
+Tracing costs one dict append per hop; enable it for diagnosis runs,
+not for long sweeps.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from repro.sim.time import format_time
+
+if TYPE_CHECKING:  # avoid a runtime cycle: core.results uses analysis
+    from repro.core.framework import HybridSwitchFramework
+
+
+@dataclass(frozen=True)
+class Hop:
+    """One stage crossing of one packet."""
+
+    stage: str
+    time_ps: int
+
+
+class PathTracer:
+    """Records every packet's hop sequence through a framework."""
+
+    STAGES = ("emitted", "switch_ingress", "ocs_in", "eps_in",
+              "delivered")
+
+    def __init__(self, framework: "HybridSwitchFramework") -> None:
+        self.framework = framework
+        self.sim = framework.sim
+        self._paths: Dict[int, List[Hop]] = defaultdict(list)
+        self._install()
+
+    # -- wiring -------------------------------------------------------------
+
+    def _install(self) -> None:
+        framework = self.framework
+
+        for host, downlink in zip(framework.hosts,
+                                  framework.topology.downlinks):
+            original_emit = host.emit
+
+            def emit(packet, _original=original_emit):
+                self._record(packet, "emitted")
+                _original(packet)
+
+            host.emit = emit  # type: ignore[assignment]
+
+            original_receive = host.receive
+
+            def receive(packet, _original=original_receive):
+                _original(packet)
+                self._record(packet, "delivered")
+
+            host.receive = receive  # type: ignore[assignment]
+            # The downlink captured the original bound method at build
+            # time; re-point it at the wrapper.
+            downlink.connect(receive)
+
+        processing = framework.processing
+        original_ingress = processing.ingress
+
+        def ingress(packet):
+            self._record(packet, "switch_ingress")
+            original_ingress(packet)
+
+        # Re-point the uplinks at the wrapped ingress.
+        processing.ingress = ingress  # type: ignore[assignment]
+        for uplink in framework.topology.uplinks:
+            uplink.connect(ingress)
+
+        original_ocs = processing.ocs_sink
+        original_eps = processing.eps_sink
+
+        def ocs_sink(packet):
+            self._record(packet, "ocs_in")
+            original_ocs(packet)
+
+        def eps_sink(packet):
+            self._record(packet, "eps_in")
+            original_eps(packet)
+
+        processing.ocs_sink = ocs_sink
+        processing.eps_sink = eps_sink
+
+    def _record(self, packet, stage: str) -> None:
+        self._paths[packet.packet_id].append(Hop(stage, self.sim.now))
+
+    # -- queries ---------------------------------------------------------------
+
+    def path(self, packet_id: int) -> List[Hop]:
+        """The hop sequence of one packet (empty if unseen)."""
+        return list(self._paths.get(packet_id, []))
+
+    def traced_packets(self) -> int:
+        """Number of distinct packets seen."""
+        return len(self._paths)
+
+    def stage_latency_ps(self, packet_id: int,
+                         from_stage: str, to_stage: str) -> Optional[int]:
+        """Time between two stages for one packet, or None."""
+        times = {hop.stage: hop.time_ps
+                 for hop in self._paths.get(packet_id, [])}
+        if from_stage not in times or to_stage not in times:
+            return None
+        return times[to_stage] - times[from_stage]
+
+    def stage_breakdown(self) -> Dict[Tuple[str, str], List[int]]:
+        """Per-packet latency samples for each adjacent stage pair."""
+        breakdown: Dict[Tuple[str, str], List[int]] = defaultdict(list)
+        for hops in self._paths.values():
+            for earlier, later in zip(hops, hops[1:]):
+                breakdown[(earlier.stage, later.stage)].append(
+                    later.time_ps - earlier.time_ps)
+        return dict(breakdown)
+
+    def fabric_of(self, packet_id: int) -> Optional[str]:
+        """"ocs" / "eps" / None according to the traced path."""
+        stages = {hop.stage for hop in self._paths.get(packet_id, [])}
+        if "ocs_in" in stages:
+            return "ocs"
+        if "eps_in" in stages:
+            return "eps"
+        return None
+
+    def render_path(self, packet_id: int) -> str:
+        """Printable hop list for one packet."""
+        hops = self._paths.get(packet_id, [])
+        if not hops:
+            return f"packet {packet_id}: no trace"
+        parts = [f"{hop.stage}@{format_time(hop.time_ps)}"
+                 for hop in hops]
+        return f"packet {packet_id}: " + " -> ".join(parts)
+
+
+__all__ = ["PathTracer", "Hop"]

@@ -1,0 +1,78 @@
+"""Command-line entry point: ``repro``.
+
+Run paper experiments by id and inspect the registries::
+
+    repro list                 # experiments + schedulers + presets
+    repro run e1               # full-size experiment
+    repro run e5 --quick       # reduced-size for smoke checks
+    repro run all --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments import EXPERIMENTS
+from repro.hwmodel.presets import TIMING_PRESETS
+from repro.schedulers.registry import available_schedulers
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    print("experiments:")
+    for exp_id in sorted(EXPERIMENTS):
+        print(f"  {exp_id}")
+    print("schedulers:")
+    for name in available_schedulers():
+        print(f"  {name}")
+    print("timing presets:")
+    for name in sorted(TIMING_PRESETS):
+        print(f"  {name}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    if args.experiment == "all":
+        experiment_ids = sorted(EXPERIMENTS)
+    else:
+        if args.experiment not in EXPERIMENTS:
+            print(f"unknown experiment {args.experiment!r}; "
+                  f"try: {', '.join(sorted(EXPERIMENTS))}",
+                  file=sys.stderr)
+            return 2
+        experiment_ids = [args.experiment]
+    for exp_id in experiment_ids:
+        report = EXPERIMENTS[exp_id](quick=args.quick)
+        print(report.render())
+        print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro`` argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Hybrid EPS/OCS scheduling framework — paper "
+                    "experiment runner",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list experiments, schedulers, presets"
+                   ).set_defaults(func=_cmd_list)
+    run = sub.add_parser("run", help="run an experiment (e1..e8 or all)")
+    run.add_argument("experiment", help="experiment id, or 'all'")
+    run.add_argument("--quick", action="store_true",
+                     help="reduced problem sizes (CI/smoke)")
+    run.set_defaults(func=_cmd_run)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

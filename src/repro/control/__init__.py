@@ -1,0 +1,20 @@
+"""Control-plane models: channels and distributed scheduling.
+
+§3 of the paper: "The proposed architecture has the advantage of
+supporting both centralized and distributed implementations" and
+"allows to explore SDN practices over the hybrid network".  This
+package supplies the two building blocks those explorations need:
+
+* :class:`~repro.control.channel.ControlChannel` — a lossy, delayed
+  message channel between control-plane entities (scheduler ↔ hosts,
+  scheduler ↔ OCS), so experiments can price out-of-band SDN control
+  against the on-chip wires of the integrated design.
+* :class:`~repro.control.distributed.DistributedGreedyScheduler` — a
+  per-port distributed arbitration policy working from *stale* demand
+  views, quantifying what decentralisation costs in matching quality.
+"""
+
+from repro.control.channel import ControlChannel
+from repro.control.distributed import DistributedGreedyScheduler
+
+__all__ = ["ControlChannel", "DistributedGreedyScheduler"]

@@ -1,0 +1,76 @@
+"""A control-plane message channel with delay and loss.
+
+The integrated (on-chip) design of Figure 2 exchanges requests and
+grants over wires priced by the hardware timing model.  An SDN-style
+deployment moves those messages onto a network: they gain latency,
+jitter and a loss probability.  :class:`ControlChannel` models exactly
+that, so the same scheduling logic can be evaluated under out-of-band
+control.
+
+Messages are opaque to the channel; it only decides *when* (and
+*whether*) the receiver's callback fires.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Optional
+
+from repro.sim.engine import Simulator
+from repro.sim.errors import ConfigurationError
+from repro.sim.trace import Counter
+
+
+class ControlChannel:
+    """Unidirectional delayed/lossy message pipe.
+
+    Parameters
+    ----------
+    sim:
+        Simulator.
+    name:
+        Trace name.
+    latency_ps:
+        Fixed one-way delay.
+    jitter_ps:
+        Uniform extra delay in ``[0, jitter_ps]`` per message.
+    loss_rate:
+        Probability a message silently disappears.
+    rng:
+        Randomness for jitter/loss draws.
+    """
+
+    def __init__(self, sim: Simulator, name: str, latency_ps: int,
+                 jitter_ps: int = 0, loss_rate: float = 0.0,
+                 rng: Optional[random.Random] = None) -> None:
+        if latency_ps < 0 or jitter_ps < 0:
+            raise ConfigurationError(
+                f"channel {name}: delays must be non-negative")
+        if not 0.0 <= loss_rate < 1.0:
+            raise ConfigurationError(
+                f"channel {name}: loss_rate must be in [0, 1)")
+        self.sim = sim
+        self.name = name
+        self.latency_ps = latency_ps
+        self.jitter_ps = jitter_ps
+        self.loss_rate = loss_rate
+        self.rng = rng or random.Random(0)
+        self.sent = Counter(f"{name}.sent")
+        self.lost = Counter(f"{name}.lost")
+
+    def send(self, message: Any,
+             deliver: Callable[[Any], None]) -> Optional[int]:
+        """Send ``message``; returns delivery time or None if lost."""
+        self.sent.add(1)
+        if self.loss_rate > 0.0 and self.rng.random() < self.loss_rate:
+            self.lost.add(1)
+            return None
+        delay = self.latency_ps
+        if self.jitter_ps:
+            delay += self.rng.randrange(self.jitter_ps + 1)
+        self.sim.schedule(delay, lambda: deliver(message),
+                          label=f"ctrl:{self.name}")
+        return self.sim.now + delay
+
+
+__all__ = ["ControlChannel"]

@@ -1,0 +1,39 @@
+"""The paper's framework (Figure 2), as an executable software twin.
+
+Three logic blocks, same partition as the proposed NetFPGA design:
+
+* :mod:`~repro.core.processing` — flow classification, VOQs, request
+  generation, grant-driven dequeue ("processing logic");
+* :mod:`~repro.core.switching` — OCS circuit configuration plus EPS
+  residual forwarding ("switching logic");
+* :mod:`~repro.core.scheduling` — demand estimation, schedule
+  computation under a timing model, grant issue ("scheduling logic" —
+  the user-pluggable slot).
+
+:class:`~repro.core.framework.HybridSwitchFramework` wires them to a
+rack of hosts and runs experiments;
+:class:`~repro.core.results.RunResult` is what an experiment gets back.
+"""
+
+from repro.core.audit import AuditError, ProtocolAuditor
+from repro.core.config import FrameworkConfig
+from repro.core.framework import HybridSwitchFramework
+from repro.core.messages import CircuitConfig, Grant, Request
+from repro.core.processing import ProcessingLogic
+from repro.core.results import RunResult
+from repro.core.scheduling import SchedulingLogic
+from repro.core.switching import SwitchingLogic
+
+__all__ = [
+    "FrameworkConfig",
+    "HybridSwitchFramework",
+    "ProcessingLogic",
+    "SwitchingLogic",
+    "SchedulingLogic",
+    "RunResult",
+    "Request",
+    "Grant",
+    "CircuitConfig",
+    "ProtocolAuditor",
+    "AuditError",
+]

@@ -1,0 +1,188 @@
+"""Online protocol auditing for the hybrid switch.
+
+A testbed catches protocol bugs because misbehaviour has physical
+consequences; a simulator can silently tolerate them.  The auditor
+closes that gap: it attaches to a framework *before* ``run()`` and
+checks the Figure 2 control protocol as it executes:
+
+* **configure-before-grant** — every grant window must open at or after
+  the OCS-ready time of the configuration it rides on (§3's explicit
+  ordering).  Violations are expected exactly when the
+  ``optimistic_grant`` ablation is on.
+* **no dark injection** — the OCS must never be asked to carry a packet
+  while reconfiguring (a dark drop is a protocol failure of the
+  granting side, not of the OCS).
+* **grant sanity** — grant durations are positive and matchings match
+  the switch radix (structural validity is already enforced by
+  :class:`~repro.schedulers.matching.Matching`; the auditor checks the
+  dynamic parts).
+* **conservation** — at collection time, offered = delivered + dropped
+  + still-queued must balance.
+
+Violations are recorded, not raised (an experiment may *want* to count
+them — that is what E3's ablation does); ``assert_clean()`` turns them
+into a hard failure for tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List
+
+from repro.sim.errors import ReproError
+from repro.sim.time import format_time
+
+if TYPE_CHECKING:  # typing-only: keeps repro.core importable bottom-up
+    from repro.core.framework import HybridSwitchFramework
+
+
+class AuditError(ReproError):
+    """Raised by :meth:`ProtocolAuditor.assert_clean` on violations."""
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One observed protocol violation."""
+
+    time_ps: int
+    rule: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{format_time(self.time_ps)}] {self.rule}: {self.detail}"
+
+
+class ProtocolAuditor:
+    """Attach to a framework and watch the control protocol execute."""
+
+    def __init__(self, framework: "HybridSwitchFramework") -> None:
+        self.framework = framework
+        self.sim = framework.sim
+        self.violations: List[Violation] = []
+        self.configures_seen = 0
+        self.grants_seen = 0
+        self.packets_seen = 0
+        self._ocs_ready_at = 0
+        self._install()
+
+    # -- wiring -----------------------------------------------------------------
+
+    def _install(self) -> None:
+        switching = self.framework.switching
+        scheduling = self.framework.scheduling
+        ocs = self.framework.ocs
+
+        original_configure = switching.configure
+
+        def audited_configure(config):
+            self.configures_seen += 1
+            ready = original_configure(config)
+            self._ocs_ready_at = ready
+            return ready
+
+        switching.configure = audited_configure  # type: ignore[assignment]
+
+        original_deliver = scheduling._deliver_grant
+
+        def audited_deliver(grant):
+            self.grants_seen += 1
+            if grant.duration_ps <= 0:
+                self._flag("grant-sanity",
+                           f"non-positive duration {grant.duration_ps}")
+            if grant.matching.n != switching.n_ports:
+                self._flag("grant-sanity",
+                           f"matching radix {grant.matching.n} != "
+                           f"{switching.n_ports}")
+            if grant.start_ps < self._ocs_ready_at:
+                self._flag(
+                    "configure-before-grant",
+                    f"window opens at {format_time(grant.start_ps)} but "
+                    f"OCS is ready at {format_time(self._ocs_ready_at)}")
+            original_deliver(grant)
+
+        scheduling._deliver_grant = audited_deliver  # type: ignore[assignment]
+
+        original_receive = ocs.receive
+
+        def audited_receive(packet, input_port=None):
+            self.packets_seen += 1
+            if ocs.is_dark:
+                self._flag(
+                    "no-dark-injection",
+                    f"packet {packet.packet_id} offered during blackout")
+            return original_receive(packet, input_port)
+
+        # Overriding the instance attribute is enough: every data-plane
+        # path reaches the OCS through ``switching.send_ocs`` or a sink
+        # that resolves ``ocs.receive`` at call time, so instruments
+        # installed before or after this one keep composing.
+        ocs.receive = audited_receive  # type: ignore[assignment]
+
+    # -- reporting ---------------------------------------------------------------
+
+    def _flag(self, rule: str, detail: str) -> None:
+        self.violations.append(Violation(self.sim.now, rule, detail))
+
+    def check_conservation(self, result) -> None:
+        """Post-run balance check (call with the RunResult).
+
+        Exact accounting: every offered packet must be delivered,
+        dropped, queued somewhere, or demonstrably in flight — on a
+        link, inside the EPS (pipeline + output queues + drain), in the
+        OCS transit stage, or serialising from a VOQ into the fabric.
+        """
+        fw = self.framework
+        queued = (fw.processing.voqs.total_packets
+                  + sum(len(q) for host in fw.hosts
+                        for q in host._queues.values()))
+        link_in_flight = sum(
+            link.in_flight
+            for link in fw.topology.uplinks + fw.topology.downlinks)
+        # Inside the EPS: received but not yet pushed to its sink or
+        # tail-dropped (covers pipeline, queues and the drain stage).
+        eps = fw.eps
+        eps_inside = (eps.received.count - eps.forwarded.count
+                      - eps.drops_total())
+        ocs = fw.ocs
+        ocs_drops = ocs.dark_drops.count + ocs.misdirected_drops.count
+        # Between VOQ dequeue and OCS arrival (fabric serialisation).
+        draining = (fw.processing.to_ocs.count
+                    - ocs.forwarded.count - ocs_drops)
+        # Between fabric output and the downlink's accept (transit).
+        downlink_accepted = sum(link.accepted.count
+                                for link in fw.topology.downlinks)
+        transit = (ocs.forwarded.count + eps.forwarded.count
+                   - downlink_accepted)
+        in_flight = (link_in_flight + eps_inside + draining + transit)
+        accounted = (result.delivered_count + result.total_drops
+                     + queued + in_flight)
+        if accounted != result.offered_packets:
+            self._flag(
+                "conservation",
+                f"offered={result.offered_packets} but accounted="
+                f"{accounted} (delivered={result.delivered_count}, "
+                f"drops={result.total_drops}, queued={queued}, "
+                f"in_flight={in_flight})")
+
+    def is_clean(self) -> bool:
+        """True when no violations were observed."""
+        return not self.violations
+
+    def assert_clean(self) -> None:
+        """Raise :class:`AuditError` listing any violations."""
+        if self.violations:
+            summary = "\n".join(str(v) for v in self.violations[:20])
+            raise AuditError(
+                f"{len(self.violations)} protocol violation(s):\n"
+                f"{summary}")
+
+    def report(self) -> str:
+        """Human-readable audit summary."""
+        status = ("CLEAN" if self.is_clean()
+                  else f"{len(self.violations)} VIOLATIONS")
+        return (f"audit: {status} — {self.configures_seen} configures, "
+                f"{self.grants_seen} grants, {self.packets_seen} OCS "
+                "packets")
+
+
+__all__ = ["ProtocolAuditor", "Violation", "AuditError"]

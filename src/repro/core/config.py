@@ -1,0 +1,128 @@
+"""Framework configuration.
+
+One dataclass gathers every knob of the hybrid switch so experiments are
+declarative: build a :class:`FrameworkConfig`, hand it to
+:class:`~repro.core.framework.HybridSwitchFramework`, run.
+Validation happens eagerly in ``__post_init__`` — a bad experiment
+should fail before any simulated time passes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.net.host import HostBufferMode
+from repro.sim.errors import ConfigurationError
+from repro.sim.time import (
+    GIGABIT,
+    MICROSECONDS,
+    MILLISECONDS,
+    NANOSECONDS,
+)
+
+
+@dataclass
+class FrameworkConfig:
+    """Everything needed to instantiate a hybrid switch experiment.
+
+    Attributes
+    ----------
+    n_ports:
+        Switch radix == number of hosts (paper example: 64).
+    port_rate_bps:
+        Line rate per port (paper example: 10 Gbps).
+    switching_time_ps:
+        OCS reconfiguration blackout — Figure 1's x-axis.
+    scheduler:
+        Registry name of the scheduling algorithm.
+    scheduler_kwargs:
+        Extra constructor arguments for the scheduler factory.
+    timing_preset:
+        Timing-model preset name (see :mod:`repro.hwmodel.presets`);
+        decides whether the *same* algorithm behaves like hardware or
+        like software.
+    estimator:
+        "instant", "ewma" or "sketch" demand estimation.
+    estimator_kwargs:
+        Extra constructor arguments for the estimator.
+    buffer_mode:
+        ``SWITCH_BUFFERED`` (Figure 1 fast path) or ``HOST_BUFFERED``
+        (slow path with grant-gated hosts).
+    epoch_ps:
+        Minimum scheduling-loop period.  The effective epoch is
+        ``max(epoch_ps, loop latency + plan execution)``.
+    default_slot_ps:
+        Hold time used for matchings whose scheduler left hold == 0
+        (cell-mode algorithms driving a circuit switch).
+    eps_rate_bps:
+        Residual electrical path rate per port (hybrid designs usually
+        provision this below the optical line rate).
+    eps_queue_bytes:
+        Per-output EPS queue capacity (tail drop beyond).
+    voq_capacity_bytes:
+        Per-VOQ byte cap; ``None`` = unbounded (measure, don't drop).
+    host_clock_skew_ps:
+        Applied to every host in host-buffered mode (E8's x-axis).
+    propagation_ps:
+        Host–switch link propagation.
+    control_latency_ps:
+        Extra delay for grant delivery to hosts in host-buffered mode
+        (the control channel; defaults to ``propagation_ps`` when None).
+    seed:
+        Master seed for all random streams.
+    """
+
+    n_ports: int = 8
+    port_rate_bps: float = 10 * GIGABIT
+    switching_time_ps: int = 1 * MICROSECONDS
+    scheduler: str = "islip"
+    scheduler_kwargs: Dict[str, Any] = field(default_factory=dict)
+    timing_preset: str = "netfpga_sume"
+    estimator: str = "instant"
+    estimator_kwargs: Dict[str, Any] = field(default_factory=dict)
+    buffer_mode: HostBufferMode = HostBufferMode.SWITCH_BUFFERED
+    epoch_ps: int = 0
+    default_slot_ps: int = 10 * MICROSECONDS
+    eps_rate_bps: float = 10 * GIGABIT
+    eps_queue_bytes: Optional[int] = None
+    voq_capacity_bytes: Optional[int] = None
+    host_clock_skew_ps: int = 0
+    propagation_ps: int = 50 * NANOSECONDS
+    control_latency_ps: Optional[int] = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_ports < 2:
+            raise ConfigurationError(
+                f"n_ports must be >= 2, got {self.n_ports}")
+        if self.port_rate_bps <= 0:
+            raise ConfigurationError("port_rate_bps must be positive")
+        if self.switching_time_ps < 0:
+            raise ConfigurationError("switching_time_ps must be >= 0")
+        if self.epoch_ps < 0:
+            raise ConfigurationError("epoch_ps must be >= 0")
+        if self.default_slot_ps <= 0:
+            raise ConfigurationError("default_slot_ps must be > 0")
+        if self.eps_rate_bps <= 0:
+            raise ConfigurationError("eps_rate_bps must be positive")
+        if self.estimator not in ("instant", "ewma", "sketch"):
+            raise ConfigurationError(
+                f"unknown estimator {self.estimator!r}; expected "
+                "'instant', 'ewma' or 'sketch'")
+        if self.switching_time_ps >= 10 * MILLISECONDS:
+            # Not an error — but 10ms+ blackouts with default epochs make
+            # empty runs; force the caller to pick an epoch consciously.
+            if self.epoch_ps == 0:
+                raise ConfigurationError(
+                    "switching_time_ps >= 10ms needs an explicit epoch_ps")
+
+    @property
+    def control_delay_ps(self) -> int:
+        """Grant-delivery delay toward hosts (explicit or propagation)."""
+        if self.control_latency_ps is not None:
+            return self.control_latency_ps
+        return self.propagation_ps
+
+
+__all__ = ["FrameworkConfig"]

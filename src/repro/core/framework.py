@@ -1,0 +1,202 @@
+"""The hybrid-switch framework: Figure 2, assembled and runnable.
+
+:class:`HybridSwitchFramework` is the top-level object a user of this
+library touches: give it a :class:`~repro.core.config.FrameworkConfig`,
+attach traffic, call :meth:`run`, get a
+:class:`~repro.core.results.RunResult`.
+
+    from repro import FrameworkConfig, HybridSwitchFramework
+    from repro.traffic import PoissonSource
+
+    config = FrameworkConfig(n_ports=8, scheduler="islip")
+    framework = HybridSwitchFramework(config)
+    for host in framework.hosts:
+        PoissonSource(framework.sim, host, rate_bps=4e9,
+                      rng=framework.sim.streams.stream(f"src{host.host_id}"))
+    result = framework.run(duration_ps=2 * MILLISECONDS)
+
+The construction order mirrors the paper's partition: hosts and links
+(the "tens of processing elements"), then switching logic (OCS + EPS),
+then processing logic, then the scheduling logic plugged in last — the
+part a researcher would swap.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.config import FrameworkConfig
+from repro.core.processing import ProcessingLogic
+from repro.core.results import RunResult
+from repro.core.scheduling import SchedulingLogic
+from repro.core.switching import SwitchingLogic
+from repro.hwmodel.presets import make_timing
+from repro.hwmodel.timing import SchedulerTiming
+from repro.net.classifier import FlowClassifier
+from repro.net.topology import build_rack
+from repro.schedulers.base import Scheduler
+from repro.schedulers.demand import (
+    DemandEstimator,
+    EwmaEstimator,
+    InstantEstimator,
+    SketchEstimator,
+)
+from repro.schedulers.registry import create_scheduler
+from repro.sim.engine import Simulator
+from repro.sim.errors import ConfigurationError
+from repro.switches.eps import ElectricalPacketSwitch
+from repro.switches.ocs import OpticalCircuitSwitch
+
+
+def _make_estimator(config: FrameworkConfig) -> DemandEstimator:
+    if config.estimator == "instant":
+        return InstantEstimator(config.n_ports, **config.estimator_kwargs)
+    if config.estimator == "ewma":
+        return EwmaEstimator(config.n_ports, **config.estimator_kwargs)
+    if config.estimator == "sketch":
+        return SketchEstimator(config.n_ports, seed=config.seed,
+                               **config.estimator_kwargs)
+    raise ConfigurationError(f"unknown estimator {config.estimator!r}")
+
+
+class HybridSwitchFramework:
+    """One rack, one hybrid switch, one pluggable scheduler.
+
+    Parameters
+    ----------
+    config:
+        Declarative experiment description.
+    scheduler:
+        Pre-built scheduler instance; overrides ``config.scheduler``.
+        This is the rapid-prototyping hook: hand in anything satisfying
+        :class:`~repro.schedulers.base.Scheduler`.
+    timing:
+        Pre-built timing model; overrides ``config.timing_preset``.
+    classifier:
+        Custom look-up rule table for the processing logic.
+    optimistic_grant:
+        Ablation flag — see :class:`~repro.core.scheduling.SchedulingLogic`.
+    """
+
+    def __init__(self, config: FrameworkConfig,
+                 scheduler: Optional[Scheduler] = None,
+                 timing: Optional[SchedulerTiming] = None,
+                 classifier: Optional[FlowClassifier] = None,
+                 optimistic_grant: bool = False) -> None:
+        self.config = config
+        self.sim = Simulator(seed=config.seed)
+        self.topology = build_rack(
+            self.sim, config.n_ports,
+            link_rate_bps=config.port_rate_bps,
+            propagation_ps=config.propagation_ps,
+            mode=config.buffer_mode,
+            clock_skew_ps=config.host_clock_skew_ps)
+        self.ocs = OpticalCircuitSwitch(
+            self.sim, config.n_ports,
+            switching_time_ps=config.switching_time_ps)
+        self.eps = ElectricalPacketSwitch(
+            self.sim, config.n_ports,
+            port_rate_bps=config.eps_rate_bps,
+            queue_capacity_bytes=config.eps_queue_bytes)
+        self.switching = SwitchingLogic(
+            self.sim, self.ocs, self.eps, self.topology.downlinks)
+        self.processing = ProcessingLogic(
+            self.sim, config.n_ports,
+            port_rate_bps=config.port_rate_bps,
+            mode=config.buffer_mode,
+            classifier=classifier,
+            voq_capacity_bytes=config.voq_capacity_bytes,
+            ocs_sink=self.switching.send_ocs,
+            eps_sink=self.switching.send_eps)
+        for uplink in self.topology.uplinks:
+            uplink.connect(self.processing.ingress)
+        self.scheduler = scheduler or create_scheduler(
+            config.scheduler, n_ports=config.n_ports,
+            **config.scheduler_kwargs)
+        self.timing = timing or make_timing(config.timing_preset)
+        self.estimator = _make_estimator(config)
+        if config.estimator == "sketch":
+            # Sketch estimation counts the packet stream, not queue
+            # occupancy; tap the processing logic's ingress.  Occupancy
+            # estimators are snapshot-driven and must NOT also see the
+            # stream (they would double-count queued arrivals).
+            self.processing.on_observe = self.estimator.observe
+        self.scheduling = SchedulingLogic(
+            self.sim, self.scheduler, self.timing, self.estimator,
+            self.processing, self.switching,
+            hosts=self.topology.hosts,
+            mode=config.buffer_mode,
+            epoch_ps=config.epoch_ps,
+            default_slot_ps=config.default_slot_ps,
+            control_delay_ps=config.control_delay_ps,
+            optimistic_grant=optimistic_grant)
+        self._ran = False
+
+    # -- conveniences -------------------------------------------------------------
+
+    @property
+    def hosts(self):
+        """The rack's hosts (attach traffic sources to these)."""
+        return self.topology.hosts
+
+    @property
+    def n_ports(self) -> int:
+        """Switch radix."""
+        return self.config.n_ports
+
+    # -- execution -------------------------------------------------------------------
+
+    def run(self, duration_ps: int) -> RunResult:
+        """Start the scheduling loop, simulate, and collect results."""
+        if self._ran:
+            raise ConfigurationError(
+                "framework instances are single-shot; build a new one "
+                "per run so results stay attributable")
+        if duration_ps <= 0:
+            raise ConfigurationError("duration must be positive")
+        self._ran = True
+        self.scheduling.start()
+        self.sim.run(until=duration_ps)
+        return self._collect(duration_ps)
+
+    def _collect(self, duration_ps: int) -> RunResult:
+        result = RunResult(
+            duration_ps=duration_ps,
+            n_ports=self.config.n_ports,
+            port_rate_bps=self.config.port_rate_bps,
+        )
+        for host in self.hosts:
+            result.delivered.extend(host.delivered_packets)
+            result.offered_packets += host.emitted.count
+            result.offered_bytes += host.emitted.bytes
+        result.delivered_bytes = sum(p.size for p in result.delivered)
+        result.ocs_bytes = sum(p.size for p in result.delivered
+                               if p.via == "ocs")
+        result.eps_bytes = sum(p.size for p in result.delivered
+                               if p.via == "eps")
+        result.drops = {
+            "voq_tail": self.processing.voqs.drops_total(),
+            "eps_tail": self.eps.drops_total(),
+            "ocs_dark": self.ocs.dark_drops.count,
+            "ocs_misdirected": self.ocs.misdirected_drops.count,
+            "classifier": self.processing.classified_drops.count,
+            "link_fault": sum(
+                link.fault_drops.count
+                for link in (self.topology.uplinks
+                             + self.topology.downlinks)),
+        }
+        result.switch_peak_buffer_bytes = \
+            self.processing.voqs.peak_total_bytes()
+        result.host_peak_buffer_bytes = sum(
+            host.peak_queued_bytes for host in self.hosts)
+        result.eps_peak_buffer_bytes = self.eps.peak_queue_bytes()
+        result.epochs_run = self.scheduling.epochs_run
+        result.grants_issued = self.scheduling.grants_issued.count
+        result.mean_loop_latency_ps = \
+            self.scheduling.mean_loop_latency_ps()
+        result.ocs_reconfigurations = self.ocs.reconfigurations
+        result.ocs_blackout_ps = self.ocs.blackout_ps
+        return result
+
+
+__all__ = ["HybridSwitchFramework"]

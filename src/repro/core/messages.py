@@ -1,0 +1,60 @@
+"""Control-plane message types of the Figure 2 protocol.
+
+The paper's sequence is:
+
+1. VOQ status changes → the processing logic "generates scheduling
+   **requests**".
+2. The scheduling logic computes and "sends the **grant matrix** to the
+   switching logic to configure the circuits in the OCS".
+3. "Once the **grant** message is received by the processing logic, it
+   dequeues packets from the respective VOQ."
+
+These dataclasses are those three messages.  They carry timestamps so
+experiments can audit the control-loop latency packet by packet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.schedulers.matching import Matching
+
+
+@dataclass(frozen=True)
+class Request:
+    """Scheduling request: VOQ (src, dst) now holds ``queued_bytes``."""
+
+    src: int
+    dst: int
+    queued_bytes: int
+    issued_ps: int
+
+
+@dataclass(frozen=True)
+class CircuitConfig:
+    """Configure-the-OCS command (grant matrix → switching logic)."""
+
+    matching: Matching
+    issued_ps: int
+
+
+@dataclass(frozen=True)
+class Grant:
+    """Transmission grant: matched pairs may send in the window.
+
+    ``start_ps`` is when the circuits are live (post-blackout);
+    ``duration_ps`` is the hold time.
+    """
+
+    matching: Matching
+    start_ps: int
+    duration_ps: int
+    issued_ps: int
+
+    @property
+    def end_ps(self) -> int:
+        """First instant the window is closed."""
+        return self.start_ps + self.duration_ps
+
+
+__all__ = ["Request", "CircuitConfig", "Grant"]

@@ -1,0 +1,247 @@
+"""Processing logic: classification, VOQs, requests, grant-driven dequeue.
+
+Figure 2, left block.  "Incoming packets from hosts H1..Hn are sent to
+the processing logic.  There, packets are classified into flows based on
+configurable look-up rules and [placed] into their respective Virtual
+Output Queue.  As the status of a VOQ changes, the subsystem generates
+scheduling requests and transmits packets upon receiving transmission
+grants from the scheduling logic."
+
+Two operating modes mirror Figure 1:
+
+* **switch-buffered** (fast scheduling) — packets land in VOQs here and
+  leave on grants;
+* **host-buffered** (slow scheduling) — hosts release packets only
+  inside granted windows, so this block is a classify-and-forward
+  pass-through toward the OCS (the switch has no memory to hold them;
+  that is the premise of the slow regime).
+
+Grant execution drains each granted VOQ at line rate into the OCS for
+the duration of the window; packets that would overrun the window stay
+queued.  Residue the scheduler assigned to the electrical path is moved
+to the EPS on request (:meth:`ProcessingLogic.divert_to_eps`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.core.messages import Grant, Request
+from repro.net.classifier import FlowClassifier
+from repro.net.host import HostBufferMode
+from repro.net.packet import Packet, wire_size
+from repro.sim.engine import Simulator
+from repro.sim.errors import ConfigurationError
+from repro.sim.time import transmission_time_ps
+from repro.sim.trace import Counter
+from repro.switches.voq import VoqBank
+
+
+class ProcessingLogic:
+    """The ingress block of the hybrid switch.
+
+    Parameters
+    ----------
+    sim, n_ports:
+        Simulator and radix.
+    port_rate_bps:
+        Dequeue (fabric injection) rate per input port.
+    mode:
+        Buffering regime (see module docstring).
+    classifier:
+        Look-up rule table (a default-only table when None).
+    voq_capacity_bytes:
+        Per-VOQ cap (None = unbounded).
+    ocs_sink / eps_sink:
+        Where dequeued packets go; wired by the framework to the
+        switching logic.
+    on_request:
+        Callback receiving each generated :class:`Request`.
+    on_observe:
+        Callback receiving ``(src, dst, nbytes)`` for every packet
+        entering the VOQ path — the packet-stream tap a sketch-based
+        demand estimator counts from.
+    """
+
+    def __init__(self, sim: Simulator, n_ports: int,
+                 port_rate_bps: float,
+                 mode: HostBufferMode = HostBufferMode.SWITCH_BUFFERED,
+                 classifier: Optional[FlowClassifier] = None,
+                 voq_capacity_bytes: Optional[int] = None,
+                 ocs_sink: Optional[Callable[[Packet], None]] = None,
+                 eps_sink: Optional[Callable[[Packet], None]] = None,
+                 on_request: Optional[Callable[[Request], None]] = None,
+                 on_observe: Optional[
+                     Callable[[int, int, int], None]] = None,
+                 ) -> None:
+        self.sim = sim
+        self.n_ports = n_ports
+        self.port_rate_bps = port_rate_bps
+        self.mode = mode
+        self.classifier = classifier or FlowClassifier()
+        self.ocs_sink = ocs_sink or _unwired
+        self.eps_sink = eps_sink or _unwired
+        self.on_request = on_request
+        self.on_observe = on_observe
+        self.voqs = VoqBank(sim, n_ports,
+                            capacity_bytes=voq_capacity_bytes,
+                            on_status_change=self._voq_changed)
+        # Per-input active grant window: dst and window open/close times.
+        self._window_dst: List[Optional[int]] = [None] * n_ports
+        self._window_start: List[int] = [0] * n_ports
+        self._window_end: List[int] = [0] * n_ports
+        self._draining: List[bool] = [False] * n_ports
+        self.requests_generated = Counter("processing.requests")
+        self.classified_drops = Counter("processing.classified_drops")
+        self.to_eps = Counter("processing.to_eps")
+        self.to_ocs = Counter("processing.to_ocs")
+
+    # -- ingress ---------------------------------------------------------------
+
+    def ingress(self, packet: Packet) -> None:
+        """Accept one packet from an uplink."""
+        decision = self.classifier.classify(packet)
+        if decision.action == "drop":
+            self.classified_drops.add(1, packet.size)
+            return
+        if decision.action == "eps":
+            self.to_eps.add(1, packet.size)
+            self.eps_sink(packet)
+            return
+        if decision.dst != packet.dst:
+            packet.dst = decision.dst
+        if self.on_observe is not None:
+            self.on_observe(packet.src, packet.dst, packet.size)
+        if self.mode is HostBufferMode.HOST_BUFFERED:
+            # The host released this packet against a grant; the switch
+            # has no buffering for it — straight into the fabric.
+            self.to_ocs.add(1, packet.size)
+            self.ocs_sink(packet)
+            return
+        self.voqs.enqueue(packet)
+
+    # -- demand view --------------------------------------------------------------
+
+    def demand_bytes(self) -> np.ndarray:
+        """Current VOQ occupancy matrix (the true demand)."""
+        return self.voqs.demand_bytes()
+
+    # -- grant execution -------------------------------------------------------------
+
+    def apply_grant(self, grant: Grant) -> None:
+        """Open the grant's transmission windows and start draining.
+
+        A new grant for an input supersedes any previous window (the
+        OCS has been reconfigured; the old circuit no longer exists).
+        """
+        if grant.matching.n != self.n_ports:
+            raise ConfigurationError(
+                f"grant matching is {grant.matching.n}-port, switch is "
+                f"{self.n_ports}")
+        for src, dst in grant.matching.pairs():
+            self._window_dst[src] = dst
+            self._window_start[src] = grant.start_ps
+            self._window_end[src] = grant.end_ps
+
+            def start(src_port: int = src) -> None:
+                self._try_drain(src_port)
+
+            if grant.start_ps <= self.sim.now:
+                start()
+            else:
+                self.sim.at(grant.start_ps, start,
+                            label=f"grant.open[{src}]")
+
+    def close_windows(self) -> None:
+        """Force-close every window (e.g. before an early reconfigure)."""
+        for src in range(self.n_ports):
+            self._window_dst[src] = None
+
+    def divert_to_eps(self, residue_bytes: np.ndarray) -> int:
+        """Move up to ``residue_bytes[i, j]`` from VOQ (i, j) to the EPS.
+
+        Returns the number of bytes diverted.  Models the ToR-internal
+        handoff of scheduler-designated residual traffic onto the
+        electrical path; the EPS's own queues then pace it out.
+        """
+        diverted = 0
+        src_idx, dst_idx = np.nonzero(residue_bytes > 0)
+        for src, dst in zip(src_idx.tolist(), dst_idx.tolist()):
+            if src == dst:
+                continue
+            budget = float(residue_bytes[src, dst])
+            while budget > 0 and not self.voqs.is_empty(src, dst):
+                head = self.voqs.head(src, dst)
+                assert head is not None
+                if head.size > budget:
+                    break
+                packet = self.voqs.dequeue(src, dst)
+                budget -= packet.size
+                diverted += packet.size
+                self.to_eps.add(1, packet.size)
+                self.eps_sink(packet)
+        return diverted
+
+    # -- internals ----------------------------------------------------------------------
+
+    def _voq_changed(self, src: int, dst: int, queued_bytes: int) -> None:
+        """Status-change hook: emit a request, resume draining."""
+        request = Request(src, dst, queued_bytes, self.sim.now)
+        self.requests_generated.add(1)
+        if self.on_request is not None:
+            self.on_request(request)
+        # A packet may have arrived inside an *open* window for this
+        # pair; windows registered for a future start (the OCS is still
+        # reconfiguring) must wait for their start event.
+        if (queued_bytes > 0 and self._window_dst[src] == dst
+                and self._window_start[src] <= self.sim.now
+                and not self._draining[src]):
+            self._try_drain(src)
+
+    def _try_drain(self, src: int) -> None:
+        """Drain VOQ (src, window dst) while the window stays open."""
+        if self._draining[src]:
+            return
+        dst = self._window_dst[src]
+        if dst is None:
+            return
+        self._draining[src] = True
+        self._drain_step(src)
+
+    def _drain_step(self, src: int) -> None:
+        dst = self._window_dst[src]
+        if (dst is None or self.sim.now >= self._window_end[src]
+                or self.sim.now < self._window_start[src]):
+            self._draining[src] = False
+            return
+        if self.voqs.is_empty(src, dst):
+            self._draining[src] = False
+            return
+        head = self.voqs.head(src, dst)
+        assert head is not None
+        tx_ps = transmission_time_ps(wire_size(head.size),
+                                     self.port_rate_bps)
+        if self.sim.now + tx_ps >= self._window_end[src]:
+            # Would land on or past the window edge, where the next
+            # reconfiguration may already be in progress; wait for the
+            # next grant.
+            self._draining[src] = False
+            return
+        packet = self.voqs.dequeue(src, dst)
+        self.to_ocs.add(1, packet.size)
+
+        def injected() -> None:
+            self.ocs_sink(packet)
+            self._drain_step(src)
+
+        self.sim.schedule(tx_ps, injected, label=f"drain[{src}]")
+
+
+def _unwired(packet: Packet) -> None:
+    raise ConfigurationError(
+        f"processing logic sink not wired (packet {packet.packet_id})")
+
+
+__all__ = ["ProcessingLogic"]

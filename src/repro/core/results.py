@@ -1,0 +1,111 @@
+"""Run results: everything an experiment needs to report.
+
+:class:`RunResult` is a passive record assembled by the framework after
+``run()``: delivered packets with full timestamps, byte/drop accounting
+per fabric, buffering peaks for the Figure 1 measurements, and the
+scheduling-loop latency record for E2/E3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.analysis.metrics import (
+    LatencySummary,
+    interarrival_jitter_ps,
+    latency_summary,
+    throughput_bps,
+    utilisation,
+)
+from repro.net.packet import Packet
+
+
+@dataclass
+class RunResult:
+    """Outcome of one framework run.
+
+    All byte counters are L2 frame bytes (the quantity buffers store).
+    """
+
+    duration_ps: int
+    n_ports: int
+    port_rate_bps: float
+    #: Every packet delivered to a host, in delivery order per host.
+    delivered: List[Packet] = field(default_factory=list)
+    offered_packets: int = 0
+    offered_bytes: int = 0
+    delivered_bytes: int = 0
+    ocs_bytes: int = 0
+    eps_bytes: int = 0
+    #: Drop accounting by cause.
+    drops: Dict[str, int] = field(default_factory=dict)
+    #: Peak simultaneous VOQ occupancy at the switch (Figure 1, fast).
+    switch_peak_buffer_bytes: int = 0
+    #: Peak simultaneous occupancy summed across host queues (slow).
+    host_peak_buffer_bytes: int = 0
+    #: Peak single EPS output queue.
+    eps_peak_buffer_bytes: int = 0
+    epochs_run: int = 0
+    grants_issued: int = 0
+    mean_loop_latency_ps: float = 0.0
+    ocs_reconfigurations: int = 0
+    ocs_blackout_ps: int = 0
+
+    # -- derived metrics ---------------------------------------------------------
+
+    @property
+    def delivered_count(self) -> int:
+        """Number of packets that reached their destination."""
+        return len(self.delivered)
+
+    @property
+    def delivery_ratio(self) -> float:
+        """Delivered / offered packets (1.0 when nothing was offered)."""
+        if self.offered_packets == 0:
+            return 1.0
+        return self.delivered_count / self.offered_packets
+
+    @property
+    def ocs_fraction(self) -> float:
+        """Fraction of delivered bytes that rode the optical fabric."""
+        total = self.ocs_bytes + self.eps_bytes
+        return self.ocs_bytes / total if total else 0.0
+
+    def goodput_bps(self) -> float:
+        """Aggregate delivered rate over the run."""
+        return throughput_bps(self.delivered_bytes, self.duration_ps)
+
+    def utilisation(self) -> float:
+        """Goodput as a fraction of aggregate port capacity."""
+        return utilisation(self.delivered_bytes, self.duration_ps,
+                           self.n_ports * self.port_rate_bps)
+
+    def offered_load(self) -> float:
+        """Offered bytes as a fraction of aggregate capacity."""
+        return utilisation(self.offered_bytes, self.duration_ps,
+                           self.n_ports * self.port_rate_bps)
+
+    def latency(self, priority: Optional[int] = None) -> LatencySummary:
+        """Latency summary, optionally restricted to one priority class."""
+        return latency_summary(self.delivered, priority=priority)
+
+    def flow_packets(self, flow_id: int) -> List[Packet]:
+        """Delivered packets of one flow, ordered by delivery time."""
+        packets = [p for p in self.delivered if p.flow_id == flow_id]
+        packets.sort(key=lambda p: p.delivered_ps or 0)
+        return packets
+
+    def flow_jitter_ps(self, flow_id: int, period_ps: int) -> float:
+        """RFC 3550 interarrival jitter for a nominally periodic flow."""
+        arrivals = [p.delivered_ps for p in self.flow_packets(flow_id)
+                    if p.delivered_ps is not None]
+        return interarrival_jitter_ps(arrivals, period_ps)
+
+    @property
+    def total_drops(self) -> int:
+        """Sum over all drop causes."""
+        return sum(self.drops.values())
+
+
+__all__ = ["RunResult"]

@@ -1,0 +1,69 @@
+"""Switching logic: the OCS + EPS pair behind the processing logic.
+
+Figure 2, right block.  The scheduling logic "sends the grant matrix to
+the switching logic to configure the circuits in the OCS to match the
+grant matrix"; granted traffic then rides the circuits while "residual
+traffic can be sent through the EPS".
+
+Both fabrics share the egress downlinks: an OCS-delivered and an
+EPS-delivered packet to the same host interleave on the same wire, with
+the link model serialising them FIFO.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.messages import CircuitConfig
+from repro.net.link import Link
+from repro.net.packet import Packet
+from repro.sim.engine import Simulator
+from repro.sim.errors import ConfigurationError
+from repro.sim.trace import Counter
+from repro.switches.eps import ElectricalPacketSwitch
+from repro.switches.ocs import OpticalCircuitSwitch
+
+
+class SwitchingLogic:
+    """Owns the two fabrics and their shared egress links."""
+
+    def __init__(self, sim: Simulator, ocs: OpticalCircuitSwitch,
+                 eps: ElectricalPacketSwitch,
+                 downlinks: List[Link]) -> None:
+        if ocs.n_ports != eps.n_ports or ocs.n_ports != len(downlinks):
+            raise ConfigurationError(
+                f"port-count mismatch: ocs={ocs.n_ports} eps={eps.n_ports} "
+                f"downlinks={len(downlinks)}")
+        self.sim = sim
+        self.ocs = ocs
+        self.eps = eps
+        self.downlinks = downlinks
+        self.configs_applied = Counter("switching.configs")
+        for port, link in enumerate(downlinks):
+            ocs.connect_output(port, link.send)
+            eps.connect_output(port, link.send)
+
+    @property
+    def n_ports(self) -> int:
+        """Switch radix."""
+        return self.ocs.n_ports
+
+    # -- control plane -------------------------------------------------------
+
+    def configure(self, config: CircuitConfig) -> int:
+        """Apply a circuit configuration; returns the OCS-ready time."""
+        self.configs_applied.add(1)
+        return self.ocs.configure(config.matching)
+
+    # -- data plane -----------------------------------------------------------
+
+    def send_ocs(self, packet: Packet) -> bool:
+        """Inject a packet into the optical fabric."""
+        return self.ocs.receive(packet)
+
+    def send_eps(self, packet: Packet) -> bool:
+        """Inject a packet into the electrical fabric."""
+        return self.eps.receive(packet)
+
+
+__all__ = ["SwitchingLogic"]

@@ -1,0 +1,43 @@
+"""Experiment implementations, one module per paper artifact.
+
+Each experiment returns an :class:`~repro.experiments.base.ExperimentReport`
+holding the same rows/series the paper's figure or claim carries.  The
+``benchmarks/`` tree and the ``repro`` CLI both call these functions, so
+numbers in EXPERIMENTS.md, bench output and ad hoc runs always agree.
+
+========  ==========================================================
+E1        Figure 1 — buffering requirement vs switching time
+E2        §2 — scheduler loop latency, software vs hardware
+E3        §1/§2 — utilisation vs scheduling period
+E4        §2 — VOIP latency/jitter under slow vs fast scheduling
+E5        §3 — scheduling-algorithm study on the cell fabric
+E6        §1 — OCS offload fraction vs demand skew
+E7        §2 — schedule-computation scalability with port count
+E8        §2 — sensitivity to host–switch clock skew
+========  ==========================================================
+"""
+
+from repro.experiments.base import ExperimentReport
+from repro.experiments.e1_buffering import run_e1
+from repro.experiments.e2_latency import run_e2
+from repro.experiments.e3_utilization import run_e3
+from repro.experiments.e4_jitter import run_e4
+from repro.experiments.e5_algorithms import run_e5
+from repro.experiments.e6_offload import run_e6
+from repro.experiments.e7_scalability import run_e7
+from repro.experiments.e8_sync import run_e8
+
+EXPERIMENTS = {
+    "e1": run_e1,
+    "e2": run_e2,
+    "e3": run_e3,
+    "e4": run_e4,
+    "e5": run_e5,
+    "e6": run_e6,
+    "e7": run_e7,
+    "e8": run_e8,
+}
+
+__all__ = ["EXPERIMENTS", "ExperimentReport"] + [
+    f"run_e{i}" for i in range(1, 9)
+]

@@ -1,0 +1,46 @@
+"""Shared experiment-report type."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+
+@dataclass
+class ExperimentReport:
+    """One experiment's output: printable tables plus raw data.
+
+    Attributes
+    ----------
+    experiment_id:
+        "e1".."e8".
+    title:
+        Which paper artifact this reproduces.
+    tables:
+        Rendered ASCII tables (what the bench prints).
+    data:
+        Raw series keyed by name, for tests and EXPERIMENTS.md
+        assertions (each value is whatever the experiment found
+        natural: lists, dicts, floats).
+    expectations:
+        Human-readable statements of the paper-shape checks this run
+        satisfied (filled by the experiment itself after verifying).
+    """
+
+    experiment_id: str
+    title: str
+    tables: List[str] = field(default_factory=list)
+    data: Dict[str, Any] = field(default_factory=dict)
+    expectations: List[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        """Full printable report."""
+        parts = [f"== {self.experiment_id.upper()}: {self.title} =="]
+        parts.extend(self.tables)
+        if self.expectations:
+            parts.append("Checks:")
+            parts.extend(f"  [ok] {line}" for line in self.expectations)
+        return "\n\n".join(parts)
+
+
+__all__ = ["ExperimentReport"]

@@ -1,0 +1,169 @@
+"""E1 — Figure 1: buffering memory requirement vs switching time.
+
+Two parts:
+
+1. **Analytic curve** at the paper's operating point (64 ports ×
+   10 Gbps), switching time swept 10 ns → 10 ms, with both a hardware
+   and a software scheduler latency added on top.  The paper's claims
+   to verify: ~gigabytes at 1 ms, ~kilobytes at nanoseconds, and the
+   host-buffering/switch-buffering regime split where the requirement
+   crosses ToR SRAM capacity.
+2. **Simulated confirmation** on a smaller switch (packet-level runs
+   are O(packets); 8 ports keeps the bench snappy): peak VOQ occupancy
+   measured by the framework across three switching times, showing the
+   same proportionality.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis.buffering import BufferingModel, format_bytes
+from repro.analysis.tables import render_table
+from repro.core.config import FrameworkConfig
+from repro.core.framework import HybridSwitchFramework
+from repro.experiments.base import ExperimentReport
+from repro.hwmodel.presets import make_timing
+from repro.sim.time import (
+    GIGABIT,
+    MICROSECONDS,
+    MILLISECONDS,
+    NANOSECONDS,
+    format_time,
+)
+from repro.traffic.patterns import HotspotDestination
+from repro.traffic.sources import OnOffSource
+
+#: Figure 1's x-axis sample points.
+SWITCHING_TIMES_PS = (
+    1 * NANOSECONDS,
+    10 * NANOSECONDS,
+    100 * NANOSECONDS,
+    1 * MICROSECONDS,
+    10 * MICROSECONDS,
+    100 * MICROSECONDS,
+    1 * MILLISECONDS,
+    10 * MILLISECONDS,
+)
+
+
+def _analytic_table(report: ExperimentReport) -> None:
+    model = BufferingModel(n_ports=64, port_rate_bps=10 * GIGABIT)
+    hardware_latency = make_timing("netfpga_sume").total_ps("islip", 64)
+    software_latency = make_timing("cpu_helios").total_ps("hotspot", 64)
+    rows: List[List[str]] = []
+    ideal_points = []
+    hw_points = []
+    sw_points = []
+    for switching_ps in SWITCHING_TIMES_PS:
+        ideal = model.point(switching_ps, 0)
+        hw = model.point(switching_ps, hardware_latency)
+        sw = model.point(switching_ps, software_latency)
+        ideal_points.append(ideal)
+        hw_points.append(hw)
+        sw_points.append(sw)
+        rows.append([
+            format_time(switching_ps),
+            format_bytes(ideal.total_bytes),
+            format_bytes(hw.total_bytes),
+            format_bytes(sw.total_bytes),
+            ideal.regime,
+        ])
+    report.tables.append(render_table(
+        ["switching time", "buffer (ideal sched)", "+hw sched latency",
+         "+sw sched latency", "regime (ideal)"],
+        rows,
+        title="Figure 1 (analytic): 64 ports x 10 Gbps, total buffering "
+              "over a worst-case service round"))
+    report.data["analytic_ideal_total_bytes"] = [
+        p.total_bytes for p in ideal_points]
+    report.data["analytic_hw_total_bytes"] = [
+        p.total_bytes for p in hw_points]
+    report.data["analytic_sw_total_bytes"] = [
+        p.total_bytes for p in sw_points]
+    report.data["switching_times_ps"] = list(SWITCHING_TIMES_PS)
+    report.data["regime_boundary_ps"] = model.regime_boundary_ps(0)
+    # Paper-shape checks.
+    ms_point = model.point(1 * MILLISECONDS, 0)
+    ns_point = model.point(1 * NANOSECONDS, 0)
+    if ms_point.total_bytes >= 1_000_000_000:
+        report.expectations.append(
+            f"1ms switching needs {format_bytes(ms_point.total_bytes)} "
+            "(paper: 'approximately gigabytes')")
+    if ns_point.total_bytes <= 100_000:
+        report.expectations.append(
+            f"1ns switching needs {format_bytes(ns_point.total_bytes)} "
+            "(paper: 'only kilobytes')")
+    if not ms_point.fits_in_tor and ns_point.fits_in_tor:
+        report.expectations.append(
+            "regime split reproduced: ms -> host buffering, "
+            "ns -> switch buffering")
+    sw_floor = sw_points[0].total_bytes
+    if sw_floor > 1_000_000_000:
+        report.expectations.append(
+            f"with a software scheduler even a 1ns optical switch needs "
+            f"{format_bytes(sw_floor)} — the scheduler, not the optics, "
+            "sets the requirement (the paper's motivation)")
+
+
+def _simulated_table(report: ExperimentReport, quick: bool) -> None:
+    switching_times = (
+        (1 * MICROSECONDS, 10 * MICROSECONDS)
+        if quick else
+        (1 * MICROSECONDS, 10 * MICROSECONDS, 100 * MICROSECONDS))
+    duration = 5 * MILLISECONDS if quick else 20 * MILLISECONDS
+    rows = []
+    peaks = []
+    for switching_ps in switching_times:
+        epoch_ps = max(10 * switching_ps, 40 * MICROSECONDS)
+        config = FrameworkConfig(
+            n_ports=8,
+            switching_time_ps=switching_ps,
+            scheduler="hotspot",
+            timing_preset="netfpga_sume",
+            epoch_ps=epoch_ps,
+            default_slot_ps=epoch_ps,
+            seed=1,
+        )
+        fw = HybridSwitchFramework(config)
+        for host in fw.hosts:
+            OnOffSource(
+                fw.sim, host,
+                burst_rate_bps=config.port_rate_bps,
+                mean_on_ps=200 * MICROSECONDS,
+                mean_off_ps=300 * MICROSECONDS,
+                chooser=HotspotDestination(
+                    config.n_ports, host.host_id, skew=0.7,
+                    rng=fw.sim.streams.stream(f"dst{host.host_id}")),
+                rng=fw.sim.streams.stream(f"src{host.host_id}"))
+        result = fw.run(duration)
+        peaks.append(result.switch_peak_buffer_bytes)
+        rows.append([
+            format_time(switching_ps),
+            format_bytes(result.switch_peak_buffer_bytes),
+            f"{result.utilisation():.3f}",
+            str(result.total_drops),
+        ])
+    report.tables.append(render_table(
+        ["switching time", "peak switch buffer", "utilisation", "drops"],
+        rows,
+        title="Figure 1 (simulated): 8 ports x 10 Gbps, peak VOQ bytes"))
+    report.data["simulated_peak_bytes"] = peaks
+    if peaks == sorted(peaks):
+        report.expectations.append(
+            "simulated peak buffering grows monotonically with "
+            "switching time")
+
+
+def run_e1(quick: bool = False) -> ExperimentReport:
+    """Reproduce Figure 1 (see module docstring)."""
+    report = ExperimentReport(
+        experiment_id="e1",
+        title="Figure 1 — buffering requirement vs optical switching time",
+    )
+    _analytic_table(report)
+    _simulated_table(report, quick)
+    return report
+
+
+__all__ = ["run_e1", "SWITCHING_TIMES_PS"]

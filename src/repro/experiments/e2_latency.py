@@ -1,0 +1,122 @@
+"""E2 — scheduling-loop latency: software vs hardware.
+
+§2's core quantitative claim: "Software based schedulers used in hybrid
+switching architectures operate in the order of milliseconds", while
+hardware schedulers "can match the speeds of fast optical switches".
+
+We decompose one scheduling-loop pass into the paper's own latency
+components (demand estimation, schedule computation, IO, propagation,
+synchronisation) for each timing preset, using *measured* per-algorithm
+work (the scheduler actually runs on a representative demand matrix, so
+iteration counts are real, not worst-case).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.analysis.tables import render_table
+from repro.experiments.base import ExperimentReport
+from repro.hwmodel.presets import make_timing
+from repro.schedulers.registry import create_scheduler
+from repro.sim.time import MICROSECONDS, MILLISECONDS, format_time
+
+#: (registry name, constructor kwargs) — algorithms priced in the table.
+#: Solstice gets a realistic reconfiguration cost so its schedule
+#: length (and hence priced work) reflects a deployable configuration.
+ALGORITHMS = (
+    ("tdma", {}),
+    ("islip", {"iterations": 4}),
+    ("pim", {"iterations": 4}),
+    ("greedy-mwm", {}),
+    ("mwm", {}),
+    ("hotspot", {}),
+    ("solstice", {"reconfig_ps": 20 * MICROSECONDS}),
+)
+
+PRESETS = ("netfpga_sume", "asic_1ghz", "cpu_helios", "cpu_cthrough")
+
+
+def _representative_demand(n_ports: int, seed: int = 7) -> np.ndarray:
+    """A skewed, fully loaded demand matrix (bytes)."""
+    rng = np.random.default_rng(seed)
+    demand = rng.pareto(1.5, size=(n_ports, n_ports)) * 100_000
+    np.fill_diagonal(demand, 0.0)
+    return demand
+
+
+def run_e2(quick: bool = False) -> ExperimentReport:
+    """Loop-latency decomposition per preset/algorithm/port-count."""
+    report = ExperimentReport(
+        experiment_id="e2",
+        title="scheduling-loop latency: software (ms) vs hardware (ns-us)",
+    )
+    port_counts = (16, 64) if quick else (16, 64, 128)
+    totals: Dict[str, List[int]] = {preset: [] for preset in PRESETS}
+    for n_ports in port_counts:
+        demand = _representative_demand(n_ports)
+        rows = []
+        for algo_name, kwargs in ALGORITHMS:
+            scheduler = create_scheduler(algo_name, n_ports=n_ports,
+                                         **kwargs)
+            scheduler.compute(demand)
+            stats = scheduler.last_stats
+            cells = [algo_name]
+            for preset in PRESETS:
+                timing = make_timing(preset)
+                total = timing.total_ps(algo_name, n_ports, stats)
+                totals[preset].append(total)
+                cells.append(format_time(total))
+            rows.append(cells)
+        report.tables.append(render_table(
+            ["algorithm"] + list(PRESETS), rows,
+            title=f"loop latency, {n_ports} ports"))
+    # Component breakdown at the paper's 64-port point, iSLIP.
+    scheduler = create_scheduler("islip", n_ports=64, iterations=4)
+    scheduler.compute(_representative_demand(64))
+    rows = []
+    for preset in PRESETS:
+        timing = make_timing(preset)
+        breakdown = timing.breakdown("islip", 64, scheduler.last_stats)
+        rows.append([preset] + [
+            format_time(v) for v in breakdown.as_dict().values()])
+    report.tables.append(render_table(
+        ["preset", "demand est", "compute", "io", "propagation",
+         "sync", "total"],
+        rows,
+        title="component breakdown, iSLIP-4, 64 ports"))
+    report.data["totals_ps"] = totals
+    # Deployment-representative points: the published software systems
+    # ran MWM-class policies on 64-port fabrics.
+    hotspot_64_stats = None
+    scheduler = create_scheduler("hotspot", n_ports=64)
+    scheduler.compute(_representative_demand(64))
+    hotspot_64_stats = scheduler.last_stats
+    sw_helios = make_timing("cpu_helios").total_ps(
+        "hotspot", 64, hotspot_64_stats)
+    sw_cthrough = make_timing("cpu_cthrough").total_ps(
+        "hotspot", 64, hotspot_64_stats)
+    islip_scheduler = create_scheduler("islip", n_ports=64, iterations=4)
+    islip_scheduler.compute(_representative_demand(64))
+    hw_fpga = make_timing("netfpga_sume").total_ps(
+        "islip", 64, islip_scheduler.last_stats)
+    report.data["sw_helios_ps"] = sw_helios
+    report.data["sw_cthrough_ps"] = sw_cthrough
+    report.data["hw_fpga_ps"] = hw_fpga
+    if min(sw_helios, sw_cthrough) >= MILLISECONDS / 2:
+        report.expectations.append(
+            f"representative software loops are "
+            f"{format_time(sw_helios)} (Helios-class) and "
+            f"{format_time(sw_cthrough)} (c-Through-class) — 'order of "
+            "milliseconds' (paper §2)")
+    if hw_fpga <= 10 * MICROSECONDS:
+        report.expectations.append(
+            f"the FPGA loop is {format_time(hw_fpga)} — "
+            f"{min(sw_helios, sw_cthrough) / hw_fpga:.0f}x faster, "
+            "3+ orders of magnitude")
+    return report
+
+
+__all__ = ["run_e2", "ALGORITHMS", "PRESETS"]

@@ -1,0 +1,152 @@
+"""E4 — latency and jitter of latency-sensitive traffic.
+
+§2: host buffering under slow scheduling "can increase the overall
+traffic latency and jitter of widely used applications (i.e., VOIP,
+multiuser gaming etc.) and decrease the user quality of experience."
+
+Setup: one CBR stream (small periodic packets, elevated priority) rides
+the switch alongside bursty background traffic, under the two regimes
+of Figure 1:
+
+* **Fast scheduling** — switch-buffered, nanosecond-class OCS, FPGA
+  timing: the stream flows through VOQs that drain every few
+  microseconds.
+* **Slow scheduling** — host-buffered, the CBR packets wait at their
+  host for a millisecond-scale grant epoch computed by a software-class
+  scheduler.
+
+Measured: p50/p99 latency and RFC 3550 interarrival jitter of the CBR
+stream.  The CBR period is scaled down (packets every 200 µs rather
+than VOIP's 20 ms) so a 40 ms simulation collects hundreds of samples;
+scaling the period does not change who delays the packets or by how
+much — that is set by the scheduling epoch, not the stream.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.analysis.tables import render_table
+from repro.core.config import FrameworkConfig
+from repro.core.framework import HybridSwitchFramework
+from repro.experiments.base import ExperimentReport
+from repro.net.host import HostBufferMode
+from repro.sim.time import (
+    MICROSECONDS,
+    MILLISECONDS,
+    NANOSECONDS,
+    format_time,
+)
+from repro.traffic.patterns import UniformDestination
+from repro.traffic.sources import CbrSource, OnOffSource
+
+N_PORTS = 8
+CBR_PERIOD_PS = 200 * MICROSECONDS
+CBR_BYTES = 200
+
+
+def _attach_traffic(fw: HybridSwitchFramework) -> int:
+    """CBR host0 -> host1 plus background; returns the CBR flow id."""
+    cbr = CbrSource(fw.sim, fw.hosts[0], dst=1,
+                    packet_bytes=CBR_BYTES, period_ps=CBR_PERIOD_PS)
+    for host in fw.hosts:
+        OnOffSource(
+            fw.sim, host,
+            burst_rate_bps=0.5 * fw.config.port_rate_bps,
+            mean_on_ps=100 * MICROSECONDS,
+            mean_off_ps=200 * MICROSECONDS,
+            chooser=UniformDestination(
+                N_PORTS, host.host_id,
+                fw.sim.streams.stream(f"dst{host.host_id}")),
+            rng=fw.sim.streams.stream(f"src{host.host_id}"))
+    return cbr.flow_id
+
+
+def _fast_config() -> FrameworkConfig:
+    return FrameworkConfig(
+        n_ports=N_PORTS,
+        switching_time_ps=100 * NANOSECONDS,
+        scheduler="islip",
+        scheduler_kwargs={"iterations": 2},
+        timing_preset="netfpga_sume",
+        default_slot_ps=5 * MICROSECONDS,
+        buffer_mode=HostBufferMode.SWITCH_BUFFERED,
+        seed=11,
+    )
+
+
+def _slow_config() -> FrameworkConfig:
+    return FrameworkConfig(
+        n_ports=N_PORTS,
+        switching_time_ps=100 * MICROSECONDS,
+        scheduler="hotspot",
+        timing_preset="cpu_cthrough",
+        epoch_ps=2 * MILLISECONDS,
+        default_slot_ps=MILLISECONDS,
+        buffer_mode=HostBufferMode.HOST_BUFFERED,
+        seed=11,
+    )
+
+
+def _measure(config: FrameworkConfig,
+             duration_ps: int) -> Tuple[float, float, float, int]:
+    fw = HybridSwitchFramework(config)
+    flow_id = _attach_traffic(fw)
+    result = fw.run(duration_ps)
+    stream = result.flow_packets(flow_id)
+    latencies = [p.latency_ps for p in stream if p.latency_ps is not None]
+    if latencies:
+        latencies.sort()
+        p50 = latencies[len(latencies) // 2]
+        p99 = latencies[min(len(latencies) - 1,
+                            round(0.99 * (len(latencies) - 1)))]
+    else:
+        p50 = p99 = 0
+    jitter = result.flow_jitter_ps(flow_id, CBR_PERIOD_PS)
+    return float(p50), float(p99), jitter, len(stream)
+
+
+def run_e4(quick: bool = False) -> ExperimentReport:
+    """VOIP-class latency/jitter, fast vs slow scheduling."""
+    report = ExperimentReport(
+        experiment_id="e4",
+        title="latency & jitter of a VOIP-class stream, "
+              "slow vs fast scheduling",
+    )
+    duration = 10 * MILLISECONDS if quick else 40 * MILLISECONDS
+    fast_p50, fast_p99, fast_jitter, fast_n = _measure(
+        _fast_config(), duration)
+    slow_p50, slow_p99, slow_jitter, slow_n = _measure(
+        _slow_config(), duration)
+    report.tables.append(render_table(
+        ["regime", "delivered", "p50 latency", "p99 latency",
+         "interarrival jitter"],
+        [
+            ["fast (switch-buffered, ns OCS, FPGA sched)",
+             str(fast_n), format_time(round(fast_p50)),
+             format_time(round(fast_p99)),
+             format_time(round(fast_jitter))],
+            ["slow (host-buffered, ms epochs, CPU sched)",
+             str(slow_n), format_time(round(slow_p50)),
+             format_time(round(slow_p99)),
+             format_time(round(slow_jitter))],
+        ],
+        title=f"CBR {CBR_BYTES}B every {format_time(CBR_PERIOD_PS)}, "
+              f"host0 -> host1, {N_PORTS} ports"))
+    report.data["fast"] = {"p50_ps": fast_p50, "p99_ps": fast_p99,
+                           "jitter_ps": fast_jitter, "delivered": fast_n}
+    report.data["slow"] = {"p50_ps": slow_p50, "p99_ps": slow_p99,
+                           "jitter_ps": slow_jitter, "delivered": slow_n}
+    if slow_p99 > 10 * fast_p99 and fast_n > 0 and slow_n > 0:
+        report.expectations.append(
+            f"p99 latency degrades {slow_p99 / max(fast_p99, 1):.0f}x "
+            "under slow scheduling (paper: 'increase the overall "
+            "traffic latency')")
+    if slow_jitter > 10 * max(fast_jitter, 1):
+        report.expectations.append(
+            f"jitter degrades {slow_jitter / max(fast_jitter, 1):.0f}x "
+            "under slow scheduling (paper: '... and jitter')")
+    return report
+
+
+__all__ = ["run_e4"]

@@ -1,0 +1,211 @@
+"""E6 — OCS offload fraction vs demand skew.
+
+§1: the OCS "is used to serve long bursts of traffic and the EPS is
+used to serve the remaining traffic and short bursts".  How much of the
+bytes the circuits actually capture depends on demand skew and on the
+scheduler; this experiment quantifies it two ways:
+
+* **Decision analysis** — feed synthetic demand matrices of controlled
+  skew directly to Solstice and hotspot schedulers and measure what
+  fraction of demanded bytes their plans serve with circuits vs divert
+  to the EPS residue.  Also ablates the demand estimator (instant vs
+  EWMA vs sketch) on the same matrices.
+* **End-to-end** — run the framework with hotspot traffic of swept
+  skew and report the delivered-byte OCS fraction.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.analysis.tables import render_table
+from repro.core.config import FrameworkConfig
+from repro.core.framework import HybridSwitchFramework
+from repro.experiments.base import ExperimentReport
+from repro.schedulers.demand import (
+    EwmaEstimator,
+    InstantEstimator,
+    SketchEstimator,
+)
+from repro.schedulers.eclipse import EclipseScheduler
+from repro.schedulers.hotspot import HotspotScheduler
+from repro.schedulers.solstice import SolsticeScheduler
+from repro.sim.time import GIGABIT, MICROSECONDS, MILLISECONDS
+from repro.traffic.patterns import HotspotDestination
+from repro.traffic.sources import OnOffSource
+
+N_PORTS = 8
+
+
+def skewed_demand(n_ports: int, skew: float, total_bytes: float,
+                  seed: int = 0) -> np.ndarray:
+    """Demand with ``skew`` of each row on one hot partner, rest uniform."""
+    rng = np.random.default_rng(seed)
+    demand = np.zeros((n_ports, n_ports))
+    per_row = total_bytes / n_ports
+    for i in range(n_ports):
+        hot = (i + 1) % n_ports
+        demand[i, hot] += skew * per_row
+        cold = (1.0 - skew) * per_row / max(1, n_ports - 2)
+        for j in range(n_ports):
+            if j not in (i, hot):
+                demand[i, j] += cold * (0.5 + rng.random())
+    np.fill_diagonal(demand, 0.0)
+    return demand
+
+
+def _served_fraction(scheduler, demand: np.ndarray) -> float:
+    """Bytes the plan serves on circuits / total demanded bytes."""
+    result = scheduler.compute(demand)
+    total = float(demand.sum())
+    if total == 0:
+        return 1.0
+    if result.eps_residue is None:
+        served = demand[result.served_matrix()].sum()
+        return float(served) / total
+    return float((demand - np.minimum(result.eps_residue, demand)).sum()
+                 ) / total
+
+
+def _decision_table(report: ExperimentReport, skews: List[float]) -> None:
+    rows = []
+    sol_series = []
+    hot_series = []
+    ecl_series = []
+    for skew in skews:
+        demand = skewed_demand(N_PORTS, skew, total_bytes=8e6, seed=4)
+        solstice = SolsticeScheduler(
+            N_PORTS, link_rate_bps=10 * GIGABIT,
+            reconfig_ps=20 * MICROSECONDS, min_slice_factor=1.0)
+        hotspot = HotspotScheduler(N_PORTS, hold_ps=1 * MILLISECONDS)
+        eclipse = EclipseScheduler(
+            N_PORTS, link_rate_bps=10 * GIGABIT,
+            reconfig_ps=20 * MICROSECONDS, max_matchings=8)
+        sol_frac = _served_fraction(solstice, demand)
+        hot_frac = _served_fraction(hotspot, demand)
+        ecl_frac = _served_fraction(eclipse, demand)
+        sol_series.append(sol_frac)
+        hot_series.append(hot_frac)
+        ecl_series.append(ecl_frac)
+        rows.append([f"{skew:.2f}", f"{sol_frac:.3f}",
+                     f"{ecl_frac:.3f}", f"{hot_frac:.3f}"])
+    report.tables.append(render_table(
+        ["skew", "solstice OCS fraction", "eclipse OCS fraction",
+         "hotspot OCS fraction"],
+        rows, title="decision analysis: circuit-served byte fraction"))
+    report.data["solstice_fraction"] = sol_series
+    report.data["hotspot_fraction"] = hot_series
+    report.data["eclipse_fraction"] = ecl_series
+    if hot_series[-1] > hot_series[0]:
+        report.expectations.append(
+            "hotspot circuit fraction grows with skew "
+            f"({hot_series[0]:.3f} -> {hot_series[-1]:.3f}) — circuits "
+            "capture the 'long bursts'")
+    if all(s >= h - 1e-9 for s, h in zip(sol_series, hot_series)):
+        report.expectations.append(
+            "solstice (multi-matching) serves >= hotspot "
+            "(single-matching) at every skew")
+
+
+def _estimator_table(report: ExperimentReport) -> None:
+    """Ablation: estimator error on a bursty observation stream."""
+    rng = np.random.default_rng(9)
+    true_demand = skewed_demand(N_PORTS, 0.7, total_bytes=4e6, seed=4)
+    estimators = {
+        "instant": InstantEstimator(N_PORTS),
+        "ewma(0.25)": EwmaEstimator(N_PORTS, alpha=0.25),
+        "sketch(w=16)": SketchEstimator(N_PORTS, width=16, depth=4),
+    }
+    # Feed each estimator the same noisy packet stream, with periodic
+    # snapshots (the EWMA filter is snapshot-driven; 10 epochs of 200
+    # packets each mimics the scheduling cadence).
+    flat = true_demand.ravel() / true_demand.sum()
+    zeros = np.zeros((N_PORTS, N_PORTS))
+    for packet_index in range(2000):
+        index = rng.choice(len(flat), p=flat)
+        src, dst = divmod(int(index), N_PORTS)
+        for estimator in estimators.values():
+            estimator.observe(src, dst, 1500)
+        if (packet_index + 1) % 200 == 0:
+            estimators["ewma(0.25)"].snapshot(zeros)
+    rows = []
+    errors = {}
+    offered = true_demand / true_demand.sum()
+    for name, estimator in estimators.items():
+        estimate = estimator.estimate()
+        total = estimate.sum()
+        normalised = estimate / total if total > 0 else estimate
+        err = float(np.abs(normalised - offered).sum()) / 2.0
+        errors[name] = err
+        rows.append([name, f"{err:.4f}"])
+    report.tables.append(render_table(
+        ["estimator", "L1 share error"],
+        rows, title="estimator ablation (2000 packets, skew 0.7)"))
+    report.data["estimator_errors"] = errors
+    if errors["instant"] <= errors["sketch(w=16)"] + 1e-9:
+        report.expectations.append(
+            "exact counters estimate no worse than a collision-prone "
+            "sketch (hardware cost trade-off quantified)")
+
+
+def _end_to_end_table(report: ExperimentReport, skews: List[float],
+                      duration_ps: int) -> None:
+    rows = []
+    fractions = []
+    for skew in skews:
+        config = FrameworkConfig(
+            n_ports=N_PORTS,
+            switching_time_ps=20 * MICROSECONDS,
+            scheduler="hotspot",
+            scheduler_kwargs={"threshold_bytes": 20_000.0},
+            timing_preset="netfpga_sume",
+            epoch_ps=200 * MICROSECONDS,
+            default_slot_ps=180 * MICROSECONDS,
+            eps_rate_bps=2.5 * GIGABIT,
+            seed=8,
+        )
+        fw = HybridSwitchFramework(config)
+        for host in fw.hosts:
+            OnOffSource(
+                fw.sim, host,
+                burst_rate_bps=0.6 * config.port_rate_bps,
+                mean_on_ps=200 * MICROSECONDS,
+                mean_off_ps=250 * MICROSECONDS,
+                chooser=HotspotDestination(
+                    N_PORTS, host.host_id, skew=skew,
+                    rng=fw.sim.streams.stream(f"dst{host.host_id}")),
+                rng=fw.sim.streams.stream(f"src{host.host_id}"))
+        result = fw.run(duration_ps)
+        fractions.append(result.ocs_fraction)
+        rows.append([f"{skew:.2f}", f"{result.ocs_fraction:.3f}",
+                     f"{result.utilisation():.3f}"])
+    report.tables.append(render_table(
+        ["traffic skew", "OCS byte fraction", "utilisation"],
+        rows,
+        title="end-to-end: hotspot traffic through the full framework"))
+    report.data["e2e_ocs_fraction"] = fractions
+    if fractions[-1] > fractions[0]:
+        report.expectations.append(
+            "end-to-end OCS byte share rises with traffic skew "
+            f"({fractions[0]:.3f} -> {fractions[-1]:.3f})")
+
+
+def run_e6(quick: bool = False) -> ExperimentReport:
+    """Offload fraction vs skew; estimator ablation."""
+    report = ExperimentReport(
+        experiment_id="e6",
+        title="OCS offload fraction vs demand skew (hybrid division of "
+              "labour)",
+    )
+    skews = [0.0, 0.5, 0.9] if quick else [0.0, 0.25, 0.5, 0.75, 0.9]
+    _decision_table(report, skews)
+    _estimator_table(report)
+    duration = 4 * MILLISECONDS if quick else 12 * MILLISECONDS
+    _end_to_end_table(report, skews if not quick else [0.0, 0.9],
+                      duration)
+    return report
+
+
+__all__ = ["run_e6", "skewed_demand"]

@@ -1,0 +1,110 @@
+"""E7 — schedule-computation scalability with port count.
+
+§2 claims hardware schedulers "can match the speeds of fast optical
+switches".  That must survive scaling: the paper's framework targets
+"tens of processing elements" and commercial OCS port counts reach the
+hundreds.  Two series:
+
+* **Hardware-model latency** — the FPGA pipeline model's compute stage
+  per algorithm, n = 8..256.  The shape to verify: iSLIP-class
+  algorithms grow O(log n) per iteration and stay sub-microsecond at
+  256 ports on a 200 MHz fabric, while exact MWM's O(n²)-cycle systolic
+  model leaves the nanosecond class around n = 64 — quantifying *why*
+  real hardware schedulers are iterative matchers.
+* **Implementation wall-clock** — how long our Python implementations
+  actually take (sanity series: polynomial growth, MWM ≫ iSLIP).  These
+  numbers say nothing about hardware; they keep the model honest about
+  asymptotics.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List
+
+import numpy as np
+
+from repro.analysis.tables import render_table
+from repro.experiments.base import ExperimentReport
+from repro.hwmodel.presets import make_timing
+from repro.schedulers.registry import create_scheduler
+from repro.sim.time import MICROSECONDS, format_time
+
+ALGORITHMS = ("tdma", "wfa", "islip", "pim", "greedy-mwm", "mwm")
+
+
+def _demand(n_ports: int, seed: int = 3) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    demand = rng.exponential(50_000, size=(n_ports, n_ports))
+    np.fill_diagonal(demand, 0.0)
+    return demand
+
+
+def run_e7(quick: bool = False) -> ExperimentReport:
+    """Compute-stage latency and wall-clock vs port count."""
+    report = ExperimentReport(
+        experiment_id="e7",
+        title="schedule-computation scalability with port count",
+    )
+    port_counts = (8, 32, 64) if quick else (8, 16, 32, 64, 128, 256)
+    # Hardware-model series.
+    model_rows: List[List[str]] = []
+    model_data: Dict[str, List[int]] = {a: [] for a in ALGORITHMS}
+    timing = make_timing("netfpga_sume")
+    for n in port_counts:
+        demand = _demand(n)
+        row = [str(n)]
+        for algo in ALGORITHMS:
+            scheduler = create_scheduler(algo, n_ports=n)
+            scheduler.compute(demand)
+            breakdown = timing.breakdown(algo, n, scheduler.last_stats)
+            model_data[algo].append(breakdown.computation_ps)
+            row.append(format_time(breakdown.computation_ps))
+        model_rows.append(row)
+    report.tables.append(render_table(
+        ["ports"] + list(ALGORITHMS), model_rows,
+        title="hardware-model compute latency (netfpga_sume, 200 MHz)"))
+    report.data["model_compute_ps"] = model_data
+    islip_256 = model_data["islip"][-1]
+    if islip_256 <= 1 * MICROSECONDS:
+        report.expectations.append(
+            f"iSLIP compute stays at {format_time(islip_256)} at "
+            f"{port_counts[-1]} ports — hardware keeps pace with fast "
+            "optics (paper §2)")
+    if model_data["mwm"][-1] > model_data["islip"][-1]:
+        report.expectations.append(
+            "exact MWM scales out of the fast class while iterative "
+            "matchers stay in it — why real hardware schedulers are "
+            "iSLIP-shaped")
+    # Wall-clock sanity series.
+    wall_rows: List[List[str]] = []
+    wall_data: Dict[str, List[float]] = {a: [] for a in ALGORITHMS}
+    repeats = 3 if quick else 5
+    for n in port_counts:
+        demand = _demand(n)
+        row = [str(n)]
+        for algo in ALGORITHMS:
+            scheduler = create_scheduler(algo, n_ports=n)
+            scheduler.compute(demand)  # warm caches/pointers
+            start = time.perf_counter()
+            for __ in range(repeats):
+                scheduler.compute(demand)
+            elapsed_us = (time.perf_counter() - start) * 1e6 / repeats
+            wall_data[algo].append(elapsed_us)
+            row.append(f"{elapsed_us:.1f}us")
+        wall_rows.append(row)
+    report.tables.append(render_table(
+        ["ports"] + list(ALGORITHMS), wall_rows,
+        title="Python implementation wall-clock (sanity series, not "
+              "hardware)"))
+    report.data["wall_us"] = wall_data
+    if wall_data["islip"][-1] < wall_data["mwm"][-1] * 50:
+        # Only assert the weak direction: MWM must not be cheaper.
+        pass
+    if wall_data["mwm"][-1] >= wall_data["tdma"][-1]:
+        report.expectations.append(
+            "wall-clock ordering matches asymptotics (MWM >= TDMA)")
+    return report
+
+
+__all__ = ["run_e7", "ALGORITHMS"]

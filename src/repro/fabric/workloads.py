@@ -1,0 +1,96 @@
+"""Admissible cell-arrival rate matrices for the fabric.
+
+Each function returns an n×n matrix of per-slot arrival probabilities
+``lambda[i, j]`` with zero diagonal, scaled so that every row and column
+sums to at most ``load`` (≤ 1 keeps the workload admissible: no input or
+output is oversubscribed, so a perfect scheduler could serve it all).
+
+The four standard test patterns of the crossbar literature:
+
+* **uniform** — spread evenly; easiest, every sensible scheduler
+  reaches high throughput.
+* **diagonal** — 2/3 of each input's load to one output, 1/3 to the
+  next; the classic adversarial pattern where iSLIP-1 visibly trails
+  MWM.
+* **log-diagonal** — geometrically decaying off-diagonals; skewed but
+  less brutal than diagonal.
+* **hotspot** — fraction ``skew`` of each row concentrated on one
+  output, remainder uniform.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sim.errors import ConfigurationError
+
+
+def _validate(n_ports: int, load: float) -> None:
+    if n_ports < 2:
+        raise ConfigurationError("need >= 2 ports")
+    if not 0.0 < load <= 1.0:
+        raise ConfigurationError(f"load must be in (0, 1], got {load}")
+
+
+def uniform_rates(n_ports: int, load: float) -> np.ndarray:
+    """Evenly spread: lambda[i, j] = load / (n - 1) off-diagonal."""
+    _validate(n_ports, load)
+    rates = np.full((n_ports, n_ports), load / (n_ports - 1))
+    np.fill_diagonal(rates, 0.0)
+    return rates
+
+
+def diagonal_rates(n_ports: int, load: float) -> np.ndarray:
+    """Two-destination skew: 2/3 to (i+1), 1/3 to (i+2) (mod n)."""
+    _validate(n_ports, load)
+    rates = np.zeros((n_ports, n_ports))
+    for i in range(n_ports):
+        rates[i, (i + 1) % n_ports] = 2.0 * load / 3.0
+        rates[i, (i + 2) % n_ports] = load / 3.0
+    return rates
+
+
+def log_diagonal_rates(n_ports: int, load: float) -> np.ndarray:
+    """Geometric decay: lambda[i, (i+k) mod n] ∝ 2^{-k}, k = 1..n-1."""
+    _validate(n_ports, load)
+    weights = np.array([2.0 ** -k for k in range(1, n_ports)])
+    weights /= weights.sum()
+    rates = np.zeros((n_ports, n_ports))
+    for i in range(n_ports):
+        for k in range(1, n_ports):
+            rates[i, (i + k) % n_ports] = load * weights[k - 1]
+    return rates
+
+
+def hotspot_rates(n_ports: int, load: float,
+                  skew: float = 0.5) -> np.ndarray:
+    """``skew`` of each row to output (i+1), the rest uniform."""
+    _validate(n_ports, load)
+    if not 0.0 <= skew <= 1.0:
+        raise ConfigurationError(f"skew must be in [0, 1], got {skew}")
+    rates = uniform_rates(n_ports, load * (1.0 - skew))
+    for i in range(n_ports):
+        rates[i, (i + 1) % n_ports] += load * skew
+    return rates
+
+
+def permutation_rates(n_ports: int, load: float,
+                      shift: int = 1) -> np.ndarray:
+    """All of each input's load to one partner: the circuit-friendly
+    extreme (also the easiest possible case for any matcher)."""
+    _validate(n_ports, load)
+    if shift % n_ports == 0:
+        raise ConfigurationError("shift must not be a multiple of n")
+    rates = np.zeros((n_ports, n_ports))
+    for i in range(n_ports):
+        rates[i, (i + shift) % n_ports] = load
+    return rates
+
+
+__all__ = [
+    "uniform_rates",
+    "diagonal_rates",
+    "log_diagonal_rates",
+    "hotspot_rates",
+    "permutation_rates",
+]

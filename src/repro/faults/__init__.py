@@ -1,0 +1,31 @@
+"""Fault injection — the transients a testbed sees and a clean sim hides.
+
+§3: the hardware testbed "allows to detect and analyse transient
+effects that may not be visible under simulation environments".  We
+close that gap from the simulation side by injecting the transients
+deliberately:
+
+* :class:`~repro.faults.injectors.LinkFlapInjector` — a link PHY goes
+  dark for a window; frames offered meanwhile are lost.
+* :class:`~repro.faults.injectors.SchedulerStallInjector` — the
+  scheduling loop freezes (control-plane hiccup, software GC pause);
+  the fabric keeps running on the last grants.
+* :class:`~repro.faults.injectors.ConfigCorruptionInjector` — the OCS
+  applies a wrong matching once (bit-flip on the config bus); traffic
+  misdirects until the next epoch repairs it.
+
+Each injector arms itself on construction and records what it did, so
+experiments can correlate injected cause with observed effect.
+"""
+
+from repro.faults.injectors import (
+    ConfigCorruptionInjector,
+    LinkFlapInjector,
+    SchedulerStallInjector,
+)
+
+__all__ = [
+    "LinkFlapInjector",
+    "SchedulerStallInjector",
+    "ConfigCorruptionInjector",
+]

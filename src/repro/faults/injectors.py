@@ -1,0 +1,91 @@
+"""Fault injectors (see package docstring for the catalogue)."""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+from repro.core.scheduling import SchedulingLogic
+from repro.net.link import Link
+from repro.schedulers.matching import Matching
+from repro.sim.engine import Simulator
+from repro.sim.errors import ConfigurationError
+from repro.switches.ocs import OpticalCircuitSwitch
+
+
+class LinkFlapInjector:
+    """Takes a link down for ``duration_ps`` at each scheduled instant."""
+
+    def __init__(self, sim: Simulator, link: Link,
+                 flaps: List[Tuple[int, int]]) -> None:
+        """``flaps`` is a list of (start_ps, duration_ps) windows."""
+        self.sim = sim
+        self.link = link
+        self.executed: List[Tuple[int, int]] = []
+        for start_ps, duration_ps in flaps:
+            if duration_ps <= 0:
+                raise ConfigurationError("flap duration must be > 0")
+
+            def flap(start=start_ps, duration=duration_ps) -> None:
+                self.link.fail_until(self.sim.now + duration)
+                self.executed.append((start, duration))
+
+            sim.at(start_ps, flap, label=f"fault:flap:{link.name}")
+
+
+class SchedulerStallInjector:
+    """Freezes the scheduling loop for a window (control-plane pause).
+
+    Implemented through :meth:`SchedulingLogic.stall_until`: epochs that
+    would begin during the stall are deferred to its end.  Grants
+    already issued keep draining — exactly the behaviour of a fabric
+    whose controller stops responding.
+    """
+
+    def __init__(self, sim: Simulator, scheduling: SchedulingLogic,
+                 start_ps: int, duration_ps: int) -> None:
+        if duration_ps <= 0:
+            raise ConfigurationError("stall duration must be > 0")
+        self.sim = sim
+        self.scheduling = scheduling
+        self.start_ps = start_ps
+        self.duration_ps = duration_ps
+        self.fired = False
+
+        def stall() -> None:
+            self.scheduling.stall_until(self.sim.now + duration_ps)
+            self.fired = True
+
+        sim.at(start_ps, stall, label="fault:sched-stall")
+
+
+class ConfigCorruptionInjector:
+    """Applies one random (wrong) matching to the OCS at ``at_ps``.
+
+    Models a corrupted grant matrix reaching the switching logic: the
+    OCS obediently reconfigures, live traffic misdirects or goes dark,
+    and the next scheduling epoch repairs the damage.  The corrupted
+    matching is recorded for correlation.
+    """
+
+    def __init__(self, sim: Simulator, ocs: OpticalCircuitSwitch,
+                 at_ps: int, rng: Optional[random.Random] = None) -> None:
+        self.sim = sim
+        self.ocs = ocs
+        self.rng = rng or random.Random(0)
+        self.applied: Optional[Matching] = None
+
+        def corrupt() -> None:
+            outputs = list(range(ocs.n_ports))
+            self.rng.shuffle(outputs)
+            self.applied = Matching(outputs)
+            ocs.configure(self.applied)
+
+        sim.at(at_ps, corrupt, label="fault:ocs-corrupt")
+
+
+__all__ = [
+    "LinkFlapInjector",
+    "SchedulerStallInjector",
+    "ConfigCorruptionInjector",
+]

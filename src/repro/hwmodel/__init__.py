@@ -1,0 +1,38 @@
+"""Scheduler-implementation timing models.
+
+The paper's whole argument is about *where* the scheduling loop runs:
+
+* software on a host — "operate[s] in the order of milliseconds due to
+  their inherent latency (delays during demand estimation, schedule
+  calculation, Input/Output (IO) processing, propagation delay between
+  host and switch)" (§2);
+* hardware next to the switch — "quick demand estimation, fast schedule
+  computation and rapid communication of computed schedules" (§2).
+
+This package prices the same five loop components under both
+implementations, so any scheduler from :mod:`repro.schedulers` can be
+evaluated "as software" or "as hardware" without touching the algorithm:
+
+=====================  =====================================================
+demand estimation      counters-in-fabric vs polling hosts over the network
+computation            parallel pipelines vs sequential instructions
+IO                     on-chip wires vs kernel/PCIe crossings
+propagation            centimetres of board trace vs metres of fibre + stack
+synchronisation        none needed vs host–switch time-slot alignment slack
+=====================  =====================================================
+"""
+
+from repro.hwmodel.hardware import HardwareSchedulerTiming
+from repro.hwmodel.presets import TIMING_PRESETS, make_timing
+from repro.hwmodel.software import SoftwareSchedulerTiming
+from repro.hwmodel.timing import IdealTiming, LatencyBreakdown, SchedulerTiming
+
+__all__ = [
+    "SchedulerTiming",
+    "LatencyBreakdown",
+    "IdealTiming",
+    "HardwareSchedulerTiming",
+    "SoftwareSchedulerTiming",
+    "TIMING_PRESETS",
+    "make_timing",
+]

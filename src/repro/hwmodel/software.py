@@ -1,0 +1,105 @@
+"""Host-software timing model.
+
+Prices the scheduling loop as a process on a commodity server talking
+to the switch over the network — the Helios/c-Through deployment the
+paper contrasts itself with.  Component magnitudes follow the published
+systems (§2's citations) and standard host-networking numbers:
+
+* **Demand estimation** — poll every host's socket/queue occupancy over
+  TCP: one RTT plus per-host marshalling.  c-Through reports ~100 ms
+  epochs dominated by this; Helios measured "stability periods" in the
+  60–100 ms range.  Default: ``rtt + n * per_host``.
+* **Computation** — sequential instructions at ``ns_per_op`` (a few ns
+  per simple op on a 2010s Xeon after cache effects), with per-algorithm
+  operation counts (n³ for exact MWM via Hungarian, k·n² for iterative
+  matchers, decomposition terms × n² for BvN/Solstice).
+* **IO** — kernel socket + PCIe crossing to push the configuration out:
+  tens of microseconds.
+* **Propagation** — fibre to the switch plus switch-control-plane
+  ingestion: microseconds.
+* **Synchronisation** — the host-buffered protocol needs a guard band
+  so hosts, scheduler and OCS agree on slot edges; NTP-class sync gives
+  ~100 µs of slack that must be padded into every epoch (this is the
+  "tight synchronization" §2 says is "difficult to achieve").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.hwmodel.timing import LatencyBreakdown, SchedulerTiming
+from repro.sim.errors import ConfigurationError
+from repro.sim.time import MICROSECONDS, NANOSECONDS
+
+
+class SoftwareSchedulerTiming(SchedulerTiming):
+    """Pricing of the loop as a host process over the network.
+
+    All defaults are per the module docstring; every component is a
+    constructor knob so E2 can ablate them.
+    """
+
+    name = "software"
+
+    def __init__(self,
+                 poll_rtt_ps: int = 100 * MICROSECONDS,
+                 per_host_poll_ps: int = 10 * MICROSECONDS,
+                 ns_per_op: float = 2.0,
+                 io_ps: int = 30 * MICROSECONDS,
+                 propagation_ps: int = 5 * MICROSECONDS,
+                 sync_guard_ps: int = 100 * MICROSECONDS) -> None:
+        if ns_per_op <= 0:
+            raise ConfigurationError("ns_per_op must be positive")
+        self.poll_rtt_ps = poll_rtt_ps
+        self.per_host_poll_ps = per_host_poll_ps
+        self.ns_per_op = ns_per_op
+        self.io_ps = io_ps
+        self.propagation_ps = propagation_ps
+        self.sync_guard_ps = sync_guard_ps
+
+    def operation_count(self, algorithm: str, n_ports: int,
+                        stats: Optional[Dict[str, int]] = None) -> float:
+        """Rough sequential-operation count per algorithm."""
+        stats = stats or {}
+        n = n_ports
+        iterations = stats.get("iterations", 4)
+        matchings = stats.get("matchings", n)
+        if algorithm in ("tdma", "fixed-sequence"):
+            return n
+        if algorithm in ("pim", "islip"):
+            return iterations * n * n
+        if algorithm in ("wfa", "distributed-greedy"):
+            return n * n
+        if algorithm == "greedy-mwm":
+            # sort n^2 edges + sweep
+            return n * n * max(1.0, 2.0 * _log2(n)) + n * n
+        if algorithm in ("mwm", "hotspot"):
+            return float(n) ** 3
+        if algorithm in ("bvn", "solstice"):
+            # matchings × (Hopcroft-Karp ~ E sqrt(V) = n^2 * sqrt(n))
+            return matchings * (n * n * (n ** 0.5))
+        if algorithm == "eclipse":
+            # candidate-MWM evaluations dominate: iterations × n^3.
+            return iterations * float(n) ** 3
+        return float(n) ** 3
+
+    def breakdown(self, algorithm: str, n_ports: int,
+                  stats: Optional[Dict[str, int]] = None) -> LatencyBreakdown:
+        ops = self.operation_count(algorithm, n_ports, stats)
+        compute_ps = round(ops * self.ns_per_op * NANOSECONDS)
+        demand_ps = self.poll_rtt_ps + n_ports * self.per_host_poll_ps
+        return LatencyBreakdown(
+            demand_estimation_ps=demand_ps,
+            computation_ps=compute_ps,
+            io_ps=self.io_ps,
+            propagation_ps=self.propagation_ps,
+            synchronization_ps=self.sync_guard_ps,
+        )
+
+
+def _log2(n: int) -> float:
+    import math
+    return math.log2(max(2, n))
+
+
+__all__ = ["SoftwareSchedulerTiming"]

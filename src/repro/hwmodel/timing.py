@@ -1,0 +1,91 @@
+"""Timing-model interface and the latency breakdown record.
+
+A :class:`SchedulerTiming` prices one pass of the scheduling loop for a
+given algorithm at a given port count.  The output is a
+:class:`LatencyBreakdown` whose five components are exactly the latency
+sources §2 of the paper enumerates, so experiment E2 can print them
+side by side.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.sim.time import format_time
+
+
+@dataclass(frozen=True)
+class LatencyBreakdown:
+    """Picosecond cost of one scheduling-loop pass, by component."""
+
+    demand_estimation_ps: int
+    computation_ps: int
+    io_ps: int
+    propagation_ps: int
+    synchronization_ps: int
+
+    @property
+    def total_ps(self) -> int:
+        """Sum of all components."""
+        return (self.demand_estimation_ps + self.computation_ps
+                + self.io_ps + self.propagation_ps
+                + self.synchronization_ps)
+
+    def as_dict(self) -> Dict[str, int]:
+        """Component name → picoseconds (for table rendering)."""
+        return {
+            "demand_estimation": self.demand_estimation_ps,
+            "computation": self.computation_ps,
+            "io": self.io_ps,
+            "propagation": self.propagation_ps,
+            "synchronization": self.synchronization_ps,
+            "total": self.total_ps,
+        }
+
+    def __str__(self) -> str:
+        parts = ", ".join(
+            f"{key}={format_time(value)}"
+            for key, value in self.as_dict().items())
+        return f"LatencyBreakdown({parts})"
+
+
+class SchedulerTiming(abc.ABC):
+    """Prices the scheduling loop for one implementation technology."""
+
+    #: Display name for tables ("netfpga_sume", "cpu_helios", ...).
+    name = "abstract"
+
+    @abc.abstractmethod
+    def breakdown(self, algorithm: str, n_ports: int,
+                  stats: Optional[Dict[str, int]] = None) -> LatencyBreakdown:
+        """Latency components for one pass of ``algorithm`` on ``n_ports``.
+
+        ``stats`` is the scheduler's ``last_stats`` (iterations executed,
+        matchings emitted); models use it to price data-dependent work.
+        When ``None``, worst-case defaults apply.
+        """
+
+    def total_ps(self, algorithm: str, n_ports: int,
+                 stats: Optional[Dict[str, int]] = None) -> int:
+        """Convenience: total loop latency in picoseconds."""
+        return self.breakdown(algorithm, n_ports, stats).total_ps
+
+
+class IdealTiming(SchedulerTiming):
+    """Zero-latency scheduler — isolates algorithmic behaviour.
+
+    Used by the cell-mode fabric (where the slot clock *is* the
+    scheduler cadence) and as the "infinitely fast hardware" limit in
+    sweeps.
+    """
+
+    name = "ideal"
+
+    def breakdown(self, algorithm: str, n_ports: int,
+                  stats: Optional[Dict[str, int]] = None) -> LatencyBreakdown:
+        return LatencyBreakdown(0, 0, 0, 0, 0)
+
+
+__all__ = ["SchedulerTiming", "LatencyBreakdown", "IdealTiming"]

@@ -1,0 +1,39 @@
+"""Network substrate: packets, flows, links, hosts, classification.
+
+These are the pieces of Figure 2 that sit *outside* the scheduler: the
+hosts H1..Hn that source traffic, the links that carry it, and the flow
+classification that the processing logic applies on ingress.
+"""
+
+from repro.net.addressing import NodeId, PortId
+from repro.net.classifier import ClassifierRule, FlowClassifier
+from repro.net.flow import FiveTuple, FlowKey
+from repro.net.host import Host, HostBufferMode
+from repro.net.link import Link
+from repro.net.packet import (
+    ETHERNET_OVERHEAD_BYTES,
+    MAX_FRAME_BYTES,
+    MIN_FRAME_BYTES,
+    Packet,
+    wire_size,
+)
+from repro.net.topology import HybridRackTopology, build_rack
+
+__all__ = [
+    "NodeId",
+    "PortId",
+    "Packet",
+    "wire_size",
+    "MIN_FRAME_BYTES",
+    "MAX_FRAME_BYTES",
+    "ETHERNET_OVERHEAD_BYTES",
+    "FiveTuple",
+    "FlowKey",
+    "Link",
+    "Host",
+    "HostBufferMode",
+    "ClassifierRule",
+    "FlowClassifier",
+    "HybridRackTopology",
+    "build_rack",
+]

@@ -1,0 +1,29 @@
+"""Node and port identity types.
+
+The rack model is small enough that identities are plain integers with
+``NewType`` wrappers for readability.  A *node* is a host; a *port* is a
+switch-facing port index, which in the single-rack topology equals the
+host index (host ``i`` attaches to ToR port ``i``).
+"""
+
+from __future__ import annotations
+
+from typing import NewType
+
+NodeId = NewType("NodeId", int)
+PortId = NewType("PortId", int)
+
+
+def validate_port(port: int, n_ports: int, role: str = "port") -> int:
+    """Range-check a port index, returning it for chaining.
+
+    Raises ``ValueError`` with a descriptive message on failure; the
+    message includes ``role`` ("source port", "destination port", ...)
+    so protocol bugs localise quickly.
+    """
+    if not 0 <= port < n_ports:
+        raise ValueError(f"{role} {port} out of range [0, {n_ports})")
+    return port
+
+
+__all__ = ["NodeId", "PortId", "validate_port"]

@@ -1,0 +1,51 @@
+"""Flow identity: five-tuples and the coarser keys the switch uses.
+
+The processing logic of Figure 2 classifies packets "into flows based on
+configurable look-up rules".  Two granularities appear in practice:
+
+* :class:`FiveTuple` — transport-level flow identity used by the
+  traffic generators and the classifier's match fields.
+* :class:`FlowKey` — the (ingress port, egress port) pair that selects a
+  VOQ.  The demand matrix the scheduler sees is indexed by flow keys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FiveTuple:
+    """Classic transport five-tuple.
+
+    Addresses are plain ints (host ids) because the rack model has no
+    IP layer; protocol is a short string ("tcp", "udp").
+    """
+
+    src_addr: int
+    dst_addr: int
+    src_port: int
+    dst_port: int
+    protocol: str = "tcp"
+
+    def reversed(self) -> "FiveTuple":
+        """The reverse-direction five-tuple (for bidirectional flows)."""
+        return FiveTuple(self.dst_addr, self.src_addr,
+                         self.dst_port, self.src_port, self.protocol)
+
+
+@dataclass(frozen=True, order=True)
+class FlowKey:
+    """(ingress, egress) switch-port pair — one VOQ, one demand cell."""
+
+    src: int
+    dst: int
+
+    def __post_init__(self) -> None:
+        if self.src == self.dst:
+            raise ValueError(f"FlowKey src == dst == {self.src}")
+        if self.src < 0 or self.dst < 0:
+            raise ValueError(f"FlowKey ports must be non-negative: {self}")
+
+
+__all__ = ["FiveTuple", "FlowKey"]

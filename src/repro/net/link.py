@@ -1,0 +1,130 @@
+"""Point-to-point link with serialisation and propagation delay.
+
+The link is the only place in the model where bytes turn into time.  It
+enforces FIFO ordering and non-overlapping serialisation: a packet
+begins transmitting at ``max(now, previous packet's finish)``, occupies
+the wire for ``wire_size/rate``, then arrives at the sink after the
+propagation delay.
+
+This matches the paper's accounting: propagation delay between host and
+switch is one of the latency components that makes *software* scheduling
+slow (§2), so it must be a first-class parameter.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.net.packet import Packet, wire_size
+from repro.sim.engine import Simulator
+from repro.sim.errors import ConfigurationError
+from repro.sim.time import transmission_time_ps
+from repro.sim.trace import Counter
+
+
+class Link:
+    """Unidirectional link.
+
+    Parameters
+    ----------
+    sim:
+        The simulator that owns time.
+    name:
+        Used in traces and error messages.
+    rate_bps:
+        Line rate in bits per second.
+    propagation_ps:
+        One-way propagation delay in picoseconds.  Intra-rack copper or
+        fibre runs are a few metres: ~5 ns/m, so defaults elsewhere use
+        tens of nanoseconds.
+    sink:
+        Callable invoked with each packet on arrival.  May be replaced
+        after construction via :meth:`connect` (lets topologies wire
+        rings of components without ordering headaches).
+    """
+
+    def __init__(self, sim: Simulator, name: str, rate_bps: float,
+                 propagation_ps: int = 0,
+                 sink: Optional[Callable[[Packet], None]] = None) -> None:
+        if rate_bps <= 0:
+            raise ConfigurationError(f"link {name}: rate must be positive")
+        if propagation_ps < 0:
+            raise ConfigurationError(
+                f"link {name}: propagation must be non-negative")
+        self.sim = sim
+        self.name = name
+        self.rate_bps = rate_bps
+        self.propagation_ps = propagation_ps
+        self._sink = sink
+        self._free_at = 0
+        self._down_until = 0
+        self.accepted = Counter(f"{name}.accepted")
+        self.delivered = Counter(f"{name}.delivered")
+        self.fault_drops = Counter(f"{name}.fault_drops")
+        self.busy_ps = 0
+
+    def connect(self, sink: Callable[[Packet], None]) -> None:
+        """Set (or replace) the arrival sink."""
+        self._sink = sink
+
+    def send(self, packet: Packet) -> int:
+        """Queue ``packet`` for transmission; returns its arrival time.
+
+        The link has no internal buffer limit: back-pressure is the
+        caller's job (hosts and switch logic gate what they hand to the
+        wire).  Serialisation slots never overlap.
+        """
+        if self._sink is None:
+            raise ConfigurationError(f"link {self.name} has no sink connected")
+        if self.sim.now < self._down_until:
+            # The wire is dark (fault injection): the frame is lost at
+            # the transmitter, as a real PHY-down event would lose it.
+            self.fault_drops.add(1, packet.size)
+            return self._down_until
+        self.accepted.add(1, packet.size)
+        start = max(self.sim.now, self._free_at)
+        tx_ps = transmission_time_ps(wire_size(packet.size), self.rate_bps)
+        self._free_at = start + tx_ps
+        self.busy_ps += tx_ps
+        arrival = self._free_at + self.propagation_ps
+        sink = self._sink
+
+        def deliver() -> None:
+            self.delivered.add(1, packet.size)
+            sink(packet)
+
+        self.sim.at(arrival, deliver, label=f"link:{self.name}")
+        return arrival
+
+    @property
+    def free_at(self) -> int:
+        """Earliest time the wire is idle again (== now when idle)."""
+        return max(self._free_at, self.sim.now)
+
+    @property
+    def in_flight(self) -> int:
+        """Packets accepted but not yet delivered (queued or on wire)."""
+        return self.accepted.count - self.delivered.count
+
+    def fail_until(self, up_at_ps: int) -> None:
+        """Take the link down until ``up_at_ps`` (fault injection).
+
+        Frames offered while down are dropped and counted in
+        :attr:`fault_drops`.  Repeated calls extend the outage.
+        """
+        self._down_until = max(self._down_until, up_at_ps)
+
+    @property
+    def is_down(self) -> bool:
+        """True while a fault outage is in effect."""
+        return self.sim.now < self._down_until
+
+    def utilisation(self, since_ps: int = 0) -> float:
+        """Fraction of wall time the wire was busy since ``since_ps``."""
+        window = self.sim.now - since_ps
+        if window <= 0:
+            return 0.0
+        return min(1.0, self.busy_ps / window)
+
+
+__all__ = ["Link"]

@@ -1,0 +1,79 @@
+"""Single-rack hybrid topology builder.
+
+The paper's testbed is one hybrid switch (EPS + OCS sharing a scheduler)
+with hosts H1..Hn attached — see Figure 2.  :func:`build_rack` creates
+the hosts and their access links; the switch-side logic blocks are wired
+in by :class:`repro.core.framework.HybridSwitchFramework`, which owns
+the other end of every link.
+
+Keeping topology construction separate from the framework lets tests
+exercise hosts/links in isolation and keeps the framework constructor
+readable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.net.host import Host, HostBufferMode
+from repro.net.link import Link
+from repro.sim.engine import Simulator
+from repro.sim.errors import ConfigurationError
+from repro.sim.time import GIGABIT, NANOSECONDS
+
+
+@dataclass
+class HybridRackTopology:
+    """The host side of a rack: hosts plus their access links.
+
+    ``uplinks[i]`` carries host *i* → switch port *i*;
+    ``downlinks[i]`` carries switch port *i* → host *i*.  Downlink sinks
+    are pre-connected to ``hosts[i].receive``; uplink sinks are left for
+    the switch to connect.
+    """
+
+    sim: Simulator
+    hosts: List[Host] = field(default_factory=list)
+    uplinks: List[Link] = field(default_factory=list)
+    downlinks: List[Link] = field(default_factory=list)
+
+    @property
+    def n_ports(self) -> int:
+        """Number of switch ports (== number of hosts)."""
+        return len(self.hosts)
+
+    def set_clock_skew(self, host_id: int, skew_ps: int) -> None:
+        """Adjust one host's clock skew (sync-sensitivity experiments)."""
+        self.hosts[host_id].clock_skew_ps = skew_ps
+
+
+def build_rack(sim: Simulator, n_hosts: int,
+               link_rate_bps: float = 10 * GIGABIT,
+               propagation_ps: int = 50 * NANOSECONDS,
+               mode: HostBufferMode = HostBufferMode.SWITCH_BUFFERED,
+               clock_skew_ps: int = 0) -> HybridRackTopology:
+    """Create ``n_hosts`` hosts with symmetric access links.
+
+    Parameters mirror the paper's example operating point: default
+    10 Gbps per port; 50 ns propagation is ~10 m of fibre, a typical
+    in-rack run.  ``clock_skew_ps`` applies to every host (individual
+    skews can be set afterwards via :meth:`HybridRackTopology.set_clock_skew`).
+    """
+    if n_hosts < 2:
+        raise ConfigurationError(
+            f"a rack needs at least 2 hosts, got {n_hosts}")
+    topo = HybridRackTopology(sim)
+    for host_id in range(n_hosts):
+        uplink = Link(sim, f"up{host_id}", link_rate_bps, propagation_ps)
+        downlink = Link(sim, f"down{host_id}", link_rate_bps, propagation_ps)
+        host = Host(sim, host_id, uplink, mode=mode,
+                    clock_skew_ps=clock_skew_ps)
+        downlink.connect(host.receive)
+        topo.hosts.append(host)
+        topo.uplinks.append(uplink)
+        topo.downlinks.append(downlink)
+    return topo
+
+
+__all__ = ["HybridRackTopology", "build_rack"]

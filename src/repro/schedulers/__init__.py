@@ -1,0 +1,74 @@
+"""Scheduling-algorithm library — the pluggable "scheduling logic".
+
+This package is the paper's raison d'être: §3 argues for a framework in
+which "users implement novel design in the scheduling logic module".
+Every algorithm here implements the :class:`repro.schedulers.base.Scheduler`
+interface and therefore drops into
+:class:`repro.core.scheduling.SchedulingLogic` unchanged, exactly as an
+RTL block would drop into the NetFPGA scheduling-logic partition.
+
+Contents
+--------
+
+========================  ====================================================
+:mod:`~repro.schedulers.fixed`     TDMA / fixed permutation sequences
+:mod:`~repro.schedulers.pim`       Parallel Iterative Matching (randomised)
+:mod:`~repro.schedulers.islip`     iSLIP with k iterations
+:mod:`~repro.schedulers.mwm`       maximum-weight matching (exact + greedy)
+:mod:`~repro.schedulers.bvn`       Birkhoff–von Neumann decomposition
+:mod:`~repro.schedulers.solstice`  Solstice-style hybrid decomposition
+:mod:`~repro.schedulers.hotspot`   c-Through-style hotspot scheduling
+:mod:`~repro.schedulers.demand`    demand estimators (counters/EWMA/sketch)
+:mod:`~repro.schedulers.registry`  name → factory registry
+========================  ====================================================
+"""
+
+from repro.schedulers.base import Scheduler, ScheduleResult
+from repro.schedulers.bvn import BvnScheduler, birkhoff_von_neumann
+from repro.schedulers.demand import (
+    CountMinSketch,
+    DemandEstimator,
+    EwmaEstimator,
+    InstantEstimator,
+    SketchEstimator,
+)
+from repro.schedulers.eclipse import EclipseScheduler
+from repro.schedulers.fixed import FixedSequence, RoundRobinTdma
+from repro.schedulers.hotspot import HotspotScheduler
+from repro.schedulers.islip import IslipScheduler
+from repro.schedulers.matching import Matching
+from repro.schedulers.mwm import GreedyMwmScheduler, MwmScheduler
+from repro.schedulers.pim import PimScheduler
+from repro.schedulers.registry import (
+    available_schedulers,
+    create_scheduler,
+    register_scheduler,
+)
+from repro.schedulers.solstice import SolsticeScheduler
+from repro.schedulers.wfa import WfaScheduler
+
+__all__ = [
+    "Scheduler",
+    "ScheduleResult",
+    "Matching",
+    "RoundRobinTdma",
+    "FixedSequence",
+    "PimScheduler",
+    "IslipScheduler",
+    "WfaScheduler",
+    "MwmScheduler",
+    "GreedyMwmScheduler",
+    "BvnScheduler",
+    "birkhoff_von_neumann",
+    "SolsticeScheduler",
+    "EclipseScheduler",
+    "HotspotScheduler",
+    "DemandEstimator",
+    "InstantEstimator",
+    "EwmaEstimator",
+    "SketchEstimator",
+    "CountMinSketch",
+    "available_schedulers",
+    "create_scheduler",
+    "register_scheduler",
+]

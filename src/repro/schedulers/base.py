@@ -1,0 +1,130 @@
+"""Scheduler interface.
+
+A scheduler consumes a **demand matrix** (bytes or cells wanted from
+each input to each output — produced by the demand-estimation stage) and
+produces a :class:`ScheduleResult`: one or more circuit matchings with
+hold times, plus the residue that should travel over the EPS.
+
+The interface is deliberately the same for crossbar cell schedulers
+(iSLIP, PIM — one matching per cell slot, no residue) and hybrid
+circuit schedulers (Solstice, hotspot — multi-slot schedules with EPS
+residue), because the paper's framework hosts both kinds in the same
+scheduling-logic slot.
+
+Hardware-cost handshake
+-----------------------
+
+The timing models in :mod:`repro.hwmodel` need to know how much work a
+``compute`` call did (iterations, matchings emitted).  Schedulers record
+that in :attr:`Scheduler.last_stats`, a plain dict refreshed on every
+call.  Keeping it out of the return type keeps algorithm code clean.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.schedulers.matching import Matching
+from repro.sim.errors import SchedulingError
+
+
+@dataclass
+class ScheduleResult:
+    """Output of one scheduling decision.
+
+    Attributes
+    ----------
+    matchings:
+        Ordered list of ``(matching, hold_ps)`` pairs.  Cell schedulers
+        return exactly one pair with ``hold_ps == 0`` (meaning "one
+        slot"); circuit schedulers return a full reconfiguration plan.
+    eps_residue:
+        n×n byte matrix the scheduler chose *not* to serve with
+        circuits; the switching logic forwards it over the EPS.  ``None``
+        means nothing was diverted.
+    """
+
+    matchings: List[Tuple[Matching, int]] = field(default_factory=list)
+    eps_residue: Optional[np.ndarray] = None
+
+    @property
+    def first(self) -> Matching:
+        """The first (or only) matching; errors if the plan is empty."""
+        if not self.matchings:
+            raise SchedulingError("schedule result contains no matchings")
+        return self.matchings[0][0]
+
+    @property
+    def total_hold_ps(self) -> int:
+        """Sum of hold times across the plan."""
+        return sum(hold for __, hold in self.matchings)
+
+    def served_matrix(self) -> np.ndarray:
+        """Boolean n×n matrix of pairs served by at least one matching."""
+        if not self.matchings:
+            raise SchedulingError("schedule result contains no matchings")
+        n = self.matchings[0][0].n
+        served = np.zeros((n, n), dtype=bool)
+        for matching, __ in self.matchings:
+            served |= matching.to_matrix()
+        return served
+
+
+class Scheduler(abc.ABC):
+    """Base class for every scheduling algorithm.
+
+    Subclasses implement :meth:`compute` and set :attr:`name`.  They
+    must be deterministic given ``(constructor args, rng, demand
+    sequence)`` — randomised algorithms draw only from the ``rng``
+    passed at construction.
+    """
+
+    #: Registry/display name; subclasses override.
+    name = "abstract"
+
+    def __init__(self, n_ports: int) -> None:
+        if n_ports < 2:
+            raise SchedulingError(
+                f"schedulers need >= 2 ports, got {n_ports}")
+        self.n_ports = n_ports
+        #: Work accounting from the most recent ``compute`` call; the
+        #: hardware timing model reads this.  Common keys:
+        #: ``iterations`` (matching iterations executed) and
+        #: ``matchings`` (number emitted).
+        self.last_stats: Dict[str, int] = {}
+
+    @abc.abstractmethod
+    def compute(self, demand: np.ndarray) -> ScheduleResult:
+        """Compute a schedule for the given n×n demand matrix.
+
+        ``demand`` is non-negative with a zero diagonal.  Implementations
+        must not mutate it.
+        """
+
+    # -- shared validation ------------------------------------------------------
+
+    def _check_demand(self, demand: np.ndarray) -> np.ndarray:
+        """Validate shape/sign; returns a float64 view or copy.
+
+        Diagonal entries are allowed: a crossbar algorithm has no notion
+        of "self-traffic" (input i and output i are just ports).  The
+        rack framework never generates diagonal demand, but the
+        algorithms must not depend on that — the classic iSLIP
+        desynchronisation proof, for instance, assumes all N² VOQs can
+        be backlogged.
+        """
+        demand = np.asarray(demand)
+        if demand.shape != (self.n_ports, self.n_ports):
+            raise SchedulingError(
+                f"{self.name}: demand shape {demand.shape} != "
+                f"({self.n_ports}, {self.n_ports})")
+        if (demand < 0).any():
+            raise SchedulingError(f"{self.name}: demand has negative entries")
+        return demand.astype(np.float64, copy=False)
+
+
+__all__ = ["Scheduler", "ScheduleResult"]

@@ -1,0 +1,207 @@
+"""Demand estimation — the first stage of the scheduling loop.
+
+"The scheduling logic processes the incoming requests, estimates the
+demand matrix, and runs the scheduling algorithm" (§3).  Demand
+estimation quality and *speed* are exactly where the paper claims
+hardware wins: counters and sketches update at line rate in an FPGA,
+while software schedulers poll hosts over the network.
+
+Three estimators, in increasing hardware realism:
+
+* :class:`InstantEstimator` — the true current VOQ occupancy.  What an
+  on-chip scheduler with direct queue visibility sees; zero error.
+* :class:`EwmaEstimator` — exponentially weighted moving average over
+  periodic snapshots.  What c-Through-style systems compute from host
+  socket-buffer occupancy; smooths bursts, lags shifts.
+* :class:`SketchEstimator` — a count-min sketch over per-packet
+  observations.  What a switch without per-pair counters would use;
+  over-estimates under hash collisions, never under-estimates.
+
+All estimators expose the same protocol: ``observe`` per-packet
+increments, ``snapshot`` bulk occupancy updates, ``estimate`` the
+current n×n matrix, and ``reset_epoch`` for epoch-based schemes.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+import numpy as np
+
+from repro.sim.errors import ConfigurationError
+
+
+class DemandEstimator(abc.ABC):
+    """Common estimator interface (see module docstring)."""
+
+    def __init__(self, n_ports: int) -> None:
+        if n_ports < 2:
+            raise ConfigurationError("estimators need >= 2 ports")
+        self.n_ports = n_ports
+
+    @abc.abstractmethod
+    def observe(self, src: int, dst: int, nbytes: int) -> None:
+        """Record ``nbytes`` of new demand from ``src`` to ``dst``."""
+
+    @abc.abstractmethod
+    def snapshot(self, occupancy: np.ndarray) -> None:
+        """Feed a full occupancy matrix (e.g. VOQ bytes) as one sample."""
+
+    @abc.abstractmethod
+    def estimate(self) -> np.ndarray:
+        """Current demand estimate (float64 n×n, zero diagonal)."""
+
+    def reset_epoch(self) -> None:
+        """Clear per-epoch accumulation (default: no-op)."""
+
+
+class InstantEstimator(DemandEstimator):
+    """Pass-through of the most recent snapshot plus live increments.
+
+    Models a hardware scheduler with direct VOQ visibility: the estimate
+    is exact at the instant the schedule computation starts.
+    """
+
+    def __init__(self, n_ports: int) -> None:
+        super().__init__(n_ports)
+        self._matrix = np.zeros((n_ports, n_ports), dtype=np.float64)
+
+    def observe(self, src: int, dst: int, nbytes: int) -> None:
+        self._matrix[src, dst] += nbytes
+
+    def snapshot(self, occupancy: np.ndarray) -> None:
+        np.copyto(self._matrix, occupancy)
+
+    def estimate(self) -> np.ndarray:
+        return self._matrix.copy()
+
+
+class EwmaEstimator(DemandEstimator):
+    """Exponentially weighted moving average over snapshots.
+
+    ``alpha`` is the weight of the newest snapshot; c-Through used a
+    long-memory filter (small alpha) to stabilise circuit decisions at
+    the cost of reacting slowly — the trade-off E6 ablates.
+    """
+
+    def __init__(self, n_ports: int, alpha: float = 0.25) -> None:
+        super().__init__(n_ports)
+        if not 0.0 < alpha <= 1.0:
+            raise ConfigurationError(f"alpha must be in (0, 1], got {alpha}")
+        self.alpha = alpha
+        self._ewma = np.zeros((n_ports, n_ports), dtype=np.float64)
+        self._pending = np.zeros((n_ports, n_ports), dtype=np.float64)
+        self._primed = False
+
+    def observe(self, src: int, dst: int, nbytes: int) -> None:
+        self._pending[src, dst] += nbytes
+
+    def snapshot(self, occupancy: np.ndarray) -> None:
+        sample = np.asarray(occupancy, dtype=np.float64) + self._pending
+        self._pending[:] = 0.0
+        if not self._primed:
+            # First sample primes the filter; starting from zero would
+            # bias early schedules toward "no demand".
+            np.copyto(self._ewma, sample)
+            self._primed = True
+            return
+        self._ewma *= 1.0 - self.alpha
+        self._ewma += self.alpha * sample
+
+    def estimate(self) -> np.ndarray:
+        return self._ewma.copy()
+
+    def reset_epoch(self) -> None:
+        self._pending[:] = 0.0
+
+
+class CountMinSketch:
+    """Count-min sketch over (src, dst) keys.
+
+    ``depth`` rows of ``width`` counters with pairwise-independent
+    hashes.  Point queries return the minimum over rows: an upper bound
+    on the true count, exact when no collisions occurred.  This is the
+    classic line-rate-friendly structure an FPGA demand estimator would
+    use when per-pair counters don't fit.
+    """
+
+    #: Large prime for the universal-hash family.
+    _PRIME = (1 << 61) - 1
+
+    def __init__(self, width: int, depth: int, seed: int = 0) -> None:
+        if width < 1 or depth < 1:
+            raise ConfigurationError("sketch width and depth must be >= 1")
+        self.width = width
+        self.depth = depth
+        rng = np.random.default_rng(seed)
+        # h_i(x) = ((a_i * x + b_i) mod P) mod width, a_i != 0.
+        self._a = rng.integers(1, self._PRIME, size=depth, dtype=np.int64)
+        self._b = rng.integers(0, self._PRIME, size=depth, dtype=np.int64)
+        self._table = np.zeros((depth, width), dtype=np.int64)
+
+    def _rows(self, key: int) -> np.ndarray:
+        hashed = (self._a * key + self._b) % self._PRIME
+        return (hashed % self.width).astype(np.intp)
+
+    def add(self, key: int, amount: int) -> None:
+        """Increment ``key`` by ``amount``."""
+        cols = self._rows(key)
+        self._table[np.arange(self.depth), cols] += amount
+
+    def query(self, key: int) -> int:
+        """Upper-bound estimate of the total added for ``key``."""
+        cols = self._rows(key)
+        return int(self._table[np.arange(self.depth), cols].min())
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        self._table[:] = 0
+
+
+class SketchEstimator(DemandEstimator):
+    """Demand estimation from a :class:`CountMinSketch` per epoch.
+
+    Observations accumulate in the sketch; :meth:`estimate` reconstructs
+    the n×n matrix by point queries (cheap: n² queries over a tiny key
+    space).  ``snapshot`` is accepted but ignored — a sketch-based
+    design has no occupancy visibility, only the packet stream.
+    """
+
+    def __init__(self, n_ports: int, width: Optional[int] = None,
+                 depth: int = 4, seed: int = 0) -> None:
+        super().__init__(n_ports)
+        if width is None:
+            # Default: half the exact-counter budget, to exercise
+            # collisions in experiments while staying accurate-ish.
+            width = max(8, (n_ports * n_ports) // 2)
+        self.sketch = CountMinSketch(width, depth, seed)
+
+    def _key(self, src: int, dst: int) -> int:
+        return src * self.n_ports + dst
+
+    def observe(self, src: int, dst: int, nbytes: int) -> None:
+        self.sketch.add(self._key(src, dst), nbytes)
+
+    def snapshot(self, occupancy: np.ndarray) -> None:
+        """Ignored: sketches see packets, not queues."""
+
+    def estimate(self) -> np.ndarray:
+        matrix = np.zeros((self.n_ports, self.n_ports), dtype=np.float64)
+        for src in range(self.n_ports):
+            for dst in range(self.n_ports):
+                if src != dst:
+                    matrix[src, dst] = self.sketch.query(self._key(src, dst))
+        return matrix
+
+    def reset_epoch(self) -> None:
+        self.sketch.reset()
+
+
+__all__ = [
+    "DemandEstimator",
+    "InstantEstimator",
+    "EwmaEstimator",
+    "SketchEstimator",
+    "CountMinSketch",
+]

@@ -1,0 +1,103 @@
+"""Fixed / TDMA schedulers — the demand-oblivious baseline.
+
+A round-robin TDMA scheduler rotates through the ``n-1`` cyclic-shift
+permutations, giving every (input, output) pair an equal share of the
+fabric regardless of demand.  It is the simplest thing an FPGA can do
+(a counter and an adder), needs no demand estimation at all, and is the
+natural floor for every comparison: any demand-aware scheduler must
+beat TDMA on skewed traffic to justify its cost.
+
+Under *uniform* traffic TDMA is optimal (it is the unique schedule that
+serves a uniform doubly-stochastic demand with zero waste), which E5
+demonstrates.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.schedulers.base import Scheduler, ScheduleResult
+from repro.schedulers.matching import Matching
+
+
+class RoundRobinTdma(Scheduler):
+    """Rotate through cyclic-shift permutations (shifts 1..n-1).
+
+    Shift 0 (the identity) is skipped because self-traffic does not
+    exist.  ``slot_hold_ps`` is attached to each emitted matching so
+    circuit-mode frameworks can run TDMA frames directly.
+
+    Parameters
+    ----------
+    n_ports:
+        Port count.
+    slot_hold_ps:
+        Hold time to attach to each matching (0 = one cell slot).
+    frame_mode:
+        When True, :meth:`compute` returns the *whole frame* (all n-1
+        shifts) as one plan; when False it returns the next single shift
+        and advances an internal pointer.
+    """
+
+    name = "tdma"
+
+    def __init__(self, n_ports: int, slot_hold_ps: int = 0,
+                 frame_mode: bool = False) -> None:
+        super().__init__(n_ports)
+        self.slot_hold_ps = slot_hold_ps
+        self.frame_mode = frame_mode
+        self._next_shift = 1
+
+    def compute(self, demand: np.ndarray) -> ScheduleResult:
+        """Demand is validated but otherwise ignored (TDMA is oblivious)."""
+        self._check_demand(demand)
+        if self.frame_mode:
+            plan: List[Tuple[Matching, int]] = [
+                (Matching.cyclic_shift(self.n_ports, shift),
+                 self.slot_hold_ps)
+                for shift in range(1, self.n_ports)
+            ]
+            self.last_stats = {"iterations": 1, "matchings": len(plan)}
+            return ScheduleResult(matchings=plan)
+        matching = Matching.cyclic_shift(self.n_ports, self._next_shift)
+        self._next_shift += 1
+        if self._next_shift >= self.n_ports:
+            self._next_shift = 1
+        self.last_stats = {"iterations": 1, "matchings": 1}
+        return ScheduleResult(matchings=[(matching, self.slot_hold_ps)])
+
+
+class FixedSequence(Scheduler):
+    """Cycle through a user-supplied list of matchings.
+
+    Lets experiments drive the framework with hand-crafted or
+    precomputed (e.g. offline-optimal) schedules.
+    """
+
+    name = "fixed-sequence"
+
+    def __init__(self, n_ports: int,
+                 sequence: List[Matching],
+                 slot_hold_ps: int = 0) -> None:
+        super().__init__(n_ports)
+        if not sequence:
+            raise ValueError("FixedSequence needs at least one matching")
+        for matching in sequence:
+            if matching.n != n_ports:
+                raise ValueError(
+                    f"matching has {matching.n} ports, expected {n_ports}")
+        self.sequence = list(sequence)
+        self.slot_hold_ps = slot_hold_ps
+        self._index = 0
+
+    def compute(self, demand: np.ndarray) -> ScheduleResult:
+        self._check_demand(demand)
+        matching = self.sequence[self._index]
+        self._index = (self._index + 1) % len(self.sequence)
+        self.last_stats = {"iterations": 1, "matchings": 1}
+        return ScheduleResult(matchings=[(matching, self.slot_hold_ps)])
+
+
+__all__ = ["RoundRobinTdma", "FixedSequence"]

@@ -1,0 +1,139 @@
+"""The matching (grant-matrix) type shared by schedulers and switches.
+
+A schedule for one reconfiguration of the optical circuit switch is a
+*partial permutation*: each input port connects to at most one output
+and vice versa.  :class:`Matching` stores it as a tuple mapping
+input → output with ``None`` for unmatched inputs, validates the
+permutation property on construction, and offers the conversions the
+rest of the system needs (pair list, boolean matrix, composition checks).
+
+The paper calls this object the "grant matrix": the scheduling logic
+"sends the grant matrix to the switching logic to configure the circuits
+in the OCS to match the grant matrix".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.sim.errors import SchedulingError
+
+
+class Matching:
+    """An immutable partial permutation on ``n`` ports."""
+
+    __slots__ = ("_out_of", "n")
+
+    def __init__(self, out_of: Sequence[Optional[int]]) -> None:
+        """``out_of[i]`` is the output matched to input ``i`` (or None).
+
+        Raises :class:`SchedulingError` if any output is repeated or out
+        of range — an invalid grant matrix must never reach the OCS.
+        """
+        self.n = len(out_of)
+        seen = set()
+        for inp, out in enumerate(out_of):
+            if out is None:
+                continue
+            if not 0 <= out < self.n:
+                raise SchedulingError(
+                    f"matching maps input {inp} to out-of-range output {out}")
+            if out in seen:
+                raise SchedulingError(
+                    f"matching maps two inputs to output {out}")
+            seen.add(out)
+        self._out_of: Tuple[Optional[int], ...] = tuple(out_of)
+
+    # -- constructors ----------------------------------------------------------
+
+    @classmethod
+    def empty(cls, n: int) -> "Matching":
+        """The all-dark matching (no circuits)."""
+        return cls([None] * n)
+
+    @classmethod
+    def identity(cls, n: int) -> "Matching":
+        """input i → output i for all i (useful in tests only; real
+        traffic never targets its own port)."""
+        return cls(list(range(n)))
+
+    @classmethod
+    def cyclic_shift(cls, n: int, shift: int) -> "Matching":
+        """input i → output (i + shift) mod n — one TDMA 'frame slot'."""
+        return cls([(i + shift) % n for i in range(n)])
+
+    @classmethod
+    def from_pairs(cls, n: int, pairs: Iterable[Tuple[int, int]]) -> "Matching":
+        """Build from (input, output) pairs; unlisted inputs are dark."""
+        out_of: List[Optional[int]] = [None] * n
+        for inp, out in pairs:
+            if not 0 <= inp < n:
+                raise SchedulingError(f"pair input {inp} out of range")
+            if out_of[inp] is not None:
+                raise SchedulingError(
+                    f"input {inp} appears twice in pair list")
+            out_of[inp] = out
+        return cls(out_of)
+
+    @classmethod
+    def from_dict(cls, n: int, mapping: Dict[int, int]) -> "Matching":
+        """Build from an {input: output} dict."""
+        return cls.from_pairs(n, mapping.items())
+
+    # -- queries ---------------------------------------------------------------
+
+    def output_for(self, inp: int) -> Optional[int]:
+        """Output matched to ``inp``, or None when dark."""
+        return self._out_of[inp]
+
+    def input_for(self, out: int) -> Optional[int]:
+        """Input matched to ``out``, or None (linear scan; n is small)."""
+        for inp, mapped in enumerate(self._out_of):
+            if mapped == out:
+                return inp
+        return None
+
+    def pairs(self) -> Iterator[Tuple[int, int]]:
+        """Iterate matched (input, output) pairs."""
+        for inp, out in enumerate(self._out_of):
+            if out is not None:
+                yield inp, out
+
+    @property
+    def size(self) -> int:
+        """Number of matched pairs."""
+        return sum(1 for out in self._out_of if out is not None)
+
+    def is_full(self) -> bool:
+        """True when every input is matched (a full permutation)."""
+        return self.size == self.n
+
+    def to_matrix(self) -> np.ndarray:
+        """Boolean n×n matrix; entry [i, j] is True when i → j."""
+        matrix = np.zeros((self.n, self.n), dtype=bool)
+        for inp, out in self.pairs():
+            matrix[inp, out] = True
+        return matrix
+
+    def weight(self, demand: np.ndarray) -> float:
+        """Total demand served: sum of demand[i, j] over matched pairs."""
+        return float(sum(demand[inp, out] for inp, out in self.pairs()))
+
+    # -- dunder ------------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Matching):
+            return NotImplemented
+        return self._out_of == other._out_of
+
+    def __hash__(self) -> int:
+        return hash(self._out_of)
+
+    def __repr__(self) -> str:
+        pairs = ", ".join(f"{i}->{o}" for i, o in self.pairs())
+        return f"Matching(n={self.n}, [{pairs}])"
+
+
+__all__ = ["Matching"]

@@ -1,0 +1,92 @@
+"""Parallel Iterative Matching (PIM).
+
+Anderson et al.'s randomised three-phase matcher (request / grant /
+accept), the ancestor of iSLIP and the canonical "easy in hardware"
+crossbar scheduler:
+
+1. **Request** — every unmatched input sends a request to every output
+   it has demand for.
+2. **Grant** — every unmatched output picks one requesting input
+   uniformly at random.
+3. **Accept** — every input that received grants accepts one uniformly
+   at random.
+
+Repeat for ``iterations`` rounds.  One round converges to ~63 % matched
+under full uniform load (the classic 1 − 1/e result, which our E5 bench
+confirms); O(log n) rounds approach a maximal matching.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.schedulers.base import Scheduler, ScheduleResult
+from repro.schedulers.matching import Matching
+
+
+class PimScheduler(Scheduler):
+    """Randomised parallel iterative matching.
+
+    Parameters
+    ----------
+    n_ports:
+        Port count.
+    iterations:
+        Matching rounds per schedule (k in PIM-k).
+    rng:
+        Randomness source; pass a seeded ``random.Random`` for
+        reproducibility (the framework provides a named stream).
+    """
+
+    name = "pim"
+
+    def __init__(self, n_ports: int, iterations: int = 1,
+                 rng: Optional[random.Random] = None) -> None:
+        super().__init__(n_ports)
+        if iterations < 1:
+            raise ValueError(f"iterations must be >= 1, got {iterations}")
+        self.iterations = iterations
+        self.rng = rng or random.Random(0)
+
+    def compute(self, demand: np.ndarray) -> ScheduleResult:
+        demand = self._check_demand(demand)
+        n = self.n_ports
+        matched_out: Dict[int, int] = {}   # input -> output
+        matched_in: Dict[int, int] = {}    # output -> input
+        rounds_used = 0
+        for _round in range(self.iterations):
+            rounds_used += 1
+            progress = False
+            # Phase 1: requests from unmatched inputs to unmatched outputs.
+            requests: Dict[int, List[int]] = {}
+            for out in range(n):
+                if out in matched_in:
+                    continue
+                requesters = [
+                    inp for inp in range(n)
+                    if inp not in matched_out and demand[inp, out] > 0
+                ]
+                if requesters:
+                    requests[out] = requesters
+            # Phase 2: each output grants one requester at random.
+            grants: Dict[int, List[int]] = {}
+            for out, requesters in requests.items():
+                chosen = self.rng.choice(requesters)
+                grants.setdefault(chosen, []).append(out)
+            # Phase 3: each input accepts one grant at random.
+            for inp, granted_outputs in grants.items():
+                accepted = self.rng.choice(granted_outputs)
+                matched_out[inp] = accepted
+                matched_in[accepted] = inp
+                progress = True
+            if not progress:
+                break
+        out_of: List[Optional[int]] = [matched_out.get(i) for i in range(n)]
+        self.last_stats = {"iterations": rounds_used, "matchings": 1}
+        return ScheduleResult(matchings=[(Matching(out_of), 0)])
+
+
+__all__ = ["PimScheduler"]

@@ -1,0 +1,120 @@
+"""Scheduler registry — the rapid-prototyping entry point.
+
+The paper's framework exists so researchers can drop a new scheduling
+algorithm into a fixed infrastructure.  The software equivalent of that
+RTL slot is this registry: register a factory under a name, and every
+experiment, benchmark and CLI invocation can select it with a string.
+
+    @register_scheduler("my-sched")
+    def _make(n_ports, **kwargs):
+        return MyScheduler(n_ports, **kwargs)
+
+    sched = create_scheduler("my-sched", n_ports=64)
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.schedulers.base import Scheduler
+from repro.sim.errors import ConfigurationError
+
+SchedulerFactory = Callable[..., Scheduler]
+
+_REGISTRY: Dict[str, SchedulerFactory] = {}
+
+
+def register_scheduler(name: str,
+                       factory: SchedulerFactory = None):
+    """Register a scheduler factory under ``name``.
+
+    Usable as a decorator (``@register_scheduler("x")``) or a plain
+    call (``register_scheduler("x", factory)``).  Re-registering a name
+    raises — silent replacement hides typos in experiment configs.
+    """
+
+    def _register(func: SchedulerFactory) -> SchedulerFactory:
+        if name in _REGISTRY:
+            raise ConfigurationError(
+                f"scheduler {name!r} is already registered")
+        _REGISTRY[name] = func
+        return func
+
+    if factory is not None:
+        return _register(factory)
+    return _register
+
+
+def unregister_scheduler(name: str) -> None:
+    """Remove a registration (tests cleaning up after themselves)."""
+    _REGISTRY.pop(name, None)
+
+
+def create_scheduler(name: str, n_ports: int, **kwargs) -> Scheduler:
+    """Instantiate the scheduler registered under ``name``."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown scheduler {name!r}; available: "
+            f"{sorted(_REGISTRY)}") from None
+    return factory(n_ports=n_ports, **kwargs)
+
+
+def available_schedulers() -> List[str]:
+    """Sorted names of every registered scheduler."""
+    return sorted(_REGISTRY)
+
+
+def _register_builtins() -> None:
+    """Register the library's own algorithms under their canonical names."""
+    from repro.schedulers.bvn import BvnScheduler
+    from repro.schedulers.fixed import RoundRobinTdma
+    from repro.schedulers.hotspot import HotspotScheduler
+    from repro.schedulers.islip import IslipScheduler
+    from repro.schedulers.mwm import GreedyMwmScheduler, MwmScheduler
+    from repro.schedulers.pim import PimScheduler
+    from repro.schedulers.solstice import SolsticeScheduler
+
+    register_scheduler("tdma", lambda n_ports, **kw:
+                       RoundRobinTdma(n_ports, **kw))
+    register_scheduler("pim", lambda n_ports, **kw:
+                       PimScheduler(n_ports, **kw))
+    register_scheduler("islip", lambda n_ports, **kw:
+                       IslipScheduler(n_ports, **kw))
+    register_scheduler("mwm", lambda n_ports, **kw:
+                       MwmScheduler(n_ports, **kw))
+    register_scheduler("greedy-mwm", lambda n_ports, **kw:
+                       GreedyMwmScheduler(n_ports, **kw))
+    register_scheduler("bvn", lambda n_ports, **kw:
+                       BvnScheduler(n_ports, **kw))
+    register_scheduler("solstice", lambda n_ports, **kw:
+                       SolsticeScheduler(n_ports, **kw))
+    register_scheduler("hotspot", lambda n_ports, **kw:
+                       HotspotScheduler(n_ports, **kw))
+
+    from repro.schedulers.eclipse import EclipseScheduler
+    from repro.schedulers.wfa import WfaScheduler
+
+    register_scheduler("wfa", lambda n_ports, **kw:
+                       WfaScheduler(n_ports, **kw))
+    register_scheduler("eclipse", lambda n_ports, **kw:
+                       EclipseScheduler(n_ports, **kw))
+
+    # Imported lazily to avoid a package cycle (control -> schedulers).
+    def _make_distributed(n_ports, **kw):
+        from repro.control.distributed import DistributedGreedyScheduler
+
+        return DistributedGreedyScheduler(n_ports, **kw)
+
+    register_scheduler("distributed-greedy", _make_distributed)
+
+
+_register_builtins()
+
+__all__ = [
+    "register_scheduler",
+    "unregister_scheduler",
+    "create_scheduler",
+    "available_schedulers",
+]

@@ -1,0 +1,61 @@
+"""Discrete-event simulation substrate.
+
+Everything in :mod:`repro` that advances simulated time is built on this
+package.  The design goals, in order:
+
+1. **Determinism.**  Simulated time is an integer number of picoseconds
+   (:mod:`repro.sim.time`), the event queue breaks ties with a strictly
+   increasing sequence number (:mod:`repro.sim.events`), and every source
+   of randomness is a named, independently-seeded stream
+   (:mod:`repro.sim.random`).  Two runs with the same seed produce
+   byte-identical results.
+2. **Speed.**  The hot loop is a plain ``heapq`` pop and a callback; no
+   generators, no coroutine scheduling, no per-event allocation beyond
+   the event tuple itself.
+3. **Observability.**  :mod:`repro.sim.trace` provides counters and
+   time-series probes that experiments attach without touching model
+   code.
+"""
+
+from repro.sim.engine import Simulator
+from repro.sim.events import Event, EventQueue
+from repro.sim.random import RandomStreams
+from repro.sim.time import (
+    GIGABIT,
+    KILOBYTE,
+    MEGABYTE,
+    GIGABYTE,
+    MICROSECONDS,
+    MILLISECONDS,
+    NANOSECONDS,
+    PICOSECONDS,
+    SECONDS,
+    format_time,
+    parse_time,
+    rate_to_ps_per_byte,
+    transmission_time_ps,
+)
+from repro.sim.trace import Counter, Probe, TimeSeries
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "EventQueue",
+    "RandomStreams",
+    "Counter",
+    "Probe",
+    "TimeSeries",
+    "PICOSECONDS",
+    "NANOSECONDS",
+    "MICROSECONDS",
+    "MILLISECONDS",
+    "SECONDS",
+    "KILOBYTE",
+    "MEGABYTE",
+    "GIGABYTE",
+    "GIGABIT",
+    "format_time",
+    "parse_time",
+    "rate_to_ps_per_byte",
+    "transmission_time_ps",
+]

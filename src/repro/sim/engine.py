@@ -1,0 +1,138 @@
+"""The discrete-event simulation engine.
+
+:class:`Simulator` owns the clock and the event queue.  Model components
+hold a reference to the simulator and schedule callbacks on it.  The
+engine is deliberately minimal — the sophistication lives in the models.
+
+Typical use::
+
+    sim = Simulator(seed=7)
+    sim.schedule(100 * NANOSECONDS, lambda: print("fired"))
+    sim.run(until=1 * MICROSECONDS)
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.sim.errors import SimulationError
+from repro.sim.events import Event, EventQueue
+from repro.sim.random import RandomStreams
+
+
+class Simulator:
+    """Single-threaded deterministic discrete-event simulator.
+
+    Parameters
+    ----------
+    seed:
+        Master seed for the per-component random streams available via
+        :attr:`streams`.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._now = 0
+        self._queue = EventQueue()
+        self._running = False
+        self._stopped = False
+        self.streams = RandomStreams(seed)
+        #: Count of events dispatched so far (for progress/diagnostics).
+        self.events_dispatched = 0
+
+    # -- clock ---------------------------------------------------------------
+
+    @property
+    def now(self) -> int:
+        """Current simulated time in picoseconds."""
+        return self._now
+
+    # -- scheduling ----------------------------------------------------------
+
+    def schedule(self, delay: int, callback: Callable[[], None],
+                 label: str = "") -> Event:
+        """Schedule ``callback`` to fire ``delay`` picoseconds from now.
+
+        Returns the :class:`Event`, which the caller may ``cancel()``.
+        A zero delay is allowed and fires after all events already
+        scheduled for the current instant (FIFO within a timestamp).
+        """
+        if delay < 0:
+            raise SimulationError(
+                f"cannot schedule {delay}ps in the past (label={label!r})")
+        event = Event(self._now + delay, callback, label)
+        self._queue.push(event)
+        return event
+
+    def at(self, time: int, callback: Callable[[], None],
+           label: str = "") -> Event:
+        """Schedule ``callback`` at absolute time ``time`` (>= now)."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time}ps, now is {self._now}ps"
+                f" (label={label!r})")
+        event = Event(time, callback, label)
+        self._queue.push(event)
+        return event
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a pending event (idempotent)."""
+        self._queue.cancel(event)
+
+    # -- execution -----------------------------------------------------------
+
+    def run(self, until: Optional[int] = None,
+            max_events: Optional[int] = None) -> int:
+        """Dispatch events until the queue drains or a limit is reached.
+
+        Parameters
+        ----------
+        until:
+            Stop once the next event would fire strictly after this
+            time; the clock is then advanced *to* ``until`` so that a
+            subsequent ``run`` continues from a well-defined instant.
+        max_events:
+            Safety valve for runaway models; raises
+            :class:`SimulationError` when exceeded.
+
+        Returns the number of events dispatched by this call.
+        """
+        if self._running:
+            raise SimulationError("Simulator.run is not re-entrant")
+        self._running = True
+        self._stopped = False
+        dispatched = 0
+        try:
+            while True:
+                if self._stopped:
+                    break
+                next_time = self._queue.peek_time()
+                if next_time is None:
+                    if until is not None:
+                        self._now = max(self._now, until)
+                    break
+                if until is not None and next_time > until:
+                    self._now = until
+                    break
+                event = self._queue.pop()
+                self._now = event.time
+                event.callback()
+                dispatched += 1
+                self.events_dispatched += 1
+                if max_events is not None and dispatched >= max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events}; "
+                        "model is likely in an event loop")
+        finally:
+            self._running = False
+        return dispatched
+
+    def stop(self) -> None:
+        """Request the current ``run`` to return after this event."""
+        self._stopped = True
+
+    def pending_events(self) -> int:
+        """Number of live events currently queued."""
+        return len(self._queue)
+
+
+__all__ = ["Simulator"]

@@ -1,0 +1,34 @@
+"""Exception hierarchy for the simulation substrate and framework.
+
+All library-raised exceptions derive from :class:`ReproError` so callers
+can catch everything from this package with one clause while letting
+programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by :mod:`repro`."""
+
+
+class SimulationError(ReproError):
+    """The simulation engine was used incorrectly.
+
+    Examples: scheduling an event in the past, running a simulator that
+    was already stopped, re-entrant ``run`` calls.
+    """
+
+
+class ConfigurationError(ReproError):
+    """A model or framework was configured with invalid parameters."""
+
+
+class CapacityError(ReproError):
+    """A finite resource (queue, buffer memory, port) overflowed in a
+    context where overflow is a hard error rather than a drop."""
+
+
+class SchedulingError(ReproError):
+    """A scheduler produced an invalid result (e.g. a grant matrix that
+    is not a partial permutation) or was driven out of protocol order."""

@@ -1,0 +1,105 @@
+"""Event and event-queue primitives.
+
+The queue is a binary heap of ``(time, sequence, Event)`` tuples.  The
+monotonically increasing sequence number guarantees a total order even
+when many events share a timestamp, which makes runs deterministic and
+lets FIFO semantics fall out naturally: events scheduled earlier at the
+same instant fire earlier.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.sim.errors import SimulationError
+
+
+@dataclass
+class Event:
+    """A single scheduled callback.
+
+    Attributes
+    ----------
+    time:
+        Absolute firing time in picoseconds.
+    callback:
+        Zero-argument callable invoked when the event fires.  Closures
+        carry their own context; keeping the signature empty keeps the
+        dispatch loop branch-free.
+    label:
+        Optional human-readable tag used by tracing and error messages.
+    cancelled:
+        Lazy-deletion flag.  Cancelled events stay in the heap but are
+        skipped on pop; this is O(1) per cancel instead of O(n) removal.
+    """
+
+    time: int
+    callback: Callable[[], None]
+    label: str = ""
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the queue skips it when popped."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """Deterministic min-heap of :class:`Event` objects.
+
+    Not thread-safe; the simulator is single-threaded by design.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[int, int, Event]] = []
+        self._sequence = itertools.count()
+        self._live = 0
+
+    def __len__(self) -> int:
+        """Number of *live* (non-cancelled) events still queued."""
+        return self._live
+
+    def push(self, event: Event) -> None:
+        """Insert an event; O(log n)."""
+        heapq.heappush(self._heap, (event.time, next(self._sequence), event))
+        self._live += 1
+
+    def pop(self) -> Event:
+        """Remove and return the earliest live event; O(log n) amortised.
+
+        Raises :class:`SimulationError` when empty.
+        """
+        while self._heap:
+            __, __, event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._live -= 1
+            return event
+        raise SimulationError("pop from empty event queue")
+
+    def peek_time(self) -> Optional[int]:
+        """Firing time of the earliest live event, or ``None`` if empty.
+
+        Compacts cancelled events off the top as a side effect.
+        """
+        while self._heap and self._heap[0][2].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0][0]
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a previously pushed event (idempotent)."""
+        if not event.cancelled:
+            event.cancel()
+            self._live -= 1
+
+    def clear(self) -> None:
+        """Drop every queued event."""
+        self._heap.clear()
+        self._live = 0
+
+
+__all__ = ["Event", "EventQueue"]

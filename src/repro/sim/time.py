@@ -1,0 +1,145 @@
+"""Integer-picosecond time base and unit helpers.
+
+All simulated time in :mod:`repro` is an ``int`` count of picoseconds.
+Using integers instead of floating-point seconds removes an entire class
+of bugs: events scheduled from accumulated floats drift, compare
+unstably, and make runs non-reproducible across platforms.  A picosecond
+granularity is fine enough to represent a single bit time at 400 Gbps
+(2.5 ps) exactly, and a 64-bit int holds ~107 days of picoseconds, far
+beyond any experiment here.
+
+Conventions
+-----------
+
+* Durations and timestamps are **picoseconds** unless a name says
+  otherwise (``*_s`` for float seconds).
+* Rates are **bits per second** as plain numbers (``10e9`` or the
+  :data:`GIGABIT` multiple).
+* Sizes are **bytes** as plain ints.
+"""
+
+from __future__ import annotations
+
+import re
+
+# -- duration units, all in picoseconds ------------------------------------
+
+PICOSECONDS = 1
+NANOSECONDS = 1_000
+MICROSECONDS = 1_000_000
+MILLISECONDS = 1_000_000_000
+SECONDS = 1_000_000_000_000
+
+# -- size units, in bytes ----------------------------------------------------
+
+KILOBYTE = 1_000
+MEGABYTE = 1_000_000
+GIGABYTE = 1_000_000_000
+KIBIBYTE = 1_024
+MEBIBYTE = 1_024 * 1_024
+GIBIBYTE = 1_024 * 1_024 * 1_024
+
+# -- rate units, in bits per second ------------------------------------------
+
+MEGABIT = 1_000_000
+GIGABIT = 1_000_000_000
+
+_UNIT_TO_PS = {
+    "ps": PICOSECONDS,
+    "ns": NANOSECONDS,
+    "us": MICROSECONDS,
+    "µs": MICROSECONDS,
+    "ms": MILLISECONDS,
+    "s": SECONDS,
+}
+
+_TIME_RE = re.compile(r"^\s*([0-9]*\.?[0-9]+)\s*(ps|ns|us|µs|ms|s)\s*$")
+
+
+def parse_time(text: str) -> int:
+    """Parse a human time string like ``"1.5us"`` into picoseconds.
+
+    Accepts ``ps``, ``ns``, ``us``/``µs``, ``ms`` and ``s`` suffixes.
+    Fractional values are rounded to the nearest picosecond.
+
+    >>> parse_time("100ns")
+    100000
+    >>> parse_time("1.5us")
+    1500000
+    """
+    match = _TIME_RE.match(text)
+    if match is None:
+        raise ValueError(f"unparseable time string: {text!r}")
+    value, unit = match.groups()
+    return round(float(value) * _UNIT_TO_PS[unit])
+
+
+def format_time(ps: int) -> str:
+    """Render picoseconds with the largest unit that keeps 3+ digits sane.
+
+    >>> format_time(1_500_000)
+    '1.5us'
+    >>> format_time(0)
+    '0ps'
+    """
+    if ps == 0:
+        return "0ps"
+    for unit, scale in (("s", SECONDS), ("ms", MILLISECONDS),
+                        ("us", MICROSECONDS), ("ns", NANOSECONDS)):
+        if abs(ps) >= scale:
+            value = ps / scale
+            text = f"{value:.6g}"
+            return f"{text}{unit}"
+    return f"{ps}ps"
+
+
+def seconds_to_ps(seconds: float) -> int:
+    """Convert float seconds to integer picoseconds (rounded)."""
+    return round(seconds * SECONDS)
+
+
+def ps_to_seconds(ps: int) -> float:
+    """Convert integer picoseconds to float seconds."""
+    return ps / SECONDS
+
+
+def rate_to_ps_per_byte(rate_bps: float) -> float:
+    """Picoseconds needed to serialise one byte at ``rate_bps``.
+
+    Kept as a float; callers round once per packet via
+    :func:`transmission_time_ps` so rounding error never accumulates.
+
+    >>> rate_to_ps_per_byte(10 * GIGABIT)
+    800.0
+    """
+    if rate_bps <= 0:
+        raise ValueError(f"rate must be positive, got {rate_bps}")
+    return 8 * SECONDS / rate_bps
+
+
+def transmission_time_ps(size_bytes: int, rate_bps: float) -> int:
+    """Serialisation delay of ``size_bytes`` at ``rate_bps``, in ps.
+
+    Rounded to the nearest picosecond; exact for all power-of-ten rates.
+
+    >>> transmission_time_ps(1500, 10 * GIGABIT)
+    1200000
+    """
+    if size_bytes < 0:
+        raise ValueError(f"size must be non-negative, got {size_bytes}")
+    return round(size_bytes * 8 * SECONDS / rate_bps)
+
+
+def bytes_in_interval(rate_bps: float, interval_ps: int) -> int:
+    """How many whole bytes a link at ``rate_bps`` carries in ``interval_ps``.
+
+    Used by the analytic buffering model (Figure 1): the burst a port
+    must absorb during a switching blackout is exactly the bytes that
+    arrive while the switch cannot forward.
+
+    >>> bytes_in_interval(10 * GIGABIT, MILLISECONDS)
+    1250000
+    """
+    if interval_ps < 0:
+        raise ValueError(f"interval must be non-negative, got {interval_ps}")
+    return int(rate_bps * interval_ps // (8 * SECONDS))

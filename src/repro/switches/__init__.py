@@ -1,0 +1,20 @@
+"""Switch device models: buffers, VOQ banks, the EPS and the OCS.
+
+These are the "switching logic" half of Figure 2 plus the queueing
+infrastructure the "processing logic" is built on.
+"""
+
+from repro.switches.buffers import DropPolicy, PacketQueue
+from repro.switches.eps import ElectricalPacketSwitch
+from repro.switches.memory import BufferMemoryMeter
+from repro.switches.ocs import OpticalCircuitSwitch
+from repro.switches.voq import VoqBank
+
+__all__ = [
+    "PacketQueue",
+    "DropPolicy",
+    "VoqBank",
+    "ElectricalPacketSwitch",
+    "OpticalCircuitSwitch",
+    "BufferMemoryMeter",
+]

@@ -1,0 +1,144 @@
+"""Bounded packet FIFO with occupancy accounting.
+
+Every queue in the system (VOQs, EPS output queues) is a
+:class:`PacketQueue`.  It tracks byte/packet occupancy continuously so
+Figure 1's "how much memory does this switching time cost" question can
+be answered from simulation, not just the analytic model.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from typing import Callable, Deque, Optional
+
+from repro.net.packet import Packet
+from repro.sim.engine import Simulator
+from repro.sim.errors import ConfigurationError
+from repro.sim.trace import Counter, TimeSeries
+
+
+class DropPolicy(enum.Enum):
+    """What happens when an enqueue would exceed capacity."""
+
+    #: Silently drop the arriving packet (counted).
+    TAIL_DROP = "tail_drop"
+    #: Raise :class:`~repro.sim.errors.CapacityError` — for experiments
+    #: where overflow indicates a model bug rather than congestion.
+    ERROR = "error"
+
+
+class PacketQueue:
+    """FIFO of packets with optional byte and packet caps.
+
+    Parameters
+    ----------
+    sim:
+        Simulator (for occupancy timestamps).
+    name:
+        Trace name.
+    capacity_bytes / capacity_packets:
+        ``None`` means unbounded along that dimension.
+    policy:
+        Behaviour at capacity (default tail drop, like a real ToR).
+    """
+
+    def __init__(self, sim: Simulator, name: str,
+                 capacity_bytes: Optional[int] = None,
+                 capacity_packets: Optional[int] = None,
+                 policy: DropPolicy = DropPolicy.TAIL_DROP) -> None:
+        if capacity_bytes is not None and capacity_bytes <= 0:
+            raise ConfigurationError(f"{name}: capacity_bytes must be > 0")
+        if capacity_packets is not None and capacity_packets <= 0:
+            raise ConfigurationError(f"{name}: capacity_packets must be > 0")
+        self.sim = sim
+        self.name = name
+        self.capacity_bytes = capacity_bytes
+        self.capacity_packets = capacity_packets
+        self.policy = policy
+        self._queue: Deque[Packet] = deque()
+        self._bytes = 0
+        self.peak_bytes = 0
+        self.peak_packets = 0
+        self.occupancy = TimeSeries(f"{name}.bytes")
+        self.drops = Counter(f"{name}.drops")
+        self.enqueues = Counter(f"{name}.enqueues")
+        self.dequeues = Counter(f"{name}.dequeues")
+        #: Called after every occupancy change with the new byte count.
+        self.on_change: Optional[Callable[[int], None]] = None
+
+    # -- state ---------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def bytes(self) -> int:
+        """Current occupancy in bytes."""
+        return self._bytes
+
+    @property
+    def is_empty(self) -> bool:
+        """True when no packets are queued."""
+        return not self._queue
+
+    def head(self) -> Optional[Packet]:
+        """Peek at the head-of-line packet without removing it."""
+        return self._queue[0] if self._queue else None
+
+    # -- operations -------------------------------------------------------------
+
+    def enqueue(self, packet: Packet) -> bool:
+        """Append ``packet``; returns False if it was dropped at capacity."""
+        over_bytes = (self.capacity_bytes is not None
+                      and self._bytes + packet.size > self.capacity_bytes)
+        over_packets = (self.capacity_packets is not None
+                        and len(self._queue) + 1 > self.capacity_packets)
+        if over_bytes or over_packets:
+            if self.policy is DropPolicy.ERROR:
+                from repro.sim.errors import CapacityError
+                raise CapacityError(
+                    f"queue {self.name} overflow: {self._bytes}B +"
+                    f" {packet.size}B > {self.capacity_bytes}B")
+            self.drops.add(1, packet.size)
+            return False
+        packet.enqueued_ps = self.sim.now
+        self._queue.append(packet)
+        self._bytes += packet.size
+        self.enqueues.add(1, packet.size)
+        self._note_change()
+        return True
+
+    def dequeue(self) -> Packet:
+        """Remove and return the head-of-line packet.
+
+        Raises ``IndexError`` when empty — callers must check
+        :attr:`is_empty`; an unexpected empty dequeue is a protocol bug.
+        """
+        packet = self._queue.popleft()
+        self._bytes -= packet.size
+        packet.dequeued_ps = self.sim.now
+        self.dequeues.add(1, packet.size)
+        self._note_change()
+        return packet
+
+    def drain(self) -> "list[Packet]":
+        """Remove and return every queued packet (teardown helper)."""
+        drained = []
+        while self._queue:
+            drained.append(self.dequeue())
+        return drained
+
+    # -- internals ------------------------------------------------------------------
+
+    def _note_change(self) -> None:
+        if self._bytes > self.peak_bytes:
+            self.peak_bytes = self._bytes
+        if len(self._queue) > self.peak_packets:
+            self.peak_packets = len(self._queue)
+        self.occupancy.record(self.sim.now, self._bytes)
+        if self.on_change is not None:
+            self.on_change(self._bytes)
+
+
+__all__ = ["PacketQueue", "DropPolicy"]

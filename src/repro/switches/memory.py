@@ -1,0 +1,74 @@
+"""Shared buffer-memory accounting — the measurement behind Figure 1.
+
+Figure 1's y-axis is "buffering memory requirement": how much SRAM/DRAM
+a device (host or ToR) must provision to ride out scheduling blackouts
+without loss.  :class:`BufferMemoryMeter` aggregates the live occupancy
+of any set of queues and records the peak, which *is* the requirement
+for a loss-free run.
+
+It also answers the paper's qualitative question — does the requirement
+fit in a ToR? — via :meth:`fits`, parameterised by a device memory
+budget (commodity ToR ASICs of the paper's era shipped with ~12 MB of
+packet buffer; hosts have effectively unbounded DRAM).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.sim.trace import TimeSeries
+
+
+class BufferMemoryMeter:
+    """Aggregate live-occupancy meter over multiple queues.
+
+    Components register with :meth:`attach`; each registered object must
+    expose an ``on_change`` callback slot called with its new byte
+    occupancy (both :class:`~repro.switches.buffers.PacketQueue` and
+    host queues qualify via adapters).
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._current: List[int] = []
+        self.total_bytes = 0
+        self.peak_bytes = 0
+        self.series = TimeSeries(f"{name}.total_bytes")
+
+    def attach(self, queue) -> None:
+        """Track a PacketQueue (chains any existing on_change hook)."""
+        index = len(self._current)
+        self._current.append(queue.bytes)
+        self.total_bytes += queue.bytes
+        previous_hook = queue.on_change
+
+        def hook(new_bytes: int, _index: int = index) -> None:
+            self.total_bytes += new_bytes - self._current[_index]
+            self._current[_index] = new_bytes
+            if self.total_bytes > self.peak_bytes:
+                self.peak_bytes = self.total_bytes
+            self.series.record(queue.sim.now, self.total_bytes)
+            if previous_hook is not None:
+                previous_hook(new_bytes)
+
+        queue.on_change = hook
+
+    def attach_all(self, queues: Iterable) -> None:
+        """Track every queue in ``queues``."""
+        for queue in queues:
+            self.attach(queue)
+
+    def fits(self, budget_bytes: int) -> bool:
+        """True when the observed peak fits a device with ``budget_bytes``."""
+        return self.peak_bytes <= budget_bytes
+
+
+#: Packet-buffer budget of a commodity ToR ASIC of the paper's era
+#: (Broadcom Trident II class): ~12 MB shared SRAM.
+TOR_SRAM_BUDGET_BYTES = 12 * 1024 * 1024
+
+#: What a host can reasonably dedicate to staging: gigabytes of DRAM.
+HOST_DRAM_BUDGET_BYTES = 16 * 1024 * 1024 * 1024
+
+__all__ = ["BufferMemoryMeter", "TOR_SRAM_BUDGET_BYTES",
+           "HOST_DRAM_BUDGET_BYTES"]

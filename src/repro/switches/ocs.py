@@ -1,0 +1,171 @@
+"""Optical Circuit Switch model.
+
+The OCS is a crossbar of light paths: once configured with a (partial)
+permutation it forwards at line rate with essentially zero added latency
+(light in, light out — only propagation).  Its defining cost is the
+**reconfiguration blackout**: "during the switching time ... no packets
+can be sent through the switch and hence need to be buffered" (§2).
+
+The switching time is the paper's central swept parameter — from
+milliseconds (3D-MEMS, c-Through/Helios era) through microseconds
+(Mordia-class) down to nanoseconds (the PLZT switch the paper cites).
+
+Model contract
+--------------
+
+* :meth:`configure` starts a blackout of ``switching_time_ps``; the new
+  circuits carry traffic only after it ends.  Packets arriving during a
+  blackout, or at an input whose circuit does not lead to their
+  destination, are *dark drops* — a real OCS would misdeliver or lose
+  them.  The framework's processing logic is responsible for never
+  letting that happen (that is exactly the synchronisation problem the
+  paper describes); the drop counters exist to expose protocol bugs and
+  to measure the cost of clock skew in E8.
+* Transit delay through the configured crossbar is ``transit_ps``
+  (pure propagation, default 10 ns).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.net.packet import Packet
+from repro.schedulers.matching import Matching
+from repro.sim.engine import Simulator
+from repro.sim.errors import ConfigurationError
+from repro.sim.time import NANOSECONDS
+from repro.sim.trace import Counter
+
+
+class OpticalCircuitSwitch:
+    """Circuit crossbar with reconfiguration blackout.
+
+    Parameters
+    ----------
+    sim, n_ports:
+        Simulator and port count.
+    switching_time_ps:
+        Blackout duration for every reconfiguration.
+    transit_ps:
+        Propagation through the device once circuits are up.
+    output_sinks:
+        ``output_sinks[j]`` receives packets leaving output j; the
+        framework connects these to the egress downlinks.
+    """
+
+    def __init__(self, sim: Simulator, n_ports: int,
+                 switching_time_ps: int,
+                 transit_ps: int = 10 * NANOSECONDS,
+                 output_sinks: Optional[
+                     List[Callable[[Packet], None]]] = None) -> None:
+        if n_ports < 2:
+            raise ConfigurationError(f"OCS needs >= 2 ports, got {n_ports}")
+        if switching_time_ps < 0:
+            raise ConfigurationError("switching time must be >= 0")
+        self.sim = sim
+        self.n_ports = n_ports
+        self.switching_time_ps = switching_time_ps
+        self.transit_ps = transit_ps
+        self._sinks = output_sinks or [_unconnected] * n_ports
+        self._circuits = Matching.empty(n_ports)
+        self._dark_until = 0
+        self._pending: Optional[Matching] = None
+        self.reconfigurations = 0
+        self.forwarded = Counter("ocs.forwarded")
+        self.dark_drops = Counter("ocs.dark_drops")
+        self.misdirected_drops = Counter("ocs.misdirected_drops")
+        #: Total picoseconds spent dark (for duty-cycle accounting).
+        self.blackout_ps = 0
+
+    def connect_output(self, port: int, sink: Callable[[Packet], None]) -> None:
+        """Attach the consumer of output ``port``."""
+        if self._sinks is None or len(self._sinks) != self.n_ports:
+            self._sinks = [_unconnected] * self.n_ports
+        self._sinks[port] = sink
+
+    # -- control plane ----------------------------------------------------------
+
+    def configure(self, matching: Matching) -> int:
+        """Begin reconfiguring to ``matching``; returns ready time.
+
+        The blackout starts immediately: circuits drop *now* and the new
+        matching is live at ``now + switching_time_ps``.  Re-configuring
+        while a previous blackout is still in progress restarts the
+        blackout (the device can only slew to one target at a time).
+
+        A zero switching time applies instantaneously — the idealised
+        fast path of Figure 1.
+        """
+        if matching.n != self.n_ports:
+            raise ConfigurationError(
+                f"matching is {matching.n}-port, switch is {self.n_ports}")
+        self.reconfigurations += 1
+        if self.switching_time_ps == 0:
+            self._circuits = matching
+            return self.sim.now
+        self.blackout_ps += max(
+            0, self.sim.now + self.switching_time_ps - max(self.sim.now,
+                                                           self._dark_until))
+        self._dark_until = self.sim.now + self.switching_time_ps
+        self._pending = matching
+        ready_at = self._dark_until
+
+        def commit() -> None:
+            # A later configure() may have superseded this one.
+            if self._pending is matching and self.sim.now >= self._dark_until:
+                self._circuits = matching
+                self._pending = None
+
+        self.sim.at(ready_at, commit, label="ocs.commit")
+        return ready_at
+
+    @property
+    def is_dark(self) -> bool:
+        """True while a reconfiguration blackout is in progress."""
+        return self.sim.now < self._dark_until
+
+    @property
+    def circuits(self) -> Matching:
+        """The currently live matching (empty during first blackout)."""
+        return self._circuits
+
+    def circuit_for(self, input_port: int) -> Optional[int]:
+        """Live output for ``input_port`` or None (dark or unmatched)."""
+        if self.is_dark:
+            return None
+        return self._circuits.output_for(input_port)
+
+    # -- data plane ------------------------------------------------------------------
+
+    def receive(self, packet: Packet, input_port: Optional[int] = None) -> bool:
+        """Accept a packet at an input port; returns True if forwarded.
+
+        The packet rides the live circuit from ``input_port`` (default:
+        ``packet.src``).  Dark switch → dark drop.  Circuit leading to a
+        different output than ``packet.dst`` → misdirected drop.
+        """
+        port = packet.src if input_port is None else input_port
+        if self.is_dark:
+            self.dark_drops.add(1, packet.size)
+            return False
+        out = self._circuits.output_for(port)
+        if out is None:
+            self.dark_drops.add(1, packet.size)
+            return False
+        if out != packet.dst:
+            self.misdirected_drops.add(1, packet.size)
+            return False
+        self.forwarded.add(1, packet.size)
+        sink = self._sinks[out]
+        packet.via = "ocs"
+        self.sim.schedule(self.transit_ps, lambda: sink(packet),
+                          label="ocs.transit")
+        return True
+
+
+def _unconnected(packet: Packet) -> None:
+    raise ConfigurationError(
+        f"OCS output for packet {packet.packet_id} is not connected")
+
+
+__all__ = ["OpticalCircuitSwitch"]

@@ -1,0 +1,167 @@
+"""Virtual Output Queue bank.
+
+An input-queued switch keeps, at each input port, one queue per output
+port — the VOQ discipline that avoids head-of-line blocking.  Figure 2's
+processing logic "places [packets] into their respective Virtual Output
+Queue" and "as the status of a VOQ changes, the subsystem generates
+scheduling requests".
+
+:class:`VoqBank` is the n×n bank for the whole switch, with:
+
+* per-VOQ :class:`~repro.switches.buffers.PacketQueue` storage,
+* a status-change hook that fires exactly when the paper says requests
+  are generated (empty↔non-empty transitions and byte-count changes),
+* O(1) demand-matrix snapshots for the scheduling logic.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.net.packet import Packet
+from repro.sim.engine import Simulator
+from repro.sim.errors import ConfigurationError
+from repro.switches.buffers import DropPolicy, PacketQueue
+
+
+class VoqBank:
+    """n×n virtual output queues with demand snapshots.
+
+    Parameters
+    ----------
+    sim, n_ports:
+        Simulator and port count.
+    capacity_bytes:
+        Per-VOQ byte cap (None = unbounded).  The *aggregate* cap that
+        Figure 1 reasons about is enforced by
+        :class:`~repro.switches.memory.BufferMemoryMeter` instead, since
+        real ToR SRAM is shared.
+    on_status_change:
+        Called with ``(src, dst, queued_bytes)`` after every enqueue or
+        dequeue — the request-generation hook.
+    """
+
+    def __init__(self, sim: Simulator, n_ports: int,
+                 capacity_bytes: Optional[int] = None,
+                 policy: DropPolicy = DropPolicy.TAIL_DROP,
+                 on_status_change:
+                 Optional[Callable[[int, int, int], None]] = None) -> None:
+        if n_ports < 2:
+            raise ConfigurationError(f"VoqBank needs >= 2 ports, got {n_ports}")
+        self.sim = sim
+        self.n_ports = n_ports
+        self.on_status_change = on_status_change
+        self._queues: List[List[Optional[PacketQueue]]] = []
+        for src in range(n_ports):
+            row: List[Optional[PacketQueue]] = []
+            for dst in range(n_ports):
+                if src == dst:
+                    row.append(None)
+                else:
+                    row.append(PacketQueue(
+                        sim, f"voq[{src},{dst}]",
+                        capacity_bytes=capacity_bytes, policy=policy))
+            self._queues.append(row)
+        # Dense byte counts for O(n^2) demand snapshots without walking
+        # deques; kept in sync by _touch.
+        self._bytes = np.zeros((n_ports, n_ports), dtype=np.int64)
+        self._packets = np.zeros((n_ports, n_ports), dtype=np.int64)
+        self._total = 0
+        self._peak_total = 0
+
+    # -- access -----------------------------------------------------------------
+
+    def queue(self, src: int, dst: int) -> PacketQueue:
+        """The VOQ for (src, dst); raises on the src == dst diagonal."""
+        q = self._queues[src][dst]
+        if q is None:
+            raise ConfigurationError(f"no VOQ on diagonal ({src},{src})")
+        return q
+
+    # -- operations --------------------------------------------------------------
+
+    def enqueue(self, packet: Packet) -> bool:
+        """Place ``packet`` into VOQ (packet.src, packet.dst).
+
+        Returns False if tail-dropped.  Fires the status hook either way
+        a real request generator watches occupancy, and a drop changes
+        nothing.
+        """
+        q = self.queue(packet.src, packet.dst)
+        accepted = q.enqueue(packet)
+        if accepted:
+            self._touch(packet.src, packet.dst)
+        return accepted
+
+    def dequeue(self, src: int, dst: int) -> Packet:
+        """Remove the head packet of VOQ (src, dst)."""
+        q = self.queue(src, dst)
+        packet = q.dequeue()
+        self._touch(src, dst)
+        return packet
+
+    def head(self, src: int, dst: int) -> Optional[Packet]:
+        """Peek the head packet of VOQ (src, dst)."""
+        return self.queue(src, dst).head()
+
+    def is_empty(self, src: int, dst: int) -> bool:
+        """True when VOQ (src, dst) holds no packets."""
+        return self.queue(src, dst).is_empty
+
+    # -- aggregate views ------------------------------------------------------------
+
+    def demand_bytes(self) -> np.ndarray:
+        """n×n matrix of queued bytes (a copy; callers may mutate)."""
+        return self._bytes.copy()
+
+    def demand_packets(self) -> np.ndarray:
+        """n×n matrix of queued packet counts (a copy)."""
+        return self._packets.copy()
+
+    @property
+    def total_bytes(self) -> int:
+        """Total bytes stored across the whole bank."""
+        return int(self._bytes.sum())
+
+    @property
+    def total_packets(self) -> int:
+        """Total packets stored across the whole bank."""
+        return int(self._packets.sum())
+
+    def peak_total_bytes(self) -> int:
+        """Peak simultaneous occupancy — the Figure 1 measurement.
+
+        Exact, not sampled: recomputed from per-queue step series would
+        be expensive, so the bank tracks the running aggregate in
+        :meth:`_touch`.
+        """
+        return self._peak_total
+
+    def nonempty_voqs(self) -> List[tuple]:
+        """(src, dst) of every backlogged VOQ."""
+        src_idx, dst_idx = np.nonzero(self._packets)
+        return list(zip(src_idx.tolist(), dst_idx.tolist()))
+
+    def drops_total(self) -> int:
+        """Total packets tail-dropped across the bank."""
+        return sum(q.drops.count
+                   for row in self._queues for q in row if q is not None)
+
+    # -- internals ---------------------------------------------------------------------
+
+    def _touch(self, src: int, dst: int) -> None:
+        q = self._queues[src][dst]
+        assert q is not None
+        old = int(self._bytes[src, dst])
+        self._bytes[src, dst] = q.bytes
+        self._packets[src, dst] = len(q)
+        self._total += q.bytes - old
+        if self._total > self._peak_total:
+            self._peak_total = self._total
+        if self.on_status_change is not None:
+            self.on_status_change(src, dst, q.bytes)
+
+
+__all__ = ["VoqBank"]

@@ -1,0 +1,49 @@
+"""Traffic generators — the workloads the testbed would replay.
+
+The paper motivates hybrid switching with two traffic classes: "long
+bursts" that belong on circuits and "the remaining traffic and short
+bursts" for the EPS, plus latency-sensitive streams (VOIP, gaming)
+whose jitter the scheduler must protect.  This package provides all
+three, plus the flow-size mixes published for production data centers:
+
+* :class:`~repro.traffic.sources.PoissonSource` — memoryless background
+  load at a configurable offered rate;
+* :class:`~repro.traffic.sources.OnOffSource` — heavy-tailed bursts
+  (Pareto ON periods at line rate) — the "long bursts";
+* :class:`~repro.traffic.sources.CbrSource` — constant-bit-rate streams
+  (VOIP-like, small periodic packets, high priority);
+* :class:`~repro.traffic.flows.FlowSource` — flow-level workload with
+  empirical size distributions (web-search / data-mining mixes);
+* :mod:`~repro.traffic.patterns` — destination choosers (uniform,
+  permutation, hotspot) shared by all sources.
+"""
+
+from repro.traffic.flows import (
+    DATAMINING_FLOW_SIZES,
+    WEBSEARCH_FLOW_SIZES,
+    EmpiricalSizeDistribution,
+    FlowSource,
+)
+from repro.traffic.patterns import (
+    DestinationChooser,
+    FixedDestination,
+    HotspotDestination,
+    PermutationDestination,
+    UniformDestination,
+)
+from repro.traffic.sources import CbrSource, OnOffSource, PoissonSource
+
+__all__ = [
+    "DestinationChooser",
+    "UniformDestination",
+    "FixedDestination",
+    "PermutationDestination",
+    "HotspotDestination",
+    "PoissonSource",
+    "OnOffSource",
+    "CbrSource",
+    "FlowSource",
+    "EmpiricalSizeDistribution",
+    "WEBSEARCH_FLOW_SIZES",
+    "DATAMINING_FLOW_SIZES",
+]

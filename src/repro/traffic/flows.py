@@ -1,0 +1,195 @@
+"""Flow-level workload with empirical data-center size distributions.
+
+Production DC studies report flow-size mixes with a heavy tail: most
+flows are a few KB (mice), most *bytes* live in multi-MB flows
+(elephants).  The two canonical published mixes:
+
+* **web search** (partition/aggregate): median ~10 KB, tail to ~30 MB;
+* **data mining**: 80 % of flows under 10 KB but 95 % of bytes in
+  flows over 35 MB.
+
+We encode both as coarse CDFs (:data:`WEBSEARCH_FLOW_SIZES`,
+:data:`DATAMINING_FLOW_SIZES`) — coarse is appropriate: the scheduler
+only cares that mice/elephant proportions are right, not the exact
+quantiles of a specific 2010 cluster.
+
+:class:`FlowSource` turns a size distribution into packets: flows
+arrive Poisson at a rate chosen to hit a target offered load, each flow
+picks a destination and streams its bytes as full-size frames paced at
+the flow rate.
+"""
+
+from __future__ import annotations
+
+import random
+from bisect import bisect_left
+from typing import Optional, Sequence, Tuple
+
+from repro.net.host import Host
+from repro.net.packet import MAX_FRAME_BYTES, Packet, wire_size
+from repro.sim.engine import Simulator
+from repro.sim.errors import ConfigurationError
+from repro.sim.time import SECONDS, transmission_time_ps
+from repro.traffic.patterns import DestinationChooser
+from repro.traffic.sources import next_flow_id
+
+#: (cumulative probability, flow bytes) — web-search-style mix.
+WEBSEARCH_FLOW_SIZES: Sequence[Tuple[float, int]] = (
+    (0.15, 1_000),
+    (0.50, 10_000),
+    (0.80, 100_000),
+    (0.95, 1_000_000),
+    (0.99, 10_000_000),
+    (1.00, 30_000_000),
+)
+
+#: (cumulative probability, flow bytes) — data-mining-style mix.
+DATAMINING_FLOW_SIZES: Sequence[Tuple[float, int]] = (
+    (0.50, 300),
+    (0.80, 10_000),
+    (0.90, 100_000),
+    (0.95, 1_000_000),
+    (0.98, 35_000_000),
+    (1.00, 100_000_000),
+)
+
+
+class EmpiricalSizeDistribution:
+    """Sample flow sizes from a coarse CDF with log-linear interpolation.
+
+    Between two CDF knots sizes are interpolated geometrically, which
+    keeps the samples heavy-tailed instead of clustering on the knots.
+    """
+
+    def __init__(self, cdf: Sequence[Tuple[float, int]]) -> None:
+        if not cdf:
+            raise ConfigurationError("empty CDF")
+        previous_p = 0.0
+        for p, size in cdf:
+            if not previous_p < p <= 1.0:
+                raise ConfigurationError(
+                    f"CDF probabilities must increase to 1.0; saw {p}")
+            if size <= 0:
+                raise ConfigurationError("flow sizes must be positive")
+            previous_p = p
+        if abs(cdf[-1][0] - 1.0) > 1e-12:
+            raise ConfigurationError("CDF must end at probability 1.0")
+        self._probs = [p for p, __ in cdf]
+        self._sizes = [s for __, s in cdf]
+
+    def mean_bytes(self) -> float:
+        """Approximate mean of the distribution (knot midpoints)."""
+        total = 0.0
+        previous_p = 0.0
+        previous_s = self._sizes[0]
+        for p, s in zip(self._probs, self._sizes):
+            mid = (previous_s * s) ** 0.5
+            total += (p - previous_p) * mid
+            previous_p, previous_s = p, s
+        return total
+
+    def sample(self, rng: random.Random) -> int:
+        """Draw one flow size in bytes."""
+        u = rng.random()
+        index = bisect_left(self._probs, u)
+        index = min(index, len(self._probs) - 1)
+        hi_p, hi_s = self._probs[index], self._sizes[index]
+        if index == 0:
+            lo_p, lo_s = 0.0, max(1, self._sizes[0] // 10)
+        else:
+            lo_p, lo_s = self._probs[index - 1], self._sizes[index - 1]
+        span = hi_p - lo_p
+        frac = 0.0 if span <= 0 else (u - lo_p) / span
+        # Geometric interpolation between knot sizes.
+        size = lo_s * (hi_s / lo_s) ** frac
+        return max(1, round(size))
+
+
+class FlowSource:
+    """Poisson flow arrivals with empirical sizes, paced per flow.
+
+    Parameters
+    ----------
+    sim, host:
+        Simulator and host to drive.
+    chooser:
+        Destination pattern (one destination per flow).
+    distribution:
+        Flow-size distribution.
+    offered_bps:
+        Target long-run offered load in bits/s; sets the flow arrival
+        rate to ``offered / (8 * mean flow size)``.
+    flow_rate_bps:
+        Pacing rate of each flow's packets (default: line-ish 10G).
+    """
+
+    def __init__(self, sim: Simulator, host: Host,
+                 chooser: DestinationChooser,
+                 distribution: EmpiricalSizeDistribution,
+                 offered_bps: float,
+                 flow_rate_bps: float = 10e9,
+                 packet_bytes: int = MAX_FRAME_BYTES,
+                 rng: Optional[random.Random] = None,
+                 start_ps: int = 0, until_ps: Optional[int] = None,
+                 priority: int = 0) -> None:
+        if offered_bps <= 0 or flow_rate_bps <= 0:
+            raise ConfigurationError("rates must be positive")
+        self.sim = sim
+        self.host = host
+        self.chooser = chooser
+        self.distribution = distribution
+        self.offered_bps = offered_bps
+        self.flow_rate_bps = flow_rate_bps
+        self.packet_bytes = packet_bytes
+        self.rng = rng or random.Random(host.host_id)
+        self.until_ps = until_ps
+        self.priority = priority
+        self.flows_started = 0
+        self.packets_emitted = 0
+        mean_flow_bytes = distribution.mean_bytes()
+        flows_per_second = offered_bps / (8.0 * mean_flow_bytes)
+        self._mean_gap_ps = SECONDS / flows_per_second
+        self._packet_gap_ps = transmission_time_ps(
+            wire_size(packet_bytes), flow_rate_bps)
+        self.sim.at(start_ps, self._arm, label="flowsrc.start")
+
+    def _arm(self) -> None:
+        gap = round(self.rng.expovariate(1.0) * self._mean_gap_ps)
+        self.sim.schedule(gap, self._start_flow, label="flowsrc.arrive")
+
+    def _start_flow(self) -> None:
+        if self._done():
+            return
+        self.flows_started += 1
+        flow_id = next_flow_id()
+        dst = self.chooser.choose()
+        remaining = self.distribution.sample(self.rng)
+        self._flow_packet(dst, flow_id, remaining)
+        self._arm()
+
+    def _flow_packet(self, dst: int, flow_id: int, remaining: int) -> None:
+        if self._done() or remaining <= 0:
+            return
+        size = min(self.packet_bytes, max(64, remaining))
+        packet = Packet(
+            src=self.host.host_id, dst=dst, size=size,
+            created_ps=self.sim.now, flow_id=flow_id,
+            priority=self.priority,
+        )
+        self.host.emit(packet)
+        self.packets_emitted += 1
+        self.sim.schedule(
+            self._packet_gap_ps,
+            lambda: self._flow_packet(dst, flow_id, remaining - size),
+            label="flowsrc.pkt")
+
+    def _done(self) -> bool:
+        return self.until_ps is not None and self.sim.now >= self.until_ps
+
+
+__all__ = [
+    "EmpiricalSizeDistribution",
+    "FlowSource",
+    "WEBSEARCH_FLOW_SIZES",
+    "DATAMINING_FLOW_SIZES",
+]

@@ -1,0 +1,107 @@
+"""Destination-selection patterns shared by all traffic sources.
+
+A :class:`DestinationChooser` maps "this host wants to send a packet"
+to a destination port.  The three classics:
+
+* **uniform** — each packet to a uniformly random other host; the
+  benign, EPS-friendly pattern;
+* **permutation** — every host talks to one fixed partner; the pattern
+  circuit switches love (one circuit serves everything);
+* **hotspot** — a skewed mix: with probability ``skew`` the packet goes
+  to the host's designated hot partner, otherwise uniform.  Sweeping
+  ``skew`` from 0 to 1 interpolates between the two worlds — E6's axis.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from typing import Optional
+
+from repro.sim.errors import ConfigurationError
+
+
+class DestinationChooser(abc.ABC):
+    """Chooses a destination port for each packet from ``src``."""
+
+    def __init__(self, n_ports: int, src: int) -> None:
+        if not 0 <= src < n_ports:
+            raise ConfigurationError(f"src {src} out of range")
+        if n_ports < 2:
+            raise ConfigurationError("need >= 2 ports")
+        self.n_ports = n_ports
+        self.src = src
+
+    @abc.abstractmethod
+    def choose(self) -> int:
+        """Destination for the next packet (never equal to ``src``)."""
+
+
+class UniformDestination(DestinationChooser):
+    """Uniformly random over all hosts except the source."""
+
+    def __init__(self, n_ports: int, src: int,
+                 rng: Optional[random.Random] = None) -> None:
+        super().__init__(n_ports, src)
+        self.rng = rng or random.Random(src)
+
+    def choose(self) -> int:
+        dst = self.rng.randrange(self.n_ports - 1)
+        return dst if dst < self.src else dst + 1
+
+
+class FixedDestination(DestinationChooser):
+    """Every packet to one fixed destination."""
+
+    def __init__(self, n_ports: int, src: int, dst: int) -> None:
+        super().__init__(n_ports, src)
+        if dst == src or not 0 <= dst < n_ports:
+            raise ConfigurationError(
+                f"fixed destination {dst} invalid for src {src}")
+        self.dst = dst
+
+    def choose(self) -> int:
+        return self.dst
+
+
+class PermutationDestination(FixedDestination):
+    """The cyclic-shift permutation partner: ``(src + shift) mod n``."""
+
+    def __init__(self, n_ports: int, src: int, shift: int = 1) -> None:
+        if shift % n_ports == 0:
+            raise ConfigurationError("shift must not be a multiple of n")
+        super().__init__(n_ports, src, (src + shift) % n_ports)
+
+
+class HotspotDestination(DestinationChooser):
+    """Skewed chooser: hot partner with probability ``skew``, else uniform.
+
+    ``skew = 0`` degenerates to uniform, ``skew = 1`` to permutation.
+    """
+
+    def __init__(self, n_ports: int, src: int, skew: float,
+                 hot_dst: Optional[int] = None,
+                 rng: Optional[random.Random] = None) -> None:
+        super().__init__(n_ports, src)
+        if not 0.0 <= skew <= 1.0:
+            raise ConfigurationError(f"skew must be in [0, 1], got {skew}")
+        self.skew = skew
+        self.hot_dst = ((src + 1) % n_ports if hot_dst is None else hot_dst)
+        if self.hot_dst == src:
+            raise ConfigurationError("hot destination equals source")
+        self.rng = rng or random.Random(src)
+        self._uniform = UniformDestination(n_ports, src, self.rng)
+
+    def choose(self) -> int:
+        if self.rng.random() < self.skew:
+            return self.hot_dst
+        return self._uniform.choose()
+
+
+__all__ = [
+    "DestinationChooser",
+    "UniformDestination",
+    "FixedDestination",
+    "PermutationDestination",
+    "HotspotDestination",
+]

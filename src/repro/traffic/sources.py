@@ -1,0 +1,249 @@
+"""Packet-level traffic sources.
+
+Each source drives one host: it schedules its own emission events on the
+simulator and calls ``host.emit(packet)``.  Sources are self-arming —
+constructing one starts it (at ``start_ps``) and it stops at
+``until_ps`` (or runs as long as the simulation does, when ``None``).
+
+All randomness comes from an injected ``random.Random`` so experiments
+stay reproducible under the named-stream discipline.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Optional
+
+from repro.net.host import Host
+from repro.net.packet import MAX_FRAME_BYTES, Packet, wire_size
+from repro.sim.engine import Simulator
+from repro.sim.errors import ConfigurationError
+from repro.sim.time import SECONDS, transmission_time_ps
+from repro.traffic.patterns import DestinationChooser, UniformDestination
+
+_flow_ids = itertools.count(1)
+
+
+def next_flow_id() -> int:
+    """Globally unique flow id for a new source/flow."""
+    return next(_flow_ids)
+
+
+class PoissonSource:
+    """Memoryless packet arrivals at a target offered rate.
+
+    Parameters
+    ----------
+    sim, host:
+        Simulator and the host to drive.
+    rate_bps:
+        Offered load in bits/s of L2 frame bytes.
+    packet_bytes:
+        Frame size (default full-size frames).
+    chooser:
+        Destination pattern (uniform when None).
+    rng:
+        Randomness for inter-arrival draws and uniform destinations.
+    start_ps / until_ps:
+        Active window.
+    priority:
+        Packet priority class.
+    """
+
+    def __init__(self, sim: Simulator, host: Host, rate_bps: float,
+                 packet_bytes: int = MAX_FRAME_BYTES,
+                 chooser: Optional[DestinationChooser] = None,
+                 n_ports: Optional[int] = None,
+                 rng: Optional[random.Random] = None,
+                 start_ps: int = 0, until_ps: Optional[int] = None,
+                 priority: int = 0) -> None:
+        if rate_bps <= 0:
+            raise ConfigurationError("rate must be positive")
+        if packet_bytes <= 0:
+            raise ConfigurationError("packet size must be positive")
+        self.sim = sim
+        self.host = host
+        self.rate_bps = rate_bps
+        self.packet_bytes = packet_bytes
+        self.rng = rng or random.Random(host.host_id)
+        self.chooser = chooser or _default_chooser(
+            host, n_ports, self.rng)
+        self.until_ps = until_ps
+        self.priority = priority
+        self.flow_id = next_flow_id()
+        self.packets_emitted = 0
+        # Mean inter-arrival so that rate_bps of frame bits are offered.
+        self._mean_gap_ps = packet_bytes * 8 * SECONDS / rate_bps
+        self.sim.at(start_ps, self._arm, label="poisson.start")
+
+    def _arm(self) -> None:
+        gap = round(self.rng.expovariate(1.0) * self._mean_gap_ps)
+        self.sim.schedule(gap, self._fire, label="poisson.fire")
+
+    def _fire(self) -> None:
+        if self.until_ps is not None and self.sim.now >= self.until_ps:
+            return
+        packet = Packet(
+            src=self.host.host_id,
+            dst=self.chooser.choose(),
+            size=self.packet_bytes,
+            created_ps=self.sim.now,
+            flow_id=self.flow_id,
+            priority=self.priority,
+        )
+        self.host.emit(packet)
+        self.packets_emitted += 1
+        self._arm()
+
+
+class CbrSource:
+    """Constant-bit-rate periodic stream — the VOIP/gaming model.
+
+    Defaults approximate a G.711-ish stream scaled for simulation:
+    small frames at a fixed period toward one destination, tagged with
+    elevated priority so latency metrics can isolate it.
+    """
+
+    def __init__(self, sim: Simulator, host: Host, dst: int,
+                 packet_bytes: int = 200, period_ps: int = 20_000_000,
+                 start_ps: int = 0, until_ps: Optional[int] = None,
+                 priority: int = 1) -> None:
+        if dst == host.host_id:
+            raise ConfigurationError("CBR destination equals source")
+        if period_ps <= 0:
+            raise ConfigurationError("period must be positive")
+        self.sim = sim
+        self.host = host
+        self.dst = dst
+        self.packet_bytes = packet_bytes
+        self.period_ps = period_ps
+        self.until_ps = until_ps
+        self.priority = priority
+        self.flow_id = next_flow_id()
+        self.packets_emitted = 0
+        self.sim.at(start_ps, self._fire, label="cbr.start")
+
+    def _fire(self) -> None:
+        if self.until_ps is not None and self.sim.now >= self.until_ps:
+            return
+        packet = Packet(
+            src=self.host.host_id, dst=self.dst,
+            size=self.packet_bytes, created_ps=self.sim.now,
+            flow_id=self.flow_id, priority=self.priority,
+        )
+        self.host.emit(packet)
+        self.packets_emitted += 1
+        self.sim.schedule(self.period_ps, self._fire, label="cbr.fire")
+
+
+class OnOffSource:
+    """Bursty source: Pareto ON periods at line rate, exponential OFF.
+
+    During ON, full-size frames are emitted back to back at
+    ``burst_rate_bps`` toward a single destination per burst — the
+    "long bursts of traffic" the OCS exists for.  Heavy-tailed ON
+    durations (Pareto, shape ``alpha`` ≤ 2) produce the elephant/mice
+    mix measured in production data centers.
+
+    Parameters
+    ----------
+    mean_on_ps / mean_off_ps:
+        Mean burst and gap durations; offered load ≈
+        ``burst_rate * on / (on + off)``.
+    alpha:
+        Pareto shape for ON durations (1 < alpha; 1.5 default gives
+        infinite-variance bursts).
+    """
+
+    def __init__(self, sim: Simulator, host: Host,
+                 burst_rate_bps: float,
+                 mean_on_ps: int, mean_off_ps: int,
+                 packet_bytes: int = MAX_FRAME_BYTES,
+                 alpha: float = 1.5,
+                 chooser: Optional[DestinationChooser] = None,
+                 n_ports: Optional[int] = None,
+                 rng: Optional[random.Random] = None,
+                 start_ps: int = 0, until_ps: Optional[int] = None,
+                 priority: int = 0) -> None:
+        if burst_rate_bps <= 0:
+            raise ConfigurationError("burst rate must be positive")
+        if mean_on_ps <= 0 or mean_off_ps < 0:
+            raise ConfigurationError("ON mean must be > 0, OFF >= 0")
+        if alpha <= 1.0:
+            raise ConfigurationError(
+                f"Pareto shape must be > 1 for a finite mean, got {alpha}")
+        self.sim = sim
+        self.host = host
+        self.burst_rate_bps = burst_rate_bps
+        self.mean_on_ps = mean_on_ps
+        self.mean_off_ps = mean_off_ps
+        self.packet_bytes = packet_bytes
+        self.alpha = alpha
+        self.rng = rng or random.Random(host.host_id)
+        self.chooser = chooser or _default_chooser(
+            host, n_ports, self.rng)
+        self.until_ps = until_ps
+        self.priority = priority
+        self.packets_emitted = 0
+        self.bursts_started = 0
+        self._gap_ps = transmission_time_ps(wire_size(packet_bytes),
+                                            burst_rate_bps)
+        self.sim.at(start_ps, self._start_off, label="onoff.start")
+
+    def _pareto_on_ps(self) -> int:
+        # Pareto with mean m: x_m * alpha/(alpha-1) = m.
+        x_m = self.mean_on_ps * (self.alpha - 1.0) / self.alpha
+        draw = x_m * (1.0 - self.rng.random()) ** (-1.0 / self.alpha)
+        return max(1, round(draw))
+
+    def _start_off(self) -> None:
+        if self._done():
+            return
+        if self.mean_off_ps == 0:
+            self._start_burst()
+            return
+        gap = round(self.rng.expovariate(1.0) * self.mean_off_ps)
+        self.sim.schedule(gap, self._start_burst, label="onoff.off")
+
+    def _start_burst(self) -> None:
+        if self._done():
+            return
+        self.bursts_started += 1
+        flow_id = next_flow_id()
+        dst = self.chooser.choose()
+        end_ps = self.sim.now + self._pareto_on_ps()
+        self._burst_packet(dst, flow_id, end_ps)
+
+    def _burst_packet(self, dst: int, flow_id: int, end_ps: int) -> None:
+        if self._done() or self.sim.now >= end_ps:
+            self._start_off()
+            return
+        packet = Packet(
+            src=self.host.host_id, dst=dst,
+            size=self.packet_bytes, created_ps=self.sim.now,
+            flow_id=flow_id, priority=self.priority,
+        )
+        self.host.emit(packet)
+        self.packets_emitted += 1
+        self.sim.schedule(
+            self._gap_ps,
+            lambda: self._burst_packet(dst, flow_id, end_ps),
+            label="onoff.pkt")
+
+    def _done(self) -> bool:
+        return self.until_ps is not None and self.sim.now >= self.until_ps
+
+
+def _default_chooser(host: Host, n_ports: Optional[int],
+                     rng: random.Random) -> DestinationChooser:
+    """Uniform chooser over ``n_ports``; hosts don't know the rack size,
+    so one of ``chooser`` / ``n_ports`` must be provided explicitly."""
+    if n_ports is None:
+        raise ConfigurationError(
+            "pass either a chooser or n_ports so the source knows the "
+            "rack size")
+    return UniformDestination(n_ports, host.host_id, rng)
+
+
+__all__ = ["PoissonSource", "CbrSource", "OnOffSource", "next_flow_id"]

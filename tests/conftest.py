@@ -1,0 +1,30 @@
+"""Shared fixtures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.packet import reset_packet_ids
+from repro.sim.engine import Simulator
+
+
+@pytest.fixture()
+def sim() -> Simulator:
+    """Fresh deterministic simulator."""
+    return Simulator(seed=42)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_packet_ids():
+    """Reset the global packet-id counter per test for stable asserts."""
+    reset_packet_ids()
+    yield
+
+
+def make_packet(src=0, dst=1, size=1500, created_ps=0, flow_id=0,
+                priority=0):
+    """Loose helper used across test modules."""
+    from repro.net.packet import Packet
+
+    return Packet(src=src, dst=dst, size=size, created_ps=created_ps,
+                  flow_id=flow_id, priority=priority)

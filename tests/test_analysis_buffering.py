@@ -1,0 +1,107 @@
+"""Tests for the Figure 1 analytic buffering model."""
+
+import pytest
+
+from repro.analysis.buffering import (
+    BufferingModel,
+    figure1_curve,
+    format_bytes,
+)
+from repro.sim.errors import ConfigurationError
+from repro.sim.time import GIGABIT, MILLISECONDS, NANOSECONDS
+
+
+class TestPaperArithmetic:
+    """The numbers behind §2's worked example, exactly."""
+
+    def test_gigabytes_at_one_millisecond(self):
+        model = BufferingModel(n_ports=64, port_rate_bps=10 * GIGABIT)
+        total = model.total_bytes(1 * MILLISECONDS)
+        # 64 ports x (64 x 1ms) x 10G/8 = 5.12 GB — "approximately
+        # gigabytes".
+        assert total == 5_120_000_000
+
+    def test_kilobytes_at_one_nanosecond(self):
+        model = BufferingModel(n_ports=64, port_rate_bps=10 * GIGABIT)
+        total = model.total_bytes(1 * NANOSECONDS)
+        assert total == 5_120  # "only kilobytes"
+
+    def test_requirement_linear_in_switching_time(self):
+        model = BufferingModel()
+        assert model.total_bytes(2000) == 2 * model.total_bytes(1000)
+
+    def test_scheduler_latency_adds_to_window(self):
+        model = BufferingModel()
+        assert model.total_bytes(1000, scheduler_latency_ps=1000) \
+            == model.total_bytes(2000)
+
+    def test_single_blackout_is_n_times_smaller(self):
+        model = BufferingModel(n_ports=64)
+        per_round = model.per_port_bytes(MILLISECONDS)
+        per_blackout = model.single_blackout_bytes(MILLISECONDS)
+        assert per_round == 64 * per_blackout
+
+
+class TestRegimes:
+    def test_regime_boundary_consistent_with_points(self):
+        model = BufferingModel(n_ports=64, port_rate_bps=10 * GIGABIT)
+        boundary = model.regime_boundary_ps()
+        below = model.point(max(0, boundary - 1000))
+        above = model.point(boundary + 1000)
+        assert below.fits_in_tor
+        assert not above.fits_in_tor
+
+    def test_point_fields(self):
+        model = BufferingModel(n_ports=4, port_rate_bps=10 * GIGABIT)
+        point = model.point(1000, 500)
+        assert point.switching_time_ps == 1000
+        assert point.scheduler_latency_ps == 500
+        assert point.total_bytes == 4 * point.per_port_bytes
+        assert point.regime in ("switch", "host")
+
+    def test_row_renders(self):
+        row = BufferingModel().point(MILLISECONDS).row()
+        assert row[0] == "1ms"
+        assert row[-1] == "host"
+
+
+class TestCurve:
+    def test_curve_matches_model(self):
+        times = [1000, 2000, 4000]
+        curve = figure1_curve(times, n_ports=8)
+        model = BufferingModel(n_ports=8)
+        assert [p.total_bytes for p in curve] == \
+            [model.total_bytes(t) for t in times]
+
+    def test_curve_monotone(self):
+        curve = figure1_curve([10, 100, 1000, 10_000])
+        totals = [p.total_bytes for p in curve]
+        assert totals == sorted(totals)
+
+
+class TestValidation:
+    def test_bad_ports(self):
+        with pytest.raises(ConfigurationError):
+            BufferingModel(n_ports=0)
+
+    def test_bad_rate(self):
+        with pytest.raises(ConfigurationError):
+            BufferingModel(port_rate_bps=0)
+
+    def test_negative_times(self):
+        with pytest.raises(ConfigurationError):
+            BufferingModel().per_port_bytes(-1)
+        with pytest.raises(ConfigurationError):
+            BufferingModel().single_blackout_bytes(-1)
+
+
+class TestFormatBytes:
+    @pytest.mark.parametrize("nbytes,expected", [
+        (0, "0B"),
+        (999, "999B"),
+        (5_120, "5.12KB"),
+        (5_120_000, "5.12MB"),
+        (5_120_000_000, "5.12GB"),
+    ])
+    def test_examples(self, nbytes, expected):
+        assert format_bytes(nbytes) == expected

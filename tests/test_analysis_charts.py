@@ -1,0 +1,72 @@
+"""Tests for ASCII chart rendering."""
+
+import pytest
+
+from repro.analysis.charts import line_chart, sparkline
+from repro.sim.errors import ConfigurationError
+
+
+class TestSparkline:
+    def test_monotone_ramp(self):
+        assert sparkline([0, 1, 2, 3]) == "▁▃▅█"
+
+    def test_constant_series(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_length_preserved(self):
+        values = list(range(37))
+        assert len(sparkline(values)) == 37
+
+    def test_extremes_hit_extreme_glyphs(self):
+        text = sparkline([0, 10, 5])
+        assert text[0] == "▁"
+        assert text[1] == "█"
+
+
+class TestLineChart:
+    def test_contains_markers_and_legend(self):
+        text = line_chart([1, 2, 3], {"a": [1, 2, 3], "b": [3, 2, 1]},
+                          width=30, height=8)
+        assert "*" in text and "o" in text
+        assert "*=a" in text and "o=b" in text
+
+    def test_axis_labels_present(self):
+        text = line_chart([0, 10], {"s": [5, 6]},
+                          x_label="load", y_label="delay",
+                          width=20, height=5)
+        assert "load" in text
+        assert "delay" in text
+
+    def test_title(self):
+        text = line_chart([0, 1], {"s": [1, 2]}, title="My Chart",
+                          width=20, height=5)
+        assert text.splitlines()[0] == "My Chart"
+
+    def test_log_scale(self):
+        text = line_chart([1, 2, 3], {"s": [1, 100, 10_000]},
+                          log_y=True, width=20, height=5)
+        assert "1e+04" in text or "10000" in text or "1e4" in text.lower()
+
+    def test_log_scale_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            line_chart([1, 2], {"s": [0, 1]}, log_y=True)
+
+    def test_size_validation(self):
+        with pytest.raises(ConfigurationError):
+            line_chart([1], {"s": [1]}, width=2, height=2)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            line_chart([1, 2], {"s": [1]})
+
+    def test_empty_axis(self):
+        with pytest.raises(ConfigurationError):
+            line_chart([], {})
+
+    def test_flat_series_renders(self):
+        text = line_chart([1, 2, 3], {"s": [7, 7, 7]},
+                          width=20, height=5)
+        assert "*" in text

@@ -1,0 +1,116 @@
+"""Tests for latency/jitter/throughput metrics."""
+
+import pytest
+
+from repro.analysis.metrics import (
+    interarrival_jitter_ps,
+    latency_std_ps,
+    latency_summary,
+    percentile,
+    throughput_bps,
+    utilisation,
+)
+from repro.net.packet import Packet
+from repro.sim.time import SECONDS
+
+
+def _delivered(latency_ps, priority=0):
+    p = Packet(src=0, dst=1, size=100, created_ps=0, priority=priority)
+    p.delivered_ps = latency_ps
+    return p
+
+
+class TestPercentile:
+    def test_median(self):
+        assert percentile([1, 2, 3, 4, 5], 50) == 3
+
+    def test_empty(self):
+        assert percentile([], 99) == 0.0
+
+    def test_extremes(self):
+        values = list(range(101))
+        assert percentile(values, 0) == 0
+        assert percentile(values, 100) == 100
+
+
+class TestJitter:
+    def test_perfectly_periodic_stream_has_zero_jitter(self):
+        arrivals = [i * 1000 for i in range(50)]
+        assert interarrival_jitter_ps(arrivals, 1000) == 0.0
+
+    def test_constant_offset_has_zero_jitter(self):
+        # A uniform shift changes latency, not jitter.
+        arrivals = [500 + i * 1000 for i in range(50)]
+        assert interarrival_jitter_ps(arrivals, 1000) == 0.0
+
+    def test_variance_creates_jitter(self):
+        arrivals = []
+        t = 0
+        for i in range(50):
+            t += 1000 + (200 if i % 2 else -200)
+            arrivals.append(t)
+        assert interarrival_jitter_ps(arrivals, 1000) > 50
+
+    def test_short_streams(self):
+        assert interarrival_jitter_ps([], 1000) == 0.0
+        assert interarrival_jitter_ps([5], 1000) == 0.0
+
+    def test_smoothing_gain(self):
+        # One outlier in an otherwise perfect stream: jitter bounded by
+        # deviation/16 after the first update.
+        arrivals = [0, 1000, 2000, 3000, 4800]
+        jitter = interarrival_jitter_ps(arrivals, 1000)
+        assert 0 < jitter <= 800 / 16 + 1e-9
+
+
+class TestLatencySummary:
+    def test_summary_statistics(self):
+        packets = [_delivered(lat) for lat in (100, 200, 300, 400)]
+        summary = latency_summary(packets)
+        assert summary.count == 4
+        assert summary.mean_ps == 250
+        assert summary.p50_ps == 250
+        assert summary.max_ps == 400
+
+    def test_priority_filter(self):
+        packets = [_delivered(100, priority=0), _delivered(9000, priority=1)]
+        assert latency_summary(packets, priority=1).count == 1
+        assert latency_summary(packets, priority=1).mean_ps == 9000
+
+    def test_undelivered_ignored(self):
+        undelivered = Packet(src=0, dst=1, size=10, created_ps=0)
+        summary = latency_summary([undelivered, _delivered(100)])
+        assert summary.count == 1
+
+    def test_empty(self):
+        summary = latency_summary([])
+        assert summary.count == 0
+        assert summary.mean_ps == 0.0
+
+    def test_row_renders(self):
+        row = latency_summary([_delivered(1_000_000)]).row()
+        assert row[0] == "1"
+        assert "us" in row[1]
+
+    def test_latency_std(self):
+        assert latency_std_ps([5, 5, 5]) == 0.0
+        assert latency_std_ps([1]) == 0.0
+        assert latency_std_ps([0, 10]) == 5.0
+
+
+class TestThroughput:
+    def test_throughput_simple(self):
+        # 1250 bytes in 1 us = 10 Gbps.
+        assert throughput_bps(1250, SECONDS // 1_000_000) \
+            == pytest.approx(10e9)
+
+    def test_zero_duration(self):
+        assert throughput_bps(100, 0) == 0.0
+
+    def test_utilisation_clamped(self):
+        assert utilisation(10 ** 12, SECONDS, 1e9) == 1.0
+
+    def test_utilisation_fraction(self):
+        # 5 Gbps over a 10 Gbps capacity.
+        nbytes = int(5e9 // 8)
+        assert utilisation(nbytes, SECONDS, 10e9) == pytest.approx(0.5)

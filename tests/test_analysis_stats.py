@@ -1,0 +1,107 @@
+"""Tests for run statistics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import (
+    batch_means_ci,
+    compare_means,
+    truncate_warmup,
+)
+from repro.sim.errors import ConfigurationError
+
+
+class TestBatchMeansCI:
+    def test_constant_series_zero_width(self):
+        ci = batch_means_ci([5.0] * 100)
+        assert ci.mean == 5.0
+        assert ci.half_width == 0.0
+        assert ci.low == ci.high == 5.0
+
+    def test_covers_true_mean_of_iid_noise(self):
+        rng = np.random.default_rng(1)
+        hits = 0
+        trials = 40
+        for __ in range(trials):
+            data = rng.normal(10.0, 2.0, size=400)
+            ci = batch_means_ci(data, n_batches=10, confidence=0.95)
+            if ci.low <= 10.0 <= ci.high:
+                hits += 1
+        # 95% nominal coverage; allow generous slack for 40 trials.
+        assert hits >= 33
+
+    def test_more_data_narrows_interval(self):
+        rng = np.random.default_rng(2)
+        small = batch_means_ci(rng.normal(0, 1, 200), n_batches=10)
+        large = batch_means_ci(rng.normal(0, 1, 20_000), n_batches=10)
+        assert large.half_width < small.half_width
+
+    def test_relative_precision(self):
+        ci = batch_means_ci([10.0] * 40)
+        assert ci.relative_precision == 0.0
+
+    def test_str_renders(self):
+        text = str(batch_means_ci(list(range(40))))
+        assert "±" in text and "95%" in text
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            batch_means_ci([1.0] * 10, n_batches=1)
+        with pytest.raises(ConfigurationError):
+            batch_means_ci([1.0] * 5, n_batches=10)
+        with pytest.raises(ConfigurationError):
+            batch_means_ci([1.0] * 100, confidence=1.5)
+
+
+class TestTruncateWarmup:
+    def test_removes_obvious_transient(self):
+        series = [100.0] * 20 + [1.0] * 200
+        cut, rest = truncate_warmup(series)
+        assert cut >= 20
+        assert max(rest) == 1.0
+
+    def test_stationary_series_keeps_everything_useful(self):
+        rng = np.random.default_rng(3)
+        series = list(rng.normal(5, 0.1, 200))
+        cut, rest = truncate_warmup(series)
+        assert cut < 100  # bounded by max_fraction
+        assert len(rest) == 200 - cut
+
+    def test_short_series_untouched(self):
+        assert truncate_warmup([1.0, 2.0]) == (0, [1.0, 2.0])
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            truncate_warmup([1.0] * 10, max_fraction=1.0)
+
+
+class TestCompareMeans:
+    def test_clear_difference_significant(self):
+        rng = np.random.default_rng(4)
+        a = rng.normal(10, 1, 100)
+        b = rng.normal(5, 1, 100)
+        diff, significant = compare_means(a, b)
+        assert diff == pytest.approx(5.0, abs=0.5)
+        assert significant
+
+    def test_identical_distributions_not_significant(self):
+        # Seed chosen so the sample difference is comfortably inside
+        # the acceptance region (p ≈ 0.34) — a 5%-level test will
+        # occasionally reject equal distributions by design.
+        rng = np.random.default_rng(0)
+        a = rng.normal(5, 1, 100)
+        b = rng.normal(5, 1, 100)
+        __, significant = compare_means(a, b)
+        assert not significant
+
+    def test_degenerate_constant_series(self):
+        diff, significant = compare_means([3.0, 3.0], [3.0, 3.0])
+        assert diff == 0.0
+        assert not significant
+        diff2, significant2 = compare_means([4.0, 4.0], [3.0, 3.0])
+        assert diff2 == 1.0
+        assert significant2
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            compare_means([1.0], [2.0, 3.0])

@@ -1,0 +1,53 @@
+"""Tests for table rendering and sweeps."""
+
+import pytest
+
+from repro.analysis.sweep import sweep
+from repro.analysis.tables import render_series, render_table
+
+
+class TestRenderTable:
+    def test_alignment_and_rule(self):
+        text = render_table(["a", "bbb"], [["1", "2"], ["10", "20"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "---" in lines[1]
+        # Right-justified columns: the widths line up.
+        assert len(lines[0]) == len(lines[2]) == len(lines[3])
+
+    def test_title_prepended(self):
+        text = render_table(["x"], [["1"]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [["only-one"]])
+
+    def test_wide_cells_stretch_column(self):
+        text = render_table(["h"], [["wide-cell-content"]])
+        assert "wide-cell-content" in text
+
+    def test_empty_rows_ok(self):
+        text = render_table(["a"], [])
+        assert "a" in text
+
+
+class TestRenderSeries:
+    def test_pairs(self):
+        text = render_series("x", "y", [1, 2], [10, 20])
+        assert "10" in text and "20" in text
+
+
+class TestSweep:
+    def test_collects_pairs(self):
+        assert sweep([1, 2, 3], lambda x: x * x) == \
+            [(1, 1), (2, 4), (3, 9)]
+
+    def test_failure_names_the_point(self):
+        def boom(x):
+            if x == 2:
+                raise ValueError("inner")
+            return x
+
+        with pytest.raises(RuntimeError, match="point 2"):
+            sweep([1, 2], boom)

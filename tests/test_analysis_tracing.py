@@ -1,0 +1,96 @@
+"""Tests for per-packet path tracing."""
+
+import pytest
+
+from repro.analysis.tracing import PathTracer
+from repro.core.config import FrameworkConfig
+from repro.core.framework import HybridSwitchFramework
+from repro.net.classifier import ClassifierRule, FlowClassifier
+from repro.sim.time import MICROSECONDS, MILLISECONDS
+from repro.traffic.patterns import PermutationDestination
+from repro.traffic.sources import CbrSource, PoissonSource
+
+
+def _framework(classifier=None):
+    fw = HybridSwitchFramework(
+        FrameworkConfig(n_ports=4, switching_time_ps=1 * MICROSECONDS,
+                        scheduler="islip", timing_preset="ideal",
+                        default_slot_ps=10 * MICROSECONDS, seed=2),
+        classifier=classifier)
+    return fw
+
+
+class TestPathTracer:
+    def test_full_path_recorded(self):
+        fw = _framework()
+        tracer = PathTracer(fw)
+        cbr = CbrSource(fw.sim, fw.hosts[0], dst=1,
+                        period_ps=100 * MICROSECONDS)
+        result = fw.run(1 * MILLISECONDS)
+        packet = result.flow_packets(cbr.flow_id)[0]
+        stages = [hop.stage for hop in tracer.path(packet.packet_id)]
+        assert stages == ["emitted", "switch_ingress", "ocs_in",
+                          "delivered"]
+
+    def test_hop_times_monotone(self):
+        fw = _framework()
+        tracer = PathTracer(fw)
+        CbrSource(fw.sim, fw.hosts[0], dst=1,
+                  period_ps=100 * MICROSECONDS)
+        fw.run(1 * MILLISECONDS)
+        for packet_id in range(tracer.traced_packets()):
+            hops = tracer.path(packet_id)
+            times = [hop.time_ps for hop in hops]
+            assert times == sorted(times)
+
+    def test_eps_path_identified(self):
+        classifier = FlowClassifier([ClassifierRule(action="eps")])
+        fw = _framework(classifier=classifier)
+        tracer = PathTracer(fw)
+        cbr = CbrSource(fw.sim, fw.hosts[0], dst=1,
+                        period_ps=100 * MICROSECONDS)
+        result = fw.run(1 * MILLISECONDS)
+        packet = result.flow_packets(cbr.flow_id)[0]
+        assert tracer.fabric_of(packet.packet_id) == "eps"
+
+    def test_stage_latency(self):
+        fw = _framework()
+        tracer = PathTracer(fw)
+        cbr = CbrSource(fw.sim, fw.hosts[0], dst=1,
+                        period_ps=100 * MICROSECONDS)
+        result = fw.run(1 * MILLISECONDS)
+        packet = result.flow_packets(cbr.flow_id)[0]
+        total = tracer.stage_latency_ps(packet.packet_id,
+                                        "emitted", "delivered")
+        assert total == packet.latency_ps
+        assert tracer.stage_latency_ps(packet.packet_id,
+                                       "emitted", "no-such") is None
+
+    def test_stage_breakdown_covers_all_packets(self):
+        fw = _framework()
+        tracer = PathTracer(fw)
+        for host in fw.hosts:
+            PoissonSource(
+                fw.sim, host, rate_bps=1e9,
+                chooser=PermutationDestination(4, host.host_id),
+                rng=fw.sim.streams.stream(f"s{host.host_id}"))
+        fw.run(1 * MILLISECONDS)
+        breakdown = tracer.stage_breakdown()
+        assert ("emitted", "switch_ingress") in breakdown
+        samples = breakdown[("emitted", "switch_ingress")]
+        assert all(s >= 0 for s in samples)
+
+    def test_render_path(self):
+        fw = _framework()
+        tracer = PathTracer(fw)
+        cbr = CbrSource(fw.sim, fw.hosts[0], dst=1,
+                        period_ps=100 * MICROSECONDS)
+        result = fw.run(1 * MILLISECONDS)
+        packet = result.flow_packets(cbr.flow_id)[0]
+        text = tracer.render_path(packet.packet_id)
+        assert "emitted" in text and "delivered" in text
+
+    def test_render_unknown_packet(self):
+        fw = _framework()
+        tracer = PathTracer(fw)
+        assert "no trace" in tracer.render_path(99_999)

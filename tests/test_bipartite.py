@@ -1,0 +1,88 @@
+"""Tests for Hopcroft–Karp, cross-checked against networkx."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.schedulers.bipartite import (
+    hopcroft_karp,
+    perfect_matching_on_support,
+)
+
+
+def _matching_size(match):
+    return sum(1 for m in match if m is not None)
+
+
+def _networkx_max_matching_size(adjacency, n_right):
+    graph = nx.Graph()
+    n_left = len(adjacency)
+    graph.add_nodes_from(range(n_left), bipartite=0)
+    graph.add_nodes_from(range(n_left, n_left + n_right), bipartite=1)
+    for u, neighbours in enumerate(adjacency):
+        for v in neighbours:
+            graph.add_edge(u, n_left + v)
+    matching = nx.bipartite.maximum_matching(
+        graph, top_nodes=range(n_left))
+    return sum(1 for k in matching if k < n_left)
+
+
+class TestHopcroftKarp:
+    def test_simple_perfect(self):
+        match = hopcroft_karp([[0], [1]], 2)
+        assert match == [0, 1]
+
+    def test_requires_augmenting_path(self):
+        # Both prefer 0; one must settle for 1.
+        match = hopcroft_karp([[0], [0, 1]], 2)
+        assert _matching_size(match) == 2
+
+    def test_unmatchable_vertex(self):
+        match = hopcroft_karp([[0], []], 2)
+        assert match[0] == 0
+        assert match[1] is None
+
+    def test_empty_graph(self):
+        assert hopcroft_karp([], 0) == []
+
+    def test_returns_consistent_matching(self):
+        adjacency = [[0, 1], [1, 2], [0, 2], [2, 3]]
+        match = hopcroft_karp(adjacency, 4)
+        taken = [m for m in match if m is not None]
+        assert len(taken) == len(set(taken))
+        for u, v in enumerate(match):
+            if v is not None:
+                assert v in adjacency[u]
+
+    @given(st.integers(2, 7), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_maximum_cardinality_matches_networkx(self, n, data):
+        adjacency = []
+        for __ in range(n):
+            neighbours = data.draw(st.lists(
+                st.integers(0, n - 1), max_size=n, unique=True))
+            adjacency.append(neighbours)
+        ours = _matching_size(hopcroft_karp(adjacency, n))
+        reference = _networkx_max_matching_size(adjacency, n)
+        assert ours == reference
+
+
+class TestPerfectMatchingOnSupport:
+    def test_identity_support(self):
+        support = np.eye(3, dtype=bool)
+        assert perfect_matching_on_support(support.tolist()) == [0, 1, 2]
+
+    def test_full_support(self):
+        match = perfect_matching_on_support(np.ones((4, 4), bool).tolist())
+        assert sorted(match) == [0, 1, 2, 3]
+
+    def test_hall_violation_returns_none(self):
+        # Two rows can only use column 0.
+        support = [[True, False], [True, False]]
+        assert perfect_matching_on_support(support) is None
+
+    def test_empty_row_returns_none(self):
+        support = [[False, False], [True, True]]
+        assert perfect_matching_on_support(support) is None

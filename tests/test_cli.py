@@ -1,0 +1,39 @@
+"""Tests for the ``repro`` CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_list_command(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_command_with_quick(self):
+        args = build_parser().parse_args(["run", "e2", "--quick"])
+        assert args.experiment == "e2"
+        assert args.quick
+
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestExecution:
+    def test_list_output(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "e1" in out
+        assert "islip" in out
+        assert "netfpga_sume" in out
+
+    def test_run_e2_quick(self, capsys):
+        assert main(["run", "e2", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "E2" in out
+        assert "cpu_helios" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["run", "nope"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err

@@ -1,0 +1,97 @@
+"""Tests for the control-plane package."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.control.channel import ControlChannel
+from repro.control.distributed import DistributedGreedyScheduler
+from repro.schedulers.mwm import MwmScheduler
+from repro.sim.errors import ConfigurationError
+
+
+class TestControlChannel:
+    def test_fixed_latency_delivery(self, sim):
+        channel = ControlChannel(sim, "c", latency_ps=1000)
+        seen = []
+        channel.send("grant", lambda m: seen.append((m, sim.now)))
+        sim.run()
+        assert seen == [("grant", 1000)]
+
+    def test_jitter_within_bounds(self, sim):
+        channel = ControlChannel(sim, "c", latency_ps=1000,
+                                 jitter_ps=500, rng=random.Random(1))
+        times = []
+        for __ in range(50):
+            t = channel.send("m", lambda m: None)
+            times.append(t - sim.now)
+        assert all(1000 <= t <= 1500 for t in times)
+        assert len(set(times)) > 1  # jitter actually varies
+
+    def test_loss(self, sim):
+        channel = ControlChannel(sim, "c", latency_ps=10,
+                                 loss_rate=0.5, rng=random.Random(2))
+        delivered = []
+        for __ in range(200):
+            channel.send("m", lambda m: delivered.append(m))
+        sim.run()
+        assert channel.lost.count > 50
+        assert channel.sent.count == 200
+        assert len(delivered) == 200 - channel.lost.count
+
+    def test_validation(self, sim):
+        with pytest.raises(ConfigurationError):
+            ControlChannel(sim, "c", latency_ps=-1)
+        with pytest.raises(ConfigurationError):
+            ControlChannel(sim, "c", latency_ps=0, loss_rate=1.0)
+
+
+class TestDistributedGreedy:
+    def test_fresh_view_matches_heaviest_requests(self):
+        demand = np.zeros((3, 3))
+        demand[0, 1] = 100.0
+        demand[2, 1] = 50.0   # loses the contention for output 1
+        demand[1, 0] = 10.0
+        sched = DistributedGreedyScheduler(3, staleness_epochs=0)
+        matching = sched.compute(demand).first
+        assert matching.output_for(0) == 1
+        assert matching.output_for(1) == 0
+        assert matching.output_for(2) is None  # one round only
+
+    def test_stale_view_lags_demand_shift(self):
+        sched = DistributedGreedyScheduler(3, staleness_epochs=2)
+        old = np.zeros((3, 3))
+        old[0, 1] = 100.0
+        new = np.zeros((3, 3))
+        new[0, 2] = 100.0
+        # Two epochs of old demand fill the staleness window.
+        sched.compute(old)
+        sched.compute(old)
+        # Demand has shifted, but the acting view is still `old`.
+        matching = sched.compute(new).first
+        assert matching.output_for(0) == 1
+
+    def test_zero_staleness_tracks_immediately(self):
+        sched = DistributedGreedyScheduler(3, staleness_epochs=0)
+        new = np.zeros((3, 3))
+        new[0, 2] = 100.0
+        assert sched.compute(new).first.output_for(0) == 2
+
+    def test_quality_below_centralized_mwm_under_contention(self):
+        rng = np.random.default_rng(4)
+        demand = rng.exponential(100, (6, 6))
+        np.fill_diagonal(demand, 0.0)
+        distributed = DistributedGreedyScheduler(6).compute(demand).first
+        central = MwmScheduler(6).compute(demand).first
+        assert distributed.weight(demand) <= central.weight(demand) + 1e-9
+
+    def test_staleness_validation(self):
+        with pytest.raises(ConfigurationError):
+            DistributedGreedyScheduler(3, staleness_epochs=-1)
+
+    def test_registered(self):
+        from repro.schedulers.registry import create_scheduler
+        sched = create_scheduler("distributed-greedy", n_ports=4,
+                                 staleness_epochs=3)
+        assert sched.staleness_epochs == 3

@@ -1,0 +1,77 @@
+"""Tests for the protocol auditor."""
+
+import pytest
+
+from repro.core.audit import AuditError, ProtocolAuditor
+from repro.core.config import FrameworkConfig
+from repro.core.framework import HybridSwitchFramework
+from repro.sim.time import MICROSECONDS, MILLISECONDS
+from repro.traffic.patterns import PermutationDestination
+from repro.traffic.sources import PoissonSource
+
+
+def _framework(optimistic=False, **overrides):
+    defaults = dict(n_ports=4, switching_time_ps=10 * MICROSECONDS,
+                    scheduler="hotspot",
+                    scheduler_kwargs={"hold_ps": 50 * MICROSECONDS},
+                    timing_preset="ideal",
+                    epoch_ps=80 * MICROSECONDS,
+                    default_slot_ps=50 * MICROSECONDS, seed=9)
+    defaults.update(overrides)
+    fw = HybridSwitchFramework(FrameworkConfig(**defaults),
+                               optimistic_grant=optimistic)
+    for host in fw.hosts:
+        PoissonSource(
+            fw.sim, host, rate_bps=0.3 * fw.config.port_rate_bps,
+            chooser=PermutationDestination(4, host.host_id),
+            rng=fw.sim.streams.stream(f"s{host.host_id}"))
+    return fw
+
+
+class TestCleanRun:
+    def test_paper_ordering_is_clean(self):
+        fw = _framework()
+        auditor = ProtocolAuditor(fw)
+        result = fw.run(3 * MILLISECONDS)
+        auditor.check_conservation(result)
+        auditor.assert_clean()
+        assert auditor.configures_seen > 0
+        assert auditor.grants_seen > 0
+        assert auditor.packets_seen > 0
+
+    def test_report_mentions_clean(self):
+        fw = _framework()
+        auditor = ProtocolAuditor(fw)
+        fw.run(1 * MILLISECONDS)
+        assert "CLEAN" in auditor.report()
+
+    def test_counters_match_framework(self):
+        fw = _framework()
+        auditor = ProtocolAuditor(fw)
+        result = fw.run(2 * MILLISECONDS)
+        assert auditor.configures_seen == result.ocs_reconfigurations
+        assert auditor.grants_seen == result.grants_issued
+
+
+class TestViolations:
+    def test_optimistic_grants_flagged(self):
+        fw = _framework(optimistic=True)
+        auditor = ProtocolAuditor(fw)
+        fw.run(3 * MILLISECONDS)
+        assert not auditor.is_clean()
+        rules = {v.rule for v in auditor.violations}
+        assert "configure-before-grant" in rules
+
+    def test_assert_clean_raises_with_detail(self):
+        fw = _framework(optimistic=True)
+        auditor = ProtocolAuditor(fw)
+        fw.run(3 * MILLISECONDS)
+        with pytest.raises(AuditError, match="configure-before-grant"):
+            auditor.assert_clean()
+
+    def test_violation_str_has_time(self):
+        fw = _framework(optimistic=True)
+        auditor = ProtocolAuditor(fw)
+        fw.run(3 * MILLISECONDS)
+        assert "us" in str(auditor.violations[0]) or \
+            "ms" in str(auditor.violations[0])

@@ -1,0 +1,169 @@
+"""End-to-end framework tests."""
+
+import pytest
+
+from repro.core.config import FrameworkConfig
+from repro.core.framework import HybridSwitchFramework
+from repro.net.host import HostBufferMode
+from repro.schedulers.islip import IslipScheduler
+from repro.sim.errors import ConfigurationError
+from repro.sim.time import GIGABIT, MICROSECONDS, MILLISECONDS
+from repro.traffic.patterns import PermutationDestination
+from repro.traffic.sources import CbrSource, PoissonSource
+
+
+def _framework(**overrides):
+    defaults = dict(n_ports=4, switching_time_ps=1 * MICROSECONDS,
+                    scheduler="islip", timing_preset="ideal",
+                    default_slot_ps=10 * MICROSECONDS, seed=5)
+    defaults.update(overrides)
+    return HybridSwitchFramework(FrameworkConfig(**defaults))
+
+
+def _attach_poisson(fw, load=0.3):
+    for host in fw.hosts:
+        PoissonSource(
+            fw.sim, host,
+            rate_bps=load * fw.config.port_rate_bps,
+            chooser=PermutationDestination(fw.n_ports, host.host_id),
+            rng=fw.sim.streams.stream(f"src{host.host_id}"))
+
+
+class TestLifecycle:
+    def test_single_shot(self):
+        fw = _framework()
+        _attach_poisson(fw)
+        fw.run(1 * MILLISECONDS)
+        with pytest.raises(ConfigurationError, match="single-shot"):
+            fw.run(1 * MILLISECONDS)
+
+    def test_duration_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            _framework().run(0)
+
+    def test_scheduler_instance_override(self):
+        scheduler = IslipScheduler(4, iterations=3)
+        fw = HybridSwitchFramework(
+            FrameworkConfig(n_ports=4, timing_preset="ideal"),
+            scheduler=scheduler)
+        assert fw.scheduler is scheduler
+
+
+class TestConservation:
+    def test_no_packet_invented_or_lost_silently(self):
+        fw = _framework()
+        _attach_poisson(fw, load=0.3)
+        result = fw.run(2 * MILLISECONDS)
+        in_flight = result.offered_packets - result.delivered_count \
+            - result.total_drops
+        # Whatever is neither delivered nor dropped must still be queued
+        # somewhere (VOQ/EPS/links) — it cannot be negative.
+        assert in_flight >= 0
+        assert result.delivered_count > 0
+
+    def test_byte_accounting(self):
+        fw = _framework()
+        _attach_poisson(fw)
+        result = fw.run(2 * MILLISECONDS)
+        assert result.delivered_bytes == \
+            sum(p.size for p in result.delivered)
+        assert result.ocs_bytes + result.eps_bytes == \
+            result.delivered_bytes
+
+
+class TestModes:
+    def test_fast_mode_buffers_at_switch(self):
+        fw = _framework()
+        _attach_poisson(fw)
+        result = fw.run(2 * MILLISECONDS)
+        assert result.switch_peak_buffer_bytes > 0
+        assert result.host_peak_buffer_bytes == 0
+
+    def test_slow_mode_buffers_at_host(self):
+        fw = _framework(
+            buffer_mode=HostBufferMode.HOST_BUFFERED,
+            scheduler="hotspot",
+            switching_time_ps=10 * MICROSECONDS,
+            epoch_ps=200 * MICROSECONDS,
+            default_slot_ps=150 * MICROSECONDS)
+        _attach_poisson(fw)
+        result = fw.run(4 * MILLISECONDS)
+        assert result.host_peak_buffer_bytes > 0
+        assert result.switch_peak_buffer_bytes == 0
+        assert result.delivered_count > 0
+
+    def test_all_delivered_traffic_uses_ocs_without_residue(self):
+        fw = _framework()
+        _attach_poisson(fw)
+        result = fw.run(2 * MILLISECONDS)
+        assert result.ocs_fraction == 1.0
+
+
+class TestDeterminism:
+    def test_same_seed_same_result(self):
+        results = []
+        for __ in range(2):
+            fw = _framework(seed=123)
+            _attach_poisson(fw)
+            result = fw.run(1 * MILLISECONDS)
+            results.append((result.delivered_count,
+                            result.delivered_bytes,
+                            result.switch_peak_buffer_bytes))
+        assert results[0] == results[1]
+
+    def test_different_seed_differs(self):
+        counts = []
+        for seed in (1, 2):
+            fw = _framework(seed=seed)
+            _attach_poisson(fw)
+            counts.append(fw.run(1 * MILLISECONDS).delivered_count)
+        assert counts[0] != counts[1]
+
+
+class TestLatency:
+    def test_cbr_stream_measurable(self):
+        fw = _framework()
+        cbr = CbrSource(fw.sim, fw.hosts[0], dst=1, packet_bytes=200,
+                        period_ps=100 * MICROSECONDS)
+        result = fw.run(2 * MILLISECONDS)
+        stream = result.flow_packets(cbr.flow_id)
+        assert len(stream) >= 10
+        summary = result.latency(priority=1)
+        assert summary.count == len(stream)
+        assert summary.p50_ps > 0
+
+    def test_jitter_computable(self):
+        fw = _framework()
+        cbr = CbrSource(fw.sim, fw.hosts[0], dst=1,
+                        period_ps=100 * MICROSECONDS)
+        result = fw.run(2 * MILLISECONDS)
+        jitter = result.flow_jitter_ps(cbr.flow_id, 100 * MICROSECONDS)
+        assert jitter >= 0.0
+
+
+class TestConfigValidation:
+    def test_bad_estimator(self):
+        with pytest.raises(ConfigurationError):
+            FrameworkConfig(estimator="magic")
+
+    def test_bad_ports(self):
+        with pytest.raises(ConfigurationError):
+            FrameworkConfig(n_ports=1)
+
+    def test_long_blackout_requires_epoch(self):
+        with pytest.raises(ConfigurationError, match="epoch_ps"):
+            FrameworkConfig(switching_time_ps=20 * MILLISECONDS)
+
+    def test_control_delay_defaults_to_propagation(self):
+        config = FrameworkConfig(propagation_ps=777)
+        assert config.control_delay_ps == 777
+        config2 = FrameworkConfig(propagation_ps=777,
+                                  control_latency_ps=5)
+        assert config2.control_delay_ps == 5
+
+    def test_estimator_kwargs_forwarded(self):
+        fw = HybridSwitchFramework(FrameworkConfig(
+            n_ports=4, estimator="ewma",
+            estimator_kwargs={"alpha": 0.5},
+            timing_preset="ideal"))
+        assert fw.estimator.alpha == 0.5

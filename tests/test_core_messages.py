@@ -1,0 +1,49 @@
+"""Tests for the control-plane message types and experiment reports."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.messages import CircuitConfig, Grant, Request
+from repro.experiments.base import ExperimentReport
+from repro.schedulers.matching import Matching
+
+
+class TestMessages:
+    def test_grant_end(self):
+        grant = Grant(Matching.empty(4), start_ps=100, duration_ps=50,
+                      issued_ps=90)
+        assert grant.end_ps == 150
+
+    def test_messages_are_frozen(self):
+        request = Request(0, 1, 1000, 5)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            request.src = 2
+        grant = Grant(Matching.empty(2), 0, 1, 0)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            grant.start_ps = 9
+        config = CircuitConfig(Matching.empty(2), 0)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            config.issued_ps = 9
+
+    def test_request_carries_voq_state(self):
+        request = Request(src=2, dst=5, queued_bytes=3000, issued_ps=77)
+        assert (request.src, request.dst) == (2, 5)
+        assert request.queued_bytes == 3000
+        assert request.issued_ps == 77
+
+
+class TestExperimentReport:
+    def test_render_contains_title_and_tables(self):
+        report = ExperimentReport("e9", "made-up experiment")
+        report.tables.append("col\n---\n1")
+        report.expectations.append("something held")
+        text = report.render()
+        assert "E9" in text
+        assert "made-up experiment" in text
+        assert "col" in text
+        assert "[ok] something held" in text
+
+    def test_render_without_expectations(self):
+        report = ExperimentReport("e1", "t")
+        assert "Checks:" not in report.render()

@@ -1,0 +1,186 @@
+"""Tests for the processing logic block."""
+
+import numpy as np
+import pytest
+
+from repro.core.messages import Grant
+from repro.core.processing import ProcessingLogic
+from repro.net.classifier import ClassifierRule, FlowClassifier
+from repro.net.host import HostBufferMode
+from repro.net.packet import Packet
+from repro.schedulers.matching import Matching
+from repro.sim.errors import ConfigurationError
+from repro.sim.time import GIGABIT, MICROSECONDS
+
+
+def _logic(sim, n=4, mode=HostBufferMode.SWITCH_BUFFERED,
+           classifier=None):
+    to_ocs, to_eps = [], []
+    logic = ProcessingLogic(
+        sim, n, port_rate_bps=10 * GIGABIT, mode=mode,
+        classifier=classifier,
+        ocs_sink=to_ocs.append, eps_sink=to_eps.append)
+    return logic, to_ocs, to_eps
+
+
+def _packet(src=0, dst=1, size=1500, priority=0):
+    return Packet(src=src, dst=dst, size=size, created_ps=0,
+                  priority=priority)
+
+
+class TestIngress:
+    def test_default_path_is_voq(self, sim):
+        logic, to_ocs, to_eps = _logic(sim)
+        logic.ingress(_packet())
+        assert not to_ocs and not to_eps
+        assert logic.voqs.demand_bytes()[0, 1] == 1500
+
+    def test_eps_rule_bypasses_voq(self, sim):
+        classifier = FlowClassifier([ClassifierRule(action="eps",
+                                                    priority_class=1)])
+        logic, __, to_eps = _logic(sim, classifier=classifier)
+        logic.ingress(_packet(priority=1))
+        assert len(to_eps) == 1
+        assert logic.voqs.total_bytes == 0
+
+    def test_drop_rule(self, sim):
+        classifier = FlowClassifier([ClassifierRule(action="drop", src=0)])
+        logic, to_ocs, to_eps = _logic(sim, classifier=classifier)
+        logic.ingress(_packet())
+        assert logic.classified_drops.count == 1
+        assert not to_ocs and not to_eps
+
+    def test_redirect_changes_voq(self, sim):
+        classifier = FlowClassifier([
+            ClassifierRule(action="voq", src=0, redirect_dst=3)])
+        logic, __, __e = _logic(sim, classifier=classifier)
+        logic.ingress(_packet(dst=1))
+        assert logic.voqs.demand_bytes()[0, 3] == 1500
+
+    def test_host_buffered_mode_forwards_straight_to_ocs(self, sim):
+        logic, to_ocs, __ = _logic(sim, mode=HostBufferMode.HOST_BUFFERED)
+        logic.ingress(_packet())
+        assert len(to_ocs) == 1
+        assert logic.voqs.total_bytes == 0
+
+    def test_requests_generated_on_status_change(self, sim):
+        logic, __, __e = _logic(sim)
+        requests = []
+        logic.on_request = requests.append
+        logic.ingress(_packet())
+        assert len(requests) == 1
+        assert requests[0].src == 0 and requests[0].dst == 1
+        assert requests[0].queued_bytes == 1500
+
+
+class TestGrantExecution:
+    def test_drains_granted_voq_during_window(self, sim):
+        logic, to_ocs, __ = _logic(sim)
+        for __i in range(3):
+            logic.ingress(_packet())
+        grant = Grant(Matching.from_dict(4, {0: 1}),
+                      start_ps=0, duration_ps=100 * MICROSECONDS,
+                      issued_ps=0)
+        logic.apply_grant(grant)
+        sim.run()
+        assert len(to_ocs) == 3
+        assert logic.voqs.is_empty(0, 1)
+
+    def test_window_respects_end(self, sim):
+        logic, to_ocs, __ = _logic(sim)
+        for __i in range(10):
+            logic.ingress(_packet())
+        # Window fits roughly two 1518B serialisations at 10G (~2.4us).
+        grant = Grant(Matching.from_dict(4, {0: 1}),
+                      start_ps=0, duration_ps=2_500_000, issued_ps=0)
+        logic.apply_grant(grant)
+        sim.run()
+        assert len(to_ocs) == 2
+        assert logic.voqs.demand_packets()[0, 1] == 8
+
+    def test_future_window_waits_for_start(self, sim):
+        logic, to_ocs, __ = _logic(sim)
+        logic.ingress(_packet())
+        grant = Grant(Matching.from_dict(4, {0: 1}),
+                      start_ps=50 * MICROSECONDS,
+                      duration_ps=50 * MICROSECONDS, issued_ps=0)
+        logic.apply_grant(grant)
+        sim.run(until=40 * MICROSECONDS)
+        assert not to_ocs  # blackout still in progress
+        sim.run()
+        assert len(to_ocs) == 1
+
+    def test_packet_arriving_mid_window_is_drained(self, sim):
+        logic, to_ocs, __ = _logic(sim)
+        grant = Grant(Matching.from_dict(4, {0: 1}),
+                      start_ps=0, duration_ps=100 * MICROSECONDS,
+                      issued_ps=0)
+        logic.apply_grant(grant)
+        sim.at(10 * MICROSECONDS, lambda: logic.ingress(_packet()))
+        sim.run()
+        assert len(to_ocs) == 1
+
+    def test_packet_arriving_before_window_start_not_sent_early(self, sim):
+        logic, to_ocs, __ = _logic(sim)
+        grant = Grant(Matching.from_dict(4, {0: 1}),
+                      start_ps=20 * MICROSECONDS,
+                      duration_ps=10 * MICROSECONDS, issued_ps=0)
+        logic.apply_grant(grant)
+        # Arrives during the blackout: must wait for the window.
+        sim.at(5 * MICROSECONDS, lambda: logic.ingress(_packet()))
+        sim.run(until=19 * MICROSECONDS)
+        assert not to_ocs
+        sim.run()
+        assert len(to_ocs) == 1
+
+    def test_ungranted_voq_not_drained(self, sim):
+        logic, to_ocs, __ = _logic(sim)
+        logic.ingress(_packet(src=2, dst=3))
+        grant = Grant(Matching.from_dict(4, {0: 1}),
+                      start_ps=0, duration_ps=100 * MICROSECONDS,
+                      issued_ps=0)
+        logic.apply_grant(grant)
+        sim.run()
+        assert not to_ocs
+
+    def test_port_count_mismatch_rejected(self, sim):
+        logic, __, __e = _logic(sim, n=4)
+        grant = Grant(Matching.empty(5), 0, 10, 0)
+        with pytest.raises(ConfigurationError):
+            logic.apply_grant(grant)
+
+    def test_close_windows(self, sim):
+        logic, to_ocs, __ = _logic(sim)
+        grant = Grant(Matching.from_dict(4, {0: 1}),
+                      start_ps=0, duration_ps=100 * MICROSECONDS,
+                      issued_ps=0)
+        logic.apply_grant(grant)
+        logic.close_windows()
+        logic.ingress(_packet())
+        sim.run()
+        assert not to_ocs
+
+
+class TestEpsDivert:
+    def test_diverts_up_to_budget(self, sim):
+        logic, __, to_eps = _logic(sim)
+        for __i in range(4):
+            logic.ingress(_packet(size=1000))
+        residue = np.zeros((4, 4))
+        residue[0, 1] = 2500.0  # fits two 1000B packets
+        diverted = logic.divert_to_eps(residue)
+        assert diverted == 2000
+        assert len(to_eps) == 2
+        assert logic.voqs.demand_packets()[0, 1] == 2
+
+    def test_zero_residue_diverts_nothing(self, sim):
+        logic, __, to_eps = _logic(sim)
+        logic.ingress(_packet())
+        assert logic.divert_to_eps(np.zeros((4, 4))) == 0
+        assert not to_eps
+
+    def test_divert_skips_diagonal(self, sim):
+        logic, __, to_eps = _logic(sim)
+        residue = np.zeros((4, 4))
+        residue[2, 2] = 1e9
+        assert logic.divert_to_eps(residue) == 0

@@ -1,0 +1,88 @@
+"""Tests for RunResult derived metrics."""
+
+import pytest
+
+from repro.core.results import RunResult
+from repro.net.packet import Packet
+from repro.sim.time import MILLISECONDS, SECONDS
+
+
+def _result(**overrides):
+    defaults = dict(duration_ps=1 * MILLISECONDS, n_ports=4,
+                    port_rate_bps=10e9)
+    defaults.update(overrides)
+    return RunResult(**defaults)
+
+
+def _delivered(via="ocs", size=1000, flow_id=0, delivered_ps=1000,
+               created_ps=0):
+    p = Packet(src=0, dst=1, size=size, created_ps=created_ps,
+               flow_id=flow_id)
+    p.delivered_ps = delivered_ps
+    p.via = via
+    return p
+
+
+class TestRatios:
+    def test_delivery_ratio(self):
+        result = _result(offered_packets=10)
+        result.delivered.extend(_delivered() for __ in range(7))
+        assert result.delivery_ratio == pytest.approx(0.7)
+
+    def test_delivery_ratio_nothing_offered(self):
+        assert _result().delivery_ratio == 1.0
+
+    def test_ocs_fraction(self):
+        result = _result(ocs_bytes=750, eps_bytes=250)
+        assert result.ocs_fraction == pytest.approx(0.75)
+
+    def test_ocs_fraction_no_traffic(self):
+        assert _result().ocs_fraction == 0.0
+
+
+class TestRates:
+    def test_goodput(self):
+        # 1.25 MB over 1 ms = 10 Gbps.
+        result = _result(delivered_bytes=1_250_000)
+        assert result.goodput_bps() == pytest.approx(10e9)
+
+    def test_utilisation_fraction_of_aggregate(self):
+        result = _result(delivered_bytes=1_250_000)  # 10G of 40G
+        assert result.utilisation() == pytest.approx(0.25)
+
+    def test_offered_load(self):
+        result = _result(offered_bytes=2_500_000)
+        assert result.offered_load() == pytest.approx(0.5)
+
+
+class TestFlows:
+    def test_flow_packets_sorted_by_delivery(self):
+        result = _result()
+        result.delivered.append(_delivered(flow_id=5, delivered_ps=300))
+        result.delivered.append(_delivered(flow_id=5, delivered_ps=100))
+        result.delivered.append(_delivered(flow_id=6, delivered_ps=200))
+        stream = result.flow_packets(5)
+        assert [p.delivered_ps for p in stream] == [100, 300]
+
+    def test_flow_jitter_periodic_stream(self):
+        result = _result()
+        for i in range(20):
+            result.delivered.append(
+                _delivered(flow_id=9, delivered_ps=i * 1000))
+        assert result.flow_jitter_ps(9, period_ps=1000) == 0.0
+
+    def test_latency_summary_integration(self):
+        result = _result()
+        result.delivered.append(_delivered(delivered_ps=500))
+        summary = result.latency()
+        assert summary.count == 1
+        assert summary.mean_ps == 500
+
+
+class TestDrops:
+    def test_total_drops(self):
+        result = _result(drops={"a": 2, "b": 3})
+        assert result.total_drops == 5
+
+    def test_no_drops(self):
+        assert _result().total_drops == 0

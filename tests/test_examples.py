@@ -1,0 +1,41 @@
+"""Smoke tests: the example scripts must actually run.
+
+Examples are the quickstart surface of the library; a refactor that
+breaks them breaks the README.  Only the fast ones run here (the
+workload-heavy examples are exercised manually / by the bench harness);
+each runs in a subprocess so import side effects stay isolated.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+
+FAST_EXAMPLES = ["buffering_analysis.py", "quickstart.py"]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs_clean(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True, text=True, timeout=120)
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip(), f"{script} printed nothing"
+
+
+def test_buffering_analysis_reproduces_paper_sentence():
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "buffering_analysis.py")],
+        capture_output=True, text=True, timeout=120)
+    assert "5.12GB" in result.stdout
+    assert "5.12KB" in result.stdout
+
+
+def test_all_examples_compile():
+    """Every example must at least be syntactically valid."""
+    for script in EXAMPLES_DIR.glob("*.py"):
+        source = script.read_text()
+        compile(source, str(script), "exec")

@@ -1,0 +1,127 @@
+"""Tests for the hardware/software timing models."""
+
+import pytest
+
+from repro.hwmodel.hardware import HardwareSchedulerTiming
+from repro.hwmodel.presets import TIMING_PRESETS, make_timing
+from repro.hwmodel.software import SoftwareSchedulerTiming
+from repro.hwmodel.timing import IdealTiming, LatencyBreakdown
+from repro.sim.errors import ConfigurationError
+from repro.sim.time import MICROSECONDS, MILLISECONDS, NANOSECONDS
+
+
+class TestLatencyBreakdown:
+    def test_total_is_sum(self):
+        b = LatencyBreakdown(1, 2, 3, 4, 5)
+        assert b.total_ps == 15
+
+    def test_as_dict_keys(self):
+        d = LatencyBreakdown(1, 2, 3, 4, 5).as_dict()
+        assert list(d) == ["demand_estimation", "computation", "io",
+                           "propagation", "synchronization", "total"]
+
+    def test_str_mentions_total(self):
+        assert "total" in str(LatencyBreakdown(0, 0, 0, 0, 0))
+
+
+class TestIdealTiming:
+    def test_everything_zero(self):
+        assert IdealTiming().total_ps("mwm", 256) == 0
+
+
+class TestHardwareTiming:
+    def test_cycle_period(self):
+        timing = HardwareSchedulerTiming(clock_hz=200e6)
+        assert timing.cycle_ps == pytest.approx(5000)  # 5 ns
+
+    def test_tdma_is_one_cycle(self):
+        timing = HardwareSchedulerTiming(clock_hz=200e6)
+        assert timing.computation_cycles("tdma", 64) == 1
+
+    def test_islip_cycles_scale_with_iterations(self):
+        timing = HardwareSchedulerTiming()
+        one = timing.computation_cycles("islip", 64, {"iterations": 1})
+        four = timing.computation_cycles("islip", 64, {"iterations": 4})
+        assert four == 4 * one
+
+    def test_mwm_cycles_quadratic(self):
+        timing = HardwareSchedulerTiming()
+        assert timing.computation_cycles("mwm", 64) == 64 * 64
+
+    def test_unknown_algorithm_priced_conservatively(self):
+        timing = HardwareSchedulerTiming()
+        assert timing.computation_cycles("mystery", 64) > 0
+
+    def test_no_synchronisation_cost(self):
+        breakdown = HardwareSchedulerTiming().breakdown("islip", 64)
+        assert breakdown.synchronization_ps == 0
+
+    def test_faster_clock_scales_everything_but_propagation(self):
+        slow = HardwareSchedulerTiming(clock_hz=200e6,
+                                       propagation_ps=5 * NANOSECONDS)
+        fast = HardwareSchedulerTiming(clock_hz=1e9,
+                                       propagation_ps=5 * NANOSECONDS)
+        b_slow = slow.breakdown("islip", 64, {"iterations": 4})
+        b_fast = fast.breakdown("islip", 64, {"iterations": 4})
+        assert b_fast.computation_ps == pytest.approx(
+            b_slow.computation_ps / 5, rel=0.01)
+        assert b_fast.propagation_ps == b_slow.propagation_ps
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            HardwareSchedulerTiming(clock_hz=0)
+        with pytest.raises(ConfigurationError):
+            HardwareSchedulerTiming(pipeline_depth=0)
+        with pytest.raises(ConfigurationError):
+            HardwareSchedulerTiming(bus_bits=0)
+
+
+class TestSoftwareTiming:
+    def test_polling_scales_with_hosts(self):
+        timing = SoftwareSchedulerTiming(per_host_poll_ps=10 * MICROSECONDS)
+        b16 = timing.breakdown("mwm", 16)
+        b64 = timing.breakdown("mwm", 64)
+        assert (b64.demand_estimation_ps - b16.demand_estimation_ps
+                == 48 * 10 * MICROSECONDS)
+
+    def test_sync_guard_present(self):
+        timing = SoftwareSchedulerTiming(sync_guard_ps=100 * MICROSECONDS)
+        assert timing.breakdown("mwm", 16).synchronization_ps \
+            == 100 * MICROSECONDS
+
+    def test_operation_counts_ordering(self):
+        timing = SoftwareSchedulerTiming()
+        assert timing.operation_count("tdma", 64) \
+            < timing.operation_count("islip", 64, {"iterations": 4}) \
+            < timing.operation_count("mwm", 64)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SoftwareSchedulerTiming(ns_per_op=0)
+
+
+class TestPresets:
+    def test_all_presets_instantiate(self):
+        for name in TIMING_PRESETS:
+            timing = make_timing(name)
+            assert timing.total_ps("islip", 64) >= 0
+
+    def test_unknown_preset(self):
+        with pytest.raises(ConfigurationError):
+            make_timing("nope")
+
+    def test_paper_magnitudes(self):
+        """The §2 claim itself: software is ms-class, hardware is not."""
+        hw = make_timing("netfpga_sume").total_ps(
+            "islip", 64, {"iterations": 4})
+        sw_h = make_timing("cpu_helios").total_ps("hotspot", 64)
+        sw_c = make_timing("cpu_cthrough").total_ps("hotspot", 64)
+        assert hw < 10 * MICROSECONDS
+        assert sw_h > 500 * MICROSECONDS
+        assert sw_c > 1 * MILLISECONDS
+        assert sw_h / hw > 1000  # 3+ orders of magnitude
+
+    def test_asic_faster_than_fpga(self):
+        fpga = make_timing("netfpga_sume").total_ps("islip", 64)
+        asic = make_timing("asic_1ghz").total_ps("islip", 64)
+        assert asic < fpga

@@ -1,0 +1,124 @@
+"""Tests (including property-based) for the Matching type."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.schedulers.matching import Matching
+from repro.sim.errors import SchedulingError
+
+
+@st.composite
+def partial_permutations(draw, max_n=12):
+    """Random valid partial permutations as out_of lists."""
+    n = draw(st.integers(min_value=2, max_value=max_n))
+    outputs = list(range(n))
+    rng_order = draw(st.permutations(outputs))
+    out_of = []
+    used = 0
+    for i in range(n):
+        if draw(st.booleans()):
+            out_of.append(rng_order[used])
+            used += 1
+        else:
+            out_of.append(None)
+    return out_of
+
+
+class TestValidation:
+    def test_duplicate_output_rejected(self):
+        with pytest.raises(SchedulingError):
+            Matching([1, 1, None])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(SchedulingError):
+            Matching([3, None, None])
+
+    def test_empty_matching_valid(self):
+        m = Matching.empty(4)
+        assert m.size == 0
+        assert m.n == 4
+
+
+class TestConstructors:
+    def test_identity(self):
+        m = Matching.identity(3)
+        assert list(m.pairs()) == [(0, 0), (1, 1), (2, 2)]
+        assert m.is_full()
+
+    def test_cyclic_shift(self):
+        m = Matching.cyclic_shift(4, 1)
+        assert m.output_for(3) == 0
+        assert m.is_full()
+
+    def test_from_pairs(self):
+        m = Matching.from_pairs(4, [(0, 2), (3, 1)])
+        assert m.output_for(0) == 2
+        assert m.output_for(1) is None
+        assert m.size == 2
+
+    def test_from_pairs_duplicate_input_rejected(self):
+        with pytest.raises(SchedulingError):
+            Matching.from_pairs(4, [(0, 1), (0, 2)])
+
+    def test_from_pairs_input_range_checked(self):
+        with pytest.raises(SchedulingError):
+            Matching.from_pairs(4, [(9, 1)])
+
+    def test_from_dict(self):
+        m = Matching.from_dict(3, {1: 0})
+        assert m.input_for(0) == 1
+
+
+class TestQueries:
+    def test_input_for_unmatched(self):
+        assert Matching.empty(3).input_for(0) is None
+
+    def test_to_matrix(self):
+        m = Matching.from_pairs(3, [(0, 1), (2, 0)])
+        matrix = m.to_matrix()
+        assert matrix.dtype == bool
+        assert matrix[0, 1] and matrix[2, 0]
+        assert matrix.sum() == 2
+
+    def test_weight(self):
+        demand = np.arange(9, dtype=float).reshape(3, 3)
+        m = Matching.from_pairs(3, [(0, 1), (1, 2)])
+        assert m.weight(demand) == demand[0, 1] + demand[1, 2]
+
+    def test_equality_and_hash(self):
+        a = Matching.from_pairs(3, [(0, 1)])
+        b = Matching.from_dict(3, {0: 1})
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != Matching.empty(3)
+
+    def test_repr(self):
+        assert "0->1" in repr(Matching.from_pairs(2, [(0, 1)]))
+
+
+class TestProperties:
+    @given(partial_permutations())
+    def test_outputs_unique(self, out_of):
+        m = Matching(out_of)
+        outputs = [o for __, o in m.pairs()]
+        assert len(outputs) == len(set(outputs))
+
+    @given(partial_permutations())
+    def test_pairs_roundtrip(self, out_of):
+        m = Matching(out_of)
+        rebuilt = Matching.from_pairs(m.n, m.pairs())
+        assert rebuilt == m
+
+    @given(partial_permutations())
+    def test_matrix_row_col_sums_at_most_one(self, out_of):
+        matrix = Matching(out_of).to_matrix()
+        assert (matrix.sum(axis=0) <= 1).all()
+        assert (matrix.sum(axis=1) <= 1).all()
+
+    @given(partial_permutations())
+    def test_input_for_inverts_output_for(self, out_of):
+        m = Matching(out_of)
+        for inp, out in m.pairs():
+            assert m.input_for(out) == inp

@@ -1,0 +1,39 @@
+"""Tests for flow identity types."""
+
+import pytest
+
+from repro.net.flow import FiveTuple, FlowKey
+
+
+class TestFiveTuple:
+    def test_reversed_swaps_endpoints(self):
+        ft = FiveTuple(1, 2, 1000, 80, "tcp")
+        rev = ft.reversed()
+        assert rev == FiveTuple(2, 1, 80, 1000, "tcp")
+
+    def test_double_reverse_is_identity(self):
+        ft = FiveTuple(1, 2, 1000, 80, "udp")
+        assert ft.reversed().reversed() == ft
+
+    def test_hashable(self):
+        assert len({FiveTuple(1, 2, 3, 4), FiveTuple(1, 2, 3, 4)}) == 1
+
+
+class TestFlowKey:
+    def test_basic(self):
+        key = FlowKey(0, 5)
+        assert key.src == 0 and key.dst == 5
+
+    def test_diagonal_rejected(self):
+        with pytest.raises(ValueError):
+            FlowKey(3, 3)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            FlowKey(-1, 2)
+
+    def test_ordering(self):
+        assert FlowKey(0, 1) < FlowKey(0, 2) < FlowKey(1, 0)
+
+    def test_hashable_and_distinct(self):
+        assert len({FlowKey(0, 1), FlowKey(1, 0)}) == 2

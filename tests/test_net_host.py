@@ -1,0 +1,131 @@
+"""Tests for the host model (both buffering regimes)."""
+
+import pytest
+
+from repro.net.host import Host, HostBufferMode
+from repro.net.link import Link
+from repro.net.packet import Packet, wire_size
+from repro.sim.errors import ConfigurationError
+from repro.sim.time import GIGABIT, MICROSECONDS
+
+
+def _host(sim, mode=HostBufferMode.SWITCH_BUFFERED, skew=0, host_id=0):
+    received = []
+    uplink = Link(sim, "up", 10 * GIGABIT,
+                  sink=lambda p: received.append(p))
+    host = Host(sim, host_id, uplink, mode=mode, clock_skew_ps=skew)
+    return host, received
+
+
+def _packet(src=0, dst=1, size=1500):
+    return Packet(src=src, dst=dst, size=size, created_ps=0)
+
+
+class TestSwitchBufferedMode:
+    def test_emit_sends_immediately(self, sim):
+        host, received = _host(sim)
+        host.emit(_packet())
+        sim.run()
+        assert len(received) == 1
+        assert host.queued_bytes == 0
+
+    def test_emit_validates_src(self, sim):
+        host, __ = _host(sim, host_id=0)
+        with pytest.raises(ConfigurationError):
+            host.emit(_packet(src=3))
+
+    def test_grant_rejected_in_switch_buffered_mode(self, sim):
+        host, __ = _host(sim)
+        with pytest.raises(ConfigurationError):
+            host.grant(1, 0, 100)
+
+    def test_emitted_counter(self, sim):
+        host, __ = _host(sim)
+        host.emit(_packet(size=100))
+        host.emit(_packet(size=200))
+        assert host.emitted.count == 2
+        assert host.emitted.bytes == 300
+
+
+class TestHostBufferedMode:
+    def test_emit_queues_until_grant(self, sim):
+        host, received = _host(sim, HostBufferMode.HOST_BUFFERED)
+        host.emit(_packet(size=1000))
+        sim.run()
+        assert received == []
+        assert host.queued_bytes == 1000
+        assert host.queued_bytes_to(1) == 1000
+        assert host.queued_bytes_to(2) == 0
+
+    def test_grant_releases_packets_in_window(self, sim):
+        host, received = _host(sim, HostBufferMode.HOST_BUFFERED)
+        host.emit(_packet(size=1000))
+        host.emit(_packet(size=1000))
+        host.grant(dst=1, start_ps=1000, duration_ps=10 * MICROSECONDS)
+        sim.run()
+        assert len(received) == 2
+        assert host.queued_bytes == 0
+
+    def test_grant_window_too_small_sends_partial(self, sim):
+        host, received = _host(sim, HostBufferMode.HOST_BUFFERED)
+        tx = wire_size(1500) * 8 * 100  # 1216ns at 10G
+        for __ in range(3):
+            host.emit(_packet())
+        # Window fits exactly one serialisation.
+        host.grant(dst=1, start_ps=0, duration_ps=tx + 1)
+        sim.run()
+        assert len(received) == 1
+        assert host.queued_bytes == 2 * 1500
+
+    def test_grant_for_other_destination_releases_nothing(self, sim):
+        host, received = _host(sim, HostBufferMode.HOST_BUFFERED)
+        host.emit(_packet(dst=1))
+        host.grant(dst=2, start_ps=0, duration_ps=10 * MICROSECONDS)
+        sim.run()
+        assert received == []
+
+    def test_clock_skew_delays_window_open(self, sim):
+        skew = 5 * MICROSECONDS
+        host, received = _host(sim, HostBufferMode.HOST_BUFFERED,
+                               skew=skew)
+        host.emit(_packet())
+        host.grant(dst=1, start_ps=1000, duration_ps=20 * MICROSECONDS)
+        sim.run()
+        assert len(received) == 1
+        # First byte cannot have left before the skewed start.
+        assert received[0].dequeued_ps >= 1000 + skew
+
+    def test_demand_vector(self, sim):
+        host, __ = _host(sim, HostBufferMode.HOST_BUFFERED)
+        host.emit(_packet(dst=1, size=100))
+        host.emit(_packet(dst=3, size=200))
+        host.emit(_packet(dst=3, size=300))
+        assert host.demand_vector(4) == [0, 100, 0, 500]
+
+    def test_peak_occupancy_tracked(self, sim):
+        host, __ = _host(sim, HostBufferMode.HOST_BUFFERED)
+        host.emit(_packet(size=700))
+        host.emit(_packet(size=800))
+        host.grant(dst=1, start_ps=0, duration_ps=10 * MICROSECONDS)
+        sim.run()
+        assert host.peak_queued_bytes == 1500
+        assert host.queued_bytes == 0
+
+
+class TestReceive:
+    def test_receive_stamps_delivery(self, sim):
+        host, __ = _host(sim)
+        packet = Packet(src=1, dst=0, size=64, created_ps=0)
+        sim.schedule(500, lambda: host.receive(packet))
+        sim.run()
+        assert packet.delivered_ps == 500
+        assert host.delivered_packets == [packet]
+        assert host.received.bytes == 64
+
+    def test_on_deliver_hook(self, sim):
+        host, __ = _host(sim)
+        seen = []
+        host.on_deliver = seen.append
+        packet = Packet(src=1, dst=0, size=64, created_ps=0)
+        host.receive(packet)
+        assert seen == [packet]

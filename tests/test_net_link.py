@@ -1,0 +1,100 @@
+"""Tests for the link model's timing exactness."""
+
+import pytest
+
+from repro.net.link import Link
+from repro.net.packet import Packet, wire_size
+from repro.sim.errors import ConfigurationError
+from repro.sim.time import GIGABIT, NANOSECONDS
+
+
+def _packet(size=1500):
+    return Packet(src=0, dst=1, size=size, created_ps=0)
+
+
+class TestLinkBasics:
+    def test_requires_positive_rate(self, sim):
+        with pytest.raises(ConfigurationError):
+            Link(sim, "l", 0)
+
+    def test_requires_non_negative_propagation(self, sim):
+        with pytest.raises(ConfigurationError):
+            Link(sim, "l", 1e9, propagation_ps=-1)
+
+    def test_send_without_sink_errors(self, sim):
+        link = Link(sim, "l", 10 * GIGABIT)
+        with pytest.raises(ConfigurationError, match="no sink"):
+            link.send(_packet())
+
+
+class TestLinkTiming:
+    def test_serialisation_plus_propagation(self, sim):
+        received = []
+        link = Link(sim, "l", 10 * GIGABIT, propagation_ps=50 * NANOSECONDS,
+                    sink=lambda p: received.append(sim.now))
+        arrival = link.send(_packet(1500))
+        # wire_size(1500) = 1520B at 10G = 1216 ns + 50 ns propagation.
+        expected = wire_size(1500) * 8 * 100 + 50 * NANOSECONDS
+        assert arrival == expected
+        sim.run()
+        assert received == [expected]
+
+    def test_fifo_serialisation_never_overlaps(self, sim):
+        received = []
+        link = Link(sim, "l", 10 * GIGABIT,
+                    sink=lambda p: received.append((p.packet_id, sim.now)))
+        p1, p2 = _packet(1500), _packet(1500)
+        t1 = link.send(p1)
+        t2 = link.send(p2)
+        tx = wire_size(1500) * 8 * 100
+        assert t1 == tx
+        assert t2 == 2 * tx  # second starts only when the first ends
+        sim.run()
+        assert [pid for pid, __ in received] == [p1.packet_id, p2.packet_id]
+
+    def test_idle_gap_resets_serialisation_start(self, sim):
+        link = Link(sim, "l", 10 * GIGABIT, sink=lambda p: None)
+        tx = wire_size(100) * 8 * 100
+        link.send(_packet(100))
+        sim.run()
+        # Now idle; a later send starts at 'now', not at old free_at.
+        start = sim.now + 10_000
+        sim.at(start, lambda: None)
+        sim.run()
+        arrival = link.send(_packet(100))
+        assert arrival == start + tx
+
+    def test_free_at_tracks_busy_wire(self, sim):
+        link = Link(sim, "l", 10 * GIGABIT, sink=lambda p: None)
+        assert link.free_at == 0
+        link.send(_packet(1500))
+        assert link.free_at == wire_size(1500) * 8 * 100
+
+
+class TestLinkAccounting:
+    def test_delivered_counter(self, sim):
+        link = Link(sim, "l", 10 * GIGABIT, sink=lambda p: None)
+        link.send(_packet(1000))
+        link.send(_packet(500))
+        sim.run()
+        assert link.delivered.count == 2
+        assert link.delivered.bytes == 1500
+
+    def test_utilisation_full_when_back_to_back(self, sim):
+        link = Link(sim, "l", 10 * GIGABIT, sink=lambda p: None)
+        for __ in range(10):
+            link.send(_packet(1500))
+        sim.run()
+        assert link.utilisation() == pytest.approx(1.0)
+
+    def test_utilisation_empty_window(self, sim):
+        link = Link(sim, "l", 10 * GIGABIT, sink=lambda p: None)
+        assert link.utilisation() == 0.0
+
+    def test_connect_replaces_sink(self, sim):
+        first, second = [], []
+        link = Link(sim, "l", 10 * GIGABIT, sink=lambda p: first.append(p))
+        link.connect(lambda p: second.append(p))
+        link.send(_packet())
+        sim.run()
+        assert not first and len(second) == 1

@@ -1,0 +1,62 @@
+"""Tests for the packet model."""
+
+import pytest
+
+from repro.net.packet import (
+    ETHERNET_OVERHEAD_BYTES,
+    Packet,
+    reset_packet_ids,
+    wire_size,
+)
+
+
+class TestWireSize:
+    def test_adds_preamble_and_ifg(self):
+        assert wire_size(1500) == 1500 + ETHERNET_OVERHEAD_BYTES
+
+    def test_overhead_is_20(self):
+        assert ETHERNET_OVERHEAD_BYTES == 20
+
+
+class TestPacketValidation:
+    def test_basic_construction(self):
+        p = Packet(src=0, dst=1, size=64, created_ps=5)
+        assert p.src == 0 and p.dst == 1 and p.size == 64
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ValueError):
+            Packet(src=0, dst=1, size=0, created_ps=0)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            Packet(src=0, dst=1, size=-5, created_ps=0)
+
+    def test_hairpin_rejected(self):
+        with pytest.raises(ValueError, match="hairpin"):
+            Packet(src=3, dst=3, size=64, created_ps=0)
+
+    def test_ids_increase(self):
+        reset_packet_ids()
+        a = Packet(src=0, dst=1, size=64, created_ps=0)
+        b = Packet(src=0, dst=1, size=64, created_ps=0)
+        assert b.packet_id == a.packet_id + 1
+
+
+class TestPacketTimestamps:
+    def test_latency_none_until_delivered(self):
+        p = Packet(src=0, dst=1, size=64, created_ps=100)
+        assert p.latency_ps is None
+        p.delivered_ps = 400
+        assert p.latency_ps == 300
+
+    def test_queueing_none_until_dequeued(self):
+        p = Packet(src=0, dst=1, size=64, created_ps=0)
+        assert p.queueing_ps is None
+        p.enqueued_ps = 10
+        assert p.queueing_ps is None
+        p.dequeued_ps = 35
+        assert p.queueing_ps == 25
+
+    def test_via_defaults_to_none(self):
+        p = Packet(src=0, dst=1, size=64, created_ps=0)
+        assert p.via is None

@@ -1,0 +1,50 @@
+"""Tests for rack topology construction."""
+
+import pytest
+
+from repro.net.host import HostBufferMode
+from repro.net.packet import Packet
+from repro.net.topology import build_rack
+from repro.sim.errors import ConfigurationError
+
+
+class TestBuildRack:
+    def test_counts(self, sim):
+        topo = build_rack(sim, 4)
+        assert topo.n_ports == 4
+        assert len(topo.hosts) == 4
+        assert len(topo.uplinks) == 4
+        assert len(topo.downlinks) == 4
+
+    def test_minimum_two_hosts(self, sim):
+        with pytest.raises(ConfigurationError):
+            build_rack(sim, 1)
+
+    def test_downlinks_preconnected_to_hosts(self, sim):
+        topo = build_rack(sim, 3)
+        packet = Packet(src=0, dst=2, size=100, created_ps=0)
+        topo.downlinks[2].send(packet)
+        sim.run()
+        assert topo.hosts[2].delivered_packets == [packet]
+
+    def test_uplinks_unconnected_by_default(self, sim):
+        topo = build_rack(sim, 3)
+        with pytest.raises(ConfigurationError):
+            topo.uplinks[0].send(Packet(src=0, dst=1, size=64,
+                                        created_ps=0))
+
+    def test_mode_applied_to_all_hosts(self, sim):
+        topo = build_rack(sim, 3, mode=HostBufferMode.HOST_BUFFERED)
+        assert all(h.mode is HostBufferMode.HOST_BUFFERED
+                   for h in topo.hosts)
+
+    def test_skew_applied_and_adjustable(self, sim):
+        topo = build_rack(sim, 3, clock_skew_ps=700)
+        assert all(h.clock_skew_ps == 700 for h in topo.hosts)
+        topo.set_clock_skew(1, 42)
+        assert topo.hosts[1].clock_skew_ps == 42
+        assert topo.hosts[0].clock_skew_ps == 700
+
+    def test_host_ids_match_port_indices(self, sim):
+        topo = build_rack(sim, 5)
+        assert [h.host_id for h in topo.hosts] == list(range(5))

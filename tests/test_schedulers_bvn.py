@@ -1,0 +1,161 @@
+"""Tests for matrix stuffing and Birkhoff–von Neumann decomposition."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.schedulers.bvn import (
+    BvnScheduler,
+    birkhoff_von_neumann,
+    stuff_matrix,
+)
+from repro.sim.errors import SchedulingError
+from repro.sim.time import GIGABIT
+
+
+@st.composite
+def demand_matrices(draw, max_n=6):
+    n = draw(st.integers(min_value=2, max_value=max_n))
+    values = draw(st.lists(st.integers(0, 1000),
+                           min_size=n * n, max_size=n * n))
+    demand = np.array(values, dtype=float).reshape(n, n)
+    np.fill_diagonal(demand, 0.0)
+    return demand
+
+
+class TestStuffMatrix:
+    def test_equalises_row_and_column_sums(self):
+        demand = np.array([
+            [0.0, 5.0, 0.0],
+            [1.0, 0.0, 1.0],
+            [0.0, 0.0, 0.0],
+        ])
+        stuffed = stuff_matrix(demand)
+        target = stuffed.sum(axis=1)[0]
+        assert np.allclose(stuffed.sum(axis=1), target)
+        assert np.allclose(stuffed.sum(axis=0), target)
+
+    def test_never_decreases_entries(self):
+        demand = np.array([[0.0, 3.0], [2.0, 0.0]])
+        stuffed = stuff_matrix(demand)
+        assert (stuffed >= demand - 1e-12).all()
+
+    def test_zero_matrix_unchanged(self):
+        assert stuff_matrix(np.zeros((3, 3))).sum() == 0
+
+    @given(demand_matrices())
+    @settings(max_examples=40, deadline=None)
+    def test_property_balanced_and_dominating(self, demand):
+        stuffed = stuff_matrix(demand)
+        assert (stuffed >= demand - 1e-9).all()
+        rows = stuffed.sum(axis=1)
+        cols = stuffed.sum(axis=0)
+        assert np.allclose(rows, rows[0], atol=1e-6)
+        assert np.allclose(cols, rows[0], atol=1e-6)
+
+
+class TestBvnDecomposition:
+    def test_permutation_matrix_decomposes_to_itself(self):
+        matrix = np.array([
+            [0.0, 7.0, 0.0],
+            [0.0, 0.0, 7.0],
+            [7.0, 0.0, 0.0],
+        ])
+        terms = birkhoff_von_neumann(matrix)
+        assert len(terms) == 1
+        matching, weight = terms[0]
+        assert weight == pytest.approx(7.0)
+        assert matching.output_for(0) == 1
+
+    def test_weights_reconstruct_matrix(self):
+        demand = np.array([
+            [0.0, 4.0, 2.0],
+            [3.0, 0.0, 3.0],
+            [3.0, 2.0, 1.0],
+        ])
+        stuffed = stuff_matrix(demand)
+        terms = birkhoff_von_neumann(stuffed)
+        rebuilt = np.zeros_like(stuffed)
+        for matching, weight in terms:
+            for i, j in matching.pairs():
+                rebuilt[i, j] += weight
+        assert np.allclose(rebuilt, stuffed, atol=1e-6)
+
+    def test_unbalanced_matrix_rejected(self):
+        with pytest.raises(SchedulingError, match="stuff"):
+            birkhoff_von_neumann(np.array([[0.0, 5.0], [1.0, 0.0]]))
+
+    def test_negative_matrix_rejected(self):
+        with pytest.raises(SchedulingError):
+            birkhoff_von_neumann(np.array([[0.0, -1.0], [-1.0, 0.0]]))
+
+    def test_max_terms_cap(self):
+        rng = np.random.default_rng(1)
+        demand = rng.random((5, 5)) * 100
+        np.fill_diagonal(demand, 0.0)
+        terms = birkhoff_von_neumann(stuff_matrix(demand), max_terms=3)
+        assert len(terms) <= 3
+
+    @given(demand_matrices(max_n=5))
+    @settings(max_examples=25, deadline=None)
+    def test_property_terms_within_birkhoff_bound(self, demand):
+        n = demand.shape[0]
+        terms = birkhoff_von_neumann(stuff_matrix(demand))
+        assert len(terms) <= n * n - 2 * n + 2
+
+    @given(demand_matrices(max_n=5))
+    @settings(max_examples=25, deadline=None)
+    def test_property_total_weight_equals_row_sum(self, demand):
+        stuffed = stuff_matrix(demand)
+        if stuffed.sum() == 0:
+            return
+        terms = birkhoff_von_neumann(stuffed)
+        total = sum(weight for __, weight in terms)
+        assert total == pytest.approx(stuffed.sum(axis=1)[0], rel=1e-6)
+
+
+class TestBvnScheduler:
+    def test_plan_covers_demand(self):
+        demand = np.array([
+            [0.0, 4000.0, 0.0],
+            [0.0, 0.0, 4000.0],
+            [4000.0, 0.0, 0.0],
+        ])
+        scheduler = BvnScheduler(3, link_rate_bps=10 * GIGABIT)
+        result = scheduler.compute(demand)
+        served = result.served_matrix()
+        assert served[0, 1] and served[1, 2] and served[2, 0]
+
+    def test_hold_times_proportional_to_bytes(self):
+        demand = np.zeros((3, 3))
+        demand[0, 1] = 12500.0  # 10 us at 10G
+        scheduler = BvnScheduler(3, link_rate_bps=10 * GIGABIT)
+        result = scheduler.compute(demand)
+        assert result.total_hold_ps == pytest.approx(10_000_000, rel=0.01)
+
+    def test_min_hold_filters_slivers(self):
+        demand = np.zeros((3, 3))
+        demand[0, 1] = 10_000.0
+        demand[1, 2] = 10.0  # an 8ns sliver at 10G
+        scheduler = BvnScheduler(3, link_rate_bps=10 * GIGABIT,
+                                 min_hold_ps=1_000_000)
+        result = scheduler.compute(demand)
+        served = result.served_matrix()
+        assert served[0, 1]
+        assert not served[1, 2]
+        assert result.eps_residue[1, 2] > 0
+
+    def test_stuffing_only_pairs_stripped(self):
+        demand = np.zeros((3, 3))
+        demand[0, 1] = 1000.0
+        scheduler = BvnScheduler(3)
+        result = scheduler.compute(demand)
+        for matching, __ in result.matchings:
+            for i, j in matching.pairs():
+                assert demand[i, j] > 0
+
+    def test_zero_demand_gives_empty_plan(self):
+        scheduler = BvnScheduler(3)
+        result = scheduler.compute(np.zeros((3, 3)))
+        assert result.first.size == 0

@@ -1,0 +1,132 @@
+"""Tests for demand estimators, with sketch properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.schedulers.demand import (
+    CountMinSketch,
+    EwmaEstimator,
+    InstantEstimator,
+    SketchEstimator,
+)
+from repro.sim.errors import ConfigurationError
+
+
+class TestInstantEstimator:
+    def test_observe_accumulates(self):
+        est = InstantEstimator(3)
+        est.observe(0, 1, 100)
+        est.observe(0, 1, 50)
+        assert est.estimate()[0, 1] == 150
+
+    def test_snapshot_replaces(self):
+        est = InstantEstimator(3)
+        est.observe(0, 1, 999)
+        occupancy = np.zeros((3, 3))
+        occupancy[1, 2] = 42
+        est.snapshot(occupancy)
+        estimate = est.estimate()
+        assert estimate[0, 1] == 0
+        assert estimate[1, 2] == 42
+
+    def test_estimate_is_copy(self):
+        est = InstantEstimator(2)
+        est.estimate()[0, 1] = 7
+        assert est.estimate()[0, 1] == 0
+
+
+class TestEwmaEstimator:
+    def test_alpha_validation(self):
+        with pytest.raises(ConfigurationError):
+            EwmaEstimator(3, alpha=0.0)
+        with pytest.raises(ConfigurationError):
+            EwmaEstimator(3, alpha=1.5)
+
+    def test_first_snapshot_primes(self):
+        est = EwmaEstimator(2, alpha=0.5)
+        sample = np.array([[0.0, 10.0], [4.0, 0.0]])
+        est.snapshot(sample)
+        assert np.allclose(est.estimate(), sample)
+
+    def test_ewma_update_rule(self):
+        est = EwmaEstimator(2, alpha=0.5)
+        est.snapshot(np.array([[0.0, 10.0], [0.0, 0.0]]))
+        est.snapshot(np.array([[0.0, 20.0], [0.0, 0.0]]))
+        assert est.estimate()[0, 1] == pytest.approx(15.0)
+
+    def test_observations_fold_into_next_snapshot(self):
+        est = EwmaEstimator(2, alpha=1.0)
+        est.snapshot(np.zeros((2, 2)))
+        est.observe(0, 1, 100)
+        est.snapshot(np.zeros((2, 2)))
+        assert est.estimate()[0, 1] == pytest.approx(100.0)
+
+    def test_reset_epoch_discards_pending(self):
+        est = EwmaEstimator(2, alpha=1.0)
+        est.snapshot(np.zeros((2, 2)))
+        est.observe(0, 1, 100)
+        est.reset_epoch()
+        est.snapshot(np.zeros((2, 2)))
+        assert est.estimate()[0, 1] == 0.0
+
+
+class TestCountMinSketch:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CountMinSketch(0, 4)
+
+    def test_exact_when_no_collisions(self):
+        sketch = CountMinSketch(width=1024, depth=4)
+        sketch.add(7, 100)
+        sketch.add(9, 50)
+        assert sketch.query(7) == 100
+        assert sketch.query(9) == 50
+
+    def test_reset(self):
+        sketch = CountMinSketch(8, 2)
+        sketch.add(1, 5)
+        sketch.reset()
+        assert sketch.query(1) == 0
+
+    @given(st.lists(
+        st.tuples(st.integers(0, 63), st.integers(1, 1000)),
+        min_size=1, max_size=60))
+    @settings(max_examples=50, deadline=None)
+    def test_never_underestimates(self, additions):
+        sketch = CountMinSketch(width=16, depth=4, seed=3)
+        truth = {}
+        for key, amount in additions:
+            sketch.add(key, amount)
+            truth[key] = truth.get(key, 0) + amount
+        for key, value in truth.items():
+            assert sketch.query(key) >= value
+
+    def test_unseen_key_can_collide_but_never_negative(self):
+        sketch = CountMinSketch(width=4, depth=2, seed=1)
+        sketch.add(0, 10)
+        assert sketch.query(99) >= 0
+
+
+class TestSketchEstimator:
+    def test_estimate_reconstructs_matrix(self):
+        est = SketchEstimator(4, width=256, depth=4)
+        est.observe(0, 1, 500)
+        est.observe(2, 3, 300)
+        estimate = est.estimate()
+        assert estimate[0, 1] >= 500
+        assert estimate[2, 3] >= 300
+        assert estimate[1, 1] == 0  # diagonal never populated
+
+    def test_snapshot_is_ignored(self):
+        est = SketchEstimator(3, width=64)
+        occupancy = np.full((3, 3), 1e6)
+        est.snapshot(occupancy)
+        assert est.estimate().sum() == 0
+
+    def test_reset_epoch_clears(self):
+        est = SketchEstimator(3, width=64)
+        est.observe(0, 1, 10)
+        est.reset_epoch()
+        assert est.estimate().sum() == 0

@@ -1,0 +1,128 @@
+"""Tests for the Eclipse-style joint matching/duration scheduler."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.schedulers.eclipse import EclipseScheduler
+from repro.schedulers.solstice import SolsticeScheduler
+from repro.sim.errors import SchedulingError
+from repro.sim.time import GIGABIT, MICROSECONDS
+
+
+@st.composite
+def demand_matrices(draw, max_n=6):
+    n = draw(st.integers(min_value=2, max_value=max_n))
+    values = draw(st.lists(st.integers(0, 500_000),
+                           min_size=n * n, max_size=n * n))
+    demand = np.array(values, dtype=float).reshape(n, n)
+    np.fill_diagonal(demand, 0.0)
+    return demand
+
+
+def _skewed(n=4, big=2_000_000.0, small=5_000.0):
+    demand = np.full((n, n), small)
+    np.fill_diagonal(demand, 0.0)
+    for i in range(n):
+        demand[i, (i + 1) % n] = big
+    return demand
+
+
+class TestEclipse:
+    def test_serves_elephants_first(self):
+        demand = _skewed()
+        sched = EclipseScheduler(4, reconfig_ps=20 * MICROSECONDS,
+                                 max_matchings=1)
+        result = sched.compute(demand)
+        matching = result.first
+        # The single allowed matching must be the elephant permutation.
+        for i in range(4):
+            assert matching.output_for(i) == (i + 1) % 4
+
+    def test_duration_scales_with_demand(self):
+        demand = np.zeros((3, 3))
+        demand[0, 1] = 125_000.0  # 100 us at 10G
+        sched = EclipseScheduler(3, link_rate_bps=10 * GIGABIT,
+                                 reconfig_ps=MICROSECONDS)
+        result = sched.compute(demand)
+        assert result.total_hold_ps >= 90 * MICROSECONDS
+
+    def test_residue_complements_plan(self):
+        demand = _skewed()
+        sched = EclipseScheduler(4, reconfig_ps=20 * MICROSECONDS,
+                                 max_matchings=2)
+        result = sched.compute(demand)
+        assert (result.eps_residue >= -1e-9).all()
+        assert (result.eps_residue <= demand + 1e-9).all()
+
+    def test_max_matchings_respected(self):
+        rng = np.random.default_rng(3)
+        demand = rng.exponential(100_000, (6, 6))
+        np.fill_diagonal(demand, 0.0)
+        sched = EclipseScheduler(6, reconfig_ps=MICROSECONDS,
+                                 max_matchings=3)
+        assert len(sched.compute(demand).matchings) <= 3
+
+    def test_zero_demand(self):
+        sched = EclipseScheduler(4)
+        result = sched.compute(np.zeros((4, 4)))
+        assert result.first.size == 0
+        assert result.eps_residue.sum() == 0
+
+    def test_higher_reconfig_cost_prefers_fewer_matchings(self):
+        rng = np.random.default_rng(5)
+        demand = rng.exponential(50_000, (6, 6))
+        np.fill_diagonal(demand, 0.0)
+        cheap = EclipseScheduler(6, reconfig_ps=0,
+                                 max_matchings=16,
+                                 min_value_fraction=0.1)
+        costly = EclipseScheduler(6, reconfig_ps=500 * MICROSECONDS,
+                                  max_matchings=16,
+                                  min_value_fraction=0.1)
+        n_cheap = len(cheap.compute(demand).matchings)
+        n_costly = len(costly.compute(demand).matchings)
+        assert n_costly <= n_cheap
+
+    def test_covers_more_than_solstice_per_matching_budget(self):
+        # Eclipse's per-step optimisation should never serve less than
+        # Solstice for the same matching budget on skewed demand.
+        demand = _skewed(n=6)
+        budget = 2
+        eclipse = EclipseScheduler(6, reconfig_ps=20 * MICROSECONDS,
+                                   max_matchings=budget)
+        solstice = SolsticeScheduler(6, reconfig_ps=20 * MICROSECONDS,
+                                     max_matchings=budget)
+        e_served = demand.sum() - eclipse.compute(demand).eps_residue.sum()
+        s_served = demand.sum() - solstice.compute(demand).eps_residue.sum()
+        assert e_served >= s_served - 1e-6
+
+    def test_validation(self):
+        with pytest.raises(SchedulingError):
+            EclipseScheduler(4, link_rate_bps=0)
+        with pytest.raises(SchedulingError):
+            EclipseScheduler(4, max_matchings=0)
+        with pytest.raises(SchedulingError):
+            EclipseScheduler(4, min_value_fraction=1.0)
+        with pytest.raises(SchedulingError):
+            EclipseScheduler(4, max_candidate_durations=0)
+
+    def test_registered(self):
+        from repro.schedulers.registry import create_scheduler
+        sched = create_scheduler("eclipse", n_ports=4,
+                                 reconfig_ps=MICROSECONDS)
+        assert isinstance(sched, EclipseScheduler)
+
+    @given(demand_matrices())
+    @settings(max_examples=20, deadline=None)
+    def test_property_plan_is_valid(self, demand):
+        sched = EclipseScheduler(demand.shape[0],
+                                 reconfig_ps=10 * MICROSECONDS,
+                                 max_matchings=4)
+        result = sched.compute(demand)
+        for matching, hold in result.matchings:
+            assert hold >= 0
+            for i, j in matching.pairs():
+                assert demand[i, j] > 0
+        assert (result.eps_residue >= -1e-9).all()
+        assert (result.eps_residue <= demand + 1e-9).all()

@@ -1,0 +1,96 @@
+"""Tests for TDMA / fixed-sequence schedulers."""
+
+import numpy as np
+import pytest
+
+from repro.schedulers.base import ScheduleResult
+from repro.schedulers.fixed import FixedSequence, RoundRobinTdma
+from repro.schedulers.matching import Matching
+from repro.sim.errors import SchedulingError
+
+
+def _demand(n):
+    demand = np.ones((n, n))
+    np.fill_diagonal(demand, 0.0)
+    return demand
+
+
+class TestRoundRobinTdma:
+    def test_rotates_through_all_nontrivial_shifts(self):
+        tdma = RoundRobinTdma(4)
+        shifts = []
+        for __ in range(6):
+            matching = tdma.compute(_demand(4)).first
+            shifts.append(matching.output_for(0))
+        # Shifts 1, 2, 3 then wrap.
+        assert shifts == [1, 2, 3, 1, 2, 3]
+
+    def test_matchings_are_full_permutations(self):
+        tdma = RoundRobinTdma(5)
+        for __ in range(4):
+            assert tdma.compute(_demand(5)).first.is_full()
+
+    def test_ignores_demand_content(self):
+        tdma = RoundRobinTdma(4)
+        first = tdma.compute(np.zeros((4, 4))).first
+        assert first.size == 4
+
+    def test_frame_mode_returns_whole_frame(self):
+        tdma = RoundRobinTdma(4, slot_hold_ps=100, frame_mode=True)
+        result = tdma.compute(_demand(4))
+        assert len(result.matchings) == 3
+        assert result.total_hold_ps == 300
+        served = result.served_matrix()
+        # A full TDMA frame serves every off-diagonal pair.
+        assert served.sum() == 4 * 3
+
+    def test_slot_hold_attached(self):
+        tdma = RoundRobinTdma(4, slot_hold_ps=777)
+        assert tdma.compute(_demand(4)).matchings[0][1] == 777
+
+    def test_validates_demand_shape(self):
+        tdma = RoundRobinTdma(4)
+        with pytest.raises(SchedulingError):
+            tdma.compute(np.zeros((3, 3)))
+
+    def test_rejects_negative_demand(self):
+        tdma = RoundRobinTdma(3)
+        demand = _demand(3)
+        demand[0, 1] = -5
+        with pytest.raises(SchedulingError):
+            tdma.compute(demand)
+
+    def test_accepts_diagonal_demand(self):
+        # Crossbar algorithms treat port i->i like any other pair; only
+        # the rack framework guarantees a zero diagonal.
+        tdma = RoundRobinTdma(3)
+        demand = _demand(3)
+        demand[1, 1] = 5
+        assert tdma.compute(demand).first.is_full()
+
+
+class TestFixedSequence:
+    def test_cycles_through_sequence(self):
+        seq = [Matching.cyclic_shift(3, 1), Matching.cyclic_shift(3, 2)]
+        sched = FixedSequence(3, seq)
+        outs = [sched.compute(_demand(3)).first.output_for(0)
+                for __ in range(4)]
+        assert outs == [1, 2, 1, 2]
+
+    def test_empty_sequence_rejected(self):
+        with pytest.raises(ValueError):
+            FixedSequence(3, [])
+
+    def test_port_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            FixedSequence(3, [Matching.empty(4)])
+
+
+class TestScheduleResult:
+    def test_first_on_empty_plan_raises(self):
+        with pytest.raises(SchedulingError):
+            ScheduleResult().first
+
+    def test_served_matrix_on_empty_plan_raises(self):
+        with pytest.raises(SchedulingError):
+            ScheduleResult().served_matrix()

@@ -1,0 +1,158 @@
+"""Tests for the Solstice-style and c-Through-style hybrid schedulers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.schedulers.hotspot import HotspotScheduler
+from repro.schedulers.solstice import SolsticeScheduler
+from repro.sim.errors import SchedulingError
+from repro.sim.time import GIGABIT, MICROSECONDS
+
+
+@st.composite
+def demand_matrices(draw, max_n=6):
+    n = draw(st.integers(min_value=2, max_value=max_n))
+    values = draw(st.lists(st.integers(0, 100_000),
+                           min_size=n * n, max_size=n * n))
+    demand = np.array(values, dtype=float).reshape(n, n)
+    np.fill_diagonal(demand, 0.0)
+    return demand
+
+
+class TestSolstice:
+    def test_big_flows_get_circuits(self):
+        demand = np.zeros((4, 4))
+        demand[0, 1] = 1_000_000.0
+        demand[2, 3] = 900_000.0
+        scheduler = SolsticeScheduler(4, reconfig_ps=20 * MICROSECONDS)
+        result = scheduler.compute(demand)
+        served = result.served_matrix()
+        assert served[0, 1] and served[2, 3]
+
+    def test_tiny_demand_rides_free_on_stuffed_circuits(self):
+        # Stuffing balances the matrix, so the (1, 0) circuit exists in
+        # the big slices anyway and the 10 bytes ride it — no residue.
+        demand = np.zeros((4, 4))
+        demand[0, 1] = 1_000_000.0
+        demand[1, 0] = 10.0
+        scheduler = SolsticeScheduler(
+            4, link_rate_bps=10 * GIGABIT,
+            reconfig_ps=20 * MICROSECONDS, min_slice_factor=1.0)
+        result = scheduler.compute(demand)
+        assert result.eps_residue is not None
+        assert result.eps_residue[1, 0] == pytest.approx(0.0)
+
+    def test_unserved_demand_lands_in_residue(self):
+        # A one-matching budget on conflicting heavy pairs (same input)
+        # forces the loser onto the EPS.
+        demand = np.zeros((4, 4))
+        demand[0, 1] = 1_000_000.0
+        demand[0, 2] = 1_000_000.0
+        scheduler = SolsticeScheduler(
+            4, link_rate_bps=10 * GIGABIT,
+            reconfig_ps=20 * MICROSECONDS, max_matchings=1)
+        result = scheduler.compute(demand)
+        assert result.eps_residue.sum() > 0
+        # Input 0 can serve at most one of the two pairs in one matching.
+        assert (result.eps_residue[0, 1] > 0
+                or result.eps_residue[0, 2] > 0)
+
+    def test_served_plus_residue_covers_demand(self):
+        rng = np.random.default_rng(0)
+        demand = rng.pareto(1.5, (5, 5)) * 100_000
+        np.fill_diagonal(demand, 0.0)
+        scheduler = SolsticeScheduler(5, reconfig_ps=10 * MICROSECONDS)
+        result = scheduler.compute(demand)
+        # Residue is exactly demand minus circuit-served bytes, >= 0.
+        assert (result.eps_residue >= -1e-9).all()
+        assert (result.eps_residue <= demand + 1e-9).all()
+
+    def test_max_matchings_cap(self):
+        rng = np.random.default_rng(2)
+        demand = rng.random((6, 6)) * 1e6
+        np.fill_diagonal(demand, 0.0)
+        scheduler = SolsticeScheduler(6, reconfig_ps=1 * MICROSECONDS,
+                                      max_matchings=3)
+        result = scheduler.compute(demand)
+        assert len(result.matchings) <= 3
+
+    def test_zero_demand(self):
+        scheduler = SolsticeScheduler(4, reconfig_ps=MICROSECONDS)
+        result = scheduler.compute(np.zeros((4, 4)))
+        assert result.first.size == 0
+        assert result.eps_residue.sum() == 0
+
+    def test_validation(self):
+        with pytest.raises(SchedulingError):
+            SolsticeScheduler(4, link_rate_bps=0)
+        with pytest.raises(SchedulingError):
+            SolsticeScheduler(4, min_slice_factor=-1)
+
+    @given(demand_matrices())
+    @settings(max_examples=25, deadline=None)
+    def test_property_hold_times_positive_and_residue_bounded(self, demand):
+        scheduler = SolsticeScheduler(
+            demand.shape[0], reconfig_ps=5 * MICROSECONDS)
+        result = scheduler.compute(demand)
+        for __, hold in result.matchings:
+            assert hold >= 0
+        assert (result.eps_residue >= -1e-9).all()
+        assert (result.eps_residue <= demand + 1e-9).all()
+
+
+class TestHotspot:
+    def test_single_matching_with_hold(self):
+        demand = np.zeros((3, 3))
+        demand[0, 1] = 100.0
+        scheduler = HotspotScheduler(3, hold_ps=777)
+        result = scheduler.compute(demand)
+        assert len(result.matchings) == 1
+        assert result.matchings[0][1] == 777
+
+    def test_threshold_excludes_small_flows(self):
+        demand = np.zeros((3, 3))
+        demand[0, 1] = 1000.0
+        demand[1, 2] = 10.0
+        scheduler = HotspotScheduler(3, threshold_bytes=100.0)
+        result = scheduler.compute(demand)
+        matching = result.first
+        assert matching.output_for(0) == 1
+        assert matching.output_for(1) is None
+        assert result.eps_residue[1, 2] == pytest.approx(10.0)
+
+    def test_residue_zero_for_circuit_served_pairs(self):
+        demand = np.zeros((3, 3))
+        demand[0, 1] = 500.0
+        scheduler = HotspotScheduler(3)
+        result = scheduler.compute(demand)
+        assert result.eps_residue[0, 1] == 0.0
+
+    def test_picks_max_weight_assignment(self):
+        demand = np.array([
+            [0.0, 10.0, 90.0],
+            [90.0, 0.0, 10.0],
+            [10.0, 90.0, 0.0],
+        ])
+        result = HotspotScheduler(3).compute(demand)
+        matching = result.first
+        assert matching.output_for(0) == 2
+        assert matching.output_for(1) == 0
+        assert matching.output_for(2) == 1
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(SchedulingError):
+            HotspotScheduler(3, threshold_bytes=-1)
+
+    @given(demand_matrices())
+    @settings(max_examples=25, deadline=None)
+    def test_property_residue_complements_served(self, demand):
+        scheduler = HotspotScheduler(demand.shape[0])
+        result = scheduler.compute(demand)
+        served = demand - result.eps_residue
+        # Served entries only where matched, and non-negative everywhere.
+        assert (served >= -1e-9).all()
+        matching = result.first
+        matched = matching.to_matrix()
+        assert (served[~matched] == 0).all()

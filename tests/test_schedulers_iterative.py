@@ -1,0 +1,172 @@
+"""Tests for the iterative matchers: PIM and iSLIP."""
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.schedulers.islip import IslipScheduler
+from repro.schedulers.pim import PimScheduler
+
+
+def _demand_matrix(n, entries):
+    demand = np.zeros((n, n))
+    for src, dst, value in entries:
+        demand[src, dst] = value
+    return demand
+
+
+def _full_backlog(n):
+    demand = np.ones((n, n)) * 10
+    np.fill_diagonal(demand, 0.0)
+    return demand
+
+
+@st.composite
+def demand_matrices(draw, max_n=8):
+    n = draw(st.integers(min_value=2, max_value=max_n))
+    cells = draw(st.lists(
+        st.tuples(st.integers(0, n - 1), st.integers(0, n - 1),
+                  st.integers(1, 100)),
+        max_size=n * n))
+    demand = np.zeros((n, n))
+    for src, dst, value in cells:
+        if src != dst:
+            demand[src, dst] = value
+    return demand
+
+
+class TestPim:
+    def test_never_matches_zero_demand_pairs(self):
+        pim = PimScheduler(4, rng=random.Random(1))
+        demand = _demand_matrix(4, [(0, 1, 5), (2, 3, 5)])
+        matching = pim.compute(demand).first
+        for inp, out in matching.pairs():
+            assert demand[inp, out] > 0
+
+    def test_finds_the_only_matching(self):
+        pim = PimScheduler(3, rng=random.Random(0))
+        demand = _demand_matrix(3, [(0, 1, 5)])
+        matching = pim.compute(demand).first
+        assert matching.output_for(0) == 1
+        assert matching.size == 1
+
+    def test_deterministic_given_seed(self):
+        demand = _full_backlog(6)
+        results_a = [PimScheduler(6, iterations=2,
+                                  rng=random.Random(9)).compute(demand).first
+                     for __ in range(1)]
+        results_b = [PimScheduler(6, iterations=2,
+                                  rng=random.Random(9)).compute(demand).first
+                     for __ in range(1)]
+        assert results_a == results_b
+
+    def test_more_iterations_match_at_least_as_much(self):
+        demand = _full_backlog(8)
+        one = PimScheduler(8, iterations=1, rng=random.Random(5))
+        many = PimScheduler(8, iterations=4, rng=random.Random(5))
+        assert many.compute(demand).first.size >= \
+            one.compute(demand).first.size
+
+    def test_iterations_validation(self):
+        with pytest.raises(ValueError):
+            PimScheduler(4, iterations=0)
+
+    def test_stats_recorded(self):
+        pim = PimScheduler(4, rng=random.Random(0))
+        pim.compute(_full_backlog(4))
+        assert pim.last_stats["iterations"] >= 1
+        assert pim.last_stats["matchings"] == 1
+
+    @given(demand_matrices())
+    @settings(max_examples=40, deadline=None)
+    def test_valid_partial_permutation_on_any_demand(self, demand):
+        pim = PimScheduler(demand.shape[0], iterations=2,
+                           rng=random.Random(2))
+        matching = pim.compute(demand).first
+        outs = [o for __, o in matching.pairs()]
+        assert len(outs) == len(set(outs))
+        for inp, out in matching.pairs():
+            assert demand[inp, out] > 0
+
+
+class TestIslip:
+    def test_never_matches_zero_demand_pairs(self):
+        islip = IslipScheduler(4)
+        demand = _demand_matrix(4, [(0, 2, 5), (1, 3, 1)])
+        matching = islip.compute(demand).first
+        for inp, out in matching.pairs():
+            assert demand[inp, out] > 0
+
+    def test_classic_desynchronisation_with_all_voqs_backlogged(self):
+        # McKeown's result: with all N^2 VOQs (diagonal included)
+        # persistently backlogged, iSLIP-1 pointers desynchronise and
+        # every slot is a full permutation after a short transient.
+        islip = IslipScheduler(4, iterations=1)
+        demand = np.ones((4, 4)) * 10
+        sizes = [islip.compute(demand).first.size for __ in range(30)]
+        assert sizes[-8:] == [4] * 8
+
+    def test_off_diagonal_backlog_steady_state_near_full(self):
+        # Rack traffic has no diagonal; the steady state is a short
+        # cycle whose mean matching size is >= n - 1.
+        islip = IslipScheduler(4, iterations=1)
+        demand = _full_backlog(4)
+        sizes = [islip.compute(demand).first.size for __ in range(100)]
+        steady = sizes[-40:]
+        assert sum(steady) / len(steady) >= 3.0
+
+    def test_desynchronisation_serves_all_pairs_fairly(self):
+        islip = IslipScheduler(3, iterations=1)
+        demand = _full_backlog(3)
+        served = np.zeros((3, 3))
+        for __ in range(12):
+            for inp, out in islip.compute(demand).first.pairs():
+                served[inp, out] += 1
+        # Every off-diagonal pair gets service within 12 slots.
+        off_diag = ~np.eye(3, dtype=bool)
+        assert (served[off_diag] > 0).all()
+
+    def test_deterministic(self):
+        a = IslipScheduler(5, iterations=2)
+        b = IslipScheduler(5, iterations=2)
+        demand = _full_backlog(5)
+        for __ in range(5):
+            assert a.compute(demand).first == b.compute(demand).first
+
+    def test_reset_pointers(self):
+        islip = IslipScheduler(4)
+        islip.compute(_full_backlog(4))
+        islip.reset_pointers()
+        assert islip.grant_ptr == [0, 0, 0, 0]
+        assert islip.accept_ptr == [0, 0, 0, 0]
+
+    def test_iterations_validation(self):
+        with pytest.raises(ValueError):
+            IslipScheduler(4, iterations=0)
+
+    def test_round_robin_pick(self):
+        pick = IslipScheduler._round_robin_pick
+        assert pick([0, 2, 3], pointer=1, n=4) == 2
+        assert pick([0, 2, 3], pointer=3, n=4) == 3
+        assert pick([1], pointer=0, n=4) == 1
+
+    @given(demand_matrices())
+    @settings(max_examples=40, deadline=None)
+    def test_valid_partial_permutation_on_any_demand(self, demand):
+        islip = IslipScheduler(demand.shape[0], iterations=3)
+        matching = islip.compute(demand).first
+        outs = [o for __, o in matching.pairs()]
+        assert len(outs) == len(set(outs))
+        for inp, out in matching.pairs():
+            assert demand[inp, out] > 0
+
+    def test_more_iterations_never_smaller_matching(self):
+        demand = _demand_matrix(
+            6, [(0, 1, 9), (1, 1, 0), (1, 2, 9), (2, 1, 9), (3, 4, 9),
+                (4, 5, 9), (5, 0, 9), (0, 2, 9)])
+        one = IslipScheduler(6, iterations=1).compute(demand).first.size
+        four = IslipScheduler(6, iterations=4).compute(demand).first.size
+        assert four >= one

@@ -1,0 +1,102 @@
+"""Tests for exact and greedy maximum-weight matching."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.schedulers.mwm import GreedyMwmScheduler, MwmScheduler
+
+
+def _brute_force_mwm_weight(demand: np.ndarray) -> float:
+    """Optimal matching weight by exhaustive permutation search."""
+    n = demand.shape[0]
+    best = 0.0
+    for perm in itertools.permutations(range(n)):
+        weight = sum(demand[i, perm[i]] for i in range(n)
+                     if demand[i, perm[i]] > 0)
+        best = max(best, weight)
+    return best
+
+
+@st.composite
+def small_demands(draw):
+    n = draw(st.integers(min_value=2, max_value=5))
+    values = draw(st.lists(st.integers(0, 50),
+                           min_size=n * n, max_size=n * n))
+    demand = np.array(values, dtype=float).reshape(n, n)
+    np.fill_diagonal(demand, 0.0)
+    return demand
+
+
+class TestExactMwm:
+    def test_picks_heaviest_pairing(self):
+        demand = np.array([
+            [0.0, 10.0, 1.0],
+            [1.0, 0.0, 10.0],
+            [10.0, 1.0, 0.0],
+        ])
+        matching = MwmScheduler(3).compute(demand).first
+        assert matching.output_for(0) == 1
+        assert matching.output_for(1) == 2
+        assert matching.output_for(2) == 0
+
+    def test_zero_demand_pairs_pruned(self):
+        demand = np.zeros((3, 3))
+        demand[0, 1] = 4.0
+        matching = MwmScheduler(3).compute(demand).first
+        assert matching.size == 1
+        assert matching.output_for(0) == 1
+
+    def test_all_zero_demand_gives_empty_matching(self):
+        matching = MwmScheduler(4).compute(np.zeros((4, 4))).first
+        assert matching.size == 0
+
+    @given(small_demands())
+    @settings(max_examples=30, deadline=None)
+    def test_matches_brute_force_optimum(self, demand):
+        matching = MwmScheduler(demand.shape[0]).compute(demand).first
+        assert matching.weight(demand) == pytest.approx(
+            _brute_force_mwm_weight(demand))
+
+
+class TestGreedyMwm:
+    def test_greedy_takes_heaviest_edge_first(self):
+        demand = np.array([
+            [0.0, 100.0, 1.0],
+            [99.0, 0.0, 1.0],
+            [1.0, 1.0, 0.0],
+        ])
+        matching = GreedyMwmScheduler(3).compute(demand).first
+        assert matching.output_for(0) == 1  # the 100 edge
+
+    def test_never_matches_zero_pairs(self):
+        demand = np.zeros((4, 4))
+        demand[1, 2] = 5
+        matching = GreedyMwmScheduler(4).compute(demand).first
+        assert list(matching.pairs()) == [(1, 2)]
+
+    def test_deterministic_tie_break(self):
+        demand = np.zeros((3, 3))
+        demand[0, 1] = demand[0, 2] = demand[1, 2] = 7.0
+        a = GreedyMwmScheduler(3).compute(demand).first
+        b = GreedyMwmScheduler(3).compute(demand).first
+        assert a == b
+
+    @given(small_demands())
+    @settings(max_examples=30, deadline=None)
+    def test_at_least_half_of_optimum(self, demand):
+        greedy = GreedyMwmScheduler(demand.shape[0])
+        weight = greedy.compute(demand).first.weight(demand)
+        optimum = _brute_force_mwm_weight(demand)
+        assert weight >= optimum / 2 - 1e-9
+
+    @given(small_demands())
+    @settings(max_examples=30, deadline=None)
+    def test_exact_at_least_greedy(self, demand):
+        n = demand.shape[0]
+        exact = MwmScheduler(n).compute(demand).first.weight(demand)
+        greedy = GreedyMwmScheduler(n).compute(demand).first.weight(demand)
+        assert exact >= greedy - 1e-9

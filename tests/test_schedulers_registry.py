@@ -1,0 +1,70 @@
+"""Tests for the scheduler registry."""
+
+import pytest
+
+from repro.schedulers.base import Scheduler, ScheduleResult
+from repro.schedulers.matching import Matching
+from repro.schedulers.registry import (
+    available_schedulers,
+    create_scheduler,
+    register_scheduler,
+    unregister_scheduler,
+)
+from repro.sim.errors import ConfigurationError
+
+
+class _Custom(Scheduler):
+    name = "custom-test"
+
+    def compute(self, demand):
+        self._check_demand(demand)
+        self.last_stats = {"iterations": 1, "matchings": 1}
+        return ScheduleResult(matchings=[(Matching.empty(self.n_ports), 0)])
+
+
+class TestRegistry:
+    def test_builtins_present(self):
+        names = available_schedulers()
+        for expected in ("tdma", "pim", "islip", "mwm", "greedy-mwm",
+                         "bvn", "solstice", "hotspot"):
+            assert expected in names
+
+    def test_create_by_name(self):
+        scheduler = create_scheduler("islip", n_ports=8, iterations=2)
+        assert scheduler.n_ports == 8
+        assert scheduler.iterations == 2
+
+    def test_unknown_name_lists_alternatives(self):
+        with pytest.raises(ConfigurationError, match="tdma"):
+            create_scheduler("no-such", n_ports=4)
+
+    def test_register_and_create_custom(self):
+        register_scheduler("custom-test",
+                           lambda n_ports, **kw: _Custom(n_ports))
+        try:
+            scheduler = create_scheduler("custom-test", n_ports=4)
+            assert isinstance(scheduler, _Custom)
+        finally:
+            unregister_scheduler("custom-test")
+
+    def test_decorator_form(self):
+        @register_scheduler("custom-decorated")
+        def _factory(n_ports, **kwargs):
+            return _Custom(n_ports)
+
+        try:
+            assert "custom-decorated" in available_schedulers()
+        finally:
+            unregister_scheduler("custom-decorated")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ConfigurationError, match="already registered"):
+            register_scheduler("tdma", lambda n_ports, **kw: None)
+
+    def test_unregister_is_idempotent(self):
+        unregister_scheduler("never-registered")  # must not raise
+
+    def test_scheduler_minimum_ports(self):
+        from repro.sim.errors import SchedulingError
+        with pytest.raises(SchedulingError):
+            _Custom(1)

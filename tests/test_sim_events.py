@@ -1,0 +1,87 @@
+"""Tests for Event / EventQueue determinism."""
+
+import pytest
+
+from repro.sim.errors import SimulationError
+from repro.sim.events import Event, EventQueue
+
+
+def _noop():
+    pass
+
+
+class TestEventQueue:
+    def test_pop_orders_by_time(self):
+        q = EventQueue()
+        q.push(Event(30, _noop))
+        q.push(Event(10, _noop))
+        q.push(Event(20, _noop))
+        assert [q.pop().time for _ in range(3)] == [10, 20, 30]
+
+    def test_fifo_within_same_timestamp(self):
+        q = EventQueue()
+        order = []
+        for tag in "abc":
+            q.push(Event(5, _noop, label=tag))
+        while len(q):
+            order.append(q.pop().label)
+        assert order == ["a", "b", "c"]
+
+    def test_len_counts_live_events(self):
+        q = EventQueue()
+        e1 = Event(1, _noop)
+        e2 = Event(2, _noop)
+        q.push(e1)
+        q.push(e2)
+        assert len(q) == 2
+        q.cancel(e1)
+        assert len(q) == 1
+
+    def test_cancelled_events_are_skipped(self):
+        q = EventQueue()
+        e1 = Event(1, _noop, label="cancelled")
+        e2 = Event(2, _noop, label="live")
+        q.push(e1)
+        q.push(e2)
+        q.cancel(e1)
+        assert q.pop().label == "live"
+
+    def test_cancel_is_idempotent(self):
+        q = EventQueue()
+        event = Event(1, _noop)
+        q.push(event)
+        q.cancel(event)
+        q.cancel(event)
+        assert len(q) == 0
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(SimulationError):
+            EventQueue().pop()
+
+    def test_peek_time_none_when_empty(self):
+        assert EventQueue().peek_time() is None
+
+    def test_peek_time_skips_cancelled(self):
+        q = EventQueue()
+        e1 = Event(1, _noop)
+        q.push(e1)
+        q.push(Event(9, _noop))
+        q.cancel(e1)
+        assert q.peek_time() == 9
+
+    def test_clear(self):
+        q = EventQueue()
+        q.push(Event(1, _noop))
+        q.clear()
+        assert len(q) == 0
+        assert q.peek_time() is None
+
+    def test_many_events_sorted(self):
+        q = EventQueue()
+        import random
+        rng = random.Random(3)
+        times = [rng.randrange(10_000) for _ in range(500)]
+        for t in times:
+            q.push(Event(t, _noop))
+        popped = [q.pop().time for _ in range(500)]
+        assert popped == sorted(times)

@@ -1,0 +1,116 @@
+"""Tests for the integer-picosecond time base."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.time import (
+    GIGABIT,
+    MICROSECONDS,
+    MILLISECONDS,
+    NANOSECONDS,
+    SECONDS,
+    bytes_in_interval,
+    format_time,
+    parse_time,
+    ps_to_seconds,
+    rate_to_ps_per_byte,
+    seconds_to_ps,
+    transmission_time_ps,
+)
+
+
+class TestUnits:
+    def test_unit_ladder(self):
+        assert NANOSECONDS == 1_000
+        assert MICROSECONDS == 1_000 * NANOSECONDS
+        assert MILLISECONDS == 1_000 * MICROSECONDS
+        assert SECONDS == 1_000 * MILLISECONDS
+
+    def test_units_are_ints(self):
+        for unit in (NANOSECONDS, MICROSECONDS, MILLISECONDS, SECONDS):
+            assert isinstance(unit, int)
+
+
+class TestParseTime:
+    @pytest.mark.parametrize("text,expected", [
+        ("100ns", 100_000),
+        ("1.5us", 1_500_000),
+        ("1.5µs", 1_500_000),
+        ("2ms", 2 * MILLISECONDS),
+        ("1s", SECONDS),
+        ("7ps", 7),
+        ("  3 ns ", 3_000),
+    ])
+    def test_examples(self, text, expected):
+        assert parse_time(text) == expected
+
+    @pytest.mark.parametrize("bad", ["", "10", "ns", "10 sec", "-5ns",
+                                     "1.2.3us"])
+    def test_rejects_garbage(self, bad):
+        with pytest.raises(ValueError):
+            parse_time(bad)
+
+
+class TestFormatTime:
+    def test_zero(self):
+        assert format_time(0) == "0ps"
+
+    @pytest.mark.parametrize("ps,expected", [
+        (1, "1ps"),
+        (999, "999ps"),
+        (1_000, "1ns"),
+        (1_500_000, "1.5us"),
+        (2 * MILLISECONDS, "2ms"),
+        (3 * SECONDS, "3s"),
+    ])
+    def test_examples(self, ps, expected):
+        assert format_time(ps) == expected
+
+    @given(st.integers(min_value=1, max_value=10 * SECONDS))
+    def test_parse_format_roundtrip_within_precision(self, ps):
+        # format uses 6 significant digits, so the roundtrip is exact to
+        # one part in 10^5.
+        recovered = parse_time(format_time(ps))
+        assert abs(recovered - ps) <= max(1, ps // 100_000)
+
+
+class TestConversions:
+    def test_seconds_roundtrip(self):
+        assert seconds_to_ps(1.0) == SECONDS
+        assert ps_to_seconds(SECONDS) == 1.0
+
+    def test_rate_to_ps_per_byte_10g(self):
+        assert rate_to_ps_per_byte(10 * GIGABIT) == 800.0
+
+    def test_rate_must_be_positive(self):
+        with pytest.raises(ValueError):
+            rate_to_ps_per_byte(0)
+
+    def test_transmission_time_1500B_at_10g(self):
+        assert transmission_time_ps(1500, 10 * GIGABIT) == 1_200_000
+
+    def test_transmission_time_zero_bytes(self):
+        assert transmission_time_ps(0, 10 * GIGABIT) == 0
+
+    def test_transmission_time_negative_rejected(self):
+        with pytest.raises(ValueError):
+            transmission_time_ps(-1, 10 * GIGABIT)
+
+    def test_bytes_in_interval_paper_example(self):
+        # 10 Gbps for 1 ms = 1.25 MB — the per-blackout burst.
+        assert bytes_in_interval(10 * GIGABIT, MILLISECONDS) == 1_250_000
+
+    def test_bytes_in_interval_zero(self):
+        assert bytes_in_interval(10 * GIGABIT, 0) == 0
+
+    def test_bytes_in_interval_negative_rejected(self):
+        with pytest.raises(ValueError):
+            bytes_in_interval(10 * GIGABIT, -1)
+
+    @given(st.integers(min_value=1, max_value=10_000),
+           st.sampled_from([1e9, 10e9, 25e9, 40e9, 100e9]))
+    def test_transmission_time_scales_linearly(self, nbytes, rate):
+        one = transmission_time_ps(1000, rate)
+        many = transmission_time_ps(1000 * nbytes, rate)
+        assert abs(many - one * nbytes) <= nbytes  # rounding slack

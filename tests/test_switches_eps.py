@@ -1,0 +1,123 @@
+"""Tests for the electrical packet switch model."""
+
+import pytest
+
+from repro.net.packet import Packet, wire_size
+from repro.sim.errors import ConfigurationError
+from repro.sim.time import GIGABIT, NANOSECONDS
+from repro.switches.eps import ElectricalPacketSwitch
+
+
+def _eps(sim, n=4, rate=10 * GIGABIT, latency=500 * NANOSECONDS,
+         capacity=None):
+    delivered = []
+    eps = ElectricalPacketSwitch(sim, n, port_rate_bps=rate,
+                                 forwarding_latency_ps=latency,
+                                 queue_capacity_bytes=capacity)
+    for port in range(n):
+        eps.connect_output(
+            port, lambda p, _port=port: delivered.append((_port, sim.now, p)))
+    return eps, delivered
+
+
+def _packet(src=0, dst=1, size=1500):
+    return Packet(src=src, dst=dst, size=size, created_ps=0)
+
+
+class TestForwarding:
+    def test_delivers_to_destination_port(self, sim):
+        eps, delivered = _eps(sim)
+        packet = _packet(dst=2)
+        eps.receive(packet)
+        sim.run()
+        assert len(delivered) == 1
+        port, __, got = delivered[0]
+        assert port == 2 and got is packet
+        assert packet.via == "eps"
+
+    def test_latency_is_pipeline_plus_serialisation(self, sim):
+        latency = 500 * NANOSECONDS
+        eps, delivered = _eps(sim, latency=latency)
+        eps.receive(_packet(size=1500))
+        sim.run()
+        tx = wire_size(1500) * 8 * 100  # 10G
+        assert delivered[0][1] == latency + tx
+
+    def test_output_queue_serialises_fifo(self, sim):
+        eps, delivered = _eps(sim)
+        a, b = _packet(), _packet()
+        eps.receive(a)
+        eps.receive(b)
+        sim.run()
+        tx = wire_size(1500) * 8 * 100
+        assert delivered[0][2] is a
+        assert delivered[1][2] is b
+        assert delivered[1][1] - delivered[0][1] == tx
+
+    def test_different_outputs_drain_in_parallel(self, sim):
+        eps, delivered = _eps(sim)
+        eps.receive(_packet(dst=1))
+        eps.receive(_packet(src=2, dst=3))
+        sim.run()
+        assert delivered[0][1] == delivered[1][1]
+
+    def test_slow_residual_rate(self, sim):
+        eps, delivered = _eps(sim, rate=1 * GIGABIT, latency=0)
+        eps.receive(_packet(size=1500))
+        sim.run()
+        assert delivered[0][1] == wire_size(1500) * 8 * 1000  # 1G
+
+
+class TestCapacity:
+    def test_tail_drop_at_capacity(self, sim):
+        eps, delivered = _eps(sim, capacity=1500, latency=0)
+        for __ in range(5):
+            eps.receive(_packet())
+        sim.run()
+        # With zero pipeline latency packets arrive at the queue one
+        # event at a time while the first is still serialising.
+        assert eps.drops_total() >= 1
+        assert len(delivered) + eps.drops_total() == 5
+
+    def test_unbounded_by_default(self, sim):
+        eps, delivered = _eps(sim)
+        for __ in range(50):
+            eps.receive(_packet())
+        sim.run()
+        assert eps.drops_total() == 0
+        assert len(delivered) == 50
+
+
+class TestAccounting:
+    def test_counters(self, sim):
+        eps, __ = _eps(sim)
+        eps.receive(_packet(size=100))
+        sim.run()
+        assert eps.received.count == 1
+        assert eps.forwarded.count == 1
+        assert eps.forwarded.bytes == 100
+
+    def test_peak_queue_bytes(self, sim):
+        eps, __ = _eps(sim, latency=0)
+        for __idx in range(3):
+            eps.receive(_packet(size=1000))
+        sim.run()
+        assert eps.peak_queue_bytes() >= 1000
+
+    def test_total_queued_bytes_live(self, sim):
+        eps, __ = _eps(sim)
+        eps.receive(_packet(size=1000))
+        assert eps.total_queued_bytes == 0  # still in the pipeline
+        sim.run(until=500 * NANOSECONDS)
+        # After the pipeline delay the packet is queued or draining.
+        assert eps.total_queued_bytes in (0, 1000)
+
+
+class TestValidation:
+    def test_min_ports(self, sim):
+        with pytest.raises(ConfigurationError):
+            ElectricalPacketSwitch(sim, 1)
+
+    def test_positive_rate(self, sim):
+        with pytest.raises(ConfigurationError):
+            ElectricalPacketSwitch(sim, 4, port_rate_bps=0)

@@ -1,0 +1,56 @@
+"""Tests for the shared buffer-memory meter."""
+
+from repro.net.packet import Packet
+from repro.switches.buffers import PacketQueue
+from repro.switches.memory import (
+    HOST_DRAM_BUDGET_BYTES,
+    TOR_SRAM_BUDGET_BYTES,
+    BufferMemoryMeter,
+)
+
+
+def _packet(size=100):
+    return Packet(src=0, dst=1, size=size, created_ps=0)
+
+
+class TestMeter:
+    def test_tracks_aggregate_peak(self, sim):
+        q1 = PacketQueue(sim, "a")
+        q2 = PacketQueue(sim, "b")
+        meter = BufferMemoryMeter("tor")
+        meter.attach_all([q1, q2])
+        q1.enqueue(_packet(100))
+        q2.enqueue(_packet(200))       # aggregate 300
+        q1.dequeue()
+        q2.enqueue(_packet(50))        # aggregate 250
+        assert meter.total_bytes == 250
+        assert meter.peak_bytes == 300
+
+    def test_attach_preserves_existing_hook(self, sim):
+        q = PacketQueue(sim, "a")
+        seen = []
+        q.on_change = seen.append
+        meter = BufferMemoryMeter("tor")
+        meter.attach(q)
+        q.enqueue(_packet(10))
+        assert seen == [10]
+        assert meter.total_bytes == 10
+
+    def test_attach_counts_preexisting_occupancy(self, sim):
+        q = PacketQueue(sim, "a")
+        q.enqueue(_packet(70))
+        meter = BufferMemoryMeter("tor")
+        meter.attach(q)
+        assert meter.total_bytes == 70
+
+    def test_fits(self, sim):
+        q = PacketQueue(sim, "a")
+        meter = BufferMemoryMeter("tor")
+        meter.attach(q)
+        q.enqueue(_packet(1000))
+        assert meter.fits(1000)
+        assert not meter.fits(999)
+
+    def test_budget_constants_sane(self):
+        assert TOR_SRAM_BUDGET_BYTES < HOST_DRAM_BUDGET_BYTES
+        assert TOR_SRAM_BUDGET_BYTES == 12 * 1024 * 1024

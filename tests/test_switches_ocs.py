@@ -1,0 +1,135 @@
+"""Tests for the optical circuit switch model."""
+
+import pytest
+
+from repro.net.packet import Packet
+from repro.schedulers.matching import Matching
+from repro.sim.errors import ConfigurationError
+from repro.sim.time import MICROSECONDS, NANOSECONDS
+from repro.switches.ocs import OpticalCircuitSwitch
+
+
+def _ocs(sim, n=4, switching_ps=1 * MICROSECONDS, transit_ps=0):
+    delivered = []
+    ocs = OpticalCircuitSwitch(sim, n, switching_time_ps=switching_ps,
+                               transit_ps=transit_ps)
+    for port in range(n):
+        ocs.connect_output(
+            port, lambda p, _port=port: delivered.append((_port, p)))
+    return ocs, delivered
+
+
+def _packet(src=0, dst=1):
+    return Packet(src=src, dst=dst, size=100, created_ps=0)
+
+
+class TestConfigure:
+    def test_initially_dark(self, sim):
+        ocs, __ = _ocs(sim)
+        assert ocs.circuit_for(0) is None
+
+    def test_blackout_then_live(self, sim):
+        ocs, __ = _ocs(sim, switching_ps=1000)
+        ready = ocs.configure(Matching.from_dict(4, {0: 1}))
+        assert ready == 1000
+        assert ocs.is_dark
+        sim.run(until=999)
+        assert ocs.circuit_for(0) is None
+        sim.run(until=1000)
+        assert not ocs.is_dark
+        assert ocs.circuit_for(0) == 1
+
+    def test_zero_switching_time_instantaneous(self, sim):
+        ocs, __ = _ocs(sim, switching_ps=0)
+        ready = ocs.configure(Matching.from_dict(4, {2: 3}))
+        assert ready == 0
+        assert not ocs.is_dark
+        assert ocs.circuit_for(2) == 3
+
+    def test_superseding_configure_restarts_blackout(self, sim):
+        ocs, __ = _ocs(sim, switching_ps=1000)
+        ocs.configure(Matching.from_dict(4, {0: 1}))
+        sim.run(until=500)
+        ocs.configure(Matching.from_dict(4, {0: 2}))
+        sim.run(until=1200)
+        # The first commit at t=1000 must not have applied.
+        assert ocs.is_dark
+        sim.run(until=1500)
+        assert ocs.circuit_for(0) == 2
+
+    def test_wrong_port_count_rejected(self, sim):
+        ocs, __ = _ocs(sim, n=4)
+        with pytest.raises(ConfigurationError):
+            ocs.configure(Matching.empty(5))
+
+    def test_reconfiguration_counter(self, sim):
+        ocs, __ = _ocs(sim)
+        ocs.configure(Matching.empty(4))
+        ocs.configure(Matching.empty(4))
+        assert ocs.reconfigurations == 2
+
+    def test_blackout_time_accumulates(self, sim):
+        ocs, __ = _ocs(sim, switching_ps=1000)
+        ocs.configure(Matching.empty(4))
+        sim.run()
+        ocs.configure(Matching.empty(4))
+        sim.run()
+        assert ocs.blackout_ps == 2000
+
+
+class TestDataPlane:
+    def test_forward_on_live_circuit(self, sim):
+        ocs, delivered = _ocs(sim, switching_ps=100,
+                              transit_ps=10 * NANOSECONDS)
+        ocs.configure(Matching.from_dict(4, {0: 1}))
+        sim.run()
+        packet = _packet(src=0, dst=1)
+        assert ocs.receive(packet)
+        sim.run()
+        assert delivered == [(1, packet)]
+        assert packet.via == "ocs"
+        assert ocs.forwarded.count == 1
+
+    def test_dark_drop_during_blackout(self, sim):
+        ocs, delivered = _ocs(sim, switching_ps=1000)
+        ocs.configure(Matching.from_dict(4, {0: 1}))
+        assert not ocs.receive(_packet())
+        assert ocs.dark_drops.count == 1
+        assert delivered == []
+
+    def test_unmatched_input_drops(self, sim):
+        ocs, __ = _ocs(sim, switching_ps=0)
+        ocs.configure(Matching.from_dict(4, {0: 1}))
+        assert not ocs.receive(_packet(src=2, dst=3))
+        assert ocs.dark_drops.count == 1
+
+    def test_misdirected_drop(self, sim):
+        ocs, __ = _ocs(sim, switching_ps=0)
+        ocs.configure(Matching.from_dict(4, {0: 2}))
+        assert not ocs.receive(_packet(src=0, dst=1))
+        assert ocs.misdirected_drops.count == 1
+
+    def test_explicit_input_port_overrides_src(self, sim):
+        ocs, delivered = _ocs(sim, switching_ps=0)
+        ocs.configure(Matching.from_dict(4, {3: 1}))
+        packet = _packet(src=0, dst=1)
+        assert ocs.receive(packet, input_port=3)
+        sim.run()
+        assert delivered == [(1, packet)]
+
+    def test_unconnected_output_raises_on_use(self, sim):
+        ocs = OpticalCircuitSwitch(sim, 4, switching_time_ps=0)
+        ocs.configure(Matching.from_dict(4, {0: 1}))
+        ocs.receive(_packet())
+        with pytest.raises(ConfigurationError, match="not connected"):
+            sim.run()
+
+
+class TestValidation:
+    def test_min_ports(self, sim):
+        with pytest.raises(ConfigurationError):
+            OpticalCircuitSwitch(sim, 1, switching_time_ps=0)
+
+    def test_negative_switching_time(self, sim):
+        with pytest.raises(ConfigurationError):
+            OpticalCircuitSwitch(sim, 4, switching_time_ps=-1)

@@ -1,0 +1,115 @@
+"""Tests for the VOQ bank."""
+
+import numpy as np
+import pytest
+
+from repro.net.packet import Packet
+from repro.sim.errors import ConfigurationError
+from repro.switches.voq import VoqBank
+
+
+def _packet(src=0, dst=1, size=100):
+    return Packet(src=src, dst=dst, size=size, created_ps=0)
+
+
+class TestStructure:
+    def test_minimum_ports(self, sim):
+        with pytest.raises(ConfigurationError):
+            VoqBank(sim, 1)
+
+    def test_diagonal_has_no_queue(self, sim):
+        bank = VoqBank(sim, 3)
+        with pytest.raises(ConfigurationError):
+            bank.queue(2, 2)
+
+    def test_off_diagonal_queues_exist(self, sim):
+        bank = VoqBank(sim, 3)
+        for src in range(3):
+            for dst in range(3):
+                if src != dst:
+                    assert bank.queue(src, dst) is not None
+
+
+class TestOperations:
+    def test_enqueue_routes_by_packet_addresses(self, sim):
+        bank = VoqBank(sim, 4)
+        bank.enqueue(_packet(src=2, dst=3))
+        assert not bank.is_empty(2, 3)
+        assert bank.is_empty(0, 1)
+
+    def test_dequeue_returns_fifo(self, sim):
+        bank = VoqBank(sim, 3)
+        a, b = _packet(), _packet()
+        bank.enqueue(a)
+        bank.enqueue(b)
+        assert bank.dequeue(0, 1) is a
+        assert bank.head(0, 1) is b
+
+    def test_demand_bytes_matrix(self, sim):
+        bank = VoqBank(sim, 3)
+        bank.enqueue(_packet(src=0, dst=1, size=100))
+        bank.enqueue(_packet(src=0, dst=1, size=50))
+        bank.enqueue(_packet(src=2, dst=0, size=70))
+        demand = bank.demand_bytes()
+        assert demand[0, 1] == 150
+        assert demand[2, 0] == 70
+        assert demand.sum() == 220
+
+    def test_demand_matrices_are_copies(self, sim):
+        bank = VoqBank(sim, 3)
+        bank.enqueue(_packet())
+        demand = bank.demand_bytes()
+        demand[0, 1] = 999
+        assert bank.demand_bytes()[0, 1] == 100
+
+    def test_demand_packets(self, sim):
+        bank = VoqBank(sim, 3)
+        bank.enqueue(_packet())
+        bank.enqueue(_packet())
+        assert bank.demand_packets()[0, 1] == 2
+
+    def test_totals(self, sim):
+        bank = VoqBank(sim, 3)
+        bank.enqueue(_packet(size=10))
+        bank.enqueue(_packet(src=1, dst=2, size=30))
+        assert bank.total_bytes == 40
+        assert bank.total_packets == 2
+
+    def test_nonempty_voqs(self, sim):
+        bank = VoqBank(sim, 3)
+        bank.enqueue(_packet(src=0, dst=2))
+        bank.enqueue(_packet(src=1, dst=0))
+        assert sorted(bank.nonempty_voqs()) == [(0, 2), (1, 0)]
+
+
+class TestPeakTracking:
+    def test_peak_total_bytes_is_simultaneous(self, sim):
+        bank = VoqBank(sim, 3)
+        bank.enqueue(_packet(size=100))
+        bank.enqueue(_packet(src=1, dst=2, size=100))   # peak = 200
+        bank.dequeue(0, 1)
+        bank.enqueue(_packet(src=2, dst=0, size=50))    # now 150
+        assert bank.peak_total_bytes() == 200
+
+    def test_peak_independent_across_instances(self, sim):
+        first = VoqBank(sim, 3)
+        first.enqueue(_packet(size=500))
+        second = VoqBank(sim, 3)
+        assert second.peak_total_bytes() == 0
+
+
+class TestStatusHook:
+    def test_hook_fires_on_enqueue_and_dequeue(self, sim):
+        events = []
+        bank = VoqBank(sim, 3,
+                       on_status_change=lambda s, d, b:
+                       events.append((s, d, b)))
+        bank.enqueue(_packet(size=100))
+        bank.dequeue(0, 1)
+        assert events == [(0, 1, 100), (0, 1, 0)]
+
+    def test_capacity_drop_counted(self, sim):
+        bank = VoqBank(sim, 3, capacity_bytes=100)
+        assert bank.enqueue(_packet(size=100))
+        assert not bank.enqueue(_packet(size=100))
+        assert bank.drops_total() == 1

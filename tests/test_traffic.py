@@ -1,0 +1,215 @@
+"""Tests for traffic sources, patterns and flow distributions."""
+
+import random
+
+import pytest
+
+from repro.net.host import Host, HostBufferMode
+from repro.net.link import Link
+from repro.sim.errors import ConfigurationError
+from repro.sim.time import GIGABIT, MICROSECONDS, MILLISECONDS
+from repro.traffic.flows import (
+    DATAMINING_FLOW_SIZES,
+    WEBSEARCH_FLOW_SIZES,
+    EmpiricalSizeDistribution,
+    FlowSource,
+)
+from repro.traffic.patterns import (
+    FixedDestination,
+    HotspotDestination,
+    PermutationDestination,
+    UniformDestination,
+)
+from repro.traffic.sources import CbrSource, OnOffSource, PoissonSource
+
+
+def _host(sim, host_id=0):
+    uplink = Link(sim, "up", 10 * GIGABIT)
+    uplink.connect(lambda p: None)
+    return Host(sim, host_id, uplink)
+
+
+class TestPatterns:
+    def test_uniform_never_self(self):
+        chooser = UniformDestination(8, 3, random.Random(1))
+        for __ in range(500):
+            assert chooser.choose() != 3
+
+    def test_uniform_covers_all_destinations(self):
+        chooser = UniformDestination(4, 0, random.Random(2))
+        seen = {chooser.choose() for __ in range(200)}
+        assert seen == {1, 2, 3}
+
+    def test_fixed(self):
+        chooser = FixedDestination(4, 0, 2)
+        assert chooser.choose() == 2
+
+    def test_fixed_self_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FixedDestination(4, 2, 2)
+
+    def test_permutation(self):
+        assert PermutationDestination(4, 3, shift=1).choose() == 0
+
+    def test_permutation_zero_shift_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PermutationDestination(4, 0, shift=4)
+
+    def test_hotspot_extremes(self):
+        cold = HotspotDestination(8, 0, skew=0.0, rng=random.Random(3))
+        hot = HotspotDestination(8, 0, skew=1.0, rng=random.Random(3))
+        assert {hot.choose() for __ in range(50)} == {1}
+        assert len({cold.choose() for __ in range(200)}) > 1
+
+    def test_hotspot_skew_validation(self):
+        with pytest.raises(ConfigurationError):
+            HotspotDestination(8, 0, skew=1.5)
+
+
+class TestPoissonSource:
+    def test_offered_rate_approximates_target(self, sim):
+        host = _host(sim)
+        PoissonSource(sim, host, rate_bps=2 * GIGABIT, n_ports=4,
+                      rng=random.Random(0))
+        duration = 10 * MILLISECONDS
+        sim.run(until=duration)
+        offered_bps = host.emitted.bytes * 8 * 1e12 / duration
+        assert offered_bps == pytest.approx(2e9, rel=0.15)
+
+    def test_until_stops_emission(self, sim):
+        host = _host(sim)
+        PoissonSource(sim, host, rate_bps=5 * GIGABIT, n_ports=4,
+                      rng=random.Random(0), until_ps=1 * MILLISECONDS)
+        sim.run(until=5 * MILLISECONDS)
+        count_at_cutoff = host.emitted.count
+        sim.run(until=10 * MILLISECONDS)
+        assert host.emitted.count == count_at_cutoff
+
+    def test_requires_chooser_or_n_ports(self, sim):
+        with pytest.raises(ConfigurationError, match="n_ports"):
+            PoissonSource(sim, _host(sim), rate_bps=1e9)
+
+    def test_rate_validation(self, sim):
+        with pytest.raises(ConfigurationError):
+            PoissonSource(sim, _host(sim), rate_bps=0, n_ports=4)
+
+
+class TestCbrSource:
+    def test_exact_periodicity(self, sim):
+        host = _host(sim)
+        CbrSource(sim, host, dst=1, packet_bytes=100,
+                  period_ps=100 * MICROSECONDS)
+        sim.run(until=1 * MILLISECONDS)
+        # t=0, 100us, ..., 1000us inclusive = 11 packets.
+        assert host.emitted.count == 11
+
+    def test_priority_tag(self, sim):
+        host = _host(sim)
+        received = []
+        host.uplink.connect(received.append)
+        CbrSource(sim, host, dst=1, priority=1,
+                  period_ps=100 * MICROSECONDS)
+        sim.run(until=200 * MICROSECONDS)
+        assert all(p.priority == 1 for p in received)
+
+    def test_self_destination_rejected(self, sim):
+        with pytest.raises(ConfigurationError):
+            CbrSource(sim, _host(sim), dst=0)
+
+
+class TestOnOffSource:
+    def test_bursts_emit_back_to_back(self, sim):
+        host = _host(sim)
+        source = OnOffSource(
+            sim, host, burst_rate_bps=10 * GIGABIT,
+            mean_on_ps=200 * MICROSECONDS, mean_off_ps=100 * MICROSECONDS,
+            n_ports=4, rng=random.Random(1))
+        sim.run(until=5 * MILLISECONDS)
+        assert source.bursts_started >= 2
+        assert host.emitted.count > 50
+
+    def test_single_destination_per_burst(self, sim):
+        host = _host(sim)
+        received = []
+        host.uplink.connect(received.append)
+        OnOffSource(
+            sim, host, burst_rate_bps=10 * GIGABIT,
+            mean_on_ps=500 * MICROSECONDS, mean_off_ps=0,
+            n_ports=8, rng=random.Random(2))
+        sim.run(until=200 * MICROSECONDS)
+        flows = {p.flow_id for p in received}
+        for flow_id in flows:
+            dsts = {p.dst for p in received if p.flow_id == flow_id}
+            assert len(dsts) == 1
+
+    def test_pareto_shape_validation(self, sim):
+        with pytest.raises(ConfigurationError):
+            OnOffSource(sim, _host(sim), burst_rate_bps=1e9,
+                        mean_on_ps=100, mean_off_ps=100, alpha=1.0,
+                        n_ports=4)
+
+
+class TestEmpiricalDistribution:
+    def test_published_mixes_are_valid(self):
+        for cdf in (WEBSEARCH_FLOW_SIZES, DATAMINING_FLOW_SIZES):
+            dist = EmpiricalSizeDistribution(cdf)
+            assert dist.mean_bytes() > 0
+
+    def test_samples_within_support(self):
+        dist = EmpiricalSizeDistribution(WEBSEARCH_FLOW_SIZES)
+        rng = random.Random(5)
+        for __ in range(500):
+            size = dist.sample(rng)
+            assert 1 <= size <= 30_000_000
+
+    def test_heavy_tail_present(self):
+        dist = EmpiricalSizeDistribution(DATAMINING_FLOW_SIZES)
+        rng = random.Random(6)
+        samples = [dist.sample(rng) for __ in range(3_000)]
+        small = sum(1 for s in samples if s <= 10_000)
+        big = sum(1 for s in samples if s >= 1_000_000)
+        assert small / len(samples) > 0.6   # mice dominate counts
+        assert big > 0                      # elephants exist
+
+    def test_cdf_validation(self):
+        with pytest.raises(ConfigurationError):
+            EmpiricalSizeDistribution([])
+        with pytest.raises(ConfigurationError):
+            EmpiricalSizeDistribution([(0.5, 100)])  # doesn't reach 1.0
+        with pytest.raises(ConfigurationError):
+            EmpiricalSizeDistribution([(0.5, 100), (0.4, 200)])
+
+
+class TestFlowSource:
+    def test_generates_flows_and_packets(self, sim):
+        host = _host(sim)
+        dist = EmpiricalSizeDistribution(WEBSEARCH_FLOW_SIZES)
+        source = FlowSource(
+            sim, host,
+            chooser=UniformDestination(4, 0, random.Random(7)),
+            distribution=dist, offered_bps=3 * GIGABIT,
+            rng=random.Random(7))
+        sim.run(until=20 * MILLISECONDS)
+        assert source.flows_started > 0
+        assert host.emitted.count > 0
+
+    def test_flow_bytes_match_sampled_size(self, sim):
+        host = _host(sim)
+        received = []
+        host.uplink.connect(received.append)
+        dist = EmpiricalSizeDistribution(((1.0, 5_000),))
+        FlowSource(
+            sim, host,
+            chooser=FixedDestination(4, 0, 1),
+            distribution=dist, offered_bps=1 * GIGABIT,
+            rng=random.Random(8))
+        sim.run(until=30 * MILLISECONDS)
+        by_flow = {}
+        for p in received:
+            by_flow.setdefault(p.flow_id, 0)
+            by_flow[p.flow_id] += p.size
+        finished = [b for b in by_flow.values()]
+        # Flows are ~5000 bytes each (interpolated near the single knot).
+        assert finished
+        for total in finished[:-1]:  # last flow may be truncated by end
+            assert total <= 5_100
