@@ -9,7 +9,15 @@ Four ablations, each isolating one knob of the framework:
   before residue backs up?
 * **Distributed scheduling staleness** — what decentralising the
   scheduler costs in matching weight as its demand view ages.
+
+Each ablation's knob sweep is routed through the runner's
+order-preserving :func:`repro.runner.map_jobs`: every point is a
+module-level pure function of its knob value, so the sweep can fan out
+across worker processes (``REPRO_BENCH_JOBS=N``) with bit-identical
+results to the default sequential run.
 """
+
+import os
 
 import numpy as np
 
@@ -19,11 +27,17 @@ from repro.core.config import FrameworkConfig
 from repro.core.framework import HybridSwitchFramework
 from repro.fabric.cellsim import CellFabricSim
 from repro.fabric.workloads import diagonal_rates
+from repro.runner import map_jobs
 from repro.schedulers.islip import IslipScheduler
 from repro.schedulers.mwm import MwmScheduler
 from repro.sim.time import GIGABIT, MICROSECONDS, MILLISECONDS
 from repro.traffic.patterns import HotspotDestination
 from repro.traffic.sources import OnOffSource
+
+
+def _bench_jobs() -> int:
+    """Worker processes per ablation sweep (default: sequential)."""
+    return max(1, int(os.environ.get("REPRO_BENCH_JOBS", "1")))
 
 
 def _hotspot_framework(estimator="instant", eps_rate=2.5 * GIGABIT,
@@ -54,24 +68,63 @@ def _hotspot_framework(estimator="instant", eps_rate=2.5 * GIGABIT,
     return fw
 
 
+def _islip_point(iterations):
+    """(iterations, throughput, mean delay) on adversarial load."""
+    sched = IslipScheduler(16, iterations=iterations)
+    stats = CellFabricSim(sched, diagonal_rates(16, 0.9),
+                          seed=6).run(3_000, warmup=500)
+    return iterations, stats.throughput, stats.mean_delay_slots
+
+
+def _estimator_point(estimator):
+    """(estimator, OCS fraction, utilisation) in the full framework."""
+    fw = _hotspot_framework(estimator=estimator)
+    result = fw.run(6 * MILLISECONDS)
+    return estimator, result.ocs_fraction, result.utilisation()
+
+
+def _eps_point(eps_gbps):
+    """(rate, utilisation, peak queue, drops) for one EPS provisioning."""
+    fw = _hotspot_framework(eps_rate=eps_gbps * GIGABIT)
+    result = fw.run(6 * MILLISECONDS)
+    return (eps_gbps, result.utilisation(),
+            result.eps_peak_buffer_bytes, result.drops["eps_tail"])
+
+
+def _staleness_point(staleness):
+    """(staleness, weight ratio vs centralized MWM) on drifting demand."""
+    rng = np.random.default_rng(11)
+    # A drifting demand sequence: hotspots move every few epochs.
+    demands = []
+    base = rng.exponential(50_000, (8, 8))
+    np.fill_diagonal(base, 0.0)
+    for epoch in range(40):
+        drift = np.roll(base, epoch // 4, axis=1).copy()
+        np.fill_diagonal(drift, 0.0)
+        demands.append(drift)
+    central = MwmScheduler(8)
+    distributed = DistributedGreedyScheduler(
+        8, staleness_epochs=staleness)
+    got = 0.0
+    best = 0.0
+    for demand in demands:
+        got += distributed.compute(demand).first.weight(demand)
+        best += central.compute(demand).first.weight(demand)
+    return staleness, got / best
+
+
 def test_ablation_islip_iterations(benchmark):
     """Throughput vs iteration count on adversarial load."""
 
     def run():
-        rows = []
-        series = {}
-        for iterations in (1, 2, 4, 8):
-            sched = IslipScheduler(16, iterations=iterations)
-            stats = CellFabricSim(sched, diagonal_rates(16, 0.9),
-                                  seed=6).run(3_000, warmup=500)
-            series[iterations] = stats.throughput
-            rows.append([str(iterations), f"{stats.throughput:.3f}",
-                         f"{stats.mean_delay_slots:.1f}"])
+        points = map_jobs(_islip_point, (1, 2, 4, 8), jobs=_bench_jobs())
+        rows = [[str(i), f"{throughput:.3f}", f"{delay:.1f}"]
+                for i, throughput, delay in points]
         print()
         print(render_table(
             ["iSLIP iterations", "throughput", "mean delay (slots)"],
             rows, title="ablation: iSLIP iterations, diagonal 0.9"))
-        return series
+        return {i: throughput for i, throughput, __ in points}
 
     series = benchmark.pedantic(run, rounds=1, iterations=1)
     assert series[4] >= series[1] - 0.02
@@ -81,19 +134,15 @@ def test_ablation_demand_estimator(benchmark):
     """Does estimator choice reach end-to-end OCS offload?"""
 
     def run():
-        rows = []
-        fractions = {}
-        for estimator in ("instant", "ewma", "sketch"):
-            fw = _hotspot_framework(estimator=estimator)
-            result = fw.run(6 * MILLISECONDS)
-            fractions[estimator] = result.ocs_fraction
-            rows.append([estimator, f"{result.ocs_fraction:.3f}",
-                         f"{result.utilisation():.3f}"])
+        points = map_jobs(_estimator_point, ("instant", "ewma", "sketch"),
+                          jobs=_bench_jobs())
+        rows = [[name, f"{fraction:.3f}", f"{util:.3f}"]
+                for name, fraction, util in points]
         print()
         print(render_table(
             ["estimator", "OCS byte fraction", "utilisation"],
             rows, title="ablation: demand estimator in the framework"))
-        return fractions
+        return {name: fraction for name, fraction, __ in points}
 
     fractions = benchmark.pedantic(run, rounds=1, iterations=1)
     assert all(0.0 <= f <= 1.0 for f in fractions.values())
@@ -103,22 +152,16 @@ def test_ablation_eps_capacity(benchmark):
     """Residual-path provisioning: EPS rate from 10G down to 0.5G."""
 
     def run():
-        rows = []
-        peaks = {}
-        for eps_gbps in (10.0, 2.5, 1.0, 0.5):
-            fw = _hotspot_framework(eps_rate=eps_gbps * GIGABIT)
-            result = fw.run(6 * MILLISECONDS)
-            peaks[eps_gbps] = result.eps_peak_buffer_bytes
-            rows.append([f"{eps_gbps:.1f}G",
-                         f"{result.utilisation():.3f}",
-                         str(result.eps_peak_buffer_bytes),
-                         str(result.drops["eps_tail"])])
+        points = map_jobs(_eps_point, (10.0, 2.5, 1.0, 0.5),
+                          jobs=_bench_jobs())
+        rows = [[f"{gbps:.1f}G", f"{util:.3f}", str(peak), str(drops)]
+                for gbps, util, peak, drops in points]
         print()
         print(render_table(
             ["EPS rate", "utilisation", "peak EPS queue (B)",
              "EPS drops"],
             rows, title="ablation: residual electrical capacity"))
-        return peaks
+        return {gbps: peak for gbps, __, peak, __d in points}
 
     peaks = benchmark.pedantic(run, rounds=1, iterations=1)
     # A thinner residual path must queue at least as much residue.
@@ -129,33 +172,15 @@ def test_ablation_distributed_staleness(benchmark):
     """Matching weight lost to stale demand views (decentralisation)."""
 
     def run():
-        rng = np.random.default_rng(11)
-        # A drifting demand sequence: hotspots move every few epochs.
-        demands = []
-        base = rng.exponential(50_000, (8, 8))
-        np.fill_diagonal(base, 0.0)
-        for epoch in range(40):
-            drift = np.roll(base, epoch // 4, axis=1).copy()
-            np.fill_diagonal(drift, 0.0)
-            demands.append(drift)
-        central = MwmScheduler(8)
-        rows = []
-        ratios = {}
-        for staleness in (0, 1, 2, 4, 8):
-            distributed = DistributedGreedyScheduler(
-                8, staleness_epochs=staleness)
-            got = 0.0
-            best = 0.0
-            for demand in demands:
-                got += distributed.compute(demand).first.weight(demand)
-                best += central.compute(demand).first.weight(demand)
-            ratios[staleness] = got / best
-            rows.append([str(staleness), f"{got / best:.3f}"])
+        points = map_jobs(_staleness_point, (0, 1, 2, 4, 8),
+                          jobs=_bench_jobs())
+        rows = [[str(staleness), f"{ratio:.3f}"]
+                for staleness, ratio in points]
         print()
         print(render_table(
             ["staleness (epochs)", "weight vs centralized MWM"],
             rows, title="ablation: distributed scheduling staleness"))
-        return ratios
+        return dict(points)
 
     ratios = benchmark.pedantic(run, rounds=1, iterations=1)
     assert ratios[8] <= ratios[0] + 1e-9  # staleness never helps

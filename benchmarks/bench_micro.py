@@ -7,7 +7,10 @@ against performance regressions that would silently make the experiment
 harness unusable.
 """
 
+import os
+
 import numpy as np
+import pytest
 
 from repro.fabric.cellsim import CellFabricSim
 from repro.fabric.workloads import uniform_rates
@@ -17,6 +20,14 @@ from repro.schedulers.mwm import GreedyMwmScheduler, MwmScheduler
 from repro.schedulers.solstice import SolsticeScheduler
 from repro.sim.engine import Simulator
 from repro.sim.time import MICROSECONDS
+
+
+#: Reduced mode (CI bench-smoke): keep one bench per hot path, skip the
+#: large-port variants whose runtime adds trajectory data but no new
+#: coverage.  Full mode remains the default for local perf work.
+_QUICK = bool(int(os.environ.get("REPRO_BENCH_QUICK", "0")))
+full_size_only = pytest.mark.skipif(
+    _QUICK, reason="REPRO_BENCH_QUICK=1: reduced benchmark mode")
 
 
 def _demand(n, seed=0):
@@ -32,16 +43,19 @@ class TestSchedulerComputeSpeed:
         demand = _demand(16)
         benchmark(scheduler.compute, demand)
 
+    @full_size_only
     def test_islip4_64_ports(self, benchmark):
         scheduler = IslipScheduler(64, iterations=4)
         demand = _demand(64)
         benchmark(scheduler.compute, demand)
 
+    @full_size_only
     def test_mwm_64_ports(self, benchmark):
         scheduler = MwmScheduler(64)
         demand = _demand(64)
         benchmark(scheduler.compute, demand)
 
+    @full_size_only
     def test_greedy_mwm_64_ports(self, benchmark):
         scheduler = GreedyMwmScheduler(64)
         demand = _demand(64)

@@ -1,0 +1,60 @@
+"""Parameter sweeps through the runner: plan, execute, aggregate.
+
+The CLI equivalent of this script is::
+
+    repro sweep e5 --quick --replicas 2 --base-seed 1 \
+        --set n_ports=8,16 --jobs 2 --cache-dir .repro-cache
+
+but the library API composes: plan a grid, shard it, execute each
+shard (here sequentially — in CI each shard would be its own matrix
+job sharing the cache directory), and merge everything back into one
+``ExperimentReport``.
+"""
+
+import tempfile
+
+from repro.runner import (
+    ResultCache,
+    execute,
+    merge_outcomes,
+    plan_runs,
+    shard,
+)
+
+# Plan: e5's scheduler study on two fabric sizes, two seeded replicas
+# each — four independent jobs, deterministically ordered and keyed.
+specs = plan_runs(
+    ["e5"],
+    quick=True,
+    base_seed=1,
+    replicas=2,
+    grid={"n_ports": [8, 16], "loads": [[0.3, 0.8]]},
+)
+print("plan:")
+for spec in specs:
+    print(f"  {spec.key()}  {spec.describe()}")
+
+with tempfile.TemporaryDirectory() as cache_dir:
+    cache = ResultCache(cache_dir)
+
+    # Shard the plan as a CI matrix would, then run every shard.
+    # Striped sharding keeps per-shard cost balanced; the shared cache
+    # means a re-dispatched shard re-executes nothing.
+    outcomes = []
+    for shard_index in range(2):
+        part = shard(specs, 2, shard_index)
+        outcomes.extend(execute(part, jobs=2, cache=cache))
+
+    # Merge shard outputs back into the familiar report shape.
+    merged = merge_outcomes(outcomes, title="e5 across fabric sizes")
+    print()
+    print(merged.render())
+
+    # Per-job data is keyed by spec hash, e.g. peak throughput of the
+    # diagonal workload at the heaviest load for every job:
+    print()
+    for spec in specs:
+        data = merged.data[spec.key()]["data"]
+        heaviest = data["diagonal"]["mwm"][-1]
+        print(f"{spec.describe():40s} "
+              f"mwm diagonal@{heaviest[0]}: {heaviest[1]:.3f}")

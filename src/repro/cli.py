@@ -1,22 +1,126 @@
 """Command-line entry point: ``repro``.
 
-Run paper experiments by id and inspect the registries::
+Run paper experiments by id, in parallel, against a result cache; or
+expand parameter sweeps into job plans::
 
-    repro list                 # experiments + schedulers + presets
-    repro run e1               # full-size experiment
-    repro run e5 --quick       # reduced-size for smoke checks
-    repro run all --quick
+    repro list                       # experiments + schedulers + presets
+    repro run e1                     # full-size experiment
+    repro run e5 --quick             # reduced-size for smoke checks
+    repro run all --quick --jobs 4   # the suite, 4 worker processes
+    repro run all --cache-dir .repro-cache   # warm reruns are instant
+    repro sweep e5 --replicas 3 --base-seed 1 --set n_ports=8,16 --jobs 4
+
+``run`` and ``sweep`` are thin frontends over ``repro.runner``: they
+plan deterministic job lists, execute them (optionally across worker
+processes and against a content-addressed cache) and print the familiar
+per-experiment reports plus a run manifest.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import pathlib
 import sys
-from typing import List, Optional
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.experiments import EXPERIMENTS
 from repro.hwmodel.presets import TIMING_PRESETS
+from repro.runner import (
+    ResultCache,
+    RunSpec,
+    execute,
+    merge_outcomes,
+    plan_runs,
+    shard,
+    write_json_report,
+)
+from repro.runner.manifest import RunManifest
 from repro.schedulers.registry import available_schedulers
+
+
+def _resolve_experiments(requested: Sequence[str]) -> Optional[List[str]]:
+    """Expand ``all`` and validate ids; ``None`` (+stderr) on error."""
+    ids: List[str] = []
+    for name in requested:
+        if name == "all":
+            ids.extend(exp_id for exp_id in sorted(EXPERIMENTS)
+                       if exp_id not in ids)
+            continue
+        if name not in EXPERIMENTS:
+            print(f"unknown experiment {name!r}; "
+                  f"try: {', '.join(sorted(EXPERIMENTS))}",
+                  file=sys.stderr)
+            return None
+        if name not in ids:
+            ids.append(name)
+    return ids
+
+
+def _parse_value(text: str) -> Any:
+    """A ``--set`` value: JSON when it parses, bare string otherwise."""
+    try:
+        return json.loads(text)
+    except ValueError:
+        return text
+
+
+def _parse_overrides(pairs: Sequence[str]) -> Optional[Dict[str, Any]]:
+    """``k=v`` pairs for ``run``; ``None`` (+stderr) on a bad pair."""
+    overrides: Dict[str, Any] = {}
+    for pair in pairs:
+        key, sep, value = pair.partition("=")
+        if not sep or not key:
+            print(f"bad --set {pair!r}; expected key=value",
+                  file=sys.stderr)
+            return None
+        overrides[key] = _parse_value(value)
+    return overrides
+
+
+def _parse_grid(pairs: Sequence[str]) -> Optional[Dict[str, List[Any]]]:
+    """``k=v1,v2,...`` pairs for ``sweep``: each key is a grid axis.
+
+    A value that parses as a JSON list *is* the axis (so
+    ``--set "loads=[0.1, 0.5]"`` sweeps two scalar loads, and a
+    list-of-lists sweeps list-valued overrides); otherwise the value is
+    split on commas and each piece parsed individually.
+    """
+    grid: Dict[str, List[Any]] = {}
+    for pair in pairs:
+        key, sep, value = pair.partition("=")
+        if not sep or not key:
+            print(f"bad --set {pair!r}; expected key=v1,v2,...",
+                  file=sys.stderr)
+            return None
+        parsed = _parse_value(value)
+        if isinstance(parsed, list):
+            grid[key] = parsed
+        else:
+            grid[key] = [_parse_value(piece)
+                         for piece in value.split(",")]
+    return grid
+
+
+def _make_cache(args: argparse.Namespace):
+    """``(ok, cache)``; complains on stderr when the path is unusable."""
+    if not args.cache_dir:
+        return True, None
+    path = pathlib.Path(args.cache_dir)
+    if path.exists() and not path.is_dir():
+        print(f"--cache-dir {args.cache_dir!r} exists and is not a "
+              "directory", file=sys.stderr)
+        return False, None
+    return True, ResultCache(path)
+
+
+def _finish(outcomes, args: argparse.Namespace,
+            show_manifest: bool) -> None:
+    if show_manifest:
+        print(RunManifest.from_outcomes(outcomes).render())
+        print()
+    if args.json_out:
+        write_json_report(outcomes, args.json_out)
 
 
 def _cmd_list(_args: argparse.Namespace) -> int:
@@ -32,21 +136,126 @@ def _cmd_list(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _check_scheduler(args: argparse.Namespace) -> bool:
+    """Validate --scheduler against the registry before any job runs."""
+    if args.scheduler and args.scheduler not in available_schedulers():
+        print(f"unknown scheduler {args.scheduler!r}; "
+              f"try: {', '.join(available_schedulers())}",
+              file=sys.stderr)
+        return False
+    return True
+
+
+def _check_counts(args: argparse.Namespace) -> bool:
+    """Validate count-type options; prints to stderr on error."""
+    if args.jobs < 1:
+        print(f"--jobs must be >= 1, got {args.jobs}", file=sys.stderr)
+        return False
+    replicas = getattr(args, "replicas", 1)
+    if replicas < 1:
+        print(f"--replicas must be >= 1, got {replicas}", file=sys.stderr)
+        return False
+    shards = getattr(args, "shards", 1)
+    shard_index = getattr(args, "shard_index", 0)
+    if shards < 1:
+        print(f"--shards must be >= 1, got {shards}", file=sys.stderr)
+        return False
+    if not 0 <= shard_index < shards:
+        print(f"--shard-index must be in [0, {shards}), "
+              f"got {shard_index}", file=sys.stderr)
+        return False
+    return True
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
-    if args.experiment == "all":
-        experiment_ids = sorted(EXPERIMENTS)
-    else:
-        if args.experiment not in EXPERIMENTS:
-            print(f"unknown experiment {args.experiment!r}; "
-                  f"try: {', '.join(sorted(EXPERIMENTS))}",
-                  file=sys.stderr)
-            return 2
-        experiment_ids = [args.experiment]
-    for exp_id in experiment_ids:
-        report = EXPERIMENTS[exp_id](quick=args.quick)
-        print(report.render())
-        print()
+    if not _check_counts(args) or not _check_scheduler(args):
+        return 2
+    experiment_ids = _resolve_experiments(args.experiment)
+    if experiment_ids is None:
+        return 2
+    overrides = _parse_overrides(args.set or [])
+    if overrides is None:
+        return 2
+    specs = [
+        RunSpec(experiment_id=exp_id, quick=args.quick, seed=args.seed,
+                scheduler=args.scheduler, overrides=overrides,
+                measure_wallclock=args.wallclock).validate()
+        for exp_id in experiment_ids
+    ]
+    ok, cache = _make_cache(args)
+    if not ok:
+        return 2
+    # Stream reports in plan order as jobs settle: a full-size `run
+    # all` prints each experiment as soon as it (and its predecessors)
+    # finish, rather than staying silent until the slowest job ends.
+    key_order = [spec.key() for spec in specs]
+    settled: Dict[str, Any] = {}
+    next_to_print = [0]
+
+    def _print_ready(outcome) -> None:
+        settled[outcome.spec.key()] = outcome
+        while (next_to_print[0] < len(key_order)
+               and key_order[next_to_print[0]] in settled):
+            print(settled[key_order[next_to_print[0]]].report.render())
+            print()
+            next_to_print[0] += 1
+
+    outcomes = execute(specs, jobs=args.jobs, cache=cache,
+                       on_outcome=_print_ready)
+    _finish(outcomes, args,
+            show_manifest=(len(specs) > 1 or args.jobs > 1
+                           or cache is not None))
     return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    if not _check_counts(args) or not _check_scheduler(args):
+        return 2
+    experiment_ids = _resolve_experiments(args.experiment)
+    if experiment_ids is None:
+        return 2
+    grid = _parse_grid(args.set or [])
+    if grid is None:
+        return 2
+    specs = plan_runs(
+        experiment_ids,
+        quick=args.quick,
+        scheduler=args.scheduler,
+        base_seed=args.base_seed,
+        replicas=args.replicas,
+        grid=grid,
+    )
+    if args.shards > 1:
+        specs = shard(specs, args.shards, args.shard_index)
+    if not specs:
+        print("empty plan (shard with no jobs?)", file=sys.stderr)
+        return 0
+    ok, cache = _make_cache(args)
+    if not ok:
+        return 2
+    outcomes = execute(specs, jobs=args.jobs, cache=cache)
+    merged = merge_outcomes(
+        outcomes, title=f"sweep over {', '.join(experiment_ids)}")
+    print(merged.render())
+    print()
+    _finish(outcomes, args, show_manifest=False)  # render() included it
+    return 0
+
+
+def _add_common_run_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced problem sizes (CI/smoke)")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes (default 1; results are "
+                             "bit-identical at any value)")
+    parser.add_argument("--cache-dir", metavar="DIR",
+                        help="content-addressed report cache; reruns of "
+                             "an unchanged spec are served from disk")
+    parser.add_argument("--scheduler", metavar="NAME",
+                        help="override the framework scheduler where "
+                             "the experiment supports one")
+    parser.add_argument("--json-out", metavar="PATH",
+                        help="write manifest + all reports as JSON")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -59,11 +268,41 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="list experiments, schedulers, presets"
                    ).set_defaults(func=_cmd_list)
-    run = sub.add_parser("run", help="run an experiment (e1..e8 or all)")
-    run.add_argument("experiment", help="experiment id, or 'all'")
-    run.add_argument("--quick", action="store_true",
-                     help="reduced problem sizes (CI/smoke)")
+
+    run = sub.add_parser(
+        "run", help="run experiments (e1..e8 or all), optionally in "
+                    "parallel and against a cache")
+    run.add_argument("experiment", nargs="+",
+                     help="experiment ids, or 'all'")
+    _add_common_run_options(run)
+    run.add_argument("--seed", type=int,
+                     help="base seed (default: each experiment's "
+                          "historical seeds)")
+    run.add_argument("--set", action="append", metavar="KEY=VALUE",
+                     help="experiment config override (repeatable)")
+    run.add_argument("--wallclock", action="store_true",
+                     help="include non-deterministic wall-clock series "
+                          "(e7); such reports are not reproducible")
     run.set_defaults(func=_cmd_run)
+
+    sweep = sub.add_parser(
+        "sweep", help="expand a parameter sweep into independent jobs "
+                      "and run them")
+    sweep.add_argument("experiment", nargs="+",
+                       help="experiment ids, or 'all'")
+    _add_common_run_options(sweep)
+    sweep.add_argument("--replicas", type=int, default=1, metavar="N",
+                       help="seed-derived repetitions per grid point")
+    sweep.add_argument("--base-seed", type=int, metavar="S",
+                       help="base for per-replica seed derivation")
+    sweep.add_argument("--set", action="append", metavar="KEY=V1,V2",
+                       help="grid axis: sweep KEY over the listed "
+                            "values (repeatable)")
+    sweep.add_argument("--shards", type=int, default=1, metavar="N",
+                       help="split the plan into N deterministic shards")
+    sweep.add_argument("--shard-index", type=int, default=0, metavar="I",
+                       help="which shard to run (0-based)")
+    sweep.set_defaults(func=_cmd_sweep)
     return parser
 
 

@@ -184,7 +184,7 @@ class ProcessingLogic:
                 self.eps_sink(packet)
         return diverted
 
-    # -- internals ----------------------------------------------------------------------
+    # -- internals ------------------------------------------------------
 
     def _voq_changed(self, src: int, dst: int, queued_bytes: int) -> None:
         """Status-change hook: emit a request, resume draining."""

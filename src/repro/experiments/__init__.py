@@ -17,7 +17,17 @@ E8        §2 — sensitivity to host–switch clock skew
 ========  ==========================================================
 """
 
-from repro.experiments.base import ExperimentReport
+from repro.experiments import (
+    e1_buffering,
+    e2_latency,
+    e3_utilization,
+    e4_jitter,
+    e5_algorithms,
+    e6_offload,
+    e7_scalability,
+    e8_sync,
+)
+from repro.experiments.base import ExperimentConfig, ExperimentReport
 from repro.experiments.e1_buffering import run_e1
 from repro.experiments.e2_latency import run_e2
 from repro.experiments.e3_utilization import run_e3
@@ -27,6 +37,7 @@ from repro.experiments.e6_offload import run_e6
 from repro.experiments.e7_scalability import run_e7
 from repro.experiments.e8_sync import run_e8
 
+#: Historical entry points: ``fn(quick=...)``, kept for direct callers.
 EXPERIMENTS = {
     "e1": run_e1,
     "e2": run_e2,
@@ -38,6 +49,19 @@ EXPERIMENTS = {
     "e8": run_e8,
 }
 
-__all__ = ["EXPERIMENTS", "ExperimentReport"] + [
-    f"run_e{i}" for i in range(1, 9)
-]
+#: Pure entry points: ``fn(config: ExperimentConfig)``.  These are what
+#: ``repro.runner`` executes — deterministic functions of the config,
+#: safe to run in worker processes and to cache by content hash.
+ENTRY_POINTS = {
+    "e1": e1_buffering.run,
+    "e2": e2_latency.run,
+    "e3": e3_utilization.run,
+    "e4": e4_jitter.run,
+    "e5": e5_algorithms.run,
+    "e6": e6_offload.run,
+    "e7": e7_scalability.run,
+    "e8": e8_sync.run,
+}
+
+__all__ = ["EXPERIMENTS", "ENTRY_POINTS", "ExperimentConfig",
+           "ExperimentReport"] + [f"run_e{i}" for i in range(1, 9)]

@@ -1,9 +1,71 @@
-"""Shared experiment-report type."""
+"""Shared experiment types: the run configuration and the report.
+
+Every experiment module exposes a *pure* entry point::
+
+    def run(config: ExperimentConfig) -> ExperimentReport
+
+Pure means: the report is a deterministic function of ``config`` alone
+— no wall-clock measurements, no module-level counters, no ambient RNG.
+That contract is what lets ``repro.runner`` execute experiments in
+worker processes and cache their reports content-addressed by spec.
+The historical ``run_eN(quick=...)`` wrappers remain for direct calls.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Mapping, Optional
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Everything an experiment run depends on.
+
+    Attributes
+    ----------
+    quick:
+        Reduced problem sizes (CI/smoke), same shapes.
+    seed:
+        Base seed for every RNG the experiment owns.  ``None`` keeps
+        each experiment's historical default seeds, so existing numbers
+        (and EXPERIMENTS.md) stay stable.
+    scheduler:
+        Registry-name override for experiments that sweep a single
+        framework scheduler (e1, e3, e6, e8).  ``None`` keeps each
+        experiment's default.
+    measure_wallclock:
+        Allow non-deterministic extras (e7's Python wall-clock sanity
+        series).  Off by default: a pure run must be bit-reproducible.
+    overrides:
+        Experiment-specific knobs (``n_ports``, ``duration_ps``,
+        ``loads`` ...).  Unknown keys are ignored by experiments that
+        do not define them.
+    """
+
+    quick: bool = False
+    seed: Optional[int] = None
+    scheduler: Optional[str] = None
+    measure_wallclock: bool = False
+    overrides: Mapping[str, Any] = field(default_factory=dict)
+
+    def get(self, name: str, default: Any) -> Any:
+        """An override value, or ``default`` when not overridden."""
+        return self.overrides.get(name, default)
+
+    def derive_seed(self, default: int) -> int:
+        """A per-stream seed.
+
+        Experiments own several independent RNG streams (traffic,
+        demand matrices, estimator noise ...), each with a historical
+        default seed.  With no base seed configured the default is
+        returned unchanged — bit-compatible with the seed repo.  With a
+        base seed, every stream moves together but streams stay
+        distinct (1009 is prime, so distinct defaults never collide
+        for base seeds below it).
+        """
+        if self.seed is None:
+            return default
+        return self.seed * 1009 + default
 
 
 @dataclass
@@ -43,4 +105,4 @@ class ExperimentReport:
         return "\n\n".join(parts)
 
 
-__all__ = ["ExperimentReport"]
+__all__ = ["ExperimentConfig", "ExperimentReport"]

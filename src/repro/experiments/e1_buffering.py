@@ -22,7 +22,7 @@ from repro.analysis.buffering import BufferingModel, format_bytes
 from repro.analysis.tables import render_table
 from repro.core.config import FrameworkConfig
 from repro.core.framework import HybridSwitchFramework
-from repro.experiments.base import ExperimentReport
+from repro.experiments.base import ExperimentConfig, ExperimentReport
 from repro.hwmodel.presets import make_timing
 from repro.sim.time import (
     GIGABIT,
@@ -106,34 +106,38 @@ def _analytic_table(report: ExperimentReport) -> None:
             "sets the requirement (the paper's motivation)")
 
 
-def _simulated_table(report: ExperimentReport, quick: bool) -> None:
+def _simulated_table(report: ExperimentReport,
+                     config: ExperimentConfig) -> None:
     switching_times = (
         (1 * MICROSECONDS, 10 * MICROSECONDS)
-        if quick else
+        if config.quick else
         (1 * MICROSECONDS, 10 * MICROSECONDS, 100 * MICROSECONDS))
-    duration = 5 * MILLISECONDS if quick else 20 * MILLISECONDS
+    duration = config.get(
+        "duration_ps", 5 * MILLISECONDS if config.quick
+        else 20 * MILLISECONDS)
+    n_ports = config.get("n_ports", 8)
     rows = []
     peaks = []
     for switching_ps in switching_times:
         epoch_ps = max(10 * switching_ps, 40 * MICROSECONDS)
-        config = FrameworkConfig(
-            n_ports=8,
+        fw_config = FrameworkConfig(
+            n_ports=n_ports,
             switching_time_ps=switching_ps,
-            scheduler="hotspot",
+            scheduler=config.scheduler or "hotspot",
             timing_preset="netfpga_sume",
             epoch_ps=epoch_ps,
             default_slot_ps=epoch_ps,
-            seed=1,
+            seed=config.derive_seed(1),
         )
-        fw = HybridSwitchFramework(config)
+        fw = HybridSwitchFramework(fw_config)
         for host in fw.hosts:
             OnOffSource(
                 fw.sim, host,
-                burst_rate_bps=config.port_rate_bps,
+                burst_rate_bps=fw_config.port_rate_bps,
                 mean_on_ps=200 * MICROSECONDS,
                 mean_off_ps=300 * MICROSECONDS,
                 chooser=HotspotDestination(
-                    config.n_ports, host.host_id, skew=0.7,
+                    fw_config.n_ports, host.host_id, skew=0.7,
                     rng=fw.sim.streams.stream(f"dst{host.host_id}")),
                 rng=fw.sim.streams.stream(f"src{host.host_id}"))
         result = fw.run(duration)
@@ -147,7 +151,8 @@ def _simulated_table(report: ExperimentReport, quick: bool) -> None:
     report.tables.append(render_table(
         ["switching time", "peak switch buffer", "utilisation", "drops"],
         rows,
-        title="Figure 1 (simulated): 8 ports x 10 Gbps, peak VOQ bytes"))
+        title=f"Figure 1 (simulated): {n_ports} ports x 10 Gbps, "
+              "peak VOQ bytes"))
     report.data["simulated_peak_bytes"] = peaks
     if peaks == sorted(peaks):
         report.expectations.append(
@@ -155,15 +160,20 @@ def _simulated_table(report: ExperimentReport, quick: bool) -> None:
             "switching time")
 
 
-def run_e1(quick: bool = False) -> ExperimentReport:
-    """Reproduce Figure 1 (see module docstring)."""
+def run(config: ExperimentConfig) -> ExperimentReport:
+    """Reproduce Figure 1 (see module docstring) — pure entry point."""
     report = ExperimentReport(
         experiment_id="e1",
         title="Figure 1 — buffering requirement vs optical switching time",
     )
     _analytic_table(report)
-    _simulated_table(report, quick)
+    _simulated_table(report, config)
     return report
 
 
-__all__ = ["run_e1", "SWITCHING_TIMES_PS"]
+def run_e1(quick: bool = False) -> ExperimentReport:
+    """Historical entry point; see :func:`run`."""
+    return run(ExperimentConfig(quick=quick))
+
+
+__all__ = ["run", "run_e1", "SWITCHING_TIMES_PS"]

@@ -18,7 +18,7 @@ from typing import Dict, List
 import numpy as np
 
 from repro.analysis.tables import render_table
-from repro.experiments.base import ExperimentReport
+from repro.experiments.base import ExperimentConfig, ExperimentReport
 from repro.hwmodel.presets import make_timing
 from repro.schedulers.registry import create_scheduler
 from repro.sim.time import MICROSECONDS, MILLISECONDS, format_time
@@ -47,16 +47,18 @@ def _representative_demand(n_ports: int, seed: int = 7) -> np.ndarray:
     return demand
 
 
-def run_e2(quick: bool = False) -> ExperimentReport:
+def run(config: ExperimentConfig) -> ExperimentReport:
     """Loop-latency decomposition per preset/algorithm/port-count."""
     report = ExperimentReport(
         experiment_id="e2",
         title="scheduling-loop latency: software (ms) vs hardware (ns-us)",
     )
-    port_counts = (16, 64) if quick else (16, 64, 128)
+    demand_seed = config.derive_seed(7)
+    port_counts = tuple(config.get(
+        "port_counts", (16, 64) if config.quick else (16, 64, 128)))
     totals: Dict[str, List[int]] = {preset: [] for preset in PRESETS}
     for n_ports in port_counts:
-        demand = _representative_demand(n_ports)
+        demand = _representative_demand(n_ports, seed=demand_seed)
         rows = []
         for algo_name, kwargs in ALGORITHMS:
             scheduler = create_scheduler(algo_name, n_ports=n_ports,
@@ -75,7 +77,7 @@ def run_e2(quick: bool = False) -> ExperimentReport:
             title=f"loop latency, {n_ports} ports"))
     # Component breakdown at the paper's 64-port point, iSLIP.
     scheduler = create_scheduler("islip", n_ports=64, iterations=4)
-    scheduler.compute(_representative_demand(64))
+    scheduler.compute(_representative_demand(64, seed=demand_seed))
     rows = []
     for preset in PRESETS:
         timing = make_timing(preset)
@@ -90,16 +92,15 @@ def run_e2(quick: bool = False) -> ExperimentReport:
     report.data["totals_ps"] = totals
     # Deployment-representative points: the published software systems
     # ran MWM-class policies on 64-port fabrics.
-    hotspot_64_stats = None
     scheduler = create_scheduler("hotspot", n_ports=64)
-    scheduler.compute(_representative_demand(64))
+    scheduler.compute(_representative_demand(64, seed=demand_seed))
     hotspot_64_stats = scheduler.last_stats
     sw_helios = make_timing("cpu_helios").total_ps(
         "hotspot", 64, hotspot_64_stats)
     sw_cthrough = make_timing("cpu_cthrough").total_ps(
         "hotspot", 64, hotspot_64_stats)
     islip_scheduler = create_scheduler("islip", n_ports=64, iterations=4)
-    islip_scheduler.compute(_representative_demand(64))
+    islip_scheduler.compute(_representative_demand(64, seed=demand_seed))
     hw_fpga = make_timing("netfpga_sume").total_ps(
         "islip", 64, islip_scheduler.last_stats)
     report.data["sw_helios_ps"] = sw_helios
@@ -119,4 +120,9 @@ def run_e2(quick: bool = False) -> ExperimentReport:
     return report
 
 
-__all__ = ["run_e2", "ALGORITHMS", "PRESETS"]
+def run_e2(quick: bool = False) -> ExperimentReport:
+    """Historical entry point; see :func:`run`."""
+    return run(ExperimentConfig(quick=quick))
+
+
+__all__ = ["run", "run_e2", "ALGORITHMS", "PRESETS"]

@@ -24,7 +24,7 @@ from typing import List
 from repro.analysis.tables import render_table
 from repro.core.config import FrameworkConfig
 from repro.core.framework import HybridSwitchFramework
-from repro.experiments.base import ExperimentReport
+from repro.experiments.base import ExperimentConfig, ExperimentReport
 from repro.sim.time import (
     MICROSECONDS,
     MILLISECONDS,
@@ -38,11 +38,13 @@ SWITCHING_PS = 20 * MICROSECONDS
 
 
 def _run_point(epoch_ps: int, duration_ps: int, load: float,
-               optimistic: bool, seed: int) -> "tuple[float, int]":
+               optimistic: bool, seed: int,
+               n_ports: int = N_PORTS,
+               scheduler: str = "hotspot") -> "tuple[float, int]":
     config = FrameworkConfig(
-        n_ports=N_PORTS,
+        n_ports=n_ports,
         switching_time_ps=SWITCHING_PS,
-        scheduler="hotspot",
+        scheduler=scheduler,
         timing_preset="netfpga_sume",
         epoch_ps=epoch_ps,
         default_slot_ps=max(epoch_ps - SWITCHING_PS, 10 * MICROSECONDS),
@@ -56,39 +58,45 @@ def _run_point(epoch_ps: int, duration_ps: int, load: float,
             mean_on_ps=150 * MICROSECONDS,
             mean_off_ps=150 * MICROSECONDS,
             chooser=UniformDestination(
-                N_PORTS, host.host_id,
+                n_ports, host.host_id,
                 fw.sim.streams.stream(f"dst{host.host_id}")),
             rng=fw.sim.streams.stream(f"src{host.host_id}"))
     result = fw.run(duration_ps)
     return result.utilisation(), result.total_drops
 
 
-def run_e3(quick: bool = False) -> ExperimentReport:
+def run(config: ExperimentConfig) -> ExperimentReport:
     """Utilisation vs epoch period, plus the grant-ordering ablation."""
     report = ExperimentReport(
         experiment_id="e3",
         title="utilisation vs scheduling period (slow schedulers waste "
               "capacity)",
     )
-    epochs = (
+    epochs = list(config.get("epochs_ps", (
         [100 * MICROSECONDS, 500 * MICROSECONDS, 2 * MILLISECONDS]
-        if quick else
+        if config.quick else
         [50 * MICROSECONDS, 100 * MICROSECONDS, 250 * MICROSECONDS,
          500 * MICROSECONDS, 1 * MILLISECONDS, 2 * MILLISECONDS,
          5 * MILLISECONDS]
-    )
-    duration = 6 * MILLISECONDS if quick else 20 * MILLISECONDS
-    load = 0.35
+    )))
+    duration = config.get(
+        "duration_ps",
+        6 * MILLISECONDS if config.quick else 20 * MILLISECONDS)
+    load = config.get("load", 0.35)
+    n_ports = config.get("n_ports", N_PORTS)
+    scheduler = config.scheduler or "hotspot"
+    seed = config.derive_seed(3)
     rows: List[List[str]] = []
     utils = []
     for epoch_ps in epochs:
         util, drops = _run_point(epoch_ps, duration, load,
-                                 optimistic=False, seed=3)
+                                 optimistic=False, seed=seed,
+                                 n_ports=n_ports, scheduler=scheduler)
         utils.append(util)
         rows.append([format_time(epoch_ps), f"{util:.3f}", str(drops)])
     report.tables.append(render_table(
         ["epoch period", "utilisation", "drops"], rows,
-        title=f"hotspot scheduler, {N_PORTS}x10G, "
+        title=f"{scheduler} scheduler, {n_ports}x10G, "
               f"switching={format_time(SWITCHING_PS)}, "
               f"offered load {load:.2f}"))
     report.data["epochs_ps"] = epochs
@@ -101,9 +109,11 @@ def run_e3(quick: bool = False) -> ExperimentReport:
     # Ablation: optimistic grants (windows open during the blackout).
     mid_epoch = epochs[len(epochs) // 2]
     util_ordered, drops_ordered = _run_point(
-        mid_epoch, duration, load, optimistic=False, seed=3)
+        mid_epoch, duration, load, optimistic=False, seed=seed,
+        n_ports=n_ports, scheduler=scheduler)
     util_optimistic, drops_optimistic = _run_point(
-        mid_epoch, duration, load, optimistic=True, seed=3)
+        mid_epoch, duration, load, optimistic=True, seed=seed,
+        n_ports=n_ports, scheduler=scheduler)
     report.tables.append(render_table(
         ["grant ordering", "utilisation", "drops"],
         [
@@ -126,4 +136,9 @@ def run_e3(quick: bool = False) -> ExperimentReport:
     return report
 
 
-__all__ = ["run_e3"]
+def run_e3(quick: bool = False) -> ExperimentReport:
+    """Historical entry point; see :func:`run`."""
+    return run(ExperimentConfig(quick=quick))
+
+
+__all__ = ["run", "run_e3"]

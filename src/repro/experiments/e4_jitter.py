@@ -29,7 +29,7 @@ from typing import Tuple
 from repro.analysis.tables import render_table
 from repro.core.config import FrameworkConfig
 from repro.core.framework import HybridSwitchFramework
-from repro.experiments.base import ExperimentReport
+from repro.experiments.base import ExperimentConfig, ExperimentReport
 from repro.net.host import HostBufferMode
 from repro.sim.time import (
     MICROSECONDS,
@@ -62,7 +62,7 @@ def _attach_traffic(fw: HybridSwitchFramework) -> int:
     return cbr.flow_id
 
 
-def _fast_config() -> FrameworkConfig:
+def _fast_config(seed: int) -> FrameworkConfig:
     return FrameworkConfig(
         n_ports=N_PORTS,
         switching_time_ps=100 * NANOSECONDS,
@@ -71,11 +71,11 @@ def _fast_config() -> FrameworkConfig:
         timing_preset="netfpga_sume",
         default_slot_ps=5 * MICROSECONDS,
         buffer_mode=HostBufferMode.SWITCH_BUFFERED,
-        seed=11,
+        seed=seed,
     )
 
 
-def _slow_config() -> FrameworkConfig:
+def _slow_config(seed: int) -> FrameworkConfig:
     return FrameworkConfig(
         n_ports=N_PORTS,
         switching_time_ps=100 * MICROSECONDS,
@@ -84,7 +84,7 @@ def _slow_config() -> FrameworkConfig:
         epoch_ps=2 * MILLISECONDS,
         default_slot_ps=MILLISECONDS,
         buffer_mode=HostBufferMode.HOST_BUFFERED,
-        seed=11,
+        seed=seed,
     )
 
 
@@ -106,18 +106,21 @@ def _measure(config: FrameworkConfig,
     return float(p50), float(p99), jitter, len(stream)
 
 
-def run_e4(quick: bool = False) -> ExperimentReport:
+def run(config: ExperimentConfig) -> ExperimentReport:
     """VOIP-class latency/jitter, fast vs slow scheduling."""
     report = ExperimentReport(
         experiment_id="e4",
         title="latency & jitter of a VOIP-class stream, "
               "slow vs fast scheduling",
     )
-    duration = 10 * MILLISECONDS if quick else 40 * MILLISECONDS
+    duration = config.get(
+        "duration_ps",
+        10 * MILLISECONDS if config.quick else 40 * MILLISECONDS)
+    seed = config.derive_seed(11)
     fast_p50, fast_p99, fast_jitter, fast_n = _measure(
-        _fast_config(), duration)
+        _fast_config(seed), duration)
     slow_p50, slow_p99, slow_jitter, slow_n = _measure(
-        _slow_config(), duration)
+        _slow_config(seed), duration)
     report.tables.append(render_table(
         ["regime", "delivered", "p50 latency", "p99 latency",
          "interarrival jitter"],
@@ -149,4 +152,9 @@ def run_e4(quick: bool = False) -> ExperimentReport:
     return report
 
 
-__all__ = ["run_e4"]
+def run_e4(quick: bool = False) -> ExperimentReport:
+    """Historical entry point; see :func:`run`."""
+    return run(ExperimentConfig(quick=quick))
+
+
+__all__ = ["run", "run_e4"]

@@ -20,41 +20,42 @@ from __future__ import annotations
 
 from typing import Dict, List, Tuple
 
+import random
+
+from repro.analysis.charts import line_chart
 from repro.analysis.tables import render_table
-from repro.experiments.base import ExperimentReport
+from repro.experiments.base import ExperimentConfig, ExperimentReport
 from repro.fabric.cellsim import CellFabricSim
 from repro.fabric.workloads import diagonal_rates, uniform_rates
-from repro.analysis.charts import line_chart
 from repro.schedulers.fixed import RoundRobinTdma
 from repro.schedulers.islip import IslipScheduler
 from repro.schedulers.mwm import MwmScheduler
 from repro.schedulers.pim import PimScheduler
 from repro.schedulers.wfa import WfaScheduler
 
-import random
-
 N_PORTS = 16
 
 
-def _make_schedulers() -> List[Tuple[str, object]]:
+def _make_schedulers(n_ports: int,
+                     pim_seed: int) -> List[Tuple[str, object]]:
     return [
-        ("tdma", RoundRobinTdma(N_PORTS)),
-        ("pim-1", PimScheduler(N_PORTS, iterations=1,
-                               rng=random.Random(5))),
-        ("islip-1", IslipScheduler(N_PORTS, iterations=1)),
-        ("islip-4", IslipScheduler(N_PORTS, iterations=4)),
-        ("wfa", WfaScheduler(N_PORTS)),
-        ("mwm", MwmScheduler(N_PORTS)),
+        ("tdma", RoundRobinTdma(n_ports)),
+        ("pim-1", PimScheduler(n_ports, iterations=1,
+                               rng=random.Random(pim_seed))),
+        ("islip-1", IslipScheduler(n_ports, iterations=1)),
+        ("islip-4", IslipScheduler(n_ports, iterations=4)),
+        ("wfa", WfaScheduler(n_ports)),
+        ("mwm", MwmScheduler(n_ports)),
     ]
 
 
-def _curve(workload, loads, slots, warmup,
-           seed: int) -> Dict[str, List[Tuple[float, float, float]]]:
+def _curve(workload, loads, slots, warmup, seed: int, n_ports: int,
+           pim_seed: int) -> Dict[str, List[Tuple[float, float, float]]]:
     """name -> [(load, throughput, mean delay)] per algorithm."""
     curves: Dict[str, List[Tuple[float, float, float]]] = {}
     for load in loads:
-        rates = workload(N_PORTS, load)
-        for name, scheduler in _make_schedulers():
+        rates = workload(n_ports, load)
+        for name, scheduler in _make_schedulers(n_ports, pim_seed):
             sim = CellFabricSim(scheduler, rates, seed=seed)
             stats = sim.run(slots=slots, warmup=warmup)
             curves.setdefault(name, []).append(
@@ -74,30 +75,36 @@ def _table_for(curves, loads, metric_index: int, metric: str,
     return render_table(["load"] + names, rows, title=f"{title} — {metric}")
 
 
-def run_e5(quick: bool = False) -> ExperimentReport:
+def run(config: ExperimentConfig) -> ExperimentReport:
     """Throughput & delay vs load, uniform and diagonal workloads."""
     report = ExperimentReport(
         experiment_id="e5",
         title="scheduler-algorithm study (the framework's purpose)",
     )
-    loads = ([0.3, 0.6, 0.9] if quick
-             else [0.1, 0.3, 0.5, 0.7, 0.8, 0.9, 0.95])
-    slots = 1_500 if quick else 8_000
-    warmup = 300 if quick else 1_500
-    uniform_curves = _curve(uniform_rates, loads, slots, warmup, seed=2)
-    diagonal_curves = _curve(diagonal_rates, loads, slots, warmup, seed=2)
+    loads = list(config.get(
+        "loads", [0.3, 0.6, 0.9] if config.quick
+        else [0.1, 0.3, 0.5, 0.7, 0.8, 0.9, 0.95]))
+    slots = config.get("slots", 1_500 if config.quick else 8_000)
+    warmup = config.get("warmup", 300 if config.quick else 1_500)
+    n_ports = config.get("n_ports", N_PORTS)
+    seed = config.derive_seed(2)
+    pim_seed = config.derive_seed(5)
+    uniform_curves = _curve(uniform_rates, loads, slots, warmup,
+                            seed=seed, n_ports=n_ports, pim_seed=pim_seed)
+    diagonal_curves = _curve(diagonal_rates, loads, slots, warmup,
+                             seed=seed, n_ports=n_ports, pim_seed=pim_seed)
     report.tables.append(_table_for(
         uniform_curves, loads, 1, "throughput",
-        f"uniform traffic, {N_PORTS} ports"))
+        f"uniform traffic, {n_ports} ports"))
     report.tables.append(_table_for(
         uniform_curves, loads, 2, "mean delay (slots)",
-        f"uniform traffic, {N_PORTS} ports"))
+        f"uniform traffic, {n_ports} ports"))
     report.tables.append(_table_for(
         diagonal_curves, loads, 1, "throughput",
-        f"diagonal traffic, {N_PORTS} ports"))
+        f"diagonal traffic, {n_ports} ports"))
     report.tables.append(_table_for(
         diagonal_curves, loads, 2, "mean delay (slots)",
-        f"diagonal traffic, {N_PORTS} ports"))
+        f"diagonal traffic, {n_ports} ports"))
     report.tables.append(line_chart(
         loads,
         {name: [point[1] for point in series]
@@ -132,4 +139,9 @@ def run_e5(quick: bool = False) -> ExperimentReport:
     return report
 
 
-__all__ = ["run_e5", "N_PORTS"]
+def run_e5(quick: bool = False) -> ExperimentReport:
+    """Historical entry point; see :func:`run`."""
+    return run(ExperimentConfig(quick=quick))
+
+
+__all__ = ["run", "run_e5", "N_PORTS"]

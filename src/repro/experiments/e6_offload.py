@@ -23,7 +23,7 @@ import numpy as np
 from repro.analysis.tables import render_table
 from repro.core.config import FrameworkConfig
 from repro.core.framework import HybridSwitchFramework
-from repro.experiments.base import ExperimentReport
+from repro.experiments.base import ExperimentConfig, ExperimentReport
 from repro.schedulers.demand import (
     EwmaEstimator,
     InstantEstimator,
@@ -69,13 +69,15 @@ def _served_fraction(scheduler, demand: np.ndarray) -> float:
                  ) / total
 
 
-def _decision_table(report: ExperimentReport, skews: List[float]) -> None:
+def _decision_table(report: ExperimentReport, skews: List[float],
+                    demand_seed: int) -> None:
     rows = []
     sol_series = []
     hot_series = []
     ecl_series = []
     for skew in skews:
-        demand = skewed_demand(N_PORTS, skew, total_bytes=8e6, seed=4)
+        demand = skewed_demand(N_PORTS, skew, total_bytes=8e6,
+                               seed=demand_seed)
         solstice = SolsticeScheduler(
             N_PORTS, link_rate_bps=10 * GIGABIT,
             reconfig_ps=20 * MICROSECONDS, min_slice_factor=1.0)
@@ -109,10 +111,12 @@ def _decision_table(report: ExperimentReport, skews: List[float]) -> None:
             "(single-matching) at every skew")
 
 
-def _estimator_table(report: ExperimentReport) -> None:
+def _estimator_table(report: ExperimentReport, stream_seed: int,
+                     demand_seed: int) -> None:
     """Ablation: estimator error on a bursty observation stream."""
-    rng = np.random.default_rng(9)
-    true_demand = skewed_demand(N_PORTS, 0.7, total_bytes=4e6, seed=4)
+    rng = np.random.default_rng(stream_seed)
+    true_demand = skewed_demand(N_PORTS, 0.7, total_bytes=4e6,
+                                seed=demand_seed)
     estimators = {
         "instant": InstantEstimator(N_PORTS),
         "ewma(0.25)": EwmaEstimator(N_PORTS, alpha=0.25),
@@ -151,20 +155,22 @@ def _estimator_table(report: ExperimentReport) -> None:
 
 
 def _end_to_end_table(report: ExperimentReport, skews: List[float],
-                      duration_ps: int) -> None:
+                      duration_ps: int, seed: int,
+                      scheduler: str = "hotspot") -> None:
     rows = []
     fractions = []
     for skew in skews:
         config = FrameworkConfig(
             n_ports=N_PORTS,
             switching_time_ps=20 * MICROSECONDS,
-            scheduler="hotspot",
-            scheduler_kwargs={"threshold_bytes": 20_000.0},
+            scheduler=scheduler,
+            scheduler_kwargs=({"threshold_bytes": 20_000.0}
+                              if scheduler == "hotspot" else {}),
             timing_preset="netfpga_sume",
             epoch_ps=200 * MICROSECONDS,
             default_slot_ps=180 * MICROSECONDS,
             eps_rate_bps=2.5 * GIGABIT,
-            seed=8,
+            seed=seed,
         )
         fw = HybridSwitchFramework(config)
         for host in fw.hosts:
@@ -192,20 +198,39 @@ def _end_to_end_table(report: ExperimentReport, skews: List[float],
             f"({fractions[0]:.3f} -> {fractions[-1]:.3f})")
 
 
-def run_e6(quick: bool = False) -> ExperimentReport:
+def run(config: ExperimentConfig) -> ExperimentReport:
     """Offload fraction vs skew; estimator ablation."""
     report = ExperimentReport(
         experiment_id="e6",
         title="OCS offload fraction vs demand skew (hybrid division of "
               "labour)",
     )
-    skews = [0.0, 0.5, 0.9] if quick else [0.0, 0.25, 0.5, 0.75, 0.9]
-    _decision_table(report, skews)
-    _estimator_table(report)
-    duration = 4 * MILLISECONDS if quick else 12 * MILLISECONDS
-    _end_to_end_table(report, skews if not quick else [0.0, 0.9],
-                      duration)
+    skews = list(config.get(
+        "skews", [0.0, 0.5, 0.9] if config.quick
+        else [0.0, 0.25, 0.5, 0.75, 0.9]))
+    _decision_table(report, skews, demand_seed=config.derive_seed(4))
+    _estimator_table(report, stream_seed=config.derive_seed(9),
+                     demand_seed=config.derive_seed(4))
+    duration = config.get(
+        "duration_ps",
+        4 * MILLISECONDS if config.quick else 12 * MILLISECONDS)
+    # The end-to-end sweep is the expensive part; quick mode trims it
+    # to the endpoints — unless the caller overrode the skews, in
+    # which case every table honours the same list (a sweep gridding
+    # over ``skews`` must not collapse to identical e2e sections).
+    if config.quick and "skews" not in config.overrides:
+        e2e_skews = [0.0, 0.9]
+    else:
+        e2e_skews = skews
+    _end_to_end_table(report, e2e_skews, duration,
+                      seed=config.derive_seed(8),
+                      scheduler=config.scheduler or "hotspot")
     return report
 
 
-__all__ = ["run_e6", "skewed_demand"]
+def run_e6(quick: bool = False) -> ExperimentReport:
+    """Historical entry point; see :func:`run`."""
+    return run(ExperimentConfig(quick=quick))
+
+
+__all__ = ["run", "run_e6", "skewed_demand"]

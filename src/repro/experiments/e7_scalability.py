@@ -25,7 +25,7 @@ from typing import Dict, List
 import numpy as np
 
 from repro.analysis.tables import render_table
-from repro.experiments.base import ExperimentReport
+from repro.experiments.base import ExperimentConfig, ExperimentReport
 from repro.hwmodel.presets import make_timing
 from repro.schedulers.registry import create_scheduler
 from repro.sim.time import MICROSECONDS, format_time
@@ -40,19 +40,28 @@ def _demand(n_ports: int, seed: int = 3) -> np.ndarray:
     return demand
 
 
-def run_e7(quick: bool = False) -> ExperimentReport:
-    """Compute-stage latency and wall-clock vs port count."""
+def run(config: ExperimentConfig) -> ExperimentReport:
+    """Compute-stage latency and wall-clock vs port count.
+
+    The Python wall-clock sanity series is inherently non-deterministic
+    (it measures this process on this machine), so it only runs when
+    ``config.measure_wallclock`` is set; a pure run reports just the
+    hardware-model series.
+    """
     report = ExperimentReport(
         experiment_id="e7",
         title="schedule-computation scalability with port count",
     )
-    port_counts = (8, 32, 64) if quick else (8, 16, 32, 64, 128, 256)
+    port_counts = tuple(config.get(
+        "port_counts",
+        (8, 32, 64) if config.quick else (8, 16, 32, 64, 128, 256)))
+    demand_seed = config.derive_seed(3)
     # Hardware-model series.
     model_rows: List[List[str]] = []
     model_data: Dict[str, List[int]] = {a: [] for a in ALGORITHMS}
     timing = make_timing("netfpga_sume")
     for n in port_counts:
-        demand = _demand(n)
+        demand = _demand(n, seed=demand_seed)
         row = [str(n)]
         for algo in ALGORITHMS:
             scheduler = create_scheduler(algo, n_ports=n)
@@ -76,12 +85,14 @@ def run_e7(quick: bool = False) -> ExperimentReport:
             "exact MWM scales out of the fast class while iterative "
             "matchers stay in it — why real hardware schedulers are "
             "iSLIP-shaped")
+    if not config.measure_wallclock:
+        return report
     # Wall-clock sanity series.
     wall_rows: List[List[str]] = []
     wall_data: Dict[str, List[float]] = {a: [] for a in ALGORITHMS}
-    repeats = 3 if quick else 5
+    repeats = 3 if config.quick else 5
     for n in port_counts:
-        demand = _demand(n)
+        demand = _demand(n, seed=demand_seed)
         row = [str(n)]
         for algo in ALGORITHMS:
             scheduler = create_scheduler(algo, n_ports=n)
@@ -107,4 +118,9 @@ def run_e7(quick: bool = False) -> ExperimentReport:
     return report
 
 
-__all__ = ["run_e7", "ALGORITHMS"]
+def run_e7(quick: bool = False) -> ExperimentReport:
+    """Historical entry point: includes the wall-clock series."""
+    return run(ExperimentConfig(quick=quick, measure_wallclock=True))
+
+
+__all__ = ["run", "run_e7", "ALGORITHMS"]

@@ -24,7 +24,7 @@ from typing import List, Tuple
 from repro.analysis.tables import render_table
 from repro.core.config import FrameworkConfig
 from repro.core.framework import HybridSwitchFramework
-from repro.experiments.base import ExperimentReport
+from repro.experiments.base import ExperimentConfig, ExperimentReport
 from repro.net.host import HostBufferMode
 from repro.sim.time import (
     MICROSECONDS,
@@ -40,19 +40,20 @@ HOLD_PS = 150 * MICROSECONDS
 SWITCHING_PS = 20 * MICROSECONDS
 
 
-def _run_point(skew_ps: int, mode: HostBufferMode,
-               duration_ps: int) -> Tuple[float, float, int]:
+def _run_point(skew_ps: int, mode: HostBufferMode, duration_ps: int,
+               seed: int,
+               scheduler: str = "hotspot") -> Tuple[float, float, int]:
     """Returns (delivery ratio, utilisation, ocs drop count)."""
     config = FrameworkConfig(
         n_ports=N_PORTS,
         switching_time_ps=SWITCHING_PS,
-        scheduler="hotspot",
+        scheduler=scheduler,
         timing_preset="netfpga_sume",
         epoch_ps=EPOCH_PS,
         default_slot_ps=HOLD_PS,
         buffer_mode=mode,
         host_clock_skew_ps=skew_ps,
-        seed=13,
+        seed=seed,
     )
     fw = HybridSwitchFramework(config)
     for host in fw.hosts:
@@ -69,27 +70,35 @@ def _run_point(skew_ps: int, mode: HostBufferMode,
     return result.delivery_ratio, result.utilisation(), ocs_drops
 
 
-def run_e8(quick: bool = False) -> ExperimentReport:
+def run(config: ExperimentConfig) -> ExperimentReport:
     """Goodput vs clock skew, host-buffered vs switch-buffered."""
     report = ExperimentReport(
         experiment_id="e8",
         title="host-switch synchronization sensitivity (slow needs it, "
               "fast does not)",
     )
-    skews = ([0, 50 * MICROSECONDS, 200 * MICROSECONDS]
-             if quick else
-             [0, 10 * MICROSECONDS, 50 * MICROSECONDS,
-              100 * MICROSECONDS, 200 * MICROSECONDS,
-              400 * MICROSECONDS])
-    duration = 6 * MILLISECONDS if quick else 20 * MILLISECONDS
+    skews = list(config.get(
+        "skews_ps",
+        [0, 50 * MICROSECONDS, 200 * MICROSECONDS]
+        if config.quick else
+        [0, 10 * MICROSECONDS, 50 * MICROSECONDS,
+         100 * MICROSECONDS, 200 * MICROSECONDS,
+         400 * MICROSECONDS]))
+    duration = config.get(
+        "duration_ps",
+        6 * MILLISECONDS if config.quick else 20 * MILLISECONDS)
+    seed = config.derive_seed(13)
+    scheduler = config.scheduler or "hotspot"
     rows: List[List[str]] = []
     slow_ratio: List[float] = []
     fast_ratio: List[float] = []
     for skew_ps in skews:
         s_ratio, s_util, s_drops = _run_point(
-            skew_ps, HostBufferMode.HOST_BUFFERED, duration)
+            skew_ps, HostBufferMode.HOST_BUFFERED, duration,
+            seed=seed, scheduler=scheduler)
         f_ratio, f_util, f_drops = _run_point(
-            skew_ps, HostBufferMode.SWITCH_BUFFERED, duration)
+            skew_ps, HostBufferMode.SWITCH_BUFFERED, duration,
+            seed=seed, scheduler=scheduler)
         slow_ratio.append(s_ratio)
         fast_ratio.append(f_ratio)
         rows.append([
@@ -121,4 +130,9 @@ def run_e8(quick: bool = False) -> ExperimentReport:
     return report
 
 
-__all__ = ["run_e8"]
+def run_e8(quick: bool = False) -> ExperimentReport:
+    """Historical entry point; see :func:`run`."""
+    return run(ExperimentConfig(quick=quick))
+
+
+__all__ = ["run", "run_e8"]

@@ -1,0 +1,46 @@
+"""Parallel experiment orchestration.
+
+The runner turns the experiment suite into an embarrassingly parallel
+job system while keeping the paper-reproduction guarantee: every byte
+of output is a deterministic function of what was asked for.
+
+Pipeline::
+
+    plan_runs(...)          # sweep -> ordered List[RunSpec]
+      └─ shard(...)         # optional: split across CI shards
+    execute(specs,          # sequential or multiprocessing
+            jobs=N,
+            cache=ResultCache(dir))   # spec-hash -> report store
+      └─ merge_outcomes(...)          # back into ExperimentReport
+
+Entry points stay pure (``repro.experiments.ENTRY_POINTS``), so the
+executor can run them in spawn-fresh workers and the cache can address
+reports by the spec's content hash.  ``repro run --jobs N`` and
+``repro sweep`` are thin CLI frontends over this package.
+"""
+
+from repro.runner.cache import ResultCache
+from repro.runner.executor import RunOutcome, execute, map_jobs
+from repro.runner.manifest import (
+    RunManifest,
+    merge_outcomes,
+    write_json_report,
+)
+from repro.runner.plan import derive_seed, plan_runs, shard
+from repro.runner.spec import RunSpec, canonical_json, jsonable
+
+__all__ = [
+    "RunSpec",
+    "ResultCache",
+    "RunOutcome",
+    "RunManifest",
+    "plan_runs",
+    "shard",
+    "derive_seed",
+    "execute",
+    "map_jobs",
+    "merge_outcomes",
+    "write_json_report",
+    "canonical_json",
+    "jsonable",
+]

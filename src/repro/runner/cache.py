@@ -1,0 +1,112 @@
+"""Content-addressed on-disk cache of experiment reports.
+
+Layout::
+
+    <root>/
+      <experiment_id>/
+        <spec key>.json     # {"format", "spec", "report"}
+
+The file name is the spec's content hash, so a cache directory can be
+shared between branches, machines and CI shards without coordination:
+a hit is valid by construction (same spec ⇒ same report, because entry
+points are pure), and any change to spec semantics bumps
+``SPEC_FORMAT`` which changes every key.
+
+One deliberate wrinkle: reports pass through JSON, so tuples inside
+``ExperimentReport.data`` come back as lists and non-string dict keys
+come back as strings.  Canonical comparisons (tests, ``--json-out``)
+therefore go through :func:`repro.runner.spec.jsonable` on both sides.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional
+
+from repro.experiments.base import ExperimentReport
+from repro.runner.spec import RunSpec, SPEC_FORMAT, jsonable
+
+
+def report_to_payload(report: ExperimentReport) -> dict:
+    """An :class:`ExperimentReport` as plain JSON types."""
+    return {
+        "experiment_id": report.experiment_id,
+        "title": report.title,
+        "tables": list(report.tables),
+        "data": jsonable(report.data),
+        "expectations": list(report.expectations),
+    }
+
+
+def report_from_payload(payload: dict) -> ExperimentReport:
+    """Inverse of :func:`report_to_payload`."""
+    return ExperimentReport(
+        experiment_id=payload["experiment_id"],
+        title=payload["title"],
+        tables=list(payload["tables"]),
+        data=dict(payload["data"]),
+        expectations=list(payload["expectations"]),
+    )
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+
+class ResultCache:
+    """Spec-hash → report store under one root directory."""
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+        self.stats = CacheStats()
+
+    def path_for(self, spec: RunSpec) -> Path:
+        return self.root / spec.experiment_id / f"{spec.key()}.json"
+
+    def load(self, spec: RunSpec) -> Optional[ExperimentReport]:
+        """The cached report, or ``None`` on miss/corruption."""
+        path = self.path_for(spec)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            self.stats.misses += 1
+            return None
+        # Defence in depth: the name already encodes spec + format,
+        # but a truncated or hand-edited file must read as a miss.
+        if (payload.get("format") != SPEC_FORMAT
+                or payload.get("spec") != spec.canonical()):
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return report_from_payload(payload["report"])
+
+    def store(self, spec: RunSpec, report: ExperimentReport) -> Path:
+        """Persist ``report`` atomically; returns the cache path."""
+        path = self.path_for(spec)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "format": SPEC_FORMAT,
+            "spec": spec.canonical(),
+            "report": report_to_payload(report),
+        }
+        text = json.dumps(payload, sort_keys=True, indent=1)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(text + "\n", encoding="utf-8")
+        os.replace(tmp, path)  # atomic: parallel writers can't tear
+        self.stats.stores += 1
+        return path
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+
+__all__ = ["ResultCache", "CacheStats", "report_to_payload",
+           "report_from_payload"]

@@ -1,0 +1,147 @@
+"""Job execution: sequential or ``multiprocessing``, same bits.
+
+The executor runs a planned list of specs and returns one
+:class:`RunOutcome` per spec, in spec order.  Three properties the rest
+of the system leans on:
+
+* **Bit-identity** — a job's report depends only on its spec.  Every
+  RNG an experiment touches is seeded from the spec, and both paths
+  reset the one piece of process-global state the simulator owns (the
+  packet-id counter) before each job, so ``--jobs N`` output is
+  byte-identical to ``--jobs 1`` regardless of which worker ran what.
+* **Cache short-circuit** — with a :class:`ResultCache`, hits never
+  reach a worker; a fully warm run executes zero experiments.
+* **Order preservation** — outcomes line up with the input specs, so
+  callers can zip plans with results regardless of completion order.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import sys
+import time
+from dataclasses import dataclass
+from typing import (
+    Callable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    TypeVar,
+)
+
+from repro.experiments.base import ExperimentReport
+from repro.net.packet import reset_packet_ids
+from repro.runner.cache import ResultCache
+from repro.runner.spec import RunSpec
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: ``fork`` keeps worker start cheap and — unlike ``spawn`` — does not
+#: re-execute ``__main__``, so on Linux the executor is safe to call
+#: from any host program (REPLs, pytest, piped scripts).  Everywhere
+#: else we follow CPython's own default: macOS offers fork but is
+#: fork-unsafe once BLAS/framework threads exist in the parent (the
+#: reason 3.8 switched darwin to spawn), and Windows has no fork.
+#: Under ``spawn``, callers need the standard
+#: ``if __name__ == "__main__"`` guard.
+_START_METHOD = "fork" if sys.platform == "linux" else "spawn"
+
+
+@dataclass
+class RunOutcome:
+    """One executed (or cache-served) job."""
+
+    spec: RunSpec
+    report: ExperimentReport
+    cached: bool
+    elapsed_s: float  # wall time of this execution; 0.0 for cache hits
+
+
+def _run_one(spec: RunSpec) -> Tuple[ExperimentReport, float]:
+    """Execute a single spec in a fresh deterministic context.
+
+    Top-level so it pickles under the ``spawn`` start method.
+    """
+    from repro.experiments import ENTRY_POINTS
+
+    reset_packet_ids()
+    start = time.perf_counter()
+    report = ENTRY_POINTS[spec.experiment_id](spec.to_config())
+    return report, time.perf_counter() - start
+
+
+def map_jobs(fn: Callable[[T], R], items: Sequence[T],
+             jobs: int = 1) -> List[R]:
+    """Order-preserving map, optionally across worker processes.
+
+    The generic primitive under :func:`execute`, also used directly by
+    benchmark drivers (``benchmarks/bench_ablation.py``) to fan their
+    per-knob runs out without changing result order.  ``fn`` must be a
+    module-level callable when ``jobs > 1`` (pool pickling).
+    """
+    return list(imap_jobs(fn, items, jobs=jobs))
+
+
+def imap_jobs(fn: Callable[[T], R], items: Sequence[T],
+              jobs: int = 1) -> Iterator[R]:
+    """Like :func:`map_jobs`, but yields results as they arrive.
+
+    Results come back in item order (workers may finish out of order;
+    delivery is still ordered).  Streaming matters for failure
+    behaviour: everything yielded before a job raises has already been
+    consumed by the caller — e.g. stored in the result cache — rather
+    than discarded with the batch.
+    """
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if jobs == 1 or len(items) <= 1:
+        for item in items:
+            yield fn(item)
+        return
+    ctx = multiprocessing.get_context(_START_METHOD)
+    with ctx.Pool(processes=min(jobs, len(items))) as pool:
+        yield from pool.imap(fn, items)
+
+
+def execute(
+    specs: Sequence[RunSpec],
+    *,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    on_outcome: Optional[Callable[[RunOutcome], None]] = None,
+) -> List[RunOutcome]:
+    """Run every spec; outcomes are returned in spec order.
+
+    ``on_outcome`` fires once per job as results settle (cache hits
+    first, then executed jobs in plan order as they stream back) —
+    for progress lines, not ordering.  Executed reports are stored to
+    the cache as they arrive, so a job failing late in a long run
+    never discards the completed work before it.
+    """
+    outcomes: List[Optional[RunOutcome]] = [None] * len(specs)
+    pending: List[int] = []
+    for index, spec in enumerate(specs):
+        report = cache.load(spec) if cache is not None else None
+        if report is not None:
+            outcomes[index] = RunOutcome(spec, report, cached=True,
+                                         elapsed_s=0.0)
+            if on_outcome:
+                on_outcome(outcomes[index])
+        else:
+            pending.append(index)
+    results = imap_jobs(_run_one, [specs[i] for i in pending], jobs=jobs)
+    for index, (report, elapsed) in zip(pending, results):
+        outcome = RunOutcome(specs[index], report, cached=False,
+                             elapsed_s=elapsed)
+        if cache is not None:
+            cache.store(outcome.spec, outcome.report)
+        outcomes[index] = outcome
+        if on_outcome:
+            on_outcome(outcome)
+    return list(outcomes)  # type: ignore[arg-type]
+
+
+__all__ = ["RunOutcome", "execute", "map_jobs", "imap_jobs"]

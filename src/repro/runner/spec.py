@@ -1,0 +1,152 @@
+"""The runner's job model: one experiment run, fully specified.
+
+A :class:`RunSpec` is the unit of work the orchestrator plans, shards,
+executes and caches: *experiment id × scheduler × config overrides ×
+seed*.  Because the experiment entry points are pure (see
+``repro.experiments.base``), a spec fully determines its report — which
+is what makes the spec's content hash a valid cache key and makes
+parallel execution bit-identical to sequential.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional
+
+from repro.experiments.base import ExperimentConfig
+from repro.sim.errors import ConfigurationError
+
+#: Bump when the spec semantics change in a way that invalidates old
+#: cached reports (the version participates in the content hash).
+SPEC_FORMAT = 1
+
+
+def jsonable(value: Any) -> Any:
+    """``value`` converted to plain JSON types, recursively.
+
+    Tuples become lists and numpy scalars/arrays become Python numbers/
+    lists, so report data and spec overrides serialize canonically.
+    """
+    if isinstance(value, dict):
+        return {str(k): jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [jsonable(v) for v in value]
+    if isinstance(value, (str, bool, int, float)) or value is None:
+        return value
+    # Numpy scalars and arrays, without importing numpy here.
+    if hasattr(value, "tolist"):
+        return jsonable(value.tolist())
+    if hasattr(value, "item"):
+        return jsonable(value.item())
+    raise TypeError(f"cannot canonicalise {type(value).__name__} "
+                    f"for a RunSpec/report: {value!r}")
+
+
+def canonical_json(value: Any) -> str:
+    """Deterministic JSON text (sorted keys, no whitespace drift)."""
+    return json.dumps(jsonable(value), sort_keys=True,
+                      separators=(",", ":"))
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """Everything that identifies one experiment run.
+
+    Attributes
+    ----------
+    experiment_id:
+        "e1".."e8" (anything in ``repro.experiments.ENTRY_POINTS``).
+    quick:
+        Reduced problem sizes.
+    seed:
+        Base seed handed to the experiment (``None`` = historical
+        defaults; sweeps derive one per replica, see ``runner.plan``).
+    scheduler:
+        Registry-name override for the experiment's framework
+        scheduler, where the experiment supports one.
+    overrides:
+        Experiment-specific knob overrides (``n_ports`` ...).  Values
+        must be JSON-representable — they participate in the cache key.
+    measure_wallclock:
+        Opt back in to non-deterministic extras (e7's Python
+        wall-clock series).  Off by default: such reports are not
+        reproducible, so they only make sense for ad hoc inspection.
+        The flag participates in the cache key, so wall-clock runs
+        never pollute (or get served from) pure entries — but note a
+        cached wall-clock report replays the *recorded* timings.
+    """
+
+    experiment_id: str
+    quick: bool = False
+    seed: Optional[int] = None
+    scheduler: Optional[str] = None
+    overrides: Mapping[str, Any] = field(default_factory=dict)
+    measure_wallclock: bool = False
+
+    def validate(self) -> "RunSpec":
+        """Raise :class:`ConfigurationError` on an unknown experiment."""
+        from repro.experiments import ENTRY_POINTS
+
+        if self.experiment_id not in ENTRY_POINTS:
+            raise ConfigurationError(
+                f"unknown experiment {self.experiment_id!r}; "
+                f"available: {sorted(ENTRY_POINTS)}")
+        return self
+
+    def to_config(self) -> ExperimentConfig:
+        """The :class:`ExperimentConfig` this spec denotes."""
+        return ExperimentConfig(
+            quick=self.quick,
+            seed=self.seed,
+            scheduler=self.scheduler,
+            measure_wallclock=self.measure_wallclock,
+            overrides=dict(self.overrides),
+        )
+
+    def canonical(self) -> Dict[str, Any]:
+        """The spec as plain JSON types, including the format version."""
+        return {
+            "format": SPEC_FORMAT,
+            "experiment_id": self.experiment_id,
+            "quick": self.quick,
+            "seed": self.seed,
+            "scheduler": self.scheduler,
+            "overrides": jsonable(dict(self.overrides)),
+            "measure_wallclock": self.measure_wallclock,
+        }
+
+    def key(self) -> str:
+        """Content address: ``<experiment_id>-<sha256 prefix>``."""
+        digest = hashlib.sha256(
+            canonical_json(self.canonical()).encode("utf-8")).hexdigest()
+        return f"{self.experiment_id}-{digest[:24]}"
+
+    @classmethod
+    def from_canonical(cls, payload: Mapping[str, Any]) -> "RunSpec":
+        """Inverse of :meth:`canonical` (cache files, manifests)."""
+        return cls(
+            experiment_id=payload["experiment_id"],
+            quick=bool(payload["quick"]),
+            seed=payload["seed"],
+            scheduler=payload["scheduler"],
+            overrides=dict(payload.get("overrides", {})),
+            measure_wallclock=bool(
+                payload.get("measure_wallclock", False)),
+        )
+
+    def describe(self) -> str:
+        """Short human label (manifest rows, progress lines)."""
+        parts = [self.experiment_id]
+        if self.scheduler:
+            parts.append(self.scheduler)
+        if self.seed is not None:
+            parts.append(f"seed={self.seed}")
+        parts.extend(f"{k}={v}" for k, v in sorted(self.overrides.items()))
+        if self.quick:
+            parts.append("quick")
+        return " ".join(parts)
+
+
+__all__ = ["RunSpec", "SPEC_FORMAT", "jsonable", "canonical_json"]

@@ -45,9 +45,14 @@ def register_scheduler(name: str,
     return _register
 
 
-def unregister_scheduler(name: str) -> None:
-    """Remove a registration (tests cleaning up after themselves)."""
-    _REGISTRY.pop(name, None)
+def unregister_scheduler(name: str) -> bool:
+    """Remove a registration (tests cleaning up after themselves).
+
+    Returns whether ``name`` was actually registered, so cleanup code
+    can assert it removed what it meant to instead of silently
+    misspelling a name into a no-op.
+    """
+    return _REGISTRY.pop(name, None) is not None
 
 
 def create_scheduler(name: str, n_ports: int, **kwargs) -> Scheduler:

@@ -1,7 +1,5 @@
 """Tests for per-packet path tracing."""
 
-import pytest
-
 from repro.analysis.tracing import PathTracer
 from repro.core.config import FrameworkConfig
 from repro.core.framework import HybridSwitchFramework

@@ -12,8 +12,25 @@ class TestParser:
 
     def test_run_command_with_quick(self):
         args = build_parser().parse_args(["run", "e2", "--quick"])
-        assert args.experiment == "e2"
+        assert args.experiment == ["e2"]
         assert args.quick
+        assert args.jobs == 1
+        assert args.cache_dir is None
+
+    def test_run_accepts_multiple_experiments(self):
+        args = build_parser().parse_args(
+            ["run", "e1", "e3", "--jobs", "4"])
+        assert args.experiment == ["e1", "e3"]
+        assert args.jobs == 4
+
+    def test_sweep_command(self):
+        args = build_parser().parse_args(
+            ["sweep", "e5", "--replicas", "3", "--base-seed", "7",
+             "--set", "n_ports=8,16"])
+        assert args.experiment == ["e5"]
+        assert args.replicas == 3
+        assert args.base_seed == 7
+        assert args.set == ["n_ports=8,16"]
 
     def test_missing_command_errors(self):
         with pytest.raises(SystemExit):

@@ -7,7 +7,7 @@ from repro.core.framework import HybridSwitchFramework
 from repro.net.host import HostBufferMode
 from repro.schedulers.islip import IslipScheduler
 from repro.sim.errors import ConfigurationError
-from repro.sim.time import GIGABIT, MICROSECONDS, MILLISECONDS
+from repro.sim.time import MICROSECONDS, MILLISECONDS
 from repro.traffic.patterns import PermutationDestination
 from repro.traffic.sources import CbrSource, PoissonSource
 

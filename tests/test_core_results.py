@@ -4,7 +4,7 @@ import pytest
 
 from repro.core.results import RunResult
 from repro.net.packet import Packet
-from repro.sim.time import MILLISECONDS, SECONDS
+from repro.sim.time import MILLISECONDS
 
 
 def _result(**overrides):

@@ -1,6 +1,5 @@
 """Tests for the scheduling logic's control loop."""
 
-import numpy as np
 import pytest
 
 from repro.core.processing import ProcessingLogic

@@ -61,8 +61,16 @@ class TestRegistry:
         with pytest.raises(ConfigurationError, match="already registered"):
             register_scheduler("tdma", lambda n_ports, **kw: None)
 
-    def test_unregister_is_idempotent(self):
-        unregister_scheduler("never-registered")  # must not raise
+    def test_unregister_returns_true_on_removal(self):
+        register_scheduler("custom-ephemeral",
+                           lambda n_ports, **kw: _Custom(n_ports))
+        assert unregister_scheduler("custom-ephemeral") is True
+        assert "custom-ephemeral" not in available_schedulers()
+
+    def test_unregister_unknown_returns_false(self):
+        # Unknown names must not raise (idempotent cleanup), but they
+        # must be reported so a misspelled cleanup can't pass silently.
+        assert unregister_scheduler("never-registered") is False
 
     def test_scheduler_minimum_ports(self):
         from repro.sim.errors import SchedulingError

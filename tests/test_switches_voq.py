@@ -1,6 +1,5 @@
 """Tests for the VOQ bank."""
 
-import numpy as np
 import pytest
 
 from repro.net.packet import Packet

@@ -4,7 +4,7 @@ import random
 
 import pytest
 
-from repro.net.host import Host, HostBufferMode
+from repro.net.host import Host
 from repro.net.link import Link
 from repro.sim.errors import ConfigurationError
 from repro.sim.time import GIGABIT, MICROSECONDS, MILLISECONDS
