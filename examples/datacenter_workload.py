@@ -7,64 +7,24 @@ electrical switch should carry, and a latency-sensitive VOIP stream
 whose jitter must survive the mix.  Compares a c-Through-style hotspot
 scheduler with a Solstice-style multi-matching scheduler.
 
+The whole workload is the library scenario ``datacenter-mix`` (see
+``repro.scenario.library``); the scheduler comparison is two
+derivations of one spec rather than two hand-wired rebuilds.
+
     python examples/datacenter_workload.py
 """
 
-from repro import FrameworkConfig, HybridSwitchFramework
-from repro.sim.time import GIGABIT, MICROSECONDS, MILLISECONDS, format_time
-from repro.traffic.flows import (
-    WEBSEARCH_FLOW_SIZES,
-    EmpiricalSizeDistribution,
-    FlowSource,
-)
-from repro.traffic.patterns import HotspotDestination, UniformDestination
-from repro.traffic.sources import CbrSource, OnOffSource
-
-N_PORTS = 8
-DURATION = 10 * MILLISECONDS
+from repro.scenario import get_scenario
+from repro.sim.time import MICROSECONDS, format_time
 
 
 def build_and_run(scheduler: str, scheduler_kwargs: dict) -> None:
-    config = FrameworkConfig(
-        n_ports=N_PORTS,
-        port_rate_bps=10 * GIGABIT,
-        switching_time_ps=20 * MICROSECONDS,   # Mordia-class optics
-        scheduler=scheduler,
-        scheduler_kwargs=scheduler_kwargs,
-        timing_preset="netfpga_sume",
-        epoch_ps=200 * MICROSECONDS,
-        default_slot_ps=160 * MICROSECONDS,
-        eps_rate_bps=2.5 * GIGABIT,            # thin residual path
-        seed=21,
-    )
-    fw = HybridSwitchFramework(config)
-
-    # VOIP-class stream host0 -> host4 (priority 1).
-    voip = CbrSource(fw.sim, fw.hosts[0], dst=4, packet_bytes=200,
-                     period_ps=200 * MICROSECONDS)
-
-    for host in fw.hosts:
-        # Elephants: heavy ON/OFF bursts, skewed toward one partner.
-        OnOffSource(
-            fw.sim, host,
-            burst_rate_bps=0.5 * config.port_rate_bps,
-            mean_on_ps=300 * MICROSECONDS,
-            mean_off_ps=400 * MICROSECONDS,
-            chooser=HotspotDestination(
-                N_PORTS, host.host_id, skew=0.8,
-                rng=fw.sim.streams.stream(f"hot{host.host_id}")),
-            rng=fw.sim.streams.stream(f"burst{host.host_id}"))
-        # Mice: web-search flow mix at light load, uniform.
-        FlowSource(
-            fw.sim, host,
-            chooser=UniformDestination(
-                N_PORTS, host.host_id,
-                fw.sim.streams.stream(f"mice-dst{host.host_id}")),
-            distribution=EmpiricalSizeDistribution(WEBSEARCH_FLOW_SIZES),
-            offered_bps=0.05 * config.port_rate_bps,
-            rng=fw.sim.streams.stream(f"mice{host.host_id}"))
-
-    result = fw.run(DURATION)
+    scenario = get_scenario("datacenter-mix").derive(
+        scheduler=scheduler, scheduler_kwargs=scheduler_kwargs)
+    run = scenario.build()
+    # The VOIP stream is the scenario's first phase (CBR on host 0).
+    voip = run.phase_sources(0)[0].source
+    result = run.run()
 
     voip_summary = result.latency(priority=1)
     jitter = result.flow_jitter_ps(voip.flow_id, 200 * MICROSECONDS)

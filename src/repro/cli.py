@@ -1,7 +1,8 @@
 """Command-line entry point: ``repro``.
 
-Run paper experiments by id, in parallel, against a result cache; or
-expand parameter sweeps into job plans::
+Run paper experiments by id, in parallel, against a result cache; run
+declarative scenarios from the library; or expand parameter sweeps
+into job plans::
 
     repro list                       # experiments + schedulers + presets
     repro run e1                     # full-size experiment
@@ -9,11 +10,16 @@ expand parameter sweeps into job plans::
     repro run all --quick --jobs 4   # the suite, 4 worker processes
     repro run all --cache-dir .repro-cache   # warm reruns are instant
     repro sweep e5 --replicas 3 --base-seed 1 --set n_ports=8,16 --jobs 4
+    repro scenario list              # the named workload library
+    repro scenario show incast       # canonical JSON of one scenario
+    repro scenario run incast --quick --jobs 2 --set n_ports=16
 
-``run`` and ``sweep`` are thin frontends over ``repro.runner``: they
-plan deterministic job lists, execute them (optionally across worker
-processes and against a content-addressed cache) and print the familiar
-per-experiment reports plus a run manifest.
+``run``, ``sweep`` and ``scenario run`` are thin frontends over
+``repro.runner``: they plan deterministic job lists, execute them
+(optionally across worker processes and against a content-addressed
+cache) and print the familiar per-experiment reports plus a run
+manifest.  Scenario jobs (``scenario:<name>``) share the whole
+pipeline, so caching, sharding and ``--jobs`` behave identically.
 """
 
 from __future__ import annotations
@@ -24,7 +30,7 @@ import pathlib
 import sys
 from typing import Any, Dict, List, Optional, Sequence
 
-from repro.experiments import EXPERIMENTS
+from repro.experiments import EXPERIMENTS, experiment_summaries
 from repro.hwmodel.presets import TIMING_PRESETS
 from repro.runner import (
     ResultCache,
@@ -36,20 +42,42 @@ from repro.runner import (
     write_json_report,
 )
 from repro.runner.manifest import RunManifest
-from repro.schedulers.registry import available_schedulers
+from repro.runner.spec import SCENARIO_PREFIX
+from repro.scenario import (
+    available_scenarios,
+    configure,
+    get_scenario,
+    scenario_summaries,
+)
+from repro.schedulers.registry import (
+    available_schedulers,
+    scheduler_summaries,
+)
+from repro.sim.errors import ConfigurationError
 
 
 def _resolve_experiments(requested: Sequence[str]) -> Optional[List[str]]:
-    """Expand ``all`` and validate ids; ``None`` (+stderr) on error."""
+    """Expand ``all`` and validate ids; ``None`` (+stderr) on error.
+
+    ``scenario:<name>`` ids are accepted alongside experiment ids, so
+    ``repro run``/``repro sweep`` mix both job families freely.
+    """
     ids: List[str] = []
     for name in requested:
         if name == "all":
             ids.extend(exp_id for exp_id in sorted(EXPERIMENTS)
                        if exp_id not in ids)
             continue
-        if name not in EXPERIMENTS:
+        if name.startswith(SCENARIO_PREFIX):
+            try:
+                get_scenario(name[len(SCENARIO_PREFIX):])
+            except ConfigurationError as exc:
+                print(str(exc), file=sys.stderr)
+                return None
+        elif name not in EXPERIMENTS:
             print(f"unknown experiment {name!r}; "
-                  f"try: {', '.join(sorted(EXPERIMENTS))}",
+                  f"try: {', '.join(sorted(EXPERIMENTS))} or "
+                  f"{SCENARIO_PREFIX}<name>",
                   file=sys.stderr)
             return None
         if name not in ids:
@@ -123,13 +151,18 @@ def _finish(outcomes, args: argparse.Namespace,
         write_json_report(outcomes, args.json_out)
 
 
+def _print_catalogue(header: str, summaries: Dict[str, str]) -> None:
+    print(f"{header}:")
+    width = max((len(name) for name in summaries), default=0)
+    for name, doc in summaries.items():
+        line = f"  {name:<{width}}"
+        print(f"{line}  {doc}" if doc else line)
+
+
 def _cmd_list(_args: argparse.Namespace) -> int:
-    print("experiments:")
-    for exp_id in sorted(EXPERIMENTS):
-        print(f"  {exp_id}")
-    print("schedulers:")
-    for name in available_schedulers():
-        print(f"  {name}")
+    _print_catalogue("experiments", experiment_summaries())
+    _print_catalogue("schedulers", scheduler_summaries())
+    _print_catalogue("scenarios", scenario_summaries())
     print("timing presets:")
     for name in sorted(TIMING_PRESETS):
         print(f"  {name}")
@@ -143,6 +176,25 @@ def _check_scheduler(args: argparse.Namespace) -> bool:
               f"try: {', '.join(available_schedulers())}",
               file=sys.stderr)
         return False
+    return True
+
+
+def _check_scenario_specs(specs) -> bool:
+    """Dry-run the derivation of every scenario-backed spec.
+
+    A bad ``--set`` path (or any spec-level inconsistency) must fail
+    here with a one-line stderr message, not traceback inside a worker
+    process mid-plan.
+    """
+    for spec in specs:
+        name = spec.scenario_name
+        if name is None:
+            continue
+        try:
+            configure(get_scenario(name), spec.to_config())
+        except ConfigurationError as exc:
+            print(str(exc), file=sys.stderr)
+            return False
     return True
 
 
@@ -182,6 +234,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 measure_wallclock=args.wallclock).validate()
         for exp_id in experiment_ids
     ]
+    if not _check_scenario_specs(specs):
+        return 2
     ok, cache = _make_cache(args)
     if not ok:
         return 2
@@ -230,6 +284,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if not specs:
         print("empty plan (shard with no jobs?)", file=sys.stderr)
         return 0
+    if not _check_scenario_specs(specs):
+        return 2
     ok, cache = _make_cache(args)
     if not ok:
         return 2
@@ -239,6 +295,62 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     print(merged.render())
     print()
     _finish(outcomes, args, show_manifest=False)  # render() included it
+    return 0
+
+
+def _cmd_scenario_list(_args: argparse.Namespace) -> int:
+    _print_catalogue("scenarios", scenario_summaries())
+    return 0
+
+
+def _cmd_scenario_show(args: argparse.Namespace) -> int:
+    from repro.experiments.base import ExperimentConfig
+
+    overrides = _parse_overrides(args.set or [])
+    if overrides is None:
+        return 2
+    try:
+        scenario = configure(
+            get_scenario(args.name),
+            ExperimentConfig(quick=args.quick, seed=args.seed,
+                             scheduler=args.scheduler,
+                             overrides=overrides))
+    except ConfigurationError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(scenario.to_json(indent=1))
+    return 0
+
+
+def _cmd_scenario_run(args: argparse.Namespace) -> int:
+    if not _check_counts(args) or not _check_scheduler(args):
+        return 2
+    overrides = _parse_overrides(args.set or [])
+    if overrides is None:
+        return 2
+    try:
+        specs = [
+            RunSpec(experiment_id=f"{SCENARIO_PREFIX}{name}",
+                    quick=args.quick, seed=args.seed,
+                    scheduler=args.scheduler,
+                    overrides=overrides).validate()
+            for name in args.name
+        ]
+    except ConfigurationError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if not _check_scenario_specs(specs):
+        return 2
+    ok, cache = _make_cache(args)
+    if not ok:
+        return 2
+    outcomes = execute(specs, jobs=args.jobs, cache=cache)
+    for outcome in outcomes:
+        print(outcome.report.render())
+        print()
+    _finish(outcomes, args,
+            show_manifest=(len(specs) > 1 or args.jobs > 1
+                           or cache is not None))
     return 0
 
 
@@ -303,6 +415,47 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--shard-index", type=int, default=0, metavar="I",
                        help="which shard to run (0-based)")
     sweep.set_defaults(func=_cmd_sweep)
+
+    scenario = sub.add_parser(
+        "scenario", help="declarative workload scenarios: list the "
+                         "library, inspect a spec, run by name")
+    scenario_sub = scenario.add_subparsers(dest="scenario_command",
+                                           required=True)
+    scenario_sub.add_parser(
+        "list", help="named scenarios with one-line descriptions"
+    ).set_defaults(func=_cmd_scenario_list)
+
+    show = scenario_sub.add_parser(
+        "show", help="print one scenario's canonical JSON (after "
+                     "--set/--quick derivations)")
+    show.add_argument("name", help=f"scenario name; one of: "
+                                   f"{', '.join(available_scenarios())}")
+    show.add_argument("--quick", action="store_true",
+                      help="show the quickened (smoke-size) rendition")
+    show.add_argument("--seed", type=int,
+                      help="replace the scenario seed")
+    show.add_argument("--scheduler", metavar="NAME",
+                      help="swap the scheduler axis")
+    show.add_argument("--set", action="append", metavar="PATH=VALUE",
+                      help="dotted-path scenario override, e.g. "
+                           "traffic.0.load=0.8 (repeatable)")
+    show.set_defaults(func=_cmd_scenario_show)
+
+    scenario_run = scenario_sub.add_parser(
+        "run", help="run scenarios by name through the job runner "
+                    "(parallel, cached, deterministic)")
+    scenario_run.add_argument("name", nargs="+",
+                              help="scenario names (see 'scenario "
+                                   "list')")
+    _add_common_run_options(scenario_run)
+    scenario_run.add_argument("--seed", type=int,
+                              help="replace the scenario seed")
+    scenario_run.add_argument("--set", action="append",
+                              metavar="PATH=VALUE",
+                              help="dotted-path scenario override, "
+                                   "e.g. n_ports=16 or traffic.0.load="
+                                   "0.8 (repeatable)")
+    scenario_run.set_defaults(func=_cmd_scenario_run)
     return parser
 
 

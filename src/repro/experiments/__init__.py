@@ -17,6 +17,9 @@ E8        §2 — sensitivity to host–switch clock skew
 ========  ==========================================================
 """
 
+import sys
+from typing import Dict
+
 from repro.experiments import (
     e1_buffering,
     e2_latency,
@@ -63,5 +66,15 @@ ENTRY_POINTS = {
     "e8": e8_sync.run,
 }
 
-__all__ = ["EXPERIMENTS", "ENTRY_POINTS", "ExperimentConfig",
+def experiment_summaries() -> Dict[str, str]:
+    """``id -> one-line description`` from each module's docstring."""
+    summaries = {}
+    for exp_id, fn in sorted(ENTRY_POINTS.items()):
+        doc = sys.modules[fn.__module__].__doc__ or ""
+        summaries[exp_id] = doc.strip().splitlines()[0].rstrip(".")
+    return summaries
+
+
+__all__ = ["EXPERIMENTS", "ENTRY_POINTS", "experiment_summaries",
+           "ExperimentConfig",
            "ExperimentReport"] + [f"run_e{i}" for i in range(1, 9)]

@@ -14,7 +14,7 @@ The historical ``run_eN(quick=...)`` wrappers remain for direct calls.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Optional
+from typing import Any, Dict, Iterable, List, Mapping, Optional
 
 
 @dataclass(frozen=True)
@@ -38,8 +38,10 @@ class ExperimentConfig:
         series).  Off by default: a pure run must be bit-reproducible.
     overrides:
         Experiment-specific knobs (``n_ports``, ``duration_ps``,
-        ``loads`` ...).  Unknown keys are ignored by experiments that
-        do not define them.
+        ``loads`` ...).  Experiments that declare a ``KNOWN_OVERRIDES``
+        set surface unknown keys as report warnings (see
+        :meth:`unknown_overrides`); keys outside any declaration are
+        ignored.
     """
 
     quick: bool = False
@@ -51,6 +53,10 @@ class ExperimentConfig:
     def get(self, name: str, default: Any) -> Any:
         """An override value, or ``default`` when not overridden."""
         return self.overrides.get(name, default)
+
+    def unknown_overrides(self, known: Iterable[str]) -> List[str]:
+        """Override keys outside an experiment's declared set, sorted."""
+        return sorted(set(self.overrides) - set(known))
 
     def derive_seed(self, default: int) -> int:
         """A per-stream seed.
@@ -87,6 +93,9 @@ class ExperimentReport:
     expectations:
         Human-readable statements of the paper-shape checks this run
         satisfied (filled by the experiment itself after verifying).
+    warnings:
+        Configuration smells the run survived but the caller should
+        see — e.g. override keys the experiment does not define.
     """
 
     experiment_id: str
@@ -94,11 +103,31 @@ class ExperimentReport:
     tables: List[str] = field(default_factory=list)
     data: Dict[str, Any] = field(default_factory=dict)
     expectations: List[str] = field(default_factory=list)
+    warnings: List[str] = field(default_factory=list)
+
+    def check_overrides(self, config: ExperimentConfig,
+                        known: Iterable[str]) -> None:
+        """Collect a warning for every override key outside ``known``.
+
+        This is the opt-in strict validation of
+        ``ExperimentConfig.overrides``: experiments declare their
+        ``KNOWN_OVERRIDES`` and call this first, so a typo like
+        ``--set durration_ps=...`` surfaces in the report instead of
+        silently running the defaults.
+        """
+        known = sorted(set(known))
+        for key in config.unknown_overrides(known):
+            self.warnings.append(
+                f"unknown override {key!r} ignored by "
+                f"{self.experiment_id} (known: {', '.join(known)})")
 
     def render(self) -> str:
         """Full printable report."""
         parts = [f"== {self.experiment_id.upper()}: {self.title} =="]
         parts.extend(self.tables)
+        if self.warnings:
+            parts.append("Warnings:")
+            parts.extend(f"  [!!] {line}" for line in self.warnings)
         if self.expectations:
             parts.append("Checks:")
             parts.extend(f"  [ok] {line}" for line in self.expectations)

@@ -20,10 +20,9 @@ from typing import List
 
 from repro.analysis.buffering import BufferingModel, format_bytes
 from repro.analysis.tables import render_table
-from repro.core.config import FrameworkConfig
-from repro.core.framework import HybridSwitchFramework
 from repro.experiments.base import ExperimentConfig, ExperimentReport
 from repro.hwmodel.presets import make_timing
+from repro.scenario import Scenario, TrafficPhase
 from repro.sim.time import (
     GIGABIT,
     MICROSECONDS,
@@ -31,8 +30,9 @@ from repro.sim.time import (
     NANOSECONDS,
     format_time,
 )
-from repro.traffic.patterns import HotspotDestination
-from repro.traffic.sources import OnOffSource
+
+#: Overrides this experiment honours (``repro run e1 --set ...``).
+KNOWN_OVERRIDES = frozenset({"duration_ps", "n_ports"})
 
 #: Figure 1's x-axis sample points.
 SWITCHING_TIMES_PS = (
@@ -120,27 +120,24 @@ def _simulated_table(report: ExperimentReport,
     peaks = []
     for switching_ps in switching_times:
         epoch_ps = max(10 * switching_ps, 40 * MICROSECONDS)
-        fw_config = FrameworkConfig(
+        scenario = Scenario(
+            name="e1-sim",
             n_ports=n_ports,
             switching_time_ps=switching_ps,
             scheduler=config.scheduler or "hotspot",
             timing_preset="netfpga_sume",
             epoch_ps=epoch_ps,
             default_slot_ps=epoch_ps,
+            duration_ps=duration,
             seed=config.derive_seed(1),
+            traffic=(TrafficPhase(
+                pattern="hotspot", source="onoff", load=0.4,
+                pattern_kwargs={"skew": 0.7},
+                source_kwargs={"burst_fraction": 1.0,
+                               "mean_on_ps": 200 * MICROSECONDS,
+                               "mean_off_ps": 300 * MICROSECONDS}),),
         )
-        fw = HybridSwitchFramework(fw_config)
-        for host in fw.hosts:
-            OnOffSource(
-                fw.sim, host,
-                burst_rate_bps=fw_config.port_rate_bps,
-                mean_on_ps=200 * MICROSECONDS,
-                mean_off_ps=300 * MICROSECONDS,
-                chooser=HotspotDestination(
-                    fw_config.n_ports, host.host_id, skew=0.7,
-                    rng=fw.sim.streams.stream(f"dst{host.host_id}")),
-                rng=fw.sim.streams.stream(f"src{host.host_id}"))
-        result = fw.run(duration)
+        result = scenario.build().run()
         peaks.append(result.switch_peak_buffer_bytes)
         rows.append([
             format_time(switching_ps),
@@ -166,6 +163,7 @@ def run(config: ExperimentConfig) -> ExperimentReport:
         experiment_id="e1",
         title="Figure 1 — buffering requirement vs optical switching time",
     )
+    report.check_overrides(config, KNOWN_OVERRIDES)
     _analytic_table(report)
     _simulated_table(report, config)
     return report
@@ -176,4 +174,4 @@ def run_e1(quick: bool = False) -> ExperimentReport:
     return run(ExperimentConfig(quick=quick))
 
 
-__all__ = ["run", "run_e1", "SWITCHING_TIMES_PS"]
+__all__ = ["run", "run_e1", "SWITCHING_TIMES_PS", "KNOWN_OVERRIDES"]

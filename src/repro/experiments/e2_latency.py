@@ -38,6 +38,9 @@ ALGORITHMS = (
 
 PRESETS = ("netfpga_sume", "asic_1ghz", "cpu_helios", "cpu_cthrough")
 
+#: Overrides this experiment honours (``repro run e2 --set ...``).
+KNOWN_OVERRIDES = frozenset({"port_counts"})
+
 
 def _representative_demand(n_ports: int, seed: int = 7) -> np.ndarray:
     """A skewed, fully loaded demand matrix (bytes)."""
@@ -53,6 +56,7 @@ def run(config: ExperimentConfig) -> ExperimentReport:
         experiment_id="e2",
         title="scheduling-loop latency: software (ms) vs hardware (ns-us)",
     )
+    report.check_overrides(config, KNOWN_OVERRIDES)
     demand_seed = config.derive_seed(7)
     port_counts = tuple(config.get(
         "port_counts", (16, 64) if config.quick else (16, 64, 128)))
@@ -125,4 +129,5 @@ def run_e2(quick: bool = False) -> ExperimentReport:
     return run(ExperimentConfig(quick=quick))
 
 
-__all__ = ["run", "run_e2", "ALGORITHMS", "PRESETS"]
+__all__ = ["run", "run_e2", "ALGORITHMS", "PRESETS",
+           "KNOWN_OVERRIDES"]

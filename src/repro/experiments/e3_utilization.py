@@ -22,46 +22,51 @@ from __future__ import annotations
 from typing import List
 
 from repro.analysis.tables import render_table
-from repro.core.config import FrameworkConfig
-from repro.core.framework import HybridSwitchFramework
 from repro.experiments.base import ExperimentConfig, ExperimentReport
+from repro.scenario import Scenario, TrafficPhase
 from repro.sim.time import (
     MICROSECONDS,
     MILLISECONDS,
     format_time,
 )
-from repro.traffic.patterns import UniformDestination
-from repro.traffic.sources import OnOffSource
 
 N_PORTS = 8
 SWITCHING_PS = 20 * MICROSECONDS
 
+#: Overrides this experiment honours (``repro run e3 --set ...``).
+KNOWN_OVERRIDES = frozenset(
+    {"epochs_ps", "duration_ps", "load", "n_ports"})
 
-def _run_point(epoch_ps: int, duration_ps: int, load: float,
-               optimistic: bool, seed: int,
-               n_ports: int = N_PORTS,
-               scheduler: str = "hotspot") -> "tuple[float, int]":
-    config = FrameworkConfig(
+
+def _scenario(epoch_ps: int, duration_ps: int, load: float,
+              optimistic: bool, seed: int,
+              n_ports: int = N_PORTS,
+              scheduler: str = "hotspot") -> Scenario:
+    """One sweep point as a Scenario derivation."""
+    return Scenario(
+        name="e3-point",
         n_ports=n_ports,
         switching_time_ps=SWITCHING_PS,
         scheduler=scheduler,
         timing_preset="netfpga_sume",
         epoch_ps=epoch_ps,
         default_slot_ps=max(epoch_ps - SWITCHING_PS, 10 * MICROSECONDS),
+        optimistic_grant=optimistic,
+        duration_ps=duration_ps,
         seed=seed,
+        traffic=(TrafficPhase(
+            pattern="uniform", source="onoff", load=load,
+            source_kwargs={"mean_on_ps": 150 * MICROSECONDS,
+                           "mean_off_ps": 150 * MICROSECONDS}),),
     )
-    fw = HybridSwitchFramework(config, optimistic_grant=optimistic)
-    for host in fw.hosts:
-        OnOffSource(
-            fw.sim, host,
-            burst_rate_bps=load * config.port_rate_bps / 0.5,
-            mean_on_ps=150 * MICROSECONDS,
-            mean_off_ps=150 * MICROSECONDS,
-            chooser=UniformDestination(
-                n_ports, host.host_id,
-                fw.sim.streams.stream(f"dst{host.host_id}")),
-            rng=fw.sim.streams.stream(f"src{host.host_id}"))
-    result = fw.run(duration_ps)
+
+
+def _run_point(epoch_ps: int, duration_ps: int, load: float,
+               optimistic: bool, seed: int,
+               n_ports: int = N_PORTS,
+               scheduler: str = "hotspot") -> "tuple[float, int]":
+    result = _scenario(epoch_ps, duration_ps, load, optimistic, seed,
+                       n_ports=n_ports, scheduler=scheduler).build().run()
     return result.utilisation(), result.total_drops
 
 
@@ -72,6 +77,7 @@ def run(config: ExperimentConfig) -> ExperimentReport:
         title="utilisation vs scheduling period (slow schedulers waste "
               "capacity)",
     )
+    report.check_overrides(config, KNOWN_OVERRIDES)
     epochs = list(config.get("epochs_ps", (
         [100 * MICROSECONDS, 500 * MICROSECONDS, 2 * MILLISECONDS]
         if config.quick else
@@ -141,4 +147,4 @@ def run_e3(quick: bool = False) -> ExperimentReport:
     return run(ExperimentConfig(quick=quick))
 
 
-__all__ = ["run", "run_e3"]
+__all__ = ["run", "run_e3", "KNOWN_OVERRIDES"]

@@ -27,72 +27,73 @@ from __future__ import annotations
 from typing import Tuple
 
 from repro.analysis.tables import render_table
-from repro.core.config import FrameworkConfig
-from repro.core.framework import HybridSwitchFramework
 from repro.experiments.base import ExperimentConfig, ExperimentReport
-from repro.net.host import HostBufferMode
+from repro.scenario import Scenario, TrafficPhase
 from repro.sim.time import (
     MICROSECONDS,
     MILLISECONDS,
     NANOSECONDS,
     format_time,
 )
-from repro.traffic.patterns import UniformDestination
-from repro.traffic.sources import CbrSource, OnOffSource
 
 N_PORTS = 8
 CBR_PERIOD_PS = 200 * MICROSECONDS
 CBR_BYTES = 200
 
+#: Overrides this experiment honours (``repro run e4 --set ...``).
+KNOWN_OVERRIDES = frozenset({"duration_ps"})
 
-def _attach_traffic(fw: HybridSwitchFramework) -> int:
-    """CBR host0 -> host1 plus background; returns the CBR flow id."""
-    cbr = CbrSource(fw.sim, fw.hosts[0], dst=1,
-                    packet_bytes=CBR_BYTES, period_ps=CBR_PERIOD_PS)
-    for host in fw.hosts:
-        OnOffSource(
-            fw.sim, host,
-            burst_rate_bps=0.5 * fw.config.port_rate_bps,
-            mean_on_ps=100 * MICROSECONDS,
-            mean_off_ps=200 * MICROSECONDS,
-            chooser=UniformDestination(
-                N_PORTS, host.host_id,
-                fw.sim.streams.stream(f"dst{host.host_id}")),
-            rng=fw.sim.streams.stream(f"src{host.host_id}"))
-    return cbr.flow_id
+#: CBR host0 -> host1 plus bursty background on every host.  The CBR
+#: phase comes first so flow-id allocation and t=0 event ordering match
+#: the historical hand-wired construction exactly.
+_TRAFFIC = (
+    TrafficPhase(pattern="fixed", source="cbr", load=1.0, hosts=(0,),
+                 pattern_kwargs={"dst": 1},
+                 source_kwargs={"packet_bytes": CBR_BYTES,
+                                "period_ps": CBR_PERIOD_PS}),
+    TrafficPhase(pattern="uniform", source="onoff", load=0.5 / 3,
+                 source_kwargs={"burst_fraction": 0.5,
+                                "mean_on_ps": 100 * MICROSECONDS,
+                                "mean_off_ps": 200 * MICROSECONDS}),
+)
 
 
-def _fast_config(seed: int) -> FrameworkConfig:
-    return FrameworkConfig(
+def _fast_scenario(seed: int, duration_ps: int) -> Scenario:
+    return Scenario(
+        name="e4-fast",
         n_ports=N_PORTS,
         switching_time_ps=100 * NANOSECONDS,
         scheduler="islip",
         scheduler_kwargs={"iterations": 2},
         timing_preset="netfpga_sume",
         default_slot_ps=5 * MICROSECONDS,
-        buffer_mode=HostBufferMode.SWITCH_BUFFERED,
+        buffer_mode="switch",
+        duration_ps=duration_ps,
         seed=seed,
+        traffic=_TRAFFIC,
     )
 
 
-def _slow_config(seed: int) -> FrameworkConfig:
-    return FrameworkConfig(
+def _slow_scenario(seed: int, duration_ps: int) -> Scenario:
+    return Scenario(
+        name="e4-slow",
         n_ports=N_PORTS,
         switching_time_ps=100 * MICROSECONDS,
         scheduler="hotspot",
         timing_preset="cpu_cthrough",
         epoch_ps=2 * MILLISECONDS,
         default_slot_ps=MILLISECONDS,
-        buffer_mode=HostBufferMode.HOST_BUFFERED,
+        buffer_mode="host",
+        duration_ps=duration_ps,
         seed=seed,
+        traffic=_TRAFFIC,
     )
 
 
-def _measure(config: FrameworkConfig,
-             duration_ps: int) -> Tuple[float, float, float, int]:
-    fw = HybridSwitchFramework(config)
-    flow_id = _attach_traffic(fw)
-    result = fw.run(duration_ps)
+def _measure(scenario: Scenario) -> Tuple[float, float, float, int]:
+    run = scenario.build()
+    flow_id = run.phase_sources(0)[0].source.flow_id
+    result = run.run()
     stream = result.flow_packets(flow_id)
     latencies = [p.latency_ps for p in stream if p.latency_ps is not None]
     if latencies:
@@ -113,14 +114,15 @@ def run(config: ExperimentConfig) -> ExperimentReport:
         title="latency & jitter of a VOIP-class stream, "
               "slow vs fast scheduling",
     )
+    report.check_overrides(config, KNOWN_OVERRIDES)
     duration = config.get(
         "duration_ps",
         10 * MILLISECONDS if config.quick else 40 * MILLISECONDS)
     seed = config.derive_seed(11)
     fast_p50, fast_p99, fast_jitter, fast_n = _measure(
-        _fast_config(seed), duration)
+        _fast_scenario(seed, duration))
     slow_p50, slow_p99, slow_jitter, slow_n = _measure(
-        _slow_config(seed), duration)
+        _slow_scenario(seed, duration))
     report.tables.append(render_table(
         ["regime", "delivered", "p50 latency", "p99 latency",
          "interarrival jitter"],
@@ -157,4 +159,4 @@ def run_e4(quick: bool = False) -> ExperimentReport:
     return run(ExperimentConfig(quick=quick))
 
 
-__all__ = ["run", "run_e4"]
+__all__ = ["run", "run_e4", "KNOWN_OVERRIDES"]

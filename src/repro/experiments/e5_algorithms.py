@@ -35,6 +35,9 @@ from repro.schedulers.wfa import WfaScheduler
 
 N_PORTS = 16
 
+#: Overrides this experiment honours (``repro run e5 --set ...``).
+KNOWN_OVERRIDES = frozenset({"loads", "slots", "warmup", "n_ports"})
+
 
 def _make_schedulers(n_ports: int,
                      pim_seed: int) -> List[Tuple[str, object]]:
@@ -81,6 +84,7 @@ def run(config: ExperimentConfig) -> ExperimentReport:
         experiment_id="e5",
         title="scheduler-algorithm study (the framework's purpose)",
     )
+    report.check_overrides(config, KNOWN_OVERRIDES)
     loads = list(config.get(
         "loads", [0.3, 0.6, 0.9] if config.quick
         else [0.1, 0.3, 0.5, 0.7, 0.8, 0.9, 0.95]))
@@ -144,4 +148,4 @@ def run_e5(quick: bool = False) -> ExperimentReport:
     return run(ExperimentConfig(quick=quick))
 
 
-__all__ = ["run", "run_e5", "N_PORTS"]
+__all__ = ["run", "run_e5", "N_PORTS", "KNOWN_OVERRIDES"]

@@ -21,9 +21,8 @@ from typing import List
 import numpy as np
 
 from repro.analysis.tables import render_table
-from repro.core.config import FrameworkConfig
-from repro.core.framework import HybridSwitchFramework
 from repro.experiments.base import ExperimentConfig, ExperimentReport
+from repro.scenario import Scenario, TrafficPhase
 from repro.schedulers.demand import (
     EwmaEstimator,
     InstantEstimator,
@@ -33,10 +32,11 @@ from repro.schedulers.eclipse import EclipseScheduler
 from repro.schedulers.hotspot import HotspotScheduler
 from repro.schedulers.solstice import SolsticeScheduler
 from repro.sim.time import GIGABIT, MICROSECONDS, MILLISECONDS
-from repro.traffic.patterns import HotspotDestination
-from repro.traffic.sources import OnOffSource
 
 N_PORTS = 8
+
+#: Overrides this experiment honours (``repro run e6 --set ...``).
+KNOWN_OVERRIDES = frozenset({"skews", "duration_ps"})
 
 
 def skewed_demand(n_ports: int, skew: float, total_bytes: float,
@@ -154,36 +154,39 @@ def _estimator_table(report: ExperimentReport, stream_seed: int,
             "sketch (hardware cost trade-off quantified)")
 
 
+def _e2e_scenario(skew: float, duration_ps: int, seed: int,
+                  scheduler: str) -> Scenario:
+    """One end-to-end sweep point as a Scenario derivation."""
+    return Scenario(
+        name="e6-e2e",
+        n_ports=N_PORTS,
+        switching_time_ps=20 * MICROSECONDS,
+        scheduler=scheduler,
+        scheduler_kwargs=({"threshold_bytes": 20_000.0}
+                          if scheduler == "hotspot" else {}),
+        timing_preset="netfpga_sume",
+        epoch_ps=200 * MICROSECONDS,
+        default_slot_ps=180 * MICROSECONDS,
+        eps_rate_bps=2.5 * GIGABIT,
+        duration_ps=duration_ps,
+        seed=seed,
+        traffic=(TrafficPhase(
+            pattern="hotspot", source="onoff", load=0.6 * 200 / 450,
+            pattern_kwargs={"skew": skew},
+            source_kwargs={"burst_fraction": 0.6,
+                           "mean_on_ps": 200 * MICROSECONDS,
+                           "mean_off_ps": 250 * MICROSECONDS}),),
+    )
+
+
 def _end_to_end_table(report: ExperimentReport, skews: List[float],
                       duration_ps: int, seed: int,
                       scheduler: str = "hotspot") -> None:
     rows = []
     fractions = []
     for skew in skews:
-        config = FrameworkConfig(
-            n_ports=N_PORTS,
-            switching_time_ps=20 * MICROSECONDS,
-            scheduler=scheduler,
-            scheduler_kwargs=({"threshold_bytes": 20_000.0}
-                              if scheduler == "hotspot" else {}),
-            timing_preset="netfpga_sume",
-            epoch_ps=200 * MICROSECONDS,
-            default_slot_ps=180 * MICROSECONDS,
-            eps_rate_bps=2.5 * GIGABIT,
-            seed=seed,
-        )
-        fw = HybridSwitchFramework(config)
-        for host in fw.hosts:
-            OnOffSource(
-                fw.sim, host,
-                burst_rate_bps=0.6 * config.port_rate_bps,
-                mean_on_ps=200 * MICROSECONDS,
-                mean_off_ps=250 * MICROSECONDS,
-                chooser=HotspotDestination(
-                    N_PORTS, host.host_id, skew=skew,
-                    rng=fw.sim.streams.stream(f"dst{host.host_id}")),
-                rng=fw.sim.streams.stream(f"src{host.host_id}"))
-        result = fw.run(duration_ps)
+        result = _e2e_scenario(skew, duration_ps, seed,
+                               scheduler).build().run()
         fractions.append(result.ocs_fraction)
         rows.append([f"{skew:.2f}", f"{result.ocs_fraction:.3f}",
                      f"{result.utilisation():.3f}"])
@@ -205,6 +208,7 @@ def run(config: ExperimentConfig) -> ExperimentReport:
         title="OCS offload fraction vs demand skew (hybrid division of "
               "labour)",
     )
+    report.check_overrides(config, KNOWN_OVERRIDES)
     skews = list(config.get(
         "skews", [0.0, 0.5, 0.9] if config.quick
         else [0.0, 0.25, 0.5, 0.75, 0.9]))
@@ -233,4 +237,4 @@ def run_e6(quick: bool = False) -> ExperimentReport:
     return run(ExperimentConfig(quick=quick))
 
 
-__all__ = ["run", "run_e6", "skewed_demand"]
+__all__ = ["run", "run_e6", "skewed_demand", "KNOWN_OVERRIDES"]

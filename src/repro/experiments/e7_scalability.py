@@ -32,6 +32,9 @@ from repro.sim.time import MICROSECONDS, format_time
 
 ALGORITHMS = ("tdma", "wfa", "islip", "pim", "greedy-mwm", "mwm")
 
+#: Overrides this experiment honours (``repro run e7 --set ...``).
+KNOWN_OVERRIDES = frozenset({"port_counts"})
+
 
 def _demand(n_ports: int, seed: int = 3) -> np.ndarray:
     rng = np.random.default_rng(seed)
@@ -52,6 +55,7 @@ def run(config: ExperimentConfig) -> ExperimentReport:
         experiment_id="e7",
         title="schedule-computation scalability with port count",
     )
+    report.check_overrides(config, KNOWN_OVERRIDES)
     port_counts = tuple(config.get(
         "port_counts",
         (8, 32, 64) if config.quick else (8, 16, 32, 64, 128, 256)))
@@ -123,4 +127,4 @@ def run_e7(quick: bool = False) -> ExperimentReport:
     return run(ExperimentConfig(quick=quick, measure_wallclock=True))
 
 
-__all__ = ["run", "run_e7", "ALGORITHMS"]
+__all__ = ["run", "run_e7", "ALGORITHMS", "KNOWN_OVERRIDES"]

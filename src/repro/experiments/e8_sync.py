@@ -22,49 +22,43 @@ from __future__ import annotations
 from typing import List, Tuple
 
 from repro.analysis.tables import render_table
-from repro.core.config import FrameworkConfig
-from repro.core.framework import HybridSwitchFramework
 from repro.experiments.base import ExperimentConfig, ExperimentReport
-from repro.net.host import HostBufferMode
+from repro.scenario import Scenario, TrafficPhase
 from repro.sim.time import (
     MICROSECONDS,
     MILLISECONDS,
     format_time,
 )
-from repro.traffic.patterns import UniformDestination
-from repro.traffic.sources import PoissonSource
 
 N_PORTS = 8
 EPOCH_PS = 200 * MICROSECONDS
 HOLD_PS = 150 * MICROSECONDS
 SWITCHING_PS = 20 * MICROSECONDS
 
+#: Overrides this experiment honours (``repro run e8 --set ...``).
+KNOWN_OVERRIDES = frozenset({"skews_ps", "duration_ps"})
 
-def _run_point(skew_ps: int, mode: HostBufferMode, duration_ps: int,
+
+def _run_point(skew_ps: int, buffer_mode: str, duration_ps: int,
                seed: int,
                scheduler: str = "hotspot") -> Tuple[float, float, int]:
     """Returns (delivery ratio, utilisation, ocs drop count)."""
-    config = FrameworkConfig(
+    scenario = Scenario(
+        name="e8-point",
         n_ports=N_PORTS,
         switching_time_ps=SWITCHING_PS,
         scheduler=scheduler,
         timing_preset="netfpga_sume",
         epoch_ps=EPOCH_PS,
         default_slot_ps=HOLD_PS,
-        buffer_mode=mode,
+        buffer_mode=buffer_mode,
         host_clock_skew_ps=skew_ps,
+        duration_ps=duration_ps,
         seed=seed,
+        traffic=(TrafficPhase(pattern="uniform", source="poisson",
+                              load=0.3),),
     )
-    fw = HybridSwitchFramework(config)
-    for host in fw.hosts:
-        PoissonSource(
-            fw.sim, host,
-            rate_bps=0.3 * config.port_rate_bps,
-            chooser=UniformDestination(
-                N_PORTS, host.host_id,
-                fw.sim.streams.stream(f"dst{host.host_id}")),
-            rng=fw.sim.streams.stream(f"src{host.host_id}"))
-    result = fw.run(duration_ps)
+    result = scenario.build().run()
     ocs_drops = (result.drops["ocs_dark"]
                  + result.drops["ocs_misdirected"])
     return result.delivery_ratio, result.utilisation(), ocs_drops
@@ -77,6 +71,7 @@ def run(config: ExperimentConfig) -> ExperimentReport:
         title="host-switch synchronization sensitivity (slow needs it, "
               "fast does not)",
     )
+    report.check_overrides(config, KNOWN_OVERRIDES)
     skews = list(config.get(
         "skews_ps",
         [0, 50 * MICROSECONDS, 200 * MICROSECONDS]
@@ -94,11 +89,9 @@ def run(config: ExperimentConfig) -> ExperimentReport:
     fast_ratio: List[float] = []
     for skew_ps in skews:
         s_ratio, s_util, s_drops = _run_point(
-            skew_ps, HostBufferMode.HOST_BUFFERED, duration,
-            seed=seed, scheduler=scheduler)
+            skew_ps, "host", duration, seed=seed, scheduler=scheduler)
         f_ratio, f_util, f_drops = _run_point(
-            skew_ps, HostBufferMode.SWITCH_BUFFERED, duration,
-            seed=seed, scheduler=scheduler)
+            skew_ps, "switch", duration, seed=seed, scheduler=scheduler)
         slow_ratio.append(s_ratio)
         fast_ratio.append(f_ratio)
         rows.append([
@@ -135,4 +128,4 @@ def run_e8(quick: bool = False) -> ExperimentReport:
     return run(ExperimentConfig(quick=quick))
 
 
-__all__ = ["run", "run_e8"]
+__all__ = ["run", "run_e8", "KNOWN_OVERRIDES"]

@@ -38,6 +38,7 @@ def report_to_payload(report: ExperimentReport) -> dict:
         "tables": list(report.tables),
         "data": jsonable(report.data),
         "expectations": list(report.expectations),
+        "warnings": list(report.warnings),
     }
 
 
@@ -49,6 +50,7 @@ def report_from_payload(payload: dict) -> ExperimentReport:
         tables=list(payload["tables"]),
         data=dict(payload["data"]),
         expectations=list(payload["expectations"]),
+        warnings=list(payload.get("warnings", [])),
     )
 
 
@@ -67,7 +69,9 @@ class ResultCache:
         self.stats = CacheStats()
 
     def path_for(self, spec: RunSpec) -> Path:
-        return self.root / spec.experiment_id / f"{spec.key()}.json"
+        # Scenario ids contain ':'; keep directory names portable.
+        return (self.root / spec.experiment_id.replace(":", "-")
+                / f"{spec.key()}.json")
 
     def load(self, spec: RunSpec) -> Optional[ExperimentReport]:
         """The cached report, or ``None`` on miss/corruption."""

@@ -63,13 +63,23 @@ class RunOutcome:
 def _run_one(spec: RunSpec) -> Tuple[ExperimentReport, float]:
     """Execute a single spec in a fresh deterministic context.
 
-    Top-level so it pickles under the ``spawn`` start method.
+    Dispatches on the job family: ``scenario:<name>`` specs resolve
+    against the scenario registry, everything else against the
+    experiment entry points.  Top-level so it pickles under the
+    ``spawn`` start method.
     """
-    from repro.experiments import ENTRY_POINTS
-
     reset_packet_ids()
     start = time.perf_counter()
-    report = ENTRY_POINTS[spec.experiment_id](spec.to_config())
+    scenario_name = spec.scenario_name
+    if scenario_name is not None:
+        from repro.scenario import get_scenario, run_scenario
+
+        report = run_scenario(get_scenario(scenario_name),
+                              spec.to_config())
+    else:
+        from repro.experiments import ENTRY_POINTS
+
+        report = ENTRY_POINTS[spec.experiment_id](spec.to_config())
     return report, time.perf_counter() - start
 
 

@@ -6,6 +6,12 @@ seed*.  Because the experiment entry points are pure (see
 ``repro.experiments.base``), a spec fully determines its report — which
 is what makes the spec's content hash a valid cache key and makes
 parallel execution bit-identical to sequential.
+
+Two job families share the model: the paper experiments (``e1``..``e8``)
+and declarative scenarios (``scenario:<name>``, resolved against the
+``repro.scenario`` registry).  Scenario jobs are specified by exactly
+the same axes — overrides become dotted-path scenario edits — so
+sweeps, caching and sharding work unchanged over either family.
 """
 
 from __future__ import annotations
@@ -20,7 +26,11 @@ from repro.sim.errors import ConfigurationError
 
 #: Bump when the spec semantics change in a way that invalidates old
 #: cached reports (the version participates in the content hash).
-SPEC_FORMAT = 1
+#: 2: scenario job family added; reports grew a ``warnings`` section.
+SPEC_FORMAT = 2
+
+#: Prefix marking a spec as a scenario job rather than an experiment.
+SCENARIO_PREFIX = "scenario:"
 
 
 def jsonable(value: Any) -> Any:
@@ -85,14 +95,28 @@ class RunSpec:
     overrides: Mapping[str, Any] = field(default_factory=dict)
     measure_wallclock: bool = False
 
+    @property
+    def scenario_name(self) -> Optional[str]:
+        """The scenario name for ``scenario:<name>`` jobs, else None."""
+        if self.experiment_id.startswith(SCENARIO_PREFIX):
+            return self.experiment_id[len(SCENARIO_PREFIX):]
+        return None
+
     def validate(self) -> "RunSpec":
-        """Raise :class:`ConfigurationError` on an unknown experiment."""
+        """Raise :class:`ConfigurationError` on an unknown job id."""
+        scenario_name = self.scenario_name
+        if scenario_name is not None:
+            from repro.scenario import get_scenario
+
+            get_scenario(scenario_name)  # raises with the catalogue
+            return self
         from repro.experiments import ENTRY_POINTS
 
         if self.experiment_id not in ENTRY_POINTS:
             raise ConfigurationError(
                 f"unknown experiment {self.experiment_id!r}; "
-                f"available: {sorted(ENTRY_POINTS)}")
+                f"available: {sorted(ENTRY_POINTS)} or "
+                f"'{SCENARIO_PREFIX}<name>'")
         return self
 
     def to_config(self) -> ExperimentConfig:
@@ -118,10 +142,15 @@ class RunSpec:
         }
 
     def key(self) -> str:
-        """Content address: ``<experiment_id>-<sha256 prefix>``."""
+        """Content address: ``<experiment_id>-<sha256 prefix>``.
+
+        Scenario ids contain a ``:``; keys are used as file names, so
+        the separator is flattened to ``-``.
+        """
         digest = hashlib.sha256(
             canonical_json(self.canonical()).encode("utf-8")).hexdigest()
-        return f"{self.experiment_id}-{digest[:24]}"
+        safe_id = self.experiment_id.replace(":", "-")
+        return f"{safe_id}-{digest[:24]}"
 
     @classmethod
     def from_canonical(cls, payload: Mapping[str, Any]) -> "RunSpec":
@@ -149,4 +178,5 @@ class RunSpec:
         return " ".join(parts)
 
 
-__all__ = ["RunSpec", "SPEC_FORMAT", "jsonable", "canonical_json"]
+__all__ = ["RunSpec", "SPEC_FORMAT", "SCENARIO_PREFIX", "jsonable",
+           "canonical_json"]

@@ -1,0 +1,73 @@
+"""Declarative scenarios: one composable spec for topology × traffic ×
+scheduler × hardware × faults.
+
+The paper's framework hosts many scheduler/hardware/workload
+combinations in one switching-logic slot; this package makes the
+*combination itself* a first-class, serializable value:
+
+    from repro.scenario import Scenario, TrafficPhase, get_scenario
+
+    # A library workload, derived and run:
+    result = get_scenario("incast").derive(n_ports=16).build().run()
+
+    # Or from scratch — frozen, hashable, JSON round-trippable:
+    scenario = Scenario(
+        name="my-burst",
+        scheduler="solstice",
+        traffic=(TrafficPhase(pattern="hotspot", source="onoff",
+                              load=0.5,
+                              pattern_kwargs={"skew": 0.9}),),
+    )
+    print(scenario.key())          # content hash — cache identity
+    print(scenario.to_json())      # canonical serialized form
+
+Scenarios plug into ``repro.runner`` as ``scenario:<name>`` job specs
+(cached, sharded and parallelized like experiments) and into the CLI as
+``repro scenario list|show|run`` — new workloads need no new code.
+"""
+
+# Import order matters: the spec names must be bound on this package
+# before ``report`` is imported — report pulls in ``repro.experiments``,
+# whose modules import ``Scenario``/``TrafficPhase`` back from here.
+from repro.scenario.spec import (  # isort: skip
+    FAULT_KINDS,
+    PATTERNS,
+    SCENARIO_FORMAT,
+    SOURCES,
+    FaultEvent,
+    Scenario,
+    TrafficPhase,
+)
+from repro.scenario.build import (  # isort: skip
+    AttachedSource,
+    ScenarioRun,
+    build,
+)
+from repro.scenario.library import (  # isort: skip
+    available_scenarios,
+    get_scenario,
+    register_scenario,
+    scenario_summaries,
+    unregister_scenario,
+)
+from repro.scenario.report import configure, run_scenario  # isort: skip
+
+__all__ = [
+    "Scenario",
+    "TrafficPhase",
+    "FaultEvent",
+    "ScenarioRun",
+    "AttachedSource",
+    "build",
+    "run_scenario",
+    "configure",
+    "register_scenario",
+    "unregister_scenario",
+    "get_scenario",
+    "available_scenarios",
+    "scenario_summaries",
+    "SCENARIO_FORMAT",
+    "PATTERNS",
+    "SOURCES",
+    "FAULT_KINDS",
+]

@@ -1,0 +1,226 @@
+"""Scenario registry and the library of named workloads.
+
+The registry is the workload twin of the scheduler registry: register a
+:class:`~repro.scenario.spec.Scenario` under its name and every
+experiment, sweep and CLI invocation can select it with a string —
+``repro scenario run incast --quick`` needs no Python.
+
+The library covers the workload families the paper's motivation and the
+related traffic studies name: benign uniform load, circuit-friendly
+permutations, skewed hotspots and Zipf popularity (scale-free
+bottlenecks), synchronized incast, the all-to-all shuffle of
+partition/aggregate jobs, diurnal load swings, and a fault storm for
+transient analysis.  Each entry is a plain frozen value — derive from
+it (``get_scenario("incast").derive(n_ports=16)``) rather than editing
+it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.scenario.spec import FaultEvent, Scenario, TrafficPhase
+from repro.sim.errors import ConfigurationError
+from repro.sim.time import GIGABIT, MICROSECONDS, MILLISECONDS
+
+_REGISTRY: Dict[str, Scenario] = {}
+
+
+def register_scenario(scenario: Scenario,
+                      replace: bool = False) -> Scenario:
+    """Register ``scenario`` under its name.
+
+    Re-registering a name raises unless ``replace=True`` — silent
+    replacement hides typos in sweep definitions.
+    """
+    if scenario.name in _REGISTRY and not replace:
+        raise ConfigurationError(
+            f"scenario {scenario.name!r} is already registered")
+    _REGISTRY[scenario.name] = scenario
+    return scenario
+
+
+def unregister_scenario(name: str) -> bool:
+    """Remove a registration; returns whether ``name`` was registered."""
+    return _REGISTRY.pop(name, None) is not None
+
+
+def get_scenario(name: str) -> Scenario:
+    """The scenario registered under ``name``."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown scenario {name!r}; available: "
+            f"{sorted(_REGISTRY)}") from None
+
+
+def available_scenarios() -> List[str]:
+    """Sorted names of every registered scenario."""
+    return sorted(_REGISTRY)
+
+
+def scenario_summaries() -> Dict[str, str]:
+    """``name -> one-line description`` for every registered scenario."""
+    return {name: _REGISTRY[name].description
+            for name in sorted(_REGISTRY)}
+
+
+def _register_library() -> None:
+    # A shared operating point: Mordia-class optics, FPGA scheduler
+    # timing, a thin electrical residual path — the hybrid regime where
+    # workload shape actually decides who carries the bytes.
+    base = dict(
+        n_ports=8,
+        switching_time_ps=20 * MICROSECONDS,
+        timing_preset="netfpga_sume",
+        epoch_ps=200 * MICROSECONDS,
+        default_slot_ps=160 * MICROSECONDS,
+        eps_rate_bps=2.5 * GIGABIT,
+        duration_ps=12 * MILLISECONDS,
+        quick_duration_ps=3 * MILLISECONDS,
+        seed=42,
+    )
+
+    register_scenario(Scenario(
+        name="uniform",
+        description="benign uniform Poisson load — the EPS-friendly "
+                    "baseline every skewed workload is judged against",
+        scheduler="islip",
+        traffic=(TrafficPhase(pattern="uniform", source="poisson",
+                              load=0.5),),
+        **base))
+
+    register_scenario(Scenario(
+        name="hotspot",
+        description="bursty ON/OFF elephants, 80% of each host's bytes "
+                    "on one hot partner — circuits capture the bursts",
+        scheduler="hotspot",
+        scheduler_kwargs={"threshold_bytes": 20_000.0},
+        traffic=(TrafficPhase(
+            pattern="hotspot", source="onoff", load=0.45,
+            pattern_kwargs={"skew": 0.8},
+            source_kwargs={"mean_on_ps": 200 * MICROSECONDS,
+                           "mean_off_ps": 250 * MICROSECONDS}),),
+        **base))
+
+    register_scenario(Scenario(
+        name="permutation",
+        description="every host streams to one fixed partner — the "
+                    "pattern a circuit switch serves with one matching",
+        scheduler="hotspot",
+        traffic=(TrafficPhase(pattern="permutation", source="poisson",
+                              load=0.7),),
+        **base))
+
+    register_scenario(Scenario(
+        name="incast",
+        description="7-to-1 fan-in onto host 0 — synchronized "
+                    "partition/aggregate responses crushing one port",
+        scheduler="hotspot",
+        traffic=(TrafficPhase(
+            pattern="incast", source="poisson", load=0.25,
+            pattern_kwargs={"target": 0}),),
+        **base))
+
+    register_scenario(Scenario(
+        name="all-to-all-shuffle",
+        description="deterministic round-robin shuffle at high load — "
+                    "the map/reduce exchange phase, dense demand",
+        scheduler="solstice",
+        scheduler_kwargs={"reconfig_ps": 20 * MICROSECONDS,
+                          "min_slice_factor": 2.0,
+                          "max_matchings": 4},
+        traffic=(TrafficPhase(pattern="round-robin", source="poisson",
+                              load=0.65),),
+        **base))
+
+    register_scenario(Scenario(
+        name="skewed-zipf",
+        description="Zipf(1.3) destination popularity — the scale-free "
+                    "skew web/DC object traffic exhibits",
+        scheduler="hotspot",
+        traffic=(TrafficPhase(
+            pattern="zipf", source="poisson", load=0.5,
+            pattern_kwargs={"exponent": 1.3}),),
+        **base))
+
+    register_scenario(Scenario(
+        name="diurnal",
+        description="three-phase load swing (0.15 -> 0.65 -> 0.35 of "
+                    "line rate) — web-conferencing-style daily cycle",
+        scheduler="islip",
+        traffic=(
+            TrafficPhase(pattern="uniform", source="poisson",
+                         load=0.15, streams="night",
+                         until_ps=4 * MILLISECONDS),
+            TrafficPhase(pattern="hotspot", source="onoff", load=0.65,
+                         streams="day",
+                         start_ps=4 * MILLISECONDS,
+                         until_ps=8 * MILLISECONDS,
+                         pattern_kwargs={"skew": 0.6},
+                         source_kwargs={
+                             "mean_on_ps": 150 * MICROSECONDS,
+                             "mean_off_ps": 100 * MICROSECONDS}),
+            TrafficPhase(pattern="uniform", source="poisson",
+                         load=0.35, streams="evening",
+                         start_ps=8 * MILLISECONDS),
+        ),
+        **base))
+
+    register_scenario(Scenario(
+        name="failure-storm",
+        description="healthy uniform load hit by a link flap, a "
+                    "scheduler stall and an OCS config corruption",
+        scheduler="hotspot",
+        traffic=(TrafficPhase(pattern="uniform", source="poisson",
+                              load=0.35),),
+        faults=(
+            FaultEvent(kind="link-flap", at_ps=2 * MILLISECONDS,
+                       duration_ps=1 * MILLISECONDS, target=0,
+                       direction="up"),
+            FaultEvent(kind="sched-stall", at_ps=5 * MILLISECONDS,
+                       duration_ps=1500 * MICROSECONDS),
+            FaultEvent(kind="ocs-corrupt",
+                       at_ps=8 * MILLISECONDS + 40 * MICROSECONDS),
+            FaultEvent(kind="link-flap", at_ps=9 * MILLISECONDS,
+                       duration_ps=500 * MICROSECONDS, target=3,
+                       direction="down"),
+        ),
+        **base))
+
+    register_scenario(Scenario(
+        name="datacenter-mix",
+        description="elephants on circuits, web-search mice on the "
+                    "EPS, a VOIP stream riding along — the paper's "
+                    "introductory workload",
+        scheduler="hotspot",
+        scheduler_kwargs={"threshold_bytes": 50_000.0},
+        traffic=(
+            TrafficPhase(pattern="fixed", source="cbr", load=1.0,
+                         hosts=(0,), pattern_kwargs={"dst": 4},
+                         source_kwargs={"packet_bytes": 200,
+                                        "period_ps": 200 * MICROSECONDS}),
+            TrafficPhase(pattern="hotspot", source="onoff", load=0.21,
+                         streams="elephant",
+                         pattern_kwargs={"skew": 0.8},
+                         source_kwargs={
+                             "burst_fraction": 0.5,
+                             "mean_on_ps": 300 * MICROSECONDS,
+                             "mean_off_ps": 400 * MICROSECONDS}),
+            TrafficPhase(pattern="uniform", source="flows", load=0.05,
+                         streams="mice",
+                         source_kwargs={"mix": "websearch"}),
+        ),
+        **{**base, "duration_ps": 10 * MILLISECONDS, "seed": 21}))
+
+
+_register_library()
+
+__all__ = [
+    "register_scenario",
+    "unregister_scenario",
+    "get_scenario",
+    "available_scenarios",
+    "scenario_summaries",
+]

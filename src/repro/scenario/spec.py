@@ -1,0 +1,490 @@
+"""The declarative scenario spec: five axes, one frozen value.
+
+A :class:`Scenario` composes everything one run of the hybrid switch
+depends on — **topology** (ports, rates, propagation), **traffic**
+(:class:`TrafficPhase` list: pattern × source model × load × window),
+**scheduler** (registry name + params + estimator), **hardware**
+(timing preset, switching time, epoch, EPS provisioning, buffer mode)
+and **faults** (:class:`FaultEvent` schedule) — into a single frozen,
+serializable value.
+
+Like :class:`~repro.runner.spec.RunSpec`, a scenario has a canonical
+dict/JSON form and a content hash (:meth:`Scenario.key`), so scenarios
+cache, shard and sweep exactly like experiment runs.  Unlike a
+``FrameworkConfig``, a scenario also *carries its workload*: calling
+:func:`repro.scenario.build.build` materializes the framework, attaches
+every traffic source and arms every fault injector, deterministically.
+
+Derivation is the composition story: ``scenario.derive(seed=7)`` or
+``scenario.with_overrides({"traffic.0.load": 0.8})`` produce new frozen
+values, which is how experiments express their sweeps and how the CLI's
+``--set`` works.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field, fields, replace
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from repro.net.host import HostBufferMode
+from repro.sim.errors import ConfigurationError
+from repro.sim.time import GIGABIT, MICROSECONDS, MILLISECONDS, NANOSECONDS
+
+#: Bump when scenario semantics change incompatibly (participates in the
+#: content hash, so every key changes and stale caches read as misses).
+SCENARIO_FORMAT = 1
+
+#: Destination patterns the builder knows how to materialize.
+PATTERNS = ("uniform", "permutation", "hotspot", "fixed", "incast",
+            "round-robin", "zipf")
+
+#: Source models the builder knows how to materialize.
+SOURCES = ("poisson", "onoff", "cbr", "flows")
+
+#: Fault kinds the builder knows how to arm.
+FAULT_KINDS = ("link-flap", "sched-stall", "ocs-corrupt")
+
+_BUFFER_MODES = {"switch": HostBufferMode.SWITCH_BUFFERED,
+                 "host": HostBufferMode.HOST_BUFFERED}
+
+
+@dataclass(frozen=True)
+class TrafficPhase:
+    """One homogeneous slice of the workload: who sends what, when.
+
+    Attributes
+    ----------
+    pattern:
+        Destination-selection pattern (one of :data:`PATTERNS`).
+    source:
+        Packet/flow source model (one of :data:`SOURCES`).
+    load:
+        Offered load as a fraction of the port rate, per sending host.
+        ``cbr`` ignores it (the period sets the rate); ``onoff`` uses it
+        unless ``source_kwargs["burst_fraction"]`` pins the burst rate.
+    start_ps / until_ps:
+        Active window (``until_ps=None`` runs to the end).  Windows give
+        time-varying workloads: diurnal load is three phases.
+    hosts:
+        Sending hosts (``None`` = every host; the ``incast`` pattern
+        additionally excludes its target).
+    streams:
+        RNG stream-name prefix.  Empty keeps the legacy per-host names
+        (``src{i}``/``dst{i}``) so single-phase scenarios are
+        byte-identical to the hand-wired experiments they replaced;
+        concurrent phases should pick distinct prefixes.
+    pattern_kwargs / source_kwargs:
+        Pattern/source parameters (``skew``, ``mean_on_ps`` ...).
+    """
+
+    pattern: str = "uniform"
+    source: str = "poisson"
+    load: float = 0.3
+    start_ps: int = 0
+    until_ps: Optional[int] = None
+    hosts: Optional[Tuple[int, ...]] = None
+    streams: str = ""
+    pattern_kwargs: Mapping[str, Any] = field(default_factory=dict)
+    source_kwargs: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.pattern not in PATTERNS:
+            raise ConfigurationError(
+                f"unknown traffic pattern {self.pattern!r}; "
+                f"expected one of {PATTERNS}")
+        if self.source not in SOURCES:
+            raise ConfigurationError(
+                f"unknown traffic source {self.source!r}; "
+                f"expected one of {SOURCES}")
+        if self.source != "cbr" and self.load <= 0:
+            raise ConfigurationError(
+                f"traffic load must be positive, got {self.load}")
+        if self.start_ps < 0:
+            raise ConfigurationError("phase start_ps must be >= 0")
+        if self.until_ps is not None and self.until_ps <= self.start_ps:
+            raise ConfigurationError(
+                f"phase window is empty: start={self.start_ps}, "
+                f"until={self.until_ps}")
+        if self.source == "cbr" and self.pattern != "fixed":
+            raise ConfigurationError(
+                "cbr sources need pattern='fixed' (one destination)")
+        if self.pattern == "fixed" and "dst" not in self.pattern_kwargs:
+            raise ConfigurationError(
+                "pattern 'fixed' needs pattern_kwargs['dst']")
+        if self.hosts is not None:
+            object.__setattr__(self, "hosts", tuple(self.hosts))
+
+    def canonical(self) -> Dict[str, Any]:
+        return {
+            "pattern": self.pattern,
+            "source": self.source,
+            "load": self.load,
+            "start_ps": self.start_ps,
+            "until_ps": self.until_ps,
+            "hosts": (None if self.hosts is None else list(self.hosts)),
+            "streams": self.streams,
+            "pattern_kwargs": dict(self.pattern_kwargs),
+            "source_kwargs": dict(self.source_kwargs),
+        }
+
+    @classmethod
+    def from_canonical(cls, payload: Mapping[str, Any]) -> "TrafficPhase":
+        hosts = payload.get("hosts")
+        return cls(
+            pattern=payload.get("pattern", "uniform"),
+            source=payload.get("source", "poisson"),
+            load=payload.get("load", 0.3),
+            start_ps=payload.get("start_ps", 0),
+            until_ps=payload.get("until_ps"),
+            hosts=None if hosts is None else tuple(hosts),
+            streams=payload.get("streams", ""),
+            pattern_kwargs=dict(payload.get("pattern_kwargs", {})),
+            source_kwargs=dict(payload.get("source_kwargs", {})),
+        )
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled transient (see :mod:`repro.faults`).
+
+    ``target`` and ``direction`` select the link for ``link-flap``;
+    ``duration_ps`` is ignored by ``ocs-corrupt`` (a point event).
+    """
+
+    kind: str
+    at_ps: int
+    duration_ps: int = 0
+    target: int = 0
+    direction: str = "up"
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ConfigurationError(
+                f"unknown fault kind {self.kind!r}; "
+                f"expected one of {FAULT_KINDS}")
+        if self.at_ps < 0:
+            raise ConfigurationError("fault at_ps must be >= 0")
+        if self.kind in ("link-flap", "sched-stall") \
+                and self.duration_ps <= 0:
+            raise ConfigurationError(
+                f"{self.kind} needs a positive duration_ps")
+        if self.direction not in ("up", "down"):
+            raise ConfigurationError(
+                f"fault direction must be 'up' or 'down', "
+                f"got {self.direction!r}")
+        if self.target < 0:
+            raise ConfigurationError("fault target must be >= 0")
+
+    def canonical(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "at_ps": self.at_ps,
+            "duration_ps": self.duration_ps,
+            "target": self.target,
+            "direction": self.direction,
+        }
+
+    @classmethod
+    def from_canonical(cls, payload: Mapping[str, Any]) -> "FaultEvent":
+        return cls(
+            kind=payload["kind"],
+            at_ps=payload["at_ps"],
+            duration_ps=payload.get("duration_ps", 0),
+            target=payload.get("target", 0),
+            direction=payload.get("direction", "up"),
+        )
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One fully specified run: topology × traffic × scheduler ×
+    hardware × faults.
+
+    The non-traffic/fault fields mirror
+    :class:`~repro.core.config.FrameworkConfig` (same names, same
+    units) with two additions: ``buffer_mode`` is a string (``"switch"``
+    / ``"host"``) so the spec stays JSON-pure, and ``quick_duration_ps``
+    names the reduced duration ``quicken()`` rescales the run to.
+    """
+
+    name: str
+    description: str = ""
+    # -- topology -----------------------------------------------------------
+    n_ports: int = 8
+    port_rate_bps: float = 10 * GIGABIT
+    propagation_ps: int = 50 * NANOSECONDS
+    # -- hardware -----------------------------------------------------------
+    switching_time_ps: int = 20 * MICROSECONDS
+    timing_preset: str = "netfpga_sume"
+    buffer_mode: str = "switch"
+    epoch_ps: int = 0
+    default_slot_ps: int = 10 * MICROSECONDS
+    eps_rate_bps: float = 10 * GIGABIT
+    eps_queue_bytes: Optional[int] = None
+    voq_capacity_bytes: Optional[int] = None
+    host_clock_skew_ps: int = 0
+    control_latency_ps: Optional[int] = None
+    # -- scheduler ----------------------------------------------------------
+    scheduler: str = "hotspot"
+    scheduler_kwargs: Mapping[str, Any] = field(default_factory=dict)
+    estimator: str = "instant"
+    estimator_kwargs: Mapping[str, Any] = field(default_factory=dict)
+    optimistic_grant: bool = False
+    # -- traffic ------------------------------------------------------------
+    traffic: Tuple[TrafficPhase, ...] = (TrafficPhase(),)
+    # -- faults -------------------------------------------------------------
+    faults: Tuple[FaultEvent, ...] = ()
+    # -- run ----------------------------------------------------------------
+    duration_ps: int = 10 * MILLISECONDS
+    quick_duration_ps: Optional[int] = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("a scenario needs a name")
+        if self.buffer_mode not in _BUFFER_MODES:
+            raise ConfigurationError(
+                f"buffer_mode must be 'switch' or 'host', "
+                f"got {self.buffer_mode!r}")
+        if self.duration_ps <= 0:
+            raise ConfigurationError("duration_ps must be positive")
+        if (self.quick_duration_ps is not None
+                and self.quick_duration_ps <= 0):
+            raise ConfigurationError("quick_duration_ps must be positive")
+        if not self.traffic:
+            raise ConfigurationError(
+                "a scenario needs at least one traffic phase")
+        object.__setattr__(self, "traffic", tuple(
+            p if isinstance(p, TrafficPhase)
+            else TrafficPhase.from_canonical(p) for p in self.traffic))
+        object.__setattr__(self, "faults", tuple(
+            f if isinstance(f, FaultEvent)
+            else FaultEvent.from_canonical(f) for f in self.faults))
+        # Delegate topology/hardware range checks to FrameworkConfig so
+        # the two specs can never drift apart on what is valid.
+        self.framework_config()
+
+    # -- materialization --------------------------------------------------------
+
+    def framework_config(self):
+        """The :class:`~repro.core.config.FrameworkConfig` this denotes."""
+        from repro.core.config import FrameworkConfig
+
+        return FrameworkConfig(
+            n_ports=self.n_ports,
+            port_rate_bps=self.port_rate_bps,
+            switching_time_ps=self.switching_time_ps,
+            scheduler=self.scheduler,
+            scheduler_kwargs=dict(self.scheduler_kwargs),
+            timing_preset=self.timing_preset,
+            estimator=self.estimator,
+            estimator_kwargs=dict(self.estimator_kwargs),
+            buffer_mode=_BUFFER_MODES[self.buffer_mode],
+            epoch_ps=self.epoch_ps,
+            default_slot_ps=self.default_slot_ps,
+            eps_rate_bps=self.eps_rate_bps,
+            eps_queue_bytes=self.eps_queue_bytes,
+            voq_capacity_bytes=self.voq_capacity_bytes,
+            host_clock_skew_ps=self.host_clock_skew_ps,
+            propagation_ps=self.propagation_ps,
+            control_latency_ps=self.control_latency_ps,
+            seed=self.seed,
+        )
+
+    def build(self):
+        """Materialize: framework + sources + injectors, ready to run.
+
+        Convenience for :func:`repro.scenario.build.build`.
+        """
+        from repro.scenario.build import build
+
+        return build(self)
+
+    # -- derivation -------------------------------------------------------------
+
+    def derive(self, **changes: Any) -> "Scenario":
+        """A new scenario with ``changes`` applied (field-level).
+
+        ``traffic``/``faults`` accept sequences of specs or canonical
+        dicts; everything else is ``dataclasses.replace`` semantics.
+        """
+        if "traffic" in changes:
+            changes["traffic"] = tuple(changes["traffic"])
+        if "faults" in changes:
+            changes["faults"] = tuple(changes["faults"])
+        return replace(self, **changes)
+
+    def with_overrides(self,
+                       overrides: Mapping[str, Any]) -> "Scenario":
+        """Apply dotted-path overrides to the canonical form.
+
+        ``{"n_ports": 16}`` sets a field; ``"traffic.0.load"`` reaches
+        into the first phase; ``"traffic.*.load"`` fans out over every
+        phase; ``"scheduler_kwargs.threshold_bytes"`` may introduce new
+        keys (kwargs dicts are open), while misspelling a field name
+        raises instead of being silently ignored.
+        """
+        if not overrides:
+            return self
+        payload = self.canonical()
+        for path in sorted(overrides):
+            _assign(payload, path, path.split("."), overrides[path])
+        return Scenario.from_canonical(payload)
+
+    def quicken(self) -> "Scenario":
+        """The reduced (CI/smoke) rendition of this scenario.
+
+        Shrinks the run to ``quick_duration_ps`` (default: a quarter of
+        the full duration) and rescales every phase window and fault
+        instant by the same factor, so the scenario's *shape* — phase
+        ordering, faults landing mid-run — survives the shrink.
+        """
+        quick_ps = self.quick_duration_ps or max(
+            1, self.duration_ps // 4)
+        if quick_ps >= self.duration_ps:
+            return self
+        factor = quick_ps / self.duration_ps
+
+        def scale(ps: Optional[int]) -> Optional[int]:
+            return None if ps is None else int(round(ps * factor))
+
+        traffic = tuple(
+            replace(p, start_ps=scale(p.start_ps) or 0,
+                    until_ps=scale(p.until_ps))
+            for p in self.traffic)
+        faults = tuple(
+            replace(f, at_ps=scale(f.at_ps) or 0,
+                    duration_ps=(max(1, scale(f.duration_ps) or 0)
+                                 if f.duration_ps else 0))
+            for f in self.faults)
+        return replace(self, duration_ps=quick_ps, traffic=traffic,
+                       faults=faults)
+
+    # -- serialization -------------------------------------------------------
+
+    def canonical(self) -> Dict[str, Any]:
+        """The scenario as plain JSON types, plus the format version."""
+        payload: Dict[str, Any] = {"format": SCENARIO_FORMAT}
+        for spec_field in fields(self):
+            value = getattr(self, spec_field.name)
+            if spec_field.name == "traffic":
+                value = [p.canonical() for p in value]
+            elif spec_field.name == "faults":
+                value = [f.canonical() for f in value]
+            elif spec_field.name in ("scheduler_kwargs",
+                                     "estimator_kwargs"):
+                value = dict(value)
+            payload[spec_field.name] = value
+        return payload
+
+    @classmethod
+    def from_canonical(cls, payload: Mapping[str, Any]) -> "Scenario":
+        """Inverse of :meth:`canonical` (also accepts hand-written
+        dicts that omit defaulted fields)."""
+        fmt = payload.get("format", SCENARIO_FORMAT)
+        if fmt != SCENARIO_FORMAT:
+            raise ConfigurationError(
+                f"scenario format {fmt} not supported "
+                f"(this build reads {SCENARIO_FORMAT})")
+        known = {f.name for f in fields(cls)}
+        unknown = set(payload) - known - {"format"}
+        if unknown:
+            raise ConfigurationError(
+                f"unknown scenario fields: {sorted(unknown)}")
+        kwargs = {k: v for k, v in payload.items() if k in known}
+        if "traffic" in kwargs:
+            kwargs["traffic"] = tuple(
+                TrafficPhase.from_canonical(p) if isinstance(p, Mapping)
+                else p for p in kwargs["traffic"])
+        if "faults" in kwargs:
+            kwargs["faults"] = tuple(
+                FaultEvent.from_canonical(f) if isinstance(f, Mapping)
+                else f for f in kwargs["faults"])
+        return cls(**kwargs)
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """Canonical JSON text (sorted keys — hash-stable)."""
+        from repro.runner.spec import jsonable
+
+        return json.dumps(jsonable(self.canonical()), sort_keys=True,
+                          indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Scenario":
+        return cls.from_canonical(json.loads(text))
+
+    def key(self) -> str:
+        """Content address: ``<name>-<sha256 prefix>``.
+
+        Stable across dict key ordering and construction routes —
+        only the canonical content matters.
+        """
+        from repro.runner.spec import canonical_json
+
+        digest = hashlib.sha256(
+            canonical_json(self.canonical()).encode("utf-8")).hexdigest()
+        return f"{self.name}-{digest[:24]}"
+
+
+def _assign(container: Any, full_path: str, segments: list,
+            value: Any, open_dict: bool = False) -> None:
+    """Set ``value`` at a dotted path inside canonical payload data.
+
+    Dict keys must already exist unless the parent is an open kwargs
+    dict; list indices must be in range, or ``*`` to fan out.
+    """
+    head, rest = segments[0], segments[1:]
+    if isinstance(container, list):
+        if head == "*":
+            for item in container:
+                if rest:
+                    _assign(item, full_path, rest, value, open_dict)
+                else:
+                    raise ConfigurationError(
+                        f"override path {full_path!r} cannot end on '*'")
+            return
+        try:
+            index = int(head)
+        except ValueError:
+            raise ConfigurationError(
+                f"override path {full_path!r}: expected a list index, "
+                f"got {head!r}") from None
+        if not 0 <= index < len(container):
+            raise ConfigurationError(
+                f"override path {full_path!r}: index {index} out of "
+                f"range (len {len(container)})")
+        if rest:
+            _assign(container[index], full_path, rest, value, open_dict)
+        else:
+            container[index] = value
+        return
+    if not isinstance(container, dict):
+        raise ConfigurationError(
+            f"override path {full_path!r} descends into a scalar")
+    if head not in container and (not open_dict or rest):
+        # Open kwargs dicts accept *new leaf keys*, but descending
+        # through a key that does not exist is always a path error.
+        raise ConfigurationError(
+            f"override path {full_path!r}: unknown key {head!r}; "
+            f"known: {sorted(k for k in container if k != 'format')}")
+    if rest:
+        _assign(container[head], full_path, rest, value,
+                open_dict=head.endswith("_kwargs"))
+    else:
+        if head == "format":
+            raise ConfigurationError(
+                "the scenario format version cannot be overridden")
+        container[head] = value
+
+
+__all__ = [
+    "Scenario",
+    "TrafficPhase",
+    "FaultEvent",
+    "SCENARIO_FORMAT",
+    "PATTERNS",
+    "SOURCES",
+    "FAULT_KINDS",
+]

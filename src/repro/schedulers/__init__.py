@@ -43,6 +43,7 @@ from repro.schedulers.registry import (
     available_schedulers,
     create_scheduler,
     register_scheduler,
+    scheduler_summaries,
 )
 from repro.schedulers.solstice import SolsticeScheduler
 from repro.schedulers.wfa import WfaScheduler
@@ -69,6 +70,7 @@ __all__ = [
     "SketchEstimator",
     "CountMinSketch",
     "available_schedulers",
+    "scheduler_summaries",
     "create_scheduler",
     "register_scheduler",
 ]

@@ -22,15 +22,19 @@ from repro.sim.errors import ConfigurationError
 SchedulerFactory = Callable[..., Scheduler]
 
 _REGISTRY: Dict[str, SchedulerFactory] = {}
+_DOCS: Dict[str, str] = {}
 
 
 def register_scheduler(name: str,
-                       factory: SchedulerFactory = None):
+                       factory: SchedulerFactory = None, *,
+                       doc: str = ""):
     """Register a scheduler factory under ``name``.
 
     Usable as a decorator (``@register_scheduler("x")``) or a plain
     call (``register_scheduler("x", factory)``).  Re-registering a name
     raises — silent replacement hides typos in experiment configs.
+    ``doc`` is the one-line description ``repro list`` prints; when
+    omitted it falls back to the factory's docstring first line.
     """
 
     def _register(func: SchedulerFactory) -> SchedulerFactory:
@@ -38,6 +42,8 @@ def register_scheduler(name: str,
             raise ConfigurationError(
                 f"scheduler {name!r} is already registered")
         _REGISTRY[name] = func
+        line = doc or (func.__doc__ or "").strip().split("\n")[0]
+        _DOCS[name] = line.rstrip(".")
         return func
 
     if factory is not None:
@@ -52,6 +58,7 @@ def unregister_scheduler(name: str) -> bool:
     can assert it removed what it meant to instead of silently
     misspelling a name into a no-op.
     """
+    _DOCS.pop(name, None)
     return _REGISTRY.pop(name, None) is not None
 
 
@@ -71,6 +78,16 @@ def available_schedulers() -> List[str]:
     return sorted(_REGISTRY)
 
 
+def scheduler_summaries() -> Dict[str, str]:
+    """``name -> one-line description`` for every registered scheduler."""
+    return {name: _DOCS.get(name, "") for name in sorted(_REGISTRY)}
+
+
+def _class_doc(cls) -> str:
+    """First docstring line of a scheduler class, for ``repro list``."""
+    return (cls.__doc__ or "").strip().split("\n")[0].rstrip(".")
+
+
 def _register_builtins() -> None:
     """Register the library's own algorithms under their canonical names."""
     from repro.schedulers.bvn import BvnScheduler
@@ -82,29 +99,39 @@ def _register_builtins() -> None:
     from repro.schedulers.solstice import SolsticeScheduler
 
     register_scheduler("tdma", lambda n_ports, **kw:
-                       RoundRobinTdma(n_ports, **kw))
+                       RoundRobinTdma(n_ports, **kw),
+                       doc=_class_doc(RoundRobinTdma))
     register_scheduler("pim", lambda n_ports, **kw:
-                       PimScheduler(n_ports, **kw))
+                       PimScheduler(n_ports, **kw),
+                       doc=_class_doc(PimScheduler))
     register_scheduler("islip", lambda n_ports, **kw:
-                       IslipScheduler(n_ports, **kw))
+                       IslipScheduler(n_ports, **kw),
+                       doc=_class_doc(IslipScheduler))
     register_scheduler("mwm", lambda n_ports, **kw:
-                       MwmScheduler(n_ports, **kw))
+                       MwmScheduler(n_ports, **kw),
+                       doc=_class_doc(MwmScheduler))
     register_scheduler("greedy-mwm", lambda n_ports, **kw:
-                       GreedyMwmScheduler(n_ports, **kw))
+                       GreedyMwmScheduler(n_ports, **kw),
+                       doc=_class_doc(GreedyMwmScheduler))
     register_scheduler("bvn", lambda n_ports, **kw:
-                       BvnScheduler(n_ports, **kw))
+                       BvnScheduler(n_ports, **kw),
+                       doc=_class_doc(BvnScheduler))
     register_scheduler("solstice", lambda n_ports, **kw:
-                       SolsticeScheduler(n_ports, **kw))
+                       SolsticeScheduler(n_ports, **kw),
+                       doc=_class_doc(SolsticeScheduler))
     register_scheduler("hotspot", lambda n_ports, **kw:
-                       HotspotScheduler(n_ports, **kw))
+                       HotspotScheduler(n_ports, **kw),
+                       doc=_class_doc(HotspotScheduler))
 
     from repro.schedulers.eclipse import EclipseScheduler
     from repro.schedulers.wfa import WfaScheduler
 
     register_scheduler("wfa", lambda n_ports, **kw:
-                       WfaScheduler(n_ports, **kw))
+                       WfaScheduler(n_ports, **kw),
+                       doc=_class_doc(WfaScheduler))
     register_scheduler("eclipse", lambda n_ports, **kw:
-                       EclipseScheduler(n_ports, **kw))
+                       EclipseScheduler(n_ports, **kw),
+                       doc=_class_doc(EclipseScheduler))
 
     # Imported lazily to avoid a package cycle (control -> schedulers).
     def _make_distributed(n_ports, **kw):
@@ -112,7 +139,10 @@ def _register_builtins() -> None:
 
         return DistributedGreedyScheduler(n_ports, **kw)
 
-    register_scheduler("distributed-greedy", _make_distributed)
+    register_scheduler(
+        "distributed-greedy", _make_distributed,
+        doc="per-port greedy matching over a distributed control "
+            "channel")
 
 
 _register_builtins()
@@ -122,4 +152,5 @@ __all__ = [
     "unregister_scheduler",
     "create_scheduler",
     "available_schedulers",
+    "scheduler_summaries",
 ]

@@ -15,7 +15,8 @@ three, plus the flow-size mixes published for production data centers:
 * :class:`~repro.traffic.flows.FlowSource` — flow-level workload with
   empirical size distributions (web-search / data-mining mixes);
 * :mod:`~repro.traffic.patterns` — destination choosers (uniform,
-  permutation, hotspot) shared by all sources.
+  permutation, hotspot, round-robin shuffle, zipf) shared by all
+  sources.
 """
 
 from repro.traffic.flows import (
@@ -29,7 +30,9 @@ from repro.traffic.patterns import (
     FixedDestination,
     HotspotDestination,
     PermutationDestination,
+    RoundRobinDestination,
     UniformDestination,
+    ZipfDestination,
 )
 from repro.traffic.sources import CbrSource, OnOffSource, PoissonSource
 
@@ -39,6 +42,8 @@ __all__ = [
     "FixedDestination",
     "PermutationDestination",
     "HotspotDestination",
+    "RoundRobinDestination",
+    "ZipfDestination",
     "PoissonSource",
     "OnOffSource",
     "CbrSource",

@@ -10,6 +10,14 @@ to a destination port.  The three classics:
 * **hotspot** — a skewed mix: with probability ``skew`` the packet goes
   to the host's designated hot partner, otherwise uniform.  Sweeping
   ``skew`` from 0 to 1 interpolates between the two worlds — E6's axis.
+
+Two more patterns serve the scenario library (``repro.scenario``):
+
+* **round-robin** — deterministic cycling over every other host, the
+  all-to-all shuffle phase of a partition/aggregate job;
+* **zipf** — rank-skewed popularity: destination ranks are drawn from a
+  Zipf law, the scale-free popularity distribution measured for web and
+  datacenter object traffic.
 """
 
 from __future__ import annotations
@@ -98,10 +106,71 @@ class HotspotDestination(DestinationChooser):
         return self._uniform.choose()
 
 
+class RoundRobinDestination(DestinationChooser):
+    """Deterministic cycle over every other host, starting at ``offset``.
+
+    The shuffle pattern: each host streams to host ``src+offset``, then
+    ``src+offset+1`` and so on, wrapping and skipping itself.  No
+    randomness — two runs visit destinations in the same order.
+    """
+
+    def __init__(self, n_ports: int, src: int, offset: int = 1) -> None:
+        super().__init__(n_ports, src)
+        self._order = [(src + offset + k) % n_ports
+                       for k in range(n_ports)]
+        self._order = [d for d in self._order if d != src]
+        self._next = 0
+
+    def choose(self) -> int:
+        dst = self._order[self._next]
+        self._next = (self._next + 1) % len(self._order)
+        return dst
+
+
+class ZipfDestination(DestinationChooser):
+    """Zipf-popular destinations: rank ``r`` drawn with weight 1/r^s.
+
+    Ranks map to hosts in ``(src + rank) mod n`` order, so every host
+    has a distinct most-popular partner (rank 1) and the aggregate
+    demand matrix is skewed but admissible.  ``exponent`` is the Zipf
+    shape ``s``; larger means more of the traffic lands on the top
+    ranks (``s -> 0`` degenerates to uniform).
+    """
+
+    def __init__(self, n_ports: int, src: int, exponent: float = 1.2,
+                 rng: Optional[random.Random] = None) -> None:
+        super().__init__(n_ports, src)
+        if exponent < 0.0:
+            raise ConfigurationError(
+                f"zipf exponent must be >= 0, got {exponent}")
+        self.exponent = exponent
+        self.rng = rng or random.Random(src)
+        weights = [(rank + 1) ** -exponent
+                   for rank in range(n_ports - 1)]
+        total = sum(weights)
+        self._cdf = []
+        acc = 0.0
+        for w in weights:
+            acc += w / total
+            self._cdf.append(acc)
+        self._cdf[-1] = 1.0  # guard float accumulation
+        self._targets = [(src + 1 + rank) % n_ports
+                         for rank in range(n_ports - 1)]
+
+    def choose(self) -> int:
+        u = self.rng.random()
+        for rank, edge in enumerate(self._cdf):
+            if u <= edge:
+                return self._targets[rank]
+        return self._targets[-1]
+
+
 __all__ = [
     "DestinationChooser",
     "UniformDestination",
     "FixedDestination",
     "PermutationDestination",
     "HotspotDestination",
+    "RoundRobinDestination",
+    "ZipfDestination",
 ]

@@ -1,5 +1,7 @@
 """Tests for the ``repro`` CLI."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -45,6 +47,14 @@ class TestExecution:
         assert "islip" in out
         assert "netfpga_sume" in out
 
+    def test_list_shows_one_line_docs(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        # Experiments and schedulers both carry descriptions now.
+        assert "Figure 1" in out
+        assert "iSLIP" in out
+        assert "incast" in out
+
     def test_run_e2_quick(self, capsys):
         assert main(["run", "e2", "--quick"]) == 0
         out = capsys.readouterr().out
@@ -54,3 +64,99 @@ class TestExecution:
     def test_unknown_experiment(self, capsys):
         assert main(["run", "nope"]) == 2
         assert "unknown experiment" in capsys.readouterr().err
+
+    def test_unknown_override_surfaces_as_warning(self, capsys):
+        assert main(["run", "e2", "--quick",
+                     "--set", "port_countz=[8]"]) == 0
+        out = capsys.readouterr().out
+        assert "Warnings:" in out
+        assert "port_countz" in out
+
+    def test_known_override_warns_nothing(self, capsys):
+        assert main(["run", "e2", "--quick",
+                     "--set", "port_counts=[8]"]) == 0
+        assert "Warnings:" not in capsys.readouterr().out
+
+
+class TestScenarioCommands:
+    def test_scenario_list(self, capsys):
+        assert main(["scenario", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("uniform", "incast", "failure-storm", "diurnal"):
+            assert name in out
+
+    def test_scenario_show_is_canonical_json(self, capsys):
+        assert main(["scenario", "show", "incast"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["name"] == "incast"
+        assert payload["traffic"][0]["pattern"] == "incast"
+
+    def test_scenario_show_applies_overrides(self, capsys):
+        assert main(["scenario", "show", "uniform", "--quick",
+                     "--set", "n_ports=4",
+                     "--set", "traffic.0.load=0.9"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["n_ports"] == 4
+        assert payload["traffic"][0]["load"] == 0.9
+        assert payload["duration_ps"] == payload["quick_duration_ps"]
+
+    def test_scenario_show_unknown_name(self, capsys):
+        assert main(["scenario", "show", "nope"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_scenario_show_bad_override_path(self, capsys):
+        assert main(["scenario", "show", "uniform",
+                     "--set", "n_portz=4"]) == 2
+        assert "n_portz" in capsys.readouterr().err
+
+    def test_scenario_run_quick(self, capsys):
+        assert main(["scenario", "run", "uniform", "--quick",
+                     "--set", "duration_ps=600000000"]) == 0
+        out = capsys.readouterr().out
+        assert "SCENARIO:UNIFORM" in out
+        assert "utilisation" in out
+
+    def test_scenario_run_unknown_name(self, capsys):
+        assert main(["scenario", "run", "nope"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_scenario_run_bad_override_path_exits_cleanly(self, capsys):
+        assert main(["scenario", "run", "uniform",
+                     "--set", "n_portz=4"]) == 2
+        err = capsys.readouterr().err
+        assert "n_portz" in err
+        assert "Traceback" not in err
+
+    def test_sweep_accepts_scenario_ids(self, capsys):
+        assert main(["sweep", "scenario:uniform", "--quick",
+                     "--replicas", "2", "--base-seed", "5",
+                     "--set", "traffic.0.load=0.2,0.4",
+                     "--set", "duration_ps=400000000"]) == 0
+        out = capsys.readouterr().out
+        assert "4 jobs" in out
+        assert "scenario:uniform" in out
+
+    def test_run_rejects_unknown_scenario_id(self, capsys):
+        assert main(["run", "scenario:nope"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_run_scenario_id_bad_override_exits_cleanly(self, capsys):
+        assert main(["run", "scenario:uniform",
+                     "--set", "n_portz=4"]) == 2
+        assert "n_portz" in capsys.readouterr().err
+
+    def test_sweep_scenario_id_bad_override_exits_cleanly(self, capsys):
+        assert main(["sweep", "scenario:uniform",
+                     "--set", "n_portz=4,8"]) == 2
+        assert "n_portz" in capsys.readouterr().err
+
+    def test_scenario_run_json_out(self, tmp_path, capsys):
+        out_path = tmp_path / "scenario.json"
+        assert main(["scenario", "run", "uniform", "--quick",
+                     "--set", "duration_ps=600000000",
+                     "--json-out", str(out_path)]) == 0
+        capsys.readouterr()
+        payload = json.loads(out_path.read_text())
+        assert payload["manifest"]["jobs"] == 1
+        (report,) = payload["reports"].values()
+        assert report["spec"]["experiment_id"] == "scenario:uniform"

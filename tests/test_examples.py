@@ -14,7 +14,8 @@ import pytest
 
 EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
 
-FAST_EXAMPLES = ["buffering_analysis.py", "quickstart.py"]
+FAST_EXAMPLES = ["buffering_analysis.py", "quickstart.py",
+                 "scenario_gallery.py"]
 
 
 @pytest.mark.parametrize("script", FAST_EXAMPLES)

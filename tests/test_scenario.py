@@ -1,0 +1,385 @@
+"""Tests for the declarative scenario API (``repro.scenario``)."""
+
+import json
+
+import pytest
+
+from repro.core.config import FrameworkConfig
+from repro.core.framework import HybridSwitchFramework
+from repro.experiments.base import ExperimentConfig
+from repro.experiments.e3_utilization import _scenario as e3_scenario
+from repro.net.packet import reset_packet_ids
+from repro.runner import ResultCache, RunSpec, execute
+from repro.runner.cache import report_to_payload
+from repro.runner.spec import SCENARIO_PREFIX
+from repro.scenario import (
+    FaultEvent,
+    Scenario,
+    TrafficPhase,
+    available_scenarios,
+    get_scenario,
+    register_scenario,
+    run_scenario,
+    scenario_summaries,
+    unregister_scenario,
+)
+from repro.sim.errors import ConfigurationError
+from repro.sim.time import MICROSECONDS, MILLISECONDS
+from repro.traffic.patterns import (
+    RoundRobinDestination,
+    UniformDestination,
+    ZipfDestination,
+)
+from repro.traffic.sources import OnOffSource
+
+QUICK_PS = 800 * MICROSECONDS
+
+
+def tiny(scenario: Scenario) -> Scenario:
+    """A sub-millisecond rendition for unit-test speed."""
+    return scenario.quicken().derive(duration_ps=QUICK_PS)
+
+
+class TestSpecSerialization:
+    def test_json_round_trip(self):
+        scenario = get_scenario("failure-storm")
+        again = Scenario.from_json(scenario.to_json())
+        assert again == scenario
+        assert again.canonical() == scenario.canonical()
+
+    def test_canonical_round_trip_every_library_entry(self):
+        for name in available_scenarios():
+            scenario = get_scenario(name)
+            assert Scenario.from_canonical(
+                scenario.canonical()) == scenario
+
+    def test_key_stable_across_key_ordering(self):
+        scenario = get_scenario("diurnal")
+        payload = scenario.canonical()
+        scrambled = json.loads(json.dumps(payload, sort_keys=True))
+        reversed_order = dict(reversed(list(scrambled.items())))
+        assert Scenario.from_canonical(
+            reversed_order).key() == scenario.key()
+
+    def test_key_changes_with_content(self):
+        scenario = get_scenario("uniform")
+        assert scenario.derive(seed=99).key() != scenario.key()
+
+    def test_from_canonical_rejects_unknown_fields(self):
+        payload = get_scenario("uniform").canonical()
+        payload["n_portz"] = 4
+        with pytest.raises(ConfigurationError, match="n_portz"):
+            Scenario.from_canonical(payload)
+
+    def test_from_canonical_rejects_future_format(self):
+        payload = get_scenario("uniform").canonical()
+        payload["format"] = 999
+        with pytest.raises(ConfigurationError, match="format"):
+            Scenario.from_canonical(payload)
+
+
+class TestOverrides:
+    def test_top_level_override(self):
+        scenario = get_scenario("uniform").with_overrides(
+            {"n_ports": 4, "seed": 7})
+        assert scenario.n_ports == 4
+        assert scenario.seed == 7
+
+    def test_dotted_traffic_override(self):
+        scenario = get_scenario("uniform").with_overrides(
+            {"traffic.0.load": 0.9})
+        assert scenario.traffic[0].load == 0.9
+
+    def test_star_fans_out_over_phases(self):
+        scenario = get_scenario("diurnal").with_overrides(
+            {"traffic.*.load": 0.2})
+        assert all(p.load == 0.2 for p in scenario.traffic)
+
+    def test_kwargs_dicts_accept_new_keys(self):
+        scenario = get_scenario("uniform").with_overrides(
+            {"scheduler_kwargs.iterations": 3})
+        assert scenario.scheduler_kwargs["iterations"] == 3
+
+    def test_kwargs_dicts_reject_descent_through_missing_key(self):
+        with pytest.raises(ConfigurationError, match="unknown key"):
+            get_scenario("uniform").with_overrides(
+                {"scheduler_kwargs.a.b": 1})
+
+    def test_unknown_field_raises(self):
+        with pytest.raises(ConfigurationError, match="unknown key"):
+            get_scenario("uniform").with_overrides({"n_portz": 4})
+
+    def test_bad_index_raises(self):
+        with pytest.raises(ConfigurationError, match="out of range"):
+            get_scenario("uniform").with_overrides(
+                {"traffic.5.load": 0.5})
+
+    def test_format_cannot_be_overridden(self):
+        with pytest.raises(ConfigurationError):
+            get_scenario("uniform").with_overrides({"format": 999})
+
+    def test_invalid_value_fails_validation(self):
+        with pytest.raises(ConfigurationError):
+            get_scenario("uniform").with_overrides(
+                {"traffic.0.load": -1.0})
+
+
+class TestQuicken:
+    def test_quicken_scales_phases_and_faults(self):
+        storm = get_scenario("failure-storm")
+        quick = storm.quicken()
+        factor = quick.duration_ps / storm.duration_ps
+        assert quick.duration_ps < storm.duration_ps
+        for original, scaled in zip(storm.faults, quick.faults):
+            assert scaled.at_ps == round(original.at_ps * factor)
+        diurnal = get_scenario("diurnal").quicken()
+        assert diurnal.traffic[1].start_ps < diurnal.duration_ps
+
+    def test_quicken_is_noop_when_already_quick(self):
+        scenario = get_scenario("uniform").quicken()
+        assert scenario.quicken() == scenario
+
+
+class TestRegistry:
+    def test_library_covers_required_workloads(self):
+        required = {"uniform", "hotspot", "permutation", "incast",
+                    "all-to-all-shuffle", "diurnal", "failure-storm",
+                    "skewed-zipf"}
+        assert required <= set(available_scenarios())
+
+    def test_summaries_are_one_liners(self):
+        for name, doc in scenario_summaries().items():
+            assert doc, f"{name} has no description"
+            assert "\n" not in doc
+
+    def test_register_unregister(self):
+        scenario = get_scenario("uniform").derive(name="test-reg")
+        register_scenario(scenario)
+        assert get_scenario("test-reg") == scenario
+        with pytest.raises(ConfigurationError, match="already"):
+            register_scenario(scenario)
+        assert unregister_scenario("test-reg")
+        assert not unregister_scenario("test-reg")
+
+    def test_unknown_name_lists_catalogue(self):
+        with pytest.raises(ConfigurationError, match="available"):
+            get_scenario("no-such-workload")
+
+
+class TestBuild:
+    @pytest.mark.parametrize("name", [
+        "uniform", "hotspot", "permutation", "incast",
+        "all-to-all-shuffle", "diurnal", "failure-storm",
+        "skewed-zipf", "datacenter-mix",
+    ])
+    def test_every_library_scenario_runs(self, name):
+        result = tiny(get_scenario(name)).build().run()
+        assert result.delivered_count > 0
+
+    def test_build_is_deterministic(self):
+        scenario = tiny(get_scenario("skewed-zipf"))
+        results = []
+        for _ in range(2):
+            reset_packet_ids()
+            results.append(scenario.build().run())
+        assert results[0].delivered_count == results[1].delivered_count
+        assert results[0].delivered_bytes == results[1].delivered_bytes
+        assert results[0].drops == results[1].drops
+
+    def test_incast_excludes_target(self):
+        run = tiny(get_scenario("incast")).build()
+        sending = {s.host_id for s in run.sources}
+        assert 0 not in sending
+        assert len(sending) == run.framework.n_ports - 1
+
+    def test_faults_are_armed(self):
+        run = tiny(get_scenario("failure-storm")).build()
+        assert len(run.injectors) == 4
+
+    def test_phase_windows_limit_emission(self):
+        scenario = Scenario(
+            name="windowed",
+            epoch_ps=100 * MICROSECONDS,
+            default_slot_ps=80 * MICROSECONDS,
+            duration_ps=2 * MILLISECONDS,
+            traffic=(TrafficPhase(pattern="uniform", source="poisson",
+                                  load=0.4,
+                                  until_ps=200 * MICROSECONDS),),
+        )
+        run = scenario.build()
+        result = run.run()
+        late = [p for p in result.delivered
+                if p.created_ps > 200 * MICROSECONDS]
+        assert not late
+
+
+class TestLegacyEquivalence:
+    """A scenario run is byte-identical to the hand-wired construction
+    it replaced — the guarantee the experiment reroute rests on."""
+
+    def _legacy_e3_point(self, epoch_ps, duration_ps, load, seed):
+        switching = 20 * MICROSECONDS
+        config = FrameworkConfig(
+            n_ports=8,
+            switching_time_ps=switching,
+            scheduler="hotspot",
+            timing_preset="netfpga_sume",
+            epoch_ps=epoch_ps,
+            default_slot_ps=max(epoch_ps - switching,
+                                10 * MICROSECONDS),
+            seed=seed,
+        )
+        fw = HybridSwitchFramework(config)
+        for host in fw.hosts:
+            OnOffSource(
+                fw.sim, host,
+                burst_rate_bps=load * config.port_rate_bps / 0.5,
+                mean_on_ps=150 * MICROSECONDS,
+                mean_off_ps=150 * MICROSECONDS,
+                chooser=UniformDestination(
+                    8, host.host_id,
+                    fw.sim.streams.stream(f"dst{host.host_id}")),
+                rng=fw.sim.streams.stream(f"src{host.host_id}"))
+        return fw.run(duration_ps)
+
+    def test_e3_point_identical_through_scenario(self):
+        epoch = 300 * MICROSECONDS
+        duration = 3 * MILLISECONDS
+        reset_packet_ids()
+        legacy = self._legacy_e3_point(epoch, duration, 0.35, seed=3)
+        reset_packet_ids()
+        scenario = e3_scenario(epoch, duration, 0.35,
+                               optimistic=False, seed=3)
+        routed = scenario.build().run()
+        assert routed.delivered_count == legacy.delivered_count
+        assert routed.delivered_bytes == legacy.delivered_bytes
+        assert routed.drops == legacy.drops
+        assert routed.utilisation() == legacy.utilisation()
+        assert ([p.packet_id for p in routed.delivered]
+                == [p.packet_id for p in legacy.delivered])
+
+
+class TestRunnerIntegration:
+    def _spec(self, **overrides):
+        return RunSpec(
+            experiment_id=f"{SCENARIO_PREFIX}uniform", quick=True,
+            overrides={"duration_ps": QUICK_PS, **overrides}).validate()
+
+    def test_validate_rejects_unknown_scenario(self):
+        with pytest.raises(ConfigurationError, match="available"):
+            RunSpec(experiment_id=f"{SCENARIO_PREFIX}nope").validate()
+
+    def test_key_is_filesystem_safe(self):
+        assert ":" not in self._spec().key()
+
+    def test_cache_key_equal_across_override_ordering(self):
+        ordered = self._spec(seed=1, n_ports=4)
+        scrambled = RunSpec(
+            experiment_id=f"{SCENARIO_PREFIX}uniform", quick=True,
+            overrides=dict(reversed(list(
+                {"duration_ps": QUICK_PS, "seed": 1,
+                 "n_ports": 4}.items())))).validate()
+        assert ordered.key() == scrambled.key()
+
+    def test_scenario_jobs_cache_and_replay(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = self._spec(n_ports=4)
+        cold = execute([spec], cache=cache)
+        assert not cold[0].cached
+        warm = execute([spec], cache=cache)
+        assert warm[0].cached
+        assert (report_to_payload(warm[0].report)
+                == report_to_payload(cold[0].report))
+
+    def test_scenario_and_experiment_share_cache_layout(self, tmp_path):
+        """Cache-key discipline is identical across job families: the
+        same content-addressing serves a scenario run and a legacy
+        experiment run side by side."""
+        cache = ResultCache(tmp_path)
+        scenario_spec = self._spec(n_ports=4)
+        experiment_spec = RunSpec(
+            experiment_id="e3", quick=True,
+            overrides={"epochs_ps": [200 * MICROSECONDS],
+                       "duration_ps": 1 * MILLISECONDS}).validate()
+        execute([scenario_spec, experiment_spec], cache=cache)
+        assert cache.path_for(scenario_spec).exists()
+        assert cache.path_for(experiment_spec).exists()
+        assert len(cache) == 2
+        warm = execute([scenario_spec, experiment_spec], cache=cache)
+        assert all(outcome.cached for outcome in warm)
+
+    def test_run_scenario_applies_config_axes(self):
+        report = run_scenario(
+            get_scenario("uniform"),
+            ExperimentConfig(quick=True, seed=5, scheduler="tdma",
+                             overrides={"duration_ps": QUICK_PS,
+                                        "n_ports": 4}))
+        assert report.experiment_id == "scenario:uniform"
+        recorded = report.data["scenario"]
+        assert recorded["seed"] == 5
+        assert recorded["scheduler"] == "tdma"
+        assert recorded["n_ports"] == 4
+        assert recorded["duration_ps"] == QUICK_PS
+
+    def test_run_scenario_rejects_unknown_override(self):
+        with pytest.raises(ConfigurationError, match="unknown key"):
+            run_scenario(get_scenario("uniform"),
+                         ExperimentConfig(overrides={"n_portz": 4}))
+
+
+class TestPatterns:
+    def test_round_robin_cycles_all_partners(self):
+        chooser = RoundRobinDestination(4, src=1)
+        seen = [chooser.choose() for _ in range(6)]
+        assert 1 not in seen
+        assert set(seen[:3]) == {0, 2, 3}
+        assert seen[:3] == seen[3:]
+
+    def test_zipf_prefers_low_ranks(self):
+        import random
+
+        chooser = ZipfDestination(8, src=0, exponent=1.5,
+                                  rng=random.Random(1))
+        draws = [chooser.choose() for _ in range(4000)]
+        assert 0 not in draws
+        top = draws.count(1)  # rank-1 partner of host 0
+        tail = draws.count(7)
+        assert top > tail * 2
+
+    def test_zipf_rejects_negative_exponent(self):
+        with pytest.raises(ConfigurationError):
+            ZipfDestination(8, src=0, exponent=-0.1)
+
+
+class TestValidation:
+    def test_unknown_pattern(self):
+        with pytest.raises(ConfigurationError, match="pattern"):
+            TrafficPhase(pattern="chaos")
+
+    def test_unknown_source(self):
+        with pytest.raises(ConfigurationError, match="source"):
+            TrafficPhase(source="magic")
+
+    def test_cbr_needs_fixed_pattern(self):
+        with pytest.raises(ConfigurationError, match="fixed"):
+            TrafficPhase(source="cbr", pattern="uniform")
+
+    def test_fixed_pattern_needs_dst(self):
+        with pytest.raises(ConfigurationError, match="dst"):
+            TrafficPhase(pattern="fixed")
+
+    def test_unknown_fault_kind(self):
+        with pytest.raises(ConfigurationError, match="fault"):
+            FaultEvent(kind="gremlin", at_ps=0)
+
+    def test_flap_needs_duration(self):
+        with pytest.raises(ConfigurationError, match="duration"):
+            FaultEvent(kind="link-flap", at_ps=0, duration_ps=0)
+
+    def test_scenario_needs_traffic(self):
+        with pytest.raises(ConfigurationError, match="traffic"):
+            Scenario(name="empty", traffic=())
+
+    def test_framework_validation_is_delegated(self):
+        with pytest.raises(ConfigurationError):
+            Scenario(name="bad", n_ports=1)
