@@ -1,101 +1,36 @@
 """Microbenchmarks: raw speed of the hot paths.
 
-These are conventional pytest-benchmark measurements (many rounds) of
-the pieces that dominate experiment wall-clock: scheduler ``compute``
-calls, the event engine, and the cell fabric's slot loop.  They guard
-against performance regressions that would silently make the experiment
-harness unusable.
+Conventional pytest-benchmark measurements (many rounds) of the pieces
+that dominate experiment wall-clock: scheduler ``compute`` calls, the
+event engine, and the cell fabric's slot loop.  They guard against
+performance regressions that would silently make the experiment harness
+unusable.
+
+The bench definitions themselves live in :mod:`repro.perf.benches` —
+one registry shared with the ``repro perf`` trajectory runner — and
+this module only parametrises pytest-benchmark over it.  Add a new hot
+path there, and both frontends pick it up.
 """
 
 import os
 
-import numpy as np
 import pytest
 
-from repro.fabric.cellsim import CellFabricSim
-from repro.fabric.workloads import uniform_rates
-from repro.schedulers.bvn import BvnScheduler
-from repro.schedulers.islip import IslipScheduler
-from repro.schedulers.mwm import GreedyMwmScheduler, MwmScheduler
-from repro.schedulers.solstice import SolsticeScheduler
-from repro.sim.engine import Simulator
-from repro.sim.time import MICROSECONDS
+from repro.perf.benches import iter_benches
 
-
-#: Reduced mode (CI bench-smoke): keep one bench per hot path, skip the
-#: large-port variants whose runtime adds trajectory data but no new
-#: coverage.  Full mode remains the default for local perf work.
+#: Reduced mode (CI bench-smoke): run only the quick subset, skipping
+#: the large-port variants whose runtime adds trajectory data but no
+#: new coverage.  Full mode remains the default for local perf work.
 _QUICK = bool(int(os.environ.get("REPRO_BENCH_QUICK", "0")))
-full_size_only = pytest.mark.skipif(
-    _QUICK, reason="REPRO_BENCH_QUICK=1: reduced benchmark mode")
+
+_BENCHES = list(iter_benches(quick=_QUICK))
 
 
-def _demand(n, seed=0):
-    rng = np.random.default_rng(seed)
-    demand = rng.exponential(10_000, (n, n))
-    np.fill_diagonal(demand, 0.0)
-    return demand
-
-
-class TestSchedulerComputeSpeed:
-    def test_islip4_16_ports(self, benchmark):
-        scheduler = IslipScheduler(16, iterations=4)
-        demand = _demand(16)
-        benchmark(scheduler.compute, demand)
-
-    @full_size_only
-    def test_islip4_64_ports(self, benchmark):
-        scheduler = IslipScheduler(64, iterations=4)
-        demand = _demand(64)
-        benchmark(scheduler.compute, demand)
-
-    @full_size_only
-    def test_mwm_64_ports(self, benchmark):
-        scheduler = MwmScheduler(64)
-        demand = _demand(64)
-        benchmark(scheduler.compute, demand)
-
-    @full_size_only
-    def test_greedy_mwm_64_ports(self, benchmark):
-        scheduler = GreedyMwmScheduler(64)
-        demand = _demand(64)
-        benchmark(scheduler.compute, demand)
-
-    def test_bvn_16_ports(self, benchmark):
-        scheduler = BvnScheduler(16)
-        demand = _demand(16)
-        benchmark(scheduler.compute, demand)
-
-    def test_solstice_16_ports(self, benchmark):
-        scheduler = SolsticeScheduler(16, reconfig_ps=20 * MICROSECONDS)
-        demand = _demand(16)
-        benchmark(scheduler.compute, demand)
-
-
-class TestEngineSpeed:
-    def test_event_dispatch_throughput(self, benchmark):
-        def run_10k_events():
-            sim = Simulator()
-            remaining = [10_000]
-
-            def tick():
-                remaining[0] -= 1
-                if remaining[0]:
-                    sim.schedule(10, tick)
-
-            sim.schedule(0, tick)
-            sim.run()
-            return sim.events_dispatched
-
-        assert benchmark(run_10k_events) == 10_000
-
-
-class TestFabricSpeed:
-    def test_cellsim_1000_slots_islip(self, benchmark):
-        def run():
-            sched = IslipScheduler(16, iterations=1)
-            sim = CellFabricSim(sched, uniform_rates(16, 0.8), seed=1)
-            return sim.run(slots=1_000)
-
-        stats = benchmark(run)
-        assert stats.departures > 0
+@pytest.mark.parametrize("bench", _BENCHES, ids=[b.name for b in _BENCHES])
+def test_bench(benchmark, bench):
+    benchmark.group = bench.group
+    fn = bench.make()
+    result = benchmark(fn)
+    if bench.check is not None:
+        assert bench.check(result), \
+            f"bench {bench.name} failed its sanity check"

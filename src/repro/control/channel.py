@@ -57,6 +57,7 @@ class ControlChannel:
         self.rng = rng or random.Random(0)
         self.sent = Counter(f"{name}.sent")
         self.lost = Counter(f"{name}.lost")
+        self._event_label = f"ctrl:{name}"
 
     def send(self, message: Any,
              deliver: Callable[[Any], None]) -> Optional[int]:
@@ -69,7 +70,7 @@ class ControlChannel:
         if self.jitter_ps:
             delay += self.rng.randrange(self.jitter_ps + 1)
         self.sim.schedule(delay, lambda: deliver(message),
-                          label=f"ctrl:{self.name}")
+                          label=self._event_label)
         return self.sim.now + delay
 
 

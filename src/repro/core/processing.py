@@ -97,6 +97,11 @@ class ProcessingLogic:
         self.classified_drops = Counter("processing.classified_drops")
         self.to_eps = Counter("processing.to_eps")
         self.to_ocs = Counter("processing.to_ocs")
+        # Event labels precomputed per port: the drain loop schedules
+        # one event per injected packet and must not build an f-string
+        # for each.
+        self._drain_labels = [f"drain[{src}]" for src in range(n_ports)]
+        self._grant_labels = [f"grant.open[{src}]" for src in range(n_ports)]
 
     # -- ingress ---------------------------------------------------------------
 
@@ -152,7 +157,7 @@ class ProcessingLogic:
                 start()
             else:
                 self.sim.at(grant.start_ps, start,
-                            label=f"grant.open[{src}]")
+                            label=self._grant_labels[src])
 
     def close_windows(self) -> None:
         """Force-close every window (e.g. before an early reconfigure)."""
@@ -236,7 +241,7 @@ class ProcessingLogic:
             self.ocs_sink(packet)
             self._drain_step(src)
 
-        self.sim.schedule(tx_ps, injected, label=f"drain[{src}]")
+        self.sim.schedule(tx_ps, injected, label=self._drain_labels[src])
 
 
 def _unwired(packet: Packet) -> None:

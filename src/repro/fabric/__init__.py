@@ -16,6 +16,7 @@ from repro.fabric.cellsim import CellFabricSim, FabricStats
 from repro.fabric.workloads import (
     diagonal_rates,
     hotspot_rates,
+    incast_rates,
     log_diagonal_rates,
     permutation_rates,
     uniform_rates,
@@ -28,5 +29,6 @@ __all__ = [
     "diagonal_rates",
     "log_diagonal_rates",
     "hotspot_rates",
+    "incast_rates",
     "permutation_rates",
 ]

@@ -74,6 +74,26 @@ def hotspot_rates(n_ports: int, load: float,
     return rates
 
 
+def incast_rates(n_ports: int, load: float, hot: int = 0) -> np.ndarray:
+    """Many-to-one: every other input sends only to output ``hot``.
+
+    The hot *column* sums to ``load`` (each sender contributes
+    ``load / (n - 1)``); every other column is idle.  This is the
+    datacenter fan-in pattern — admissible, but the single output is the
+    bottleneck, so queues concentrate in one column of VOQs.
+    """
+    _validate(n_ports, load)
+    if not 0 <= hot < n_ports:
+        raise ConfigurationError(
+            f"hot output must be in [0, {n_ports}), got {hot}")
+    rates = np.zeros((n_ports, n_ports))
+    share = load / (n_ports - 1)
+    for i in range(n_ports):
+        if i != hot:
+            rates[i, hot] = share
+    return rates
+
+
 def permutation_rates(n_ports: int, load: float,
                       shift: int = 1) -> np.ndarray:
     """All of each input's load to one partner: the circuit-friendly
@@ -92,5 +112,6 @@ __all__ = [
     "diagonal_rates",
     "log_diagonal_rates",
     "hotspot_rates",
+    "incast_rates",
     "permutation_rates",
 ]

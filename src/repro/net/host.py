@@ -70,6 +70,7 @@ class Host:
         self._queued_bytes = 0
         self.occupancy = TimeSeries(f"host{host_id}.occupancy")
         self.peak_queued_bytes = 0
+        self._grant_label = f"host{host_id}.grant"
         self.emitted = Counter(f"host{host_id}.emitted")
         self.received = Counter(f"host{host_id}.received")
         self.sent_on_grant = Counter(f"host{host_id}.sent_on_grant")
@@ -134,7 +135,7 @@ class Host:
             self._drain_window(dst, deadline)
 
         self.sim.at(perceived_start, open_window,
-                    label=f"host{self.host_id}.grant")
+                    label=self._grant_label)
 
     def _drain_window(self, dst: int, deadline_ps: int) -> None:
         """Send queued packets toward ``dst`` until the window closes."""

@@ -62,6 +62,9 @@ class Link:
         self.delivered = Counter(f"{name}.delivered")
         self.fault_drops = Counter(f"{name}.fault_drops")
         self.busy_ps = 0
+        # One label for the link's lifetime: send() schedules an event
+        # per packet and must not allocate a fresh f-string each time.
+        self._event_label = f"link:{name}"
 
     def connect(self, sink: Callable[[Packet], None]) -> None:
         """Set (or replace) the arrival sink."""
@@ -93,7 +96,7 @@ class Link:
             self.delivered.add(1, packet.size)
             sink(packet)
 
-        self.sim.at(arrival, deliver, label=f"link:{self.name}")
+        self.sim.at(arrival, deliver, label=self._event_label)
         return arrival
 
     @property

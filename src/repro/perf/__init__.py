@@ -1,0 +1,50 @@
+"""Performance trajectory subsystem: microbench registry + records.
+
+Three small modules:
+
+* :mod:`repro.perf.benches` — the single registry of microbenchmarks;
+  ``repro perf`` and ``benchmarks/bench_micro.py`` (pytest-benchmark)
+  both consume it, so a hot path is declared exactly once.
+* :mod:`repro.perf.runner` — calibrated best-of-repeats timing.
+* :mod:`repro.perf.record` — ``BENCH_<rev>.json`` write/load/diff plus
+  the vector-vs-reference engine speedup pairing.
+
+The committed baseline lives in ``benchmarks/baselines/``; CI's
+``perf-smoke`` job measures the quick subset each run and prints an
+advisory diff against it (warn, never fail — shared-runner wall clocks
+jitter too much to gate on).
+"""
+
+from repro.perf.benches import (
+    Bench,
+    bench_names,
+    get_bench,
+    iter_benches,
+    register_bench,
+)
+from repro.perf.record import (
+    BenchDelta,
+    BenchRecord,
+    current_revision,
+    diff_records,
+    engine_speedups,
+    latest_record,
+)
+from repro.perf.runner import BenchResult, measure, run_suite
+
+__all__ = [
+    "Bench",
+    "BenchResult",
+    "BenchRecord",
+    "BenchDelta",
+    "register_bench",
+    "get_bench",
+    "iter_benches",
+    "bench_names",
+    "measure",
+    "run_suite",
+    "current_revision",
+    "latest_record",
+    "diff_records",
+    "engine_speedups",
+]

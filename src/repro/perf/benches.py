@@ -1,0 +1,254 @@
+"""The microbenchmark registry: one definition per hot path.
+
+Every benchmark the project tracks is declared here once, as a
+:class:`Bench` whose ``make()`` returns the zero-argument callable to
+time.  Both frontends consume this registry:
+
+* ``repro perf`` (:mod:`repro.perf.runner`) times each bench and emits
+  the ``BENCH_<rev>.json`` trajectory record;
+* ``benchmarks/bench_micro.py`` parametrises pytest-benchmark over the
+  same entries, so there is exactly one list of bench definitions.
+
+Naming convention: ``<group>.<variant>.n<ports>[.<workload>][.<engine>]``.
+Fabric benches come in ``.vector`` / ``.reference`` pairs with otherwise
+identical names; :func:`repro.perf.record.engine_speedups` pairs them to
+report the vector-over-reference speedup, which is the acceptance
+number for the hot-path overhaul.
+
+The reference fabric benches deliberately run the *reference stack* —
+scalar fabric engine driving the scalar schedulers from
+:mod:`repro.schedulers.reference` — so the recorded ratio measures the
+whole overhaul (batched RNG + ring-buffer FIFOs + trusted entry +
+vectorised matching), not a single layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Bench:
+    """One registered microbenchmark.
+
+    Attributes
+    ----------
+    name:
+        Unique dotted identifier (see module docstring for the
+        convention).
+    make:
+        Setup factory: runs once per measurement, outside the timed
+        region, and returns the zero-argument callable that is timed.
+    group:
+        Coarse family (``scheduler`` / ``engine`` / ``fabric``) used
+        for filtering and display.
+    quick:
+        Included in the ``--quick`` subset (CI perf-smoke).  Full mode
+        runs every bench.
+    meta:
+        Free-form descriptors recorded into ``BENCH_*.json``
+        (``n_ports``, ``engine``, ``scheduler``, ``workload``, ...).
+    check:
+        Optional sanity predicate on the timed callable's return value,
+        asserted by both frontends *outside* the timed region.  Guards
+        against a bench whose workload silently stops doing work and
+        records a flattering "speedup" instead of failing.
+    """
+
+    name: str
+    make: Callable[[], Callable[[], Any]]
+    group: str
+    quick: bool = True
+    meta: Mapping[str, Any] = field(default_factory=dict)
+    check: Optional[Callable[[Any], bool]] = None
+
+
+_REGISTRY: Dict[str, Bench] = {}
+
+
+def register_bench(bench: Bench) -> Bench:
+    """Add one bench to the registry; duplicate names are an error."""
+    if bench.name in _REGISTRY:
+        raise ValueError(f"duplicate bench name {bench.name!r}")
+    _REGISTRY[bench.name] = bench
+    return bench
+
+
+def get_bench(name: str) -> Bench:
+    """Look up one bench by exact name (KeyError when unknown)."""
+    return _REGISTRY[name]
+
+
+def iter_benches(quick: bool = False,
+                 pattern: Optional[str] = None) -> Iterator[Bench]:
+    """Registered benches in name order.
+
+    ``quick=True`` keeps only the quick subset; ``pattern`` is a
+    case-insensitive substring filter on the name.
+    """
+    needle = pattern.lower() if pattern else None
+    for name in sorted(_REGISTRY):
+        bench = _REGISTRY[name]
+        if quick and not bench.quick:
+            continue
+        if needle is not None and needle not in name.lower():
+            continue
+        yield bench
+
+
+def bench_names(quick: bool = False,
+                pattern: Optional[str] = None) -> List[str]:
+    """Names produced by :func:`iter_benches` with the same filters."""
+    return [bench.name for bench in iter_benches(quick, pattern)]
+
+
+# -- scheduler compute benches -------------------------------------------------
+
+
+def _demand(n: int, seed: int = 0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    demand = rng.exponential(10_000, (n, n))
+    np.fill_diagonal(demand, 0.0)
+    return demand
+
+
+def _sched_bench(name: str, factory, n: int, quick: bool,
+                 scheduler: str) -> None:
+    def make() -> Callable[[], Any]:
+        instance = factory()
+        demand = _demand(n)
+        return lambda: instance.compute(demand)
+
+    register_bench(Bench(
+        name=name, make=make, group="scheduler", quick=quick,
+        meta={"n_ports": n, "scheduler": scheduler},
+        check=lambda result: len(result.matchings) >= 1))
+
+
+def _register_scheduler_benches() -> None:
+    from repro.schedulers.bvn import BvnScheduler
+    from repro.schedulers.islip import IslipScheduler
+    from repro.schedulers.mwm import GreedyMwmScheduler, MwmScheduler
+    from repro.schedulers.solstice import SolsticeScheduler
+    from repro.sim.time import MICROSECONDS
+
+    _sched_bench("sched.islip4.n16",
+                 lambda: IslipScheduler(16, iterations=4), 16,
+                 quick=True, scheduler="islip")
+    _sched_bench("sched.islip4.n64",
+                 lambda: IslipScheduler(64, iterations=4), 64,
+                 quick=False, scheduler="islip")
+    _sched_bench("sched.mwm.n64", lambda: MwmScheduler(64), 64,
+                 quick=False, scheduler="mwm")
+    _sched_bench("sched.greedy-mwm.n64", lambda: GreedyMwmScheduler(64), 64,
+                 quick=False, scheduler="greedy-mwm")
+    _sched_bench("sched.bvn.n16", lambda: BvnScheduler(16), 16,
+                 quick=True, scheduler="bvn")
+    _sched_bench("sched.solstice.n16",
+                 lambda: SolsticeScheduler(16,
+                                           reconfig_ps=20 * MICROSECONDS),
+                 16, quick=True, scheduler="solstice")
+
+
+# -- event-engine bench --------------------------------------------------------
+
+
+def _register_engine_benches() -> None:
+    from repro.sim.engine import Simulator
+
+    def make() -> Callable[[], Any]:
+        def run_10k_events() -> int:
+            sim = Simulator()
+            remaining = [10_000]
+
+            def tick() -> None:
+                remaining[0] -= 1
+                if remaining[0]:
+                    sim.schedule(10, tick)
+
+            sim.schedule(0, tick)
+            sim.run()
+            return sim.events_dispatched
+
+        return run_10k_events
+
+    register_bench(Bench(
+        name="engine.dispatch.10k", make=make, group="engine", quick=True,
+        meta={"events": 10_000},
+        check=lambda dispatched: dispatched == 10_000))
+
+
+# -- cell-fabric benches -------------------------------------------------------
+
+
+def _fabric_bench(name: str, engine: str, n: int, slots: int, rates_fn,
+                  workload: str, sched_factory, scheduler: str,
+                  quick: bool) -> None:
+    def make() -> Callable[[], Any]:
+        from repro.fabric.cellsim import CellFabricSim
+
+        rates = rates_fn(n)
+
+        def run():
+            # Fresh scheduler + sim per op: iSLIP pointers are stateful
+            # and a warm backlog would change what later ops measure.
+            sim = CellFabricSim(sched_factory(n), rates, seed=1,
+                                engine=engine)
+            return sim.run(slots=slots)
+
+        return run
+
+    register_bench(Bench(
+        name=name, make=make, group="fabric", quick=quick,
+        meta={"n_ports": n, "engine": engine, "slots": slots,
+              "scheduler": scheduler, "workload": workload},
+        check=lambda stats: stats.departures > 0))
+
+
+def _register_fabric_benches() -> None:
+    from repro.fabric.workloads import incast_rates, uniform_rates
+    from repro.schedulers.islip import IslipScheduler
+    from repro.schedulers.reference import ReferenceIslipScheduler
+
+    def islip1(n: int) -> IslipScheduler:
+        return IslipScheduler(n, iterations=1)
+
+    def reference_islip1(n: int) -> ReferenceIslipScheduler:
+        return ReferenceIslipScheduler(n, iterations=1)
+
+    def uniform80(n: int) -> np.ndarray:
+        return uniform_rates(n, 0.8)
+
+    def incast90(n: int) -> np.ndarray:
+        return incast_rates(n, 0.9)
+
+    # The acceptance pair: 64-port uniform load, full stacks.
+    _fabric_bench("fabric.islip1.uniform.n64.vector", "vector", 64, 300,
+                  uniform80, "uniform-0.8", islip1, "islip", quick=True)
+    _fabric_bench("fabric.islip1.uniform.n64.reference", "reference", 64,
+                  300, uniform80, "uniform-0.8", reference_islip1,
+                  "islip-reference", quick=True)
+    # Small-port pair: overhead-dominated regime.
+    _fabric_bench("fabric.islip1.uniform.n16.vector", "vector", 16, 1_000,
+                  uniform80, "uniform-0.8", islip1, "islip", quick=True)
+    _fabric_bench("fabric.islip1.uniform.n16.reference", "reference", 16,
+                  1_000, uniform80, "uniform-0.8", reference_islip1,
+                  "islip-reference", quick=True)
+    # Incast: exercises deep single-column VOQs (ring-buffer growth).
+    _fabric_bench("fabric.islip1.incast.n16.vector", "vector", 16, 1_000,
+                  incast90, "incast-0.9", islip1, "islip", quick=False)
+
+
+def _register_all() -> None:
+    _register_scheduler_benches()
+    _register_engine_benches()
+    _register_fabric_benches()
+
+
+_register_all()
+
+__all__ = ["Bench", "register_bench", "get_bench", "iter_benches",
+           "bench_names"]

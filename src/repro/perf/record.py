@@ -1,0 +1,242 @@
+"""``BENCH_<rev>.json`` trajectory records: write, load, diff.
+
+A record is one machine's measurement of the registered microbenchmark
+suite at one revision.  Committing one per milestone (and uploading one
+per CI run) gives the project a performance *trajectory*: regressions
+show up as a ratio against the stored baseline instead of a vague
+"feels slower".
+
+Diffs are **advisory** by design — CI wall-clock on shared runners
+jitters far too much to hard-fail on, so the gate warns on >25% drift
+and a human decides.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+import platform
+import subprocess
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.perf.runner import BenchResult
+
+#: Format version of the JSON document.
+SCHEMA = 1
+#: Relative drift beyond which a diff entry becomes a warning.
+DEFAULT_THRESHOLD = 0.25
+#: Suffixes that pair fabric benches into speedup comparisons.
+_ENGINE_SUFFIXES = (".vector", ".reference")
+
+
+def current_revision() -> str:
+    """Identifier for the code being measured.
+
+    ``REPRO_BENCH_REV`` overrides (CI and committed baselines use this
+    for stable names); otherwise ``git describe --always --dirty``;
+    ``unknown`` outside a checkout.
+    """
+    import os
+
+    override = os.environ.get("REPRO_BENCH_REV")
+    if override:
+        return override
+    try:
+        described = subprocess.run(
+            ["git", "describe", "--always", "--dirty"],
+            capture_output=True, text=True, timeout=10)
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    revision = described.stdout.strip()
+    return revision if described.returncode == 0 and revision else "unknown"
+
+
+@dataclass(frozen=True)
+class BenchRecord:
+    """One suite measurement: environment + per-bench results."""
+
+    revision: str
+    created_utc: str
+    python: str
+    numpy: str
+    machine: str
+    quick: bool
+    results: List[BenchResult] = field(default_factory=list)
+    schema: int = SCHEMA
+
+    @classmethod
+    def capture(cls, results: List[BenchResult], quick: bool,
+                revision: Optional[str] = None) -> "BenchRecord":
+        """Wrap measured results with the current environment."""
+        import datetime
+
+        return cls(
+            revision=revision or current_revision(),
+            created_utc=datetime.datetime.now(
+                datetime.timezone.utc).isoformat(timespec="seconds"),
+            python=platform.python_version(),
+            numpy=np.__version__,
+            machine=f"{platform.system()}-{platform.machine()}",
+            quick=quick,
+            results=list(results),
+        )
+
+    def by_name(self) -> Dict[str, BenchResult]:
+        """Results keyed by bench name."""
+        return {result.name: result for result in self.results}
+
+    def default_filename(self) -> str:
+        """``BENCH_<rev>.json`` with filesystem-hostile characters
+        replaced."""
+        safe = "".join(c if c.isalnum() or c in "-._" else "-"
+                       for c in self.revision)
+        return f"BENCH_{safe}.json"
+
+    # -- persistence ----------------------------------------------------------
+
+    def to_json(self, indent: int = 1) -> str:
+        return json.dumps(dataclasses.asdict(self), indent=indent,
+                          sort_keys=True)
+
+    def write(self, path: Union[str, pathlib.Path]) -> pathlib.Path:
+        path = pathlib.Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_json() + "\n")
+        return path
+
+    @classmethod
+    def load(cls, path: Union[str, pathlib.Path]) -> "BenchRecord":
+        payload = json.loads(pathlib.Path(path).read_text())
+        if payload.get("schema") != SCHEMA:
+            raise ValueError(
+                f"{path}: unsupported bench record schema "
+                f"{payload.get('schema')!r} (expected {SCHEMA})")
+        results = [BenchResult(**entry) for entry in payload["results"]]
+        fields = {f.name for f in dataclasses.fields(cls)}
+        meta = {key: value for key, value in payload.items()
+                if key in fields and key != "results"}
+        return cls(results=results, **meta)
+
+
+def latest_record(directory: Union[str, pathlib.Path],
+                  ) -> Optional[pathlib.Path]:
+    """Newest ``BENCH_*.json`` in ``directory`` by recorded creation
+    time (None when the directory holds none)."""
+    directory = pathlib.Path(directory)
+    best: Optional[pathlib.Path] = None
+    best_created = ""
+    for candidate in sorted(directory.glob("BENCH_*.json")):
+        try:
+            created = json.loads(candidate.read_text()).get(
+                "created_utc", "")
+        except (OSError, ValueError):
+            continue
+        if created >= best_created:
+            best, best_created = candidate, created
+    return best
+
+
+@dataclass(frozen=True)
+class BenchDelta:
+    """One bench's drift between a baseline and a current record."""
+
+    name: str
+    #: ``regression`` / ``improvement`` / ``ok`` / ``new`` / ``missing``.
+    status: str
+    baseline_ns: Optional[float]
+    current_ns: Optional[float]
+    #: current / baseline (None when either side is absent).
+    ratio: Optional[float]
+
+    def render(self) -> str:
+        if self.status == "new":
+            return f"  NEW         {self.name}: no baseline entry"
+        if self.status == "missing":
+            return f"  MISSING     {self.name}: not in current run"
+        assert self.ratio is not None
+        drift = (self.ratio - 1.0) * 100.0
+        tag = {"regression": "REGRESSION", "improvement": "IMPROVEMENT",
+               "ok": "ok"}[self.status]
+        return (f"  {tag:<11} {self.name}: {self.baseline_ns:,.0f} -> "
+                f"{self.current_ns:,.0f} ns/op ({drift:+.1f}%)")
+
+
+def diff_records(baseline: BenchRecord, current: BenchRecord,
+                 threshold: float = DEFAULT_THRESHOLD) -> List[BenchDelta]:
+    """Per-bench drift, current vs baseline, sorted worst-first.
+
+    ``threshold`` is the relative change that flips an entry to
+    ``regression`` (slower) or ``improvement`` (faster).
+
+    A quick-mode current record diffed against a full-mode baseline
+    (CI's perf-smoke vs the committed baseline) suppresses ``missing``
+    entries: the full-only benches are absent by design, and permanent
+    MISSING noise would train readers to ignore the one status that
+    flags a bench silently dropped from the registry.
+    """
+    base = baseline.by_name()
+    cur = current.by_name()
+    expected_missing = current.quick and not baseline.quick
+    deltas: List[BenchDelta] = []
+    for name in sorted(set(base) | set(cur)):
+        if name not in base:
+            deltas.append(BenchDelta(name, "new", None,
+                                     cur[name].ns_per_op, None))
+            continue
+        if name not in cur:
+            if not expected_missing:
+                deltas.append(BenchDelta(name, "missing",
+                                         base[name].ns_per_op, None, None))
+            continue
+        baseline_ns = base[name].ns_per_op
+        current_ns = cur[name].ns_per_op
+        ratio = current_ns / baseline_ns if baseline_ns else float("inf")
+        if ratio > 1.0 + threshold:
+            status = "regression"
+        elif ratio < 1.0 - threshold:
+            status = "improvement"
+        else:
+            status = "ok"
+        deltas.append(
+            BenchDelta(name, status, baseline_ns, current_ns, ratio))
+    order = {"regression": 0, "missing": 1, "new": 2, "improvement": 3,
+             "ok": 4}
+    deltas.sort(key=lambda d: (order[d.status],
+                               -(d.ratio or 0.0), d.name))
+    return deltas
+
+
+def engine_speedups(record: BenchRecord) -> Dict[str, float]:
+    """Vector-over-reference speedups from paired fabric benches.
+
+    Benches named ``<stem>.vector`` / ``<stem>.reference`` are paired;
+    the returned mapping is ``{stem: reference_ns / vector_ns}`` — the
+    number the hot-path acceptance criterion reads (≥ 5× at
+    ``fabric.islip1.uniform.n64``).
+    """
+    by_name = record.by_name()
+    speedups: Dict[str, float] = {}
+    for name, result in by_name.items():
+        if not name.endswith(".vector"):
+            continue
+        stem = name[: -len(".vector")]
+        reference = by_name.get(stem + ".reference")
+        if reference is not None and result.ns_per_op:
+            speedups[stem] = reference.ns_per_op / result.ns_per_op
+    return speedups
+
+
+__all__ = [
+    "SCHEMA",
+    "DEFAULT_THRESHOLD",
+    "BenchRecord",
+    "BenchDelta",
+    "current_revision",
+    "latest_record",
+    "diff_records",
+    "engine_speedups",
+]

@@ -1,0 +1,110 @@
+"""The measurement harness behind ``repro perf``.
+
+Deliberately small and dependency-free (pytest-benchmark stays the
+interactive frontend): calibrate a loop count so one repeat lasts at
+least ``min_time``, run ``repeats`` repeats, report the **best** ns/op
+(the standard estimator for "how fast can this go" — slower repeats
+measure interference, not the code) plus mean/stddev for context.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional
+
+from repro.perf.benches import Bench
+
+#: Calibration never exceeds this many loops per repeat; protects
+#: against pathological sub-nanosecond callables.
+_MAX_LOOPS = 1 << 24
+
+
+@dataclass(frozen=True)
+class BenchResult:
+    """One bench's measurement, as recorded into ``BENCH_*.json``."""
+
+    name: str
+    group: str
+    #: Best-of-repeats nanoseconds per operation.
+    ns_per_op: float
+    #: Mean ns/op across repeats.
+    mean_ns: float
+    #: Population standard deviation of ns/op across repeats.
+    stddev_ns: float
+    #: Calibrated loop count per repeat.
+    loops: int
+    repeats: int
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def ops_per_s(self) -> float:
+        """Operations per second at the best ns/op."""
+        return 1e9 / self.ns_per_op if self.ns_per_op else 0.0
+
+
+def _time_loops(fn: Callable[[], Any], loops: int) -> int:
+    """Wall nanoseconds for ``loops`` back-to-back calls."""
+    start = time.perf_counter_ns()
+    for __ in range(loops):
+        fn()
+    return time.perf_counter_ns() - start
+
+
+def _calibrate(fn: Callable[[], Any], min_time_ns: int) -> int:
+    """Smallest power-of-two loop count lasting >= ``min_time_ns``."""
+    loops = 1
+    while loops < _MAX_LOOPS:
+        if _time_loops(fn, loops) >= min_time_ns:
+            return loops
+        loops *= 2
+    return loops
+
+
+def measure(bench: Bench, min_time_s: float = 0.1,
+            repeats: int = 5) -> BenchResult:
+    """Measure one bench: setup once, calibrate, repeat, summarise."""
+    if min_time_s <= 0:
+        raise ValueError(f"min_time_s must be positive, got {min_time_s}")
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    fn = bench.make()
+    # Warm-up call doubles as the sanity check: a bench that stopped
+    # doing real work must fail here, not record a flattering time.
+    warmup_result = fn()
+    if bench.check is not None and not bench.check(warmup_result):
+        raise ValueError(
+            f"bench {bench.name!r} failed its sanity check "
+            f"(returned {warmup_result!r})")
+    min_time_ns = int(min_time_s * 1e9)
+    loops = _calibrate(fn, min_time_ns)
+    samples = [_time_loops(fn, loops) / loops for __ in range(repeats)]
+    mean = sum(samples) / repeats
+    variance = sum((s - mean) ** 2 for s in samples) / repeats
+    return BenchResult(
+        name=bench.name,
+        group=bench.group,
+        ns_per_op=min(samples),
+        mean_ns=mean,
+        stddev_ns=variance ** 0.5,
+        loops=loops,
+        repeats=repeats,
+        meta=dict(bench.meta),
+    )
+
+
+def run_suite(benches: Iterable[Bench], min_time_s: float = 0.1,
+              repeats: int = 5,
+              on_result: Optional[Callable[[BenchResult], None]] = None,
+              ) -> List[BenchResult]:
+    """Measure every bench in order; stream results via ``on_result``."""
+    results: List[BenchResult] = []
+    for bench in benches:
+        result = measure(bench, min_time_s=min_time_s, repeats=repeats)
+        results.append(result)
+        if on_result is not None:
+            on_result(result)
+    return results
+
+
+__all__ = ["BenchResult", "measure", "run_suite"]

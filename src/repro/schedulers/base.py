@@ -105,6 +105,33 @@ class Scheduler(abc.ABC):
         must not mutate it.
         """
 
+    def compute_trusted(self, demand: np.ndarray) -> ScheduleResult:
+        """Hot-path entry that skips :meth:`_check_demand` re-validation.
+
+        Contract — the **caller** guarantees, for every call:
+
+        * ``demand`` has shape ``(n_ports, n_ports)``;
+        * every entry is non-negative;
+        * the diagonal is zero;
+        * ``demand`` is a real-valued numpy array (any integer or float
+          dtype — implementations must accept both and must not rely on
+          the float64 coercion that :meth:`_check_demand` performs);
+        * the array is not mutated by the scheduler (same rule as
+          :meth:`compute`).
+
+        Tight inner loops (the cell fabric runs one scheduling decision
+        per slot) call this instead of :meth:`compute` so that shape /
+        sign checks and the ``astype`` copy are not repeated thousands
+        of times on matrices the caller itself maintains.  The results
+        must be **identical** to :meth:`compute` on the same demand —
+        this is a validation bypass, never a different algorithm.
+
+        The base implementation simply falls back to :meth:`compute`,
+        so every scheduler supports the entry point; hot schedulers
+        override it (see iSLIP, greedy-MWM, Solstice).
+        """
+        return self.compute(demand)
+
     # -- shared validation ------------------------------------------------------
 
     def _check_demand(self, demand: np.ndarray) -> np.ndarray:

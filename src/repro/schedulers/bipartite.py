@@ -18,6 +18,8 @@ from __future__ import annotations
 from collections import deque
 from typing import List, Optional, Sequence
 
+import numpy as np
+
 #: Sentinel distance for unmatched/unreachable vertices in BFS.
 _INFINITY = float("inf")
 
@@ -88,14 +90,16 @@ def hopcroft_karp(adjacency: Sequence[Sequence[int]],
 def perfect_matching_on_support(support) -> Optional[List[int]]:
     """Perfect matching on the True entries of a square boolean matrix.
 
-    Returns ``match[i] = j`` covering every row and column, or ``None``
-    when no perfect matching exists (Hall violation).
+    ``support`` may be a nested sequence or a boolean ndarray.  Returns
+    ``match[i] = j`` covering every row and column, or ``None`` when no
+    perfect matching exists (Hall violation).
     """
-    n = len(support)
-    adjacency = [
-        [j for j in range(n) if support[i][j]]
-        for i in range(n)
-    ]
+    support = np.asarray(support, dtype=bool)
+    n = support.shape[0]
+    # Ascending neighbour order, same as the list comprehension this
+    # replaces — Hopcroft-Karp's DFS order (and thus the matching
+    # returned) depends on it.
+    adjacency = [np.nonzero(row)[0].tolist() for row in support]
     match = hopcroft_karp(adjacency, n)
     if any(m is None for m in match):
         return None

@@ -109,7 +109,7 @@ def birkhoff_von_neumann(
         if max_terms is not None and len(terms) >= max_terms:
             break
         support = work > tolerance
-        match = perfect_matching_on_support(support.tolist())
+        match = perfect_matching_on_support(support)
         if match is None:
             # Numerically ragged remainder: no perfect matching on the
             # support even though mass remains.  Stop; the residue is

@@ -16,7 +16,7 @@ Differences from PIM:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import List
 
 import numpy as np
 
@@ -42,6 +42,7 @@ class IslipScheduler(Scheduler):
         self.grant_ptr = [0] * n_ports
         #: Accept pointer per input: next output to favour.
         self.accept_ptr = [0] * n_ports
+        self._ports = np.arange(n_ports)
 
     def reset_pointers(self) -> None:
         """Re-zero both pointer arrays (tests / fresh epochs)."""
@@ -63,49 +64,71 @@ class IslipScheduler(Scheduler):
         return best
 
     def compute(self, demand: np.ndarray) -> ScheduleResult:
-        demand = self._check_demand(demand)
+        return self.compute_trusted(self._check_demand(demand))
+
+    def compute_trusted(self, demand: np.ndarray) -> ScheduleResult:
+        """Vectorised request/grant/accept; see the base-class contract.
+
+        Both phases are "pick the candidate nearest a rotating pointer",
+        which over all ports at once is an argmin over a rank matrix
+        ``(index - pointer) mod n`` with non-candidates masked to ``n``.
+        Ranks within a row/column are distinct, so the argmin is unique
+        and the result is identical to the per-port scalar loops this
+        replaces.
+        """
         n = self.n_ports
-        matched_out: Dict[int, int] = {}
-        matched_in: Dict[int, int] = {}
+        ports = self._ports
+        pos = demand > 0
+        out_of_arr = np.full(n, -1, dtype=np.int64)
+        in_unmatched = np.ones(n, dtype=bool)
+        out_unmatched = np.ones(n, dtype=bool)
+        # The grant-rank matrix changes only when pointers do
+        # (iteration 0), so it is hoisted out of the iteration loop.
+        grant_ptr = np.asarray(self.grant_ptr)
+        accept_ptr = np.asarray(self.accept_ptr)
+        grant_base = (ports[:, None] - grant_ptr[None, :]) % n
+        # Sentinel key above every real (rank, output) accept key.
+        blocked = n * (n + 1)
         rounds_used = 0
         for iteration in range(self.iterations):
             rounds_used += 1
-            progress = False
             # Grant phase: each unmatched output picks the requesting
-            # input nearest its pointer.
-            grants: Dict[int, List[int]] = {}
-            granted_by: Dict[int, int] = {}
-            for out in range(n):
-                if out in matched_in:
-                    continue
-                requesters = [
-                    inp for inp in range(n)
-                    if inp not in matched_out and demand[inp, out] > 0
-                ]
-                if not requesters:
-                    continue
-                chosen = self._round_robin_pick(
-                    requesters, self.grant_ptr[out], n)
-                grants.setdefault(chosen, []).append(out)
-                granted_by[out] = chosen
-            # Accept phase: each input picks the granting output nearest
-            # its pointer.
-            for inp, granting in grants.items():
-                accepted = self._round_robin_pick(
-                    granting, self.accept_ptr[inp], n)
-                matched_out[inp] = accepted
-                matched_in[accepted] = inp
-                progress = True
-                if iteration == 0:
-                    # Pointer update rule: one past the matched partner,
-                    # only for first-iteration matches.
-                    self.grant_ptr[accepted] = (inp + 1) % n
-                    self.accept_ptr[inp] = (accepted + 1) % n
-            if not progress:
+            # unmatched input nearest its grant pointer.
+            req = pos & in_unmatched[:, None] & out_unmatched[None, :]
+            grant_rank = np.where(req, grant_base, n)
+            chosen_in = grant_rank.argmin(axis=0)
+            granted_outs = ports[grant_rank[chosen_in, ports] < n]
+            if granted_outs.size == 0:
                 break
-        out_of: List[Optional[int]] = [matched_out.get(i) for i in range(n)]
+            # Accept phase: each input picks the granting output nearest
+            # its accept pointer.  Only ~n (input, output) grant edges
+            # exist, so instead of an n×n argmin this reduces each
+            # input's grants with a segment-min over composite keys
+            # rank·n + output; ranks are distinct per input, so the
+            # minimal key identifies the minimal-rank output.
+            grant_in = chosen_in[granted_outs]
+            accept_rank = (granted_outs - accept_ptr[grant_in]) % n
+            best_key = np.full(n, blocked, dtype=np.int64)
+            np.minimum.at(best_key, grant_in,
+                          accept_rank.astype(np.int64) * n + granted_outs)
+            new_in = ports[best_key < blocked]
+            new_out = best_key[new_in] % n
+            out_of_arr[new_in] = new_out
+            in_unmatched[new_in] = False
+            out_unmatched[new_out] = False
+            if iteration == 0:
+                # Pointer update rule: one past the matched partner,
+                # only for first-iteration matches.
+                for inp, out in zip(new_in.tolist(), new_out.tolist()):
+                    self.grant_ptr[out] = (inp + 1) % n
+                    self.accept_ptr[inp] = (out + 1) % n
+                if self.iterations > 1:
+                    grant_ptr = np.asarray(self.grant_ptr)
+                    accept_ptr = np.asarray(self.accept_ptr)
+                    grant_base = (ports[:, None] - grant_ptr[None, :]) % n
         self.last_stats = {"iterations": rounds_used, "matchings": 1}
-        return ScheduleResult(matchings=[(Matching(out_of), 0)])
+        return ScheduleResult(
+            matchings=[(Matching.from_output_array(out_of_arr), 0)])
 
 
 __all__ = ["IslipScheduler"]

@@ -24,7 +24,7 @@ from repro.sim.errors import SchedulingError
 class Matching:
     """An immutable partial permutation on ``n`` ports."""
 
-    __slots__ = ("_out_of", "n")
+    __slots__ = ("_out_of", "n", "_array")
 
     def __init__(self, out_of: Sequence[Optional[int]]) -> None:
         """``out_of[i]`` is the output matched to input ``i`` (or None).
@@ -44,7 +44,8 @@ class Matching:
                 raise SchedulingError(
                     f"matching maps two inputs to output {out}")
             seen.add(out)
-        self._out_of: Tuple[Optional[int], ...] = tuple(out_of)
+        self._out_of: Optional[Tuple[Optional[int], ...]] = tuple(out_of)
+        self._array: Optional[np.ndarray] = None
 
     # -- constructors ----------------------------------------------------------
 
@@ -82,33 +83,79 @@ class Matching:
         """Build from an {input: output} dict."""
         return cls.from_pairs(n, mapping.items())
 
+    @classmethod
+    def from_output_array(cls, array: np.ndarray) -> "Matching":
+        """Trusted constructor from an int output vector, ``-1`` = dark.
+
+        Skips the per-entry permutation validation — the **caller**
+        guarantees outputs are unique and in range.  Reserved for
+        scheduler inner loops that maintain that invariant structurally
+        (a masked argmin cannot emit a duplicate column); everything
+        else should use the validating constructors.  The array is
+        adopted, marked read-only, and becomes the :meth:`as_array`
+        cache.
+        """
+        matching = cls.__new__(cls)
+        matching.n = int(array.size)
+        matching._out_of = None  # built lazily by _tuple()
+        array.setflags(write=False)
+        matching._array = array
+        return matching
+
+    def _tuple(self) -> Tuple[Optional[int], ...]:
+        """The input→output tuple, materialised on first use.
+
+        Trusted construction defers this: the cell fabric consumes one
+        matching per slot purely through :meth:`as_array`, and building
+        an n-entry tuple it never reads would dominate the slot loop.
+        """
+        if self._out_of is None:
+            self._out_of = tuple(
+                None if out < 0 else out for out in self._array.tolist())
+        return self._out_of
+
     # -- queries ---------------------------------------------------------------
 
     def output_for(self, inp: int) -> Optional[int]:
         """Output matched to ``inp``, or None when dark."""
-        return self._out_of[inp]
+        return self._tuple()[inp]
 
     def input_for(self, out: int) -> Optional[int]:
         """Input matched to ``out``, or None (linear scan; n is small)."""
-        for inp, mapped in enumerate(self._out_of):
+        for inp, mapped in enumerate(self._tuple()):
             if mapped == out:
                 return inp
         return None
 
     def pairs(self) -> Iterator[Tuple[int, int]]:
         """Iterate matched (input, output) pairs."""
-        for inp, out in enumerate(self._out_of):
+        for inp, out in enumerate(self._tuple()):
             if out is not None:
                 yield inp, out
 
     @property
     def size(self) -> int:
         """Number of matched pairs."""
-        return sum(1 for out in self._out_of if out is not None)
+        return sum(1 for out in self._tuple() if out is not None)
 
     def is_full(self) -> bool:
         """True when every input is matched (a full permutation)."""
         return self.size == self.n
+
+    def as_array(self) -> np.ndarray:
+        """Read-only int64 vector of outputs, ``-1`` for dark inputs.
+
+        Cached on first use: the cell fabric indexes VOQ state with this
+        once per slot, and rebuilding it per call would put a Python
+        loop back on the hot path.
+        """
+        if self._array is None:
+            array = np.fromiter(
+                (-1 if out is None else out for out in self._tuple()),
+                dtype=np.int64, count=self.n)
+            array.setflags(write=False)
+            self._array = array
+        return self._array
 
     def to_matrix(self) -> np.ndarray:
         """Boolean n×n matrix; entry [i, j] is True when i → j."""
@@ -126,10 +173,10 @@ class Matching:
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Matching):
             return NotImplemented
-        return self._out_of == other._out_of
+        return self._tuple() == other._tuple()
 
     def __hash__(self) -> int:
-        return hash(self._out_of)
+        return hash(self._tuple())
 
     def __repr__(self) -> str:
         pairs = ", ".join(f"{i}->{o}" for i, o in self.pairs())

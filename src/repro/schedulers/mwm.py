@@ -33,7 +33,14 @@ class MwmScheduler(Scheduler):
     name = "mwm"
 
     def compute(self, demand: np.ndarray) -> ScheduleResult:
-        demand = self._check_demand(demand)
+        return self._solve(self._check_demand(demand))
+
+    def compute_trusted(self, demand: np.ndarray) -> ScheduleResult:
+        # Feed scipy the same float64 matrix _check_demand would have
+        # produced so the solver tie-breaks identically on both paths.
+        return self._solve(np.asarray(demand, dtype=np.float64))
+
+    def _solve(self, demand: np.ndarray) -> ScheduleResult:
         n = self.n_ports
         # linear_sum_assignment minimises, so negate.  It also requires
         # a square matrix and produces a *full* permutation; prune pairs
@@ -57,26 +64,50 @@ class GreedyMwmScheduler(Scheduler):
     name = "greedy-mwm"
 
     def compute(self, demand: np.ndarray) -> ScheduleResult:
-        demand = self._check_demand(demand)
+        return self.compute_trusted(self._check_demand(demand))
+
+    def compute_trusted(self, demand: np.ndarray) -> ScheduleResult:
+        """Locally-dominant rounds; see the base-class contract.
+
+        Sequential greedy over a *strict* total order (weight
+        descending, then (src, dst) ascending) picks exactly the edges
+        that are, at some stage, minimal in both their row and their
+        column among the edges not yet excluded.  Each round therefore
+        matches every edge whose rank is the row **and** column minimum
+        simultaneously — the globally smallest remaining rank always
+        qualifies, so every round makes progress, and the final matching
+        is identical to the edge-at-a-time Python loop this replaces.
+        """
         n = self.n_ports
         src_idx, dst_idx = np.nonzero(demand > 0)
-        weights = demand[src_idx, dst_idx]
-        # Sort by weight descending, then (src, dst) ascending.
-        order = np.lexsort((dst_idx, src_idx, -weights))
-        out_of: List[Optional[int]] = [None] * n
-        used_out = [False] * n
-        added = 0
-        for k in order.tolist():
-            inp = int(src_idx[k])
-            out = int(dst_idx[k])
-            if out_of[inp] is None and not used_out[out]:
-                out_of[inp] = out
-                used_out[out] = True
-                added += 1
-                if added == n:
+        out_of_arr = np.full(n, -1, dtype=np.int64)
+        if src_idx.size:
+            weights = demand[src_idx, dst_idx]
+            # Rank every edge by (weight desc, src asc, dst asc).
+            order = np.lexsort((dst_idx, src_idx, -weights))
+            rank = np.empty(order.size, dtype=np.int64)
+            rank[order] = np.arange(order.size)
+            blocked = order.size  # sentinel above every real rank
+            ranks = np.full((n, n), blocked, dtype=np.int64)
+            ranks[src_idx, dst_idx] = rank
+            ports = np.arange(n)
+            while True:
+                row_best = ranks.argmin(axis=1)
+                row_min = ranks[ports, row_best]
+                rows = ports[row_min < blocked]
+                if rows.size == 0:
                     break
+                col_best = ranks.argmin(axis=0)
+                cols = row_best[rows]
+                mutual = col_best[cols] == rows
+                rows = rows[mutual]
+                cols = cols[mutual]
+                out_of_arr[rows] = cols
+                ranks[rows, :] = blocked
+                ranks[:, cols] = blocked
         self.last_stats = {"iterations": 1, "matchings": 1}
-        return ScheduleResult(matchings=[(Matching(out_of), 0)])
+        return ScheduleResult(
+            matchings=[(Matching.from_output_array(out_of_arr), 0)])
 
 
 __all__ = ["MwmScheduler", "GreedyMwmScheduler"]

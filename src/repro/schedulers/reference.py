@@ -1,0 +1,171 @@
+"""Scalar reference implementations of the vectorised schedulers.
+
+The hot schedulers (iSLIP, greedy-MWM, Solstice) run numpy-vectorised
+inner loops on the production path.  This module preserves the original
+per-port Python loops — the seed implementations the vector code was
+derived from — as executable specifications:
+
+* the equivalence tests in ``tests/test_schedulers_vectorized.py``
+  fuzz vector vs scalar and require **identical** matchings, pointer
+  state and stats on every demand matrix;
+* the ``repro perf`` fabric benchmarks run the reference stack
+  (scalar fabric engine + scalar scheduler) against the vector stack,
+  so the recorded speedup measures the whole hot-path overhaul rather
+  than one layer;
+* anyone modifying a vectorised algorithm can diff against code that
+  reads like the pseudocode in the original papers.
+
+These classes are deliberately **not** in the scheduler registry:
+experiments and scenarios should never run them by accident.  They
+subclass the production classes, so constructor validation and
+:attr:`last_stats` semantics stay shared, and they override
+``compute_trusted`` back to the checked scalar path — a reference
+scheduler must never silently fall through to vector code.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.schedulers.base import ScheduleResult
+from repro.schedulers.bipartite import perfect_matching_on_support
+from repro.schedulers.bvn import stuff_matrix
+from repro.schedulers.islip import IslipScheduler
+from repro.schedulers.matching import Matching
+from repro.schedulers.mwm import GreedyMwmScheduler
+from repro.schedulers.solstice import SolsticeScheduler
+
+
+class ReferenceIslipScheduler(IslipScheduler):
+    """iSLIP with the original per-output/per-input scalar loops."""
+
+    def compute(self, demand: np.ndarray) -> ScheduleResult:
+        demand = self._check_demand(demand)
+        n = self.n_ports
+        matched_out: Dict[int, int] = {}
+        matched_in: Dict[int, int] = {}
+        rounds_used = 0
+        for iteration in range(self.iterations):
+            rounds_used += 1
+            progress = False
+            # Grant phase: each unmatched output picks the requesting
+            # input nearest its pointer.
+            grants: Dict[int, List[int]] = {}
+            for out in range(n):
+                if out in matched_in:
+                    continue
+                requesters = [
+                    inp for inp in range(n)
+                    if inp not in matched_out and demand[inp, out] > 0
+                ]
+                if not requesters:
+                    continue
+                chosen = self._round_robin_pick(
+                    requesters, self.grant_ptr[out], n)
+                grants.setdefault(chosen, []).append(out)
+            # Accept phase: each input picks the granting output nearest
+            # its pointer.
+            for inp, granting in grants.items():
+                accepted = self._round_robin_pick(
+                    granting, self.accept_ptr[inp], n)
+                matched_out[inp] = accepted
+                matched_in[accepted] = inp
+                progress = True
+                if iteration == 0:
+                    # Pointer update rule: one past the matched partner,
+                    # only for first-iteration matches.
+                    self.grant_ptr[accepted] = (inp + 1) % n
+                    self.accept_ptr[inp] = (accepted + 1) % n
+            if not progress:
+                break
+        out_of: List[Optional[int]] = [matched_out.get(i) for i in range(n)]
+        self.last_stats = {"iterations": rounds_used, "matchings": 1}
+        return ScheduleResult(matchings=[(Matching(out_of), 0)])
+
+    def compute_trusted(self, demand: np.ndarray) -> ScheduleResult:
+        return self.compute(demand)
+
+
+class ReferenceGreedyMwmScheduler(GreedyMwmScheduler):
+    """Greedy MWM visiting edges one at a time in sorted order."""
+
+    def compute(self, demand: np.ndarray) -> ScheduleResult:
+        demand = self._check_demand(demand)
+        n = self.n_ports
+        src_idx, dst_idx = np.nonzero(demand > 0)
+        weights = demand[src_idx, dst_idx]
+        # Sort by weight descending, then (src, dst) ascending.
+        order = np.lexsort((dst_idx, src_idx, -weights))
+        out_of: List[Optional[int]] = [None] * n
+        used_out = [False] * n
+        added = 0
+        for k in order.tolist():
+            inp = int(src_idx[k])
+            out = int(dst_idx[k])
+            if out_of[inp] is None and not used_out[out]:
+                out_of[inp] = out
+                used_out[out] = True
+                added += 1
+                if added == n:
+                    break
+        self.last_stats = {"iterations": 1, "matchings": 1}
+        return ScheduleResult(matchings=[(Matching(out_of), 0)])
+
+    def compute_trusted(self, demand: np.ndarray) -> ScheduleResult:
+        return self.compute(demand)
+
+
+class ReferenceSolsticeScheduler(SolsticeScheduler):
+    """Solstice with per-port Python loops in the peeling step."""
+
+    def compute(self, demand: np.ndarray) -> ScheduleResult:
+        demand = self._check_demand(demand)
+        n = self.n_ports
+        work = stuff_matrix(demand)
+        plan: List[Tuple[Matching, int]] = []
+        served = np.zeros_like(demand)
+        min_slice = max(self._min_slice_bytes(), 1.0)
+        iterations = 0
+        max_entry = float(work.max())
+        if max_entry > 0:
+            threshold = 2.0 ** np.floor(np.log2(max_entry))
+        else:
+            threshold = 0.0
+        while threshold >= min_slice:
+            if (self.max_matchings is not None
+                    and len(plan) >= self.max_matchings):
+                break
+            iterations += 1
+            support = work >= threshold
+            match = perfect_matching_on_support(support.tolist())
+            if match is None:
+                threshold /= 2.0
+                continue
+            slice_bytes = threshold
+            real_pairs = [(i, match[i]) for i in range(n)
+                          if demand[i, match[i]] - served[i, match[i]] > 0]
+            for i in range(n):
+                work[i, match[i]] -= slice_bytes
+            if real_pairs:
+                hold_ps = self._bytes_to_hold_ps(slice_bytes)
+                plan.append(
+                    (Matching.from_pairs(n, real_pairs), hold_ps))
+                for i, j in real_pairs:
+                    served[i, j] += slice_bytes
+        residue = np.maximum(demand - served, 0.0)
+        if not plan:
+            plan = [(Matching.empty(n), 0)]
+        self.last_stats = {"iterations": iterations, "matchings": len(plan)}
+        return ScheduleResult(matchings=plan, eps_residue=residue)
+
+    def compute_trusted(self, demand: np.ndarray) -> ScheduleResult:
+        return self.compute(demand)
+
+
+__all__ = [
+    "ReferenceIslipScheduler",
+    "ReferenceGreedyMwmScheduler",
+    "ReferenceSolsticeScheduler",
+]

@@ -78,8 +78,20 @@ class SolsticeScheduler(Scheduler):
         return self.min_slice_factor * blackout_bytes
 
     def compute(self, demand: np.ndarray) -> ScheduleResult:
-        demand = self._check_demand(demand)
+        return self._schedule(self._check_demand(demand))
+
+    def compute_trusted(self, demand: np.ndarray) -> ScheduleResult:
+        """Validation-free entry; see the base-class contract.
+
+        The peeling arithmetic is float; integer demand (the cell
+        fabric's VOQ counts) is widened here so both paths run on the
+        exact float64 matrix :meth:`compute` would.
+        """
+        return self._schedule(np.asarray(demand, dtype=np.float64))
+
+    def _schedule(self, demand: np.ndarray) -> ScheduleResult:
         n = self.n_ports
+        ports = np.arange(n)
         work = stuff_matrix(demand)
         plan: List[Tuple[Matching, int]] = []
         served = np.zeros_like(demand)
@@ -96,23 +108,23 @@ class SolsticeScheduler(Scheduler):
                 break
             iterations += 1
             support = work >= threshold
-            match = perfect_matching_on_support(support.tolist())
+            match = perfect_matching_on_support(support)
             if match is None:
                 threshold /= 2.0
                 continue
             # Slice duration: the threshold itself (Solstice peels in
             # power-of-two slabs so later thresholds stay aligned).
             slice_bytes = threshold
-            real_pairs = [(i, match[i]) for i in range(n)
-                          if demand[i, match[i]] - served[i, match[i]] > 0]
-            for i in range(n):
-                work[i, match[i]] -= slice_bytes
-            if real_pairs:
+            matched = np.asarray(match, dtype=np.int64)
+            real = demand[ports, matched] - served[ports, matched] > 0
+            work[ports, matched] -= slice_bytes
+            if real.any():
                 hold_ps = self._bytes_to_hold_ps(slice_bytes)
-                plan.append(
-                    (Matching.from_pairs(n, real_pairs), hold_ps))
-                for i, j in real_pairs:
-                    served[i, j] += slice_bytes
+                real_src = ports[real]
+                real_dst = matched[real]
+                plan.append((Matching.from_pairs(
+                    n, zip(real_src.tolist(), real_dst.tolist())), hold_ps))
+                served[real_src, real_dst] += slice_bytes
         residue = np.maximum(demand - served, 0.0)
         if not plan:
             plan = [(Matching.empty(n), 0)]

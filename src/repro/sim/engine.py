@@ -101,20 +101,23 @@ class Simulator:
         self._running = True
         self._stopped = False
         dispatched = 0
+        # Hot loop: bind the queue methods once — at millions of events
+        # per run the repeated attribute lookups are measurable.
+        peek_time = self._queue.peek_time
+        pop = self._queue.pop
+        bounded = until is not None
         try:
-            while True:
-                if self._stopped:
-                    break
-                next_time = self._queue.peek_time()
+            while not self._stopped:
+                next_time = peek_time()
                 if next_time is None:
-                    if until is not None:
+                    if bounded:
                         self._now = max(self._now, until)
                     break
-                if until is not None and next_time > until:
+                if bounded and next_time > until:
                     self._now = until
                     break
-                event = self._queue.pop()
-                self._now = event.time
+                event = pop()
+                self._now = next_time
                 event.callback()
                 dispatched += 1
                 self.events_dispatched += 1

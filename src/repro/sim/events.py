@@ -5,6 +5,11 @@ monotonically increasing sequence number guarantees a total order even
 when many events share a timestamp, which makes runs deterministic and
 lets FIFO semantics fall out naturally: events scheduled earlier at the
 same instant fire earlier.
+
+Both classes sit on the engine's hottest path — every packet hop is at
+least one push/pop — so :class:`Event` is a ``slots=True`` dataclass
+(no per-event ``__dict__`` allocation) and the queue keeps its live
+count consistent with O(1) bookkeeping instead of heap scans.
 """
 
 from __future__ import annotations
@@ -17,7 +22,7 @@ from typing import Callable, Optional
 from repro.sim.errors import SimulationError
 
 
-@dataclass
+@dataclass(slots=True)
 class Event:
     """A single scheduled callback.
 
@@ -31,6 +36,8 @@ class Event:
         dispatch loop branch-free.
     label:
         Optional human-readable tag used by tracing and error messages.
+        Callers on hot paths should pass a precomputed constant (or
+        nothing) rather than building an f-string per event.
     cancelled:
         Lazy-deletion flag.  Cancelled events stay in the heap but are
         skipped on pop; this is O(1) per cancel instead of O(n) removal.
@@ -40,6 +47,11 @@ class Event:
     callback: Callable[[], None]
     label: str = ""
     cancelled: bool = field(default=False, compare=False)
+    #: Internal: True once an :class:`EventQueue` has subtracted this
+    #: event's cancellation from its live count.  Lets the queue stay
+    #: consistent whether the cancel arrived via :meth:`EventQueue.cancel`
+    #: or directly via :meth:`Event.cancel`.
+    accounted: bool = field(default=False, compare=False, repr=False)
 
     def cancel(self) -> None:
         """Mark the event so the queue skips it when popped."""
@@ -50,11 +62,18 @@ class EventQueue:
     """Deterministic min-heap of :class:`Event` objects.
 
     Not thread-safe; the simulator is single-threaded by design.
+
+    ``len(queue)`` is the number of *live* (non-cancelled) events.  An
+    event cancelled directly via :meth:`Event.cancel` (bypassing
+    :meth:`cancel`) is reconciled into the count the next time the
+    queue touches it — on :meth:`cancel`, or when :meth:`pop` /
+    :meth:`peek_time` compact it off the heap — so interleaved
+    cancel/peek sequences can never drift the count.
     """
 
     def __init__(self) -> None:
         self._heap: list[tuple[int, int, Event]] = []
-        self._sequence = itertools.count()
+        self._next_sequence = itertools.count().__next__
         self._live = 0
 
     def __len__(self) -> int:
@@ -62,9 +81,18 @@ class EventQueue:
         return self._live
 
     def push(self, event: Event) -> None:
-        """Insert an event; O(log n)."""
-        heapq.heappush(self._heap, (event.time, next(self._sequence), event))
+        """Insert an event; O(log n).
+
+        Each :class:`Event` instance must be pushed at most once.
+        """
+        heapq.heappush(self._heap, (event.time, self._next_sequence(), event))
         self._live += 1
+
+    def _discount(self, event: Event) -> None:
+        """Subtract a cancelled event from the live count exactly once."""
+        if not event.accounted:
+            event.accounted = True
+            self._live -= 1
 
     def pop(self) -> Event:
         """Remove and return the earliest live event; O(log n) amortised.
@@ -74,7 +102,12 @@ class EventQueue:
         while self._heap:
             __, __, event = heapq.heappop(self._heap)
             if event.cancelled:
+                self._discount(event)
                 continue
+            # Mark the event accounted: it has left the live count, so
+            # a later cancel() on the already-fired event (stale-timer
+            # cleanup) must not subtract it a second time.
+            event.accounted = True
             self._live -= 1
             return event
         raise SimulationError("pop from empty event queue")
@@ -82,22 +115,26 @@ class EventQueue:
     def peek_time(self) -> Optional[int]:
         """Firing time of the earliest live event, or ``None`` if empty.
 
-        Compacts cancelled events off the top as a side effect.
+        Compacts cancelled events off the top as a side effect,
+        reconciling any that were cancelled behind the queue's back.
         """
-        while self._heap and self._heap[0][2].cancelled:
-            heapq.heappop(self._heap)
-        if not self._heap:
+        heap = self._heap
+        while heap and heap[0][2].cancelled:
+            self._discount(heap[0][2])
+            heapq.heappop(heap)
+        if not heap:
             return None
-        return self._heap[0][0]
+        return heap[0][0]
 
     def cancel(self, event: Event) -> None:
         """Cancel a previously pushed event (idempotent)."""
-        if not event.cancelled:
-            event.cancel()
-            self._live -= 1
+        event.cancelled = True
+        self._discount(event)
 
     def clear(self) -> None:
         """Drop every queued event."""
+        for __, __, event in self._heap:
+            event.accounted = True  # a later cancel() must be a no-op
         self._heap.clear()
         self._live = 0
 

@@ -107,12 +107,16 @@ class Probe:
 
     def install(self, sim) -> None:
         """Begin periodic sampling on ``sim`` (first sample after one period)."""
+        # One label string for the probe's lifetime — re-arming happens
+        # once per period and must not allocate a fresh f-string per
+        # event.
+        label = f"probe:{self.name}"
 
         def fire() -> None:
             self.series.record(sim.now, float(self.sample()))
-            sim.schedule(self.period_ps, fire, label=f"probe:{self.name}")
+            sim.schedule(self.period_ps, fire, label=label)
 
-        sim.schedule(self.period_ps, fire, label=f"probe:{self.name}")
+        sim.schedule(self.period_ps, fire, label=label)
 
 
 __all__ = ["Counter", "TimeSeries", "Probe"]

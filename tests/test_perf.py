@@ -1,0 +1,264 @@
+"""Tests for the repro.perf subsystem and the ``repro perf`` CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.perf.benches import Bench, bench_names, get_bench, iter_benches
+from repro.perf.record import (
+    SCHEMA,
+    BenchRecord,
+    current_revision,
+    diff_records,
+    engine_speedups,
+    latest_record,
+)
+from repro.perf.runner import BenchResult, measure, run_suite
+
+
+def _tiny_bench(name="tiny.noop", group="test", quick=True, value=1):
+    return Bench(name=name, make=lambda: (lambda: value), group=group,
+                 quick=quick, meta={"n_ports": 2})
+
+
+def _result(name, ns, group="fabric"):
+    return BenchResult(name=name, group=group, ns_per_op=ns, mean_ns=ns,
+                       stddev_ns=0.0, loops=1, repeats=1, meta={})
+
+
+class TestRegistry:
+    def test_names_unique_and_sorted(self):
+        names = bench_names()
+        assert names == sorted(names)
+        assert len(names) == len(set(names))
+        assert names  # non-empty
+
+    def test_quick_subset_is_a_subset(self):
+        assert set(bench_names(quick=True)) <= set(bench_names())
+
+    def test_acceptance_pair_registered(self):
+        # The 64-port uniform pair demonstrates the >=5x acceptance
+        # criterion; both halves must be in the quick (CI) subset.
+        quick = set(bench_names(quick=True))
+        assert "fabric.islip1.uniform.n64.vector" in quick
+        assert "fabric.islip1.uniform.n64.reference" in quick
+
+    def test_pattern_filter(self):
+        assert all("islip" in name
+                   for name in bench_names(pattern="islip"))
+        assert bench_names(pattern="no-such-bench") == []
+
+    def test_get_bench(self):
+        bench = get_bench("sched.islip4.n16")
+        assert bench.group == "scheduler"
+        assert bench.meta["n_ports"] == 16
+
+    def test_every_bench_make_is_callable(self):
+        for bench in iter_benches():
+            assert callable(bench.make)
+
+    def test_every_bench_has_a_sanity_check(self):
+        # A bench whose workload silently stops doing work must fail,
+        # not record a flattering speedup into the trajectory.
+        for bench in iter_benches():
+            assert bench.check is not None, bench.name
+
+
+class TestRunner:
+    def test_measure_tiny(self):
+        result = measure(_tiny_bench(), min_time_s=0.001, repeats=2)
+        assert result.name == "tiny.noop"
+        assert result.ns_per_op > 0
+        assert result.loops >= 1
+        assert result.repeats == 2
+        assert result.ops_per_s > 0
+        assert result.meta == {"n_ports": 2}
+
+    def test_measure_runs_sanity_check(self):
+        good = Bench(name="t.ok", make=lambda: (lambda: 7), group="test",
+                     check=lambda value: value == 7)
+        assert measure(good, min_time_s=0.001, repeats=1).ns_per_op > 0
+        bad = Bench(name="t.bad", make=lambda: (lambda: 0), group="test",
+                    check=lambda value: value == 7)
+        with pytest.raises(ValueError, match="sanity check"):
+            measure(bad, min_time_s=0.001, repeats=1)
+
+    def test_measure_validates_parameters(self):
+        with pytest.raises(ValueError):
+            measure(_tiny_bench(), min_time_s=0)
+        with pytest.raises(ValueError):
+            measure(_tiny_bench(), repeats=0)
+
+    def test_run_suite_streams_results(self):
+        seen = []
+        results = run_suite([_tiny_bench(), _tiny_bench("tiny.two")],
+                            min_time_s=0.001, repeats=1,
+                            on_result=seen.append)
+        assert [r.name for r in results] == ["tiny.noop", "tiny.two"]
+        assert seen == results
+
+
+class TestRecord:
+    def test_roundtrip(self, tmp_path):
+        record = BenchRecord.capture([_result("a.vector", 100.0)],
+                                     quick=True, revision="test-rev")
+        path = record.write(tmp_path / "BENCH_test-rev.json")
+        loaded = BenchRecord.load(path)
+        assert loaded == record
+        assert loaded.schema == SCHEMA
+        payload = json.loads(path.read_text())
+        assert payload["revision"] == "test-rev"
+
+    def test_load_rejects_unknown_schema(self, tmp_path):
+        path = tmp_path / "BENCH_x.json"
+        path.write_text(json.dumps({"schema": 99, "results": []}))
+        with pytest.raises(ValueError):
+            BenchRecord.load(path)
+
+    def test_default_filename_sanitised(self):
+        record = BenchRecord.capture([], quick=False,
+                                     revision="abc123/dirty rev")
+        assert record.default_filename() == "BENCH_abc123-dirty-rev.json"
+
+    def test_revision_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_REV", "pinned")
+        assert current_revision() == "pinned"
+
+    def test_latest_record_picks_newest_created(self, tmp_path):
+        old = BenchRecord(revision="old", created_utc="2026-01-01T00:00:00",
+                          python="3", numpy="2", machine="m", quick=True)
+        new = BenchRecord(revision="new", created_utc="2026-06-01T00:00:00",
+                          python="3", numpy="2", machine="m", quick=True)
+        old.write(tmp_path / "BENCH_old.json")
+        new.write(tmp_path / "BENCH_new.json")
+        (tmp_path / "BENCH_junk.json").write_text("not json")
+        assert latest_record(tmp_path).name == "BENCH_new.json"
+
+    def test_latest_record_empty_dir(self, tmp_path):
+        assert latest_record(tmp_path) is None
+
+
+class TestDiff:
+    def _records(self, baseline_ns, current_ns):
+        base = BenchRecord.capture([_result("x", baseline_ns)], quick=True,
+                                   revision="base")
+        cur = BenchRecord.capture([_result("x", current_ns)], quick=True,
+                                  revision="cur")
+        return base, cur
+
+    def test_statuses(self):
+        base, cur = self._records(100.0, 140.0)
+        (delta,) = diff_records(base, cur, threshold=0.25)
+        assert delta.status == "regression"
+        assert delta.ratio == pytest.approx(1.4)
+        (delta,) = diff_records(*self._records(100.0, 60.0))
+        assert delta.status == "improvement"
+        (delta,) = diff_records(*self._records(100.0, 110.0))
+        assert delta.status == "ok"
+
+    def test_new_and_missing(self):
+        base = BenchRecord.capture([_result("gone", 5.0)], quick=True,
+                                   revision="base")
+        cur = BenchRecord.capture([_result("fresh", 5.0)], quick=True,
+                                  revision="cur")
+        statuses = {d.name: d.status for d in diff_records(base, cur)}
+        assert statuses == {"gone": "missing", "fresh": "new"}
+
+    def test_quick_vs_full_baseline_suppresses_expected_missing(self):
+        # CI diffs a --quick record against the committed full-mode
+        # baseline; full-only benches must not spam MISSING there, but
+        # a genuinely dropped bench in same-mode diffs still must.
+        base = BenchRecord.capture(
+            [_result("shared", 10.0), _result("full.only", 10.0)],
+            quick=False, revision="base")
+        cur = BenchRecord.capture([_result("shared", 10.0)], quick=True,
+                                  revision="cur")
+        statuses = {d.name: d.status for d in diff_records(base, cur)}
+        assert statuses == {"shared": "ok"}
+
+    def test_render_lines(self):
+        base, cur = self._records(100.0, 150.0)
+        (delta,) = diff_records(base, cur)
+        assert "REGRESSION" in delta.render()
+        assert "+50.0%" in delta.render()
+
+    def test_engine_speedups_pairing(self):
+        record = BenchRecord.capture(
+            [_result("fabric.x.vector", 100.0),
+             _result("fabric.x.reference", 700.0),
+             _result("fabric.unpaired.vector", 50.0)],
+            quick=True, revision="r")
+        speedups = engine_speedups(record)
+        assert speedups == {"fabric.x": pytest.approx(7.0)}
+
+
+class TestPerfCli:
+    FAST = ["--filter", "sched.islip4.n16", "--repeats", "1",
+            "--min-time", "0.001"]
+
+    def test_list(self, capsys):
+        assert main(["perf", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fabric.islip1.uniform.n64.vector" in out
+        assert "sched.islip4.n16" in out
+
+    def test_run_writes_record(self, tmp_path, capsys):
+        out_path = tmp_path / "BENCH_cli.json"
+        code = main(["perf", *self.FAST, "--json-out", str(out_path)])
+        assert code == 0
+        record = BenchRecord.load(out_path)
+        assert [r.name for r in record.results] == ["sched.islip4.n16"]
+        assert "ns/op" in capsys.readouterr().out
+
+    def test_unknown_filter_fails(self, capsys):
+        assert main(["perf", "--filter", "nope-nothing"]) == 2
+        assert "no benches match" in capsys.readouterr().err
+
+    def test_baseline_diff_advisory(self, tmp_path, capsys):
+        baseline_dir = tmp_path / "baselines"
+        code = main(["perf", *self.FAST, "--json-out",
+                     str(baseline_dir / "BENCH_base.json")])
+        assert code == 0
+        capsys.readouterr()
+        # Advisory: exit 0 regardless of drift at a tiny threshold.
+        code = main(["perf", *self.FAST, "--json-out",
+                     str(tmp_path / "BENCH_cur.json"),
+                     "--baseline", str(baseline_dir),
+                     "--threshold", "10.0"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "vs baseline" in out
+        assert "no regressions beyond threshold" in out
+
+    def test_fail_on_regression_gates(self, tmp_path, capsys):
+        baseline = BenchRecord.capture(
+            [_result("sched.islip4.n16", 0.001)], quick=False,
+            revision="impossible")
+        baseline_path = baseline.write(tmp_path / "BENCH_fast.json")
+        code = main(["perf", *self.FAST, "--json-out",
+                     str(tmp_path / "BENCH_cur.json"),
+                     "--baseline", str(baseline_path),
+                     "--fail-on-regression"])
+        assert code == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_missing_baseline_dir_fails_cleanly(self, tmp_path, capsys):
+        (tmp_path / "empty").mkdir()
+        code = main(["perf", *self.FAST, "--json-out",
+                     str(tmp_path / "BENCH_cur.json"),
+                     "--baseline", str(tmp_path / "empty")])
+        assert code == 2
+        assert "no BENCH_*.json" in capsys.readouterr().err
+
+    def test_committed_baseline_loads_and_pairs(self):
+        # The repo ships a baseline whose 64-port pair demonstrates the
+        # >=5x acceptance criterion; keep it loadable and honest.
+        import pathlib
+        baselines = pathlib.Path(__file__).parent.parent / "benchmarks" \
+            / "baselines"
+        path = latest_record(baselines)
+        assert path is not None, "no committed BENCH_*.json baseline"
+        record = BenchRecord.load(path)
+        speedups = engine_speedups(record)
+        assert speedups.get("fabric.islip1.uniform.n64", 0.0) >= 5.0

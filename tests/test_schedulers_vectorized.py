@@ -1,0 +1,185 @@
+"""Vectorised schedulers vs their scalar reference implementations.
+
+The vector rewrites of iSLIP, greedy-MWM and Solstice must be *drop-in
+identical*: same matchings, same pointer evolution, same ``last_stats``
+on every demand matrix — the scalar loops in
+:mod:`repro.schedulers.reference` are the executable specification.
+Also covers the ``compute_trusted`` contract and the trusted
+:class:`Matching` constructor.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.schedulers.base import Scheduler, ScheduleResult
+from repro.schedulers.islip import IslipScheduler
+from repro.schedulers.matching import Matching
+from repro.schedulers.mwm import GreedyMwmScheduler, MwmScheduler
+from repro.schedulers.reference import (
+    ReferenceGreedyMwmScheduler,
+    ReferenceIslipScheduler,
+    ReferenceSolsticeScheduler,
+)
+from repro.schedulers.solstice import SolsticeScheduler
+from repro.sim.errors import SchedulingError
+from repro.sim.time import MICROSECONDS
+
+
+@st.composite
+def demand_matrices(draw, max_n=10, max_value=50):
+    n = draw(st.integers(min_value=2, max_value=max_n))
+    cells = draw(st.lists(
+        st.tuples(st.integers(0, n - 1), st.integers(0, n - 1),
+                  st.integers(1, max_value)),
+        max_size=n * n))
+    demand = np.zeros((n, n))
+    for src, dst, value in cells:
+        demand[src, dst] = value  # diagonal allowed: algorithms must cope
+    return demand
+
+
+class TestIslipEquivalence:
+    @given(demand_matrices())
+    @settings(max_examples=60, deadline=None)
+    def test_single_compute_identical(self, demand):
+        n = demand.shape[0]
+        scalar = ReferenceIslipScheduler(n, iterations=2)
+        vector = IslipScheduler(n, iterations=2)
+        a = scalar.compute(demand)
+        b = vector.compute(demand)
+        assert a.first == b.first
+        assert scalar.grant_ptr == vector.grant_ptr
+        assert scalar.accept_ptr == vector.accept_ptr
+        assert scalar.last_stats == vector.last_stats
+
+    @given(st.integers(2, 8), st.integers(1, 4), st.integers(0, 2**16))
+    @settings(max_examples=25, deadline=None)
+    def test_pointer_evolution_identical_over_sequences(self, n, iterations,
+                                                        seed):
+        # Pointers persist across calls; a whole demand *sequence* must
+        # drive both implementations through identical states.
+        rng = np.random.default_rng(seed)
+        scalar = ReferenceIslipScheduler(n, iterations=iterations)
+        vector = IslipScheduler(n, iterations=iterations)
+        for __ in range(12):
+            demand = rng.integers(0, 4, (n, n)).astype(float)
+            a = scalar.compute(demand)
+            b = vector.compute(demand)
+            assert a.first == b.first
+            assert scalar.grant_ptr == vector.grant_ptr
+            assert scalar.accept_ptr == vector.accept_ptr
+
+    def test_trusted_accepts_integer_demand(self):
+        # The fabric hands over int64 VOQ counts; results must match
+        # the float path exactly.
+        demand = np.array([[0, 3, 1], [2, 0, 0], [0, 5, 0]])
+        checked = IslipScheduler(3).compute(demand.astype(float))
+        trusted = IslipScheduler(3).compute_trusted(demand)
+        assert checked.first == trusted.first
+
+
+class TestGreedyMwmEquivalence:
+    @given(demand_matrices(max_n=12))
+    @settings(max_examples=60, deadline=None)
+    def test_identical_matching(self, demand):
+        n = demand.shape[0]
+        a = ReferenceGreedyMwmScheduler(n).compute(demand)
+        b = GreedyMwmScheduler(n).compute(demand)
+        assert a.first == b.first
+
+    @given(st.integers(2, 10), st.integers(0, 2**16))
+    @settings(max_examples=40, deadline=None)
+    def test_heavy_ties_identical(self, n, seed):
+        # Small integer weights force many equal-weight edges; the
+        # (src, dst) tie-break must match the sequential loop exactly.
+        rng = np.random.default_rng(seed)
+        demand = rng.integers(0, 3, (n, n)).astype(float)
+        np.fill_diagonal(demand, 0.0)
+        a = ReferenceGreedyMwmScheduler(n).compute(demand)
+        b = GreedyMwmScheduler(n).compute(demand)
+        assert a.first == b.first
+
+    def test_trusted_integer_demand(self):
+        demand = np.array([[0, 7, 7], [7, 0, 7], [7, 7, 0]])
+        checked = GreedyMwmScheduler(3).compute(demand.astype(float))
+        trusted = GreedyMwmScheduler(3).compute_trusted(demand)
+        assert checked.first == trusted.first
+
+
+class TestSolsticeEquivalence:
+    @given(st.integers(2, 8), st.integers(0, 2**16),
+           st.sampled_from([0, 20 * MICROSECONDS]))
+    @settings(max_examples=25, deadline=None)
+    def test_identical_plans(self, n, seed, reconfig_ps):
+        rng = np.random.default_rng(seed)
+        demand = np.round(
+            rng.exponential(20_000, (n, n)) * (rng.random((n, n)) < 0.6))
+        np.fill_diagonal(demand, 0.0)
+        scalar = ReferenceSolsticeScheduler(n, reconfig_ps=reconfig_ps)
+        vector = SolsticeScheduler(n, reconfig_ps=reconfig_ps)
+        a = scalar.compute(demand)
+        b = vector.compute(demand)
+        assert [(m, h) for m, h in a.matchings] == \
+            [(m, h) for m, h in b.matchings]
+        assert np.array_equal(a.eps_residue, b.eps_residue)
+        assert scalar.last_stats == vector.last_stats
+
+
+class TestComputeTrustedContract:
+    def test_base_class_falls_back_to_compute(self):
+        calls = []
+
+        class Probe(Scheduler):
+            name = "probe"
+
+            def compute(self, demand):
+                calls.append(demand)
+                return ScheduleResult(
+                    matchings=[(Matching.empty(self.n_ports), 0)])
+
+        demand = np.zeros((4, 4))
+        Probe(4).compute_trusted(demand)
+        assert len(calls) == 1 and calls[0] is demand
+
+    def test_mwm_trusted_matches_checked(self):
+        demand = np.array([[0, 9, 1], [4, 0, 2], [8, 3, 0]])
+        checked = MwmScheduler(3).compute(demand.astype(float))
+        trusted = MwmScheduler(3).compute_trusted(demand)
+        assert checked.first == trusted.first
+
+    @pytest.mark.parametrize("scheduler", [
+        ReferenceIslipScheduler(4),
+        ReferenceGreedyMwmScheduler(4),
+        ReferenceSolsticeScheduler(4),
+    ])
+    def test_reference_trusted_still_validates(self, scheduler):
+        # Reference classes route compute_trusted through the checked
+        # scalar path, so even "trusted" bad input is caught there.
+        with pytest.raises(SchedulingError):
+            scheduler.compute_trusted(np.zeros((3, 3)))
+
+
+class TestTrustedMatchingConstructor:
+    def test_equivalent_to_validating_constructor(self):
+        array = np.array([2, -1, 0], dtype=np.int64)
+        trusted = Matching.from_output_array(array)
+        validated = Matching([2, None, 0])
+        assert trusted == validated
+        assert hash(trusted) == hash(validated)
+        assert list(trusted.pairs()) == [(0, 2), (2, 0)]
+        assert trusted.size == 2
+        assert trusted.output_for(1) is None
+
+    def test_adopts_array_as_cache(self):
+        array = np.array([1, 0], dtype=np.int64)
+        matching = Matching.from_output_array(array)
+        assert matching.as_array() is array
+        assert not matching.as_array().flags.writeable
+
+    def test_as_array_roundtrip_from_validating_path(self):
+        matching = Matching([None, 2, 0])
+        array = matching.as_array()
+        assert array.tolist() == [-1, 2, 0]
+        assert matching.as_array() is array  # cached

@@ -85,3 +85,79 @@ class TestEventQueue:
             q.push(Event(t, _noop))
         popped = [q.pop().time for _ in range(500)]
         assert popped == sorted(times)
+
+    def test_event_has_no_dict(self):
+        # slots=True: per-event __dict__ allocation is the cost the fast
+        # path removes; this pins the optimisation.
+        assert not hasattr(Event(1, _noop), "__dict__")
+
+    def test_live_count_under_interleaved_cancel_and_peek(self):
+        # Regression: peek_time() compacts cancelled events off the
+        # heap; interleaving queue.cancel() with peeks (in any order)
+        # must keep len() consistent.
+        q = EventQueue()
+        events = [Event(t, _noop) for t in range(6)]
+        for event in events:
+            q.push(event)
+        q.cancel(events[0])
+        assert len(q) == 5
+        assert q.peek_time() == 1  # compacts events[0] off the heap
+        assert len(q) == 5
+        q.cancel(events[0])  # idempotent after compaction
+        assert len(q) == 5
+        q.cancel(events[1])
+        q.cancel(events[2])
+        assert q.peek_time() == 3
+        assert len(q) == 3
+        # Every remaining event pops; the count reaches exactly zero.
+        assert [q.pop().time for _ in range(3)] == [3, 4, 5]
+        assert len(q) == 0
+
+    def test_live_count_reconciles_direct_event_cancel(self):
+        # Event.cancel() is public API; cancelling behind the queue's
+        # back must be reconciled into len() as soon as the queue
+        # touches the event (peek compaction, pop skip, or a later
+        # queue.cancel).
+        q = EventQueue()
+        events = [Event(t, _noop) for t in range(4)]
+        for event in events:
+            q.push(event)
+        events[0].cancel()          # bypasses queue.cancel
+        assert q.peek_time() == 1   # compaction reconciles the count
+        assert len(q) == 3
+        events[1].cancel()
+        q.cancel(events[1])         # explicit cancel after direct cancel
+        assert len(q) == 2
+        assert q.peek_time() == 2
+        assert len(q) == 2
+        events[2].cancel()          # reconciled by the pop-skip path
+        assert q.pop().time == 3
+        assert len(q) == 0
+        # A drain loop driven by len() terminates cleanly.
+        while len(q):
+            q.pop()
+
+    def test_cancel_after_pop_does_not_double_discount(self):
+        # Regression: cancelling an event that already fired (stale
+        # timer cleanup via Simulator.cancel) must not subtract it from
+        # the live count a second time.
+        q = EventQueue()
+        fired = Event(1, _noop)
+        pending = Event(2, _noop)
+        q.push(fired)
+        q.push(pending)
+        assert q.pop() is fired
+        q.cancel(fired)  # idempotent no-op: the event already left
+        assert len(q) == 1
+        assert q.pop() is pending
+        assert len(q) == 0
+
+    def test_cancel_after_clear_does_not_drift(self):
+        q = EventQueue()
+        event = Event(1, _noop)
+        q.push(event)
+        q.clear()
+        q.cancel(event)
+        assert len(q) == 0
+        q.push(Event(2, _noop))
+        assert len(q) == 1
