@@ -3,12 +3,22 @@
 The CLI equivalent of this script is::
 
     repro sweep e5 --quick --replicas 2 --base-seed 1 \
-        --set n_ports=8,16 --jobs 2 --cache-dir .repro-cache
+        --set n_ports=8,16 --jobs 2 --cache-dir .repro-cache \
+        --replica-batch
 
 but the library API composes: plan a grid, shard it, execute each
 shard (here sequentially — in CI each shard would be its own matrix
 job sharing the cache directory), and merge everything back into one
 ``ExperimentReport``.
+
+``replica_batch=True`` below is the sweep-throughput fast path: the
+two seeded replicas of each grid point are fused into one job that
+simulates both seeds at once through the vectorised replica kernel
+(``repro.fabric.replicas``).  Reports — and therefore cache entries
+and merged output — are byte-identical to per-replica execution, so
+the flag is purely a wall-clock choice.  ``--jobs N`` composes with
+it: jobs run on a persistent warm-worker pool, so repeated sweeps in
+one process pay no spawn or import cost.
 """
 
 import tempfile
@@ -43,7 +53,8 @@ with tempfile.TemporaryDirectory() as cache_dir:
     outcomes = []
     for shard_index in range(2):
         part = shard(specs, 2, shard_index)
-        outcomes.extend(execute(part, jobs=2, cache=cache))
+        outcomes.extend(execute(part, jobs=2, cache=cache,
+                                replica_batch=True))
 
     # Merge shard outputs back into the familiar report shape.
     merged = merge_outcomes(outcomes, title="e5 across fabric sizes")

@@ -145,12 +145,24 @@ def _make_cache(args: argparse.Namespace):
 
 
 def _finish(outcomes, args: argparse.Namespace,
-            show_manifest: bool) -> None:
+            show_manifest: bool) -> int:
+    """Render/persist a run's outcomes; the exit code to return.
+
+    Crash-failed jobs (``RunOutcome.error``) are already FAIL rows in
+    the manifest, but automation reads exit codes: any failed job makes
+    the whole invocation exit 1.
+    """
     if show_manifest:
         print(RunManifest.from_outcomes(outcomes).render())
         print()
     if args.json_out:
         write_json_report(outcomes, args.json_out)
+    failed = [o for o in outcomes if o.error is not None]
+    if failed:
+        print(f"{len(failed)} job(s) failed; see the manifest FAIL "
+              "rows", file=sys.stderr)
+        return 1
+    return 0
 
 
 def _print_catalogue(header: str, summaries: Dict[str, str]) -> None:
@@ -257,11 +269,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
             next_to_print[0] += 1
 
     outcomes = execute(specs, jobs=args.jobs, cache=cache,
-                       on_outcome=_print_ready)
-    _finish(outcomes, args,
-            show_manifest=(len(specs) > 1 or args.jobs > 1
-                           or cache is not None))
-    return 0
+                       on_outcome=_print_ready,
+                       replica_batch=args.replica_batch)
+    return _finish(outcomes, args,
+                   show_manifest=(len(specs) > 1 or args.jobs > 1
+                                  or cache is not None))
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
@@ -291,13 +303,14 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     ok, cache = _make_cache(args)
     if not ok:
         return 2
-    outcomes = execute(specs, jobs=args.jobs, cache=cache)
+    outcomes = execute(specs, jobs=args.jobs, cache=cache,
+                       replica_batch=args.replica_batch)
     merged = merge_outcomes(
         outcomes, title=f"sweep over {', '.join(experiment_ids)}")
     print(merged.render())
     print()
-    _finish(outcomes, args, show_manifest=False)  # render() included it
-    return 0
+    return _finish(outcomes, args,
+                   show_manifest=False)  # render() included it
 
 
 def _cmd_scenario_list(_args: argparse.Namespace) -> int:
@@ -346,14 +359,14 @@ def _cmd_scenario_run(args: argparse.Namespace) -> int:
     ok, cache = _make_cache(args)
     if not ok:
         return 2
-    outcomes = execute(specs, jobs=args.jobs, cache=cache)
+    outcomes = execute(specs, jobs=args.jobs, cache=cache,
+                       replica_batch=args.replica_batch)
     for outcome in outcomes:
         print(outcome.report.render())
         print()
-    _finish(outcomes, args,
-            show_manifest=(len(specs) > 1 or args.jobs > 1
-                           or cache is not None))
-    return 0
+    return _finish(outcomes, args,
+                   show_manifest=(len(specs) > 1 or args.jobs > 1
+                                  or cache is not None))
 
 
 def _cmd_perf(args: argparse.Namespace) -> int:
@@ -403,7 +416,7 @@ def _cmd_perf(args: argparse.Namespace) -> int:
     print(f"\nwrote {out_path} (revision {record.revision})")
     speedups = engine_speedups(record)
     if speedups:
-        print("engine speedups (reference / vector):")
+        print("paired speedups (reference/vector, sequential/batch):")
         for stem in sorted(speedups):
             print(f"  {stem}: {speedups[stem]:.1f}x")
     if args.baseline:
@@ -447,6 +460,11 @@ def _add_common_run_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--cache-dir", metavar="DIR",
                         help="content-addressed report cache; reruns of "
                              "an unchanged spec are served from disk")
+    parser.add_argument("--replica-batch", action="store_true",
+                        help="fuse replica jobs that differ only in "
+                             "seed through the vectorised replica-batch "
+                             "kernel (byte-identical reports, one fused "
+                             "execution per sweep point)")
     parser.add_argument("--scheduler", metavar="NAME",
                         help="override the framework scheduler where "
                              "the experiment supports one")

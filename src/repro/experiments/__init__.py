@@ -66,6 +66,18 @@ ENTRY_POINTS = {
     "e8": e8_sync.run,
 }
 
+#: Replica-batch entry points: ``fn(configs) -> [report, ...]``, one
+#: report per config, **byte-identical** to calling the pure entry
+#: point per config.  Configs in one call differ only in ``seed``; the
+#: experiment simulates the whole replica axis in one pass
+#: (``repro.fabric.replicas``).  Opt-in per experiment — the runner's
+#: ``replica_batch`` mode falls back to per-spec execution for any
+#: experiment not listed here.
+BATCH_ENTRY_POINTS = {
+    "e5": e5_algorithms.run_batch,
+}
+
+
 def experiment_summaries() -> Dict[str, str]:
     """``id -> one-line description`` from each module's docstring."""
     summaries = {}
@@ -75,6 +87,6 @@ def experiment_summaries() -> Dict[str, str]:
     return summaries
 
 
-__all__ = ["EXPERIMENTS", "ENTRY_POINTS", "experiment_summaries",
-           "ExperimentConfig",
+__all__ = ["EXPERIMENTS", "ENTRY_POINTS", "BATCH_ENTRY_POINTS",
+           "experiment_summaries", "ExperimentConfig",
            "ExperimentReport"] + [f"run_e{i}" for i in range(1, 9)]

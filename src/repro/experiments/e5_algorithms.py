@@ -78,25 +78,103 @@ def _table_for(curves, loads, metric_index: int, metric: str,
     return render_table(["load"] + names, rows, title=f"{title} — {metric}")
 
 
-def run(config: ExperimentConfig) -> ExperimentReport:
-    """Throughput & delay vs load, uniform and diagonal workloads."""
-    report = ExperimentReport(
-        experiment_id="e5",
-        title="scheduler-algorithm study (the framework's purpose)",
-    )
-    report.check_overrides(config, KNOWN_OVERRIDES)
+def _sizes(config: ExperimentConfig):
+    """(loads, slots, warmup, n_ports) for one config."""
     loads = list(config.get(
         "loads", [0.3, 0.6, 0.9] if config.quick
         else [0.1, 0.3, 0.5, 0.7, 0.8, 0.9, 0.95]))
     slots = config.get("slots", 1_500 if config.quick else 8_000)
     warmup = config.get("warmup", 300 if config.quick else 1_500)
     n_ports = config.get("n_ports", N_PORTS)
+    return loads, slots, warmup, n_ports
+
+
+def run(config: ExperimentConfig) -> ExperimentReport:
+    """Throughput & delay vs load, uniform and diagonal workloads."""
+    loads, slots, warmup, n_ports = _sizes(config)
     seed = config.derive_seed(2)
     pim_seed = config.derive_seed(5)
     uniform_curves = _curve(uniform_rates, loads, slots, warmup,
                             seed=seed, n_ports=n_ports, pim_seed=pim_seed)
     diagonal_curves = _curve(diagonal_rates, loads, slots, warmup,
                              seed=seed, n_ports=n_ports, pim_seed=pim_seed)
+    return _build_report(config, loads, n_ports, uniform_curves,
+                         diagonal_curves)
+
+
+def _curves_batch(workload, loads, slots, warmup, seeds, n_ports,
+                  pim_seeds):
+    """Per-replica curves, all replicas simulated in one batched pass.
+
+    Returns one ``{name: [(load, throughput, delay)]}`` dict per
+    replica, bit-identical to calling :func:`_curve` with that
+    replica's seeds (the replica-batched kernel guarantees it).
+    """
+    from repro.fabric.replicas import run_replicas
+
+    replicas = len(seeds)
+    curves: List[Dict[str, List[Tuple[float, float, float]]]] = [
+        {} for __ in range(replicas)]
+    for load in loads:
+        rates = workload(n_ports, load)
+        # Fresh schedulers per (load, replica), exactly as the solo
+        # path builds them per load.
+        per_replica = [_make_schedulers(n_ports, pim_seeds[r])
+                       for r in range(replicas)]
+        for position, (name, __) in enumerate(per_replica[0]):
+            instances = iter(
+                [per_replica[r][position][1] for r in range(replicas)])
+            stats_list = run_replicas(lambda: next(instances), rates,
+                                      seeds, slots, warmup=warmup)
+            for replica, stats in enumerate(stats_list):
+                curves[replica].setdefault(name, []).append(
+                    (load, stats.throughput, stats.mean_delay_slots))
+    return curves
+
+
+def run_batch(configs) -> List[ExperimentReport]:
+    """Replica-batched entry: one report per config, byte-identical.
+
+    The configs must agree on everything but ``seed`` (the runner's
+    replica-batch grouping guarantees this); the whole replica axis is
+    then simulated through :func:`repro.fabric.replicas.run_replicas`
+    in stacked numpy state instead of one fabric run per replica.
+    """
+    from repro.sim.errors import ConfigurationError
+
+    configs = list(configs)
+    if not configs:
+        return []
+    head = configs[0]
+    for config in configs[1:]:
+        if (config.quick, config.scheduler, config.measure_wallclock,
+                dict(config.overrides)) != (
+                head.quick, head.scheduler, head.measure_wallclock,
+                dict(head.overrides)):
+            raise ConfigurationError(
+                "e5 replica batch needs configs identical except seed")
+    loads, slots, warmup, n_ports = _sizes(head)
+    seeds = [config.derive_seed(2) for config in configs]
+    pim_seeds = [config.derive_seed(5) for config in configs]
+    uniform = _curves_batch(uniform_rates, loads, slots, warmup, seeds,
+                            n_ports, pim_seeds)
+    diagonal = _curves_batch(diagonal_rates, loads, slots, warmup,
+                             seeds, n_ports, pim_seeds)
+    return [
+        _build_report(config, loads, n_ports, uniform[replica],
+                      diagonal[replica])
+        for replica, config in enumerate(configs)
+    ]
+
+
+def _build_report(config: ExperimentConfig, loads, n_ports,
+                  uniform_curves, diagonal_curves) -> ExperimentReport:
+    """Tables, chart, data and paper-shape checks for one run."""
+    report = ExperimentReport(
+        experiment_id="e5",
+        title="scheduler-algorithm study (the framework's purpose)",
+    )
+    report.check_overrides(config, KNOWN_OVERRIDES)
     report.tables.append(_table_for(
         uniform_curves, loads, 1, "throughput",
         f"uniform traffic, {n_ports} ports"))
@@ -148,4 +226,4 @@ def run_e5(quick: bool = False) -> ExperimentReport:
     return run(ExperimentConfig(quick=quick))
 
 
-__all__ = ["run", "run_e5", "N_PORTS", "KNOWN_OVERRIDES"]
+__all__ = ["run", "run_batch", "run_e5", "N_PORTS", "KNOWN_OVERRIDES"]

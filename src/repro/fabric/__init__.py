@@ -13,6 +13,7 @@ were derived, so the textbook curves are directly comparable.
 """
 
 from repro.fabric.cellsim import CellFabricSim, FabricStats
+from repro.fabric.replicas import run_replicas, run_replicas_sequential
 from repro.fabric.workloads import (
     diagonal_rates,
     hotspot_rates,
@@ -25,6 +26,8 @@ from repro.fabric.workloads import (
 __all__ = [
     "CellFabricSim",
     "FabricStats",
+    "run_replicas",
+    "run_replicas_sequential",
     "uniform_rates",
     "diagonal_rates",
     "log_diagonal_rates",

@@ -242,10 +242,145 @@ def _register_fabric_benches() -> None:
                   incast90, "incast-0.9", islip1, "islip", quick=False)
 
 
+# -- sweep-throughput benches --------------------------------------------------
+#
+# The unit of work the paper demands is the *sweep*: many replicas of
+# many points.  These benches track the three layers that overhaul
+# lives in — the replica-batched fabric kernel, the warm-worker runner,
+# and the end-to-end executor path — each ``.batch`` paired with the
+# ``.sequential`` per-replica path it replaces (the pairing drives the
+# recorded speedup, acceptance ≥ 3x on the 64-port uniform pair).
+
+#: Replicas per sweep-point bench (figure points run tens of seeds;
+#: batching margin also grows with the replica count).
+_SWEEP_REPLICAS = 32
+
+
+def _noop_job(value: int) -> int:
+    """Minimal picklable job for dispatch-overhead benches."""
+    return value
+
+
+def _register_sweep_fabric_benches() -> None:
+    from repro.fabric.replicas import (
+        run_replicas,
+        run_replicas_sequential,
+    )
+    from repro.fabric.workloads import uniform_rates
+    from repro.schedulers.islip import IslipScheduler
+
+    n, slots = 64, 120
+    seeds = list(range(_SWEEP_REPLICAS))
+
+    def factory():
+        return IslipScheduler(n, iterations=1)
+
+    def make_batch() -> Callable[[], Any]:
+        rates = uniform_rates(n, 0.8)
+        return lambda: run_replicas(factory, rates, seeds, slots)
+
+    def make_sequential() -> Callable[[], Any]:
+        rates = uniform_rates(n, 0.8)
+        return lambda: run_replicas_sequential(factory, rates, seeds,
+                                               slots)
+
+    expected: Dict[str, Any] = {}
+
+    def check_batch(result: Any) -> bool:
+        # The acceptance pair must stay byte-identical, not just fast:
+        # the batched stats are compared against the sequential path
+        # (computed once, outside every timed region).
+        if "stats" not in expected:
+            expected["stats"] = run_replicas_sequential(
+                factory, uniform_rates(n, 0.8), seeds, slots)
+        return result == expected["stats"]
+
+    meta = {"n_ports": n, "slots": slots, "replicas": _SWEEP_REPLICAS,
+            "scheduler": "islip", "workload": "uniform-0.8"}
+    register_bench(Bench(
+        name="sweep.fabric.uniform.n64.batch", make=make_batch,
+        group="sweep", quick=True, meta={**meta, "path": "batch"},
+        check=check_batch))
+    register_bench(Bench(
+        name="sweep.fabric.uniform.n64.sequential",
+        make=make_sequential, group="sweep", quick=True,
+        meta={**meta, "path": "sequential"},
+        check=lambda stats: all(s.departures > 0 for s in stats)))
+
+
+def _register_runner_benches() -> None:
+    def make() -> Callable[[], Any]:
+        from repro.runner.executor import map_jobs
+
+        # Prime the warm pool outside the timed region: the bench
+        # measures steady-state dispatch throughput, not the one-off
+        # spawn cost the pool exists to amortise.
+        map_jobs(_noop_job, list(range(4)), jobs=2)
+        items = list(range(64))
+        return lambda: map_jobs(_noop_job, items, jobs=2)
+
+    register_bench(Bench(
+        name="sweep.dispatch.warmpool.64jobs", make=make,
+        group="sweep", quick=True,
+        meta={"jobs": 64, "workers": 2},
+        check=lambda result: result == list(range(64))))
+
+
+def _register_sweep_e2e_benches() -> None:
+    def _specs():
+        from repro.runner.plan import plan_runs
+
+        return plan_runs(
+            ["e5"], quick=True, base_seed=1, replicas=4,
+            grid={"loads": [[0.6]], "slots": [120], "warmup": [20],
+                  "n_ports": [8]})
+
+    def make_batch() -> Callable[[], Any]:
+        from repro.runner.executor import execute
+
+        specs = _specs()
+        return lambda: execute(specs, jobs=1, replica_batch=True)
+
+    def make_sequential() -> Callable[[], Any]:
+        from repro.runner.executor import execute
+
+        specs = _specs()
+        return lambda: execute(specs, jobs=1)
+
+    expected: Dict[str, Any] = {}
+
+    def _payloads(outcomes: Any) -> Any:
+        from repro.runner.cache import report_to_payload
+        from repro.runner.spec import canonical_json
+
+        return [canonical_json(report_to_payload(o.report))
+                for o in outcomes]
+
+    def check_batch(result: Any) -> bool:
+        if "payloads" not in expected:
+            from repro.runner.executor import execute
+
+            expected["payloads"] = _payloads(execute(_specs(), jobs=1))
+        return _payloads(result) == expected["payloads"]
+
+    meta = {"experiment": "e5", "replicas": 4, "n_ports": 8}
+    register_bench(Bench(
+        name="sweep.e2e.e5.n8.batch", make=make_batch, group="sweep",
+        quick=True, meta={**meta, "path": "batch"}, check=check_batch))
+    register_bench(Bench(
+        name="sweep.e2e.e5.n8.sequential", make=make_sequential,
+        group="sweep", quick=True,
+        meta={**meta, "path": "sequential"},
+        check=lambda outcomes: all(o.report.data for o in outcomes)))
+
+
 def _register_all() -> None:
     _register_scheduler_benches()
     _register_engine_benches()
     _register_fabric_benches()
+    _register_sweep_fabric_benches()
+    _register_runner_benches()
+    _register_sweep_e2e_benches()
 
 
 _register_all()

@@ -29,8 +29,11 @@ from repro.perf.runner import BenchResult
 SCHEMA = 1
 #: Relative drift beyond which a diff entry becomes a warning.
 DEFAULT_THRESHOLD = 0.25
-#: Suffixes that pair fabric benches into speedup comparisons.
-_ENGINE_SUFFIXES = (".vector", ".reference")
+#: Suffix pairs that pair benches into (fast, baseline) speedup
+#: comparisons: vector engine vs scalar reference, and replica-batched
+#: sweep path vs the sequential per-replica path.
+_SPEEDUP_SUFFIXES = ((".vector", ".reference"),
+                     (".batch", ".sequential"))
 
 
 def current_revision() -> str:
@@ -211,22 +214,24 @@ def diff_records(baseline: BenchRecord, current: BenchRecord,
 
 
 def engine_speedups(record: BenchRecord) -> Dict[str, float]:
-    """Vector-over-reference speedups from paired fabric benches.
+    """Fast-over-baseline speedups from suffix-paired benches.
 
-    Benches named ``<stem>.vector`` / ``<stem>.reference`` are paired;
-    the returned mapping is ``{stem: reference_ns / vector_ns}`` — the
-    number the hot-path acceptance criterion reads (≥ 5× at
-    ``fabric.islip1.uniform.n64``).
+    Two pairings: ``<stem>.vector`` / ``<stem>.reference`` (the PR-3
+    hot-path acceptance, ≥ 5× at ``fabric.islip1.uniform.n64``) and
+    ``<stem>.batch`` / ``<stem>.sequential`` (the sweep-throughput
+    acceptance, ≥ 3× at ``sweep.fabric.uniform.n64``).  The returned
+    mapping is ``{stem: baseline_ns / fast_ns}``.
     """
     by_name = record.by_name()
     speedups: Dict[str, float] = {}
     for name, result in by_name.items():
-        if not name.endswith(".vector"):
-            continue
-        stem = name[: -len(".vector")]
-        reference = by_name.get(stem + ".reference")
-        if reference is not None and result.ns_per_op:
-            speedups[stem] = reference.ns_per_op / result.ns_per_op
+        for fast_suffix, baseline_suffix in _SPEEDUP_SUFFIXES:
+            if not name.endswith(fast_suffix):
+                continue
+            stem = name[: -len(fast_suffix)]
+            baseline = by_name.get(stem + baseline_suffix)
+            if baseline is not None and result.ns_per_op:
+                speedups[stem] = baseline.ns_per_op / result.ns_per_op
     return speedups
 
 

@@ -1,4 +1,4 @@
-"""Job execution: sequential or ``multiprocessing``, same bits.
+"""Job execution: sequential or warm-worker parallel, same bits.
 
 The executor runs a planned list of specs and returns one
 :class:`RunOutcome` per spec, in spec order.  Three properties the rest
@@ -13,16 +13,33 @@ of the system leans on:
   reach a worker; a fully warm run executes zero experiments.
 * **Order preservation** — outcomes line up with the input specs, so
   callers can zip plans with results regardless of completion order.
+
+Parallel execution runs on the persistent warm-worker pool
+(:mod:`repro.runner.pool`): workers spawn and import ``repro`` once per
+process lifetime, jobs are dispatched in dynamically sized chunks, and
+large reports return through shared memory.  A worker *crash* (process
+death — distinct from an ordinary exception, which propagates as
+before) is isolated to the poisonous job, surfaced as a failed outcome
+carrying :attr:`RunOutcome.error`, and the remaining jobs still run;
+the manifest renders the failing job id instead of the run hanging.
+
+Replica batching (``replica_batch=True``) additionally groups specs
+that differ only in their seed and runs each group through the
+experiment's batch entry point
+(``repro.experiments.BATCH_ENTRY_POINTS``), where the replica axis is
+simulated in one set of vectorised operations
+(:mod:`repro.fabric.replicas`).  Reports stay byte-identical to
+per-spec execution; specs without a batch entry point fall back
+transparently.
 """
 
 from __future__ import annotations
 
-import multiprocessing
-import sys
 import time
 from dataclasses import dataclass
 from typing import (
     Callable,
+    Dict,
     Iterator,
     List,
     Optional,
@@ -34,30 +51,25 @@ from typing import (
 from repro.experiments.base import ExperimentReport
 from repro.net.packet import reset_packet_ids
 from repro.runner.cache import ResultCache
+from repro.runner.pool import WorkerCrashError, get_pool
 from repro.runner.spec import RunSpec
 
 T = TypeVar("T")
 R = TypeVar("R")
 
-#: ``fork`` keeps worker start cheap and — unlike ``spawn`` — does not
-#: re-execute ``__main__``, so on Linux the executor is safe to call
-#: from any host program (REPLs, pytest, piped scripts).  Everywhere
-#: else we follow CPython's own default: macOS offers fork but is
-#: fork-unsafe once BLAS/framework threads exist in the parent (the
-#: reason 3.8 switched darwin to spawn), and Windows has no fork.
-#: Under ``spawn``, callers need the standard
-#: ``if __name__ == "__main__"`` guard.
-_START_METHOD = "fork" if sys.platform == "linux" else "spawn"
-
 
 @dataclass
 class RunOutcome:
-    """One executed (or cache-served) job."""
+    """One executed (or cache-served, or failed) job."""
 
     spec: RunSpec
     report: ExperimentReport
     cached: bool
     elapsed_s: float  # wall time of this execution; 0.0 for cache hits
+    #: Failure description when the job could not produce a report
+    #: (worker crash after the isolation retry); ``None`` on success.
+    #: Failed outcomes are never cached.
+    error: Optional[str] = None
 
 
 def _run_one(spec: RunSpec) -> Tuple[ExperimentReport, float]:
@@ -83,14 +95,38 @@ def _run_one(spec: RunSpec) -> Tuple[ExperimentReport, float]:
     return report, time.perf_counter() - start
 
 
+def _run_replica_group(
+        specs: Sequence[RunSpec]) -> List[Tuple[ExperimentReport, float]]:
+    """Execute a seed-only replica group through the batch entry point.
+
+    Top-level for worker pickling.  The batch entry point guarantees
+    reports byte-identical to running each spec alone; elapsed time is
+    attributed evenly (the batch is one fused execution).
+    """
+    from repro.experiments import BATCH_ENTRY_POINTS
+
+    run_batch = BATCH_ENTRY_POINTS.get(specs[0].experiment_id)
+    if run_batch is None or len(specs) == 1:
+        return [_run_one(spec) for spec in specs]
+    reset_packet_ids()
+    start = time.perf_counter()
+    reports = run_batch([spec.to_config() for spec in specs])
+    if len(reports) != len(specs):
+        raise RuntimeError(
+            f"batch entry point for {specs[0].experiment_id!r} returned "
+            f"{len(reports)} reports for {len(specs)} configs")
+    elapsed = (time.perf_counter() - start) / len(specs)
+    return [(report, elapsed) for report in reports]
+
+
 def map_jobs(fn: Callable[[T], R], items: Sequence[T],
              jobs: int = 1) -> List[R]:
-    """Order-preserving map, optionally across worker processes.
+    """Order-preserving map, optionally across warm worker processes.
 
     The generic primitive under :func:`execute`, also used directly by
     benchmark drivers (``benchmarks/bench_ablation.py``) to fan their
     per-knob runs out without changing result order.  ``fn`` must be a
-    module-level callable when ``jobs > 1`` (pool pickling).
+    module-level callable when ``jobs > 1`` (task pickling).
     """
     return list(imap_jobs(fn, items, jobs=jobs))
 
@@ -103,7 +139,8 @@ def imap_jobs(fn: Callable[[T], R], items: Sequence[T],
     delivery is still ordered).  Streaming matters for failure
     behaviour: everything yielded before a job raises has already been
     consumed by the caller — e.g. stored in the result cache — rather
-    than discarded with the batch.
+    than discarded with the batch.  With ``jobs > 1`` the work runs on
+    the persistent warm pool (:func:`repro.runner.pool.get_pool`).
     """
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -111,9 +148,49 @@ def imap_jobs(fn: Callable[[T], R], items: Sequence[T],
         for item in items:
             yield fn(item)
         return
-    ctx = multiprocessing.get_context(_START_METHOD)
-    with ctx.Pool(processes=min(jobs, len(items))) as pool:
-        yield from pool.imap(fn, items)
+    yield from get_pool(jobs).imap(fn, items, limit=jobs)
+
+
+def _crash_outcome(spec: RunSpec, exc: WorkerCrashError) -> RunOutcome:
+    """A failed outcome for a job whose worker died (not cacheable)."""
+    message = f"{spec.key()}: {exc}"
+    report = ExperimentReport(
+        experiment_id=spec.experiment_id,
+        title="job failed — worker crashed",
+        warnings=[message],
+    )
+    return RunOutcome(spec, report, cached=False, elapsed_s=0.0,
+                      error=message)
+
+
+def _group_for_batch(specs: Sequence[RunSpec],
+                     indices: Sequence[int]) -> List[List[int]]:
+    """Partition pending spec indices into batchable replica groups.
+
+    A group is a maximal set of specs identical except for ``seed``
+    (and with a real seed), over an experiment that publishes a batch
+    entry point.  Everything else stays a singleton.  Groups preserve
+    first-appearance order, so outputs remain deterministic.
+    """
+    from repro.experiments import BATCH_ENTRY_POINTS
+    from repro.runner.spec import canonical_json
+
+    groups: Dict[str, List[int]] = {}
+    order: List[str] = []
+    for index in indices:
+        spec = specs[index]
+        if (spec.seed is None
+                or spec.experiment_id not in BATCH_ENTRY_POINTS):
+            key = f"solo:{index}"
+        else:
+            canonical = spec.canonical()
+            canonical["seed"] = None
+            key = f"group:{canonical_json(canonical)}"
+        if key not in groups:
+            groups[key] = []
+            order.append(key)
+        groups[key].append(index)
+    return [groups[key] for key in order]
 
 
 def execute(
@@ -122,6 +199,7 @@ def execute(
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
     on_outcome: Optional[Callable[[RunOutcome], None]] = None,
+    replica_batch: bool = False,
 ) -> List[RunOutcome]:
     """Run every spec; outcomes are returned in spec order.
 
@@ -129,7 +207,9 @@ def execute(
     first, then executed jobs in plan order as they stream back) —
     for progress lines, not ordering.  Executed reports are stored to
     the cache as they arrive, so a job failing late in a long run
-    never discards the completed work before it.
+    never discards the completed work before it.  ``replica_batch``
+    fuses seed-only replica groups through experiment batch entry
+    points (byte-identical reports, one fused execution per group).
     """
     outcomes: List[Optional[RunOutcome]] = [None] * len(specs)
     pending: List[int] = []
@@ -142,8 +222,9 @@ def execute(
                 on_outcome(outcomes[index])
         else:
             pending.append(index)
-    results = imap_jobs(_run_one, [specs[i] for i in pending], jobs=jobs)
-    for index, (report, elapsed) in zip(pending, results):
+
+    def settle(index: int, report: ExperimentReport,
+               elapsed: float) -> None:
         outcome = RunOutcome(specs[index], report, cached=False,
                              elapsed_s=elapsed)
         if cache is not None:
@@ -151,7 +232,55 @@ def execute(
         outcomes[index] = outcome
         if on_outcome:
             on_outcome(outcome)
+
+    if replica_batch:
+        remaining_groups = _group_for_batch(specs, pending)
+        while remaining_groups:
+            stream = imap_jobs(
+                _run_replica_group,
+                [tuple(specs[i] for i in group)
+                 for group in remaining_groups],
+                jobs=jobs)
+            try:
+                for group, group_results in zip(remaining_groups,
+                                                stream):
+                    for index, (report, elapsed) in zip(group,
+                                                        group_results):
+                        settle(index, report, elapsed)
+            except WorkerCrashError as exc:
+                # Same isolation contract as the per-spec path: every
+                # spec of the crashed group fails visibly, the other
+                # groups still run.
+                for failed in remaining_groups[exc.item_index]:
+                    outcomes[failed] = _crash_outcome(specs[failed],
+                                                      exc)
+                    if on_outcome:
+                        on_outcome(outcomes[failed])
+                remaining_groups = \
+                    remaining_groups[exc.item_index + 1:]
+                continue
+            break
+        return list(outcomes)  # type: ignore[arg-type]
+
+    remaining = pending
+    while remaining:
+        stream = imap_jobs(_run_one, [specs[i] for i in remaining],
+                           jobs=jobs)
+        try:
+            for index, (report, elapsed) in zip(remaining, stream):
+                settle(index, report, elapsed)
+        except WorkerCrashError as exc:
+            # The poisonous job is isolated; fail it visibly (the
+            # manifest shows the job id) and keep going with the rest.
+            failed = remaining[exc.item_index]
+            outcomes[failed] = _crash_outcome(specs[failed], exc)
+            if on_outcome:
+                on_outcome(outcomes[failed])
+            remaining = remaining[exc.item_index + 1:]
+            continue
+        break
     return list(outcomes)  # type: ignore[arg-type]
 
 
-__all__ = ["RunOutcome", "execute", "map_jobs", "imap_jobs"]
+__all__ = ["RunOutcome", "execute", "map_jobs", "imap_jobs",
+           "WorkerCrashError"]

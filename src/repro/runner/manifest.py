@@ -30,6 +30,9 @@ class ManifestEntry:
     cached: bool
     elapsed_s: float
     n_expectations: int
+    #: Failure description for jobs that produced no real report
+    #: (worker crash); ``None`` on success.
+    error: "str | None" = None
 
 
 class RunManifest:
@@ -48,6 +51,7 @@ class RunManifest:
                 cached=o.cached,
                 elapsed_s=o.elapsed_s,
                 n_expectations=len(o.report.expectations),
+                error=o.error,
             )
             for o in outcomes
         ])
@@ -57,17 +61,29 @@ class RunManifest:
         return sum(1 for e in self.entries if e.cached)
 
     @property
+    def n_failed(self) -> int:
+        return sum(1 for e in self.entries if e.error is not None)
+
+    @property
     def n_executed(self) -> int:
-        return len(self.entries) - self.n_cached
+        return len(self.entries) - self.n_cached - self.n_failed
 
     def render(self) -> str:
-        rows = [[e.key, e.label, "hit" if e.cached else "run",
+        rows = [[e.key, e.label,
+                 "FAIL" if e.error else ("hit" if e.cached else "run"),
                  f"{e.elapsed_s:.2f}s", str(e.n_expectations)]
                 for e in self.entries]
+        failed = f", {self.n_failed} FAILED" if self.n_failed else ""
         table = render_table(
             ["spec", "job", "cache", "wall", "checks"], rows,
             title=f"run manifest: {len(self.entries)} jobs, "
-                  f"{self.n_executed} executed, {self.n_cached} cached")
+                  f"{self.n_executed} executed, {self.n_cached} cached"
+                  f"{failed}")
+        if self.n_failed:
+            lines = [table, ""]
+            lines.extend(f"  [FAIL] {e.key}: {e.error}"
+                         for e in self.entries if e.error)
+            return "\n".join(lines)
         return table
 
     def to_payload(self) -> dict:

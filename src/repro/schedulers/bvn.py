@@ -105,6 +105,7 @@ def birkhoff_von_neumann(
             "BvN needs equal row/column sums; stuff the matrix first "
             f"(spread={spread:.3g} on scale {scale:.3g})")
     terms: List[Tuple[Matching, float]] = []
+    ports = np.arange(n)
     while work.max() > tolerance:
         if max_terms is not None and len(terms) >= max_terms:
             break
@@ -115,12 +116,15 @@ def birkhoff_von_neumann(
             # support even though mass remains.  Stop; the residue is
             # below meaningful precision or the input was unbalanced.
             break
-        weight = float(min(work[i, match[i]] for i in range(n)))
+        # Peel: one gather for the minimum matched entry, one scatter
+        # for the subtraction (the scalar per-port loop survives in
+        # repro.schedulers.reference as the executable spec).
+        matched = np.asarray(match, dtype=np.int64)
+        weight = float(work[ports, matched].min())
         if weight <= tolerance:
             break
         terms.append((Matching(list(match)), weight))
-        for i in range(n):
-            work[i, match[i]] -= weight
+        work[ports, matched] -= weight
     return terms
 
 
@@ -156,7 +160,19 @@ class BvnScheduler(Scheduler):
         return round(nbytes * 8 * SECONDS / self.link_rate_bps)
 
     def compute(self, demand: np.ndarray) -> ScheduleResult:
-        demand = self._check_demand(demand)
+        return self._schedule(self._check_demand(demand))
+
+    def compute_trusted(self, demand: np.ndarray) -> ScheduleResult:
+        """Validation-free entry; see the base-class contract.
+
+        Decomposition arithmetic is float; integer demand is widened
+        here so both paths run on the exact float64 matrix
+        :meth:`compute` would.
+        """
+        return self._schedule(np.asarray(demand, dtype=np.float64))
+
+    def _schedule(self, demand: np.ndarray) -> ScheduleResult:
+        ports = np.arange(self.n_ports)
         stuffed = stuff_matrix(demand)
         terms = birkhoff_von_neumann(stuffed, max_terms=self.max_matchings)
         plan: List[Tuple[Matching, int]] = []
@@ -165,15 +181,20 @@ class BvnScheduler(Scheduler):
             hold_ps = self._bytes_to_hold_ps(weight)
             if hold_ps < self.min_hold_ps:
                 continue  # too short to pay for a reconfiguration
-            # Strip pairs that only exist because of stuffing.
-            real_pairs = [(i, j) for i, j in matching.pairs()
-                          if demand[i, j] > 0]
-            if not real_pairs:
+            # Strip pairs that only exist because of stuffing.  BvN
+            # matchings are full permutations, so the real pairs are a
+            # mask over one gathered row — no per-pair Python loop
+            # (scalar original: repro.schedulers.reference).
+            matched = matching.as_array()
+            real = demand[ports, matched] > 0
+            if not real.any():
                 continue
-            plan.append((Matching.from_pairs(self.n_ports, real_pairs),
-                         hold_ps))
-            for i, j in real_pairs:
-                residue[i, j] = max(0.0, residue[i, j] - weight)
+            real_src = ports[real]
+            real_dst = matched[real]
+            plan.append((Matching.from_output_array(
+                np.where(real, matched, -1)), hold_ps))
+            residue[real_src, real_dst] = np.maximum(
+                0.0, residue[real_src, real_dst] - weight)
         if not plan:
             plan = [(Matching.empty(self.n_ports), 0)]
         self.last_stats = {

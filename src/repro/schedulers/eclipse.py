@@ -92,7 +92,14 @@ class EclipseScheduler(Scheduler):
 
     def _best_step(self, remaining: np.ndarray
                    ) -> Optional[Tuple[Matching, int, float]]:
-        """Best (matching, hold_ps, value) for the current residue."""
+        """Best (matching, hold_ps, value) for the current residue.
+
+        The MWM solve per candidate duration stays in scipy; the pair
+        filter is a mask over the assignment vectors and the served
+        total is summed in the same left-to-right order as the scalar
+        original (``repro.schedulers.reference``), so the greedy's
+        tie-breaks — and therefore the whole plan — are bit-identical.
+        """
         positive = remaining[remaining > 0]
         if positive.size == 0:
             return None
@@ -104,21 +111,32 @@ class EclipseScheduler(Scheduler):
             tau = max(1, int(tau))
             capped = np.minimum(remaining, self._ps_to_bytes(tau))
             rows, cols = linear_sum_assignment(-capped)
-            pairs = [(int(i), int(j)) for i, j in zip(rows, cols)
-                     if remaining[i, j] > 0]
-            if not pairs:
+            real = remaining[rows, cols] > 0
+            if not real.any():
                 continue
-            served = sum(float(capped[i, j]) for i, j in pairs)
+            real_rows = rows[real]
+            real_cols = cols[real]
+            # Sequential Python sum, not np.sum: pairwise summation
+            # rounds differently and could flip equal-value greedy
+            # tie-breaks away from the reference implementation.
+            served = sum(capped[real_rows, real_cols].tolist())
             value = served / (tau + self.reconfig_ps)
             if best is None or value > best[2]:
-                matching = Matching.from_pairs(self.n_ports, pairs)
-                best = (matching, tau, value)
+                out_of = np.full(self.n_ports, -1, dtype=np.int64)
+                out_of[real_rows] = real_cols
+                best = (Matching.from_output_array(out_of), tau, value)
         return best
 
     # -- Scheduler --------------------------------------------------------------------
 
     def compute(self, demand: np.ndarray) -> ScheduleResult:
-        demand = self._check_demand(demand)
+        return self._schedule(self._check_demand(demand))
+
+    def compute_trusted(self, demand: np.ndarray) -> ScheduleResult:
+        """Validation-free entry; see the base-class contract."""
+        return self._schedule(np.asarray(demand, dtype=np.float64))
+
+    def _schedule(self, demand: np.ndarray) -> ScheduleResult:
         remaining = demand.copy()
         plan: List[Tuple[Matching, int]] = []
         first_value: Optional[float] = None
@@ -135,9 +153,12 @@ class EclipseScheduler(Scheduler):
             steps += 1
             plan.append((matching, tau))
             cap = self._ps_to_bytes(tau)
-            for i, j in matching.pairs():
-                remaining[i, j] = max(0.0, remaining[i, j]
-                                      - min(remaining[i, j], cap))
+            matched = matching.as_array()
+            src = np.nonzero(matched >= 0)[0]
+            dst = matched[src]
+            vals = remaining[src, dst]
+            remaining[src, dst] = np.maximum(
+                0.0, vals - np.minimum(vals, cap))
         if not plan:
             plan = [(Matching.empty(self.n_ports), 0)]
         self.last_stats = {

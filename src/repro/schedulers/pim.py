@@ -52,41 +52,54 @@ class PimScheduler(Scheduler):
         self.rng = rng or random.Random(0)
 
     def compute(self, demand: np.ndarray) -> ScheduleResult:
-        demand = self._check_demand(demand)
+        return self.compute_trusted(self._check_demand(demand))
+
+    def compute_trusted(self, demand: np.ndarray) -> ScheduleResult:
+        """Vectorised request phase; see the base-class contract.
+
+        The O(n²) Python candidate scan per round becomes one masked
+        numpy request matrix plus a per-column ``nonzero``.  The grant
+        and accept *draws* stay in ``random.Random``, in the exact
+        column/insertion order of the original loops — ``randrange(k)``
+        consumes the same underlying ``_randbelow(k)`` stream as
+        ``choice`` on a k-element list — so results are bit-identical
+        to the scalar original
+        (``repro.schedulers.reference.ReferencePimScheduler``).
+        """
         n = self.n_ports
-        matched_out: Dict[int, int] = {}   # input -> output
-        matched_in: Dict[int, int] = {}    # output -> input
+        pos = demand > 0
+        randrange = self.rng.randrange
+        out_of_arr = np.full(n, -1, dtype=np.int64)
+        in_unmatched = np.ones(n, dtype=bool)
+        out_unmatched = np.ones(n, dtype=bool)
         rounds_used = 0
         for _round in range(self.iterations):
             rounds_used += 1
             progress = False
-            # Phase 1: requests from unmatched inputs to unmatched outputs.
-            requests: Dict[int, List[int]] = {}
-            for out in range(n):
-                if out in matched_in:
-                    continue
-                requesters = [
-                    inp for inp in range(n)
-                    if inp not in matched_out and demand[inp, out] > 0
-                ]
-                if requesters:
-                    requests[out] = requesters
-            # Phase 2: each output grants one requester at random.
+            # Phase 1: requests from unmatched inputs to unmatched
+            # outputs, as one boolean matrix.
+            req = pos & in_unmatched[:, None] & out_unmatched[None, :]
+            # Phase 2: each requested output grants one requester at
+            # random (column order preserves the RNG stream).
             grants: Dict[int, List[int]] = {}
-            for out, requesters in requests.items():
-                chosen = self.rng.choice(requesters)
+            has_requests = np.nonzero(req.any(axis=0))[0]
+            for out in has_requests.tolist():
+                requesters = np.nonzero(req[:, out])[0]
+                chosen = int(requesters[randrange(requesters.size)])
                 grants.setdefault(chosen, []).append(out)
             # Phase 3: each input accepts one grant at random.
             for inp, granted_outputs in grants.items():
-                accepted = self.rng.choice(granted_outputs)
-                matched_out[inp] = accepted
-                matched_in[accepted] = inp
+                accepted = granted_outputs[randrange(
+                    len(granted_outputs))]
+                out_of_arr[inp] = accepted
+                in_unmatched[inp] = False
+                out_unmatched[accepted] = False
                 progress = True
             if not progress:
                 break
-        out_of: List[Optional[int]] = [matched_out.get(i) for i in range(n)]
         self.last_stats = {"iterations": rounds_used, "matchings": 1}
-        return ScheduleResult(matchings=[(Matching(out_of), 0)])
+        return ScheduleResult(
+            matchings=[(Matching.from_output_array(out_of_arr), 0)])
 
 
 __all__ = ["PimScheduler"]

@@ -1,7 +1,8 @@
 """Scalar reference implementations of the vectorised schedulers.
 
-The hot schedulers (iSLIP, greedy-MWM, Solstice) run numpy-vectorised
-inner loops on the production path.  This module preserves the original
+The hot schedulers (iSLIP, greedy-MWM, Solstice — and since the sweep
+overhaul also PIM, WFA, BvN and Eclipse) run numpy-vectorised inner
+loops on the production path.  This module preserves the original
 per-port Python loops — the seed implementations the vector code was
 derived from — as executable specifications:
 
@@ -28,14 +29,18 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
+from scipy.optimize import linear_sum_assignment
 
 from repro.schedulers.base import ScheduleResult
 from repro.schedulers.bipartite import perfect_matching_on_support
-from repro.schedulers.bvn import stuff_matrix
+from repro.schedulers.bvn import BvnScheduler, stuff_matrix
+from repro.schedulers.eclipse import EclipseScheduler
 from repro.schedulers.islip import IslipScheduler
 from repro.schedulers.matching import Matching
 from repro.schedulers.mwm import GreedyMwmScheduler
+from repro.schedulers.pim import PimScheduler
 from repro.schedulers.solstice import SolsticeScheduler
+from repro.schedulers.wfa import WfaScheduler
 
 
 class ReferenceIslipScheduler(IslipScheduler):
@@ -164,8 +169,203 @@ class ReferenceSolsticeScheduler(SolsticeScheduler):
         return self.compute(demand)
 
 
+class ReferencePimScheduler(PimScheduler):
+    """PIM with the original per-output/per-input scalar loops."""
+
+    def compute(self, demand: np.ndarray) -> ScheduleResult:
+        demand = self._check_demand(demand)
+        n = self.n_ports
+        matched_out: Dict[int, int] = {}   # input -> output
+        matched_in: Dict[int, int] = {}    # output -> input
+        rounds_used = 0
+        for _round in range(self.iterations):
+            rounds_used += 1
+            progress = False
+            # Phase 1: requests from unmatched inputs to unmatched
+            # outputs.
+            requests: Dict[int, List[int]] = {}
+            for out in range(n):
+                if out in matched_in:
+                    continue
+                requesters = [
+                    inp for inp in range(n)
+                    if inp not in matched_out and demand[inp, out] > 0
+                ]
+                if requesters:
+                    requests[out] = requesters
+            # Phase 2: each output grants one requester at random.
+            grants: Dict[int, List[int]] = {}
+            for out, requesters in requests.items():
+                chosen = self.rng.choice(requesters)
+                grants.setdefault(chosen, []).append(out)
+            # Phase 3: each input accepts one grant at random.
+            for inp, granted_outputs in grants.items():
+                accepted = self.rng.choice(granted_outputs)
+                matched_out[inp] = accepted
+                matched_in[accepted] = inp
+                progress = True
+            if not progress:
+                break
+        out_of: List[Optional[int]] = [matched_out.get(i)
+                                       for i in range(n)]
+        self.last_stats = {"iterations": rounds_used, "matchings": 1}
+        return ScheduleResult(matchings=[(Matching(out_of), 0)])
+
+    def compute_trusted(self, demand: np.ndarray) -> ScheduleResult:
+        return self.compute(demand)
+
+
+class ReferenceWfaScheduler(WfaScheduler):
+    """WFA visiting wavefront cells one at a time in Python."""
+
+    def compute(self, demand: np.ndarray) -> ScheduleResult:
+        demand = self._check_demand(demand)
+        n = self.n_ports
+        requests = demand > 0
+        row_free = [True] * n
+        col_free = [True] * n
+        out_of: List[Optional[int]] = [None] * n
+        for wave in range(n):
+            diagonal = (self._priority + wave) % n
+            for i in range(n):
+                j = (diagonal - i) % n
+                if requests[i, j] and row_free[i] and col_free[j]:
+                    out_of[i] = j
+                    row_free[i] = False
+                    col_free[j] = False
+        self._priority = (self._priority + 1) % n
+        self.last_stats = {"iterations": n, "matchings": 1}
+        return ScheduleResult(matchings=[(Matching(out_of), 0)])
+
+    def compute_trusted(self, demand: np.ndarray) -> ScheduleResult:
+        return self.compute(demand)
+
+
+def reference_birkhoff_von_neumann(
+        matrix: np.ndarray,
+        tolerance: float = 1e-9,
+        max_terms: Optional[int] = None) -> List[Tuple[Matching, float]]:
+    """The original scalar peel of ``bvn.birkhoff_von_neumann``."""
+    work = np.asarray(matrix, dtype=np.float64).copy()
+    n = work.shape[0]
+    terms: List[Tuple[Matching, float]] = []
+    while work.max() > tolerance:
+        if max_terms is not None and len(terms) >= max_terms:
+            break
+        support = work > tolerance
+        match = perfect_matching_on_support(support)
+        if match is None:
+            break
+        weight = float(min(work[i, match[i]] for i in range(n)))
+        if weight <= tolerance:
+            break
+        terms.append((Matching(list(match)), weight))
+        for i in range(n):
+            work[i, match[i]] -= weight
+    return terms
+
+
+class ReferenceBvnScheduler(BvnScheduler):
+    """BvN with per-port Python loops in peel and residue updates."""
+
+    def compute(self, demand: np.ndarray) -> ScheduleResult:
+        demand = self._check_demand(demand)
+        stuffed = stuff_matrix(demand)
+        terms = reference_birkhoff_von_neumann(
+            stuffed, max_terms=self.max_matchings)
+        plan: List[Tuple[Matching, int]] = []
+        residue = demand.copy()
+        for matching, weight in terms:
+            hold_ps = self._bytes_to_hold_ps(weight)
+            if hold_ps < self.min_hold_ps:
+                continue
+            real_pairs = [(i, j) for i, j in matching.pairs()
+                          if demand[i, j] > 0]
+            if not real_pairs:
+                continue
+            plan.append((Matching.from_pairs(self.n_ports, real_pairs),
+                         hold_ps))
+            for i, j in real_pairs:
+                residue[i, j] = max(0.0, residue[i, j] - weight)
+        if not plan:
+            plan = [(Matching.empty(self.n_ports), 0)]
+        self.last_stats = {
+            "iterations": len(terms),
+            "matchings": len(plan),
+        }
+        return ScheduleResult(matchings=plan, eps_residue=residue)
+
+    def compute_trusted(self, demand: np.ndarray) -> ScheduleResult:
+        return self.compute(demand)
+
+
+class ReferenceEclipseScheduler(EclipseScheduler):
+    """Eclipse with per-pair Python loops in the greedy step."""
+
+    def _best_step(self, remaining: np.ndarray
+                   ) -> Optional[Tuple[Matching, int, float]]:
+        positive = remaining[remaining > 0]
+        if positive.size == 0:
+            return None
+        service_ps = np.unique(
+            np.ceil(self._bytes_to_ps(positive)).astype(np.int64))
+        candidates = service_ps[-self.max_candidate_durations:]
+        best: Optional[Tuple[Matching, int, float]] = None
+        for tau in candidates.tolist():
+            tau = max(1, int(tau))
+            capped = np.minimum(remaining, self._ps_to_bytes(tau))
+            rows, cols = linear_sum_assignment(-capped)
+            pairs = [(int(i), int(j)) for i, j in zip(rows, cols)
+                     if remaining[i, j] > 0]
+            if not pairs:
+                continue
+            served = sum(float(capped[i, j]) for i, j in pairs)
+            value = served / (tau + self.reconfig_ps)
+            if best is None or value > best[2]:
+                matching = Matching.from_pairs(self.n_ports, pairs)
+                best = (matching, tau, value)
+        return best
+
+    def compute(self, demand: np.ndarray) -> ScheduleResult:
+        demand = self._check_demand(demand)
+        remaining = demand.copy()
+        plan: List[Tuple[Matching, int]] = []
+        first_value: Optional[float] = None
+        steps = 0
+        while len(plan) < self.max_matchings:
+            step = self._best_step(remaining)
+            if step is None:
+                break
+            matching, tau, value = step
+            if first_value is None:
+                first_value = value
+            elif value < self.min_value_fraction * first_value:
+                break
+            steps += 1
+            plan.append((matching, tau))
+            cap = self._ps_to_bytes(tau)
+            for i, j in matching.pairs():
+                remaining[i, j] = max(0.0, remaining[i, j]
+                                      - min(remaining[i, j], cap))
+        if not plan:
+            plan = [(Matching.empty(self.n_ports), 0)]
+        self.last_stats = {
+            "iterations": steps * self.max_candidate_durations,
+            "matchings": len(plan),
+        }
+        return ScheduleResult(matchings=plan, eps_residue=remaining)
+
+    def compute_trusted(self, demand: np.ndarray) -> ScheduleResult:
+        return self.compute(demand)
+
+
 __all__ = [
     "ReferenceIslipScheduler",
     "ReferenceGreedyMwmScheduler",
     "ReferenceSolsticeScheduler",
+    "ReferencePimScheduler",
+    "ReferenceWfaScheduler",
+    "ReferenceBvnScheduler",
+    "ReferenceEclipseScheduler",
+    "reference_birkhoff_von_neumann",
 ]

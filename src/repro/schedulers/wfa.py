@@ -20,8 +20,6 @@ counter.
 
 from __future__ import annotations
 
-from typing import List, Optional
-
 import numpy as np
 
 from repro.schedulers.base import Scheduler, ScheduleResult
@@ -36,29 +34,42 @@ class WfaScheduler(Scheduler):
     def __init__(self, n_ports: int) -> None:
         super().__init__(n_ports)
         self._priority = 0
+        self._ports = np.arange(n_ports)
 
     def compute(self, demand: np.ndarray) -> ScheduleResult:
-        demand = self._check_demand(demand)
+        return self.compute_trusted(self._check_demand(demand))
+
+    def compute_trusted(self, demand: np.ndarray) -> ScheduleResult:
+        """One numpy op set per wavefront; see the base-class contract.
+
+        Wrapped diagonals: wavefront w visits cells (i, j) with
+        (i + j) mod n == (priority + w) mod n.  Each wrapped diagonal
+        touches every row and column exactly once, so cells within a
+        wavefront never conflict — exactly the hardware's parallelism,
+        and exactly why the whole wavefront can be claimed with one
+        masked gather/scatter instead of a per-cell Python loop (the
+        scalar original survives as
+        ``repro.schedulers.reference.ReferenceWfaScheduler``).
+        """
         n = self.n_ports
+        ports = self._ports
         requests = demand > 0
-        row_free = [True] * n
-        col_free = [True] * n
-        out_of: List[Optional[int]] = [None] * n
-        # Wrapped diagonals: wavefront w visits cells (i, j) with
-        # (i + j) mod n == (priority + w) mod n.  Each wrapped diagonal
-        # touches every row and column exactly once, so cells within a
-        # wavefront never conflict — exactly the hardware's parallelism.
+        row_free = np.ones(n, dtype=bool)
+        col_free = np.ones(n, dtype=bool)
+        out_of_arr = np.full(n, -1, dtype=np.int64)
         for wave in range(n):
-            diagonal = (self._priority + wave) % n
-            for i in range(n):
-                j = (diagonal - i) % n
-                if requests[i, j] and row_free[i] and col_free[j]:
-                    out_of[i] = j
-                    row_free[i] = False
-                    col_free[j] = False
+            cols = (self._priority + wave - ports) % n
+            take = requests[ports, cols] & row_free & col_free[cols]
+            if take.any():
+                rows = ports[take]
+                taken_cols = cols[take]
+                out_of_arr[rows] = taken_cols
+                row_free[rows] = False
+                col_free[taken_cols] = False
         self._priority = (self._priority + 1) % n
         self.last_stats = {"iterations": n, "matchings": 1}
-        return ScheduleResult(matchings=[(Matching(out_of), 0)])
+        return ScheduleResult(
+            matchings=[(Matching.from_output_array(out_of_arr), 0)])
 
 
 __all__ = ["WfaScheduler"]

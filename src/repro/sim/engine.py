@@ -104,7 +104,8 @@ class Simulator:
         # Hot loop: bind the queue methods once — at millions of events
         # per run the repeated attribute lookups are measurable.
         peek_time = self._queue.peek_time
-        pop = self._queue.pop
+        pop_ready = self._queue.pop_ready
+        requeue = self._queue.requeue
         bounded = until is not None
         try:
             while not self._stopped:
@@ -116,15 +117,39 @@ class Simulator:
                 if bounded and next_time > until:
                     self._now = until
                     break
-                event = pop()
+                # Batch-pop the whole same-timestamp burst: the heap
+                # walk and cancellation compaction are paid once per
+                # batch.  Events a callback schedules *at* this instant
+                # get higher sequence numbers and form the next batch,
+                # so FIFO-within-timestamp is preserved.
+                batch = pop_ready(next_time)
                 self._now = next_time
-                event.callback()
-                dispatched += 1
-                self.events_dispatched += 1
-                if max_events is not None and dispatched >= max_events:
-                    raise SimulationError(
-                        f"exceeded max_events={max_events}; "
-                        "model is likely in an event loop")
+                position = 0
+                n_batch = len(batch)
+                try:
+                    while position < n_batch:
+                        event = batch[position]
+                        position += 1
+                        if event.cancelled:
+                            # Cancelled by an earlier callback in this
+                            # very batch; already accounted.
+                            continue
+                        event.callback()
+                        dispatched += 1
+                        self.events_dispatched += 1
+                        if max_events is not None \
+                                and dispatched >= max_events:
+                            raise SimulationError(
+                                f"exceeded max_events={max_events}; "
+                                "model is likely in an event loop")
+                        if self._stopped:
+                            break
+                finally:
+                    if position < n_batch:
+                        # Stop request, event budget or a raising
+                        # callback: the unconsumed tail goes back at
+                        # its original heap position.
+                        requeue(batch[position:])
         finally:
             self._running = False
         return dispatched

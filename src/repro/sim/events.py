@@ -52,6 +52,11 @@ class Event:
     #: consistent whether the cancel arrived via :meth:`EventQueue.cancel`
     #: or directly via :meth:`Event.cancel`.
     accounted: bool = field(default=False, compare=False, repr=False)
+    #: Internal: total-order tiebreak assigned by :meth:`EventQueue.push`.
+    #: Kept on the event so :meth:`EventQueue.requeue` can reinsert a
+    #: batch-popped event *at its original position* relative to events
+    #: scheduled later at the same timestamp.
+    sequence: int = field(default=-1, compare=False, repr=False)
 
     def cancel(self) -> None:
         """Mark the event so the queue skips it when popped."""
@@ -85,7 +90,9 @@ class EventQueue:
 
         Each :class:`Event` instance must be pushed at most once.
         """
-        heapq.heappush(self._heap, (event.time, self._next_sequence(), event))
+        sequence = self._next_sequence()
+        event.sequence = sequence
+        heapq.heappush(self._heap, (event.time, sequence, event))
         self._live += 1
 
     def _discount(self, event: Event) -> None:
@@ -111,6 +118,50 @@ class EventQueue:
             self._live -= 1
             return event
         raise SimulationError("pop from empty event queue")
+
+    def pop_ready(self, until_time: int) -> list[Event]:
+        """Pop every live event with ``time <= until_time``, in order.
+
+        The batch fast path under :meth:`Simulator.run
+        <repro.sim.engine.Simulator.run>`: on dense same-timestamp
+        bursts the per-event heap-tuple unpack and cancellation checks
+        are paid once per batch instead of once per event.  Popped
+        events leave the live count exactly as :meth:`pop` would;
+        cancelled events encountered on the way are compacted and
+        reconciled.  A consumer that cannot dispatch the whole batch
+        (stop request, event budget, a raising callback) must hand the
+        unconsumed tail back via :meth:`requeue` — and must itself skip
+        any batch member whose ``cancelled`` flag was raised by an
+        earlier callback in the batch.
+        """
+        heap = self._heap
+        ready: list[Event] = []
+        while heap and heap[0][0] <= until_time:
+            __, __, event = heapq.heappop(heap)
+            if event.cancelled:
+                self._discount(event)
+                continue
+            event.accounted = True
+            self._live -= 1
+            ready.append(event)
+        return ready
+
+    def requeue(self, events: "list[Event]") -> None:
+        """Reinsert events handed out by :meth:`pop_ready` but not run.
+
+        Events keep the sequence number :meth:`push` assigned, so they
+        land *before* anything scheduled after them at the same
+        timestamp — order is exactly as if they had never been popped.
+        Events cancelled while popped are dropped (they are already
+        accounted).
+        """
+        for event in events:
+            if event.cancelled:
+                continue
+            heapq.heappush(self._heap,
+                           (event.time, event.sequence, event))
+            event.accounted = False
+            self._live += 1
 
     def peek_time(self) -> Optional[int]:
         """Firing time of the earliest live event, or ``None`` if empty.

@@ -282,3 +282,75 @@ class TestCli:
         assert main(["run", "e7", "--quick",
                      "--cache-dir", str(bogus)]) == 2
         assert "not a directory" in capsys.readouterr().err
+
+
+class TestReplicaBatch:
+    """--jobs 1 vs --jobs 4 vs --replica-batch: same bytes, same cache."""
+
+    E5_OVERRIDES = {"loads": [0.5, 0.9], "slots": 120, "warmup": 20,
+                    "n_ports": 8}
+
+    def _plan(self):
+        return plan_runs(["e5"], quick=True, base_seed=5, replicas=3,
+                         grid={key: [value] for key, value
+                               in self.E5_OVERRIDES.items()})
+
+    @staticmethod
+    def _payloads(outcomes):
+        from repro.runner.cache import report_to_payload
+
+        return [canonical_json(report_to_payload(o.report))
+                for o in outcomes]
+
+    def test_byte_identical_across_execution_modes(self):
+        specs = self._plan()
+        sequential = execute(specs, jobs=1)
+        parallel = execute(specs, jobs=4)
+        batched = execute(specs, jobs=1, replica_batch=True)
+        batched_parallel = execute(specs, jobs=4, replica_batch=True)
+        reference = self._payloads(sequential)
+        assert self._payloads(parallel) == reference
+        assert self._payloads(batched) == reference
+        assert self._payloads(batched_parallel) == reference
+
+    def test_replica_batch_fills_cache_for_plain_runs(self, tmp_path):
+        specs = self._plan()
+        cache = ResultCache(tmp_path)
+        cold = execute(specs, jobs=1, cache=cache, replica_batch=True)
+        assert all(not o.cached for o in cold)
+        # Warm pass — any mode — re-executes nothing.
+        warm = execute(specs, jobs=4, cache=cache)
+        assert all(o.cached for o in warm)
+        warm_batch = execute(specs, jobs=1, cache=cache,
+                             replica_batch=True)
+        assert all(o.cached for o in warm_batch)
+        assert self._payloads(warm) == self._payloads(cold)
+        assert self._payloads(warm_batch) == self._payloads(cold)
+
+    def test_mixed_plan_batches_only_eligible_groups(self):
+        # e5 replicas batch; e7 (no batch entry point) and a seedless
+        # e5 run fall back to per-spec execution — outputs unchanged.
+        specs = self._plan() + [
+            RunSpec("e7", quick=True, overrides={"port_counts": [8]}),
+            RunSpec("e5", quick=True, overrides=self.E5_OVERRIDES),
+        ]
+        plain = execute(specs, jobs=1)
+        batched = execute(specs, jobs=1, replica_batch=True)
+        assert self._payloads(batched) == self._payloads(plain)
+
+    def test_cli_replica_batch_round_trip(self, tmp_path, capsys):
+        from repro.cli import main
+
+        plain_out = tmp_path / "plain.json"
+        batch_out = tmp_path / "batch.json"
+        base = ["sweep", "e5", "--quick", "--replicas", "2",
+                "--base-seed", "3",
+                "--set", "loads=[[0.5]]", "--set", "slots=100",
+                "--set", "warmup=10", "--set", "n_ports=8"]
+        assert main(base + ["--json-out", str(plain_out)]) == 0
+        assert main(base + ["--replica-batch",
+                            "--json-out", str(batch_out)]) == 0
+        capsys.readouterr()
+        plain = json.loads(plain_out.read_text())["reports"]
+        batch = json.loads(batch_out.read_text())["reports"]
+        assert plain == batch

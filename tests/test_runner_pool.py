@@ -1,0 +1,185 @@
+"""Tests for the persistent warm-worker pool (``repro.runner.pool``).
+
+Covers the load-bearing properties: ordered streaming over chunked
+dispatch, worker reuse across calls (the "warm" in warm pool), ordinary
+exceptions propagating at their item's position, shared-memory result
+transport, and crash isolation — a job that kills its worker is retried
+once in isolation, surfaced with its index, and never hangs the run.
+
+All job callables are module-level: tasks travel through queues and
+must pickle.
+"""
+
+import os
+
+import pytest
+
+import repro.runner.pool as pool_mod
+from repro.runner import RunSpec, execute
+from repro.runner.manifest import RunManifest
+from repro.runner.pool import (
+    WorkerCrashError,
+    get_pool,
+    shutdown_pools,
+)
+
+
+def _square(value):
+    return value * value
+
+
+def _boom_on_seven(value):
+    if value == 7:
+        raise ValueError("seven is right out")
+    return value
+
+
+def _exit_on_three(value):
+    if value == 3:
+        os._exit(13)  # hard crash: no exception, no result
+    return value + 100
+
+
+def _big_payload(value):
+    return bytes([value % 251]) * (512 * 1024)
+
+
+@pytest.fixture
+def fresh_pools():
+    """Isolate pool state: fresh workers before, teardown after.
+
+    Teardown matters for the tests that fork workers with patched
+    module state — later tests must not inherit them.
+    """
+    shutdown_pools(force=True)
+    yield
+    shutdown_pools(force=True)
+
+
+class TestWarmPool:
+    def test_ordered_results_across_chunks(self, fresh_pools):
+        pool = get_pool(3)
+        items = list(range(53))
+        assert list(pool.imap(_square, items)) \
+            == [x * x for x in items]
+
+    def test_workers_are_reused_across_calls(self, fresh_pools):
+        pool = get_pool(2)
+        pids_before = [p.pid for p in pool._procs]
+        list(pool.imap(_square, range(10)))
+        list(pool.imap(_square, range(10)))
+        assert get_pool(2) is pool
+        assert [p.pid for p in pool._procs] == pids_before
+        assert all(p.is_alive() for p in pool._procs)
+
+    def test_exception_raises_at_position_after_prior_yields(
+            self, fresh_pools):
+        pool = get_pool(2)
+        seen = []
+        with pytest.raises(ValueError, match="seven"):
+            for value in pool.imap(_boom_on_seven, [1, 5, 7, 9],
+                                   chunk_size=1):
+                seen.append(value)
+        assert seen == [1, 5]
+        # The pool survives an exception and keeps serving.
+        assert list(pool.imap(_square, [2, 3])) == [4, 9]
+
+    def test_large_results_travel_shared_memory(self, fresh_pools):
+        pool = get_pool(2)
+        results = list(pool.imap(_big_payload, [1, 2, 3]))
+        assert results == [_big_payload(v) for v in [1, 2, 3]]
+
+    def test_shm_path_forced_by_low_threshold(self, fresh_pools,
+                                              monkeypatch):
+        # Workers fork after the patch, so every result — however
+        # small — takes the shared-memory route.
+        monkeypatch.setattr(pool_mod, "SHM_THRESHOLD_BYTES", 1)
+        pool = get_pool(2)
+        assert list(pool.imap(_square, range(20))) \
+            == [x * x for x in range(20)]
+
+    def test_crash_isolated_to_item_with_index(self, fresh_pools):
+        pool = get_pool(2)
+        seen = []
+        with pytest.raises(WorkerCrashError) as info:
+            for value in pool.imap(_exit_on_three, [0, 1, 2, 3, 4, 5]):
+                seen.append(value)
+        assert info.value.item_index == 3
+        assert seen == [100, 101, 102]
+        # Replacement workers serve subsequent calls.
+        assert list(pool.imap(_square, [4])) == [16]
+
+    def test_empty_items(self, fresh_pools):
+        assert list(get_pool(2).imap(_square, [])) == []
+
+    def test_pool_replaced_after_shutdown(self, fresh_pools):
+        pool = get_pool(2)
+        pool.shutdown(force=True)
+        replacement = get_pool(2)
+        assert replacement is not pool
+        assert list(replacement.imap(_square, [3])) == [9]
+
+
+class TestExecutorCrashHandling:
+    def test_crashed_job_fails_visibly_and_rest_complete(
+            self, fresh_pools, monkeypatch):
+        # Poison one experiment entry point so its worker dies; forked
+        # workers inherit the patched table.
+        import repro.experiments as experiments
+
+        def _poisoned(config):
+            os._exit(13)
+
+        monkeypatch.setitem(experiments.ENTRY_POINTS, "e7", _poisoned)
+        good = RunSpec("e2", quick=True,
+                       overrides={"port_counts": [16]})
+        bad = RunSpec("e7", quick=True)
+        outcomes = execute([good, bad, good], jobs=2)
+        assert outcomes[0].error is None
+        assert outcomes[2].error is None
+        assert outcomes[1].error is not None
+        assert bad.key() in outcomes[1].error
+        manifest = RunManifest.from_outcomes(outcomes)
+        assert manifest.n_failed == 1
+        rendered = manifest.render()
+        assert "FAIL" in rendered
+        assert bad.key() in rendered
+
+    def test_replica_batch_crash_fails_group_and_continues(
+            self, fresh_pools, monkeypatch):
+        import repro.experiments as experiments
+
+        def _poisoned_batch(configs):
+            os._exit(13)
+
+        monkeypatch.setitem(experiments.BATCH_ENTRY_POINTS, "e5",
+                            _poisoned_batch)
+        replicas = [RunSpec("e5", quick=True, seed=s,
+                            overrides={"loads": [0.5], "slots": 60,
+                                       "warmup": 10, "n_ports": 4})
+                    for s in (1, 2)]
+        good = RunSpec("e7", quick=True,
+                       overrides={"port_counts": [8]})
+        outcomes = execute(replicas + [good], jobs=2,
+                           replica_batch=True)
+        assert outcomes[0].error is not None
+        assert outcomes[1].error is not None
+        assert outcomes[2].error is None
+        manifest = RunManifest.from_outcomes(outcomes)
+        assert manifest.n_failed == 2
+
+    def test_cli_exits_nonzero_on_failed_jobs(self, fresh_pools,
+                                              monkeypatch, capsys):
+        import repro.experiments as experiments
+        from repro.cli import main
+
+        def _poisoned(config):
+            os._exit(13)
+
+        monkeypatch.setitem(experiments.ENTRY_POINTS, "e7", _poisoned)
+        code = main(["run", "e7", "e2", "--quick", "--jobs", "2",
+                     "--set", "port_counts=[16]"])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "FAIL" in captured.out
+        assert "job(s) failed" in captured.err

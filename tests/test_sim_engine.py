@@ -131,3 +131,100 @@ class TestDeterminism:
         a = Simulator(seed=7).streams.stream("x").random()
         b = Simulator(seed=8).streams.stream("x").random()
         assert a != b
+
+
+class TestBatchDispatch:
+    """Simulator.run's same-timestamp batch fast path."""
+
+    @pytest.fixture
+    def sim(self):
+        return Simulator()
+
+    def test_fifo_within_dense_burst(self, sim):
+        seen = []
+        for i in range(50):
+            sim.schedule(10, lambda i=i: seen.append(i))
+        sim.run()
+        assert seen == list(range(50))
+
+    def test_callback_scheduling_at_now_fires_after_batch(self, sim):
+        seen = []
+
+        def first():
+            seen.append("first")
+            sim.schedule(0, lambda: seen.append("injected"))
+
+        sim.schedule(5, first)
+        sim.schedule(5, lambda: seen.append("second"))
+        sim.run()
+        assert seen == ["first", "second", "injected"]
+
+    def test_cancel_within_batch_skips_peer(self, sim):
+        # The killer fires first and cancels an event already popped
+        # into the same batch; the victim must be skipped, with no
+        # live-count drift.
+        seen = []
+
+        def killer():
+            seen.append("killer")
+            sim.cancel(victim)
+
+        sim.schedule(7, killer)
+        victim = sim.schedule(7, lambda: seen.append("victim"))
+        sim.run()
+        assert seen == ["killer"]
+        assert sim.pending_events() == 0
+
+    def test_stop_mid_batch_requeues_tail(self, sim):
+        seen = []
+        sim.schedule(3, lambda: (seen.append("a"), sim.stop()))
+        sim.schedule(3, lambda: seen.append("b"))
+        sim.schedule(3, lambda: seen.append("c"))
+        sim.run()
+        assert seen == ["a"]
+        assert sim.pending_events() == 2
+        # Resuming dispatches the requeued tail in original order.
+        sim.run()
+        assert seen == ["a", "b", "c"]
+        assert sim.pending_events() == 0
+
+    def test_max_events_mid_batch_requeues_tail(self, sim):
+        seen = []
+        for i in range(5):
+            sim.schedule(1, lambda i=i: seen.append(i))
+        with pytest.raises(SimulationError, match="max_events"):
+            sim.run(max_events=2)
+        assert seen == [0, 1]
+        assert sim.pending_events() == 3
+        sim.run()
+        assert seen == [0, 1, 2, 3, 4]
+
+    def test_raising_callback_requeues_tail(self, sim):
+        seen = []
+
+        def boom():
+            raise RuntimeError("model bug")
+
+        sim.schedule(2, lambda: seen.append("ok"))
+        sim.schedule(2, boom)
+        sim.schedule(2, lambda: seen.append("after"))
+        with pytest.raises(RuntimeError, match="model bug"):
+            sim.run()
+        assert seen == ["ok"]
+        assert sim.pending_events() == 1
+        sim.run()
+        assert seen == ["ok", "after"]
+
+    def test_cancel_interleaved_with_stop_keeps_count(self, sim):
+        cancelled = sim.schedule(9, lambda: None)
+
+        def stop_and_cancel():
+            sim.cancel(cancelled)
+            sim.stop()
+
+        sim.schedule(9, stop_and_cancel)
+        tail = sim.schedule(9, lambda: None)
+        sim.run()
+        assert sim.pending_events() == 1  # only the tail survives
+        sim.cancel(tail)
+        assert sim.pending_events() == 0
