@@ -10,8 +10,11 @@ from repro.analysis.metrics import (
     LatencySummary,
     interarrival_jitter_ps,
     latency_summary,
+    latency_summary_from_arrays,
     percentile,
+    percentiles,
 )
+from repro.analysis.record import PacketLog
 from repro.analysis.stats import (
     ConfidenceInterval,
     batch_means_ci,
@@ -28,8 +31,11 @@ __all__ = [
     "figure1_curve",
     "LatencySummary",
     "latency_summary",
+    "latency_summary_from_arrays",
     "percentile",
+    "percentiles",
     "interarrival_jitter_ps",
+    "PacketLog",
     "render_table",
     "render_series",
     "sweep",

@@ -1,0 +1,201 @@
+"""Columnar packet telemetry: the structure-of-arrays delivery log.
+
+Retaining one :class:`~repro.net.packet.Packet` object per delivered
+frame is the reference path's biggest memory and collection cost: a
+10-million-packet run holds 10 million Python objects alive just so the
+analysis stage can walk their attributes once.  :class:`PacketLog` is
+the fast lane's sink — hosts append each delivery into preallocated,
+growable ``int64`` columns (emit/arrival timestamps, size, endpoints,
+priority, flow id, queueing stamps, fabric code), and the analysis
+pipeline consumes the columns directly as NumPy views, no copies.
+
+``Packet`` stays available as a *lazy view*: :meth:`PacketLog.packet`
+materialises one row back into a full ``Packet`` (and
+:meth:`PacketLog.packets` a whole list) with every field bit-equal to
+what the reference path would have retained — which is exactly how the
+equivalence tests compare the two paths.
+
+Timestamps that the reference path leaves as ``None`` (a packet that
+never crossed a queue) are stored as the sentinel :data:`UNSET`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from repro.net.packet import Packet
+
+#: Column value standing in for ``None`` timestamps.
+UNSET = -1
+
+#: ``Packet.via`` is interned to an int8-sized code in column storage.
+VIA_CODES = {None: 0, "ocs": 1, "eps": 2}
+VIA_NAMES: List[Optional[str]] = [None, "ocs", "eps"]
+
+#: Column names, in materialisation order.
+COLUMNS = ("src", "dst", "size", "created_ps", "flow_id", "priority",
+           "packet_id", "enqueued_ps", "dequeued_ps", "delivered_ps",
+           "via_code")
+
+
+class PacketLog:
+    """Growable structure-of-arrays record of delivered packets.
+
+    Parameters
+    ----------
+    capacity:
+        Initial row preallocation; the log doubles when full, so append
+        stays amortised O(1).
+    """
+
+    __slots__ = ("_cols", "_n")
+
+    def __init__(self, capacity: int = 1024) -> None:
+        capacity = max(1, int(capacity))
+        self._cols = {name: np.empty(capacity, dtype=np.int64)
+                      for name in COLUMNS}
+        self._n = 0
+
+    # -- writing ---------------------------------------------------------------
+
+    def append(self, src: int, dst: int, size: int, created_ps: int,
+               flow_id: int, priority: int, packet_id: int,
+               enqueued_ps: Optional[int], dequeued_ps: Optional[int],
+               delivered_ps: int, via_code: int) -> None:
+        """Record one delivery (``None`` queue stamps become UNSET)."""
+        i = self._n
+        cols = self._cols
+        if i == len(cols["src"]):
+            self._grow()
+            cols = self._cols
+        cols["src"][i] = src
+        cols["dst"][i] = dst
+        cols["size"][i] = size
+        cols["created_ps"][i] = created_ps
+        cols["flow_id"][i] = flow_id
+        cols["priority"][i] = priority
+        cols["packet_id"][i] = packet_id
+        cols["enqueued_ps"][i] = UNSET if enqueued_ps is None else enqueued_ps
+        cols["dequeued_ps"][i] = UNSET if dequeued_ps is None else dequeued_ps
+        cols["delivered_ps"][i] = delivered_ps
+        cols["via_code"][i] = via_code
+        self._n = i + 1
+
+    def append_packet(self, packet: Packet, delivered_ps: int) -> None:
+        """Record ``packet`` as delivered at ``delivered_ps``."""
+        self.append(packet.src, packet.dst, packet.size,
+                    packet.created_ps, packet.flow_id, packet.priority,
+                    packet.packet_id, packet.enqueued_ps,
+                    packet.dequeued_ps, delivered_ps,
+                    VIA_CODES[packet.via])
+
+    def _grow(self) -> None:
+        new_cap = 2 * len(self._cols["src"])
+        for name, arr in self._cols.items():
+            grown = np.empty(new_cap, dtype=np.int64)
+            grown[:self._n] = arr[:self._n]
+            self._cols[name] = grown
+
+    @classmethod
+    def concatenate(cls, logs: Sequence["PacketLog"]) -> "PacketLog":
+        """One log holding every row of ``logs``, in the given order."""
+        total = sum(len(log) for log in logs)
+        merged = cls(capacity=max(1, total))
+        if total:
+            for name in COLUMNS:
+                merged._cols[name] = np.concatenate(
+                    [log._cols[name][:len(log)] for log in logs])
+        merged._n = total
+        return merged
+
+    # -- column views (no copies) ----------------------------------------------
+
+    def __len__(self) -> int:
+        return self._n
+
+    def column(self, name: str) -> np.ndarray:
+        """Trimmed view of one column (shares the log's storage)."""
+        return self._cols[name][:self._n]
+
+    @property
+    def src(self) -> np.ndarray:
+        return self.column("src")
+
+    @property
+    def dst(self) -> np.ndarray:
+        return self.column("dst")
+
+    @property
+    def size(self) -> np.ndarray:
+        return self.column("size")
+
+    @property
+    def created_ps(self) -> np.ndarray:
+        return self.column("created_ps")
+
+    @property
+    def flow_id(self) -> np.ndarray:
+        return self.column("flow_id")
+
+    @property
+    def priority(self) -> np.ndarray:
+        return self.column("priority")
+
+    @property
+    def delivered_ps(self) -> np.ndarray:
+        return self.column("delivered_ps")
+
+    @property
+    def via_code(self) -> np.ndarray:
+        return self.column("via_code")
+
+    # -- derived columns ---------------------------------------------------------
+
+    def latency_ps(self) -> np.ndarray:
+        """End-to-end latency per row (delivery − creation)."""
+        return self.delivered_ps - self.created_ps
+
+    def via_bytes(self, via: Optional[str]) -> int:
+        """Total delivered bytes that rode fabric ``via``."""
+        mask = self.via_code == VIA_CODES[via]
+        return int(self.size[mask].sum())
+
+    def total_bytes(self) -> int:
+        """Total delivered bytes."""
+        return int(self.size.sum())
+
+    # -- lazy Packet views --------------------------------------------------------
+
+    def packet(self, index: int) -> Packet:
+        """Materialise row ``index`` back into a full :class:`Packet`."""
+        if not 0 <= index < self._n:
+            raise IndexError(f"row {index} out of range ({self._n} rows)")
+        cols = self._cols
+
+        def _opt(name: str) -> Optional[int]:
+            value = int(cols[name][index])
+            return None if value == UNSET else value
+
+        return Packet(
+            src=int(cols["src"][index]),
+            dst=int(cols["dst"][index]),
+            size=int(cols["size"][index]),
+            created_ps=int(cols["created_ps"][index]),
+            flow_id=int(cols["flow_id"][index]),
+            priority=int(cols["priority"][index]),
+            packet_id=int(cols["packet_id"][index]),
+            enqueued_ps=_opt("enqueued_ps"),
+            dequeued_ps=_opt("dequeued_ps"),
+            delivered_ps=int(cols["delivered_ps"][index]),
+            via=VIA_NAMES[int(cols["via_code"][index])],
+        )
+
+    def packets(self) -> Iterator[Packet]:
+        """Materialise every row, in log order."""
+        for index in range(self._n):
+            yield self.packet(index)
+
+
+__all__ = ["PacketLog", "UNSET", "VIA_CODES", "VIA_NAMES", "COLUMNS"]

@@ -1,0 +1,65 @@
+"""Scalar executable specs for the vectorized analysis kernels.
+
+These are the original per-sample loops, kept verbatim as the
+behavioural contract for :mod:`repro.analysis.metrics` /
+:mod:`repro.analysis.stats` — the same discipline as
+:mod:`repro.schedulers.reference`.  The fuzz tests in
+``tests/test_analysis_vectorized.py`` assert the production kernels
+against them; nothing on a hot path should import this module.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+
+def reference_interarrival_jitter_ps(arrival_times_ps: Sequence[int],
+                                     period_ps: int) -> float:
+    """RFC 3550 smoothed jitter, evaluated as the literal recurrence.
+
+    ``J_i = J_{i-1} + (|D_i| - J_{i-1}) / 16`` with ``D_i`` the
+    deviation of the i-th interarrival from the nominal period —
+    exactly as an RTP receiver updates it, one packet at a time.
+    """
+    if len(arrival_times_ps) < 2:
+        return 0.0
+    jitter = 0.0
+    previous = arrival_times_ps[0]
+    for arrival in arrival_times_ps[1:]:
+        deviation = abs((arrival - previous) - period_ps)
+        jitter += (deviation - jitter) / 16.0
+        previous = arrival
+    return float(jitter)
+
+
+def reference_truncate_warmup(
+        values: Sequence[float],
+        max_fraction: float = 0.5) -> Tuple[int, List[float]]:
+    """MSER-lite warmup truncation as the literal O(n²) search.
+
+    For every candidate cut the remaining tail's ``var / size`` score
+    is recomputed from scratch; the best (first-minimal) cut wins.
+    """
+    import numpy as np
+
+    data = np.asarray(values, dtype=np.float64)
+    if data.size < 4:
+        return 0, list(data)
+    best_cut = 0
+    best_score = float("inf")
+    limit = int(data.size * max_fraction)
+    for cut in range(0, limit + 1):
+        tail = data[cut:]
+        if tail.size < 2:
+            break
+        score = float(tail.var(ddof=0)) / tail.size
+        if score < best_score:
+            best_score = score
+            best_cut = cut
+    return best_cut, list(data[best_cut:])
+
+
+__all__ = [
+    "reference_interarrival_jitter_ps",
+    "reference_truncate_warmup",
+]

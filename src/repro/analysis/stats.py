@@ -62,6 +62,8 @@ def batch_means_ci(values: Sequence[float], n_batches: int = 10,
 
     ``values`` must be at least ``2 * n_batches`` long so every batch
     carries some information; trailing remainder samples are dropped.
+    ``values`` may be any sequence or ndarray (a float64 array — e.g. a
+    PacketLog-derived column — passes through without copying).
     """
     if n_batches < 2:
         raise ConfigurationError("need >= 2 batches")
@@ -93,23 +95,36 @@ def truncate_warmup(values: Sequence[float],
     Returns ``(cut_index, values[cut_index:])`` where ``cut_index``
     minimises the standard error of the remaining mean, searched over
     prefixes up to ``max_fraction`` of the series.
+
+    Every candidate tail's ``var / size`` score is evaluated at once
+    from suffix cumulative sums — O(n) total instead of the literal
+    O(n²) rescan (kept as
+    :func:`repro.analysis.reference.reference_truncate_warmup` and
+    fuzz-matched).  PacketLog columns pass through as arrays without
+    per-cut copies.
     """
     if not 0.0 <= max_fraction < 1.0:
         raise ConfigurationError("max_fraction must be in [0, 1)")
     data = np.asarray(values, dtype=np.float64)
-    if data.size < 4:
+    n = data.size
+    if n < 4:
         return 0, list(data)
-    best_cut = 0
-    best_score = float("inf")
-    limit = int(data.size * max_fraction)
-    for cut in range(0, limit + 1):
-        tail = data[cut:]
-        if tail.size < 2:
-            break
-        score = float(tail.var(ddof=0)) / tail.size
-        if score < best_score:
-            best_score = score
-            best_cut = cut
+    # Candidate cuts leave a tail of >= 2 samples (the reference scan
+    # breaks there) and respect the max_fraction prefix bound.
+    last_cut = min(int(n * max_fraction), n - 2)
+    suffix_sum = np.cumsum(data[::-1])[::-1]
+    suffix_sq = np.cumsum((data * data)[::-1])[::-1]
+    sizes = (n - np.arange(last_cut + 1)).astype(np.float64)
+    sums = suffix_sum[:last_cut + 1]
+    squares = suffix_sq[:last_cut + 1]
+    means = sums / sizes
+    variances = squares / sizes - means * means
+    # Cancellation can leave a tiny negative variance where the exact
+    # value is ~0; clamp so the argmin ranks it like the reference's
+    # non-negative var.
+    np.maximum(variances, 0.0, out=variances)
+    scores = variances / sizes
+    best_cut = int(np.argmin(scores))
     return best_cut, list(data[best_cut:])
 
 

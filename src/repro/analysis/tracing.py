@@ -19,6 +19,7 @@ from collections import defaultdict
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
+from repro.net.host import Host
 from repro.sim.time import format_time
 
 if TYPE_CHECKING:  # avoid a runtime cycle: core.results uses analysis
@@ -49,10 +50,26 @@ class PathTracer:
 
     def _install(self) -> None:
         framework = self.framework
+        # Tracing needs the per-packet observable path: the batched
+        # drain would enter the fabric behind the wrapped ocs_sink and
+        # hide every ocs_in hop (same reason ProtocolAuditor calls it).
+        framework.enable_observability()
 
         for host, downlink in zip(framework.hosts,
                                   framework.topology.downlinks):
+            # Every delivery must cross the (wrapped) sink at true
+            # arrival time, so eager delivery is switched off too.
+            downlink.clear_eager_sink()
             original_emit = host.emit
+
+            def emit_presend(packets, times, _host=host):
+                # Chunked sources bypass emit(); record each packet's
+                # hop at its true (future) emission instant.
+                for packet, when in zip(packets, times):
+                    self._record_at(packet, "emitted", when)
+                Host.emit_presend(_host, packets, times)
+
+            host.emit_presend = emit_presend  # type: ignore[assignment]
 
             def emit(packet, _original=original_emit):
                 self._record(packet, "emitted")
@@ -99,6 +116,9 @@ class PathTracer:
 
     def _record(self, packet, stage: str) -> None:
         self._paths[packet.packet_id].append(Hop(stage, self.sim.now))
+
+    def _record_at(self, packet, stage: str, time_ps: int) -> None:
+        self._paths[packet.packet_id].append(Hop(stage, time_ps))
 
     # -- queries ---------------------------------------------------------------
 

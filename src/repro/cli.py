@@ -416,7 +416,8 @@ def _cmd_perf(args: argparse.Namespace) -> int:
     print(f"\nwrote {out_path} (revision {record.revision})")
     speedups = engine_speedups(record)
     if speedups:
-        print("paired speedups (reference/vector, sequential/batch):")
+        print("paired speedups (reference/vector, sequential/batch, "
+              "reference/columnar):")
         for stem in sorted(speedups):
             print(f"  {stem}: {speedups[stem]:.1f}x")
     if args.baseline:

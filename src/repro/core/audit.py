@@ -68,6 +68,10 @@ class ProtocolAuditor:
     # -- wiring -----------------------------------------------------------------
 
     def _install(self) -> None:
+        # Audited runs need the fully observable path: per-packet
+        # diagnostic counters on (conservation reads them) and the
+        # batched fabric entry off (it would bypass the receive hook).
+        self.framework.enable_observability()
         switching = self.framework.switching
         scheduling = self.framework.scheduling
         ocs = self.framework.ocs

@@ -23,8 +23,9 @@ part a researcher would swap.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Callable, Optional
 
+from repro.analysis.record import PacketLog
 from repro.core.config import FrameworkConfig
 from repro.core.processing import ProcessingLogic
 from repro.core.results import RunResult
@@ -76,14 +77,28 @@ class HybridSwitchFramework:
         Custom look-up rule table for the processing logic.
     optimistic_grant:
         Ablation flag — see :class:`~repro.core.scheduling.SchedulingLogic`.
+    packet_lane:
+        ``"columnar"`` (default) arms the packet-path fast lane:
+        per-host :class:`~repro.analysis.record.PacketLog` telemetry
+        instead of retained ``Packet`` objects, eager egress delivery
+        (the downlink's per-packet arrival event collapses into the
+        send), and eager OCS transit where provably exact.  All
+        observable results are identical to ``"reference"``, which
+        keeps the original per-packet/per-object path end to end.
     """
 
     def __init__(self, config: FrameworkConfig,
                  scheduler: Optional[Scheduler] = None,
                  timing: Optional[SchedulerTiming] = None,
                  classifier: Optional[FlowClassifier] = None,
-                 optimistic_grant: bool = False) -> None:
+                 optimistic_grant: bool = False,
+                 packet_lane: str = "columnar") -> None:
+        if packet_lane not in ("columnar", "reference"):
+            raise ConfigurationError(
+                f"unknown packet_lane {packet_lane!r}; expected "
+                "'columnar' or 'reference'")
         self.config = config
+        self.packet_lane = packet_lane
         self.sim = Simulator(seed=config.seed)
         self.topology = build_rack(
             self.sim, config.n_ports,
@@ -130,7 +145,97 @@ class HybridSwitchFramework:
             default_slot_ps=config.default_slot_ps,
             control_delay_ps=config.control_delay_ps,
             optimistic_grant=optimistic_grant)
+        if packet_lane == "columnar":
+            self._arm_fast_lane()
         self._ran = False
+
+    def _arm_fast_lane(self) -> None:
+        """Wire the columnar telemetry + eager egress fast paths.
+
+        Hosts log deliveries into per-host ``PacketLog`` columns (host
+        order is preserved at collection, so the merged log equals the
+        reference path's per-host concatenation row for row).  Each
+        downlink delivers eagerly into its host — valid because the
+        receive side is a pure telemetry sink; the guard re-checks the
+        delivery hook per packet.  The OCS commits its egress sends at
+        receive time when no EPS drain could interleave inside the
+        transit window (an EPS send it *newly* originates is at least a
+        pipeline plus one frame serialisation away, far beyond the
+        transit delay).
+        """
+        eps = self.eps
+        ocs = self.ocs
+        sim = self.sim
+        downlinks = self.topology.downlinks
+        for host, downlink in zip(self.topology.hosts, downlinks):
+            host.use_packet_log(PacketLog())
+            downlink.set_eager_sink(
+                host.receive_at,
+                guard=_no_hook_guard(host))
+        # Guard on full EPS quiescence, not just "no active drain":
+        # a packet already in the EPS ingress pipeline could reach its
+        # output queue and serialise a sub-transit-sized frame onto
+        # the shared downlink inside the transit window.
+        ocs.enable_eager_transit(
+            downlinks,
+            guard=lambda port: eps.is_quiescent)
+        if not self.scheduling.optimistic_grant:
+            def drain_gate(dst: int) -> bool:
+                return (eps.is_quiescent
+                        and not ocs.unstable
+                        and sim.run_until is not None
+                        and sim.now >= ocs._dark_until
+                        and downlinks[dst].can_presend())
+
+            self.processing.enable_drain_batching(
+                self.switching.send_ocs_batch, drain_gate)
+        self._untraced = self._collect_diagnostic_counters()
+        for counter in self._untraced:
+            counter.disable()
+        # VOQ queues materialise lazily, so their counters can't be
+        # collected up front; the bank disables them at creation.
+        self.processing.voqs.set_counter_tracing(False)
+
+    def _collect_diagnostic_counters(self):
+        """Counters that feed only diagnostics/audits, never reports.
+
+        The fast lane runs untraced by default — roughly ten of these
+        fire per packet, and none of their values reach an experiment
+        report (drop counters, host ``emitted`` and grant counts do,
+        and stay enabled).  :meth:`enable_observability` turns them
+        back on for audited runs.
+        """
+        counters = []
+        for host in self.topology.hosts:
+            counters.append(host.received)
+            counters.append(host.sent_on_grant)
+        for link in self.topology.uplinks + self.topology.downlinks:
+            counters.append(link.accepted)
+            counters.append(link.delivered)
+        processing = self.processing
+        counters.extend([processing.requests_generated,
+                         processing.to_ocs, processing.to_eps])
+        counters.append(self.ocs.forwarded)
+        counters.extend([self.eps.received, self.eps.forwarded])
+        for port in range(self.config.n_ports):
+            queue = self.eps.queue(port)
+            counters.append(queue.enqueues)
+            counters.append(queue.dequeues)
+        return counters
+
+    def enable_observability(self) -> None:
+        """Turn per-packet diagnostics back on (auditors call this).
+
+        Re-enables the untraced counters and drops the batched drain,
+        whose bulk fabric entry would bypass packet-level instrument
+        wrappers (eager delivery and transit stay on — they route
+        through the same per-packet entry points).  Must be called
+        before ``run()`` so counts are complete.
+        """
+        for counter in getattr(self, "_untraced", ()):
+            counter.enable()
+        self.processing.voqs.set_counter_tracing(True)
+        self.processing.disable_drain_batching()
 
     # -- conveniences -------------------------------------------------------------
 
@@ -160,20 +265,31 @@ class HybridSwitchFramework:
         return self._collect(duration_ps)
 
     def _collect(self, duration_ps: int) -> RunResult:
+        logs = [host.packet_log for host in self.hosts]
+        merged = (PacketLog.concatenate(logs)
+                  if all(log is not None for log in logs) and logs
+                  else None)
         result = RunResult(
             duration_ps=duration_ps,
             n_ports=self.config.n_ports,
             port_rate_bps=self.config.port_rate_bps,
+            log=merged,
         )
         for host in self.hosts:
-            result.delivered.extend(host.delivered_packets)
             result.offered_packets += host.emitted.count
             result.offered_bytes += host.emitted.bytes
-        result.delivered_bytes = sum(p.size for p in result.delivered)
-        result.ocs_bytes = sum(p.size for p in result.delivered
-                               if p.via == "ocs")
-        result.eps_bytes = sum(p.size for p in result.delivered
-                               if p.via == "eps")
+        if merged is not None:
+            result.delivered_bytes = merged.total_bytes()
+            result.ocs_bytes = merged.via_bytes("ocs")
+            result.eps_bytes = merged.via_bytes("eps")
+        else:
+            for host in self.hosts:
+                result.delivered.extend(host.delivered_packets)
+            result.delivered_bytes = sum(p.size for p in result.delivered)
+            result.ocs_bytes = sum(p.size for p in result.delivered
+                                   if p.via == "ocs")
+            result.eps_bytes = sum(p.size for p in result.delivered
+                                   if p.via == "eps")
         result.drops = {
             "voq_tail": self.processing.voqs.drops_total(),
             "eps_tail": self.eps.drops_total(),
@@ -197,6 +313,13 @@ class HybridSwitchFramework:
         result.ocs_reconfigurations = self.ocs.reconfigurations
         result.ocs_blackout_ps = self.ocs.blackout_ps
         return result
+
+
+def _no_hook_guard(host) -> Callable[[], bool]:
+    """Eager delivery is valid only while no delivery hook is set."""
+    def guard() -> bool:
+        return host.on_deliver is None
+    return guard
 
 
 __all__ = ["HybridSwitchFramework"]

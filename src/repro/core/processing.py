@@ -24,6 +24,7 @@ to the EPS on request (:meth:`ProcessingLogic.divert_to_eps`).
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Callable, List, Optional
 
 import numpy as np
@@ -31,12 +32,16 @@ import numpy as np
 from repro.core.messages import Grant, Request
 from repro.net.classifier import FlowClassifier
 from repro.net.host import HostBufferMode
-from repro.net.packet import Packet, wire_size
+from repro.net.packet import Packet
 from repro.sim.engine import Simulator
 from repro.sim.errors import ConfigurationError
-from repro.sim.time import transmission_time_ps
+from repro.sim.time import frame_tx_time_ps
 from repro.sim.trace import Counter
 from repro.switches.voq import VoqBank
+
+#: Longest single batched drain run; bounds per-event work and the
+#: chunk of future state committed at once.
+_DRAIN_RUN_CAP = 512
 
 
 class ProcessingLogic:
@@ -102,21 +107,55 @@ class ProcessingLogic:
         # for each.
         self._drain_labels = [f"drain[{src}]" for src in range(n_ports)]
         self._grant_labels = [f"grant.open[{src}]" for src in range(n_ports)]
+        # Batched-drain fast lane (see enable_drain_batching).
+        self._batch_inject: Optional[
+            Callable[[List[Packet], List[int]], bool]] = None
+        self._batch_gate: Optional[Callable[[int], bool]] = None
+
+    # -- fast-lane wiring --------------------------------------------------------
+
+    def enable_drain_batching(
+            self,
+            inject: Callable[[List[Packet], List[int]], bool],
+            gate: Callable[[int], bool]) -> None:
+        """Arm the batched drain: one event per drain run, not per packet.
+
+        Within one open grant window the per-packet drain chain is a
+        deterministic schedule: injection instants depend only on the
+        head packets' sizes and the window edge, and nothing else may
+        reconfigure the circuit or interleave on the egress wire while
+        the fast lane's preconditions hold.  ``inject(packets, times)``
+        commits a whole run into the fabric (the framework passes the
+        switching logic's batched OCS entry); ``gate(dst)`` re-checks
+        the dynamic preconditions per run (EPS quiescent, OCS stable,
+        egress link reliable, bounded run).  Static preconditions —
+        default classifier, no request listener, no queue hook — are
+        checked here per run as well; any failure falls back to the
+        per-packet reference path mid-window, packet for packet.
+        """
+        self._batch_inject = inject
+        self._batch_gate = gate
+
+    def disable_drain_batching(self) -> None:
+        """Return to the per-packet drain (instrumentation hook)."""
+        self._batch_inject = None
+        self._batch_gate = None
 
     # -- ingress ---------------------------------------------------------------
 
     def ingress(self, packet: Packet) -> None:
         """Accept one packet from an uplink."""
-        decision = self.classifier.classify(packet)
-        if decision.action == "drop":
-            self.classified_drops.add(1, packet.size)
-            return
-        if decision.action == "eps":
-            self.to_eps.add(1, packet.size)
-            self.eps_sink(packet)
-            return
-        if decision.dst != packet.dst:
-            packet.dst = decision.dst
+        if not self.classifier.is_default:
+            decision = self.classifier.classify(packet)
+            if decision.action == "drop":
+                self.classified_drops.add(1, packet.size)
+                return
+            if decision.action == "eps":
+                self.to_eps.add(1, packet.size)
+                self.eps_sink(packet)
+                return
+            if decision.dst != packet.dst:
+                packet.dst = decision.dst
         if self.on_observe is not None:
             self.on_observe(packet.src, packet.dst, packet.size)
         if self.mode is HostBufferMode.HOST_BUFFERED:
@@ -193,10 +232,11 @@ class ProcessingLogic:
 
     def _voq_changed(self, src: int, dst: int, queued_bytes: int) -> None:
         """Status-change hook: emit a request, resume draining."""
-        request = Request(src, dst, queued_bytes, self.sim.now)
         self.requests_generated.add(1)
         if self.on_request is not None:
-            self.on_request(request)
+            # Construct lazily: with no listener the Request object
+            # would be allocated twice per packet just to be dropped.
+            self.on_request(Request(src, dst, queued_bytes, self.sim.now))
         # A packet may have arrived inside an *open* window for this
         # pair; windows registered for a future start (the OCS is still
         # reconfiguring) must wait for their start event.
@@ -224,10 +264,16 @@ class ProcessingLogic:
         if self.voqs.is_empty(src, dst):
             self._draining[src] = False
             return
+        if (self._batch_inject is not None
+                and self.voqs._packet_rows[src][dst] > 1
+                and self.on_request is None
+                and self.classifier.is_default
+                and self._batch_gate(dst)
+                and self._drain_run(src, dst)):
+            return
         head = self.voqs.head(src, dst)
         assert head is not None
-        tx_ps = transmission_time_ps(wire_size(head.size),
-                                     self.port_rate_bps)
+        tx_ps = frame_tx_time_ps(head.size, self.port_rate_bps)
         if self.sim.now + tx_ps >= self._window_end[src]:
             # Would land on or past the window edge, where the next
             # reconfiguration may already be in progress; wait for the
@@ -242,6 +288,52 @@ class ProcessingLogic:
             self._drain_step(src)
 
         self.sim.schedule(tx_ps, injected, label=self._drain_labels[src])
+
+    def _drain_run(self, src: int, dst: int) -> bool:
+        """Batch one drain run; False to fall back to the per-packet path.
+
+        Replays exactly the per-packet chain's schedule: packet ``i``
+        is dequeued at ``t_i`` and injected at ``t_i + tx_i``, with
+        ``t_0 = now`` and ``t_{i+1} = t_i + tx_i``, stopping at the
+        packet whose serialisation would touch the window edge.  The
+        run horizon-clips the way never-fired events would have: a
+        packet is dequeued only if ``t_i`` is within the run bound, and
+        injected only if its injection instant is.  One continuation
+        event at the end of the run re-enters :meth:`_drain_step`,
+        which handles the window-close / queue-empty terminals and any
+        packets that arrived meanwhile.
+        """
+        queue = self.voqs.queue(src, dst)
+        if queue.on_change is not None:
+            return False
+        horizon = self.sim.run_until
+        window_end = self._window_end[src]
+        rate = self.port_rate_bps
+        times: List[int] = []
+        inject_times: List[int] = []
+        t = self.sim.now
+        for packet in queue._queue:
+            tx_ps = frame_tx_time_ps(packet.size, rate)
+            if t + tx_ps >= window_end or t > horizon:
+                break
+            times.append(t)
+            t += tx_ps
+            if t <= horizon:
+                inject_times.append(t)
+            if len(times) == _DRAIN_RUN_CAP:
+                break
+        if len(times) < 2:
+            return False
+        packets = self.voqs.dequeue_run(src, dst, times)
+        nbytes = 0
+        for packet in packets:
+            nbytes += packet.size
+        self.to_ocs.add(len(packets), nbytes)
+        if inject_times:
+            self._batch_inject(packets[:len(inject_times)], inject_times)
+        self.sim.at(t, partial(self._drain_step, src),
+                    label=self._drain_labels[src])
+        return True
 
 
 def _unwired(packet: Packet) -> None:

@@ -1,9 +1,19 @@
 """Run results: everything an experiment needs to report.
 
 :class:`RunResult` is a passive record assembled by the framework after
-``run()``: delivered packets with full timestamps, byte/drop accounting
-per fabric, buffering peaks for the Figure 1 measurements, and the
-scheduling-loop latency record for E2/E3.
+``run()``.  It comes in two telemetry flavours:
+
+* **reference** — ``delivered`` holds the actual :class:`Packet`
+  objects, in per-host delivery order, exactly as the hosts retained
+  them;
+* **columnar** (the fast lane) — ``log`` holds a
+  :class:`~repro.analysis.record.PacketLog` with one int64 column per
+  packet field, and ``delivered`` is a *lazy view* that materialises
+  equivalent ``Packet`` objects on first touch.  All derived metrics
+  read the columns directly (no materialisation, no copies) and are
+  bit-identical to the reference computations: the columns hold the
+  same integers in the same order, and the float kernels consume the
+  same float64 arrays the list path would have built.
 """
 
 from __future__ import annotations
@@ -11,13 +21,17 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+import numpy as np
+
 from repro.analysis.metrics import (
     LatencySummary,
     interarrival_jitter_ps,
     latency_summary,
+    latency_summary_from_arrays,
     throughput_bps,
     utilisation,
 )
+from repro.analysis.record import PacketLog
 from repro.net.packet import Packet
 
 
@@ -31,8 +45,9 @@ class RunResult:
     duration_ps: int
     n_ports: int
     port_rate_bps: float
-    #: Every packet delivered to a host, in delivery order per host.
-    delivered: List[Packet] = field(default_factory=list)
+    #: Columnar delivery record (fast lane); ``None`` on the reference
+    #: path.
+    log: Optional[PacketLog] = None
     offered_packets: int = 0
     offered_bytes: int = 0
     delivered_bytes: int = 0
@@ -52,11 +67,31 @@ class RunResult:
     ocs_reconfigurations: int = 0
     ocs_blackout_ps: int = 0
 
+    def __post_init__(self) -> None:
+        self._delivered_list: Optional[List[Packet]] = (
+            None if self.log is not None else [])
+
+    # -- packet access -----------------------------------------------------------
+
+    @property
+    def delivered(self) -> List[Packet]:
+        """Every packet delivered to a host, in delivery order per host.
+
+        On the columnar path this materialises (and caches) ``Packet``
+        views from the log; metric helpers below never need it.
+        """
+        if self._delivered_list is None:
+            assert self.log is not None
+            self._delivered_list = list(self.log.packets())
+        return self._delivered_list
+
     # -- derived metrics ---------------------------------------------------------
 
     @property
     def delivered_count(self) -> int:
         """Number of packets that reached their destination."""
+        if self.log is not None:
+            return len(self.log)
         return len(self.delivered)
 
     @property
@@ -88,6 +123,11 @@ class RunResult:
 
     def latency(self, priority: Optional[int] = None) -> LatencySummary:
         """Latency summary, optionally restricted to one priority class."""
+        if self.log is not None:
+            latencies = self.log.latency_ps()
+            if priority is not None:
+                latencies = latencies[self.log.priority == priority]
+            return latency_summary_from_arrays(latencies)
         return latency_summary(self.delivered, priority=priority)
 
     def flow_packets(self, flow_id: int) -> List[Packet]:
@@ -96,11 +136,33 @@ class RunResult:
         packets.sort(key=lambda p: p.delivered_ps or 0)
         return packets
 
+    def flow_arrivals_ps(self, flow_id: int) -> np.ndarray:
+        """Delivery timestamps of one flow, ordered by delivery time."""
+        if self.log is not None:
+            arrivals = self.log.delivered_ps[self.log.flow_id == flow_id]
+            return np.sort(arrivals, kind="stable")
+        return np.asarray(
+            [p.delivered_ps for p in self.flow_packets(flow_id)
+             if p.delivered_ps is not None], dtype=np.int64)
+
+    def flow_latencies_ps(self, flow_id: int) -> np.ndarray:
+        """End-to-end latencies of one flow (delivery order)."""
+        if self.log is not None:
+            mask = self.log.flow_id == flow_id
+            delivered = self.log.delivered_ps[mask]
+            created = self.log.created_ps[mask]
+            # Stable by delivery time — the same permutation the
+            # reference path's Timsort applies to the packet list.
+            order = np.argsort(delivered, kind="stable")
+            return delivered[order] - created[order]
+        return np.asarray(
+            [p.latency_ps for p in self.flow_packets(flow_id)
+             if p.latency_ps is not None], dtype=np.int64)
+
     def flow_jitter_ps(self, flow_id: int, period_ps: int) -> float:
         """RFC 3550 interarrival jitter for a nominally periodic flow."""
-        arrivals = [p.delivered_ps for p in self.flow_packets(flow_id)
-                    if p.delivered_ps is not None]
-        return interarrival_jitter_ps(arrivals, period_ps)
+        return interarrival_jitter_ps(self.flow_arrivals_ps(flow_id),
+                                      period_ps)
 
     @property
     def total_drops(self) -> int:

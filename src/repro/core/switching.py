@@ -61,6 +61,11 @@ class SwitchingLogic:
         """Inject a packet into the optical fabric."""
         return self.ocs.receive(packet)
 
+    def send_ocs_batch(self, packets: List[Packet],
+                       times: List[int]) -> bool:
+        """Inject a batched drain run into the optical fabric."""
+        return self.ocs.receive_batch(packets, times)
+
     def send_eps(self, packet: Packet) -> bool:
         """Inject a packet into the electrical fabric."""
         return self.eps.receive(packet)

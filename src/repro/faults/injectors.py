@@ -22,6 +22,9 @@ class LinkFlapInjector:
         self.sim = sim
         self.link = link
         self.executed: List[Tuple[int, int]] = []
+        # Arm-time declaration: future-committing fast paths (chunk
+        # pre-sends, eager transit) must stay off a link that may fail.
+        link.mark_unreliable()
         for start_ps, duration_ps in flaps:
             if duration_ps <= 0:
                 raise ConfigurationError("flap duration must be > 0")
@@ -74,6 +77,9 @@ class ConfigCorruptionInjector:
         self.ocs = ocs
         self.rng = rng or random.Random(0)
         self.applied: Optional[Matching] = None
+        # The corruption reconfigures at an arbitrary instant; keep the
+        # future-committing fast paths off this device.
+        ocs.mark_unstable()
 
         def corrupt() -> None:
             outputs = list(range(ocs.n_ports))

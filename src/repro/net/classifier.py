@@ -98,6 +98,16 @@ class FlowClassifier:
     def __len__(self) -> int:
         return len(self._rules)
 
+    @property
+    def is_default(self) -> bool:
+        """True while the table holds no rules.
+
+        The hot ingress path checks this to skip rule matching (and the
+        per-packet ``Classification`` allocation) entirely — default
+        classification is the identity: ``voq`` toward ``packet.dst``.
+        """
+        return not self._rules
+
     def classify(self, packet: Packet) -> Classification:
         """Return the action for ``packet`` (default: voq to packet.dst)."""
         for rule in self._rules:

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import enum
 from collections import deque
-from typing import Callable, Deque, Dict, List, Optional
+from typing import TYPE_CHECKING, Callable, Deque, Dict, List, Optional
 
 from repro.net.link import Link
 from repro.net.packet import Packet, wire_size
@@ -28,6 +28,9 @@ from repro.sim.engine import Simulator
 from repro.sim.errors import ConfigurationError
 from repro.sim.time import transmission_time_ps
 from repro.sim.trace import Counter, TimeSeries
+
+if TYPE_CHECKING:  # import cycle: analysis.record materialises Packets
+    from repro.analysis.record import PacketLog
 
 
 class HostBufferMode(enum.Enum):
@@ -60,7 +63,8 @@ class Host:
 
     def __init__(self, sim: Simulator, host_id: int, uplink: Link,
                  mode: HostBufferMode = HostBufferMode.SWITCH_BUFFERED,
-                 clock_skew_ps: int = 0) -> None:
+                 clock_skew_ps: int = 0,
+                 trace_occupancy: bool = False) -> None:
         self.sim = sim
         self.host_id = host_id
         self.uplink = uplink
@@ -68,7 +72,8 @@ class Host:
         self.clock_skew_ps = clock_skew_ps
         self._queues: Dict[int, Deque[Packet]] = {}
         self._queued_bytes = 0
-        self.occupancy = TimeSeries(f"host{host_id}.occupancy")
+        self.occupancy = TimeSeries(f"host{host_id}.occupancy",
+                                    enabled=trace_occupancy)
         self.peak_queued_bytes = 0
         self._grant_label = f"host{host_id}.grant"
         self.emitted = Counter(f"host{host_id}.emitted")
@@ -76,6 +81,58 @@ class Host:
         self.sent_on_grant = Counter(f"host{host_id}.sent_on_grant")
         self.delivered_packets: List[Packet] = []
         self.on_deliver: Optional[Callable[[Packet], None]] = None
+        #: Columnar fast-lane sink; when set, deliveries append into the
+        #: log instead of retaining ``Packet`` objects.
+        self.packet_log: Optional["PacketLog"] = None
+        #: Sources attached to this host (see :meth:`register_emitter`).
+        self.emitter_count = 0
+
+    # -- fast-lane wiring -------------------------------------------------------
+
+    def register_emitter(self, source: object) -> None:
+        """Declare one traffic source driving this host.
+
+        Chunked sources may pre-serialise a whole chunk through the
+        uplink only when they are the host's *sole* emitter — otherwise
+        another source's packets could interleave on the wire inside
+        the chunk window and the pre-computed serialisation would lie.
+        """
+        self.emitter_count += 1
+
+    def use_packet_log(self, log: "PacketLog") -> None:
+        """Switch delivery telemetry to columnar mode.
+
+        Deliveries append into ``log`` instead of retaining ``Packet``
+        objects in :attr:`delivered_packets`.
+        """
+        self.packet_log = log
+
+    def can_presend(self) -> bool:
+        """True when chunk pre-serialisation through the uplink is exact.
+
+        Requires switch-buffered mode (host-buffered emission lands in
+        the grant queues, whose state the scheduler polls *between* the
+        chunk's emission instants), a sole emitter, and an uplink with
+        no armed fault injector.
+        """
+        return (self.mode is HostBufferMode.SWITCH_BUFFERED
+                and self.emitter_count == 1
+                and self.uplink.can_presend())
+
+    def emit_presend(self, packets: List[Packet],
+                     times: List[int]) -> None:
+        """Accept a chunk of future emissions (``times`` ascending).
+
+        Semantically identical to calling :meth:`emit` at each
+        ``times[i]``; the caller must have checked :meth:`can_presend`.
+        """
+        count = 0
+        nbytes = 0
+        for packet in packets:
+            count += 1
+            nbytes += packet.size
+        self.emitted.add(count, nbytes)
+        self.uplink.send_presend(packets, times)
 
     # -- traffic source side ---------------------------------------------------
 
@@ -161,9 +218,28 @@ class Host:
         """Accept a delivered packet from the switch's egress link."""
         packet.delivered_ps = self.sim.now
         self.received.add(1, packet.size)
-        self.delivered_packets.append(packet)
+        if self.packet_log is not None:
+            self.packet_log.append_packet(packet, packet.delivered_ps)
+        else:
+            self.delivered_packets.append(packet)
         if self.on_deliver is not None:
             self.on_deliver(packet)
+
+    def receive_at(self, packet: Packet, arrival_ps: int) -> None:
+        """Eager delivery: record an arrival known to happen later.
+
+        The egress link calls this at *send* time with the exact
+        arrival instant it would otherwise have delivered the packet at
+        via an event.  Only valid while :attr:`on_deliver` is unset
+        (the link's eager guard checks) — a delivery hook must observe
+        simulator state at true delivery time.
+        """
+        packet.delivered_ps = arrival_ps
+        self.received.add(1, packet.size)
+        if self.packet_log is not None:
+            self.packet_log.append_packet(packet, arrival_ps)
+        else:
+            self.delivered_packets.append(packet)
 
     # -- internals ------------------------------------------------------------------
 

@@ -42,7 +42,7 @@ def wire_size(frame_bytes: int) -> int:
     return frame_bytes + ETHERNET_OVERHEAD_BYTES
 
 
-@dataclass
+@dataclass(slots=True)
 class Packet:
     """One simulated frame.
 

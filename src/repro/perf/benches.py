@@ -374,6 +374,296 @@ def _register_sweep_e2e_benches() -> None:
         check=lambda outcomes: all(o.report.data for o in outcomes)))
 
 
+# -- packet-path benches -------------------------------------------------------
+#
+# The PR-5 overhaul: chunked traffic generation, columnar PacketLog
+# telemetry, eager egress delivery and the vectorized analysis kernels.
+# ``.columnar`` runs the fast lane end to end; ``.reference`` runs the
+# preserved per-packet / per-object path — the same full-stack pairing
+# discipline as the fabric and sweep groups, so the recorded ratio
+# measures the whole packet-path overhaul.  The e2e pair's check
+# asserts the two lanes' *reports are equal*, not just that work
+# happened.
+
+#: Chunk size used by the packet-path benches' columnar lane.
+_PACKETPATH_CHUNK = 256
+
+
+#: CBR period of the e2e bench's foreground stream (E4 measures one).
+_PACKETPATH_CBR_PERIOD_PS = 40_000_000
+
+
+def _packetpath_run(lane: str):
+    """Build and run the e2e bench workload on one lane.
+
+    The workload is E4's measurement at E2's 128-port fabric point
+    (the full-mode port sweep's largest radix): one CBR stream
+    (host 0 → 1, elevated priority) over E4-style bursty on/off
+    background traffic on every other sending host, under fast
+    scheduling (iSLIP-4, E2's priced configuration, FPGA-class
+    timing).  Hosts carry one source each, so the chunk lane's
+    exactness conditions hold everywhere.
+
+    ``lane`` selects the full stack, PR-3/PR-4 pairing discipline: the
+    columnar lane runs the vectorized scheduler plus the packet-path
+    fast lane; the reference lane runs the scalar reference scheduler
+    plus the preserved per-packet/per-object path, so the recorded
+    ratio measures the whole overhaul, not a single layer.
+    """
+    from repro.core.config import FrameworkConfig
+    from repro.core.framework import HybridSwitchFramework
+    from repro.schedulers.reference import ReferenceIslipScheduler
+    from repro.sim.time import MICROSECONDS, NANOSECONDS
+    from repro.traffic.patterns import UniformDestination
+    from repro.traffic.sources import CbrSource, OnOffSource
+
+    n_ports = 128
+    config = FrameworkConfig(
+        n_ports=n_ports,
+        switching_time_ps=100 * NANOSECONDS,
+        scheduler="islip",
+        scheduler_kwargs={"iterations": 4},
+        timing_preset="netfpga_sume",
+        default_slot_ps=5 * MICROSECONDS,
+        seed=11,
+    )
+    reference = lane == "reference"
+    scheduler = (ReferenceIslipScheduler(n_ports, iterations=4)
+                 if reference else None)
+    fw = HybridSwitchFramework(config, scheduler=scheduler,
+                               packet_lane=lane)
+    chunk = 0 if reference else _PACKETPATH_CHUNK
+    cbr = CbrSource(fw.sim, fw.hosts[0], dst=1, packet_bytes=200,
+                    period_ps=_PACKETPATH_CBR_PERIOD_PS,
+                    chunk_packets=chunk)
+    for host in fw.hosts[2:]:
+        OnOffSource(
+            fw.sim, host,
+            burst_rate_bps=0.5 * config.port_rate_bps,
+            mean_on_ps=100 * MICROSECONDS,
+            mean_off_ps=300 * MICROSECONDS,
+            chooser=UniformDestination(
+                n_ports, host.host_id,
+                fw.sim.streams.stream(f"dst{host.host_id}")),
+            rng=fw.sim.streams.stream(f"src{host.host_id}"),
+            chunk_packets=chunk)
+    result = fw.run(1_200 * MICROSECONDS)
+    return result, cbr.flow_id
+
+
+def _packetpath_report(lane: str) -> dict:
+    """Run the bench workload on ``lane`` and reduce it to a report.
+
+    The reduction exercises the analysis stage the way E4 does —
+    latency summary, CBR percentiles and RFC 3550 jitter — through each
+    lane's own pipeline: PacketLog columns and the vectorized kernels
+    on the columnar lane, retained ``Packet`` objects and the scalar
+    executable specs on the reference lane.  Jitter is rounded to whole
+    picoseconds (as every report renders it) so the lanes compare by
+    exact equality.
+    """
+    result, cbr_flow = _packetpath_run(lane)
+    if lane == "reference":
+        from repro.analysis.metrics import latency_summary
+        from repro.analysis.reference import (
+            reference_interarrival_jitter_ps,
+        )
+
+        summary = latency_summary(result.delivered)
+        stream = result.flow_packets(cbr_flow)
+        latencies = sorted(p.latency_ps for p in stream
+                           if p.latency_ps is not None)
+        arrivals = [p.delivered_ps for p in stream]
+        jitter = reference_interarrival_jitter_ps(
+            arrivals, _PACKETPATH_CBR_PERIOD_PS)
+        p50 = latencies[len(latencies) // 2] if latencies else 0
+    else:
+        from repro.analysis.metrics import (
+            interarrival_jitter_ps,
+            latency_summary_from_arrays,
+        )
+
+        summary = latency_summary_from_arrays(result.log.latency_ps())
+        ordered = np.sort(result.flow_latencies_ps(cbr_flow),
+                          kind="stable")
+        jitter = interarrival_jitter_ps(
+            result.flow_arrivals_ps(cbr_flow),
+            _PACKETPATH_CBR_PERIOD_PS)
+        p50 = int(ordered[len(ordered) // 2]) if len(ordered) else 0
+    return {
+        "delivered": result.delivered_count,
+        "delivered_bytes": result.delivered_bytes,
+        "ocs_bytes": result.ocs_bytes,
+        "eps_bytes": result.eps_bytes,
+        "drops": dict(result.drops),
+        "utilisation": result.utilisation(),
+        "latency": (summary.count, summary.mean_ps, summary.p50_ps,
+                    summary.p95_ps, summary.p99_ps, summary.max_ps,
+                    summary.std_ps),
+        "cbr_p50_ps": int(p50),
+        "cbr_jitter_ps": round(jitter),
+    }
+
+
+def _register_packetpath_source_benches() -> None:
+    from repro.net.host import Host
+    from repro.net.link import Link
+    from repro.sim.engine import Simulator
+    from repro.sim.time import MILLISECONDS
+    from repro.traffic.patterns import UniformDestination
+    from repro.traffic.sources import PoissonSource
+
+    def generate(chunk: int) -> int:
+        sim = Simulator(seed=3)
+        sink_count = [0]
+
+        def sink(packet) -> None:
+            sink_count[0] += 1
+
+        uplink = Link(sim, "bench.up", rate_bps=10e9,
+                      propagation_ps=50_000, sink=sink)
+        host = Host(sim, 0, uplink)
+        source = PoissonSource(
+            sim, host, rate_bps=6e9,
+            chooser=UniformDestination(8, 0, sim.streams.stream("dst0")),
+            rng=sim.streams.stream("src0"),
+            chunk_packets=chunk)
+        sim.run(until=20 * MILLISECONDS)
+        return source.packets_emitted
+
+    def make_columnar():
+        return lambda: generate(_PACKETPATH_CHUNK)
+
+    def make_reference():
+        return lambda: generate(0)
+
+    expected: Dict[str, int] = {}
+
+    def check(emitted: int) -> bool:
+        # Chunked generation must emit the exact same packet count the
+        # per-packet path does (draw-for-draw identical RNG streams).
+        if "emitted" not in expected:
+            expected["emitted"] = generate(0)
+        return emitted == expected["emitted"] and emitted > 0
+
+    meta = {"n_ports": 8, "source": "poisson", "rate_bps": 6e9}
+    register_bench(Bench(
+        name="packetpath.source.poisson.n8.columnar",
+        make=make_columnar, group="packetpath", quick=True,
+        meta={**meta, "lane": "columnar",
+              "chunk_packets": _PACKETPATH_CHUNK},
+        check=check))
+    register_bench(Bench(
+        name="packetpath.source.poisson.n8.reference",
+        make=make_reference, group="packetpath", quick=True,
+        meta={**meta, "lane": "reference"}, check=check))
+
+
+def _register_packetpath_e2e_benches() -> None:
+    expected: Dict[str, Any] = {}
+
+    def reference_report() -> dict:
+        if "report" not in expected:
+            expected["report"] = _packetpath_report("reference")
+        return expected["report"]
+
+    def make_columnar() -> Callable[[], Any]:
+        reference_report()  # resolve outside the timed region
+        return lambda: _packetpath_report("columnar")
+
+    def make_reference() -> Callable[[], Any]:
+        return lambda: _packetpath_report("reference")
+
+    def check_columnar(report: Any) -> bool:
+        # The acceptance pair must stay *equal*, not just fast: every
+        # reported number from the columnar lane — byte counters,
+        # latency summary, CBR percentiles, jitter — must match the
+        # reference lane's report exactly.
+        return report == reference_report() and report["delivered"] > 0
+
+    def check_reference(report: Any) -> bool:
+        return report == reference_report()
+
+    meta = {"n_ports": 128, "experiment": "e4-at-e2s-128-port-point",
+            "scheduler": "islip-4", "duration_us": 1200}
+    register_bench(Bench(
+        name="packetpath.e2e.e4.n128.columnar", make=make_columnar,
+        group="packetpath", quick=True,
+        meta={**meta, "lane": "columnar", "stack": "vector+columnar",
+              "chunk_packets": _PACKETPATH_CHUNK},
+        check=check_columnar))
+    register_bench(Bench(
+        name="packetpath.e2e.e4.n128.reference", make=make_reference,
+        group="packetpath", quick=True,
+        meta={**meta, "lane": "reference",
+              "stack": "reference-scheduler+per-packet+scalar-analysis"},
+        check=check_reference))
+
+
+def _register_packetpath_analysis_benches() -> None:
+    def make_jitter() -> Callable[[], Any]:
+        rng = np.random.default_rng(7)
+        arrivals = np.cumsum(
+            rng.integers(900_000, 1_100_000, size=200_000)).astype(
+                np.int64)
+
+        def run() -> float:
+            from repro.analysis.metrics import interarrival_jitter_ps
+
+            return interarrival_jitter_ps(arrivals, 1_000_000)
+
+        return run
+
+    def check_jitter(value: Any) -> bool:
+        from repro.analysis.reference import (
+            reference_interarrival_jitter_ps,
+        )
+
+        rng = np.random.default_rng(7)
+        arrivals = np.cumsum(
+            rng.integers(900_000, 1_100_000, size=200_000)).astype(
+                np.int64)
+        spec = reference_interarrival_jitter_ps(arrivals.tolist(),
+                                                1_000_000)
+        return abs(value - spec) <= 1e-9 * max(1.0, abs(spec))
+
+    register_bench(Bench(
+        name="packetpath.analysis.jitter.200k", make=make_jitter,
+        group="packetpath", quick=True,
+        meta={"samples": 200_000}, check=check_jitter))
+
+    def make_warmup() -> Callable[[], Any]:
+        rng = np.random.default_rng(9)
+        series = np.concatenate([
+            rng.normal(10.0, 1.0, 2_000) + np.linspace(5.0, 0.0, 2_000),
+            rng.normal(10.0, 1.0, 18_000),
+        ])
+
+        def run() -> int:
+            from repro.analysis.stats import truncate_warmup
+
+            cut, __ = truncate_warmup(series)
+            return cut
+
+        return run
+
+    def check_warmup(cut: Any) -> bool:
+        from repro.analysis.reference import reference_truncate_warmup
+
+        rng = np.random.default_rng(9)
+        series = np.concatenate([
+            rng.normal(10.0, 1.0, 2_000) + np.linspace(5.0, 0.0, 2_000),
+            rng.normal(10.0, 1.0, 18_000),
+        ])
+        spec_cut, __ = reference_truncate_warmup(series)
+        return cut == spec_cut
+
+    register_bench(Bench(
+        name="packetpath.analysis.warmup.20k", make=make_warmup,
+        group="packetpath", quick=True,
+        meta={"samples": 20_000}, check=check_warmup))
+
+
 def _register_all() -> None:
     _register_scheduler_benches()
     _register_engine_benches()
@@ -381,6 +671,9 @@ def _register_all() -> None:
     _register_sweep_fabric_benches()
     _register_runner_benches()
     _register_sweep_e2e_benches()
+    _register_packetpath_source_benches()
+    _register_packetpath_e2e_benches()
+    _register_packetpath_analysis_benches()
 
 
 _register_all()

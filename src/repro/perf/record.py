@@ -30,10 +30,12 @@ SCHEMA = 1
 #: Relative drift beyond which a diff entry becomes a warning.
 DEFAULT_THRESHOLD = 0.25
 #: Suffix pairs that pair benches into (fast, baseline) speedup
-#: comparisons: vector engine vs scalar reference, and replica-batched
-#: sweep path vs the sequential per-replica path.
+#: comparisons: vector engine vs scalar reference, replica-batched
+#: sweep path vs the sequential per-replica path, and the columnar
+#: packet-path lane vs the per-packet reference lane.
 _SPEEDUP_SUFFIXES = ((".vector", ".reference"),
-                     (".batch", ".sequential"))
+                     (".batch", ".sequential"),
+                     (".columnar", ".reference"))
 
 
 def current_revision() -> str:
@@ -216,11 +218,13 @@ def diff_records(baseline: BenchRecord, current: BenchRecord,
 def engine_speedups(record: BenchRecord) -> Dict[str, float]:
     """Fast-over-baseline speedups from suffix-paired benches.
 
-    Two pairings: ``<stem>.vector`` / ``<stem>.reference`` (the PR-3
-    hot-path acceptance, ≥ 5× at ``fabric.islip1.uniform.n64``) and
+    Three pairings: ``<stem>.vector`` / ``<stem>.reference`` (the PR-3
+    hot-path acceptance, ≥ 5× at ``fabric.islip1.uniform.n64``),
     ``<stem>.batch`` / ``<stem>.sequential`` (the sweep-throughput
-    acceptance, ≥ 3× at ``sweep.fabric.uniform.n64``).  The returned
-    mapping is ``{stem: baseline_ns / fast_ns}``.
+    acceptance, ≥ 3× at ``sweep.fabric.uniform.n64``), and
+    ``<stem>.columnar`` / ``<stem>.reference`` (the packet-path
+    acceptance, ≥ 3× at ``packetpath.e2e.e4``).  The returned mapping
+    is ``{stem: baseline_ns / fast_ns}``.
     """
     by_name = record.by_name()
     speedups: Dict[str, float] = {}

@@ -293,14 +293,16 @@ class Scenario:
             seed=self.seed,
         )
 
-    def build(self):
+    def build(self, packet_lane: str = "columnar"):
         """Materialize: framework + sources + injectors, ready to run.
 
-        Convenience for :func:`repro.scenario.build.build`.
+        Convenience for :func:`repro.scenario.build.build`;
+        ``packet_lane`` selects the columnar fast lane (default) or the
+        per-packet reference path.
         """
         from repro.scenario.build import build
 
-        return build(self)
+        return build(self, packet_lane=packet_lane)
 
     # -- derivation -------------------------------------------------------------
 

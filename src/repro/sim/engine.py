@@ -13,6 +13,7 @@ Typical use::
 
 from __future__ import annotations
 
+import itertools
 from typing import Callable, Optional
 
 from repro.sim.errors import SimulationError
@@ -38,6 +39,13 @@ class Simulator:
         self.streams = RandomStreams(seed)
         #: Count of events dispatched so far (for progress/diagnostics).
         self.events_dispatched = 0
+        #: The ``until`` bound of the in-progress :meth:`run`, or ``None``
+        #: outside a bounded run.  Fast-lane components (chunked traffic
+        #: sources, eager link delivery) consult this horizon to decide
+        #: how much future work may be committed without changing what a
+        #: purely event-driven execution would have observed.
+        self.run_until: Optional[int] = None
+        self._flow_ids = itertools.count(1)
 
     # -- clock ---------------------------------------------------------------
 
@@ -45,6 +53,18 @@ class Simulator:
     def now(self) -> int:
         """Current simulated time in picoseconds."""
         return self._now
+
+    # -- identifiers ----------------------------------------------------------
+
+    def next_flow_id(self) -> int:
+        """Next flow id, unique within *this* simulator instance.
+
+        Flow ids used to come from a process-global counter, which made
+        back-to-back in-process runs of the same scenario disagree on
+        ids.  Scoping the counter to the simulator keeps equal-seed runs
+        id-identical no matter how many ran before them.
+        """
+        return next(self._flow_ids)
 
     # -- scheduling ----------------------------------------------------------
 
@@ -100,6 +120,7 @@ class Simulator:
             raise SimulationError("Simulator.run is not re-entrant")
         self._running = True
         self._stopped = False
+        self.run_until = until
         dispatched = 0
         # Hot loop: bind the queue methods once — at millions of events
         # per run the repeated attribute lookups are measurable.
@@ -152,6 +173,7 @@ class Simulator:
                         requeue(batch[position:])
         finally:
             self._running = False
+            self.run_until = None
         return dispatched
 
     def stop(self) -> None:

@@ -21,6 +21,7 @@ Conventions
 from __future__ import annotations
 
 import re
+from functools import lru_cache
 
 # -- duration units, all in picoseconds ------------------------------------
 
@@ -128,6 +129,21 @@ def transmission_time_ps(size_bytes: int, rate_bps: float) -> int:
     if size_bytes < 0:
         raise ValueError(f"size must be non-negative, got {size_bytes}")
     return round(size_bytes * 8 * SECONDS / rate_bps)
+
+
+@lru_cache(maxsize=None)
+def frame_tx_time_ps(frame_bytes: int, rate_bps: float) -> int:
+    """Wire serialisation delay of an L2 frame, memoised.
+
+    ``transmission_time_ps(wire_size(frame_bytes), rate_bps)`` with the
+    divide-and-round cached per ``(frame size, rate)``: traffic mixes
+    reuse a handful of sizes, and the hot per-packet paths (link sends,
+    VOQ drains) would otherwise recompute it millions of times.  The
+    cache is process-global, so every link at the same rate shares it.
+    """
+    from repro.net.packet import wire_size
+
+    return transmission_time_ps(wire_size(frame_bytes), rate_bps)
 
 
 def bytes_in_interval(rate_bps: float, interval_ps: int) -> int:

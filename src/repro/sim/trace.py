@@ -7,14 +7,23 @@ negligible next to event dispatch.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, Iterator, List, Optional, Tuple
+
+
+def _noop_add(count: int = 1, nbytes: int = 0) -> None:
+    return None
 
 
 class Counter:
     """Monotonic named counter with an optional byte dimension.
 
     Used for packet/byte accounting throughout the switch models.
+    ``disable()`` swaps :meth:`add` for a module-level no-op on the
+    instance, so a disabled counter costs one failed instance-dict
+    lookup less than even the two integer adds — untraced hot loops
+    skip the bookkeeping entirely.
     """
 
     def __init__(self, name: str) -> None:
@@ -27,22 +36,56 @@ class Counter:
         self.count += count
         self.bytes += nbytes
 
+    def disable(self) -> None:
+        """Stop counting: subsequent :meth:`add` calls are no-ops."""
+        self.add = _noop_add  # type: ignore[method-assign]
+
+    def enable(self) -> None:
+        """Resume counting after :meth:`disable` (idempotent)."""
+        self.__dict__.pop("add", None)
+
+    @property
+    def enabled(self) -> bool:
+        """False while :meth:`disable` is in effect."""
+        return "add" not in self.__dict__
+
     def __repr__(self) -> str:
         return f"Counter({self.name!r}, count={self.count}, bytes={self.bytes})"
 
 
 class TimeSeries:
-    """Append-only ``(time_ps, value)`` series with summary helpers."""
+    """Append-only ``(time_ps, value)`` series with summary helpers.
 
-    def __init__(self, name: str) -> None:
+    Construct with ``enabled=False`` (or call :meth:`disable`) for a
+    no-op recorder: per-packet occupancy tracks are pure diagnostics,
+    and untraced runs should pay neither the two list appends nor the
+    unbounded memory growth.
+    """
+
+    def __init__(self, name: str, enabled: bool = True) -> None:
         self.name = name
         self.times: List[int] = []
         self.values: List[float] = []
+        if not enabled:
+            self.disable()
 
     def record(self, time_ps: int, value: float) -> None:
         """Append one sample."""
         self.times.append(time_ps)
         self.values.append(value)
+
+    def disable(self) -> None:
+        """Stop recording: subsequent :meth:`record` calls are no-ops."""
+        self.record = _noop_record  # type: ignore[method-assign]
+
+    def enable(self) -> None:
+        """Resume recording after :meth:`disable` (idempotent)."""
+        self.__dict__.pop("record", None)
+
+    @property
+    def enabled(self) -> bool:
+        """False while :meth:`disable` is in effect."""
+        return "record" not in self.__dict__
 
     def __len__(self) -> int:
         return len(self.values)
@@ -119,7 +162,30 @@ class Probe:
         sim.schedule(self.period_ps, fire, label=label)
 
 
-__all__ = ["Counter", "TimeSeries", "Probe"]
+def _noop_record(time_ps: int, value: float) -> None:
+    return None
+
+
+@contextmanager
+def untraced(*instruments: "Counter | TimeSeries") -> Iterator[None]:
+    """Disable ``instruments`` for the duration of the block.
+
+    The no-op fast path means code under the block skips per-event
+    bookkeeping entirely; previously accumulated state is preserved and
+    recording resumes on exit (only for instruments that were enabled
+    when the block was entered).
+    """
+    was_enabled = [inst for inst in instruments if inst.enabled]
+    for inst in was_enabled:
+        inst.disable()
+    try:
+        yield
+    finally:
+        for inst in was_enabled:
+            inst.enable()
+
+
+__all__ = ["Counter", "TimeSeries", "Probe", "untraced"]
 
 
 def merge_step_max(series_list: List[TimeSeries]) -> float:

@@ -41,12 +41,19 @@ class PacketQueue:
         ``None`` means unbounded along that dimension.
     policy:
         Behaviour at capacity (default tail drop, like a real ToR).
+    trace_occupancy:
+        Record the full ``occupancy`` time series (one sample per
+        enqueue/dequeue).  Off by default: the series is a debugging
+        diagnostic, and untraced runs should not pay two list appends
+        plus unbounded memory per packet.  Peaks and counters are
+        always maintained — they are what experiments report.
     """
 
     def __init__(self, sim: Simulator, name: str,
                  capacity_bytes: Optional[int] = None,
                  capacity_packets: Optional[int] = None,
-                 policy: DropPolicy = DropPolicy.TAIL_DROP) -> None:
+                 policy: DropPolicy = DropPolicy.TAIL_DROP,
+                 trace_occupancy: bool = False) -> None:
         if capacity_bytes is not None and capacity_bytes <= 0:
             raise ConfigurationError(f"{name}: capacity_bytes must be > 0")
         if capacity_packets is not None and capacity_packets <= 0:
@@ -60,7 +67,8 @@ class PacketQueue:
         self._bytes = 0
         self.peak_bytes = 0
         self.peak_packets = 0
-        self.occupancy = TimeSeries(f"{name}.bytes")
+        self.occupancy = TimeSeries(f"{name}.bytes",
+                                    enabled=trace_occupancy)
         self.drops = Counter(f"{name}.drops")
         self.enqueues = Counter(f"{name}.enqueues")
         self.dequeues = Counter(f"{name}.dequeues")
@@ -121,6 +129,30 @@ class PacketQueue:
         self.dequeues.add(1, packet.size)
         self._note_change()
         return packet
+
+    def popleft_run(self, times: "list[int]") -> "list[Packet]":
+        """Dequeue ``len(times)`` head packets stamped at ``times``.
+
+        The batched-drain fast path: identical to calling
+        :meth:`dequeue` at each ``times[i]`` (ascending, first == now),
+        with the byte accounting, counters and change notification paid
+        once per run.  Caller contract: the queue holds at least that
+        many packets and :attr:`on_change` is unset (a hook must see
+        every step).  Occupancy peaks are unaffected — dequeues only
+        shrink the queue.
+        """
+        popleft = self._queue.popleft
+        packets = []
+        nbytes = 0
+        for when in times:
+            packet = popleft()
+            packet.dequeued_ps = when
+            nbytes += packet.size
+            packets.append(packet)
+        self._bytes -= nbytes
+        self.dequeues.add(len(packets), nbytes)
+        self._note_change()
+        return packets
 
     def drain(self) -> "list[Packet]":
         """Remove and return every queued packet (teardown helper)."""

@@ -69,6 +69,21 @@ class ElectricalPacketSwitch:
         self._draining = [False] * n_ports
         self.forwarded = Counter("eps.forwarded")
         self.received = Counter("eps.received")
+        # Packets accepted but not yet forwarded or dropped (pipeline +
+        # queues + drain).  Plain int, independent of the counters, so
+        # the fast lane's quiescence gate works even on untraced runs.
+        self._inside = 0
+
+    @property
+    def is_quiescent(self) -> bool:
+        """True when nothing is inside the EPS.
+
+        While quiescent *and* no new ingress is possible except via
+        scheduled events at least a pipeline + serialisation in the
+        future, the EPS cannot put a packet onto a shared egress link —
+        the condition the fast lane's batched OCS egress relies on.
+        """
+        return self._inside == 0
 
     def connect_output(self, port: int, sink: Callable[[Packet], None]) -> None:
         """Attach the consumer of output ``port``."""
@@ -79,11 +94,14 @@ class ElectricalPacketSwitch:
     def receive(self, packet: Packet) -> bool:
         """Accept a packet at ingress; False when tail-dropped at egress queue."""
         self.received.add(1, packet.size)
+        self._inside += 1
         queue = self._queues[packet.dst]
 
         def arrive_at_output() -> None:
             if queue.enqueue(packet):
                 self._start_drain(packet.dst)
+            else:
+                self._inside -= 1
 
         self.sim.schedule(self.forwarding_latency_ps, arrive_at_output,
                           label="eps.pipeline")
@@ -128,6 +146,7 @@ class ElectricalPacketSwitch:
         def finish() -> None:
             packet.via = "eps"
             self.forwarded.add(1, packet.size)
+            self._inside -= 1
             self._sinks[port](packet)
             self._drain_next(port)
 

@@ -32,7 +32,7 @@ from typing import Callable, List, Optional
 from repro.net.packet import Packet
 from repro.schedulers.matching import Matching
 from repro.sim.engine import Simulator
-from repro.sim.errors import ConfigurationError
+from repro.sim.errors import ConfigurationError, SimulationError
 from repro.sim.time import NANOSECONDS
 from repro.sim.trace import Counter
 
@@ -70,6 +70,14 @@ class OpticalCircuitSwitch:
         self._circuits = Matching.empty(n_ports)
         self._dark_until = 0
         self._pending: Optional[Matching] = None
+        # Eager transit (fast lane): commit the egress-link send at
+        # receive time instead of scheduling a per-packet transit event.
+        self._eager_links = None
+        self._eager_guard: Optional[Callable[[int], bool]] = None
+        #: Set by injectors that may reconfigure the device at
+        #: arbitrary instants; disables future-committing fast paths.
+        self.unstable = False
+        self._committed_until = 0
         self.reconfigurations = 0
         self.forwarded = Counter("ocs.forwarded")
         self.dark_drops = Counter("ocs.dark_drops")
@@ -82,6 +90,34 @@ class OpticalCircuitSwitch:
         if self._sinks is None or len(self._sinks) != self.n_ports:
             self._sinks = [_unconnected] * self.n_ports
         self._sinks[port] = sink
+
+    def enable_eager_transit(self, links,
+                             guard: Callable[[int], bool]) -> None:
+        """Commit egress sends at receive time when provably exact.
+
+        ``links[j]`` must be the egress :class:`~repro.net.link.Link`
+        behind output ``j``'s sink.  The transit stage is a pure fixed
+        delay, so the send at ``now + transit_ps`` can be applied early
+        via :meth:`Link.send_at` — *provided* no other sender can slip
+        onto the same link inside the transit window.  ``guard(j)``
+        answers that per packet (the framework passes "the EPS is not
+        draining output ``j``"; any EPS send it could newly originate
+        is at least a pipeline + serialisation away, which exceeds the
+        transit window).  Unreliable links and unbounded runs fall back
+        to the event path.
+        """
+        self._eager_links = list(links)
+        self._eager_guard = guard
+
+    def mark_unstable(self) -> None:
+        """Declare that reconfigurations may arrive at arbitrary times.
+
+        Future-committing fast paths (batched injection, and their
+        assumption that circuits hold for a whole grant window) must
+        stay off such a device.  Fault injectors that corrupt the
+        configuration call this at arm time.
+        """
+        self.unstable = True
 
     # -- control plane ----------------------------------------------------------
 
@@ -99,6 +135,13 @@ class OpticalCircuitSwitch:
         if matching.n != self.n_ports:
             raise ConfigurationError(
                 f"matching is {matching.n}-port, switch is {self.n_ports}")
+        if self.sim.now < self._committed_until:
+            raise SimulationError(
+                f"OCS reconfigured at {self.sim.now}ps while batched "
+                f"injections are committed through "
+                f"{self._committed_until}ps; call mark_unstable() "
+                "before the run (fault injectors do) so the fast lane "
+                "stays off this device")
         self.reconfigurations += 1
         if self.switching_time_ps == 0:
             self._circuits = matching
@@ -156,10 +199,62 @@ class OpticalCircuitSwitch:
             self.misdirected_drops.add(1, packet.size)
             return False
         self.forwarded.add(1, packet.size)
-        sink = self._sinks[out]
         packet.via = "ocs"
+        if self._eager_links is not None:
+            when = self.sim.now + self.transit_ps
+            horizon = self.sim.run_until
+            link = self._eager_links[out]
+            if (horizon is not None and when <= horizon
+                    and link.can_presend() and self._eager_guard(out)):
+                link.send_at(packet, when)
+                return True
+        sink = self._sinks[out]
         self.sim.schedule(self.transit_ps, lambda: sink(packet),
                           label="ocs.transit")
+        return True
+
+    def receive_batch(self, packets: List[Packet],
+                      times: List[int]) -> bool:
+        """Accept a drain run of same-(src, dst) packets at ``times``.
+
+        Exactly :meth:`receive` applied at each injection instant,
+        evaluated at the first.  Caller contract (the batched drain):
+        the device is stable (no reconfiguration can land inside an
+        open grant window — enforced by :meth:`configure`'s committed
+        guard), not dark at any of the times (windows open at
+        OCS-ready), and eager transit is armed with the egress link
+        reliable.  Under that contract the circuit decision is uniform
+        across the run, so it is taken once and the egress sends are
+        committed in one pass.
+        """
+        first = packets[0]
+        if self.sim.now < self._dark_until or self.unstable:
+            raise SimulationError(
+                "OCS receive_batch outside its stability contract")
+        count = len(packets)
+        nbytes = 0
+        for packet in packets:
+            nbytes += packet.size
+        out = self._circuits.output_for(first.src)
+        if out is None:
+            self.dark_drops.add(count, nbytes)
+            return False
+        if out != first.dst:
+            self.misdirected_drops.add(count, nbytes)
+            return False
+        self.forwarded.add(count, nbytes)
+        link = self._eager_links[out]
+        transit = self.transit_ps
+        # Only the *injections* depend on circuit state; a transit
+        # already in flight survives a reconfiguration on the
+        # reference path too, so the commitment ends at the last
+        # injection instant — a configure() exactly at the window edge
+        # (the scheduler's next slot) must stay legal.
+        if times[-1] > self._committed_until:
+            self._committed_until = times[-1]
+        for packet in packets:
+            packet.via = "ocs"
+        link.send_presend(packets, [t + transit for t in times])
         return True
 
 

@@ -16,6 +16,7 @@ scheduling requests".
 
 from __future__ import annotations
 
+import heapq
 from typing import Callable, List, Optional
 
 import numpy as np
@@ -53,23 +54,40 @@ class VoqBank:
         self.sim = sim
         self.n_ports = n_ports
         self.on_status_change = on_status_change
-        self._queues: List[List[Optional[PacketQueue]]] = []
-        for src in range(n_ports):
-            row: List[Optional[PacketQueue]] = []
-            for dst in range(n_ports):
-                if src == dst:
-                    row.append(None)
-                else:
-                    row.append(PacketQueue(
-                        sim, f"voq[{src},{dst}]",
-                        capacity_bytes=capacity_bytes, policy=policy))
-            self._queues.append(row)
+        self._capacity_bytes = capacity_bytes
+        self._policy = policy
+        # Queues materialise on first touch: an n-port bank holds n²−n
+        # of them, and at large radix most (src, dst) pairs never carry
+        # a packet in a given run — eager construction would dominate
+        # framework build time.
+        self._queues: List[List[Optional[PacketQueue]]] = [
+            [None] * n_ports for __ in range(n_ports)]
         # Dense byte counts for O(n^2) demand snapshots without walking
-        # deques; kept in sync by _touch.
-        self._bytes = np.zeros((n_ports, n_ports), dtype=np.int64)
-        self._packets = np.zeros((n_ports, n_ports), dtype=np.int64)
+        # deques, kept in sync by _touch as plain Python ints (a NumPy
+        # scalar store costs several times an int list store, and
+        # _touch runs twice per packet).  The ndarray views are rebuilt
+        # lazily, at most once per snapshot.
+        self._byte_rows = [[0] * n_ports for __ in range(n_ports)]
+        self._packet_rows = [[0] * n_ports for __ in range(n_ports)]
         self._total = 0
+        self._total_packets = 0
         self._peak_total = 0
+        # Batched drains subtract a whole run's bytes up front; the
+        # occupancy that a per-packet execution would have shown at any
+        # later instant is ``_total`` plus the departures still pending
+        # *after* that instant.  The heap tracks those so the peak —
+        # which can only move at enqueues — stays exact.
+        self._pending_departures: List[tuple] = []
+        self._future_departed = 0
+        # Persistent ndarray view of the byte rows, refreshed row-wise:
+        # only inputs touched since the last snapshot are re-written,
+        # so the per-epoch snapshot costs O(active inputs · n) instead
+        # of a full n² rebuild.
+        self._demand_np = np.zeros((n_ports, n_ports), dtype=np.int64)
+        self._dirty_rows: set = set()
+        #: When True, queues materialise with their per-packet
+        #: enqueue/dequeue counters disabled (untraced fast lane).
+        self.untraced_counters = False
 
     # -- access -----------------------------------------------------------------
 
@@ -77,8 +95,35 @@ class VoqBank:
         """The VOQ for (src, dst); raises on the src == dst diagonal."""
         q = self._queues[src][dst]
         if q is None:
-            raise ConfigurationError(f"no VOQ on diagonal ({src},{src})")
+            if src == dst:
+                raise ConfigurationError(
+                    f"no VOQ on diagonal ({src},{src})")
+            q = PacketQueue(self.sim, f"voq[{src},{dst}]",
+                            capacity_bytes=self._capacity_bytes,
+                            policy=self._policy)
+            if self.untraced_counters:
+                q.enqueues.disable()
+                q.dequeues.disable()
+            self._queues[src][dst] = q
         return q
+
+    def set_counter_tracing(self, enabled: bool) -> None:
+        """Enable/disable enqueue/dequeue counters, bank-wide.
+
+        Applies to every queue materialised so far and (via
+        :attr:`untraced_counters`) to queues created later.  Drop
+        counters always count — they feed reports.
+        """
+        self.untraced_counters = not enabled
+        for row in self._queues:
+            for q in row:
+                if q is not None:
+                    if enabled:
+                        q.enqueues.enable()
+                        q.dequeues.enable()
+                    else:
+                        q.enqueues.disable()
+                        q.dequeues.disable()
 
     # -- operations --------------------------------------------------------------
 
@@ -102,33 +147,79 @@ class VoqBank:
         self._touch(src, dst)
         return packet
 
+    def dequeue_run(self, src: int, dst: int,
+                    times: List[int]) -> List[Packet]:
+        """Dequeue a drain run from VOQ (src, dst), stamped at ``times``.
+
+        Equivalent to calling :meth:`dequeue` at each ``times[i]``,
+        with the bank accounting paid once.  The status hook is *not*
+        fired — callers use this only when nothing listens (the batched
+        drain gates on that).  Departures at future instants are
+        registered so :meth:`peak_total_bytes` remains exact.
+        """
+        q = self.queue(src, dst)
+        packets = q.popleft_run(times)
+        row = self._byte_rows[src]
+        queued = q.bytes
+        self._total += queued - row[dst]
+        row[dst] = queued
+        self._dirty_rows.add(src)
+        packet_row = self._packet_rows[src]
+        self._total_packets += len(q) - packet_row[dst]
+        packet_row[dst] = len(q)
+        now = self.sim.now
+        pending = self._pending_departures
+        for when, packet in zip(times, packets):
+            if when > now:
+                heapq.heappush(pending, (when, packet.size))
+                self._future_departed += packet.size
+        return packets
+
     def head(self, src: int, dst: int) -> Optional[Packet]:
         """Peek the head packet of VOQ (src, dst)."""
-        return self.queue(src, dst).head()
+        q = self._queues[src][dst]
+        if q is None:
+            if src == dst:
+                raise ConfigurationError(
+                    f"no VOQ on diagonal ({src},{src})")
+            return None
+        return q.head()
 
     def is_empty(self, src: int, dst: int) -> bool:
         """True when VOQ (src, dst) holds no packets."""
-        return self.queue(src, dst).is_empty
+        q = self._queues[src][dst]
+        if q is None:
+            if src == dst:
+                raise ConfigurationError(
+                    f"no VOQ on diagonal ({src},{src})")
+            return True
+        return q.is_empty
 
     # -- aggregate views ------------------------------------------------------------
 
     def demand_bytes(self) -> np.ndarray:
         """n×n matrix of queued bytes (a copy; callers may mutate)."""
-        return self._bytes.copy()
+        if self._dirty_rows:
+            demand = self._demand_np
+            rows = self._byte_rows
+            for src in self._dirty_rows:
+                demand[src] = rows[src]
+            self._dirty_rows.clear()
+        return self._demand_np.copy()
 
     def demand_packets(self) -> np.ndarray:
         """n×n matrix of queued packet counts (a copy)."""
-        return self._packets.copy()
+        return np.array(self._packet_rows, dtype=np.int64)
 
     @property
     def total_bytes(self) -> int:
         """Total bytes stored across the whole bank."""
-        return int(self._bytes.sum())
+        return self._total
 
     @property
     def total_packets(self) -> int:
         """Total packets stored across the whole bank."""
-        return int(self._packets.sum())
+        return self._total_packets
 
     def peak_total_bytes(self) -> int:
         """Peak simultaneous occupancy — the Figure 1 measurement.
@@ -141,8 +232,9 @@ class VoqBank:
 
     def nonempty_voqs(self) -> List[tuple]:
         """(src, dst) of every backlogged VOQ."""
-        src_idx, dst_idx = np.nonzero(self._packets)
-        return list(zip(src_idx.tolist(), dst_idx.tolist()))
+        return [(src, dst)
+                for src, row in enumerate(self._packet_rows)
+                for dst, count in enumerate(row) if count]
 
     def drops_total(self) -> int:
         """Total packets tail-dropped across the bank."""
@@ -154,14 +246,28 @@ class VoqBank:
     def _touch(self, src: int, dst: int) -> None:
         q = self._queues[src][dst]
         assert q is not None
-        old = int(self._bytes[src, dst])
-        self._bytes[src, dst] = q.bytes
-        self._packets[src, dst] = len(q)
-        self._total += q.bytes - old
-        if self._total > self._peak_total:
-            self._peak_total = self._total
+        queued = q.bytes
+        row = self._byte_rows[src]
+        self._total += queued - row[dst]
+        row[dst] = queued
+        self._dirty_rows.add(src)
+        packet_row = self._packet_rows[src]
+        self._total_packets += len(q) - packet_row[dst]
+        packet_row[dst] = len(q)
+        occupancy = self._total
+        if self._future_departed:
+            # Settle batched departures that have now "happened"; what
+            # remains is occupancy a per-packet execution would still
+            # be holding at this instant.
+            pending = self._pending_departures
+            now = self.sim.now
+            while pending and pending[0][0] <= now:
+                self._future_departed -= heapq.heappop(pending)[1]
+            occupancy += self._future_departed
+        if occupancy > self._peak_total:
+            self._peak_total = occupancy
         if self.on_status_change is not None:
-            self.on_status_change(src, dst, q.bytes)
+            self.on_status_change(src, dst, queued)
 
 
 __all__ = ["VoqBank"]

@@ -31,7 +31,6 @@ from repro.sim.engine import Simulator
 from repro.sim.errors import ConfigurationError
 from repro.sim.time import SECONDS, transmission_time_ps
 from repro.traffic.patterns import DestinationChooser
-from repro.traffic.sources import next_flow_id
 
 #: (cumulative probability, flow bytes) — web-search-style mix.
 WEBSEARCH_FLOW_SIZES: Sequence[Tuple[float, int]] = (
@@ -151,6 +150,7 @@ class FlowSource:
         self._mean_gap_ps = SECONDS / flows_per_second
         self._packet_gap_ps = transmission_time_ps(
             wire_size(packet_bytes), flow_rate_bps)
+        host.register_emitter(self)
         self.sim.at(start_ps, self._arm, label="flowsrc.start")
 
     def _arm(self) -> None:
@@ -161,7 +161,7 @@ class FlowSource:
         if self._done():
             return
         self.flows_started += 1
-        flow_id = next_flow_id()
+        flow_id = self.sim.next_flow_id()
         dst = self.chooser.choose()
         remaining = self.distribution.sample(self.rng)
         self._flow_packet(dst, flow_id, remaining)

@@ -7,13 +7,32 @@ constructing one starts it (at ``start_ps``) and it stops at
 
 All randomness comes from an injected ``random.Random`` so experiments
 stay reproducible under the named-stream discipline.
+
+Chunked generation (the packet-path fast lane)
+----------------------------------------------
+
+With ``chunk_packets > 0`` a source generates in chunks: it draws the
+next ``chunk_packets`` inter-arrival gaps and destinations from its RNG
+stream up front — calling the *same* RNG methods in the *same* order as
+the per-packet path, so the streams stay draw-for-draw identical — and
+self-schedules **one event per chunk** instead of one per packet.  The
+whole chunk is pre-serialised through the host uplink
+(:meth:`~repro.net.host.Host.emit_presend`), which computes every
+wire-start and arrival instant in one vectorized pass.
+
+The chunk lane engages only where it is provably exact: switch-buffered
+hosts with a single attached source, a fault-free uplink, and a bounded
+run (:meth:`Host.can_presend`).  Everywhere else — and always with the
+default ``chunk_packets=0`` — the original per-packet code runs; it is
+kept intact below as the executable spec the equivalence tests compare
+against.
 """
 
 from __future__ import annotations
 
 import itertools
 import random
-from typing import Optional
+from typing import List, Optional
 
 from repro.net.host import Host
 from repro.net.packet import MAX_FRAME_BYTES, Packet, wire_size
@@ -26,7 +45,14 @@ _flow_ids = itertools.count(1)
 
 
 def next_flow_id() -> int:
-    """Globally unique flow id for a new source/flow."""
+    """Process-globally unique flow id.
+
+    .. deprecated::
+        Use :meth:`repro.sim.engine.Simulator.next_flow_id`, which is
+        scoped to one simulator so equal-seed runs allocate identical
+        ids no matter how many ran earlier in the process.  This shim
+        remains for external callers that want a process-unique id.
+    """
     return next(_flow_ids)
 
 
@@ -49,6 +75,8 @@ class PoissonSource:
         Active window.
     priority:
         Packet priority class.
+    chunk_packets:
+        Fast-lane chunk size (0 = per-packet reference path).
     """
 
     def __init__(self, sim: Simulator, host: Host, rate_bps: float,
@@ -57,7 +85,8 @@ class PoissonSource:
                  n_ports: Optional[int] = None,
                  rng: Optional[random.Random] = None,
                  start_ps: int = 0, until_ps: Optional[int] = None,
-                 priority: int = 0) -> None:
+                 priority: int = 0,
+                 chunk_packets: int = 0) -> None:
         if rate_bps <= 0:
             raise ConfigurationError("rate must be positive")
         if packet_bytes <= 0:
@@ -71,11 +100,18 @@ class PoissonSource:
             host, n_ports, self.rng)
         self.until_ps = until_ps
         self.priority = priority
-        self.flow_id = next_flow_id()
+        self.chunk_packets = chunk_packets
+        self.flow_id = sim.next_flow_id()
         self.packets_emitted = 0
         # Mean inter-arrival so that rate_bps of frame bits are offered.
         self._mean_gap_ps = packet_bytes * 8 * SECONDS / rate_bps
-        self.sim.at(start_ps, self._arm, label="poisson.start")
+        host.register_emitter(self)
+        if chunk_packets > 0:
+            self.sim.at(start_ps, self._chunk_arm, label="poisson.start")
+        else:
+            self.sim.at(start_ps, self._arm, label="poisson.start")
+
+    # -- per-packet reference path (executable spec) -------------------------
 
     def _arm(self) -> None:
         gap = round(self.rng.expovariate(1.0) * self._mean_gap_ps)
@@ -96,6 +132,56 @@ class PoissonSource:
         self.packets_emitted += 1
         self._arm()
 
+    # -- chunked fast lane ------------------------------------------------------
+
+    def _chunk_arm(self) -> None:
+        gap = round(self.rng.expovariate(1.0) * self._mean_gap_ps)
+        self.sim.at(self.sim.now + gap, self._chunk_fire,
+                    label="poisson.chunk")
+
+    def _chunk_fire(self) -> None:
+        """Emit up to a chunk of packets, starting at this instant.
+
+        RNG draw order per packet is ``choose()`` then ``expovariate``,
+        exactly as :meth:`_fire` + :meth:`_arm` interleave them.
+        """
+        if self.until_ps is not None and self.sim.now >= self.until_ps:
+            return
+        horizon = self.sim.run_until
+        if horizon is None or not self.host.can_presend():
+            # Conditions for exact pre-serialisation don't hold here;
+            # continue on the reference path from this very instant.
+            self._fire()
+            return
+        until = self.until_ps
+        src = self.host.host_id
+        size = self.packet_bytes
+        flow_id = self.flow_id
+        priority = self.priority
+        choose = self.chooser.choose
+        expovariate = self.rng.expovariate
+        mean_gap = self._mean_gap_ps
+        times: List[int] = []
+        packets: List[Packet] = []
+        t = self.sim.now
+        alive = True
+        for __ in range(self.chunk_packets):
+            if until is not None and t >= until:
+                alive = False
+                break
+            if t > horizon:
+                break
+            packets.append(Packet(src=src, dst=choose(), size=size,
+                                  created_ps=t, flow_id=flow_id,
+                                  priority=priority))
+            times.append(t)
+            t += round(expovariate(1.0) * mean_gap)
+        if packets:
+            self.host.emit_presend(packets, times)
+            self.packets_emitted += len(packets)
+        if alive:
+            self.sim.at(t, self._chunk_fire, label="poisson.chunk")
+
 
 class CbrSource:
     """Constant-bit-rate periodic stream — the VOIP/gaming model.
@@ -108,7 +194,8 @@ class CbrSource:
     def __init__(self, sim: Simulator, host: Host, dst: int,
                  packet_bytes: int = 200, period_ps: int = 20_000_000,
                  start_ps: int = 0, until_ps: Optional[int] = None,
-                 priority: int = 1) -> None:
+                 priority: int = 1,
+                 chunk_packets: int = 0) -> None:
         if dst == host.host_id:
             raise ConfigurationError("CBR destination equals source")
         if period_ps <= 0:
@@ -120,9 +207,16 @@ class CbrSource:
         self.period_ps = period_ps
         self.until_ps = until_ps
         self.priority = priority
-        self.flow_id = next_flow_id()
+        self.chunk_packets = chunk_packets
+        self.flow_id = sim.next_flow_id()
         self.packets_emitted = 0
-        self.sim.at(start_ps, self._fire, label="cbr.start")
+        host.register_emitter(self)
+        if chunk_packets > 0:
+            self.sim.at(start_ps, self._chunk_fire, label="cbr.start")
+        else:
+            self.sim.at(start_ps, self._fire, label="cbr.start")
+
+    # -- per-packet reference path (executable spec) -------------------------
 
     def _fire(self) -> None:
         if self.until_ps is not None and self.sim.now >= self.until_ps:
@@ -135,6 +229,39 @@ class CbrSource:
         self.host.emit(packet)
         self.packets_emitted += 1
         self.sim.schedule(self.period_ps, self._fire, label="cbr.fire")
+
+    # -- chunked fast lane ------------------------------------------------------
+
+    def _chunk_fire(self) -> None:
+        if self.until_ps is not None and self.sim.now >= self.until_ps:
+            return
+        horizon = self.sim.run_until
+        if horizon is None or not self.host.can_presend():
+            self._fire()
+            return
+        until = self.until_ps
+        src = self.host.host_id
+        times: List[int] = []
+        packets: List[Packet] = []
+        t = self.sim.now
+        alive = True
+        for __ in range(self.chunk_packets):
+            if until is not None and t >= until:
+                alive = False
+                break
+            if t > horizon:
+                break
+            packets.append(Packet(src=src, dst=self.dst,
+                                  size=self.packet_bytes, created_ps=t,
+                                  flow_id=self.flow_id,
+                                  priority=self.priority))
+            times.append(t)
+            t += self.period_ps
+        if packets:
+            self.host.emit_presend(packets, times)
+            self.packets_emitted += len(packets)
+        if alive:
+            self.sim.at(t, self._chunk_fire, label="cbr.chunk")
 
 
 class OnOffSource:
@@ -154,6 +281,10 @@ class OnOffSource:
     alpha:
         Pareto shape for ON durations (1 < alpha; 1.5 default gives
         infinite-variance bursts).
+    chunk_packets:
+        Fast-lane chunk size (0 = per-packet reference path).  Bursts
+        are emitted in pre-serialised slices of at most this many
+        packets.
     """
 
     def __init__(self, sim: Simulator, host: Host,
@@ -165,7 +296,8 @@ class OnOffSource:
                  n_ports: Optional[int] = None,
                  rng: Optional[random.Random] = None,
                  start_ps: int = 0, until_ps: Optional[int] = None,
-                 priority: int = 0) -> None:
+                 priority: int = 0,
+                 chunk_packets: int = 0) -> None:
         if burst_rate_bps <= 0:
             raise ConfigurationError("burst rate must be positive")
         if mean_on_ps <= 0 or mean_off_ps < 0:
@@ -185,10 +317,12 @@ class OnOffSource:
             host, n_ports, self.rng)
         self.until_ps = until_ps
         self.priority = priority
+        self.chunk_packets = chunk_packets
         self.packets_emitted = 0
         self.bursts_started = 0
         self._gap_ps = transmission_time_ps(wire_size(packet_bytes),
                                             burst_rate_bps)
+        host.register_emitter(self)
         self.sim.at(start_ps, self._start_off, label="onoff.start")
 
     def _pareto_on_ps(self) -> int:
@@ -210,10 +344,15 @@ class OnOffSource:
         if self._done():
             return
         self.bursts_started += 1
-        flow_id = next_flow_id()
+        flow_id = self.sim.next_flow_id()
         dst = self.chooser.choose()
         end_ps = self.sim.now + self._pareto_on_ps()
-        self._burst_packet(dst, flow_id, end_ps)
+        if self.chunk_packets > 0:
+            self._burst_chunk(dst, flow_id, end_ps)
+        else:
+            self._burst_packet(dst, flow_id, end_ps)
+
+    # -- per-packet reference path (executable spec) -------------------------
 
     def _burst_packet(self, dst: int, flow_id: int, end_ps: int) -> None:
         if self._done() or self.sim.now >= end_ps:
@@ -230,6 +369,48 @@ class OnOffSource:
             self._gap_ps,
             lambda: self._burst_packet(dst, flow_id, end_ps),
             label="onoff.pkt")
+
+    # -- chunked fast lane ------------------------------------------------------
+
+    def _burst_chunk(self, dst: int, flow_id: int, end_ps: int) -> None:
+        """Pre-serialise one slice of the burst starting at this instant.
+
+        Burst emission instants form a deterministic grid (one frame
+        serialisation apart), so a whole slice is known at its first
+        instant.  The terminal checks mirror :meth:`_burst_packet`: the
+        first grid point at/after the burst end (or the source's
+        ``until``) runs the OFF transition at exactly that time.
+        """
+        if self._done() or self.sim.now >= end_ps:
+            self._start_off()
+            return
+        horizon = self.sim.run_until
+        if horizon is None or not self.host.can_presend():
+            self._burst_packet(dst, flow_id, end_ps)
+            return
+        until = self.until_ps
+        stop = end_ps if until is None else min(end_ps, until)
+        src = self.host.host_id
+        size = self.packet_bytes
+        gap = self._gap_ps
+        times: List[int] = []
+        packets: List[Packet] = []
+        t = self.sim.now
+        for __ in range(self.chunk_packets):
+            if t >= stop or t > horizon:
+                break
+            packets.append(Packet(src=src, dst=dst, size=size,
+                                  created_ps=t, flow_id=flow_id,
+                                  priority=self.priority))
+            times.append(t)
+            t += gap
+        if packets:
+            self.host.emit_presend(packets, times)
+            self.packets_emitted += len(packets)
+        # The next grid point either continues the burst or performs
+        # the terminal off-transition at the exact reference instant.
+        self.sim.at(t, lambda: self._burst_chunk(dst, flow_id, end_ps),
+                    label="onoff.chunk")
 
     def _done(self) -> bool:
         return self.until_ps is not None and self.sim.now >= self.until_ps

@@ -92,3 +92,23 @@ class TestPathTracer:
         fw = _framework()
         tracer = PathTracer(fw)
         assert "no trace" in tracer.render_path(99_999)
+
+
+class TestTracerOnFastLane:
+    def test_batched_drain_and_chunked_sources_fully_traced(self):
+        # Regression: the default columnar lane's batched fabric entry
+        # and chunked emission must not hide hops — the tracer drops
+        # the framework back to the per-packet observable path and
+        # wraps the chunk pre-send.
+        from repro.scenario.library import get_scenario
+
+        run = get_scenario("uniform").quicken().build()
+        tracer = PathTracer(run.framework)
+        result = run.run()
+        assert result.delivered_count > 0
+        for packet in result.delivered[:200]:
+            stages = [hop.stage for hop in tracer.path(packet.packet_id)]
+            assert stages[0] == "emitted"
+            assert "switch_ingress" in stages
+            assert tracer.fabric_of(packet.packet_id) is not None
+            assert stages[-1] == "delivered"

@@ -1,0 +1,162 @@
+"""Vectorized analysis kernels vs their scalar executable specs.
+
+Mirrors ``tests/test_schedulers_vectorized.py``: the production kernels
+in :mod:`repro.analysis.metrics` / :mod:`repro.analysis.stats` are
+fuzz-matched against the preserved per-sample loops in
+:mod:`repro.analysis.reference`, including the degenerate shapes the
+issue calls out (empty, single-sample, all-equal timestamps).
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import (
+    JITTER_VECTOR_MIN,
+    interarrival_jitter_ps,
+    latency_summary,
+    latency_summary_from_arrays,
+    percentile,
+    percentiles,
+)
+from repro.analysis.reference import (
+    reference_interarrival_jitter_ps,
+    reference_truncate_warmup,
+)
+from repro.analysis.stats import batch_means_ci, truncate_warmup
+from repro.net.packet import Packet
+
+
+class TestJitterVectorized:
+    def test_empty_and_single_sample(self):
+        assert interarrival_jitter_ps([], 100) == 0.0
+        assert interarrival_jitter_ps([5], 100) == 0.0
+        assert interarrival_jitter_ps(np.array([], dtype=np.int64),
+                                      100) == 0.0
+        assert interarrival_jitter_ps(np.array([7], dtype=np.int64),
+                                      100) == 0.0
+
+    def test_all_equal_timestamps(self):
+        arrivals = np.zeros(10_000, dtype=np.int64)
+        vector = interarrival_jitter_ps(arrivals, 1_000)
+        spec = reference_interarrival_jitter_ps(arrivals.tolist(), 1_000)
+        assert vector == pytest.approx(spec, rel=1e-12)
+
+    def test_below_threshold_is_bit_identical(self):
+        rng = np.random.default_rng(3)
+        arrivals = np.cumsum(
+            rng.integers(1, 2_000_000, JITTER_VECTOR_MIN - 1))
+        assert interarrival_jitter_ps(arrivals, 1_000_000) == \
+            reference_interarrival_jitter_ps(arrivals.tolist(),
+                                             1_000_000)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_fuzz_matches_scalar_spec(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(JITTER_VECTOR_MIN, 60_000))
+        period = int(rng.integers(1, 3_000_000))
+        gaps = rng.integers(0, 2 * period + 1, size=n)
+        arrivals = np.cumsum(gaps).astype(np.int64)
+        vector = interarrival_jitter_ps(arrivals, period)
+        spec = reference_interarrival_jitter_ps(arrivals.tolist(),
+                                                period)
+        assert vector == pytest.approx(spec, rel=1e-9, abs=1e-9)
+
+    def test_spec_equals_historical_loop_on_lists(self):
+        # The reference really is the pre-vectorization code: same
+        # result from a plain list as from an int64 column view.
+        arrivals = [0, 90, 210, 290, 400, 530]
+        as_list = reference_interarrival_jitter_ps(arrivals, 100)
+        as_col = interarrival_jitter_ps(
+            np.asarray(arrivals, dtype=np.int64), 100)
+        assert as_list == as_col
+
+
+class TestTruncateWarmupVectorized:
+    def test_degenerate_shapes(self):
+        assert truncate_warmup([]) == (0, [])
+        assert truncate_warmup([1.0]) == (0, [1.0])
+        assert truncate_warmup([2.0, 2.0, 2.0]) == (0, [2.0, 2.0, 2.0])
+
+    def test_all_equal_series(self):
+        series = [5.0] * 64
+        assert truncate_warmup(series) == \
+            reference_truncate_warmup(series)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_fuzz_matches_scalar_spec(self, seed):
+        rng = np.random.default_rng(100 + seed)
+        n = int(rng.integers(4, 3_000))
+        warm = rng.normal(10.0, 1.0, n)
+        if n > 10:
+            ramp_len = int(rng.integers(1, n // 2))
+            warm[:ramp_len] += np.linspace(rng.uniform(1, 20), 0.0,
+                                           ramp_len)
+        max_fraction = float(rng.uniform(0.0, 0.9))
+        cut, tail = truncate_warmup(warm, max_fraction)
+        spec_cut, spec_tail = reference_truncate_warmup(warm,
+                                                        max_fraction)
+        assert cut == spec_cut
+        assert tail == spec_tail
+
+    def test_linear_cost_shape(self):
+        # The vectorized form must agree on a series long enough that
+        # the O(n²) rescan would visibly stall a test run.
+        rng = np.random.default_rng(9)
+        series = np.concatenate([
+            rng.normal(0.0, 1.0, 1_000) + np.linspace(8.0, 0.0, 1_000),
+            rng.normal(0.0, 1.0, 59_000),
+        ])
+        cut, tail = truncate_warmup(series)
+        assert 0 < cut <= 30_000
+        assert len(tail) == series.size - cut
+
+
+class TestPercentiles:
+    def test_multi_quantile_bit_identical_to_single(self):
+        rng = np.random.default_rng(1)
+        for n in (1, 2, 17, 4_096):
+            values = rng.integers(0, 10**12, n).astype(np.float64)
+            multi = percentiles(values, (50, 95, 99))
+            singles = tuple(percentile(values, q) for q in (50, 95, 99))
+            assert multi == singles
+
+    def test_empty(self):
+        assert percentiles([], (50, 99)) == (0.0, 0.0)
+
+    def test_no_copy_for_float64_columns(self):
+        values = np.arange(100, dtype=np.float64)
+        # percentile must accept the array without mutating it.
+        before = values.copy()
+        percentiles(values, (10, 90))
+        assert np.array_equal(values, before)
+
+
+class TestLatencySummaryColumns:
+    def test_matches_packet_list_path(self):
+        rng = np.random.default_rng(5)
+        packets = []
+        for i in range(500):
+            created = int(rng.integers(0, 10**9))
+            packets.append(Packet(
+                src=0, dst=1, size=1500, created_ps=created,
+                delivered_ps=created + int(rng.integers(1, 10**7))))
+        latencies = np.asarray([p.latency_ps for p in packets],
+                               dtype=np.int64)
+        from_packets = latency_summary(packets)
+        from_columns = latency_summary_from_arrays(latencies)
+        assert from_packets == from_columns
+
+    def test_empty(self):
+        summary = latency_summary_from_arrays(
+            np.array([], dtype=np.int64))
+        assert summary.count == 0
+        assert summary.p99_ps == 0.0
+
+
+class TestBatchMeansColumns:
+    def test_ndarray_input_matches_list_input(self):
+        rng = np.random.default_rng(2)
+        values = rng.normal(5.0, 1.0, 400)
+        as_array = batch_means_ci(values)
+        as_list = batch_means_ci(list(values))
+        assert as_array == as_list

@@ -1,0 +1,95 @@
+"""Golden byte-identity for every quick experiment and library scenario.
+
+``tests/golden/quick_report_hashes.json`` pins the canonical-JSON
+payload hash of each quick report as produced by the tree *before* the
+packet-path fast lane landed.  The fast lane (chunked sources, columnar
+telemetry, eager egress, batched drains, vectorized analysis) is
+default-on, so these tests are the proof that it is observably exact —
+not approximately, byte for byte.
+
+Regenerate the fixture only when a report is *intentionally* changed:
+
+    PYTHONPATH=src python tests/test_golden_reports.py --regenerate
+"""
+
+import hashlib
+import json
+import pathlib
+
+import pytest
+
+from repro.experiments import ENTRY_POINTS
+from repro.experiments.base import ExperimentConfig
+from repro.runner.cache import report_to_payload
+from repro.runner.spec import canonical_json
+from repro.scenario.library import available_scenarios, get_scenario
+from repro.scenario.report import run_scenario
+
+GOLDEN_PATH = (pathlib.Path(__file__).parent / "golden"
+               / "quick_report_hashes.json")
+
+
+def _golden():
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+def _digest(payload: str) -> str:
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def _experiment_payload(exp_id: str) -> str:
+    report = ENTRY_POINTS[exp_id](ExperimentConfig(quick=True))
+    return canonical_json(report_to_payload(report))
+
+
+def _scenario_payload(name: str) -> str:
+    report = run_scenario(get_scenario(name),
+                          ExperimentConfig(quick=True))
+    return canonical_json(report_to_payload(report))
+
+
+@pytest.mark.parametrize("exp_id", sorted(ENTRY_POINTS))
+def test_quick_experiment_report_is_byte_identical(exp_id):
+    golden = _golden()[f"exp:{exp_id}"]
+    payload = _experiment_payload(exp_id)
+    assert len(payload) == golden["bytes"]
+    assert _digest(payload) == golden["sha256"]
+
+
+@pytest.mark.parametrize("name", sorted(available_scenarios()))
+def test_quick_scenario_report_is_byte_identical(name):
+    golden = _golden()[f"scenario:{name}"]
+    payload = _scenario_payload(name)
+    assert len(payload) == golden["bytes"]
+    assert _digest(payload) == golden["sha256"]
+
+
+def test_fixture_covers_everything_registered():
+    keys = set(_golden())
+    expected = ({f"exp:{e}" for e in ENTRY_POINTS}
+                | {f"scenario:{s}" for s in available_scenarios()})
+    assert keys == expected
+
+
+def _regenerate() -> None:
+    out = {}
+    for exp_id in sorted(ENTRY_POINTS):
+        payload = _experiment_payload(exp_id)
+        out[f"exp:{exp_id}"] = {"sha256": _digest(payload),
+                                "bytes": len(payload)}
+    for name in sorted(available_scenarios()):
+        payload = _scenario_payload(name)
+        out[f"scenario:{name}"] = {"sha256": _digest(payload),
+                                   "bytes": len(payload)}
+    GOLDEN_PATH.write_text(json.dumps(out, indent=2, sort_keys=True)
+                           + "\n")
+    print(f"regenerated {GOLDEN_PATH} ({len(out)} entries)")
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regenerate" in sys.argv:
+        _regenerate()
+    else:
+        print(__doc__)

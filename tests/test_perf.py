@@ -252,8 +252,10 @@ class TestPerfCli:
         assert "no BENCH_*.json" in capsys.readouterr().err
 
     def test_committed_baseline_loads_and_pairs(self):
-        # The repo ships a baseline whose 64-port pair demonstrates the
-        # >=5x acceptance criterion; keep it loadable and honest.
+        # The repo ships baselines whose paired speedups demonstrate
+        # each overhaul's acceptance criterion; keep the newest record
+        # loadable and honest: >=5x on the PR-3 fabric pair, >=3x on
+        # the PR-4 sweep pair, >=3x on the PR-5 packet-path pair.
         import pathlib
         baselines = pathlib.Path(__file__).parent.parent / "benchmarks" \
             / "baselines"
@@ -262,3 +264,5 @@ class TestPerfCli:
         record = BenchRecord.load(path)
         speedups = engine_speedups(record)
         assert speedups.get("fabric.islip1.uniform.n64", 0.0) >= 5.0
+        assert speedups.get("sweep.fabric.uniform.n64", 0.0) >= 3.0
+        assert speedups.get("packetpath.e2e.e4.n128", 0.0) >= 3.0

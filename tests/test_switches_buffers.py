@@ -111,10 +111,20 @@ class TestAccounting:
         assert q.dequeues.count == 1
 
     def test_occupancy_series_records_changes(self, sim):
-        q = PacketQueue(sim, "q")
+        q = PacketQueue(sim, "q", trace_occupancy=True)
         q.enqueue(_packet(10))
         q.dequeue()
         assert q.occupancy.values == [10, 0]
+
+    def test_occupancy_series_disabled_by_default(self, sim):
+        q = PacketQueue(sim, "q")
+        q.enqueue(_packet(10))
+        q.dequeue()
+        # Untraced runs skip the per-packet series entirely; peaks and
+        # counters still track.
+        assert q.occupancy.values == []
+        assert not q.occupancy.enabled
+        assert q.peak_bytes == 10
 
     def test_on_change_hook(self, sim):
         q = PacketQueue(sim, "q")
