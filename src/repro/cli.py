@@ -15,6 +15,10 @@ into job plans::
     repro scenario run incast --quick --jobs 2 --set n_ports=16
     repro perf --quick               # microbench suite -> BENCH_<rev>.json
     repro perf --baseline benchmarks/baselines   # advisory diff
+    repro serve --jobs 4             # always-on sweep daemon + cache
+    repro run all --quick --server   # route a run through the daemon
+    repro service stats --json       # live daemon counters
+    repro service shutdown           # drain in-flight work, then stop
 
 ``run``, ``sweep`` and ``scenario run`` are thin frontends over
 ``repro.runner``: they plan deterministic job lists, execute them
@@ -22,6 +26,12 @@ into job plans::
 cache) and print the familiar per-experiment reports plus a run
 manifest.  Scenario jobs (``scenario:<name>``) share the whole
 pipeline, so caching, sharding and ``--jobs`` behave identically.
+
+With ``--server [ADDR]`` the same commands route their job plans to a
+running ``repro serve`` daemon instead of executing locally: the
+daemon owns the worker pool and the shared result cache, deduplicates
+identical jobs across clients (including concurrent in-flight ones),
+and streams back the exact reports a local run would have produced.
 """
 
 from __future__ import annotations
@@ -130,6 +140,45 @@ def _parse_grid(pairs: Sequence[str]) -> Optional[Dict[str, List[Any]]]:
             grid[key] = [_parse_value(piece)
                          for piece in value.split(",")]
     return grid
+
+
+#: Default daemon address shared by ``repro serve`` and the service
+#: subcommands, so the common single-machine setup needs no flags.
+DEFAULT_SERVICE_SOCKET = ".repro-serve.sock"
+
+
+def _run_specs(args: argparse.Namespace, specs, on_outcome=None):
+    """Execute ``specs`` locally or via ``--server``.
+
+    Returns the outcome list, or ``None`` after printing a one-line
+    error (callers exit 2).  With ``--server``, execution settings are
+    the daemon's own — the local ``--jobs``/``--cache-dir``/
+    ``--replica-batch`` flags are noted as ignored rather than
+    silently dropped.
+    """
+    if getattr(args, "server", None):
+        from repro.service import ServiceError, execute_via_server
+
+        ignored = [flag for flag, on in (
+            ("--jobs", args.jobs > 1),
+            ("--cache-dir", bool(args.cache_dir)),
+            ("--replica-batch", args.replica_batch),
+        ) if on]
+        if ignored:
+            print(f"note: {', '.join(ignored)} are daemon-side "
+                  "settings; ignored with --server", file=sys.stderr)
+        try:
+            return execute_via_server(args.server, specs,
+                                      on_outcome=on_outcome)
+        except (ServiceError, OSError) as exc:
+            print(f"--server {args.server}: {exc}", file=sys.stderr)
+            return None
+    ok, cache = _make_cache(args)
+    if not ok:
+        return None
+    return execute(specs, jobs=args.jobs, cache=cache,
+                   on_outcome=on_outcome,
+                   replica_batch=args.replica_batch)
 
 
 def _make_cache(args: argparse.Namespace):
@@ -250,9 +299,6 @@ def _cmd_run(args: argparse.Namespace) -> int:
     ]
     if not _check_scenario_specs(specs):
         return 2
-    ok, cache = _make_cache(args)
-    if not ok:
-        return 2
     # Stream reports in plan order as jobs settle: a full-size `run
     # all` prints each experiment as soon as it (and its predecessors)
     # finish, rather than staying silent until the slowest job ends.
@@ -268,12 +314,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
             print()
             next_to_print[0] += 1
 
-    outcomes = execute(specs, jobs=args.jobs, cache=cache,
-                       on_outcome=_print_ready,
-                       replica_batch=args.replica_batch)
+    outcomes = _run_specs(args, specs, on_outcome=_print_ready)
+    if outcomes is None:
+        return 2
     return _finish(outcomes, args,
                    show_manifest=(len(specs) > 1 or args.jobs > 1
-                                  or cache is not None))
+                                  or args.cache_dir is not None
+                                  or args.server is not None))
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
@@ -300,11 +347,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         return 0
     if not _check_scenario_specs(specs):
         return 2
-    ok, cache = _make_cache(args)
-    if not ok:
+    outcomes = _run_specs(args, specs)
+    if outcomes is None:
         return 2
-    outcomes = execute(specs, jobs=args.jobs, cache=cache,
-                       replica_batch=args.replica_batch)
     merged = merge_outcomes(
         outcomes, title=f"sweep over {', '.join(experiment_ids)}")
     print(merged.render())
@@ -356,17 +401,16 @@ def _cmd_scenario_run(args: argparse.Namespace) -> int:
         return 2
     if not _check_scenario_specs(specs):
         return 2
-    ok, cache = _make_cache(args)
-    if not ok:
+    outcomes = _run_specs(args, specs)
+    if outcomes is None:
         return 2
-    outcomes = execute(specs, jobs=args.jobs, cache=cache,
-                       replica_batch=args.replica_batch)
     for outcome in outcomes:
         print(outcome.report.render())
         print()
     return _finish(outcomes, args,
                    show_manifest=(len(specs) > 1 or args.jobs > 1
-                                  or cache is not None))
+                                  or args.cache_dir is not None
+                                  or args.server is not None))
 
 
 def _cmd_perf(args: argparse.Namespace) -> int:
@@ -452,6 +496,63 @@ def _cmd_perf(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import ReproDaemon
+    from repro.service.protocol import parse_address
+
+    if args.jobs < 1:
+        print(f"--jobs must be >= 1, got {args.jobs}", file=sys.stderr)
+        return 2
+    try:
+        parse_address(args.socket)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    daemon = ReproDaemon(
+        args.socket,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        replica_batch=args.replica_batch,
+        quiet=args.quiet,
+    )
+    return daemon.run()
+
+
+def _with_service_client(args: argparse.Namespace, action):
+    """Run ``action(client)`` against ``--server``; exit-code result."""
+    from repro.service import ServiceClient, ServiceError
+
+    try:
+        with ServiceClient(args.server, timeout=args.timeout) as client:
+            return action(client)
+    except (ServiceError, OSError) as exc:
+        print(f"--server {args.server}: {exc}", file=sys.stderr)
+        return 2
+
+
+def _cmd_service_stats(args: argparse.Namespace) -> int:
+    def action(client) -> int:
+        stats = client.stats()
+        if args.json:
+            print(json.dumps(stats, sort_keys=True, indent=1))
+            return 0
+        for name in sorted(stats):
+            if name != "type":
+                print(f"  {name:<18} {stats[name]}")
+        return 0
+
+    return _with_service_client(args, action)
+
+
+def _cmd_service_shutdown(args: argparse.Namespace) -> int:
+    def action(client) -> int:
+        client.shutdown(wait_bye=True)
+        print("daemon drained and stopped")
+        return 0
+
+    return _with_service_client(args, action)
+
+
 def _add_common_run_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--quick", action="store_true",
                         help="reduced problem sizes (CI/smoke)")
@@ -469,6 +570,13 @@ def _add_common_run_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--scheduler", metavar="NAME",
                         help="override the framework scheduler where "
                              "the experiment supports one")
+    parser.add_argument("--server", metavar="ADDR", default=None,
+                        const=DEFAULT_SERVICE_SOCKET, nargs="?",
+                        help="route jobs through a `repro serve` "
+                             "daemon at ADDR (socket path or "
+                             "host:port; bare --server uses "
+                             f"{DEFAULT_SERVICE_SOCKET!r}); reports "
+                             "are byte-identical to local execution")
     parser.add_argument("--json-out", metavar="PATH",
                         help="write manifest + all reports as JSON")
 
@@ -559,6 +667,52 @@ def build_parser() -> argparse.ArgumentParser:
                                    "e.g. n_ports=16 or traffic.0.load="
                                    "0.8 (repeatable)")
     scenario_run.set_defaults(func=_cmd_scenario_run)
+
+    serve = sub.add_parser(
+        "serve", help="run the always-on sweep daemon: owns the shared "
+                      "result cache and warm worker pool, accepts jobs "
+                      "over a local socket with cross-client dedup")
+    serve.add_argument("--socket", metavar="ADDR",
+                       default=DEFAULT_SERVICE_SOCKET,
+                       help="listen address: unix-socket path or "
+                            "host:port (default "
+                            f"{DEFAULT_SERVICE_SOCKET!r})")
+    serve.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="warm worker processes serving the job "
+                            "queue (default 1)")
+    serve.add_argument("--cache-dir", metavar="DIR",
+                       default=".repro-cache",
+                       help="shared content-addressed report cache "
+                            "(default .repro-cache; '' disables)")
+    serve.add_argument("--replica-batch", action="store_true",
+                       help="fuse seed-only replica groups through the "
+                            "vectorised replica-batch kernel")
+    serve.add_argument("--quiet", action="store_true",
+                       help="suppress the per-event log lines on "
+                            "stderr")
+    serve.set_defaults(func=_cmd_serve)
+
+    service = sub.add_parser(
+        "service", help="talk to a running `repro serve` daemon")
+    service_sub = service.add_subparsers(dest="service_command",
+                                         required=True)
+    for name, func, doc in (
+            ("stats", _cmd_service_stats,
+             "print the daemon's live counters"),
+            ("shutdown", _cmd_service_shutdown,
+             "gracefully drain and stop the daemon")):
+        sub_cmd = service_sub.add_parser(name, help=doc)
+        sub_cmd.add_argument("--server", metavar="ADDR",
+                             default=DEFAULT_SERVICE_SOCKET,
+                             help="daemon address (default "
+                                  f"{DEFAULT_SERVICE_SOCKET!r})")
+        sub_cmd.add_argument("--timeout", type=float, default=60.0,
+                             metavar="S",
+                             help="socket timeout in seconds")
+        if name == "stats":
+            sub_cmd.add_argument("--json", action="store_true",
+                                 help="machine-readable output")
+        sub_cmd.set_defaults(func=func)
 
     perf = sub.add_parser(
         "perf", help="run the microbench suite, emit a BENCH_<rev>.json "

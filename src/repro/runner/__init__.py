@@ -25,6 +25,7 @@ and ``repro sweep`` are thin CLI frontends over this package.
 
 from repro.runner.cache import ResultCache
 from repro.runner.executor import (
+    JobRunner,
     RunOutcome,
     WorkerCrashError,
     execute,
@@ -44,6 +45,7 @@ __all__ = [
     "RunSpec",
     "ResultCache",
     "RunOutcome",
+    "JobRunner",
     "RunManifest",
     "WarmWorkerPool",
     "WorkerCrashError",

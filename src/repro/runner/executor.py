@@ -193,6 +193,59 @@ def _group_for_batch(specs: Sequence[RunSpec],
     return [groups[key] for key in order]
 
 
+class JobRunner:
+    """The execution seam: one warm pool + cache serving many batches.
+
+    A ``JobRunner`` binds the three execution knobs (``jobs``,
+    ``cache``, ``replica_batch``) once and then runs successive spec
+    batches through them.  Two job sources share it:
+
+    * a **local sweep** — the CLI plans one batch and calls
+      :meth:`run` once (this is what :func:`execute` wraps);
+    * the **daemon queue** — ``repro serve`` holds one runner for its
+      whole lifetime and feeds it batch after batch as submissions
+      arrive, so every client shares the same warm workers and the
+      same content-addressed cache.
+
+    The warm pool admits one result stream at a time; the runner's
+    lock enforces that at this seam, so concurrent callers serialise
+    instead of tripping the pool's internal guard.  :meth:`warm`
+    pre-spawns the workers (and pre-imports the heavy entry-point
+    modules) so a long-lived service pays the startup cost at boot,
+    not on the first submission — and, crucially for ``fork`` safety,
+    from the main thread before any server threads exist.
+    """
+
+    def __init__(self, *, jobs: int = 1,
+                 cache: Optional[ResultCache] = None,
+                 replica_batch: bool = False) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self.cache = cache
+        self.replica_batch = replica_batch
+        import threading
+
+        self._lock = threading.Lock()
+
+    def warm(self) -> None:
+        """Spawn the worker fleet (and import entry points) eagerly."""
+        if self.jobs > 1:
+            get_pool(self.jobs)
+        else:
+            import repro.experiments  # noqa: F401
+            import repro.scenario  # noqa: F401
+
+    def run(self, specs: Sequence[RunSpec],
+            on_outcome: Optional[Callable[[RunOutcome], None]] = None,
+            ) -> List[RunOutcome]:
+        """One batch through the bound pool/cache (see :func:`execute`)."""
+        with self._lock:
+            return execute(specs, jobs=self.jobs, cache=self.cache,
+                           on_outcome=on_outcome,
+                           replica_batch=self.replica_batch)
+
+
 def execute(
     specs: Sequence[RunSpec],
     *,
@@ -282,5 +335,5 @@ def execute(
     return list(outcomes)  # type: ignore[arg-type]
 
 
-__all__ = ["RunOutcome", "execute", "map_jobs", "imap_jobs",
-           "WorkerCrashError"]
+__all__ = ["RunOutcome", "JobRunner", "execute", "map_jobs",
+           "imap_jobs", "WorkerCrashError"]

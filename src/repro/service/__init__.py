@@ -1,0 +1,43 @@
+"""The always-on sweep service: ``repro serve`` and its clients.
+
+Layering::
+
+    protocol.py   length-prefixed JSON framing + addresses (shared)
+    session.py    per-connection accounting and backpressure
+    daemon.py     ReproDaemon — asyncio server owning the shared
+                  ResultCache and the warm JobRunner/worker pool,
+                  with in-flight cross-client dedup and graceful drain
+    client.py     ServiceClient + execute_via_server (the CLI's
+                  ``--server`` routing)
+
+The daemon's contract mirrors the local runner's: a spec fully
+determines its report, so routing a sweep through the service is
+byte-identical to running it in process — the service only changes
+*who pays* startup cost and *how often* a spec executes (at most once
+fleet-wide, thanks to the shared cache plus in-flight coalescing).
+"""
+
+from repro.service.client import (
+    ServiceClient,
+    ServiceError,
+    execute_via_server,
+)
+from repro.service.daemon import DaemonStats, ReproDaemon
+from repro.service.protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    parse_address,
+)
+
+__all__ = [
+    "ReproDaemon",
+    "DaemonStats",
+    "ServiceClient",
+    "ServiceError",
+    "execute_via_server",
+    "ProtocolError",
+    "parse_address",
+    "PROTOCOL_VERSION",
+    "MAX_FRAME_BYTES",
+]

@@ -1,0 +1,559 @@
+"""The always-on sweep daemon behind ``repro serve``.
+
+One daemon process owns the two things worth keeping warm between
+sweeps: the :class:`~repro.runner.cache.ResultCache` and the
+warm-worker pool (via the :class:`~repro.runner.executor.JobRunner`
+seam).  Clients connect over a local socket, speak the length-prefixed
+JSON protocol of :mod:`repro.service.protocol`, and submit batches of
+:class:`~repro.runner.spec.RunSpec` payloads; the daemon streams back
+one ``result`` frame per spec as jobs finish, in whatever order they
+settle (each frame carries the spec's index in its submission, so
+clients reassemble plan order trivially).
+
+What the daemon adds over ``repro run --jobs N``:
+
+* **Zero startup on the client side** — interpreter boot, ``import
+  repro`` and worker spawn were paid once, at ``repro serve`` time.
+* **One shared cache** — every client's results land in (and are
+  served from) the same content-addressed store, so a sweep one user
+  ran this morning is a pure cache read for everyone else all day.
+* **Cross-client dedup** — submissions are coalesced *in flight*:
+  a spec already queued or executing is never queued twice, it just
+  gains a subscriber, and the single result is fanned out to every
+  subscriber when it settles.  Two clients racing the same sweep cost
+  one execution.
+* **Resumability** — a client that dies mid-sweep loses nothing:
+  completed jobs are in the shared cache, so a resubmission streams
+  them back as instant hits and only genuinely unfinished work runs.
+* **Backpressure** — per-session watermarks stop reading from clients
+  with too much outstanding work (see :mod:`repro.service.session`),
+  bounding daemon memory under firehose submission.
+* **Graceful drain** — SIGTERM (or a ``shutdown`` frame) stops
+  accepting work, finishes and streams everything in flight, sends
+  ``bye`` to connected clients and exits 0.
+
+Execution itself is delegated batch-by-batch to the ``JobRunner`` in
+a worker thread; the asyncio side never blocks on simulation work.
+Dedup and fan-out state live entirely on the event loop thread —
+results cross back in via ``call_soon_threadsafe``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import collections
+import contextlib
+import os
+import signal
+import sys
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+from repro.runner.cache import ResultCache, report_to_payload
+from repro.runner.executor import JobRunner, RunOutcome
+from repro.runner.spec import RunSpec
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    error_frame,
+    parse_address,
+    read_frame_async,
+    write_frame_async,
+)
+from repro.service.session import Session, Submission
+from repro.sim.errors import ConfigurationError
+
+
+@dataclass
+class DaemonStats:
+    """Daemon-lifetime counters (the ``stats`` frame's payload)."""
+
+    submitted: int = 0      # spec payloads accepted across all SUBMITs
+    executed: int = 0       # jobs that actually ran on the pool
+    cache_hits: int = 0     # jobs answered straight from the cache
+    coalesced: int = 0      # subscriptions merged onto an in-flight job
+    failed: int = 0         # jobs surfacing a worker-crash error
+    dropped: int = 0        # queued jobs abandoned by all subscribers
+    results_streamed: int = 0
+    sessions_opened: int = 0
+    protocol_errors: int = 0
+
+    def payload(self) -> Dict[str, Any]:
+        return dict(vars(self))
+
+
+@dataclass
+class _Job:
+    """One unique spec somewhere between SUBMIT and its result."""
+
+    spec: RunSpec
+    key: str
+    #: (submission, index-within-submission) fan-out targets.
+    subscribers: List[Tuple[Submission, int]] = field(
+        default_factory=list)
+    started: bool = False
+
+
+class ReproDaemon:
+    """``repro serve``: accept sweep jobs over a socket, forever.
+
+    ``address`` is anything :func:`repro.service.protocol.parse_address`
+    accepts (a unix-socket path or ``host:port``).  Construct, then
+    either :meth:`run` on the main thread (the CLI path — installs
+    SIGTERM/SIGINT drain handlers) or hand :meth:`run` to a background
+    thread (tests — use :meth:`wait_ready` / :meth:`request_shutdown`).
+    """
+
+    def __init__(self, address: str, *, jobs: int = 1,
+                 cache_dir: Optional[str] = None,
+                 replica_batch: bool = False,
+                 high_watermark: int = 1024,
+                 low_watermark: int = 512,
+                 max_submit: int = 4096,
+                 quiet: bool = False) -> None:
+        self.address = address
+        self._kind, self._target = parse_address(address)
+        self.cache = ResultCache(cache_dir) if cache_dir else None
+        self._runner = JobRunner(jobs=jobs, cache=self.cache,
+                                 replica_batch=replica_batch)
+        self.stats = DaemonStats()
+        self.high_watermark = high_watermark
+        self.low_watermark = min(low_watermark, high_watermark)
+        self.max_submit = max_submit
+        self.quiet = quiet
+        self._started = time.monotonic()
+        # Event-loop-side state, created inside serve().
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._jobs: Dict[str, _Job] = {}
+        self._queue: Deque[_Job] = collections.deque()
+        self._wake: Optional[asyncio.Event] = None
+        self._sessions: Dict[int, Session] = {}
+        self._outboxes: Dict[int, asyncio.Queue] = {}
+        self._writer_tasks: Dict[int, asyncio.Task] = {}
+        self._draining = False
+        self._ready = threading.Event()
+        self._exit_requested = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def log(self, message: str) -> None:
+        if not self.quiet:
+            print(f"[repro-serve] {message}", file=sys.stderr,
+                  flush=True)
+
+    def run(self) -> int:
+        """Blocking entry point; returns the process exit code."""
+        self._runner.warm()  # fork workers before any server threads
+        try:
+            asyncio.run(self.serve())
+        except KeyboardInterrupt:  # pragma: no cover — belt and braces
+            return 130
+        return 0
+
+    def wait_ready(self, timeout: float = 10.0) -> bool:
+        """Block until the daemon is listening (thread-mode tests)."""
+        return self._ready.wait(timeout)
+
+    @property
+    def bound_address(self) -> str:
+        """The concrete address clients should dial (after binding,
+        a TCP ``:0`` request reflects the kernel-assigned port)."""
+        if self._kind == "unix":
+            return str(self._target)
+        host, port = self._target
+        return f"{host}:{port}"
+
+    def request_shutdown(self) -> None:
+        """Thread-safe graceful-drain request (SIGTERM equivalent)."""
+        loop = self._loop
+        if loop is not None:
+            with contextlib.suppress(RuntimeError):  # already stopped
+                loop.call_soon_threadsafe(self.initiate_shutdown)
+
+    def initiate_shutdown(self) -> None:
+        """Begin the graceful drain (event-loop thread only)."""
+        if not self._draining:
+            self.log("shutdown requested — draining in-flight work")
+        self._draining = True
+        if self._wake is not None:
+            self._wake.set()
+
+    async def serve(self) -> None:
+        """Listen, execute, drain; returns after a graceful shutdown."""
+        self._loop = asyncio.get_running_loop()
+        self._wake = asyncio.Event()
+        if self._kind == "unix":
+            # A leftover socket file from a crashed daemon blocks
+            # bind(); nothing else can legitimately own the path.
+            with contextlib.suppress(OSError):
+                os.unlink(self._target)
+            server = await asyncio.start_unix_server(
+                self._handle_connection, path=self._target)
+        else:
+            host, port = self._target
+            server = await asyncio.start_server(
+                self._handle_connection, host=host, port=port)
+            self._target = server.sockets[0].getsockname()[:2]
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            with contextlib.suppress(NotImplementedError, RuntimeError,
+                                     ValueError):
+                self._loop.add_signal_handler(signum,
+                                              self.initiate_shutdown)
+        self.log(f"listening on {self.address} "
+                 f"(jobs={self._runner.jobs}, "
+                 f"cache={'on' if self.cache is not None else 'off'})")
+        self._ready.set()
+        try:
+            await self._execution_loop()
+        finally:
+            self._ready.clear()
+            server.close()
+            with contextlib.suppress(Exception):
+                await server.wait_closed()
+            await self._farewell()
+            if self._kind == "unix":
+                with contextlib.suppress(OSError):
+                    os.unlink(self._target)
+            self.log("drained and stopped")
+
+    async def _farewell(self) -> None:
+        """``bye`` every connected client, then close their writers."""
+        for session in list(self._sessions.values()):
+            self._post(session, {"type": "bye"})
+        for sid, outbox in list(self._outboxes.items()):
+            outbox.put_nowait(None)
+        for task in list(self._writer_tasks.values()):
+            with contextlib.suppress(Exception):
+                await asyncio.wait_for(task, timeout=2.0)
+
+    # -- execution loop ------------------------------------------------------
+
+    async def _execution_loop(self) -> None:
+        """Drain the dedup queue batch-by-batch onto the JobRunner."""
+        assert self._wake is not None
+        while True:
+            await self._wake.wait()
+            self._wake.clear()
+            batch: List[_Job] = []
+            while self._queue:
+                job = self._queue.popleft()
+                if not job.subscribers:
+                    # Every subscriber cancelled before it started.
+                    del self._jobs[job.key]
+                    self.stats.dropped += 1
+                    continue
+                job.started = True
+                batch.append(job)
+            if batch:
+                specs = [job.spec for job in batch]
+                self.log(f"executing batch of {len(specs)} job(s), "
+                         f"{len(self._jobs) - len(batch)} queued behind")
+                loop = self._loop
+                assert loop is not None
+
+                def settle_threadsafe(outcome: RunOutcome) -> None:
+                    loop.call_soon_threadsafe(self._settle, outcome)
+
+                try:
+                    await asyncio.to_thread(self._runner.run, specs,
+                                            settle_threadsafe)
+                except Exception as exc:  # noqa: BLE001
+                    # An ordinary exception raised by a job aborts the
+                    # rest of its batch inside execute() (that is the
+                    # local-runner contract: the raise surfaces at the
+                    # failing job).  A daemon must outlive it: every
+                    # job the batch did not settle fails visibly to
+                    # its subscribers, and the service keeps serving.
+                    self.log(f"batch aborted by a job exception: "
+                             f"{type(exc).__name__}: {exc}")
+                    self._fail_unsettled(batch, str(exc))
+            if self._draining and not self._queue:
+                return
+
+    def _enqueue(self, spec: RunSpec, submission: Submission,
+                 index: int) -> None:
+        """Queue one spec, or coalesce onto its in-flight twin."""
+        key = spec.key()
+        job = self._jobs.get(key)
+        if job is not None:
+            job.subscribers.append((submission, index))
+            self.stats.coalesced += 1
+            return
+        job = _Job(spec=spec, key=key,
+                   subscribers=[(submission, index)])
+        self._jobs[key] = job
+        self._queue.append(job)
+        assert self._wake is not None
+        self._wake.set()
+
+    def _fail_unsettled(self, batch: List[_Job], message: str) -> None:
+        """Fan an error outcome to every batch job still in flight."""
+        from repro.experiments.base import ExperimentReport
+
+        for job in batch:
+            if job.key not in self._jobs:
+                continue  # settled before the batch aborted
+            error = f"{job.key}: {message}"
+            report = ExperimentReport(
+                experiment_id=job.spec.experiment_id,
+                title="job failed — exception in the entry point",
+                warnings=[error])
+            self._settle(RunOutcome(job.spec, report, cached=False,
+                                    elapsed_s=0.0, error=error))
+
+    def _settle(self, outcome: RunOutcome) -> None:
+        """Fan one finished job's result out to every subscriber."""
+        job = self._jobs.pop(outcome.spec.key(), None)
+        if job is None:  # pragma: no cover — defensive
+            return
+        if outcome.error is not None:
+            self.stats.failed += 1
+        elif outcome.cached:
+            self.stats.cache_hits += 1
+        else:
+            self.stats.executed += 1
+        report_payload = report_to_payload(outcome.report)
+        for submission, index in job.subscribers:
+            if submission.cancelled:
+                continue
+            session = submission.session
+            self._post(session, {
+                "type": "result",
+                "submit_id": submission.submit_id,
+                "index": index,
+                "key": job.key,
+                "cached": outcome.cached,
+                "coalesced": len(job.subscribers) > 1,
+                "elapsed_s": outcome.elapsed_s,
+                "error": outcome.error,
+                "report": report_payload,
+            })
+            self.stats.results_streamed += 1
+            session.settle_one(submission,
+                               executed=not outcome.cached
+                               and outcome.error is None,
+                               cached=outcome.cached,
+                               failed=outcome.error is not None)
+            if submission.pending <= 0:
+                self._post(session, {
+                    "type": "done",
+                    "submit_id": submission.submit_id,
+                    "executed": submission.executed,
+                    "cached": submission.cached,
+                    "failed": submission.failed,
+                })
+
+    # -- per-connection protocol ---------------------------------------------
+
+    def _post(self, session: Session, frame: Dict[str, Any]) -> None:
+        """Enqueue a frame on a session's ordered outbox."""
+        if session.closed:
+            return
+        outbox = self._outboxes.get(session.id)
+        if outbox is not None:
+            outbox.put_nowait(frame)
+
+    async def _writer_loop(self, session: Session,
+                           outbox: asyncio.Queue) -> None:
+        """Serialise one session's outbound frames (order-preserving)."""
+        try:
+            while True:
+                frame = await outbox.get()
+                if frame is None:
+                    break
+                await write_frame_async(session.writer, frame)
+        except (ConnectionError, OSError):
+            # Client vanished mid-stream; the reader loop (or the
+            # farewell sweep) detaches its submissions.
+            session.closed = True
+        finally:
+            with contextlib.suppress(Exception):
+                session.writer.close()
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        peername = writer.get_extra_info("peername")
+        session = Session(writer=writer, peer=str(peername or "local"),
+                          high_watermark=self.high_watermark,
+                          low_watermark=self.low_watermark)
+        outbox: asyncio.Queue = asyncio.Queue()
+        self._sessions[session.id] = session
+        self._outboxes[session.id] = outbox
+        self._writer_tasks[session.id] = asyncio.ensure_future(
+            self._writer_loop(session, outbox))
+        self.stats.sessions_opened += 1
+        try:
+            await self._session_loop(session, reader)
+        except ProtocolError as exc:
+            self.stats.protocol_errors += 1
+            self.log(f"session {session.id}: protocol error "
+                     f"[{exc.code}] {exc}")
+            self._post(session, error_frame(exc.code, str(exc)))
+        except (ConnectionError, OSError) as exc:
+            self.log(f"session {session.id}: dropped ({exc})")
+        finally:
+            self._detach_session(session)
+            outbox.put_nowait(None)
+            self._sessions.pop(session.id, None)
+            self._outboxes.pop(session.id, None)
+            task = self._writer_tasks.pop(session.id, None)
+            if task is not None:
+                with contextlib.suppress(Exception):
+                    await asyncio.wait_for(task, timeout=2.0)
+
+    def _detach_session(self, session: Session) -> None:
+        """Forget a dead client: its pending subscriptions are void.
+
+        In-flight *executions* are not interrupted — their results
+        land in the shared cache, which is exactly what makes a
+        reconnecting client resume for free.
+        """
+        session.closed = True
+        for submission in list(session.submissions.values()):
+            submission.cancelled = True
+        for job in self._jobs.values():
+            job.subscribers = [
+                (submission, index)
+                for submission, index in job.subscribers
+                if submission.session is not session
+            ]
+
+    async def _session_loop(self, session: Session,
+                            reader: asyncio.StreamReader) -> None:
+        first = await read_frame_async(reader)
+        if first is None:
+            return
+        if first.get("type") != "hello":
+            raise ProtocolError(
+                "bad-handshake",
+                f"expected a hello frame, got {first.get('type')!r}")
+        if first.get("version") != PROTOCOL_VERSION:
+            raise ProtocolError(
+                "version-mismatch",
+                f"client speaks protocol {first.get('version')!r}, "
+                f"server speaks {PROTOCOL_VERSION}")
+        self._post(session, {
+            "type": "welcome",
+            "version": PROTOCOL_VERSION,
+            "server": "repro-serve",
+            "jobs": self._runner.jobs,
+            "cache": self.cache is not None,
+        })
+        while True:
+            await session.throttle()  # backpressure: stop reading
+            frame = await read_frame_async(reader)
+            if frame is None:
+                return
+            kind = frame["type"]
+            if kind == "submit":
+                self._handle_submit(session, frame)
+            elif kind == "cancel":
+                self._handle_cancel(session, frame)
+            elif kind == "stats":
+                self._post(session, self._stats_frame())
+            elif kind == "shutdown":
+                self.initiate_shutdown()
+            elif kind == "hello":
+                raise ProtocolError("bad-handshake",
+                                    "duplicate hello frame")
+            else:
+                self._post(session, error_frame(
+                    "unknown-type",
+                    f"unknown frame type {kind!r}"))
+
+    def _handle_submit(self, session: Session,
+                       frame: Dict[str, Any]) -> None:
+        submit_id = frame.get("submit_id")
+        payloads = frame.get("specs")
+        if not isinstance(submit_id, str) or not submit_id:
+            self._post(session, error_frame(
+                "bad-submit", "submit frame needs a string submit_id"))
+            return
+        if not isinstance(payloads, list) or not payloads:
+            self._post(session, error_frame(
+                "bad-submit",
+                "submit frame needs a non-empty 'specs' list"))
+            return
+        if submit_id in session.submissions:
+            self._post(session, error_frame(
+                "duplicate-submit",
+                f"submit_id {submit_id!r} is already live on this "
+                "connection"))
+            return
+        if self._draining:
+            self._post(session, error_frame(
+                "draining",
+                "daemon is shutting down and not accepting new work"))
+            return
+        if len(payloads) > self.max_submit:
+            self._post(session, error_frame(
+                "submit-too-large",
+                f"{len(payloads)} specs in one submit exceeds the "
+                f"cap of {self.max_submit}; split the sweep"))
+            return
+        try:
+            specs = [RunSpec.from_canonical(payload).validate()
+                     for payload in payloads]
+        except (ConfigurationError, KeyError, TypeError,
+                AttributeError) as exc:
+            self._post(session, error_frame(
+                "bad-spec", f"submit {submit_id!r} rejected: {exc}"))
+            return
+        submission = session.accept(submit_id, len(specs))
+        self.stats.submitted += len(specs)
+        self._post(session, {
+            "type": "accepted",
+            "submit_id": submit_id,
+            "total": len(specs),
+            "keys": [spec.key() for spec in specs],
+        })
+        for index, spec in enumerate(specs):
+            self._enqueue(spec, submission, index)
+        self.log(f"session {session.id}: accepted {len(specs)} "
+                 f"job(s) as {submit_id!r} "
+                 f"({len(self._queue)} unique queued)")
+
+    def _handle_cancel(self, session: Session,
+                       frame: Dict[str, Any]) -> None:
+        submit_id = frame.get("submit_id")
+        submission = session.submissions.get(submit_id) \
+            if isinstance(submit_id, str) else None
+        if submission is None:
+            self._post(session, error_frame(
+                "unknown-submit",
+                f"no live submission {submit_id!r} on this "
+                "connection"))
+            return
+        submission.cancelled = True
+        for job in self._jobs.values():
+            job.subscribers = [
+                (sub, index) for sub, index in job.subscribers
+                if sub is not submission
+            ]
+        detached = submission.pending
+        session.detach(submission, detached)
+        self._post(session, {
+            "type": "cancelled",
+            "submit_id": submit_id,
+            "detached": detached,
+        })
+
+    def _stats_frame(self) -> Dict[str, Any]:
+        payload = self.stats.payload()
+        payload.update({
+            "type": "stats",
+            "version": PROTOCOL_VERSION,
+            "jobs": self._runner.jobs,
+            "inflight": len(self._jobs),
+            "queued": len(self._queue),
+            "sessions": len(self._sessions),
+            "draining": self._draining,
+            "uptime_s": time.monotonic() - self._started,
+            "cache": self.cache is not None,
+        })
+        return payload
+
+
+__all__ = ["ReproDaemon", "DaemonStats"]

@@ -1,0 +1,246 @@
+"""Wire protocol of the sweep service: length-prefixed JSON frames.
+
+One frame is a 4-byte big-endian unsigned length followed by exactly
+that many bytes of UTF-8 JSON encoding a single object with a ``type``
+field.  The framing is deliberately primitive — no compression, no
+out-of-band channels — because the payloads (specs and report
+payloads) already have canonical JSON forms in :mod:`repro.runner`,
+and byte-identity of reports across the wire falls out of reusing
+them verbatim.
+
+Conversation shape (client first)::
+
+    -> {"type": "hello", "version": 1}
+    <- {"type": "welcome", "version": 1, "jobs": N, ...}
+    -> {"type": "submit", "submit_id": "s1", "specs": [<canonical>...]}
+    <- {"type": "accepted", "submit_id": "s1", "total": n, "keys": [...]}
+    <- {"type": "result", "submit_id": "s1", "index": i, "key": ...,
+        "cached": bool, "coalesced": bool, "elapsed_s": t,
+        "error": null | str, "report": {<report payload>}}   # n times
+    <- {"type": "done", "submit_id": "s1", "executed": e, "cached": c,
+        "failed": f}
+    -> {"type": "cancel", "submit_id": "s1"}     # any time
+    <- {"type": "cancelled", "submit_id": "s1", "detached": k}
+    -> {"type": "stats"}
+    <- {"type": "stats", ...counters...}
+    -> {"type": "shutdown"}
+    <- {"type": "bye"}                           # after the drain
+
+Any protocol violation is answered with
+``{"type": "error", "code": ..., "message": ...}`` and — for framing
+violations, where the byte stream can no longer be trusted — a closed
+connection.  The daemon itself always survives a bad client.
+
+Both an asyncio flavour (daemon side) and a blocking-socket flavour
+(client side) of read/write are provided over the same framing, so
+tests can drive either end against the other.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import struct
+from typing import Any, Dict, Optional, Tuple
+
+#: Bump on incompatible message-shape changes; the HELLO/WELCOME
+#: handshake rejects mismatches before any job state exists.
+PROTOCOL_VERSION = 1
+
+#: Hard ceiling on one frame's payload.  Large enough for a full-size
+#: merged report, small enough that a corrupt length prefix (or a
+#: client speaking a different protocol entirely) cannot make the
+#: daemon try to buffer gigabytes.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+_HEADER = struct.Struct(">I")
+
+
+class ProtocolError(RuntimeError):
+    """The byte stream violated the framing or message contract.
+
+    ``code`` is a stable machine-readable slug mirrored into the
+    ``error`` frame the daemon sends back before closing.
+    """
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(message)
+        self.code = code
+
+
+def encode_frame(message: Dict[str, Any]) -> bytes:
+    """``message`` as one wire frame (header + JSON payload)."""
+    payload = json.dumps(message, sort_keys=True,
+                         separators=(",", ":")).encode("utf-8")
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            "frame-too-large",
+            f"outgoing frame of {len(payload)} bytes exceeds "
+            f"{MAX_FRAME_BYTES}")
+    return _HEADER.pack(len(payload)) + payload
+
+
+def decode_payload(payload: bytes) -> Dict[str, Any]:
+    """The message inside one frame's payload bytes, validated."""
+    try:
+        message = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise ProtocolError("bad-json",
+                            f"frame payload is not JSON: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            "bad-message",
+            f"frame payload must be an object, got "
+            f"{type(message).__name__}")
+    kind = message.get("type")
+    if not isinstance(kind, str) or not kind:
+        raise ProtocolError("bad-message",
+                            "frame object is missing a string 'type'")
+    return message
+
+
+def _check_length(length: int) -> None:
+    if length == 0:
+        raise ProtocolError("bad-frame", "zero-length frame")
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            "frame-too-large",
+            f"frame of {length} bytes exceeds {MAX_FRAME_BYTES}")
+
+
+# -- asyncio flavour (daemon side) ------------------------------------------
+
+
+async def read_frame_async(
+        reader: asyncio.StreamReader) -> Optional[Dict[str, Any]]:
+    """The next message, or ``None`` on a clean end-of-stream.
+
+    A stream truncated *inside* a frame (header or payload) raises
+    :class:`ProtocolError` — the peer vanished mid-message, which
+    callers treat as a dropped connection rather than a quiet goodbye.
+    """
+    try:
+        header = await reader.readexactly(_HEADER.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # clean EOF between frames
+        raise ProtocolError(
+            "truncated-frame",
+            f"stream ended inside a frame header "
+            f"({len(exc.partial)}/{_HEADER.size} bytes)") from exc
+    (length,) = _HEADER.unpack(header)
+    _check_length(length)
+    try:
+        payload = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise ProtocolError(
+            "truncated-frame",
+            f"stream ended inside a frame payload "
+            f"({len(exc.partial)}/{length} bytes)") from exc
+    return decode_payload(payload)
+
+
+async def write_frame_async(writer: asyncio.StreamWriter,
+                            message: Dict[str, Any]) -> None:
+    writer.write(encode_frame(message))
+    await writer.drain()
+
+
+# -- blocking flavour (client side) -----------------------------------------
+
+
+def _recv_exactly(sock: socket.socket, count: int) -> bytes:
+    chunks = []
+    got = 0
+    while got < count:
+        chunk = sock.recv(count - got)
+        if not chunk:
+            raise ProtocolError(
+                "truncated-frame",
+                f"connection closed inside a frame ({got}/{count} "
+                "bytes)")
+        chunks.append(chunk)
+        got += len(chunk)
+    return b"".join(chunks)
+
+
+def read_frame(sock: socket.socket) -> Optional[Dict[str, Any]]:
+    """Blocking read of the next message; ``None`` on clean EOF."""
+    first = sock.recv(1)
+    if not first:
+        return None
+    header = first + _recv_exactly(sock, _HEADER.size - 1)
+    (length,) = _HEADER.unpack(header)
+    _check_length(length)
+    return decode_payload(_recv_exactly(sock, length))
+
+
+def write_frame(sock: socket.socket, message: Dict[str, Any]) -> None:
+    sock.sendall(encode_frame(message))
+
+
+# -- addresses ---------------------------------------------------------------
+
+
+def parse_address(text: str) -> Tuple[str, Any]:
+    """``("unix", path)`` or ``("tcp", (host, port))`` from user text.
+
+    Anything with a path separator (or a ``.sock`` suffix, or an
+    explicit ``unix:`` prefix) is a filesystem socket; ``host:port``
+    is TCP.  A bare name that is neither is rejected up front so a
+    typo'd ``--server`` fails with one clear line instead of a
+    connect timeout.
+    """
+    if text.startswith("unix:"):
+        return ("unix", text[len("unix:"):])
+    if "/" in text or text.endswith(".sock"):
+        return ("unix", text)
+    host, sep, port = text.rpartition(":")
+    if sep and host:
+        try:
+            return ("tcp", (host, int(port)))
+        except ValueError:
+            pass
+    raise ValueError(
+        f"bad service address {text!r}: expected a socket path "
+        "(contains '/' or ends in .sock), unix:<path>, or host:port")
+
+
+def connect(address: str, timeout: Optional[float] = None) -> socket.socket:
+    """A connected blocking socket for ``address`` (see parse_address)."""
+    kind, target = parse_address(address)
+    if kind == "unix":
+        if not hasattr(socket, "AF_UNIX"):  # pragma: no cover — win32
+            raise OSError("unix sockets are unavailable on this "
+                          "platform; use host:port")
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(timeout)
+        sock.connect(target)
+        return sock
+    return socket.create_connection(target, timeout=timeout)
+
+
+def hello_frame() -> Dict[str, Any]:
+    return {"type": "hello", "version": PROTOCOL_VERSION}
+
+
+def error_frame(code: str, message: str) -> Dict[str, Any]:
+    return {"type": "error", "code": code, "message": message}
+
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "MAX_FRAME_BYTES",
+    "ProtocolError",
+    "encode_frame",
+    "decode_payload",
+    "read_frame_async",
+    "write_frame_async",
+    "read_frame",
+    "write_frame",
+    "parse_address",
+    "connect",
+    "hello_frame",
+    "error_frame",
+]

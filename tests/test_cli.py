@@ -160,3 +160,87 @@ class TestScenarioCommands:
         assert payload["manifest"]["jobs"] == 1
         (report,) = payload["reports"].values()
         assert report["spec"]["experiment_id"] == "scenario:uniform"
+
+
+class TestServiceCommands:
+    def test_serve_parser_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.socket == ".repro-serve.sock"
+        assert args.jobs == 1
+        assert args.cache_dir == ".repro-cache"
+
+    def test_run_accepts_server_flag(self):
+        args = build_parser().parse_args(
+            ["run", "e4", "--quick", "--server", "127.0.0.1:7777"])
+        assert args.server == "127.0.0.1:7777"
+        bare = build_parser().parse_args(["run", "e4", "--server"])
+        assert bare.server == ".repro-serve.sock"
+        default = build_parser().parse_args(["run", "e4"])
+        assert default.server is None
+
+    def test_serve_rejects_bad_address(self, capsys):
+        assert main(["serve", "--socket", "not-an-address"]) == 2
+        assert "bad service address" in capsys.readouterr().err
+
+    def test_serve_rejects_bad_jobs(self, capsys):
+        assert main(["serve", "--jobs", "0"]) == 2
+        assert "--jobs" in capsys.readouterr().err
+
+    def test_service_stats_unreachable_daemon(self, tmp_path, capsys):
+        assert main(["service", "stats", "--server",
+                     str(tmp_path / "nobody.sock")]) == 2
+        assert "--server" in capsys.readouterr().err
+
+    def test_run_unreachable_server_exits_cleanly(self, tmp_path,
+                                                  capsys):
+        code = main(["run", "e4", "--quick", "--server",
+                     str(tmp_path / "nobody.sock")])
+        assert code == 2
+        assert "--server" in capsys.readouterr().err
+
+    def test_run_via_server_matches_direct(self, tmp_path, capsys):
+        import threading
+
+        from repro.service import ReproDaemon
+
+        daemon = ReproDaemon("127.0.0.1:0", jobs=1, quiet=True,
+                             cache_dir=str(tmp_path / "cache"))
+        thread = threading.Thread(target=daemon.run, daemon=True)
+        thread.start()
+        try:
+            assert daemon.wait_ready(10)
+            server_json = tmp_path / "server.json"
+            direct_json = tmp_path / "direct.json"
+            assert main(["run", "e4", "--quick",
+                         "--server", daemon.bound_address,
+                         "--json-out", str(server_json)]) == 0
+            assert main(["run", "e4", "--quick",
+                         "--json-out", str(direct_json)]) == 0
+            capsys.readouterr()
+            via_server = json.loads(server_json.read_text())
+            direct = json.loads(direct_json.read_text())
+            assert via_server["reports"] == direct["reports"]
+            # Second submission of the same spec: pure cache, zero
+            # re-execution daemon-side.
+            warm_json = tmp_path / "warm.json"
+            assert main(["run", "e4", "--quick",
+                         "--server", daemon.bound_address,
+                         "--json-out", str(warm_json)]) == 0
+            capsys.readouterr()
+            warm = json.loads(warm_json.read_text())
+            assert warm["reports"] == direct["reports"]
+            assert warm["manifest"]["entries"][0]["cached"] is True
+        finally:
+            daemon.request_shutdown()
+            thread.join(timeout=15)
+        assert not thread.is_alive()
+
+    def test_server_flag_notes_ignored_local_settings(self, tmp_path,
+                                                      capsys):
+        code = main(["run", "e4", "--quick", "--jobs", "4",
+                     "--cache-dir", str(tmp_path / "c"),
+                     "--server", str(tmp_path / "nobody.sock")])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "--jobs" in err and "--cache-dir" in err
+        assert "daemon-side" in err

@@ -1,0 +1,551 @@
+"""Tests for the sweep service: framing, daemon, client, dedup.
+
+The daemon under test runs in a background thread inside this process
+(``jobs=1``, so execution happens in the daemon's worker thread too).
+That keeps every test hermetic *and* lets a monkeypatched entry point
+(``esvc``) gate execution on threading events, which is what makes
+the concurrency-sensitive assertions — in-flight dedup, reconnect
+resume, cancellation, backpressure — deterministic instead of racy.
+"""
+
+import collections
+import socket
+import struct
+import threading
+import time
+
+import pytest
+
+from repro import experiments
+from repro.experiments.base import ExperimentReport
+from repro.runner import JobRunner, ResultCache, RunSpec, execute
+from repro.runner.cache import report_to_payload
+from repro.service import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    ReproDaemon,
+    ServiceClient,
+    ServiceError,
+    execute_via_server,
+    parse_address,
+)
+from repro.service.protocol import (
+    connect,
+    decode_payload,
+    encode_frame,
+    hello_frame,
+    read_frame,
+    write_frame,
+)
+
+
+class TestFraming:
+    def test_round_trip(self):
+        message = {"type": "stats", "nested": {"a": [1, 2, {"b": None}]}}
+        frame = encode_frame(message)
+        (length,) = struct.unpack(">I", frame[:4])
+        assert length == len(frame) - 4
+        assert decode_payload(frame[4:]) == message
+
+    def test_payload_must_be_object(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            decode_payload(b"[1, 2, 3]")
+        assert excinfo.value.code == "bad-message"
+
+    def test_payload_must_be_json(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            decode_payload(b"\xff\x00 not json")
+        assert excinfo.value.code == "bad-json"
+
+    def test_payload_needs_string_type(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            decode_payload(b'{"no_type": 1}')
+        assert excinfo.value.code == "bad-message"
+
+    def test_parse_address_forms(self):
+        assert parse_address("/tmp/x.sock") == ("unix", "/tmp/x.sock")
+        assert parse_address("relative.sock") == ("unix",
+                                                  "relative.sock")
+        assert parse_address("unix:whatever") == ("unix", "whatever")
+        assert parse_address("127.0.0.1:9000") == \
+            ("tcp", ("127.0.0.1", 9000))
+        with pytest.raises(ValueError):
+            parse_address("no-port-no-path")
+        with pytest.raises(ValueError):
+            parse_address("host:notaport")
+
+
+@pytest.fixture
+def start_daemon(tmp_path):
+    """Factory: a live daemon thread on an ephemeral TCP port."""
+    running = []
+
+    def start(**kwargs):
+        kwargs.setdefault("jobs", 1)
+        kwargs.setdefault("cache_dir", str(tmp_path / "cache"))
+        kwargs.setdefault("quiet", True)
+        daemon = ReproDaemon("127.0.0.1:0", **kwargs)
+        thread = threading.Thread(target=daemon.run, daemon=True)
+        thread.start()
+        assert daemon.wait_ready(10), "daemon never bound"
+        running.append((daemon, thread))
+        return daemon
+
+    yield start
+    for daemon, thread in running:
+        daemon.request_shutdown()
+        thread.join(timeout=15)
+        assert not thread.is_alive(), "daemon failed to drain"
+
+
+@pytest.fixture
+def fake_experiment(monkeypatch):
+    """A gated in-process entry point registered as ``esvc``.
+
+    ``gate`` starts open; tests close it to hold executions in
+    flight, and ``entered`` signals that a job reached the entry
+    point.  ``calls`` counts executions per seed, which is how the
+    dedup/resume tests assert "exactly once".
+    """
+
+    class Fake:
+        def __init__(self):
+            self.calls = collections.Counter()
+            self.lock = threading.Lock()
+            self.gate = threading.Event()
+            self.gate.set()
+            self.entered = threading.Event()
+
+        def __call__(self, config):
+            with self.lock:
+                self.calls[config.seed] += 1
+            self.entered.set()
+            assert self.gate.wait(timeout=30), "test forgot the gate"
+            return ExperimentReport(
+                experiment_id="esvc", title="service test",
+                data={"seed": config.seed},
+                expectations=[f"seed {config.seed} ok"])
+
+        def spec(self, seed=0):
+            return RunSpec("esvc", seed=seed)
+
+    fake = Fake()
+    monkeypatch.setitem(experiments.ENTRY_POINTS, "esvc", fake)
+    return fake
+
+
+def _handshake(address, timeout=10.0):
+    sock = connect(address, timeout=timeout)
+    write_frame(sock, hello_frame())
+    reply = read_frame(sock)
+    assert reply["type"] == "welcome"
+    return sock
+
+
+class TestHandshake:
+    def test_hello_welcome(self, start_daemon):
+        daemon = start_daemon()
+        sock = _handshake(daemon.bound_address)
+        write_frame(sock, {"type": "stats"})
+        stats = read_frame(sock)
+        assert stats["type"] == "stats"
+        assert stats["version"] == PROTOCOL_VERSION
+        assert stats["sessions"] == 1
+        sock.close()
+
+    def test_version_mismatch_rejected(self, start_daemon):
+        daemon = start_daemon()
+        sock = connect(daemon.bound_address, timeout=10.0)
+        write_frame(sock, {"type": "hello", "version": 999})
+        reply = read_frame(sock)
+        assert reply["type"] == "error"
+        assert reply["code"] == "version-mismatch"
+        sock.close()
+
+    def test_frame_before_hello_rejected(self, start_daemon):
+        daemon = start_daemon()
+        sock = connect(daemon.bound_address, timeout=10.0)
+        write_frame(sock, {"type": "stats"})
+        reply = read_frame(sock)
+        assert reply["type"] == "error"
+        assert reply["code"] == "bad-handshake"
+        sock.close()
+
+    def test_client_class_raises_on_mismatch(self, start_daemon,
+                                             monkeypatch):
+        daemon = start_daemon()
+        monkeypatch.setattr("repro.service.client.hello_frame",
+                            lambda: {"type": "hello", "version": -1})
+        with pytest.raises(ServiceError, match="version-mismatch"):
+            ServiceClient(daemon.bound_address, timeout=10.0).connect()
+
+
+class TestHostileFrames:
+    """Framing abuse must never take the daemon down."""
+
+    def _daemon_survives(self, daemon):
+        sock = _handshake(daemon.bound_address)
+        write_frame(sock, {"type": "stats"})
+        assert read_frame(sock)["type"] == "stats"
+        sock.close()
+
+    def test_oversized_frame(self, start_daemon):
+        daemon = start_daemon()
+        sock = connect(daemon.bound_address, timeout=10.0)
+        sock.sendall(struct.pack(">I", MAX_FRAME_BYTES + 1))
+        reply = read_frame(sock)
+        assert reply["type"] == "error"
+        assert reply["code"] == "frame-too-large"
+        # ... and the connection is closed after a framing violation.
+        assert read_frame(sock) is None
+        sock.close()
+        self._daemon_survives(daemon)
+
+    def test_zero_length_frame(self, start_daemon):
+        daemon = start_daemon()
+        sock = connect(daemon.bound_address, timeout=10.0)
+        sock.sendall(struct.pack(">I", 0))
+        reply = read_frame(sock)
+        assert reply["code"] == "bad-frame"
+        self._daemon_survives(daemon)
+
+    def test_malformed_json_frame(self, start_daemon):
+        daemon = start_daemon()
+        sock = connect(daemon.bound_address, timeout=10.0)
+        garbage = b"\x00{]this is not json"
+        sock.sendall(struct.pack(">I", len(garbage)) + garbage)
+        reply = read_frame(sock)
+        assert reply["type"] == "error"
+        assert reply["code"] == "bad-json"
+        self._daemon_survives(daemon)
+
+    def test_truncated_frame_then_disconnect(self, start_daemon):
+        daemon = start_daemon()
+        sock = connect(daemon.bound_address, timeout=10.0)
+        sock.sendall(struct.pack(">I", 100) + b"only a few bytes")
+        sock.close()
+        self._daemon_survives(daemon)
+
+    def test_unknown_frame_type_keeps_connection(self, start_daemon):
+        daemon = start_daemon()
+        sock = _handshake(daemon.bound_address)
+        write_frame(sock, {"type": "frobnicate"})
+        reply = read_frame(sock)
+        assert reply["type"] == "error"
+        assert reply["code"] == "unknown-type"
+        write_frame(sock, {"type": "stats"})
+        assert read_frame(sock)["type"] == "stats"
+        sock.close()
+
+
+class TestSubmitValidation:
+    def test_unknown_experiment_rejected(self, start_daemon):
+        daemon = start_daemon()
+        sock = _handshake(daemon.bound_address)
+        bogus = RunSpec("e1").canonical()
+        bogus["experiment_id"] = "not-an-experiment"
+        write_frame(sock, {"type": "submit", "submit_id": "s1",
+                           "specs": [bogus]})
+        reply = read_frame(sock)
+        assert reply["type"] == "error"
+        assert reply["code"] == "bad-spec"
+        sock.close()
+
+    def test_submit_needs_specs(self, start_daemon):
+        daemon = start_daemon()
+        sock = _handshake(daemon.bound_address)
+        write_frame(sock, {"type": "submit", "submit_id": "s1",
+                           "specs": []})
+        assert read_frame(sock)["code"] == "bad-submit"
+        sock.close()
+
+    def test_submit_cap(self, start_daemon, fake_experiment):
+        daemon = start_daemon(max_submit=2)
+        sock = _handshake(daemon.bound_address)
+        specs = [fake_experiment.spec(seed).canonical()
+                 for seed in range(3)]
+        write_frame(sock, {"type": "submit", "submit_id": "s1",
+                           "specs": specs})
+        assert read_frame(sock)["code"] == "submit-too-large"
+        sock.close()
+
+    def test_duplicate_submit_id(self, start_daemon, fake_experiment):
+        fake_experiment.gate.clear()  # keep s1 live
+        daemon = start_daemon()
+        sock = _handshake(daemon.bound_address)
+        payload = [fake_experiment.spec(0).canonical()]
+        write_frame(sock, {"type": "submit", "submit_id": "s1",
+                           "specs": payload})
+        assert read_frame(sock)["type"] == "accepted"
+        write_frame(sock, {"type": "submit", "submit_id": "s1",
+                           "specs": payload})
+        assert read_frame(sock)["code"] == "duplicate-submit"
+        fake_experiment.gate.set()
+        sock.close()
+
+
+class TestExecution:
+    def test_submit_roundtrip_and_cache(self, start_daemon,
+                                        fake_experiment):
+        daemon = start_daemon()
+        specs = [fake_experiment.spec(seed) for seed in range(3)]
+        outcomes = execute_via_server(daemon.bound_address, specs)
+        assert [o.spec for o in outcomes] == specs
+        assert all(o.error is None and not o.cached for o in outcomes)
+        assert [o.report.data["seed"] for o in outcomes] == [0, 1, 2]
+        # Resubmission is served from the shared cache: zero re-runs.
+        again = execute_via_server(daemon.bound_address, specs)
+        assert all(o.cached for o in again)
+        assert sum(fake_experiment.calls.values()) == 3
+        assert [report_to_payload(o.report) for o in outcomes] == \
+            [report_to_payload(o.report) for o in again]
+
+    def test_streaming_on_outcome(self, start_daemon, fake_experiment):
+        daemon = start_daemon()
+        seen = []
+        execute_via_server(daemon.bound_address,
+                           [fake_experiment.spec(7)],
+                           on_outcome=seen.append)
+        assert len(seen) == 1 and seen[0].report.data["seed"] == 7
+
+    def test_concurrent_clients_one_execution(self, start_daemon,
+                                              fake_experiment):
+        daemon = start_daemon()
+        fake_experiment.gate.clear()
+        spec = fake_experiment.spec(seed=42)
+        client_a = ServiceClient(daemon.bound_address,
+                                 timeout=30.0).connect()
+        client_b = ServiceClient(daemon.bound_address,
+                                 timeout=30.0).connect()
+        try:
+            id_a = client_a.submit([spec])
+            # The job is now *in flight* (the entry point has been
+            # entered and is blocked on the gate)...
+            assert fake_experiment.entered.wait(10)
+            # ... so a second client's identical submission must
+            # coalesce onto it, not queue a second execution.
+            id_b = client_b.submit([spec])
+            fake_experiment.gate.set()
+            frame_a = client_a._read()
+            frame_b = client_b._read()
+            assert frame_a["type"] == frame_b["type"] == "result"
+            assert frame_a["submit_id"] == id_a
+            assert frame_b["submit_id"] == id_b
+            assert frame_a["report"] == frame_b["report"]
+            assert frame_a["coalesced"] and frame_b["coalesced"]
+        finally:
+            client_a.close()
+            client_b.close()
+        assert fake_experiment.calls[42] == 1
+        with ServiceClient(daemon.bound_address, timeout=10.0) as c:
+            stats = c.stats()
+        assert stats["executed"] == 1
+        assert stats["coalesced"] == 1
+        assert stats["results_streamed"] == 2
+
+    def test_reconnect_resumes_via_cache(self, start_daemon,
+                                         fake_experiment):
+        daemon = start_daemon()
+        specs = [fake_experiment.spec(seed) for seed in range(4)]
+        # First client: submit the sweep, read one result, vanish.
+        client = ServiceClient(daemon.bound_address,
+                               timeout=30.0).connect()
+        stream = client.submit_stream(specs)
+        next(stream)
+        client.close()  # dropped mid-sweep
+        # Second attempt resubmits everything; whatever already ran
+        # (all of it — the batch had started) comes from the cache.
+        outcomes = execute_via_server(daemon.bound_address, specs)
+        assert [o.report.data["seed"] for o in outcomes] == [0, 1, 2, 3]
+        assert all(o.error is None for o in outcomes)
+        # The resume property: nothing ever executed twice.
+        assert sum(fake_experiment.calls.values()) == 4
+        assert all(count == 1
+                   for count in fake_experiment.calls.values())
+
+    def test_cancel_detaches_submission(self, start_daemon,
+                                        fake_experiment):
+        daemon = start_daemon()
+        fake_experiment.gate.clear()
+        spec = fake_experiment.spec(seed=9)
+        client = ServiceClient(daemon.bound_address,
+                               timeout=30.0).connect()
+        try:
+            submit_id = client.submit([spec])
+            assert fake_experiment.entered.wait(10)
+            assert client.cancel(submit_id) == 1
+            fake_experiment.gate.set()
+            # No result frame may arrive for the cancelled submit:
+            # the next reply on this ordered connection is the stats
+            # answer, not a stale result.
+            stats = client.stats()
+            assert stats["type"] == "stats"
+        finally:
+            fake_experiment.gate.set()
+            client.close()
+
+    def test_job_exception_fails_visibly_daemon_survives(
+            self, start_daemon, monkeypatch):
+        def explode(config):
+            raise RuntimeError("boom from the entry point")
+
+        monkeypatch.setitem(experiments.ENTRY_POINTS, "esvc", explode)
+        daemon = start_daemon()
+        outcomes = execute_via_server(daemon.bound_address,
+                                      [RunSpec("esvc")])
+        assert outcomes[0].error is not None
+        assert "boom" in outcomes[0].error
+        # The daemon must outlive a poisonous job.
+        with ServiceClient(daemon.bound_address, timeout=10.0) as c:
+            assert c.stats()["failed"] == 1
+
+
+class TestBackpressure:
+    def test_reader_pauses_over_watermark(self, start_daemon,
+                                          fake_experiment):
+        daemon = start_daemon(high_watermark=2, low_watermark=1)
+        fake_experiment.gate.clear()
+        sock = _handshake(daemon.bound_address)
+        specs = [fake_experiment.spec(seed).canonical()
+                 for seed in range(4)]
+        write_frame(sock, {"type": "submit", "submit_id": "s1",
+                           "specs": specs})
+        assert read_frame(sock)["type"] == "accepted"
+        # 4 outstanding > high watermark 2: the daemon stops reading
+        # this connection, so a stats request goes unanswered...
+        write_frame(sock, {"type": "stats"})
+        sock.settimeout(0.8)
+        with pytest.raises(socket.timeout):
+            sock.recv(1)
+        # ... until results drain the session below the low mark.
+        fake_experiment.gate.set()
+        sock.settimeout(30.0)
+        kinds = collections.Counter(
+            read_frame(sock)["type"] for _ in range(6))
+        assert kinds == {"result": 4, "done": 1, "stats": 1}
+        sock.close()
+
+
+class TestShutdown:
+    def test_graceful_drain_streams_inflight_results(
+            self, start_daemon, fake_experiment):
+        daemon = start_daemon()
+        fake_experiment.gate.clear()
+        client = ServiceClient(daemon.bound_address,
+                               timeout=30.0).connect()
+        client.submit([fake_experiment.spec(seed=5)])
+        assert fake_experiment.entered.wait(10)
+        # Ask for shutdown while the job is mid-execution; the drain
+        # must finish it, stream the result, then say bye.
+        daemon.request_shutdown()
+        fake_experiment.gate.set()
+        frames = []
+        while True:
+            frame = read_frame(client._sock)
+            if frame is None:
+                break
+            frames.append(frame["type"])
+            if frame["type"] == "bye":
+                break
+        assert frames == ["result", "done", "bye"]
+        client.close()
+
+    def test_draining_daemon_rejects_new_submits(self, start_daemon,
+                                                 fake_experiment):
+        daemon = start_daemon()
+        fake_experiment.gate.clear()
+        client = ServiceClient(daemon.bound_address,
+                               timeout=30.0).connect()
+        client.submit([fake_experiment.spec(seed=1)])
+        assert fake_experiment.entered.wait(10)
+        daemon.request_shutdown()
+        with pytest.raises(ServiceError, match="draining"):
+            client.submit([fake_experiment.spec(seed=2)])
+        fake_experiment.gate.set()
+        client.close()
+
+    def test_shutdown_frame(self, start_daemon):
+        daemon = start_daemon()
+        with ServiceClient(daemon.bound_address, timeout=30.0) as c:
+            c.shutdown(wait_bye=True)
+        assert daemon.wait_ready(0.01) is False  # no longer listening
+
+
+class TestByteIdentity:
+    """The acceptance property: --server output == local output."""
+
+    def test_real_experiment_identical_reports(self, start_daemon,
+                                               tmp_path):
+        daemon = start_daemon(cache_dir=str(tmp_path / "svc-cache"))
+        specs = [RunSpec("e4", quick=True)]
+        via_server = execute_via_server(daemon.bound_address, specs)
+        local = execute(specs, jobs=1)
+        assert report_to_payload(via_server[0].report) == \
+            report_to_payload(local[0].report)
+
+    def test_unix_socket_transport(self, start_daemon, tmp_path,
+                                   fake_experiment):
+        # Everything else runs over TCP; prove the unix path works
+        # end to end too (it is the CLI default).
+        import tempfile
+
+        with tempfile.TemporaryDirectory(dir="/tmp") as short_dir:
+            path = f"{short_dir}/svc.sock"
+            daemon = ReproDaemon(path, jobs=1, quiet=True,
+                                 cache_dir=str(tmp_path / "c"))
+            thread = threading.Thread(target=daemon.run, daemon=True)
+            thread.start()
+            try:
+                assert daemon.wait_ready(10)
+                outcomes = execute_via_server(
+                    path, [fake_experiment.spec(3)])
+                assert outcomes[0].report.data["seed"] == 3
+            finally:
+                daemon.request_shutdown()
+                thread.join(timeout=15)
+            assert not thread.is_alive()
+
+
+class TestJobRunnerSeam:
+    def test_runner_serves_successive_batches(self, tmp_path):
+        cache = ResultCache(tmp_path / "jr-cache")
+        runner = JobRunner(jobs=1, cache=cache)
+        first = runner.run([RunSpec("e4", quick=True)])
+        second = runner.run([RunSpec("e4", quick=True)])
+        assert not first[0].cached and second[0].cached
+        assert report_to_payload(first[0].report) == \
+            report_to_payload(second[0].report)
+
+    def test_runner_validates_jobs(self):
+        with pytest.raises(ValueError):
+            JobRunner(jobs=0)
+
+    def test_runner_serialises_concurrent_callers(self,
+                                                  fake_experiment):
+        runner = JobRunner(jobs=1)
+        results = []
+        threads = [
+            threading.Thread(target=lambda seed=seed: results.append(
+                runner.run([fake_experiment.spec(seed)])))
+            for seed in range(3)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert len(results) == 3
+        assert sum(fake_experiment.calls.values()) == 3
+
+
+class TestReconnectClient:
+    def test_client_retries_connection_refused(self, tmp_path):
+        # Nothing is listening: the client must retry, then raise a
+        # ServiceError (not a bare socket error).
+        started = time.monotonic()
+        with pytest.raises(ServiceError, match="reconnect"):
+            execute_via_server(
+                str(tmp_path / "nobody-home.sock"),
+                [RunSpec("e4", quick=True)],
+                reconnect_attempts=2, reconnect_delay_s=0.05)
+        assert time.monotonic() - started < 30
