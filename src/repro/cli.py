@@ -17,7 +17,9 @@ into job plans::
     repro perf --baseline benchmarks/baselines   # advisory diff
     repro serve --jobs 4             # always-on sweep daemon + cache
     repro run all --quick --server   # route a run through the daemon
+    repro worker --connect host:7461 # join a daemon's worker fleet
     repro service stats --json       # live daemon counters
+    repro service workers            # the registered worker fleet
     repro service shutdown           # drain in-flight work, then stop
 
 ``run``, ``sweep`` and ``scenario run`` are thin frontends over
@@ -508,14 +510,49 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     except ValueError as exc:
         print(str(exc), file=sys.stderr)
         return 2
+    if args.lease_timeout <= 0:
+        print(f"--lease-timeout must be > 0, got {args.lease_timeout}",
+              file=sys.stderr)
+        return 2
     daemon = ReproDaemon(
         args.socket,
         jobs=args.jobs,
         cache_dir=args.cache_dir,
         replica_batch=args.replica_batch,
+        lease_timeout_s=args.lease_timeout,
+        local_execution=not args.no_local,
         quiet=args.quiet,
     )
     return daemon.run()
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from repro.service.protocol import parse_address
+    from repro.service.worker import ReproWorker, WorkerError
+
+    if args.jobs < 1:
+        print(f"--jobs must be >= 1, got {args.jobs}", file=sys.stderr)
+        return 2
+    try:
+        parse_address(args.connect)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    worker = ReproWorker(
+        args.connect,
+        jobs=args.jobs,
+        replica_batch=args.replica_batch,
+        name=args.name,
+        timeout=args.timeout,
+        quiet=args.quiet,
+    )
+    try:
+        return worker.run()
+    except (WorkerError, OSError) as exc:
+        # Mirrors the client failure contract: an unreachable or
+        # incompatible daemon is one line on stderr and exit code 2.
+        print(f"--connect {args.connect}: {exc}", file=sys.stderr)
+        return 2
 
 
 def _with_service_client(args: argparse.Namespace, action):
@@ -530,15 +567,55 @@ def _with_service_client(args: argparse.Namespace, action):
         return 2
 
 
+_WORKER_COLUMNS = ("id", "name", "address", "jobs", "leased",
+                   "completed", "failed", "heartbeat_age_s")
+
+
+def _print_worker_rows(workers) -> None:
+    widths = {col: len(col) for col in _WORKER_COLUMNS}
+    rows = []
+    for worker in workers:
+        row = {col: str(worker.get(col, "")) for col in _WORKER_COLUMNS}
+        for col, text in row.items():
+            widths[col] = max(widths[col], len(text))
+        rows.append(row)
+    header = "  ".join(col.ljust(widths[col])
+                       for col in _WORKER_COLUMNS)
+    print(f"  {header}")
+    for row in rows:
+        line = "  ".join(row[col].ljust(widths[col])
+                         for col in _WORKER_COLUMNS)
+        print(f"  {line}")
+
+
 def _cmd_service_stats(args: argparse.Namespace) -> int:
     def action(client) -> int:
         stats = client.stats()
         if args.json:
             print(json.dumps(stats, sort_keys=True, indent=1))
             return 0
+        workers = stats.get("workers") or []
         for name in sorted(stats):
-            if name != "type":
+            if name not in ("type", "workers"):
                 print(f"  {name:<18} {stats[name]}")
+        print(f"  {'workers':<18} {len(workers)}")
+        if workers:
+            _print_worker_rows(workers)
+        return 0
+
+    return _with_service_client(args, action)
+
+
+def _cmd_service_workers(args: argparse.Namespace) -> int:
+    def action(client) -> int:
+        workers = client.stats().get("workers") or []
+        if args.json:
+            print(json.dumps(workers, sort_keys=True, indent=1))
+            return 0
+        if not workers:
+            print("no workers registered")
+            return 0
+        _print_worker_rows(workers)
         return 0
 
     return _with_service_client(args, action)
@@ -687,10 +764,49 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--replica-batch", action="store_true",
                        help="fuse seed-only replica groups through the "
                             "vectorised replica-batch kernel")
+    serve.add_argument("--lease-timeout", type=float, default=30.0,
+                       metavar="S",
+                       help="expel a remote worker whose heartbeats "
+                            "stop for S seconds and reassign its "
+                            "leased jobs (default 30)")
+    serve.add_argument("--no-local", action="store_true",
+                       help="dispatch only to registered remote "
+                            "workers; the daemon's own pool runs "
+                            "nothing (jobs queue until a worker "
+                            "connects)")
     serve.add_argument("--quiet", action="store_true",
                        help="suppress the per-event log lines on "
                             "stderr")
     serve.set_defaults(func=_cmd_serve)
+
+    worker = sub.add_parser(
+        "worker", help="run a remote worker node: register into a "
+                       "`repro serve` daemon's pool and execute the "
+                       "sweep jobs it leases out")
+    worker.add_argument("--connect", metavar="ADDR",
+                        default=DEFAULT_SERVICE_SOCKET,
+                        help="daemon address: unix-socket path or "
+                             "host:port (default "
+                             f"{DEFAULT_SERVICE_SOCKET!r})")
+    worker.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="parallel worker processes on this node "
+                             "(default 1); the daemon leases batches "
+                             "sized to this width")
+    worker.add_argument("--replica-batch", action="store_true",
+                        help="fuse seed-only replica groups in leased "
+                             "batches through the vectorised "
+                             "replica-batch kernel")
+    worker.add_argument("--name", metavar="NAME", default=None,
+                        help="worker name shown in `repro service "
+                             "workers` (default host-pid)")
+    worker.add_argument("--timeout", type=float, default=30.0,
+                        metavar="S",
+                        help="dial/handshake timeout in seconds "
+                             "(default 30)")
+    worker.add_argument("--quiet", action="store_true",
+                        help="suppress the per-event log lines on "
+                             "stderr")
+    worker.set_defaults(func=_cmd_worker)
 
     service = sub.add_parser(
         "service", help="talk to a running `repro serve` daemon")
@@ -698,7 +814,9 @@ def build_parser() -> argparse.ArgumentParser:
                                          required=True)
     for name, func, doc in (
             ("stats", _cmd_service_stats,
-             "print the daemon's live counters"),
+             "print the daemon's live counters and worker fleet"),
+            ("workers", _cmd_service_workers,
+             "list the registered remote workers"),
             ("shutdown", _cmd_service_shutdown,
              "gracefully drain and stop the daemon")):
         sub_cmd = service_sub.add_parser(name, help=doc)
@@ -709,7 +827,7 @@ def build_parser() -> argparse.ArgumentParser:
         sub_cmd.add_argument("--timeout", type=float, default=60.0,
                              metavar="S",
                              help="socket timeout in seconds")
-        if name == "stats":
+        if name in ("stats", "workers"):
             sub_cmd.add_argument("--json", action="store_true",
                                  help="machine-readable output")
         sub_cmd.set_defaults(func=func)

@@ -664,6 +664,89 @@ def _register_packetpath_analysis_benches() -> None:
         meta={"samples": 20_000}, check=check_warmup))
 
 
+def _register_service_dispatch_benches() -> None:
+    """Daemon dispatch overhead: 64 no-op jobs through the service.
+
+    The pair isolates what each dispatch layer costs per job.
+    ``.local`` submits to an in-process daemon that executes on its
+    own pool (the ``--server`` path); ``.remote`` runs the same
+    daemon with local execution off and one registered TCP worker,
+    so every spec makes the full fleet round trip (lease → execute →
+    upload → stream).  The entry point is a no-op, so nearly all
+    measured time is protocol framing plus scheduling.  Both daemons
+    run with the cache off — a cache hit would bypass the very
+    dispatch path under measurement.
+    """
+    _JOBS = 64
+    harness: Dict[str, Any] = {}
+
+    def _noop_entry(config: Any) -> Any:
+        from repro.experiments.base import ExperimentReport
+
+        return ExperimentReport(
+            experiment_id="esvc-dispatch", title="dispatch bench",
+            data={"seed": config.seed})
+
+    def _daemon(remote: bool) -> Any:
+        import threading
+
+        from repro import experiments
+        from repro.service.daemon import ReproDaemon
+        from repro.service.worker import ReproWorker
+
+        experiments.ENTRY_POINTS.setdefault("esvc-dispatch",
+                                            _noop_entry)
+        key = "remote" if remote else "local"
+        if key not in harness:
+            daemon = ReproDaemon("127.0.0.1:0", jobs=1, quiet=True,
+                                 local_execution=not remote)
+            thread = threading.Thread(target=daemon.run, daemon=True)
+            thread.start()
+            if not daemon.wait_ready(10):
+                raise RuntimeError("bench daemon never bound")
+            if remote:
+                worker = ReproWorker(daemon.bound_address, jobs=1,
+                                     quiet=True)
+                wthread = threading.Thread(target=worker.run,
+                                           daemon=True)
+                wthread.start()
+                if not worker.wait_registered(10):
+                    raise RuntimeError(
+                        "bench worker never registered")
+            harness[key] = daemon
+        return harness[key]
+
+    def _make(remote: bool) -> Callable[[], Callable[[], Any]]:
+        def make() -> Callable[[], Any]:
+            from repro.runner.spec import RunSpec
+            from repro.service.client import execute_via_server
+
+            daemon = _daemon(remote)
+            specs = [RunSpec("esvc-dispatch", seed=seed)
+                     for seed in range(_JOBS)]
+            return lambda: execute_via_server(daemon.bound_address,
+                                              specs)
+
+        return make
+
+    def check(outcomes: Any) -> bool:
+        return (len(outcomes) == _JOBS
+                and all(o.error is None and not o.cached
+                        for o in outcomes)
+                and [o.report.data["seed"] for o in outcomes]
+                == list(range(_JOBS)))
+
+    meta = {"jobs": _JOBS, "entry": "noop"}
+    register_bench(Bench(
+        name="service.dispatch.local.64jobs", make=_make(False),
+        group="service", quick=True,
+        meta={**meta, "path": "local"}, check=check))
+    register_bench(Bench(
+        name="service.dispatch.remote.64jobs", make=_make(True),
+        group="service", quick=True,
+        meta={**meta, "path": "remote", "workers": 1}, check=check))
+
+
 def _register_all() -> None:
     _register_scheduler_benches()
     _register_engine_benches()
@@ -674,6 +757,7 @@ def _register_all() -> None:
     _register_packetpath_source_benches()
     _register_packetpath_e2e_benches()
     _register_packetpath_analysis_benches()
+    _register_service_dispatch_benches()
 
 
 _register_all()

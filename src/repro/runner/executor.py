@@ -193,6 +193,19 @@ def _group_for_batch(specs: Sequence[RunSpec],
     return [groups[key] for key in order]
 
 
+#: Flow-control constant shared by the sweep daemon's dispatch
+#: scheduler and remote workers: an executor may hold this many times
+#: its parallel width in leased-but-unsettled specs — one batch
+#: running, one queued behind it, so a fast executor never idles
+#: between leases while a slow one cannot hoard the queue.
+CREDIT_FACTOR = 2
+
+
+def credit_window(jobs: int) -> int:
+    """Max specs an executor of parallel width ``jobs`` may hold."""
+    return CREDIT_FACTOR * max(1, jobs)
+
+
 class JobRunner:
     """The execution seam: one warm pool + cache serving many batches.
 
@@ -227,6 +240,17 @@ class JobRunner:
         import threading
 
         self._lock = threading.Lock()
+
+    @property
+    def lease_size(self) -> int:
+        """Specs per dispatch batch when this runner shares a queue
+        with other executors (one full-width :func:`execute` call)."""
+        return max(1, self.jobs)
+
+    @property
+    def credit_window(self) -> int:
+        """Max specs a scheduler should hand this runner at once."""
+        return credit_window(self.jobs)
 
     def warm(self) -> None:
         """Spawn the worker fleet (and import entry points) eagerly."""
@@ -336,4 +360,5 @@ def execute(
 
 
 __all__ = ["RunOutcome", "JobRunner", "execute", "map_jobs",
-           "imap_jobs", "WorkerCrashError"]
+           "imap_jobs", "WorkerCrashError", "CREDIT_FACTOR",
+           "credit_window"]

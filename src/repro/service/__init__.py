@@ -6,9 +6,14 @@ Layering::
     session.py    per-connection accounting and backpressure
     daemon.py     ReproDaemon — asyncio server owning the shared
                   ResultCache and the warm JobRunner/worker pool,
-                  with in-flight cross-client dedup and graceful drain
+                  with in-flight cross-client dedup, a lease
+                  scheduler over the local pool + registered remote
+                  workers, and graceful drain
     client.py     ServiceClient + execute_via_server (the CLI's
                   ``--server`` routing)
+    worker.py     ReproWorker — a remote node (``repro worker``)
+                  that registers into the daemon's pool, executes
+                  leased spec batches and uploads canonical reports
 
 The daemon's contract mirrors the local runner's: a spec fully
 determines its report, so routing a sweep through the service is
@@ -22,17 +27,21 @@ from repro.service.client import (
     ServiceError,
     execute_via_server,
 )
-from repro.service.daemon import DaemonStats, ReproDaemon
+from repro.service.daemon import DaemonStats, ReproDaemon, WorkerState
 from repro.service.protocol import (
     MAX_FRAME_BYTES,
     PROTOCOL_VERSION,
     ProtocolError,
     parse_address,
 )
+from repro.service.worker import ReproWorker, WorkerError
 
 __all__ = [
     "ReproDaemon",
     "DaemonStats",
+    "WorkerState",
+    "ReproWorker",
+    "WorkerError",
     "ServiceClient",
     "ServiceError",
     "execute_via_server",

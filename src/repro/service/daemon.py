@@ -31,11 +31,26 @@ What the daemon adds over ``repro run --jobs N``:
 * **Graceful drain** — SIGTERM (or a ``shutdown`` frame) stops
   accepting work, finishes and streams everything in flight, sends
   ``bye`` to connected clients and exits 0.
+* **A worker fleet** — remote nodes (``repro worker --connect``,
+  :mod:`repro.service.worker`) register into the pool over the same
+  socket protocol.  The execution loop is a lease scheduler: queued
+  specs are leased to whichever executor (the local ``JobRunner`` or
+  a registered worker) has free credits, bounded per worker by a
+  credit window of ``CREDIT_FACTOR × jobs`` — work stealing falls out,
+  because a fast worker frees credits sooner and keeps winning leases.
+  Results upload as canonical report payloads into the one shared
+  cache, so server-vs-direct byte-identity holds with N remote nodes.
+* **Fleet fault tolerance** — workers heartbeat; a worker whose
+  connection drops (or whose heartbeats stop for longer than the
+  lease timeout — the partition case, reaped by a periodic sweep) is
+  expelled and its in-flight leases are requeued at the front of the
+  queue for another executor.  The submitting client never sees a
+  gap, only a result that took one re-execution longer.
 
-Execution itself is delegated batch-by-batch to the ``JobRunner`` in
+Local execution is delegated batch-by-batch to the ``JobRunner`` in
 a worker thread; the asyncio side never blocks on simulation work.
-Dedup and fan-out state live entirely on the event loop thread —
-results cross back in via ``call_soon_threadsafe``.
+Dedup, fan-out and lease state live entirely on the event loop
+thread — results cross back in via ``call_soon_threadsafe``.
 """
 
 from __future__ import annotations
@@ -43,16 +58,21 @@ from __future__ import annotations
 import asyncio
 import collections
 import contextlib
+import itertools
 import os
 import signal
 import sys
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Any, Deque, Dict, List, Optional, Tuple
+from typing import Any, Deque, Dict, List, Optional, Tuple, Union
 
-from repro.runner.cache import ResultCache, report_to_payload
-from repro.runner.executor import JobRunner, RunOutcome
+from repro.runner.cache import (
+    ResultCache,
+    report_from_payload,
+    report_to_payload,
+)
+from repro.runner.executor import JobRunner, RunOutcome, credit_window
 from repro.runner.spec import RunSpec
 from repro.service.protocol import (
     PROTOCOL_VERSION,
@@ -71,7 +91,7 @@ class DaemonStats:
     """Daemon-lifetime counters (the ``stats`` frame's payload)."""
 
     submitted: int = 0      # spec payloads accepted across all SUBMITs
-    executed: int = 0       # jobs that actually ran on the pool
+    executed: int = 0       # jobs that actually ran (any executor)
     cache_hits: int = 0     # jobs answered straight from the cache
     coalesced: int = 0      # subscriptions merged onto an in-flight job
     failed: int = 0         # jobs surfacing a worker-crash error
@@ -79,6 +99,11 @@ class DaemonStats:
     results_streamed: int = 0
     sessions_opened: int = 0
     protocol_errors: int = 0
+    remote_executed: int = 0       # of `executed`, ran on a remote worker
+    remote_failed: int = 0         # of `failed`, failed on a remote worker
+    workers_registered: int = 0    # register handshakes accepted, ever
+    workers_lost: int = 0          # workers expelled dirty (leases/timeout)
+    leases_reassigned: int = 0     # specs requeued off a lost worker
 
     def payload(self) -> Dict[str, Any]:
         return dict(vars(self))
@@ -94,6 +119,51 @@ class _Job:
     subscribers: List[Tuple[Submission, int]] = field(
         default_factory=list)
     started: bool = False
+
+
+@dataclass
+class WorkerState:
+    """One registered remote worker, daemon side.
+
+    ``leased`` maps spec keys to the in-flight :class:`_Job` records
+    this worker currently owes results for; its length against the
+    credit window is the whole flow-control state.
+    """
+
+    id: int
+    session: Session
+    name: str
+    address: str
+    jobs: int
+    replica_batch: bool
+    version: str
+    registered_at: float
+    last_seen: float
+    leased: Dict[str, _Job] = field(default_factory=dict)
+    completed: int = 0
+    failed: int = 0
+
+    @property
+    def credit_window(self) -> int:
+        return credit_window(self.jobs)
+
+    @property
+    def free_credits(self) -> int:
+        return self.credit_window - len(self.leased)
+
+    def stats_row(self, now: float) -> Dict[str, Any]:
+        return {
+            "id": self.id,
+            "name": self.name,
+            "address": self.address,
+            "jobs": self.jobs,
+            "replica_batch": self.replica_batch,
+            "version": self.version,
+            "leased": len(self.leased),
+            "completed": self.completed,
+            "failed": self.failed,
+            "heartbeat_age_s": round(max(0.0, now - self.last_seen), 3),
+        }
 
 
 class ReproDaemon:
@@ -112,6 +182,8 @@ class ReproDaemon:
                  high_watermark: int = 1024,
                  low_watermark: int = 512,
                  max_submit: int = 4096,
+                 lease_timeout_s: float = 30.0,
+                 local_execution: bool = True,
                  quiet: bool = False) -> None:
         self.address = address
         self._kind, self._target = parse_address(address)
@@ -122,6 +194,11 @@ class ReproDaemon:
         self.high_watermark = high_watermark
         self.low_watermark = min(low_watermark, high_watermark)
         self.max_submit = max_submit
+        if lease_timeout_s <= 0:
+            raise ValueError(
+                f"lease_timeout_s must be > 0, got {lease_timeout_s}")
+        self.lease_timeout_s = lease_timeout_s
+        self.local_execution = local_execution
         self.quiet = quiet
         self._started = time.monotonic()
         # Event-loop-side state, created inside serve().
@@ -132,6 +209,12 @@ class ReproDaemon:
         self._sessions: Dict[int, Session] = {}
         self._outboxes: Dict[int, asyncio.Queue] = {}
         self._writer_tasks: Dict[int, asyncio.Task] = {}
+        #: registered workers, keyed by their session id.
+        self._workers: Dict[int, WorkerState] = {}
+        self._worker_ids = itertools.count(1)
+        self._lease_ids = itertools.count(1)
+        self._local_busy = False
+        self._local_task: Optional[asyncio.Task] = None
         self._draining = False
         self._ready = threading.Event()
         self._exit_requested = False
@@ -228,49 +311,163 @@ class ReproDaemon:
             with contextlib.suppress(Exception):
                 await asyncio.wait_for(task, timeout=2.0)
 
-    # -- execution loop ------------------------------------------------------
+    # -- lease scheduler -----------------------------------------------------
 
     async def _execution_loop(self) -> None:
-        """Drain the dedup queue batch-by-batch onto the JobRunner."""
+        """The scheduler: lease queued specs to whoever has credits.
+
+        Every state change that could create dispatch opportunity —
+        a submit, a freed credit, a finished local batch, a lost
+        worker, a drain request — sets ``_wake``; each wake runs one
+        :meth:`_dispatch` pass and then checks the drain condition.
+        """
         assert self._wake is not None
+        reaper = asyncio.ensure_future(self._reaper_loop())
+        try:
+            while True:
+                await self._wake.wait()
+                self._wake.clear()
+                self._dispatch()
+                if (self._draining and not self._queue
+                        and not self._local_busy
+                        and not any(worker.leased
+                                    for worker in self._workers.values())):
+                    return
+        finally:
+            reaper.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await reaper
+
+    async def _reaper_loop(self) -> None:
+        """Expel workers whose heartbeats stopped (the partition
+        case — a SIGKILLed worker is caught faster, by its EOF)."""
+        interval = max(0.05, self.lease_timeout_s / 4.0)
         while True:
-            await self._wake.wait()
-            self._wake.clear()
-            batch: List[_Job] = []
-            while self._queue:
-                job = self._queue.popleft()
-                if not job.subscribers:
-                    # Every subscriber cancelled before it started.
-                    del self._jobs[job.key]
-                    self.stats.dropped += 1
+            await asyncio.sleep(interval)
+            now = time.monotonic()
+            for session_id in list(self._workers):
+                worker = self._workers[session_id]
+                age = now - worker.last_seen
+                if age > self.lease_timeout_s:
+                    self._expel_worker(
+                        session_id,
+                        f"no heartbeat for {age:.1f}s "
+                        f"(lease timeout {self.lease_timeout_s:.1f}s)",
+                        timed_out=True)
+
+    def _dispatch(self) -> None:
+        """One scheduling pass: drain the queue onto free capacity.
+
+        Per job, in order: a cache hit settles immediately; otherwise
+        the executor with the most free credits wins it (ties prefer
+        the local pool).  Jobs stay queued when nobody has capacity —
+        every ``upload`` frees a credit and re-wakes the loop.
+        """
+        local_batch: List[_Job] = []
+        planned: Dict[int, List[_Job]] = {}
+        while self._queue:
+            job = self._queue[0]
+            if not job.subscribers:
+                # Every subscriber cancelled before it started.
+                self._queue.popleft()
+                del self._jobs[job.key]
+                self.stats.dropped += 1
+                continue
+            if self.cache is not None and not job.started:
+                report = self.cache.load(job.spec)
+                if report is not None:
+                    self._queue.popleft()
+                    self._settle(RunOutcome(job.spec, report,
+                                            cached=True, elapsed_s=0.0))
                     continue
-                job.started = True
-                batch.append(job)
-            if batch:
-                specs = [job.spec for job in batch]
-                self.log(f"executing batch of {len(specs)} job(s), "
-                         f"{len(self._jobs) - len(batch)} queued behind")
-                loop = self._loop
-                assert loop is not None
+            target = self._pick_executor(len(local_batch), planned)
+            if target is None:
+                break  # no free credits anywhere; wait for an upload
+            self._queue.popleft()
+            job.started = True
+            if target == "local":
+                local_batch.append(job)
+            else:
+                planned.setdefault(target, []).append(job)
+        for session_id, jobs in planned.items():
+            self._lease(self._workers[session_id], jobs)
+        if local_batch:
+            self._start_local(local_batch)
 
-                def settle_threadsafe(outcome: RunOutcome) -> None:
-                    loop.call_soon_threadsafe(self._settle, outcome)
+    def _pick_executor(self, local_planned: int,
+                       planned: Dict[int, List[_Job]],
+                       ) -> Union[str, int, None]:
+        """``"local"``, a worker's session id, or ``None`` if every
+        executor's credit window is full for this pass."""
+        best: Union[str, int, None] = None
+        best_free = 0
+        if self.local_execution and not self._local_busy:
+            # With no fleet, the local pool takes the whole queue in
+            # one batch (the pre-fleet behaviour, which also keeps
+            # replica groups intact for --replica-batch).  With
+            # workers registered, it is window-bounded like them so
+            # there is work left for the fleet to steal.
+            capacity = (self._runner.credit_window if self._workers
+                        else len(self._queue) + local_planned)
+            free = capacity - local_planned
+            if free > 0:
+                best, best_free = "local", free
+        for session_id, worker in self._workers.items():
+            free = worker.free_credits - len(planned.get(session_id, ()))
+            if free > best_free:
+                best, best_free = session_id, free
+        return best
 
-                try:
-                    await asyncio.to_thread(self._runner.run, specs,
-                                            settle_threadsafe)
-                except Exception as exc:  # noqa: BLE001
-                    # An ordinary exception raised by a job aborts the
-                    # rest of its batch inside execute() (that is the
-                    # local-runner contract: the raise surfaces at the
-                    # failing job).  A daemon must outlive it: every
-                    # job the batch did not settle fails visibly to
-                    # its subscribers, and the service keeps serving.
-                    self.log(f"batch aborted by a job exception: "
-                             f"{type(exc).__name__}: {exc}")
-                    self._fail_unsettled(batch, str(exc))
-            if self._draining and not self._queue:
-                return
+    def _lease(self, worker: WorkerState, jobs: List[_Job]) -> None:
+        """Post ``jobs`` to a worker, one lease frame per full-width
+        chunk so each lease runs at the worker's full parallelism."""
+        for start in range(0, len(jobs), worker.jobs):
+            chunk = jobs[start:start + worker.jobs]
+            lease_id = f"L{next(self._lease_ids)}"
+            for job in chunk:
+                worker.leased[job.key] = job
+            self._post(worker.session, {
+                "type": "lease",
+                "lease_id": lease_id,
+                "specs": [job.spec.canonical() for job in chunk],
+            })
+            self.log(f"leased {len(chunk)} job(s) to worker "
+                     f"{worker.id} as {lease_id} "
+                     f"({len(worker.leased)}/{worker.credit_window} "
+                     f"credits used)")
+
+    def _start_local(self, batch: List[_Job]) -> None:
+        """Run one batch on the local JobRunner in a worker thread."""
+        self._local_busy = True
+        specs = [job.spec for job in batch]
+        self.log(f"executing {len(specs)} job(s) on the local pool, "
+                 f"{len(self._queue)} queued behind")
+        loop = self._loop
+        assert loop is not None
+
+        def settle_threadsafe(outcome: RunOutcome) -> None:
+            loop.call_soon_threadsafe(self._settle, outcome)
+
+        async def run_batch() -> None:
+            try:
+                await asyncio.to_thread(self._runner.run, specs,
+                                        settle_threadsafe)
+            except Exception as exc:  # noqa: BLE001
+                # An ordinary exception raised by a job aborts the
+                # rest of its batch inside execute() (that is the
+                # local-runner contract: the raise surfaces at the
+                # failing job).  A daemon must outlive it: every
+                # job the batch did not settle fails visibly to
+                # its subscribers, and the service keeps serving.
+                self.log(f"batch aborted by a job exception: "
+                         f"{type(exc).__name__}: {exc}")
+                self._fail_unsettled(batch, str(exc))
+            finally:
+                self._local_busy = False
+                assert self._wake is not None
+                self._wake.set()
+
+        self._local_task = asyncio.ensure_future(run_batch())
 
     def _enqueue(self, spec: RunSpec, submission: Submission,
                  index: int) -> None:
@@ -303,17 +500,24 @@ class ReproDaemon:
             self._settle(RunOutcome(job.spec, report, cached=False,
                                     elapsed_s=0.0, error=error))
 
-    def _settle(self, outcome: RunOutcome) -> None:
+    def _settle(self, outcome: RunOutcome,
+                worker: Optional[WorkerState] = None) -> None:
         """Fan one finished job's result out to every subscriber."""
         job = self._jobs.pop(outcome.spec.key(), None)
         if job is None:  # pragma: no cover — defensive
             return
         if outcome.error is not None:
             self.stats.failed += 1
+            if worker is not None:
+                worker.failed += 1
+                self.stats.remote_failed += 1
         elif outcome.cached:
             self.stats.cache_hits += 1
         else:
             self.stats.executed += 1
+            if worker is not None:
+                worker.completed += 1
+                self.stats.remote_executed += 1
         report_payload = report_to_payload(outcome.report)
         for submission, index in job.subscribers:
             if submission.cancelled:
@@ -345,6 +549,147 @@ class ReproDaemon:
                     "failed": submission.failed,
                 })
 
+    # -- worker fleet --------------------------------------------------------
+
+    def _expel_worker(self, session_id: int, reason: str, *,
+                      timed_out: bool = False) -> None:
+        """Forget a worker; requeue whatever it still owed us.
+
+        Requeued jobs go to the *front* of the queue (``started`` is
+        reset so the cache re-checks them — the dead worker may have
+        uploaded some results already).  The submitting client never
+        learns any of this happened.
+        """
+        worker = self._workers.pop(session_id, None)
+        if worker is None:
+            return
+        reassigned = len(worker.leased)
+        for job in reversed(list(worker.leased.values())):
+            job.started = False
+            self._queue.appendleft(job)
+        worker.leased.clear()
+        if reassigned or timed_out:
+            self.stats.workers_lost += 1
+            self.stats.leases_reassigned += reassigned
+            self.log(f"worker {worker.id} ({worker.name}) lost "
+                     f"({reason}); {reassigned} lease(s) reassigned")
+        else:
+            self.log(f"worker {worker.id} ({worker.name}) left "
+                     f"({reason})")
+        if timed_out:
+            # The reaper path: the connection is still nominally open
+            # (a partitioned peer), so break its blocked reader.  On
+            # the disconnect path the reader already returned, and
+            # closing here would race the writer loop out of flushing
+            # a final error frame.
+            with contextlib.suppress(Exception):
+                worker.session.writer.close()
+        if self._wake is not None:
+            self._wake.set()
+
+    def _handle_upload(self, worker: WorkerState,
+                       frame: Dict[str, Any]) -> None:
+        """One leased spec's result came back from a worker."""
+        key = frame.get("key")
+        job = worker.leased.get(key) if isinstance(key, str) else None
+        if job is None:
+            raise ProtocolError(
+                "bad-upload",
+                f"upload for a key this worker does not hold: {key!r}")
+        error = frame.get("error")
+        if error is not None and not isinstance(error, str):
+            raise ProtocolError(
+                "bad-upload", "upload 'error' must be null or a string")
+        elapsed = frame.get("elapsed_s", 0.0)
+        if isinstance(elapsed, bool) or \
+                not isinstance(elapsed, (int, float)):
+            raise ProtocolError(
+                "bad-upload", "upload 'elapsed_s' must be a number")
+        payload = frame.get("report")
+        if not isinstance(payload, dict):
+            raise ProtocolError(
+                "bad-upload", "upload 'report' must be an object")
+        try:
+            report = report_from_payload(payload)
+        except (KeyError, TypeError, AttributeError, ValueError) as exc:
+            raise ProtocolError(
+                "bad-upload",
+                f"malformed report payload for {key}: {exc}") from exc
+        del worker.leased[key]
+        if error is None and self.cache is not None:
+            self.cache.store(job.spec, report)
+        self._settle(RunOutcome(job.spec, report, cached=False,
+                                elapsed_s=float(elapsed), error=error),
+                     worker=worker)
+        assert self._wake is not None
+        self._wake.set()  # a credit came free — dispatch again
+
+    async def _worker_loop(self, session: Session,
+                           reader: asyncio.StreamReader,
+                           register: Dict[str, Any]) -> None:
+        """One registered worker's connection: leases out, uploads in."""
+        version = register.get("version")
+        if version != PROTOCOL_VERSION:
+            raise ProtocolError(
+                "version-mismatch",
+                f"worker speaks protocol {version!r}, "
+                f"server speaks {PROTOCOL_VERSION}")
+        if self._draining:
+            self._post(session, error_frame(
+                "draining",
+                "daemon is shutting down and not registering workers"))
+            return
+        jobs = register.get("jobs", 1)
+        if isinstance(jobs, bool) or not isinstance(jobs, int) \
+                or not 1 <= jobs <= 4096:
+            raise ProtocolError(
+                "bad-register",
+                f"register frame needs an integer 'jobs' in "
+                f"[1, 4096], got {jobs!r}")
+        name = register.get("name")
+        if not isinstance(name, str) or not name:
+            name = session.peer
+        now = time.monotonic()
+        worker = WorkerState(
+            id=next(self._worker_ids), session=session, name=name,
+            address=session.peer, jobs=jobs,
+            replica_batch=bool(register.get("replica_batch")),
+            version=str(register.get("repro") or "unknown"),
+            registered_at=now, last_seen=now)
+        self._workers[session.id] = worker
+        self.stats.workers_registered += 1
+        self._post(session, {
+            "type": "registered",
+            "worker_id": worker.id,
+            "heartbeat_interval_s": max(0.05,
+                                        self.lease_timeout_s / 3.0),
+            "lease_timeout_s": self.lease_timeout_s,
+            "credit_window": worker.credit_window,
+        })
+        self.log(f"worker {worker.id} registered: {name} "
+                 f"(jobs={jobs}, repro {worker.version}) — "
+                 f"fleet size {len(self._workers)}")
+        assert self._wake is not None
+        self._wake.set()  # fresh capacity — dispatch
+        while True:
+            frame = await read_frame_async(reader)
+            if frame is None:
+                return
+            worker.last_seen = time.monotonic()
+            kind = frame["type"]
+            if kind == "heartbeat":
+                continue
+            elif kind == "upload":
+                self._handle_upload(worker, frame)
+            elif kind == "register":
+                raise ProtocolError("bad-handshake",
+                                    "duplicate register frame")
+            else:
+                self._post(session, error_frame(
+                    "unknown-type",
+                    f"unknown frame type {kind!r} on a worker "
+                    "connection"))
+
     # -- per-connection protocol ---------------------------------------------
 
     def _post(self, session: Session, frame: Dict[str, Any]) -> None:
@@ -375,6 +720,8 @@ class ReproDaemon:
     async def _handle_connection(self, reader: asyncio.StreamReader,
                                  writer: asyncio.StreamWriter) -> None:
         peername = writer.get_extra_info("peername")
+        if isinstance(peername, (tuple, list)) and len(peername) >= 2:
+            peername = f"{peername[0]}:{peername[1]}"
         session = Session(writer=writer, peer=str(peername or "local"),
                           high_watermark=self.high_watermark,
                           low_watermark=self.low_watermark)
@@ -409,7 +756,13 @@ class ReproDaemon:
         In-flight *executions* are not interrupted — their results
         land in the shared cache, which is exactly what makes a
         reconnecting client resume for free.
+
+        A worker session is the inverse: the daemon owes its *leases*
+        to other sessions' clients, so they are requeued for another
+        executor instead of forgotten.
         """
+        if session.id in self._workers:
+            self._expel_worker(session.id, "disconnected")
         session.closed = True
         for submission in list(session.submissions.values()):
             submission.cancelled = True
@@ -425,10 +778,14 @@ class ReproDaemon:
         first = await read_frame_async(reader)
         if first is None:
             return
+        if first.get("type") == "register":
+            await self._worker_loop(session, reader, first)
+            return
         if first.get("type") != "hello":
             raise ProtocolError(
                 "bad-handshake",
-                f"expected a hello frame, got {first.get('type')!r}")
+                f"expected a hello or register frame, got "
+                f"{first.get('type')!r}")
         if first.get("version") != PROTOCOL_VERSION:
             raise ProtocolError(
                 "version-mismatch",
@@ -440,6 +797,7 @@ class ReproDaemon:
             "server": "repro-serve",
             "jobs": self._runner.jobs,
             "cache": self.cache is not None,
+            "workers": len(self._workers),
         })
         while True:
             await session.throttle()  # backpressure: stop reading
@@ -541,6 +899,7 @@ class ReproDaemon:
         })
 
     def _stats_frame(self) -> Dict[str, Any]:
+        now = time.monotonic()
         payload = self.stats.payload()
         payload.update({
             "type": "stats",
@@ -550,10 +909,17 @@ class ReproDaemon:
             "queued": len(self._queue),
             "sessions": len(self._sessions),
             "draining": self._draining,
-            "uptime_s": time.monotonic() - self._started,
+            "uptime_s": now - self._started,
             "cache": self.cache is not None,
+            "local_execution": self.local_execution,
+            "lease_timeout_s": self.lease_timeout_s,
+            "workers": [
+                worker.stats_row(now)
+                for worker in sorted(self._workers.values(),
+                                     key=lambda w: w.id)
+            ],
         })
         return payload
 
 
-__all__ = ["ReproDaemon", "DaemonStats"]
+__all__ = ["ReproDaemon", "DaemonStats", "WorkerState"]

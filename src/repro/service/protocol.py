@@ -22,9 +22,31 @@ Conversation shape (client first)::
     -> {"type": "cancel", "submit_id": "s1"}     # any time
     <- {"type": "cancelled", "submit_id": "s1", "detached": k}
     -> {"type": "stats"}
-    <- {"type": "stats", ...counters...}
+    <- {"type": "stats", ...counters..., "workers": [...]}
     -> {"type": "shutdown"}
     <- {"type": "bye"}                           # after the drain
+
+Conversation shape (worker first) — a remote worker node dials the
+same listener but opens with ``register`` instead of ``hello``, then
+*receives* work instead of submitting it::
+
+    -> {"type": "register", "version": 1, "jobs": N,
+        "replica_batch": bool, "repro": "<version>", "name": ...}
+    <- {"type": "registered", "worker_id": W,
+        "heartbeat_interval_s": h, "lease_timeout_s": t,
+        "credit_window": c}
+    <- {"type": "lease", "lease_id": "L7", "specs": [<canonical>...]}
+    -> {"type": "upload", "lease_id": "L7", "key": ..., "elapsed_s": t,
+        "error": null | str, "report": {<report payload>}}  # per spec
+    -> {"type": "heartbeat"}                     # every h seconds
+    <- {"type": "bye"}                           # on daemon drain
+
+The daemon leases at most ``credit_window`` specs to a worker at a
+time (``CREDIT_FACTOR`` × its parallel width — one batch running, one
+queued behind it); every ``upload`` frees a credit.  A worker whose
+connection drops, or whose heartbeats stop for longer than the lease
+timeout, is expelled and its leased specs are silently reassigned to
+another executor — the submitting client never sees the gap.
 
 Any protocol violation is answered with
 ``{"type": "error", "code": ..., "message": ...}`` and — for framing
@@ -225,6 +247,21 @@ def hello_frame() -> Dict[str, Any]:
     return {"type": "hello", "version": PROTOCOL_VERSION}
 
 
+def register_frame(*, jobs: int, replica_batch: bool,
+                   name: str) -> Dict[str, Any]:
+    """A worker's opening frame: protocol version + capabilities."""
+    from repro import __version__
+
+    return {
+        "type": "register",
+        "version": PROTOCOL_VERSION,
+        "jobs": jobs,
+        "replica_batch": replica_batch,
+        "repro": __version__,
+        "name": name,
+    }
+
+
 def error_frame(code: str, message: str) -> Dict[str, Any]:
     return {"type": "error", "code": code, "message": message}
 
@@ -242,5 +279,6 @@ __all__ = [
     "parse_address",
     "connect",
     "hello_frame",
+    "register_frame",
     "error_frame",
 ]

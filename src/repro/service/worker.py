@@ -1,0 +1,298 @@
+"""Remote worker node: ``repro worker --connect ADDR``.
+
+A :class:`ReproWorker` is the other half of the fleet protocol the
+daemon's lease scheduler speaks (see :mod:`repro.service.protocol`):
+it dials a ``repro serve`` daemon, registers with a capability payload
+(parallel width, replica-batch support, repro version), then sits in a
+pull loop — the daemon leases it batches of canonical ``RunSpec``
+payloads sized to its width, it executes them on its own local
+:class:`~repro.runner.executor.JobRunner`, and uploads one canonical
+report payload per spec as each settles.
+
+Design points:
+
+* **Byte-identity is inherited, not re-proven.**  A spec fully
+  determines its report and uploads reuse the canonical payload form
+  of :mod:`repro.runner.cache`, so results are indistinguishable from
+  local execution no matter which node ran them.
+* **Crash isolation is inherited too.**  The runner's warm-worker
+  pool already turns a segfaulting job into a FAIL-row outcome
+  (``WorkerCrashError`` semantics); an ordinary entry-point exception
+  aborts only the rest of its own lease, whose unsettled specs are
+  uploaded as error rows — the worker process survives both.
+* **Liveness is a background heartbeat thread**, so a long-running
+  lease does not look like a death.  The daemon picks the interval
+  (a third of its lease timeout) and tells us at registration.
+  Socket writes (uploads from the lease loop, heartbeats from the
+  thread) share one lock; frames are atomic under it.
+* **A dead daemon is handled like a dead server anywhere else** —
+  the CLI maps a failed dial or a version-mismatch handshake to exit
+  code 2 with a one-line error, and a connection lost mid-service to
+  exit code 1.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import sys
+import threading
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.experiments.base import ExperimentReport
+from repro.runner.cache import report_to_payload
+from repro.runner.executor import JobRunner, RunOutcome
+from repro.runner.spec import RunSpec
+from repro.service.protocol import (
+    ProtocolError,
+    connect,
+    read_frame,
+    register_frame,
+    write_frame,
+)
+
+
+class WorkerError(RuntimeError):
+    """Registration or service failed in a way the worker reports
+    with one line and an exit code (see ``repro worker``)."""
+
+
+class ReproWorker:
+    """One remote execution node for a ``repro serve`` daemon.
+
+    Construct, then call :meth:`run` (blocking; the CLI path) or hand
+    :meth:`run` to a thread and use :meth:`wait_registered` /
+    :meth:`stop` (tests and benches).  ``run`` returns the process
+    exit code: 0 after a clean ``bye`` or :meth:`stop`, 1 when the
+    daemon vanishes mid-service; a daemon that cannot be dialed or
+    refuses registration raises (``OSError`` / :class:`WorkerError`)
+    so the CLI can map both to exit code 2.
+    """
+
+    def __init__(self, address: str, *, jobs: int = 1,
+                 replica_batch: bool = False,
+                 name: Optional[str] = None,
+                 timeout: float = 30.0,
+                 quiet: bool = False) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.address = address
+        self.jobs = jobs
+        self.replica_batch = replica_batch
+        self.name = name or f"{socket.gethostname()}-{os.getpid()}"
+        self.timeout = timeout
+        self.quiet = quiet
+        self._runner = JobRunner(jobs=jobs, replica_batch=replica_batch)
+        self._sock: Optional[socket.socket] = None
+        self._send_lock = threading.Lock()
+        self._registered = threading.Event()
+        self._stopping = False
+        self.worker_id: Optional[int] = None
+        self.heartbeat_interval_s = 5.0
+        self.leases_run = 0
+        self.specs_completed = 0
+        self.specs_failed = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def log(self, message: str) -> None:
+        if not self.quiet:
+            print(f"[repro-worker] {message}", file=sys.stderr,
+                  flush=True)
+
+    def wait_registered(self, timeout: float = 10.0) -> bool:
+        """Block until the handshake completed (thread-mode tests)."""
+        return self._registered.wait(timeout)
+
+    def stop(self) -> None:
+        """Thread-safe clean-stop request: closes the socket, which
+        pops the serve loop out of its blocking read with exit 0."""
+        self._stopping = True
+        sock = self._sock
+        if sock is not None:
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    def run(self) -> int:
+        """Warm, dial, register, then serve leases until told to stop.
+
+        Raises ``OSError`` (daemon unreachable) or :class:`WorkerError`
+        (registration refused) before any work is accepted; after
+        that, returns an exit code instead of raising.
+        """
+        self._runner.warm()  # fork workers before any threads exist
+        self._connect()
+        heartbeat = threading.Thread(target=self._heartbeat_loop,
+                                     name="repro-worker-heartbeat",
+                                     daemon=True)
+        heartbeat.start()
+        try:
+            return self._serve()
+        except (ProtocolError, OSError) as exc:
+            # An upload failed mid-lease: the daemon is gone (it will
+            # have reassigned our leases the moment the socket died).
+            if self._stopping:
+                return 0
+            self.log(f"connection to {self.address} lost: {exc}")
+            return 1
+        finally:
+            self._stopping = True
+            self.stop()
+
+    # -- the fleet protocol, worker side -------------------------------------
+
+    def _connect(self) -> None:
+        self._sock = connect(self.address, timeout=self.timeout)
+        self._send(register_frame(jobs=self.jobs,
+                                  replica_batch=self.replica_batch,
+                                  name=self.name))
+        reply = read_frame(self._sock)
+        if reply is None:
+            raise WorkerError(
+                "server closed the connection during registration")
+        if reply.get("type") == "error":
+            raise WorkerError(
+                f"registration refused [{reply.get('code')}]: "
+                f"{reply.get('message')}")
+        if reply.get("type") != "registered":
+            raise WorkerError(
+                f"expected a registered frame, got "
+                f"{reply.get('type')!r}")
+        self.worker_id = reply.get("worker_id")
+        interval = reply.get("heartbeat_interval_s")
+        if isinstance(interval, (int, float)) and interval > 0:
+            self.heartbeat_interval_s = float(interval)
+        # Leases can be minutes apart on a busy fleet; only our own
+        # outbound heartbeats are time-bounded.
+        self._sock.settimeout(None)
+        self._registered.set()
+        self.log(f"registered with {self.address} as worker "
+                 f"{self.worker_id} (jobs={self.jobs})")
+
+    def _send(self, frame: Dict[str, Any]) -> None:
+        sock = self._sock
+        if sock is None:
+            raise OSError("worker socket is closed")
+        with self._send_lock:
+            write_frame(sock, frame)
+
+    def _heartbeat_loop(self) -> None:
+        while not self._stopping:
+            time.sleep(self.heartbeat_interval_s)
+            if self._stopping:
+                return
+            try:
+                self._send({"type": "heartbeat"})
+            except OSError:
+                return  # the serve loop surfaces the dead connection
+
+    def _serve(self) -> int:
+        assert self._sock is not None
+        while True:
+            try:
+                frame = read_frame(self._sock)
+            except (ProtocolError, OSError) as exc:
+                if self._stopping:
+                    return 0
+                self.log(f"connection to {self.address} lost: {exc}")
+                return 1
+            if frame is None:
+                if self._stopping:
+                    return 0
+                self.log(f"{self.address} closed the connection "
+                         "without a bye")
+                return 1
+            kind = frame.get("type")
+            if kind == "lease":
+                self._run_lease(frame)
+            elif kind == "bye":
+                self.log(f"daemon said bye after {self.leases_run} "
+                         f"lease(s) ({self.specs_completed} ok, "
+                         f"{self.specs_failed} failed); exiting")
+                return 0
+            elif kind == "error":
+                self.log(f"daemon error [{frame.get('code')}]: "
+                         f"{frame.get('message')}")
+                return 1
+            # anything else: ignore — forward-compatible
+
+    def _run_lease(self, frame: Dict[str, Any]) -> None:
+        """Execute one leased batch, uploading results as they settle.
+
+        The daemon only ever leases well-formed canonical specs; if
+        this one did not, the stream cannot be trusted and the raise
+        below drops the connection (the daemon reassigns the lease).
+        """
+        lease_id = frame.get("lease_id")
+        payloads = frame.get("specs")
+        if not isinstance(payloads, list) or not payloads:
+            raise ProtocolError(
+                "bad-lease",
+                f"lease {lease_id!r} carries no spec list")
+        try:
+            specs = [RunSpec.from_canonical(payload)
+                     for payload in payloads]
+        except (KeyError, TypeError, AttributeError) as exc:
+            raise ProtocolError(
+                "bad-lease",
+                f"lease {lease_id!r} carries a malformed spec: "
+                f"{exc}") from exc
+        self.leases_run += 1
+        self.log(f"lease {lease_id}: {len(specs)} job(s)")
+        uploaded = set()
+
+        def upload(outcome: RunOutcome) -> None:
+            self._upload(lease_id, outcome)
+            uploaded.add(outcome.spec.key())
+
+        try:
+            self._runner.run(specs, on_outcome=upload)
+        except (ProtocolError, OSError):
+            raise  # the connection itself failed mid-upload
+        except Exception as exc:  # noqa: BLE001
+            # Same contract as the daemon's local batches: an ordinary
+            # entry-point exception aborts the rest of *this lease*
+            # inside execute(); every unsettled spec fails visibly and
+            # the worker keeps serving.
+            self.log(f"lease {lease_id} aborted by a job exception: "
+                     f"{type(exc).__name__}: {exc}")
+            self._fail_rest(lease_id, specs, uploaded, str(exc))
+
+    def _upload(self, lease_id: Any, outcome: RunOutcome) -> None:
+        if outcome.error is None:
+            self.specs_completed += 1
+        else:
+            self.specs_failed += 1
+        self._send({
+            "type": "upload",
+            "lease_id": lease_id,
+            "key": outcome.spec.key(),
+            "elapsed_s": outcome.elapsed_s,
+            "error": outcome.error,
+            "report": report_to_payload(outcome.report),
+        })
+
+    def _fail_rest(self, lease_id: Any, specs: List[RunSpec],
+                   uploaded: set, message: str) -> None:
+        for spec in specs:
+            key = spec.key()
+            if key in uploaded:
+                continue
+            error = f"{key}: {message}"
+            report = ExperimentReport(
+                experiment_id=spec.experiment_id,
+                title="job failed — exception in the entry point",
+                warnings=[error])
+            self._upload(lease_id, RunOutcome(
+                spec, report, cached=False, elapsed_s=0.0,
+                error=error))
+
+
+__all__ = ["ReproWorker", "WorkerError"]

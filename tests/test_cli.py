@@ -244,3 +244,149 @@ class TestServiceCommands:
         err = capsys.readouterr().err
         assert "--jobs" in err and "--cache-dir" in err
         assert "daemon-side" in err
+
+
+class TestWorkerCommand:
+    def test_worker_parser_defaults(self):
+        args = build_parser().parse_args(["worker"])
+        assert args.connect == ".repro-serve.sock"
+        assert args.jobs == 1
+        assert args.replica_batch is False
+        assert args.name is None
+
+    def test_serve_fleet_parser_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.lease_timeout == 30.0
+        assert args.no_local is False
+
+    def test_worker_rejects_bad_jobs(self, capsys):
+        assert main(["worker", "--jobs", "0"]) == 2
+        assert "--jobs" in capsys.readouterr().err
+
+    def test_worker_rejects_bad_address(self, capsys):
+        assert main(["worker", "--connect", "not-an-address"]) == 2
+        assert "bad service address" in capsys.readouterr().err
+
+    def test_worker_unreachable_daemon_exits_2(self, tmp_path,
+                                               capsys):
+        code = main(["worker", "--connect",
+                     str(tmp_path / "nobody.sock"), "--quiet"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "--connect" in err
+        assert len(err.strip().splitlines()) == 1
+
+    def _daemon(self, tmp_path, **kwargs):
+        import threading
+
+        from repro.service import ReproDaemon
+
+        kwargs.setdefault("jobs", 1)
+        kwargs.setdefault("quiet", True)
+        kwargs.setdefault("cache_dir", str(tmp_path / "cache"))
+        daemon = ReproDaemon("127.0.0.1:0", **kwargs)
+        thread = threading.Thread(target=daemon.run, daemon=True)
+        thread.start()
+        assert daemon.wait_ready(10)
+        return daemon, thread
+
+    def test_worker_version_mismatch_exits_2_with_both_versions(
+            self, tmp_path, capsys, monkeypatch):
+        from repro.service.protocol import PROTOCOL_VERSION
+
+        daemon, thread = self._daemon(tmp_path)
+        try:
+            monkeypatch.setattr(
+                "repro.service.protocol.PROTOCOL_VERSION", 999)
+            code = main(["worker", "--connect",
+                         daemon.bound_address, "--quiet"])
+            assert code == 2
+            err = capsys.readouterr().err
+            assert "999" in err
+            assert str(PROTOCOL_VERSION) in err
+        finally:
+            daemon.request_shutdown()
+            thread.join(timeout=15)
+        assert not thread.is_alive()
+
+    def test_service_workers_lists_fleet(self, tmp_path, capsys):
+        import threading
+
+        from repro.service.worker import ReproWorker
+
+        daemon, thread = self._daemon(tmp_path)
+        worker = ReproWorker(daemon.bound_address, jobs=2,
+                             name="cli-node", quiet=True)
+        wthread = threading.Thread(target=worker.run, daemon=True)
+        wthread.start()
+        try:
+            assert worker.wait_registered(10)
+            assert main(["service", "workers", "--server",
+                         daemon.bound_address]) == 0
+            out = capsys.readouterr().out
+            assert "cli-node" in out
+            assert main(["service", "workers", "--server",
+                         daemon.bound_address, "--json"]) == 0
+            rows = json.loads(capsys.readouterr().out)
+            assert rows[0]["name"] == "cli-node"
+            assert rows[0]["jobs"] == 2
+            assert main(["service", "stats", "--server",
+                         daemon.bound_address]) == 0
+            stats_out = capsys.readouterr().out
+            assert "cli-node" in stats_out
+            assert "workers_registered" in stats_out
+        finally:
+            daemon.request_shutdown()
+            wthread.join(timeout=15)
+            thread.join(timeout=15)
+        assert not thread.is_alive() and not wthread.is_alive()
+
+    def test_service_workers_empty_fleet(self, tmp_path, capsys):
+        daemon, thread = self._daemon(tmp_path)
+        try:
+            assert main(["service", "workers", "--server",
+                         daemon.bound_address]) == 0
+            assert "no workers registered" in capsys.readouterr().out
+        finally:
+            daemon.request_shutdown()
+            thread.join(timeout=15)
+        assert not thread.is_alive()
+
+    def test_sweep_via_fleet_matches_direct(self, tmp_path, capsys):
+        import threading
+
+        from repro.service.worker import ReproWorker
+
+        # The CLI-level acceptance path: a sweep routed through a
+        # daemon whose only executors are two remote TCP workers is
+        # byte-identical to direct local execution.
+        daemon, thread = self._daemon(tmp_path, local_execution=False)
+        workers = []
+        for _ in range(2):
+            worker = ReproWorker(daemon.bound_address, jobs=1,
+                                 quiet=True)
+            wthread = threading.Thread(target=worker.run, daemon=True)
+            wthread.start()
+            assert worker.wait_registered(10)
+            workers.append((worker, wthread))
+        try:
+            fleet_json = tmp_path / "fleet.json"
+            direct_json = tmp_path / "direct.json"
+            assert main(["sweep", "e4", "--quick", "--replicas", "3",
+                         "--server", daemon.bound_address,
+                         "--json-out", str(fleet_json)]) == 0
+            assert main(["sweep", "e4", "--quick", "--replicas", "3",
+                         "--json-out", str(direct_json)]) == 0
+            capsys.readouterr()
+            fleet = json.loads(fleet_json.read_text())
+            direct = json.loads(direct_json.read_text())
+            assert fleet["reports"] == direct["reports"]
+            assert fleet["manifest"]["executed"] == 3
+            assert all(entry["error"] is None
+                       for entry in fleet["manifest"]["entries"])
+        finally:
+            daemon.request_shutdown()
+            for worker, wthread in workers:
+                wthread.join(timeout=15)
+            thread.join(timeout=15)
+        assert not thread.is_alive()

@@ -44,6 +44,16 @@ class TestRegistry:
         assert "fabric.islip1.uniform.n64.vector" in quick
         assert "fabric.islip1.uniform.n64.reference" in quick
 
+    def test_dispatch_pair_registered(self):
+        # The fleet-dispatch pair prices the service round-trip: the
+        # same 64 no-op jobs through a local-execution daemon vs one
+        # remote worker.  Both halves ride in the quick (CI) subset.
+        quick = set(bench_names(quick=True))
+        assert "service.dispatch.local.64jobs" in quick
+        assert "service.dispatch.remote.64jobs" in quick
+        assert get_bench("service.dispatch.remote.64jobs").group == \
+            "service"
+
     def test_pattern_filter(self):
         assert all("islip" in name
                    for name in bench_names(pattern="islip"))
@@ -266,3 +276,9 @@ class TestPerfCli:
         assert speedups.get("fabric.islip1.uniform.n64", 0.0) >= 5.0
         assert speedups.get("sweep.fabric.uniform.n64", 0.0) >= 3.0
         assert speedups.get("packetpath.e2e.e4.n128", 0.0) >= 3.0
+        # PR 7 prices fleet dispatch rather than claiming a speedup:
+        # the committed record must carry both halves of the pair so
+        # the overhead trajectory stays comparable across revisions.
+        names = {result.name for result in record.results}
+        assert "service.dispatch.local.64jobs" in names
+        assert "service.dispatch.remote.64jobs" in names

@@ -36,8 +36,10 @@ from repro.service.protocol import (
     encode_frame,
     hello_frame,
     read_frame,
+    register_frame,
     write_frame,
 )
+from repro.service.worker import ReproWorker, WorkerError
 
 
 class TestFraming:
@@ -536,6 +538,323 @@ class TestJobRunnerSeam:
             thread.join(timeout=30)
         assert len(results) == 3
         assert sum(fake_experiment.calls.values()) == 3
+
+
+class _WorkerHandle:
+    """A ReproWorker on a thread, with its exit code captured."""
+
+    def __init__(self, worker: ReproWorker):
+        self.worker = worker
+        self.exit_codes = []
+        self.thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self):
+        self.exit_codes.append(self.worker.run())
+
+    def kill(self):
+        """Abrupt death: the socket just closes mid-conversation,
+        exactly what the daemon sees from a SIGKILLed process."""
+        self.worker.stop()
+
+
+@pytest.fixture
+def start_worker():
+    """Factory: a live in-process worker thread dialed at an address
+    (in-process so it shares monkeypatched entry points)."""
+    running = []
+
+    def start(address, **kwargs):
+        kwargs.setdefault("jobs", 1)
+        kwargs.setdefault("quiet", True)
+        handle = _WorkerHandle(ReproWorker(address, **kwargs))
+        handle.thread.start()
+        assert handle.worker.wait_registered(10), \
+            "worker never registered"
+        running.append(handle)
+        return handle
+
+    yield start
+    for handle in running:
+        handle.worker.stop()
+        handle.thread.join(timeout=15)
+        assert not handle.thread.is_alive(), "worker failed to stop"
+
+
+def _wait_until(predicate, timeout=10.0, what="condition"):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(0.01)
+    raise AssertionError(f"timed out waiting for {what}")
+
+
+class TestWorkerFleet:
+    def test_register_and_stats_rows(self, start_daemon,
+                                     start_worker):
+        daemon = start_daemon()
+        start_worker(daemon.bound_address, jobs=2, name="nodeA")
+        sock = _handshake(daemon.bound_address)
+        write_frame(sock, {"type": "stats"})
+        stats = read_frame(sock)
+        assert stats["workers_registered"] == 1
+        (row,) = stats["workers"]
+        assert row["name"] == "nodeA"
+        assert row["jobs"] == 2
+        assert row["leased"] == 0
+        assert row["completed"] == 0
+        assert row["heartbeat_age_s"] >= 0.0
+        assert row["address"]
+        sock.close()
+
+    def test_remote_only_execution(self, start_daemon, start_worker,
+                                   fake_experiment):
+        daemon = start_daemon(local_execution=False)
+        start_worker(daemon.bound_address)
+        specs = [fake_experiment.spec(seed) for seed in range(4)]
+        outcomes = execute_via_server(daemon.bound_address, specs)
+        assert [o.report.data["seed"] for o in outcomes] == [0, 1, 2, 3]
+        assert all(o.error is None and not o.cached for o in outcomes)
+        assert daemon.stats.remote_executed == 4
+        assert daemon.stats.executed == 4
+        assert sum(fake_experiment.calls.values()) == 4
+
+    def test_remote_byte_identity_real_experiment(
+            self, start_daemon, start_worker, tmp_path):
+        # The acceptance property with the fleet in the path: a spec
+        # executed on a remote worker produces the byte-identical
+        # canonical report payload of local execute().
+        daemon = start_daemon(local_execution=False,
+                              cache_dir=str(tmp_path / "fleet"))
+        start_worker(daemon.bound_address)
+        specs = [RunSpec("e4", quick=True)]
+        via_fleet = execute_via_server(daemon.bound_address, specs)
+        local = execute(specs, jobs=1)
+        assert report_to_payload(via_fleet[0].report) == \
+            report_to_payload(local[0].report)
+        assert daemon.stats.remote_executed == 1
+        # ... and the upload landed in the daemon's shared cache.
+        again = execute_via_server(daemon.bound_address, specs)
+        assert again[0].cached
+
+    def test_worker_death_mid_lease_reassigned(
+            self, start_daemon, start_worker, fake_experiment):
+        fake_experiment.gate.clear()
+        daemon = start_daemon(local_execution=False)
+        first = start_worker(daemon.bound_address)
+        specs = [fake_experiment.spec(seed) for seed in range(2)]
+        results = []
+        client = threading.Thread(
+            target=lambda: results.append(
+                execute_via_server(daemon.bound_address, specs)),
+            daemon=True)
+        client.start()
+        assert fake_experiment.entered.wait(10), \
+            "first worker never started executing"
+        first.kill()  # dies holding both leases, mid-execution
+        _wait_until(lambda: daemon.stats.workers_lost == 1,
+                    what="the daemon to notice the death")
+        start_worker(daemon.bound_address)
+        fake_experiment.gate.set()
+        client.join(timeout=30)
+        assert not client.is_alive(), "client never got its results"
+        (outcomes,) = results
+        # The client saw no gap: every spec has a clean result.
+        assert [o.report.data["seed"] for o in outcomes] == [0, 1]
+        assert all(o.error is None for o in outcomes)
+        assert daemon.stats.leases_reassigned >= 1
+
+    def test_partitioned_worker_reaped_by_lease_timeout(
+            self, start_daemon, fake_experiment):
+        # A worker that registers, absorbs leases, then goes silent
+        # (no heartbeats, no uploads — the network-partition case).
+        daemon = start_daemon(lease_timeout_s=0.5)
+        sock = connect(daemon.bound_address, timeout=10.0)
+        write_frame(sock, register_frame(jobs=8, replica_batch=False,
+                                         name="zombie"))
+        assert read_frame(sock)["type"] == "registered"
+        # jobs=8 out-bids the daemon's own pool for leases, so the
+        # zombie wins the specs... and sits on them.
+        specs = [fake_experiment.spec(seed) for seed in range(2)]
+        outcomes = execute_via_server(daemon.bound_address, specs)
+        assert [o.report.data["seed"] for o in outcomes] == [0, 1]
+        assert all(o.error is None for o in outcomes)
+        assert daemon.stats.workers_lost == 1
+        assert daemon.stats.leases_reassigned == 2
+        assert sum(fake_experiment.calls.values()) == 2
+        with ServiceClient(daemon.bound_address, timeout=10.0) as c:
+            assert c.stats()["workers"] == []
+        sock.close()
+
+    def test_drain_sends_bye_to_workers(self, start_daemon,
+                                        start_worker,
+                                        fake_experiment):
+        daemon = start_daemon(local_execution=False)
+        handle = start_worker(daemon.bound_address)
+        outcomes = execute_via_server(daemon.bound_address,
+                                      [fake_experiment.spec(5)])
+        assert outcomes[0].report.data["seed"] == 5
+        daemon.request_shutdown()
+        handle.thread.join(timeout=15)
+        assert handle.exit_codes == [0]
+
+    def test_register_while_draining_refused(self, start_daemon,
+                                             fake_experiment):
+        fake_experiment.gate.clear()
+        daemon = start_daemon()
+        results = []
+        client = threading.Thread(
+            target=lambda: results.append(execute_via_server(
+                daemon.bound_address, [fake_experiment.spec(0)])),
+            daemon=True)
+        client.start()
+        assert fake_experiment.entered.wait(10)
+        daemon.request_shutdown()
+        _wait_until(lambda: daemon._draining, what="the drain flag")
+        worker = ReproWorker(daemon.bound_address, jobs=1, quiet=True,
+                             timeout=10.0)
+        with pytest.raises(WorkerError, match="draining"):
+            worker.run()
+        fake_experiment.gate.set()
+        client.join(timeout=15)
+        assert results and results[0][0].error is None
+
+
+class TestHostileWorkers:
+    """Fleet abuse fails only the abuser's leases, never the daemon
+    and never the submitting client."""
+
+    def _daemon_alive(self, daemon):
+        sock = _handshake(daemon.bound_address)
+        write_frame(sock, {"type": "stats"})
+        assert read_frame(sock)["type"] == "stats"
+        sock.close()
+
+    def _register_hostile(self, daemon, jobs=8):
+        """A raw socket registered as a worker wide enough to out-bid
+        the daemon's local pool for every lease."""
+        sock = connect(daemon.bound_address, timeout=10.0)
+        write_frame(sock, register_frame(jobs=jobs,
+                                         replica_batch=False,
+                                         name="hostile"))
+        reply = read_frame(sock)
+        assert reply["type"] == "registered"
+        return sock
+
+    def _submit_in_background(self, daemon, spec):
+        results = []
+        thread = threading.Thread(
+            target=lambda: results.append(execute_via_server(
+                daemon.bound_address, [spec])),
+            daemon=True)
+        thread.start()
+        return thread, results
+
+    def test_register_version_mismatch_names_both(self,
+                                                  start_daemon):
+        daemon = start_daemon()
+        sock = connect(daemon.bound_address, timeout=10.0)
+        frame = register_frame(jobs=1, replica_batch=False,
+                               name="old-node")
+        frame["version"] = 999
+        write_frame(sock, frame)
+        reply = read_frame(sock)
+        assert reply["type"] == "error"
+        assert reply["code"] == "version-mismatch"
+        assert "999" in reply["message"]
+        assert str(PROTOCOL_VERSION) in reply["message"]
+        sock.close()
+        self._daemon_alive(daemon)
+
+    def test_register_bad_jobs_rejected(self, start_daemon):
+        daemon = start_daemon()
+        sock = connect(daemon.bound_address, timeout=10.0)
+        frame = register_frame(jobs=1, replica_batch=False, name="x")
+        frame["jobs"] = "lots"
+        write_frame(sock, frame)
+        reply = read_frame(sock)
+        assert reply["type"] == "error"
+        assert reply["code"] == "bad-register"
+        sock.close()
+        self._daemon_alive(daemon)
+
+    def test_malformed_upload_expels_and_reassigns(
+            self, start_daemon, fake_experiment):
+        daemon = start_daemon()
+        sock = self._register_hostile(daemon)
+        thread, results = self._submit_in_background(
+            daemon, fake_experiment.spec(0))
+        lease = read_frame(sock)
+        assert lease["type"] == "lease"
+        key = RunSpec.from_canonical(lease["specs"][0]).key()
+        write_frame(sock, {"type": "upload",
+                           "lease_id": lease["lease_id"],
+                           "key": key, "elapsed_s": 0.0,
+                           "error": None,
+                           "report": "not an object"})
+        reply = read_frame(sock)
+        assert reply["type"] == "error"
+        assert reply["code"] == "bad-upload"
+        # The spec re-ran on the local pool; the client never knew.
+        thread.join(timeout=30)
+        assert not thread.is_alive()
+        assert results[0][0].error is None
+        assert results[0][0].report.data["seed"] == 0
+        assert daemon.stats.workers_lost == 1
+        assert daemon.stats.leases_reassigned >= 1
+        sock.close()
+        self._daemon_alive(daemon)
+
+    def test_upload_for_unheld_key_expels(self, start_daemon,
+                                          fake_experiment):
+        daemon = start_daemon()
+        sock = self._register_hostile(daemon)
+        thread, results = self._submit_in_background(
+            daemon, fake_experiment.spec(1))
+        lease = read_frame(sock)
+        assert lease["type"] == "lease"
+        write_frame(sock, {"type": "upload",
+                           "lease_id": lease["lease_id"],
+                           "key": "never-leased-to-me",
+                           "elapsed_s": 0.0, "error": None,
+                           "report": {}})
+        reply = read_frame(sock)
+        assert reply["code"] == "bad-upload"
+        thread.join(timeout=30)
+        assert results[0][0].error is None
+        sock.close()
+        self._daemon_alive(daemon)
+
+    def test_oversized_frame_from_worker(self, start_daemon,
+                                         fake_experiment):
+        daemon = start_daemon()
+        sock = self._register_hostile(daemon)
+        thread, results = self._submit_in_background(
+            daemon, fake_experiment.spec(2))
+        assert read_frame(sock)["type"] == "lease"
+        sock.sendall(struct.pack(">I", MAX_FRAME_BYTES + 1))
+        reply = read_frame(sock)
+        assert reply["code"] == "frame-too-large"
+        assert read_frame(sock) is None  # connection closed
+        thread.join(timeout=30)
+        assert results[0][0].error is None
+        assert daemon.stats.leases_reassigned >= 1
+        sock.close()
+        self._daemon_alive(daemon)
+
+    def test_truncated_frame_from_worker_mid_lease(
+            self, start_daemon, fake_experiment):
+        daemon = start_daemon()
+        sock = self._register_hostile(daemon)
+        thread, results = self._submit_in_background(
+            daemon, fake_experiment.spec(3))
+        assert read_frame(sock)["type"] == "lease"
+        sock.sendall(struct.pack(">I", 100) + b"only a few bytes")
+        sock.close()
+        thread.join(timeout=30)
+        assert results[0][0].error is None
+        assert daemon.stats.leases_reassigned >= 1
+        self._daemon_alive(daemon)
 
 
 class TestReconnectClient:
