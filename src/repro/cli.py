@@ -527,7 +527,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 
 def _cmd_worker(args: argparse.Namespace) -> int:
-    from repro.service.protocol import parse_address
+    from repro.service.protocol import ProtocolError, parse_address
     from repro.service.worker import ReproWorker, WorkerError
 
     if args.jobs < 1:
@@ -548,9 +548,11 @@ def _cmd_worker(args: argparse.Namespace) -> int:
     )
     try:
         return worker.run()
-    except (WorkerError, OSError) as exc:
+    except (WorkerError, ProtocolError, OSError) as exc:
         # Mirrors the client failure contract: an unreachable or
-        # incompatible daemon is one line on stderr and exit code 2.
+        # incompatible daemon — or one whose registration reply is
+        # garbled (ProtocolError) — is one line on stderr and exit
+        # code 2.
         print(f"--connect {args.connect}: {exc}", file=sys.stderr)
         return 2
 

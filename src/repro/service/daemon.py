@@ -328,11 +328,14 @@ class ReproDaemon:
                 await self._wake.wait()
                 self._wake.clear()
                 self._dispatch()
-                if (self._draining and not self._queue
-                        and not self._local_busy
-                        and not any(worker.leased
-                                    for worker in self._workers.values())):
-                    return
+                if self._draining:
+                    self._fail_stranded()
+                    if (not self._queue
+                            and not self._local_busy
+                            and not any(worker.leased
+                                        for worker
+                                        in self._workers.values())):
+                        return
         finally:
             reaper.cancel()
             with contextlib.suppress(asyncio.CancelledError):
@@ -468,6 +471,27 @@ class ReproDaemon:
                 self._wake.set()
 
         self._local_task = asyncio.ensure_future(run_batch())
+
+    def _fail_stranded(self) -> None:
+        """Draining with no executor left: fail the queue visibly.
+
+        With ``--no-local`` and an empty fleet (never populated, or
+        every worker lost mid-drain) nothing can ever run the queued
+        jobs, and a draining daemon refuses new worker registrations
+        — waiting on an empty queue would hang the shutdown forever.
+        Each stranded job fails to its subscribers instead, so the
+        drain still completes and clients still see every result.
+        """
+        if not self._queue or self.local_execution or self._workers:
+            return
+        stranded = list(self._queue)
+        self._queue.clear()
+        self.log(f"draining with no eligible executor — failing "
+                 f"{len(stranded)} stranded job(s)")
+        self._fail_unsettled(
+            stranded,
+            "daemon draining with no eligible executor "
+            "(local execution disabled, no workers registered)")
 
     def _enqueue(self, spec: RunSpec, submission: Submission,
                  index: int) -> None:
@@ -772,6 +796,11 @@ class ReproDaemon:
                 for submission, index in job.subscribers
                 if submission.session is not session
             ]
+        if self._wake is not None:
+            # Jobs orphaned above are dropped on the next dispatch
+            # pass; without this wake a drain could wait on them
+            # indefinitely.
+            self._wake.set()
 
     async def _session_loop(self, session: Session,
                             reader: asyncio.StreamReader) -> None:
@@ -892,6 +921,10 @@ class ReproDaemon:
             ]
         detached = submission.pending
         session.detach(submission, detached)
+        if self._wake is not None:
+            # As in _detach_session: promptly drop queued jobs whose
+            # last subscriber just left.
+            self._wake.set()
         self._post(session, {
             "type": "cancelled",
             "submit_id": submit_id,

@@ -276,6 +276,39 @@ class TestWorkerCommand:
         assert "--connect" in err
         assert len(err.strip().splitlines()) == 1
 
+    def test_worker_garbled_handshake_exits_2(self, capsys):
+        # A daemon whose registration reply is not a valid frame
+        # (here: a length prefix past MAX_FRAME_BYTES) raises
+        # ProtocolError out of the handshake, which must map to the
+        # same one-line exit-2 contract as an unreachable daemon.
+        import socket
+        import struct
+        import threading
+
+        server = socket.socket()
+        server.bind(("127.0.0.1", 0))
+        server.listen(1)
+        host, port = server.getsockname()
+
+        def serve():
+            conn, _ = server.accept()
+            conn.recv(1 << 16)  # swallow the register frame
+            conn.sendall(struct.pack(">I", 1 << 31))
+            conn.close()
+
+        thread = threading.Thread(target=serve, daemon=True)
+        thread.start()
+        try:
+            code = main(["worker", "--connect", f"{host}:{port}",
+                         "--quiet"])
+        finally:
+            thread.join(timeout=10)
+            server.close()
+        assert code == 2
+        err = capsys.readouterr().err
+        assert f"--connect {host}:{port}" in err
+        assert len(err.strip().splitlines()) == 1
+
     def _daemon(self, tmp_path, **kwargs):
         import threading
 

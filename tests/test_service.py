@@ -719,6 +719,79 @@ class TestWorkerFleet:
         client.join(timeout=15)
         assert results and results[0][0].error is None
 
+    def test_drain_fails_stranded_jobs_without_executor(
+            self, start_daemon, fake_experiment):
+        # --no-local with an empty fleet: queued jobs can never run,
+        # and a draining daemon refuses new worker registrations —
+        # the drain must fail the stranded jobs to their subscribers
+        # instead of hanging the shutdown on an empty-queue wait.
+        daemon = start_daemon(local_execution=False)
+        results = []
+        client = threading.Thread(
+            target=lambda: results.append(execute_via_server(
+                daemon.bound_address,
+                [fake_experiment.spec(seed) for seed in range(2)])),
+            daemon=True)
+        client.start()
+        _wait_until(lambda: daemon.stats.submitted == 2,
+                    what="the submit to land")
+        daemon.request_shutdown()
+        client.join(timeout=15)
+        assert not client.is_alive(), "client hung on stranded jobs"
+        (outcomes,) = results
+        assert len(outcomes) == 2
+        assert all("no eligible executor" in o.error
+                   for o in outcomes)
+        assert daemon.stats.failed == 2
+        assert sum(fake_experiment.calls.values()) == 0
+
+    def test_drain_fails_leases_of_worker_lost_mid_drain(
+            self, start_daemon, start_worker, fake_experiment):
+        # Leases requeued off a worker that dies *during* the drain
+        # have no executor left (--no-local, fleet now empty); the
+        # drain fails them visibly instead of waiting forever.
+        fake_experiment.gate.clear()
+        daemon = start_daemon(local_execution=False)
+        handle = start_worker(daemon.bound_address)
+        results = []
+        client = threading.Thread(
+            target=lambda: results.append(execute_via_server(
+                daemon.bound_address, [fake_experiment.spec(3)])),
+            daemon=True)
+        client.start()
+        assert fake_experiment.entered.wait(10), \
+            "the worker never started executing"
+        daemon.request_shutdown()
+        _wait_until(lambda: daemon._draining, what="the drain flag")
+        handle.kill()  # dies holding its lease, mid-drain
+        client.join(timeout=15)
+        fake_experiment.gate.set()  # release the dead worker's runner
+        assert not client.is_alive(), "client hung on the lost lease"
+        (outcomes,) = results
+        assert outcomes[0].error is not None
+        assert "no eligible executor" in outcomes[0].error
+        assert daemon.stats.workers_lost == 1
+        assert daemon.stats.leases_reassigned == 1
+
+    def test_cancel_wakes_scheduler_to_drop_orphans(
+            self, start_daemon, fake_experiment):
+        # A queued job whose last subscriber cancels must be dropped
+        # on a prompt dispatch pass, not whenever unrelated traffic
+        # happens to wake the scheduler (during a drain that wait
+        # could be indefinite).
+        daemon = start_daemon(local_execution=False)
+        spec = fake_experiment.spec(seed=11)
+        sock = _handshake(daemon.bound_address)
+        write_frame(sock, {"type": "submit", "submit_id": "s1",
+                           "specs": [spec.canonical()]})
+        assert read_frame(sock)["type"] == "accepted"
+        write_frame(sock, {"type": "cancel", "submit_id": "s1"})
+        assert read_frame(sock)["type"] == "cancelled"
+        _wait_until(lambda: daemon.stats.dropped == 1,
+                    what="the orphaned job to be dropped")
+        assert sum(fake_experiment.calls.values()) == 0
+        sock.close()
+
 
 class TestHostileWorkers:
     """Fleet abuse fails only the abuser's leases, never the daemon
