@@ -39,9 +39,12 @@ and streams back the exact reports a local run would have produced.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import pathlib
+import signal
 import sys
+import threading
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro.experiments import EXPERIMENTS, experiment_summaries
@@ -169,9 +172,15 @@ def _run_specs(args: argparse.Namespace, specs, on_outcome=None):
         if ignored:
             print(f"note: {', '.join(ignored)} are daemon-side "
                   "settings; ignored with --server", file=sys.stderr)
+        from repro.service import RetryPolicy
+
+        retry = RetryPolicy(
+            max_attempts=max(0, getattr(args, "retry_max", 5)),
+            base_delay_s=max(0.0, getattr(args, "retry_base", 0.2)))
         try:
             return execute_via_server(args.server, specs,
-                                      on_outcome=on_outcome)
+                                      on_outcome=on_outcome,
+                                      retry=retry)
         except (ServiceError, OSError) as exc:
             print(f"--server {args.server}: {exc}", file=sys.stderr)
             return None
@@ -521,12 +530,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         replica_batch=args.replica_batch,
         lease_timeout_s=args.lease_timeout,
         local_execution=not args.no_local,
+        resume=args.resume,
         quiet=args.quiet,
     )
     return daemon.run()
 
 
 def _cmd_worker(args: argparse.Namespace) -> int:
+    from repro.service import RetryPolicy
     from repro.service.protocol import ProtocolError, parse_address
     from repro.service.worker import ReproWorker, WorkerError
 
@@ -544,8 +555,25 @@ def _cmd_worker(args: argparse.Namespace) -> int:
         replica_batch=args.replica_batch,
         name=args.name,
         timeout=args.timeout,
+        cache_dir=args.cache_dir or None,
+        retry=RetryPolicy(max_attempts=max(0, args.retry_max),
+                          base_delay_s=max(0.0, args.retry_base),
+                          max_delay_s=5.0),
         quiet=args.quiet,
     )
+
+    def _drain_on_sigterm(signum, frame):  # noqa: ARG001
+        # stop() closes the socket (popping the serve loop out of its
+        # blocking read and suppressing reconnects); the SystemExit
+        # interrupts an in-process lease execution so the process is
+        # gone within seconds, not at the end of a long batch.  The
+        # daemon parks our leases for reconnect, then reassigns them
+        # at the lease timeout.
+        worker.stop()
+        raise SystemExit(128 + signum)
+
+    with contextlib.suppress(ValueError, OSError):  # non-main thread
+        signal.signal(signal.SIGTERM, _drain_on_sigterm)
     try:
         return worker.run()
     except (WorkerError, ProtocolError, OSError) as exc:
@@ -555,6 +583,57 @@ def _cmd_worker(args: argparse.Namespace) -> int:
         # code 2.
         print(f"--connect {args.connect}: {exc}", file=sys.stderr)
         return 2
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.service.chaos import ChaosConfig, ChaosProxy
+    from repro.service.protocol import parse_address
+
+    try:
+        parse_address(args.upstream)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    for flag, p in (("--p-disconnect", args.p_disconnect),
+                    ("--p-truncate", args.p_truncate),
+                    ("--p-delay", args.p_delay)):
+        if not 0.0 <= p <= 1.0:
+            print(f"{flag} must be in [0, 1], got {p}",
+                  file=sys.stderr)
+            return 2
+    try:
+        proxy = ChaosProxy(
+            args.upstream,
+            listen=args.listen,
+            seed=args.seed,
+            config=ChaosConfig(
+                p_disconnect=args.p_disconnect,
+                p_truncate=args.p_truncate,
+                p_delay=args.p_delay,
+                delay_s=args.delay,
+                min_frames=args.min_frames,
+            ),
+            quiet=args.quiet,
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    stop = threading.Event()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        with contextlib.suppress(ValueError, OSError):
+            signal.signal(signum, lambda *_: stop.set())
+    try:
+        proxy.start()
+    except OSError as exc:
+        print(f"--listen {args.listen}: {exc}", file=sys.stderr)
+        return 2
+    print(f"chaos proxy on {proxy.bound_address} -> {args.upstream} "
+          f"(seed={args.seed})", flush=True)
+    stop.wait()
+    proxy.stop()
+    print(f"chaos proxy stopped: "
+          f"{json.dumps(proxy.counters.snapshot(), sort_keys=True)}")
+    return 0
 
 
 def _with_service_client(args: argparse.Namespace, action):
@@ -569,7 +648,7 @@ def _with_service_client(args: argparse.Namespace, action):
         return 2
 
 
-_WORKER_COLUMNS = ("id", "name", "address", "jobs", "leased",
+_WORKER_COLUMNS = ("id", "name", "status", "address", "jobs", "leased",
                    "completed", "failed", "heartbeat_age_s")
 
 
@@ -656,6 +735,16 @@ def _add_common_run_options(parser: argparse.ArgumentParser) -> None:
                              "host:port; bare --server uses "
                              f"{DEFAULT_SERVICE_SOCKET!r}); reports "
                              "are byte-identical to local execution")
+    parser.add_argument("--retry-max", type=int, default=5, metavar="N",
+                        help="with --server: reconnect attempts after "
+                             "a lost connection, exponential backoff "
+                             "with jitter (default 5; exit 2 only "
+                             "after all are exhausted)")
+    parser.add_argument("--retry-base", type=float, default=0.2,
+                        metavar="S",
+                        help="with --server: base backoff delay; "
+                             "attempt i waits ~min(10, S*2^i) seconds "
+                             "(default 0.2)")
     parser.add_argument("--json-out", metavar="PATH",
                         help="write manifest + all reports as JSON")
 
@@ -776,6 +865,13 @@ def build_parser() -> argparse.ArgumentParser:
                             "workers; the daemon's own pool runs "
                             "nothing (jobs queue until a worker "
                             "connects)")
+    serve.add_argument("--resume", action=argparse.BooleanOptionalAction,
+                       default=True,
+                       help="replay the write-ahead journal under the "
+                            "cache dir on startup, requeueing jobs a "
+                            "previous daemon accepted but never "
+                            "settled (default on; --no-resume starts "
+                            "with a clean journal)")
     serve.add_argument("--quiet", action="store_true",
                        help="suppress the per-event log lines on "
                             "stderr")
@@ -805,10 +901,63 @@ def build_parser() -> argparse.ArgumentParser:
                         metavar="S",
                         help="dial/handshake timeout in seconds "
                              "(default 30)")
+    worker.add_argument("--cache-dir", metavar="DIR", default="",
+                        help="local content-addressed report cache on "
+                             "this node (default: none); the hub cache "
+                             "is consulted over the wire regardless")
+    worker.add_argument("--retry-max", type=int, default=8, metavar="N",
+                        help="reconnect attempts after losing the "
+                             "daemon before giving up (default 8)")
+    worker.add_argument("--retry-base", type=float, default=0.25,
+                        metavar="S",
+                        help="base delay for reconnect backoff "
+                             "(default 0.25; doubles per attempt, "
+                             "jittered, capped at 5s)")
     worker.add_argument("--quiet", action="store_true",
                         help="suppress the per-event log lines on "
                              "stderr")
     worker.set_defaults(func=_cmd_worker)
+
+    chaos = sub.add_parser(
+        "chaos", help="run a fault-injecting proxy between service "
+                      "peers and a `repro serve` daemon: drops, "
+                      "truncates and delays protocol frames on a "
+                      "seeded schedule")
+    chaos.add_argument("--listen", metavar="HOST:PORT",
+                       default="127.0.0.1:0",
+                       help="proxy listen address; port 0 picks a "
+                            "free port (default 127.0.0.1:0)")
+    chaos.add_argument("--upstream", metavar="ADDR", required=True,
+                       help="daemon address to forward to: "
+                            "unix-socket path or host:port")
+    chaos.add_argument("--seed", type=int, default=0, metavar="N",
+                       help="fault schedule seed; the same seed "
+                            "replays the same schedule (default 0)")
+    chaos.add_argument("--p-disconnect", type=float, default=0.0,
+                       metavar="P",
+                       help="per-frame probability of swallowing the "
+                            "frame and killing the connection")
+    chaos.add_argument("--p-truncate", type=float, default=0.0,
+                       metavar="P",
+                       help="per-frame probability of forwarding half "
+                            "a frame, then killing the connection")
+    chaos.add_argument("--p-delay", type=float, default=0.0,
+                       metavar="P",
+                       help="per-frame probability of delaying the "
+                            "frame by up to --delay seconds")
+    chaos.add_argument("--delay", type=float, default=0.05,
+                       metavar="S",
+                       help="max injected delay per delayed frame "
+                            "(default 0.05)")
+    chaos.add_argument("--min-frames", type=int, default=0,
+                       metavar="N",
+                       help="per-direction frames forwarded untouched "
+                            "before faults start (2 keeps handshakes "
+                            "clean; default 0)")
+    chaos.add_argument("--quiet", action="store_true",
+                       help="suppress the per-connection log lines on "
+                            "stderr")
+    chaos.set_defaults(func=_cmd_chaos)
 
     service = sub.add_parser(
         "service", help="talk to a running `repro serve` daemon")

@@ -4,13 +4,19 @@ Layout::
 
     <root>/
       <experiment_id>/
-        <spec key>.json     # {"format", "spec", "report"}
+        <spec key>.json     # {"format", "spec", "digest", "report"}
 
 The file name is the spec's content hash, so a cache directory can be
 shared between branches, machines and CI shards without coordination:
 a hit is valid by construction (same spec ⇒ same report, because entry
 points are pure), and any change to spec semantics bumps
 ``SPEC_FORMAT`` which changes every key.
+
+``digest`` is the SHA-256 of the report payload's canonical JSON.  It
+exists because cache entries now travel (rsync'd cache dirs, the
+fleet's ``cache-lookup`` protocol frames), and a truncated or
+bit-flipped payload must be *detected* rather than served: a mismatch
+reads as a miss, the entry is evicted, and the spec simply re-executes.
 
 One deliberate wrinkle: reports pass through JSON, so tuples inside
 ``ExperimentReport.data`` come back as lists and non-string dict keys
@@ -20,6 +26,7 @@ therefore go through :func:`repro.runner.spec.jsonable` on both sides.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 from dataclasses import dataclass
@@ -54,11 +61,19 @@ def report_from_payload(payload: dict) -> ExperimentReport:
     )
 
 
+def payload_digest(report_payload: dict) -> str:
+    """SHA-256 over the canonical JSON of a report payload."""
+    text = json.dumps(report_payload, sort_keys=True,
+                      separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
 @dataclass
 class CacheStats:
     hits: int = 0
     misses: int = 0
     stores: int = 0
+    evictions: int = 0
 
 
 class ResultCache:
@@ -78,7 +93,13 @@ class ResultCache:
         path = self.path_for(spec)
         try:
             payload = json.loads(path.read_text(encoding="utf-8"))
-        except (OSError, ValueError):
+        except ValueError:
+            # Unparseable bytes can only be torn/corrupt — drop them so
+            # the next writer starts from a clean slate.
+            self._evict(path)
+            self.stats.misses += 1
+            return None
+        except OSError:
             self.stats.misses += 1
             return None
         # Defence in depth: the name already encodes spec + format,
@@ -87,17 +108,34 @@ class ResultCache:
                 or payload.get("spec") != spec.canonical()):
             self.stats.misses += 1
             return None
+        report_payload = payload.get("report")
+        if (not isinstance(report_payload, dict)
+                or payload.get("digest") != payload_digest(report_payload)):
+            # Bit-flipped or truncated report body (or a pre-digest
+            # entry): never serve it — evict and re-execute.
+            self._evict(path)
+            self.stats.misses += 1
+            return None
         self.stats.hits += 1
-        return report_from_payload(payload["report"])
+        return report_from_payload(report_payload)
+
+    def _evict(self, path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            return
+        self.stats.evictions += 1
 
     def store(self, spec: RunSpec, report: ExperimentReport) -> Path:
         """Persist ``report`` atomically; returns the cache path."""
         path = self.path_for(spec)
         path.parent.mkdir(parents=True, exist_ok=True)
+        report_payload = report_to_payload(report)
         payload = {
             "format": SPEC_FORMAT,
             "spec": spec.canonical(),
-            "report": report_to_payload(report),
+            "digest": payload_digest(report_payload),
+            "report": report_payload,
         }
         text = json.dumps(payload, sort_keys=True, indent=1)
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
@@ -112,5 +150,5 @@ class ResultCache:
         return sum(1 for _ in self.root.glob("*/*.json"))
 
 
-__all__ = ["ResultCache", "CacheStats", "report_to_payload",
-           "report_from_payload"]
+__all__ = ["ResultCache", "CacheStats", "payload_digest",
+           "report_to_payload", "report_from_payload"]

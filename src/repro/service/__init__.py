@@ -4,30 +4,44 @@ Layering::
 
     protocol.py   length-prefixed JSON framing + addresses (shared)
     session.py    per-connection accounting and backpressure
+    journal.py    write-ahead journal under the cache dir — crash
+                  recovery for the daemon (``--resume`` replay)
     daemon.py     ReproDaemon — asyncio server owning the shared
                   ResultCache and the warm JobRunner/worker pool,
                   with in-flight cross-client dedup, a lease
                   scheduler over the local pool + registered remote
-                  workers, and graceful drain
+                  workers, persistent worker identity (reconnect
+                  reclaims parked leases), fleet cache transport
+                  (cache-lookup / cache-push) and graceful drain
     client.py     ServiceClient + execute_via_server (the CLI's
-                  ``--server`` routing)
+                  ``--server`` routing) with RetryPolicy backoff
     worker.py     ReproWorker — a remote node (``repro worker``)
                   that registers into the daemon's pool, executes
-                  leased spec batches and uploads canonical reports
+                  leased spec batches and uploads canonical reports;
+                  survives flaps by buffering and reconnecting
+    chaos.py      ChaosProxy — seeded fault injection between any
+                  peer and the daemon (``repro chaos``), proving the
+                  durability claims end to end
 
 The daemon's contract mirrors the local runner's: a spec fully
 determines its report, so routing a sweep through the service is
 byte-identical to running it in process — the service only changes
 *who pays* startup cost and *how often* a spec executes (at most once
 fleet-wide, thanks to the shared cache plus in-flight coalescing).
+The durability layer extends that contract across failures: daemon
+death (journal replay), worker flaps (lease reclaim + cache-push) and
+client drops (backoff + idempotent resubmit) all preserve it.
 """
 
+from repro.service.chaos import ChaosConfig, ChaosProxy
 from repro.service.client import (
+    RetryPolicy,
     ServiceClient,
     ServiceError,
     execute_via_server,
 )
 from repro.service.daemon import DaemonStats, ReproDaemon, WorkerState
+from repro.service.journal import ServiceJournal, journal_path
 from repro.service.protocol import (
     MAX_FRAME_BYTES,
     PROTOCOL_VERSION,
@@ -44,7 +58,12 @@ __all__ = [
     "WorkerError",
     "ServiceClient",
     "ServiceError",
+    "RetryPolicy",
     "execute_via_server",
+    "ServiceJournal",
+    "journal_path",
+    "ChaosProxy",
+    "ChaosConfig",
     "ProtocolError",
     "parse_address",
     "PROTOCOL_VERSION",

@@ -1,0 +1,262 @@
+"""Protocol chaos proxy: seeded fault injection for the sweep service.
+
+:class:`ChaosProxy` sits between any client or worker and a ``repro
+serve`` daemon and misbehaves on purpose, frame by frame: it forwards,
+delays, truncates mid-frame, or drops the connection according to a
+seeded schedule.  It exists to *prove* the durability claims of the
+service layer (journal replay, reconnect-without-requeue, client
+backoff, cache transport) rather than assert them — the chaos tests
+run whole campaigns through the proxy and require byte-identical
+manifests on the far side.
+
+The proxy is frame-aware (it parses the 4-byte length prefix of
+:mod:`repro.service.protocol`) so its faults land on protocol
+boundaries deliberately chosen to be nasty:
+
+* ``drop``      — the frame is swallowed and both directions of the
+                  connection are closed.  Over TCP a silently dropped
+                  frame is indistinguishable from corruption, so a
+                  drop *is* a disconnect; peers must treat it as one.
+* ``truncate``  — the header and a prefix of the payload are
+                  forwarded, then the connection dies mid-frame.  The
+                  receiver sees exactly the ``truncated-frame`` case
+                  its framing layer claims to handle.
+* ``delay``     — the frame arrives whole but late (bounded by
+                  ``delay_s``), reordering nothing (per-direction
+                  order is preserved) but stressing every timeout.
+
+Faults are decided by ``random.Random(f"{seed}:{conn}:{dir}")`` so a
+failing schedule replays exactly from its seed, and the first
+``min_frames`` frames of every direction pass untouched so handshakes
+can be kept clean when a test wants faults only mid-campaign.
+
+``repro chaos --listen ... --upstream ...`` wraps this class for CI
+drills; the class itself is threading-based and embeds in tests.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import random
+import socket
+import struct
+import sys
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.service.protocol import MAX_FRAME_BYTES, connect, parse_address
+
+_HEADER = struct.Struct(">I")
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Per-frame fault probabilities (evaluated in this order)."""
+
+    p_disconnect: float = 0.0   # swallow the frame, kill the connection
+    p_truncate: float = 0.0    # forward a partial frame, then kill
+    p_delay: float = 0.0       # forward whole, but late
+    delay_s: float = 0.05      # max injected delay per delayed frame
+    #: frames per direction forwarded untouched before faults start
+    #: (2 covers a register/registered or hello/welcome handshake).
+    min_frames: int = 0
+
+
+@dataclass
+class ChaosCounters:
+    """What the proxy actually did, for assertions and logs."""
+
+    connections: int = 0
+    forwarded: int = 0
+    dropped: int = 0
+    truncated: int = 0
+    delayed: int = 0
+    _lock: threading.Lock = field(default_factory=threading.Lock,
+                                  repr=False)
+
+    def bump(self, name: str) -> None:
+        with self._lock:
+            setattr(self, name, getattr(self, name) + 1)
+
+    def snapshot(self) -> Dict[str, int]:
+        with self._lock:
+            return {k: v for k, v in vars(self).items()
+                    if not k.startswith("_")}
+
+
+def _recv_exactly(sock: socket.socket, count: int) -> Optional[bytes]:
+    chunks = []
+    got = 0
+    while got < count:
+        chunk = sock.recv(count - got)
+        if not chunk:
+            return None
+        chunks.append(chunk)
+        got += len(chunk)
+    return b"".join(chunks)
+
+
+class ChaosProxy:
+    """A fault-injecting TCP proxy in front of a service daemon.
+
+    ``upstream`` is anything :func:`parse_address` accepts (the
+    daemon's address); ``listen`` must be TCP (``host:port``, port 0
+    for kernel-assigned).  :meth:`start` returns the bound address to
+    point clients and workers at; :meth:`stop` tears everything down.
+    """
+
+    def __init__(self, upstream: str, *, listen: str = "127.0.0.1:0",
+                 seed: int = 0,
+                 config: Optional[ChaosConfig] = None,
+                 quiet: bool = True) -> None:
+        kind, target = parse_address(listen)
+        if kind != "tcp":
+            raise ValueError(
+                f"chaos proxy must listen on host:port, got {listen!r}")
+        self.upstream = upstream
+        self._listen_target: Tuple[str, int] = target
+        self.seed = seed
+        self.config = config if config is not None else ChaosConfig()
+        self.quiet = quiet
+        self.counters = ChaosCounters()
+        self._listener: Optional[socket.socket] = None
+        self._accept_thread: Optional[threading.Thread] = None
+        self._pumps: List[threading.Thread] = []
+        self._pairs: List[Tuple[socket.socket, socket.socket]] = []
+        self._lock = threading.Lock()
+        self._stopping = False
+        self._conn_ids = 0
+
+    def log(self, message: str) -> None:
+        if not self.quiet:
+            print(f"[repro-chaos] {message}", file=sys.stderr,
+                  flush=True)
+
+    @property
+    def bound_address(self) -> str:
+        assert self._listener is not None, "start() first"
+        host, port = self._listener.getsockname()[:2]
+        return f"{host}:{port}"
+
+    def start(self) -> str:
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind(self._listen_target)
+        listener.listen(64)
+        self._listener = listener
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="chaos-accept", daemon=True)
+        self._accept_thread.start()
+        self.log(f"listening on {self.bound_address} -> "
+                 f"{self.upstream} (seed={self.seed})")
+        return self.bound_address
+
+    def stop(self) -> None:
+        self._stopping = True
+        if self._listener is not None:
+            with contextlib.suppress(OSError):
+                self._listener.close()
+        with self._lock:
+            pairs = list(self._pairs)
+        for a, b in pairs:
+            self._kill_pair(a, b)
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=2.0)
+        for pump in self._pumps:
+            pump.join(timeout=2.0)
+
+    # -- internals -----------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        assert self._listener is not None
+        while not self._stopping:
+            try:
+                downstream, peer = self._listener.accept()
+            except OSError:
+                return
+            try:
+                upstream = connect(self.upstream, timeout=10.0)
+                upstream.settimeout(None)
+            except OSError as exc:
+                self.log(f"upstream {self.upstream} unreachable: {exc}")
+                with contextlib.suppress(OSError):
+                    downstream.close()
+                continue
+            conn = self._conn_ids
+            self._conn_ids += 1
+            self.counters.bump("connections")
+            with self._lock:
+                self._pairs.append((downstream, upstream))
+            self.log(f"conn {conn}: {peer} <-> {self.upstream}")
+            for direction, (src, dst) in enumerate(
+                    [(downstream, upstream), (upstream, downstream)]):
+                rng = random.Random(f"{self.seed}:{conn}:{direction}")
+                pump = threading.Thread(
+                    target=self._pump, name=f"chaos-{conn}-{direction}",
+                    args=(src, dst, rng, downstream, upstream),
+                    daemon=True)
+                pump.start()
+                self._pumps.append(pump)
+
+    def _kill_pair(self, a: socket.socket, b: socket.socket) -> None:
+        for sock in (a, b):
+            with contextlib.suppress(OSError):
+                sock.shutdown(socket.SHUT_RDWR)
+            with contextlib.suppress(OSError):
+                sock.close()
+
+    def _pump(self, src: socket.socket, dst: socket.socket,
+              rng: random.Random, downstream: socket.socket,
+              upstream: socket.socket) -> None:
+        """Forward frames src -> dst, injecting scheduled faults."""
+        cfg = self.config
+        frames = 0
+        try:
+            while not self._stopping:
+                header = _recv_exactly(src, _HEADER.size)
+                if header is None:
+                    break
+                (length,) = _HEADER.unpack(header)
+                if length == 0 or length > MAX_FRAME_BYTES:
+                    # Not our protocol — shovel it and stop parsing.
+                    dst.sendall(header)
+                    break
+                payload = _recv_exactly(src, length)
+                if payload is None:
+                    break
+                frames += 1
+                roll = rng.random()
+                if frames <= cfg.min_frames:
+                    roll = 1.0  # handshake grace: always forward
+                if roll < cfg.p_disconnect:
+                    self.counters.bump("dropped")
+                    self._kill_pair(downstream, upstream)
+                    return
+                if roll < cfg.p_disconnect + cfg.p_truncate:
+                    self.counters.bump("truncated")
+                    with contextlib.suppress(OSError):
+                        dst.sendall(header + payload[:max(1, length // 2)])
+                    self._kill_pair(downstream, upstream)
+                    return
+                if roll < (cfg.p_disconnect + cfg.p_truncate
+                           + cfg.p_delay):
+                    self.counters.bump("delayed")
+                    time.sleep(rng.uniform(0.0, cfg.delay_s))
+                dst.sendall(header + payload)
+                self.counters.bump("forwarded")
+        except OSError:
+            pass
+        finally:
+            self._kill_pair(downstream, upstream)
+
+    def __enter__(self) -> "ChaosProxy":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+__all__ = ["ChaosProxy", "ChaosConfig", "ChaosCounters"]

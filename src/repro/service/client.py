@@ -16,15 +16,20 @@ Resumability is client-driven and dumb on purpose: if the connection
 dies mid-sweep, reconnect and resubmit *only the indices still
 missing*.  Everything that finished before the drop is in the
 daemon's shared cache, so the resubmission streams back instant hits
-and the sweep completes with zero re-execution.
+and the sweep completes with zero re-execution.  Reconnects pace
+themselves with :class:`RetryPolicy` — bounded exponential backoff
+with jitter — so a daemon restart (or a flapping network) sees a
+trickle of retries instead of a thundering herd.
 """
 
 from __future__ import annotations
 
 import itertools
 import os
+import random
 import time
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence
 
 from repro.runner.cache import report_from_payload
 from repro.runner.executor import RunOutcome
@@ -40,6 +45,41 @@ from repro.service.protocol import (
 
 class ServiceError(RuntimeError):
     """The daemon refused a request or the conversation broke down."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff with jitter for (re)connect loops.
+
+    Attempt ``i`` (zero-based) sleeps within
+    ``[cap·(1-jitter), cap]`` where ``cap = min(max_delay_s,
+    base_delay_s · 2^i)``.  The deterministic floor keeps tests and
+    the chaos harness predictable; the jittered remainder decorrelates
+    a fleet of clients retrying against the same reborn daemon.
+
+    ``max_attempts`` counts *re*tries: the first try is free, so a
+    policy with ``max_attempts=5`` dials at most six times.
+    """
+
+    max_attempts: int = 5
+    base_delay_s: float = 0.2
+    max_delay_s: float = 10.0
+    jitter: float = 0.5
+
+    def delay_s(self, attempt: int,
+                rng: Optional[random.Random] = None) -> float:
+        cap = min(self.max_delay_s,
+                  self.base_delay_s * (2.0 ** max(0, attempt)))
+        if self.jitter <= 0.0:
+            return cap
+        rng = rng if rng is not None else random
+        spread = min(1.0, max(0.0, self.jitter)) * cap
+        return (cap - spread) + rng.random() * spread
+
+    def delays(self, rng: Optional[random.Random] = None) -> Iterator[float]:
+        """One delay per allowed retry, in order."""
+        for attempt in range(self.max_attempts):
+            yield self.delay_s(attempt, rng)
 
 
 class ServiceClient:
@@ -198,22 +238,24 @@ def execute_via_server(
     specs: Sequence[RunSpec],
     *,
     on_outcome: Optional[Callable[[RunOutcome], None]] = None,
-    reconnect_attempts: int = 3,
-    reconnect_delay_s: float = 0.5,
+    retry: Optional[RetryPolicy] = None,
+    rng: Optional[random.Random] = None,
 ) -> List[RunOutcome]:
     """Run every spec on a daemon; outcomes return in spec order.
 
     The server-side twin of :func:`repro.runner.executor.execute`:
     same inputs, same outputs, same ``on_outcome`` streaming contract.
-    A dropped connection retries up to ``reconnect_attempts`` times,
-    resubmitting only the missing indices — completed work is served
-    from the daemon's cache, never re-executed.
+    A dropped connection backs off per ``retry`` and resubmits only
+    the missing indices — an idempotent merge, because specs are
+    content-addressed: completed work is served from the daemon's
+    cache, never re-executed.  ``rng`` pins the jitter for tests.
     """
     specs = list(specs)
     outcomes: List[Optional[RunOutcome]] = [None] * len(specs)
     if not specs:
         return []
-    attempts_left = reconnect_attempts
+    policy = retry if retry is not None else RetryPolicy()
+    attempts_used = 0
     while True:
         missing = [i for i, done in enumerate(outcomes) if done is None]
         if not missing:
@@ -227,14 +269,16 @@ def execute_via_server(
                     if on_outcome:
                         on_outcome(outcome)
         except (ConnectionError, ProtocolError, OSError) as exc:
-            attempts_left -= 1
-            if attempts_left < 0:
+            if attempts_used >= policy.max_attempts:
                 raise ServiceError(
                     f"lost the connection to {address} and exhausted "
-                    f"{reconnect_attempts} reconnect attempts: {exc}"
+                    f"{policy.max_attempts} reconnect attempts "
+                    f"({attempts_used + 1} tries total): {exc}"
                 ) from exc
-            time.sleep(reconnect_delay_s)
+            time.sleep(policy.delay_s(attempts_used, rng))
+            attempts_used += 1
             continue
 
 
-__all__ = ["ServiceClient", "ServiceError", "execute_via_server"]
+__all__ = ["ServiceClient", "ServiceError", "RetryPolicy",
+           "execute_via_server"]

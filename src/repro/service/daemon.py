@@ -46,6 +46,26 @@ What the daemon adds over ``repro run --jobs N``:
   expelled and its in-flight leases are requeued at the front of the
   queue for another executor.  The submitting client never sees a
   gap, only a result that took one re-execution longer.
+* **Reconnect-without-requeue** — workers carry a stable identity
+  (``uid`` in the register frame).  A dropped *connection* parks the
+  worker's leases instead of requeueing them; the same uid
+  re-registering within the lease timeout reclaims them, so a network
+  flap costs zero re-executions.  The reaper distinguishes "flapping"
+  (parked, awaiting reconnect) from "gone" (deadline passed → leases
+  requeued as before).
+* **Crash recovery** — with a cache directory, every accepted spec is
+  written to a write-ahead journal (:mod:`repro.service.journal`)
+  before it is queued, and retired when it settles.  A SIGKILLed
+  daemon restarted with ``--resume`` (the default) replays the
+  journal: unsettled specs re-enter the queue, warm ones settle
+  straight from the cache, and reconnecting clients resubmit into
+  coalescence — zero client-visible loss, byte-identical manifests.
+* **Fleet cache transport** — workers interrogate the hub's cache
+  before executing (``cache-lookup``: the daemon settles warm keys
+  itself and the worker runs only the cold remainder) and ship
+  results hub-ward as canonical payloads (``upload``/``cache-push``),
+  so a worker joining mid-campaign benefits from the fleet's whole
+  history and a flapped worker's finished work is never re-run.
 
 Local execution is delegated batch-by-batch to the ``JobRunner`` in
 a worker thread; the asyncio side never blocks on simulation work.
@@ -74,6 +94,7 @@ from repro.runner.cache import (
 )
 from repro.runner.executor import JobRunner, RunOutcome, credit_window
 from repro.runner.spec import RunSpec
+from repro.service.journal import ServiceJournal, journal_path
 from repro.service.protocol import (
     PROTOCOL_VERSION,
     ProtocolError,
@@ -104,6 +125,14 @@ class DaemonStats:
     workers_registered: int = 0    # register handshakes accepted, ever
     workers_lost: int = 0          # workers expelled dirty (leases/timeout)
     leases_reassigned: int = 0     # specs requeued off a lost worker
+    workers_flapped: int = 0       # connections lost with leases parked
+    workers_reconnected: int = 0   # re-registers that reclaimed a parked id
+    leases_reclaimed: int = 0      # leases handed back on reconnect
+    cache_lookup_hits: int = 0     # leased keys settled via cache-lookup
+    cache_lookup_misses: int = 0   # leased keys a lookup found cold
+    remote_cache_hits: int = 0     # uploads served from a worker's cache
+    cache_pushes: int = 0          # out-of-lease results shipped hub-ward
+    recovered_jobs: int = 0        # specs re-queued from the journal
 
     def payload(self) -> Dict[str, Any]:
         return dict(vars(self))
@@ -119,6 +148,10 @@ class _Job:
     subscribers: List[Tuple[Submission, int]] = field(
         default_factory=list)
     started: bool = False
+    #: Replayed from the journal after a crash: owed to a client that
+    #: has not (yet) reconnected, so it must run even with zero
+    #: subscribers instead of being dropped as abandoned.
+    recovered: bool = False
 
 
 @dataclass
@@ -139,6 +172,11 @@ class WorkerState:
     version: str
     registered_at: float
     last_seen: float
+    #: Stable identity from the register frame; ``None`` for legacy
+    #: workers, which get per-connection identity and no flap parking.
+    uid: Optional[str] = None
+    #: monotonic deadline while parked in ``_flapping``; 0 when live.
+    flap_deadline: float = 0.0
     leased: Dict[str, _Job] = field(default_factory=dict)
     completed: int = 0
     failed: int = 0
@@ -151,10 +189,13 @@ class WorkerState:
     def free_credits(self) -> int:
         return self.credit_window - len(self.leased)
 
-    def stats_row(self, now: float) -> Dict[str, Any]:
+    def stats_row(self, now: float,
+                  status: str = "up") -> Dict[str, Any]:
         return {
             "id": self.id,
             "name": self.name,
+            "uid": self.uid,
+            "status": status,
             "address": self.address,
             "jobs": self.jobs,
             "replica_batch": self.replica_batch,
@@ -184,6 +225,7 @@ class ReproDaemon:
                  max_submit: int = 4096,
                  lease_timeout_s: float = 30.0,
                  local_execution: bool = True,
+                 resume: bool = True,
                  quiet: bool = False) -> None:
         self.address = address
         self._kind, self._target = parse_address(address)
@@ -199,7 +241,12 @@ class ReproDaemon:
                 f"lease_timeout_s must be > 0, got {lease_timeout_s}")
         self.lease_timeout_s = lease_timeout_s
         self.local_execution = local_execution
+        self.resume = resume
         self.quiet = quiet
+        #: Write-ahead journal; opened in serve() when a cache dir
+        #: exists (durability is keyed to the same root the results
+        #: land in — no cache, nothing worth replaying into).
+        self._journal: Optional[ServiceJournal] = None
         self._started = time.monotonic()
         # Event-loop-side state, created inside serve().
         self._loop: Optional[asyncio.AbstractEventLoop] = None
@@ -211,6 +258,9 @@ class ReproDaemon:
         self._writer_tasks: Dict[int, asyncio.Task] = {}
         #: registered workers, keyed by their session id.
         self._workers: Dict[int, WorkerState] = {}
+        #: disconnected-but-not-dead workers, keyed by uid, leases
+        #: parked until reconnect or flap deadline.
+        self._flapping: Dict[str, WorkerState] = {}
         self._worker_ids = itertools.count(1)
         self._lease_ids = itertools.count(1)
         self._local_busy = False
@@ -267,6 +317,7 @@ class ReproDaemon:
         """Listen, execute, drain; returns after a graceful shutdown."""
         self._loop = asyncio.get_running_loop()
         self._wake = asyncio.Event()
+        self._open_journal()
         if self._kind == "unix":
             # A leftover socket file from a crashed daemon blocks
             # bind(); nothing else can legitimately own the path.
@@ -288,18 +339,62 @@ class ReproDaemon:
                  f"(jobs={self._runner.jobs}, "
                  f"cache={'on' if self.cache is not None else 'off'})")
         self._ready.set()
+        drained_clean = False
         try:
             await self._execution_loop()
+            drained_clean = True
         finally:
             self._ready.clear()
             server.close()
             with contextlib.suppress(Exception):
                 await server.wait_closed()
             await self._farewell()
+            if self._journal is not None:
+                if drained_clean:
+                    self._journal.record_drained()
+                self._journal.close()
             if self._kind == "unix":
                 with contextlib.suppress(OSError):
                     os.unlink(self._target)
             self.log("drained and stopped")
+
+    def _open_journal(self) -> None:
+        """Open the WAL and (by default) replay the previous life's debt."""
+        if self.cache is None:
+            return
+        if self.resume:
+            self._journal, debt = ServiceJournal.recover(self.cache.root)
+            self._recover_jobs(debt)
+        else:
+            self._journal = ServiceJournal(journal_path(self.cache.root))
+            self._journal.compact({})  # explicitly forget the past
+
+    def _recover_jobs(self, debt: Dict[str, dict]) -> None:
+        """Re-queue every journaled spec the last daemon still owed.
+
+        Warm specs settle from the cache on the first dispatch pass;
+        cold ones re-execute.  Either way, a client reconnecting with
+        a resubmit coalesces onto these jobs instead of starting over.
+        """
+        recovered = 0
+        for key, payload in debt.items():
+            try:
+                spec = RunSpec.from_canonical(payload).validate()
+            except (ConfigurationError, KeyError, TypeError,
+                    AttributeError):
+                continue  # a journal tear or a stale spec format
+            if spec.key() != key or key in self._jobs:
+                continue
+            job = _Job(spec=spec, key=key, recovered=True)
+            self._jobs[key] = job
+            self._queue.append(job)
+            recovered += 1
+        if recovered:
+            self.stats.recovered_jobs += recovered
+            self.log(f"journal replay: recovered {recovered} "
+                     f"unsettled job(s) from the previous daemon")
+            assert self._wake is not None
+            self._wake.set()
 
     async def _farewell(self) -> None:
         """``bye`` every connected client, then close their writers."""
@@ -334,7 +429,10 @@ class ReproDaemon:
                             and not self._local_busy
                             and not any(worker.leased
                                         for worker
-                                        in self._workers.values())):
+                                        in self._workers.values())
+                            and not any(worker.leased
+                                        for worker
+                                        in self._flapping.values())):
                         return
         finally:
             reaper.cancel()
@@ -343,7 +441,9 @@ class ReproDaemon:
 
     async def _reaper_loop(self) -> None:
         """Expel workers whose heartbeats stopped (the partition
-        case — a SIGKILLed worker is caught faster, by its EOF)."""
+        case — a SIGKILLed worker is caught faster, by its EOF) and
+        flapped workers whose reconnect window closed (the "gone"
+        verdict on what looked like a flap)."""
         interval = max(0.05, self.lease_timeout_s / 4.0)
         while True:
             await asyncio.sleep(interval)
@@ -357,6 +457,11 @@ class ReproDaemon:
                         f"no heartbeat for {age:.1f}s "
                         f"(lease timeout {self.lease_timeout_s:.1f}s)",
                         timed_out=True)
+            for uid in list(self._flapping):
+                if now >= self._flapping[uid].flap_deadline:
+                    self._expel_flapped(
+                        uid, "reconnect window expired — gone, "
+                        "not flapping")
 
     def _dispatch(self) -> None:
         """One scheduling pass: drain the queue onto free capacity.
@@ -370,13 +475,27 @@ class ReproDaemon:
         planned: Dict[int, List[_Job]] = {}
         while self._queue:
             job = self._queue[0]
-            if not job.subscribers:
-                # Every subscriber cancelled before it started.
+            if self._jobs.get(job.key) is not job:
+                # Settled out from under the queue (a cache-push for
+                # a key that was still waiting its turn).
                 self._queue.popleft()
-                del self._jobs[job.key]
+                continue
+            if not job.subscribers and not job.recovered:
+                # Every subscriber cancelled before it started.
+                # (Recovered jobs are owed to clients that may not
+                # have reconnected yet — they run regardless.)
+                self._queue.popleft()
+                self._jobs.pop(job.key, None)
                 self.stats.dropped += 1
                 continue
-            if self.cache is not None and not job.started:
+            if self.cache is not None and not job.started \
+                    and not self._workers:
+                # Hub-side warm check, fleetless mode only.  With
+                # workers registered the warm check rides the lease
+                # instead (``cache-lookup``), so the counters measure
+                # the transport and a local hit can't starve the
+                # fleet's view of the cache.  The local pool path
+                # still checks per spec inside execute().
                 report = self.cache.load(job.spec)
                 if report is not None:
                     self._queue.popleft()
@@ -429,6 +548,9 @@ class ReproDaemon:
             lease_id = f"L{next(self._lease_ids)}"
             for job in chunk:
                 worker.leased[job.key] = job
+                if self._journal is not None:
+                    self._journal.record_leased(
+                        job.key, worker.uid or f"worker-{worker.id}")
             self._post(worker.session, {
                 "type": "lease",
                 "lease_id": lease_id,
@@ -443,6 +565,9 @@ class ReproDaemon:
         """Run one batch on the local JobRunner in a worker thread."""
         self._local_busy = True
         specs = [job.spec for job in batch]
+        if self._journal is not None:
+            for job in batch:
+                self._journal.record_leased(job.key, "local")
         self.log(f"executing {len(specs)} job(s) on the local pool, "
                  f"{len(self._queue)} queued behind")
         loop = self._loop
@@ -482,7 +607,11 @@ class ReproDaemon:
         Each stranded job fails to its subscribers instead, so the
         drain still completes and clients still see every result.
         """
-        if not self._queue or self.local_execution or self._workers:
+        if not self._queue or self.local_execution or self._workers \
+                or self._flapping:
+            # A flapping worker may yet reconnect and take the queue;
+            # if it never does, the reaper expels it at the deadline
+            # and the next wake re-evaluates with _flapping empty.
             return
         stranded = list(self._queue)
         self._queue.clear()
@@ -504,6 +633,11 @@ class ReproDaemon:
             return
         job = _Job(spec=spec, key=key,
                    subscribers=[(submission, index)])
+        if self._journal is not None:
+            # WAL ordering: durable before queued, so a crash between
+            # the two can only over-remember (re-run a settled spec —
+            # harmless, it's a cache hit) and never under-remember.
+            self._journal.record_queued(key, spec.canonical())
         self._jobs[key] = job
         self._queue.append(job)
         assert self._wake is not None
@@ -530,6 +664,12 @@ class ReproDaemon:
         job = self._jobs.pop(outcome.spec.key(), None)
         if job is None:  # pragma: no cover — defensive
             return
+        if self._journal is not None:
+            self._journal.record_settled(job.key, outcome.error)
+            if self._journal.wants_compaction:
+                self._journal.compact({
+                    key: live.spec.canonical()
+                    for key, live in self._jobs.items()})
         if outcome.error is not None:
             self.stats.failed += 1
             if worker is not None:
@@ -611,6 +751,46 @@ class ReproDaemon:
         if self._wake is not None:
             self._wake.set()
 
+    def _park_worker(self, session_id: int) -> bool:
+        """Connection lost with leases in flight: park, don't requeue.
+
+        The flap bet: a worker that can present the same uid within
+        the lease timeout still has those executions running (or
+        finished, buffered) and will deliver them — requeueing now
+        would pay for every one of them twice.  Returns ``False`` when
+        the worker is not eligible (no uid, or nothing leased), in
+        which case the caller falls back to a plain expel.
+        """
+        worker = self._workers.get(session_id)
+        if worker is None or not worker.leased or not worker.uid:
+            return False
+        del self._workers[session_id]
+        worker.flap_deadline = time.monotonic() + self.lease_timeout_s
+        self._flapping[worker.uid] = worker
+        self.stats.workers_flapped += 1
+        self.log(f"worker {worker.id} ({worker.name}) connection lost "
+                 f"with {len(worker.leased)} lease(s) in flight — "
+                 f"parked for reconnect "
+                 f"(window {self.lease_timeout_s:.1f}s)")
+        return True
+
+    def _expel_flapped(self, uid: str, reason: str) -> None:
+        """A parked worker never came back: requeue what it owed."""
+        worker = self._flapping.pop(uid, None)
+        if worker is None:
+            return
+        reassigned = len(worker.leased)
+        for job in reversed(list(worker.leased.values())):
+            job.started = False
+            self._queue.appendleft(job)
+        worker.leased.clear()
+        self.stats.workers_lost += 1
+        self.stats.leases_reassigned += reassigned
+        self.log(f"worker {worker.id} ({worker.name}) gone "
+                 f"({reason}); {reassigned} lease(s) reassigned")
+        if self._wake is not None:
+            self._wake.set()
+
     def _handle_upload(self, worker: WorkerState,
                        frame: Dict[str, Any]) -> None:
         """One leased spec's result came back from a worker."""
@@ -639,14 +819,135 @@ class ReproDaemon:
             raise ProtocolError(
                 "bad-upload",
                 f"malformed report payload for {key}: {exc}") from exc
+        cached = bool(frame.get("cached"))
         del worker.leased[key]
         if error is None and self.cache is not None:
+            # Stored even for cached=True uploads: that is the
+            # transport — a hit in the *worker's* local cache lands in
+            # the hub's, where the whole fleet can see it.
             self.cache.store(job.spec, report)
-        self._settle(RunOutcome(job.spec, report, cached=False,
+        if cached:
+            worker.completed += 1
+            self.stats.remote_cache_hits += 1
+        self._settle(RunOutcome(job.spec, report, cached=cached,
                                 elapsed_s=float(elapsed), error=error),
                      worker=worker)
         assert self._wake is not None
         self._wake.set()  # a credit came free — dispatch again
+
+    def _handle_cache_lookup(self, worker: WorkerState,
+                             frame: Dict[str, Any]) -> None:
+        """A worker asks which of its leased keys are already warm.
+
+        Hits are settled *here*, straight from the hub cache — the
+        worker just drops them from its batch, so a warm spec costs
+        one round trip and zero executions anywhere in the fleet.
+        """
+        keys = frame.get("keys")
+        lookup_id = frame.get("lookup_id")
+        if not isinstance(lookup_id, str) or not lookup_id:
+            raise ProtocolError(
+                "bad-lookup",
+                "cache-lookup frame needs a string 'lookup_id'")
+        if not isinstance(keys, list) \
+                or not all(isinstance(k, str) for k in keys):
+            raise ProtocolError(
+                "bad-lookup",
+                "cache-lookup frame needs a list of string 'keys'")
+        hits: List[str] = []
+        for key in keys:
+            job = worker.leased.get(key)
+            if job is None:
+                # Not held here: either already settled (a reconnect
+                # flush raced the re-lease) or never ours.  Either
+                # way there is nothing for the worker to execute, so
+                # it reads as droppable — but not as a cache hit.
+                hits.append(key)
+                continue
+            report = self.cache.load(job.spec) \
+                if self.cache is not None else None
+            if report is None:
+                self.stats.cache_lookup_misses += 1
+                continue
+            hits.append(key)
+            del worker.leased[key]
+            self.stats.cache_lookup_hits += 1
+            self._settle(RunOutcome(job.spec, report, cached=True,
+                                    elapsed_s=0.0))
+        self._post(worker.session, {
+            "type": "cache-result",
+            "lookup_id": lookup_id,
+            "hits": hits,
+        })
+        if hits:
+            self.log(f"cache-lookup from worker {worker.id}: "
+                     f"{len(hits)}/{len(keys)} warm, settled from "
+                     "the hub cache")
+            assert self._wake is not None
+            self._wake.set()  # freed credits
+
+    def _handle_cache_push(self, worker: WorkerState,
+                           frame: Dict[str, Any]) -> None:
+        """An out-of-lease result shipped hub-ward by a worker.
+
+        The reconnect-flush path: results a worker finished while
+        disconnected arrive here after its leases may have been
+        reclaimed, reassigned, or even settled by someone else.
+        Content addressing makes every case an idempotent merge —
+        settle the job if it is still live (whoever holds the lease),
+        and store the payload either way.
+        """
+        key = frame.get("key")
+        spec_payload = frame.get("spec")
+        if not isinstance(key, str) or not key:
+            raise ProtocolError(
+                "bad-push", "cache-push frame needs a string 'key'")
+        if not isinstance(spec_payload, dict):
+            raise ProtocolError(
+                "bad-push", "cache-push frame needs a 'spec' object")
+        error = frame.get("error")
+        if error is not None and not isinstance(error, str):
+            raise ProtocolError(
+                "bad-push", "cache-push 'error' must be null or a string")
+        elapsed = frame.get("elapsed_s", 0.0)
+        if isinstance(elapsed, bool) or \
+                not isinstance(elapsed, (int, float)):
+            raise ProtocolError(
+                "bad-push", "cache-push 'elapsed_s' must be a number")
+        payload = frame.get("report")
+        if not isinstance(payload, dict):
+            raise ProtocolError(
+                "bad-push", "cache-push 'report' must be an object")
+        try:
+            spec = RunSpec.from_canonical(spec_payload)
+            report = report_from_payload(payload)
+        except (ConfigurationError, KeyError, TypeError,
+                AttributeError, ValueError) as exc:
+            raise ProtocolError(
+                "bad-push",
+                f"malformed cache-push for {key}: {exc}") from exc
+        if spec.key() != key:
+            raise ProtocolError(
+                "bad-push",
+                f"cache-push key {key!r} does not match its spec's "
+                f"content hash {spec.key()!r}")
+        self.stats.cache_pushes += 1
+        if error is None and self.cache is not None:
+            self.cache.store(spec, report)
+        live = self._jobs.get(key)
+        if live is None:
+            return  # already settled (or never ours) — store was enough
+        # Whoever currently holds the lease is off the hook.
+        worker.leased.pop(key, None)
+        for other in self._workers.values():
+            other.leased.pop(key, None)
+        for other in self._flapping.values():
+            other.leased.pop(key, None)
+        self._settle(RunOutcome(live.spec, report, cached=False,
+                                elapsed_s=float(elapsed), error=error),
+                     worker=worker)
+        assert self._wake is not None
+        self._wake.set()
 
     async def _worker_loop(self, session: Session,
                            reader: asyncio.StreamReader,
@@ -658,11 +959,6 @@ class ReproDaemon:
                 "version-mismatch",
                 f"worker speaks protocol {version!r}, "
                 f"server speaks {PROTOCOL_VERSION}")
-        if self._draining:
-            self._post(session, error_frame(
-                "draining",
-                "daemon is shutting down and not registering workers"))
-            return
         jobs = register.get("jobs", 1)
         if isinstance(jobs, bool) or not isinstance(jobs, int) \
                 or not 1 <= jobs <= 4096:
@@ -670,49 +966,126 @@ class ReproDaemon:
                 "bad-register",
                 f"register frame needs an integer 'jobs' in "
                 f"[1, 4096], got {jobs!r}")
+        uid = register.get("uid")
+        if uid is not None and (not isinstance(uid, str)
+                                or not uid or len(uid) > 256):
+            raise ProtocolError(
+                "bad-register",
+                "register 'uid' must be a non-empty string "
+                "of at most 256 chars")
         name = register.get("name")
         if not isinstance(name, str) or not name:
             name = session.peer
         now = time.monotonic()
-        worker = WorkerState(
-            id=next(self._worker_ids), session=session, name=name,
-            address=session.peer, jobs=jobs,
-            replica_batch=bool(register.get("replica_batch")),
-            version=str(register.get("repro") or "unknown"),
-            registered_at=now, last_seen=now)
+        worker = self._reclaim_worker(uid)
+        if worker is None and self._draining:
+            # A brand-new worker has nothing the drain is waiting on;
+            # a reclaiming one holds leases the drain *needs*, so it
+            # is always let back in.
+            self._post(session, error_frame(
+                "draining",
+                "daemon is shutting down and not registering workers"))
+            return
+        if worker is not None:
+            reclaimed = len(worker.leased)
+            worker.session = session
+            worker.address = session.peer
+            worker.name = name
+            worker.jobs = jobs
+            worker.replica_batch = bool(register.get("replica_batch"))
+            worker.version = str(register.get("repro") or "unknown")
+            worker.last_seen = now
+            worker.flap_deadline = 0.0
+            self.stats.workers_reconnected += 1
+            self.stats.leases_reclaimed += reclaimed
+            self.log(f"worker {worker.id} reconnected as {name} — "
+                     f"{reclaimed} parked lease(s) reclaimed")
+        else:
+            reclaimed = 0
+            worker = WorkerState(
+                id=next(self._worker_ids), session=session, name=name,
+                address=session.peer, jobs=jobs,
+                replica_batch=bool(register.get("replica_batch")),
+                version=str(register.get("repro") or "unknown"),
+                registered_at=now, last_seen=now, uid=uid)
+            self.stats.workers_registered += 1
+            self.log(f"worker {worker.id} registered: {name} "
+                     f"(jobs={jobs}, repro {worker.version}) — "
+                     f"fleet size {len(self._workers) + 1}")
         self._workers[session.id] = worker
-        self.stats.workers_registered += 1
         self._post(session, {
             "type": "registered",
             "worker_id": worker.id,
+            "reclaimed": reclaimed,
             "heartbeat_interval_s": max(0.05,
                                         self.lease_timeout_s / 3.0),
             "lease_timeout_s": self.lease_timeout_s,
             "credit_window": worker.credit_window,
         })
-        self.log(f"worker {worker.id} registered: {name} "
-                 f"(jobs={jobs}, repro {worker.version}) — "
-                 f"fleet size {len(self._workers)}")
+        if reclaimed:
+            # Re-send the reclaimed specs as fresh lease frames: the
+            # worker may never have received the originals (they can
+            # die in the old connection's buffers).  Re-delivery is
+            # harmless — the worker's cache-lookup drops everything
+            # its reconnect flush already settled.
+            release = list(worker.leased.values())
+            worker.leased.clear()
+            self._lease(worker, release)
         assert self._wake is not None
         self._wake.set()  # fresh capacity — dispatch
-        while True:
-            frame = await read_frame_async(reader)
-            if frame is None:
-                return
-            worker.last_seen = time.monotonic()
-            kind = frame["type"]
-            if kind == "heartbeat":
-                continue
-            elif kind == "upload":
-                self._handle_upload(worker, frame)
-            elif kind == "register":
-                raise ProtocolError("bad-handshake",
-                                    "duplicate register frame")
-            else:
-                self._post(session, error_frame(
-                    "unknown-type",
-                    f"unknown frame type {kind!r} on a worker "
-                    "connection"))
+        try:
+            while True:
+                frame = await read_frame_async(reader)
+                if frame is None:
+                    return
+                worker.last_seen = time.monotonic()
+                kind = frame["type"]
+                if kind == "heartbeat":
+                    continue
+                elif kind == "upload":
+                    self._handle_upload(worker, frame)
+                elif kind == "cache-lookup":
+                    self._handle_cache_lookup(worker, frame)
+                elif kind == "cache-push":
+                    self._handle_cache_push(worker, frame)
+                elif kind == "register":
+                    raise ProtocolError("bad-handshake",
+                                        "duplicate register frame")
+                else:
+                    self._post(session, error_frame(
+                        "unknown-type",
+                        f"unknown frame type {kind!r} on a worker "
+                        "connection"))
+        except ProtocolError:
+            # A protocol violator is "gone", not "flapping" — its
+            # byte stream can't be trusted, so neither can a reclaim.
+            # Expel now (requeueing its leases) so the disconnect
+            # cleanup below finds nothing to park.
+            self._expel_worker(session.id, "protocol violation")
+            raise
+
+    def _reclaim_worker(self, uid: Optional[str]
+                        ) -> Optional[WorkerState]:
+        """The parked (or superseded) WorkerState for ``uid``, if any.
+
+        A re-register may race the daemon's discovery of the old
+        connection's death — the uid also reclaims straight out of
+        ``_workers``, closing the stale session.
+        """
+        if not uid:
+            return None
+        worker = self._flapping.pop(uid, None)
+        if worker is not None:
+            return worker
+        for session_id, live in list(self._workers.items()):
+            if live.uid == uid:
+                del self._workers[session_id]
+                self.log(f"worker {live.id} re-registered over a "
+                         f"stale connection — superseding it")
+                with contextlib.suppress(Exception):
+                    live.session.writer.close()
+                return live
+        return None
 
     # -- per-connection protocol ---------------------------------------------
 
@@ -786,7 +1159,10 @@ class ReproDaemon:
         executor instead of forgotten.
         """
         if session.id in self._workers:
-            self._expel_worker(session.id, "disconnected")
+            # A flap (identity + leases in flight) parks; anything
+            # else is a plain expel with requeue.
+            if not self._park_worker(session.id):
+                self._expel_worker(session.id, "disconnected")
         session.closed = True
         for submission in list(session.submissions.values()):
             submission.cancelled = True
@@ -946,9 +1322,15 @@ class ReproDaemon:
             "cache": self.cache is not None,
             "local_execution": self.local_execution,
             "lease_timeout_s": self.lease_timeout_s,
+            "journal": self._journal is not None,
+            "resume": self.resume,
             "workers": [
                 worker.stats_row(now)
                 for worker in sorted(self._workers.values(),
+                                     key=lambda w: w.id)
+            ] + [
+                worker.stats_row(now, status="flapping")
+                for worker in sorted(self._flapping.values(),
                                      key=lambda w: w.id)
             ],
         })

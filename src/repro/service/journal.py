@@ -1,0 +1,202 @@
+"""Write-ahead journal that makes a sweep campaign survive daemon death.
+
+The daemon's queue and lease table live in memory; a SIGKILL would
+silently drop every spec a client had submitted but not yet received.
+The journal closes that hole with the cheapest durable structure that
+works: an append-only JSONL file under the cache directory, one record
+per state transition::
+
+    {"op": "queued",  "key": K, "spec": {<canonical spec>}}
+    {"op": "leased",  "key": K, "executor": "local" | "<worker uid>"}
+    {"op": "settled", "key": K, "error": null | str}
+    {"op": "drained"}
+
+Recovery is a linear replay: every ``queued`` key without a matching
+``settled`` is still owed to somebody, so a restarting daemon
+(``repro serve --resume``, the default) re-enqueues those specs before
+accepting connections.  ``leased`` records are advisory — a lease held
+at crash time is simply re-run, which is safe because specs are
+content-addressed and entry points are pure: the re-execution produces
+byte-identical payloads, and warm specs short-circuit through the
+result cache anyway.  ``drained`` marks a clean shutdown, after which
+replay is a no-op.
+
+Two failure modes the format is built around:
+
+* **Torn tail.**  A crash mid-append leaves a truncated final line.
+  Replay stops at the first undecodable line instead of refusing the
+  whole file — everything before the tear is trustworthy because each
+  record is flushed (and fsynced for ``queued``) before the state
+  transition it describes is acted on.
+* **Unbounded growth.**  Long-lived daemons compact: the file is
+  rewritten to contain only live (unsettled) entries whenever the
+  dead-record count crosses a threshold, via tmp + ``os.replace`` so
+  a crash mid-compaction loses nothing.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Iterator, Optional, TextIO, Tuple
+
+#: Journal file name, placed inside the daemon's cache directory (the
+#: cache globs ``*/*.json`` for its own entries, so a top-level
+#: ``.jsonl`` file never collides with result payloads).
+JOURNAL_NAME = "service-journal.jsonl"
+
+#: Compact once this many dead (settled/superseded) records accumulate.
+COMPACT_THRESHOLD = 4096
+
+
+def journal_path(cache_dir) -> Path:
+    return Path(cache_dir) / JOURNAL_NAME
+
+
+def _iter_records(path: Path) -> Iterator[Dict[str, Any]]:
+    """Decoded records up to the first torn/corrupt line."""
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError:
+        return
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError:
+            return  # torn tail — trust nothing at or past the tear
+        if not isinstance(record, dict) or "op" not in record:
+            return
+        yield record
+
+
+def replay(path: Path) -> Dict[str, dict]:
+    """``{key: canonical spec}`` for every queued-but-unsettled record.
+
+    This is the daemon's debt at the moment of the crash: specs a
+    client submitted that never produced a settlement.  A ``drained``
+    record wipes the slate (clean shutdown).
+    """
+    live: Dict[str, dict] = {}
+    for record in _iter_records(path):
+        op = record.get("op")
+        if op == "queued":
+            key, spec = record.get("key"), record.get("spec")
+            if isinstance(key, str) and isinstance(spec, dict):
+                live[key] = spec
+        elif op == "settled":
+            live.pop(record.get("key"), None)
+        elif op == "drained":
+            live.clear()
+    return live
+
+
+class ServiceJournal:
+    """Append-side handle used by a running daemon.
+
+    Not thread-safe by itself — the daemon serializes all appends on
+    its event loop, which is the only writer.
+    """
+
+    def __init__(self, path) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._file: Optional[TextIO] = open(
+            self.path, "a", encoding="utf-8")
+        self._live = 0
+        self._dead = 0
+
+    # -- appends ------------------------------------------------------------
+
+    def record_queued(self, key: str, spec_canonical: dict) -> None:
+        # fsync: this is the one record whose loss breaks the durability
+        # contract (a spec accepted from a client must survive us).
+        self._append({"op": "queued", "key": key, "spec": spec_canonical},
+                     fsync=True)
+        self._live += 1
+
+    def record_leased(self, key: str, executor: str) -> None:
+        self._append({"op": "leased", "key": key, "executor": executor})
+        self._dead += 1
+
+    def record_settled(self, key: str, error: Optional[str]) -> None:
+        self._append({"op": "settled", "key": key, "error": error})
+        self._live = max(0, self._live - 1)
+        self._dead += 2  # the settled record + the queued one it retires
+
+    def record_drained(self) -> None:
+        self._append({"op": "drained"}, fsync=True)
+
+    def _append(self, record: Dict[str, Any], fsync: bool = False) -> None:
+        if self._file is None:
+            return
+        try:
+            self._file.write(json.dumps(
+                record, sort_keys=True, separators=(",", ":")) + "\n")
+            self._file.flush()
+            if fsync:
+                os.fsync(self._file.fileno())
+        except (OSError, ValueError):
+            # A dying disk must not take the daemon down with it; the
+            # journal degrades to best-effort and recovery loses depth.
+            return
+
+    # -- maintenance --------------------------------------------------------
+
+    @property
+    def wants_compaction(self) -> bool:
+        return self._dead >= COMPACT_THRESHOLD
+
+    def compact(self, live: Dict[str, dict]) -> None:
+        """Rewrite the file to exactly the given live set, atomically."""
+        if self._file is None:
+            return
+        tmp = self.path.with_suffix(f".tmp.{os.getpid()}")
+        try:
+            with open(tmp, "w", encoding="utf-8") as out:
+                for key, spec in live.items():
+                    out.write(json.dumps(
+                        {"op": "queued", "key": key, "spec": spec},
+                        sort_keys=True, separators=(",", ":")) + "\n")
+                out.flush()
+                os.fsync(out.fileno())
+            self._file.close()
+            os.replace(tmp, self.path)
+        except OSError:
+            return
+        finally:
+            try:
+                tmp.unlink(missing_ok=True)
+            except OSError:
+                pass
+        self._file = open(self.path, "a", encoding="utf-8")
+        self._live, self._dead = len(live), 0
+
+    def close(self) -> None:
+        if self._file is not None:
+            try:
+                self._file.close()
+            except OSError:
+                pass
+            self._file = None
+
+    # -- recovery -----------------------------------------------------------
+
+    @classmethod
+    def recover(cls, cache_dir) -> Tuple["ServiceJournal", Dict[str, dict]]:
+        """Open the journal under ``cache_dir`` and return its debt.
+
+        The file is compacted down to the recovered live set before
+        appending resumes, so a crash loop cannot grow it without bound.
+        """
+        path = journal_path(cache_dir)
+        live = replay(path)
+        journal = cls(path)
+        journal.compact(live)
+        return journal, live
+
+
+__all__ = ["ServiceJournal", "JOURNAL_NAME", "COMPACT_THRESHOLD",
+           "journal_path", "replay"]

@@ -30,14 +30,21 @@ Conversation shape (worker first) — a remote worker node dials the
 same listener but opens with ``register`` instead of ``hello``, then
 *receives* work instead of submitting it::
 
-    -> {"type": "register", "version": 1, "jobs": N,
-        "replica_batch": bool, "repro": "<version>", "name": ...}
-    <- {"type": "registered", "worker_id": W,
+    -> {"type": "register", "version": 1, "uid": "<stable id>",
+        "jobs": N, "replica_batch": bool, "repro": "<version>",
+        "name": ...}
+    <- {"type": "registered", "worker_id": W, "reclaimed": r,
         "heartbeat_interval_s": h, "lease_timeout_s": t,
         "credit_window": c}
     <- {"type": "lease", "lease_id": "L7", "specs": [<canonical>...]}
+    -> {"type": "cache-lookup", "lookup_id": "c1", "keys": [...]}
+    <- {"type": "cache-result", "lookup_id": "c1", "hits": [...keys]}
     -> {"type": "upload", "lease_id": "L7", "key": ..., "elapsed_s": t,
-        "error": null | str, "report": {<report payload>}}  # per spec
+        "cached": bool, "error": null | str,
+        "report": {<report payload>}}            # per cold spec
+    -> {"type": "cache-push", "key": ..., "spec": <canonical>,
+        "elapsed_s": t, "error": null | str,
+        "report": {<report payload>}}            # out-of-lease result
     -> {"type": "heartbeat"}                     # every h seconds
     <- {"type": "bye"}                           # on daemon drain
 
@@ -47,6 +54,26 @@ queued behind it); every ``upload`` frees a credit.  A worker whose
 connection drops, or whose heartbeats stop for longer than the lease
 timeout, is expelled and its leased specs are silently reassigned to
 another executor — the submitting client never sees the gap.
+
+Durability semantics layered on top of the framing:
+
+* ``uid`` is a stable worker identity that survives reconnects.  When
+  a connection drops but the *process* is alive (a network flap), the
+  daemon parks the worker's leases instead of requeueing them; a
+  re-``register`` with the same uid inside the lease timeout reclaims
+  them (``reclaimed`` in the reply), so a flap costs zero
+  re-executions.  Only a worker that stays gone past the lease
+  timeout — or one that violates the protocol — is expelled.
+* ``cache-lookup`` lets a worker ask the hub which of its leased keys
+  are already warm in the hub's content-addressed cache; the daemon
+  settles the hits from cache itself and the worker executes only the
+  remainder.  ``cache-push`` travels the other way: a result computed
+  while disconnected (or found in the worker's own local cache) is
+  shipped hub-ward as a canonical payload, keyed — like everything
+  else — by the spec's content hash, so double-delivery is idempotent.
+* Specs are content-addressed, which makes every retry in the system
+  (client resubmit, worker reconnect flush, daemon journal replay)
+  an idempotent merge rather than duplicate work.
 
 Any protocol violation is answered with
 ``{"type": "error", "code": ..., "message": ...}`` and — for framing
@@ -247,12 +274,18 @@ def hello_frame() -> Dict[str, Any]:
     return {"type": "hello", "version": PROTOCOL_VERSION}
 
 
-def register_frame(*, jobs: int, replica_batch: bool,
-                   name: str) -> Dict[str, Any]:
-    """A worker's opening frame: protocol version + capabilities."""
+def register_frame(*, jobs: int, replica_batch: bool, name: str,
+                   uid: Optional[str] = None) -> Dict[str, Any]:
+    """A worker's opening frame: identity + protocol version + capabilities.
+
+    ``uid`` is the worker's stable identity; re-registering with the
+    same uid within the lease timeout reclaims parked leases instead
+    of triggering reassignment.  ``None`` (legacy callers) degrades to
+    per-connection identity with no reclaim.
+    """
     from repro import __version__
 
-    return {
+    frame = {
         "type": "register",
         "version": PROTOCOL_VERSION,
         "jobs": jobs,
@@ -260,6 +293,9 @@ def register_frame(*, jobs: int, replica_batch: bool,
         "repro": __version__,
         "name": name,
     }
+    if uid is not None:
+        frame["uid"] = uid
+    return frame
 
 
 def error_frame(code: str, message: str) -> Dict[str, Any]:

@@ -24,26 +24,48 @@ Design points:
   lease does not look like a death.  The daemon picks the interval
   (a third of its lease timeout) and tells us at registration.
   Socket writes (uploads from the lease loop, heartbeats from the
-  thread) share one lock; frames are atomic under it.
+  thread) share one lock; frames are atomic under it.  Sends carry an
+  OS-level timeout (``SO_SNDTIMEO``) and the thread sleeps on an
+  event, so a wedged daemon can neither strand the heartbeat in a
+  blocked ``send`` nor stop :meth:`stop` from completing — ``run``
+  always joins the thread with a deadline on the way out.
+* **Identity survives the connection.**  The worker registers with a
+  stable ``uid``; when the connection drops mid-campaign it keeps
+  executing, buffers finished results, reconnects under
+  :class:`~repro.service.client.RetryPolicy` backoff, reclaims its
+  parked leases (the daemon's reconnect-without-requeue path) and
+  flushes the buffer as ``cache-push`` frames.  A network flap costs
+  the fleet zero re-executions.
+* **The hub's cache is checked before executing.**  Each lease opens
+  with a ``cache-lookup``; warm keys are settled hub-side and dropped
+  from the batch, so a worker joining mid-campaign executes no spec
+  the fleet already paid for.  With ``cache_dir`` set the worker also
+  keeps a local cache whose hits upload as ``cached`` payloads —
+  shipping its private history into the hub.
 * **A dead daemon is handled like a dead server anywhere else** —
   the CLI maps a failed dial or a version-mismatch handshake to exit
-  code 2 with a one-line error, and a connection lost mid-service to
-  exit code 1.
+  code 2 with a one-line error, and a connection lost mid-service
+  (after reconnects are exhausted) to exit code 1.
 """
 
 from __future__ import annotations
 
+import collections
+import itertools
 import os
 import socket
+import struct
 import sys
 import threading
 import time
-from typing import Any, Dict, List, Optional
+import uuid
+from typing import Any, Deque, Dict, List, Optional
 
 from repro.experiments.base import ExperimentReport
-from repro.runner.cache import report_to_payload
+from repro.runner.cache import ResultCache, report_to_payload
 from repro.runner.executor import JobRunner, RunOutcome
 from repro.runner.spec import RunSpec
+from repro.service.client import RetryPolicy
 from repro.service.protocol import (
     ProtocolError,
     connect,
@@ -52,10 +74,34 @@ from repro.service.protocol import (
     write_frame,
 )
 
+#: Upper bound on one blocking socket send; a wedged peer turns into
+#: an OSError the caller handles instead of a stranded thread.
+SEND_TIMEOUT_S = 10.0
+
 
 class WorkerError(RuntimeError):
     """Registration or service failed in a way the worker reports
     with one line and an exit code (see ``repro worker``)."""
+
+
+def _bound_send_timeout(sock: socket.socket,
+                        seconds: float = SEND_TIMEOUT_S) -> None:
+    """Bound blocking sends without touching the receive side.
+
+    ``settimeout`` would cap reads too (and leases can be minutes
+    apart), so the send bound goes in at the socket-option level.
+    Best-effort: platforms without ``SO_SNDTIMEO`` keep the old
+    behaviour.
+    """
+    if not hasattr(socket, "SO_SNDTIMEO"):  # pragma: no cover
+        return
+    try:
+        sock.setsockopt(
+            socket.SOL_SOCKET, socket.SO_SNDTIMEO,
+            struct.pack("ll", int(seconds),
+                        int((seconds - int(seconds)) * 1_000_000)))
+    except (OSError, struct.error):  # pragma: no cover — platform quirk
+        return
 
 
 class ReproWorker:
@@ -65,15 +111,19 @@ class ReproWorker:
     :meth:`run` to a thread and use :meth:`wait_registered` /
     :meth:`stop` (tests and benches).  ``run`` returns the process
     exit code: 0 after a clean ``bye`` or :meth:`stop`, 1 when the
-    daemon vanishes mid-service; a daemon that cannot be dialed or
-    refuses registration raises (``OSError`` / :class:`WorkerError`)
-    so the CLI can map both to exit code 2.
+    daemon stays gone through every reconnect attempt; a daemon that
+    cannot be dialed or refuses the *first* registration raises
+    (``OSError`` / :class:`WorkerError`) so the CLI can map both to
+    exit code 2.
     """
 
     def __init__(self, address: str, *, jobs: int = 1,
                  replica_batch: bool = False,
                  name: Optional[str] = None,
                  timeout: float = 30.0,
+                 cache_dir: Optional[str] = None,
+                 retry: Optional[RetryPolicy] = None,
+                 use_hub_cache: bool = True,
                  quiet: bool = False) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -81,18 +131,37 @@ class ReproWorker:
         self.jobs = jobs
         self.replica_batch = replica_batch
         self.name = name or f"{socket.gethostname()}-{os.getpid()}"
+        #: Stable identity across reconnects (but not restarts: a new
+        #: process must not reclaim leases whose work died with the
+        #: old one, so the uid includes a per-process nonce).
+        self.uid = f"{self.name}-{uuid.uuid4().hex[:8]}"
         self.timeout = timeout
+        self.retry = retry if retry is not None else RetryPolicy(
+            max_attempts=8, base_delay_s=0.25, max_delay_s=5.0)
+        self.use_hub_cache = use_hub_cache
         self.quiet = quiet
-        self._runner = JobRunner(jobs=jobs, replica_batch=replica_batch)
+        self.cache = ResultCache(cache_dir) if cache_dir else None
+        self._runner = JobRunner(jobs=jobs, cache=self.cache,
+                                 replica_batch=replica_batch)
         self._sock: Optional[socket.socket] = None
         self._send_lock = threading.Lock()
         self._registered = threading.Event()
+        self._stop_event = threading.Event()
         self._stopping = False
+        #: frames received while waiting for a specific reply
+        #: (a lease can land while a cache-lookup is in flight).
+        self._inbox: Deque[Dict[str, Any]] = collections.deque()
+        #: results finished while disconnected, flushed as cache-push
+        #: frames on reconnect: [(spec, elapsed_s, error, payload)].
+        self._push_buffer: List[tuple] = []
+        self._lookup_ids = itertools.count(1)
         self.worker_id: Optional[int] = None
         self.heartbeat_interval_s = 5.0
         self.leases_run = 0
         self.specs_completed = 0
         self.specs_failed = 0
+        self.specs_skipped_warm = 0
+        self.reconnects = 0
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -109,6 +178,7 @@ class ReproWorker:
         """Thread-safe clean-stop request: closes the socket, which
         pops the serve loop out of its blocking read with exit 0."""
         self._stopping = True
+        self._stop_event.set()
         sock = self._sock
         if sock is not None:
             try:
@@ -125,7 +195,8 @@ class ReproWorker:
 
         Raises ``OSError`` (daemon unreachable) or :class:`WorkerError`
         (registration refused) before any work is accepted; after
-        that, returns an exit code instead of raising.
+        that, a lost connection goes through the reconnect policy and
+        only an exhausted policy returns 1.
         """
         self._runner.warm()  # fork workers before any threads exist
         self._connect()
@@ -134,25 +205,39 @@ class ReproWorker:
                                      daemon=True)
         heartbeat.start()
         try:
-            return self._serve()
-        except (ProtocolError, OSError) as exc:
-            # An upload failed mid-lease: the daemon is gone (it will
-            # have reassigned our leases the moment the socket died).
-            if self._stopping:
-                return 0
-            self.log(f"connection to {self.address} lost: {exc}")
-            return 1
+            while True:
+                try:
+                    return self._serve()
+                except (ProtocolError, ConnectionError, OSError) as exc:
+                    if self._stopping:
+                        return 0
+                    self.log(f"connection to {self.address} lost: "
+                             f"{exc}")
+                if not self._reconnect():
+                    self.log(
+                        f"daemon stayed unreachable through "
+                        f"{self.retry.max_attempts} reconnect "
+                        f"attempts; giving up")
+                    return 1
         finally:
             self._stopping = True
+            self._stop_event.set()
             self.stop()
+            # Deadline, not forever: a send stuck inside the daemon's
+            # kernel buffers is already bounded by SO_SNDTIMEO, and
+            # the thread is a daemon thread besides — but an orderly
+            # exit should not depend on either.
+            heartbeat.join(timeout=SEND_TIMEOUT_S)
 
     # -- the fleet protocol, worker side -------------------------------------
 
     def _connect(self) -> None:
+        self._inbox.clear()  # stale frames die with their connection
         self._sock = connect(self.address, timeout=self.timeout)
+        _bound_send_timeout(self._sock)
         self._send(register_frame(jobs=self.jobs,
                                   replica_batch=self.replica_batch,
-                                  name=self.name))
+                                  name=self.name, uid=self.uid))
         reply = read_frame(self._sock)
         if reply is None:
             raise WorkerError(
@@ -169,12 +254,62 @@ class ReproWorker:
         interval = reply.get("heartbeat_interval_s")
         if isinstance(interval, (int, float)) and interval > 0:
             self.heartbeat_interval_s = float(interval)
-        # Leases can be minutes apart on a busy fleet; only our own
-        # outbound heartbeats are time-bounded.
+        # Leases can be minutes apart on a busy fleet; only outbound
+        # traffic is time-bounded (see _bound_send_timeout).
         self._sock.settimeout(None)
         self._registered.set()
+        reclaimed = reply.get("reclaimed") or 0
         self.log(f"registered with {self.address} as worker "
-                 f"{self.worker_id} (jobs={self.jobs})")
+                 f"{self.worker_id} (jobs={self.jobs}"
+                 + (f", {reclaimed} lease(s) reclaimed" if reclaimed
+                    else "") + ")")
+
+    def _reconnect(self) -> bool:
+        """Backoff-paced re-dial + re-register; flushes the buffer.
+
+        Returns ``False`` once the policy is exhausted (or a stop was
+        requested mid-backoff).  Registration *refusals* also count as
+        failed attempts here — a draining daemon and a dead daemon
+        look the same to a worker that just wants its campaign back.
+        """
+        self._registered.clear()
+        for attempt, delay in enumerate(self.retry.delays(), start=1):
+            if self._stop_event.wait(delay) or self._stopping:
+                return False
+            try:
+                self._connect()
+            except (WorkerError, OSError) as exc:
+                self.log(f"reconnect attempt {attempt}/"
+                         f"{self.retry.max_attempts} failed: {exc}")
+                continue
+            self.reconnects += 1
+            self._flush_pushes()
+            return True
+        return False
+
+    def _flush_pushes(self) -> None:
+        """Ship results that finished while disconnected hub-ward."""
+        flushed = 0
+        while self._push_buffer:
+            spec, elapsed_s, error, payload = self._push_buffer[0]
+            try:
+                self._send({
+                    "type": "cache-push",
+                    "key": spec.key(),
+                    "spec": spec.canonical(),
+                    "elapsed_s": elapsed_s,
+                    "error": error,
+                    "report": payload,
+                })
+            except OSError:
+                # Connection died again already; keep the remainder
+                # for the next successful reconnect.
+                break
+            self._push_buffer.pop(0)
+            flushed += 1
+        if flushed:
+            self.log(f"flushed {flushed} buffered result(s) "
+                     "as cache-push")
 
     def _send(self, frame: Dict[str, Any]) -> None:
         sock = self._sock
@@ -184,31 +319,31 @@ class ReproWorker:
             write_frame(sock, frame)
 
     def _heartbeat_loop(self) -> None:
-        while not self._stopping:
-            time.sleep(self.heartbeat_interval_s)
+        while not self._stop_event.wait(self.heartbeat_interval_s):
             if self._stopping:
                 return
+            if not self._registered.is_set():
+                continue  # mid-reconnect: nothing to heartbeat yet
             try:
                 self._send({"type": "heartbeat"})
             except OSError:
-                return  # the serve loop surfaces the dead connection
+                continue  # the serve loop handles the dead connection
+
+    def _next_frame(self) -> Optional[Dict[str, Any]]:
+        if self._inbox:
+            return self._inbox.popleft()
+        assert self._sock is not None
+        return read_frame(self._sock)
 
     def _serve(self) -> int:
-        assert self._sock is not None
         while True:
-            try:
-                frame = read_frame(self._sock)
-            except (ProtocolError, OSError) as exc:
-                if self._stopping:
-                    return 0
-                self.log(f"connection to {self.address} lost: {exc}")
-                return 1
+            frame = self._next_frame()
             if frame is None:
                 if self._stopping:
                     return 0
-                self.log(f"{self.address} closed the connection "
-                         "without a bye")
-                return 1
+                raise ConnectionError(
+                    f"{self.address} closed the connection without "
+                    "a bye")
             kind = frame.get("type")
             if kind == "lease":
                 self._run_lease(frame)
@@ -245,15 +380,19 @@ class ReproWorker:
                 f"lease {lease_id!r} carries a malformed spec: "
                 f"{exc}") from exc
         self.leases_run += 1
+        if self.use_hub_cache:
+            specs = self._drop_warm(lease_id, specs)
+            if not specs:
+                return
         self.log(f"lease {lease_id}: {len(specs)} job(s)")
         uploaded = set()
 
-        def upload(outcome: RunOutcome) -> None:
-            self._upload(lease_id, outcome)
+        def deliver(outcome: RunOutcome) -> None:
+            self._deliver(lease_id, outcome)
             uploaded.add(outcome.spec.key())
 
         try:
-            self._runner.run(specs, on_outcome=upload)
+            self._runner.run(specs, on_outcome=deliver)
         except (ProtocolError, OSError):
             raise  # the connection itself failed mid-upload
         except Exception as exc:  # noqa: BLE001
@@ -265,19 +404,80 @@ class ReproWorker:
                      f"{type(exc).__name__}: {exc}")
             self._fail_rest(lease_id, specs, uploaded, str(exc))
 
-    def _upload(self, lease_id: Any, outcome: RunOutcome) -> None:
+    def _drop_warm(self, lease_id: Any,
+                   specs: List[RunSpec]) -> List[RunSpec]:
+        """Ask the hub which leased keys are warm; keep the cold ones.
+
+        The daemon settles every hit itself, so a dropped spec is a
+        *finished* spec from the client's point of view.  A lookup
+        that cannot complete (connection trouble) degrades to
+        executing everything — correctness never depends on it.
+        """
+        lookup_id = f"c{next(self._lookup_ids)}"
+        try:
+            self._send({
+                "type": "cache-lookup",
+                "lookup_id": lookup_id,
+                "keys": [spec.key() for spec in specs],
+            })
+            result = self._await_cache_result(lookup_id)
+        except (ConnectionError, OSError):
+            return specs
+        hits = result.get("hits")
+        if not isinstance(hits, list):
+            return specs
+        warm = {key for key in hits if isinstance(key, str)}
+        if warm:
+            self.specs_skipped_warm += len(warm)
+            self.log(f"lease {lease_id}: {len(warm)}/{len(specs)} "
+                     "already warm at the hub — skipped")
+        return [spec for spec in specs if spec.key() not in warm]
+
+    def _await_cache_result(self, lookup_id: str) -> Dict[str, Any]:
+        """Read until our cache-result; stash everything else.
+
+        Frames that arrive out of order (another lease, an error, the
+        drain's bye) go to ``_inbox`` for the serve loop — the
+        conversation is a stream, not a strict request/response.
+        """
+        assert self._sock is not None
+        while True:
+            frame = read_frame(self._sock)
+            if frame is None:
+                raise ConnectionError(
+                    "connection closed awaiting a cache-result")
+            if frame.get("type") == "cache-result" \
+                    and frame.get("lookup_id") == lookup_id:
+                return frame
+            self._inbox.append(frame)
+
+    def _deliver(self, lease_id: Any, outcome: RunOutcome) -> None:
+        """Upload one outcome, or buffer it if the daemon is gone."""
         if outcome.error is None:
             self.specs_completed += 1
         else:
             self.specs_failed += 1
-        self._send({
-            "type": "upload",
-            "lease_id": lease_id,
-            "key": outcome.spec.key(),
-            "elapsed_s": outcome.elapsed_s,
-            "error": outcome.error,
-            "report": report_to_payload(outcome.report),
-        })
+        payload = report_to_payload(outcome.report)
+        try:
+            self._send({
+                "type": "upload",
+                "lease_id": lease_id,
+                "key": outcome.spec.key(),
+                "spec": outcome.spec.canonical(),
+                "cached": outcome.cached,
+                "elapsed_s": outcome.elapsed_s,
+                "error": outcome.error,
+                "report": payload,
+            })
+        except OSError:
+            if self._stopping:
+                raise
+            # Keep executing the lease: the work is paid for whether
+            # or not the daemon is listening right now, and the
+            # buffer turns into cache-push frames on reconnect.
+            self._push_buffer.append(
+                (outcome.spec, outcome.elapsed_s, outcome.error,
+                 payload))
 
     def _fail_rest(self, lease_id: Any, specs: List[RunSpec],
                    uploaded: set, message: str) -> None:
@@ -290,9 +490,9 @@ class ReproWorker:
                 experiment_id=spec.experiment_id,
                 title="job failed — exception in the entry point",
                 warnings=[error])
-            self._upload(lease_id, RunOutcome(
+            self._deliver(lease_id, RunOutcome(
                 spec, report, cached=False, elapsed_s=0.0,
                 error=error))
 
 
-__all__ = ["ReproWorker", "WorkerError"]
+__all__ = ["ReproWorker", "WorkerError", "SEND_TIMEOUT_S"]

@@ -423,3 +423,47 @@ class TestWorkerCommand:
                 wthread.join(timeout=15)
             thread.join(timeout=15)
         assert not thread.is_alive()
+
+
+class TestDurabilityFlags:
+    def test_serve_resume_defaults_on(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.resume is True
+        args = build_parser().parse_args(["serve", "--no-resume"])
+        assert args.resume is False
+
+    def test_worker_durability_flags(self):
+        args = build_parser().parse_args(["worker"])
+        assert args.cache_dir == ""
+        assert args.retry_max == 8
+        assert args.retry_base == 0.25
+        args = build_parser().parse_args(
+            ["worker", "--cache-dir", "/tmp/wc",
+             "--retry-max", "3", "--retry-base", "0.5"])
+        assert args.cache_dir == "/tmp/wc"
+        assert args.retry_max == 3
+        assert args.retry_base == 0.5
+
+    def test_run_retry_flags(self):
+        args = build_parser().parse_args(
+            ["run", "e4", "--server", "--retry-max", "5",
+             "--retry-base", "0.1"])
+        assert args.retry_max == 5
+        assert args.retry_base == 0.1
+        defaults = build_parser().parse_args(["run", "e4"])
+        assert defaults.retry_max == 5
+        assert defaults.retry_base == 0.2
+
+    def test_chaos_requires_upstream(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["chaos"])
+        assert "--upstream" in capsys.readouterr().err
+
+    def test_chaos_rejects_bad_probability(self, capsys):
+        assert main(["chaos", "--upstream", "127.0.0.1:1",
+                     "--p-disconnect", "1.5"]) == 2
+        assert "--p-disconnect" in capsys.readouterr().err
+
+    def test_chaos_rejects_bad_upstream(self, capsys):
+        assert main(["chaos", "--upstream", "not-an-address"]) == 2
+        assert "bad service address" in capsys.readouterr().err

@@ -186,6 +186,54 @@ class TestCache:
         path.write_text(json.dumps(payload))
         assert cache.load(FAST_SPEC) is None
 
+    def test_bitflipped_report_evicted_and_reexecuted(self, tmp_path):
+        # Entries travel (rsync, cache-lookup frames): a payload whose
+        # digest no longer matches must never be served.
+        cache = ResultCache(tmp_path)
+        execute([FAST_SPEC], cache=cache)
+        path = cache.path_for(FAST_SPEC)
+        payload = json.loads(path.read_text())
+        payload["report"]["title"] = "tampered"  # spec half untouched
+        path.write_text(json.dumps(payload))
+        assert cache.load(FAST_SPEC) is None
+        assert cache.stats.evictions == 1
+        assert not path.exists()
+        (outcome,) = execute([FAST_SPEC], cache=cache)
+        assert not outcome.cached
+        assert cache.load(FAST_SPEC) is not None
+
+    def test_pre_digest_entry_reads_as_miss(self, tmp_path):
+        # Entries written before the digest field existed must be
+        # treated as unverifiable, not trusted.
+        cache = ResultCache(tmp_path)
+        execute([FAST_SPEC], cache=cache)
+        path = cache.path_for(FAST_SPEC)
+        payload = json.loads(path.read_text())
+        del payload["digest"]
+        path.write_text(json.dumps(payload))
+        assert cache.load(FAST_SPEC) is None
+        assert cache.stats.evictions == 1
+
+    def test_truncated_file_evicted(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        execute([FAST_SPEC], cache=cache)
+        path = cache.path_for(FAST_SPEC)
+        text = path.read_text()
+        path.write_text(text[:len(text) // 2])
+        assert cache.load(FAST_SPEC) is None
+        assert cache.stats.evictions == 1
+        assert not path.exists()
+
+    def test_digest_is_stable_across_roundtrip(self, tmp_path):
+        from repro.runner.cache import (payload_digest,
+                                        report_to_payload)
+
+        cache = ResultCache(tmp_path)
+        (outcome,) = execute([FAST_SPEC], cache=cache)
+        stored = json.loads(cache.path_for(FAST_SPEC).read_text())
+        assert stored["digest"] \
+            == payload_digest(report_to_payload(outcome.report))
+
 
 class TestManifest:
     def test_merge_outcomes_keeps_report_shape(self):

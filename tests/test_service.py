@@ -9,8 +9,16 @@ resume, cancellation, backpressure — deterministic instead of racy.
 """
 
 import collections
+import json
+import os
+import pathlib
+import random
+import signal
 import socket
 import struct
+import subprocess
+import sys
+import textwrap
 import threading
 import time
 
@@ -25,11 +33,15 @@ from repro.service import (
     PROTOCOL_VERSION,
     ProtocolError,
     ReproDaemon,
+    RetryPolicy,
     ServiceClient,
     ServiceError,
+    ServiceJournal,
     execute_via_server,
+    journal_path,
     parse_address,
 )
+from repro.service.journal import replay
 from repro.service.protocol import (
     connect,
     decode_payload,
@@ -640,7 +652,10 @@ class TestWorkerFleet:
     def test_worker_death_mid_lease_reassigned(
             self, start_daemon, start_worker, fake_experiment):
         fake_experiment.gate.clear()
-        daemon = start_daemon(local_execution=False)
+        # A short lease timeout: the flap-parking grace must expire
+        # before the daemon declares the worker gone and reassigns.
+        daemon = start_daemon(local_execution=False,
+                              lease_timeout_s=0.5)
         first = start_worker(daemon.bound_address)
         specs = [fake_experiment.spec(seed) for seed in range(2)]
         results = []
@@ -749,9 +764,12 @@ class TestWorkerFleet:
             self, start_daemon, start_worker, fake_experiment):
         # Leases requeued off a worker that dies *during* the drain
         # have no executor left (--no-local, fleet now empty); the
-        # drain fails them visibly instead of waiting forever.
+        # drain fails them visibly instead of waiting forever.  The
+        # short lease timeout bounds the flap-parking window the
+        # drain honours before giving the worker up for gone.
         fake_experiment.gate.clear()
-        daemon = start_daemon(local_execution=False)
+        daemon = start_daemon(local_execution=False,
+                              lease_timeout_s=0.5)
         handle = start_worker(daemon.bound_address)
         results = []
         client = threading.Thread(
@@ -930,14 +948,425 @@ class TestHostileWorkers:
         self._daemon_alive(daemon)
 
 
+class TestRetryPolicy:
+    def test_delays_bounded_by_exponential_cap(self):
+        policy = RetryPolicy(max_attempts=6, base_delay_s=0.1,
+                             max_delay_s=0.4, jitter=0.5)
+        delays = list(policy.delays(random.Random(7)))
+        assert len(delays) == 6
+        for attempt, delay in enumerate(delays):
+            cap = min(0.4, 0.1 * (2 ** attempt))
+            assert cap * 0.5 <= delay <= cap
+
+    def test_deterministic_given_seeded_rng(self):
+        policy = RetryPolicy(max_attempts=4)
+        assert list(policy.delays(random.Random(3))) == \
+            list(policy.delays(random.Random(3)))
+
+    def test_zero_attempts_means_no_delays(self):
+        assert list(RetryPolicy(max_attempts=0)
+                    .delays(random.Random(0))) == []
+
+
 class TestReconnectClient:
     def test_client_retries_connection_refused(self, tmp_path):
-        # Nothing is listening: the client must retry, then raise a
-        # ServiceError (not a bare socket error).
+        # Nothing is listening: the client must retry with backoff,
+        # then raise a ServiceError (not a bare socket error) that
+        # names how many tries it burned.
         started = time.monotonic()
-        with pytest.raises(ServiceError, match="reconnect"):
+        with pytest.raises(ServiceError, match="reconnect") as excinfo:
             execute_via_server(
                 str(tmp_path / "nobody-home.sock"),
                 [RunSpec("e4", quick=True)],
-                reconnect_attempts=2, reconnect_delay_s=0.05)
+                retry=RetryPolicy(max_attempts=2, base_delay_s=0.05,
+                                  max_delay_s=0.1))
+        assert "3 tries total" in str(excinfo.value)
         assert time.monotonic() - started < 30
+
+
+class TestJournal:
+    """The write-ahead journal as a data structure."""
+
+    def test_replay_is_queued_minus_settled(self, tmp_path):
+        path = journal_path(tmp_path)
+        journal = ServiceJournal(path)
+        spec_a = RunSpec("e4", quick=True)
+        spec_b = RunSpec("e4", quick=True, seed=1)
+        journal.record_queued(spec_a.key(), spec_a.canonical())
+        journal.record_queued(spec_b.key(), spec_b.canonical())
+        journal.record_leased(spec_a.key(), "local")
+        journal.record_settled(spec_a.key(), None)
+        journal.close()
+        debt = replay(path)
+        assert set(debt) == {spec_b.key()}
+        assert debt[spec_b.key()] == spec_b.canonical()
+
+    def test_drained_marker_wipes_the_slate(self, tmp_path):
+        path = journal_path(tmp_path)
+        journal = ServiceJournal(path)
+        spec = RunSpec("e4", quick=True)
+        journal.record_queued(spec.key(), spec.canonical())
+        journal.record_drained()
+        journal.close()
+        assert replay(path) == {}
+
+    def test_torn_tail_keeps_everything_before_the_tear(self,
+                                                        tmp_path):
+        path = journal_path(tmp_path)
+        journal = ServiceJournal(path)
+        spec = RunSpec("e4", quick=True)
+        journal.record_queued(spec.key(), spec.canonical())
+        journal.close()
+        with open(path, "a", encoding="utf-8") as f:
+            f.write('{"op": "settled", "key": "' + spec.key())
+        # The settled record was torn mid-write: it must not count,
+        # and the queued record before the tear must survive.
+        assert set(replay(path)) == {spec.key()}
+
+    def test_recover_compacts_to_the_live_set(self, tmp_path):
+        path = journal_path(tmp_path)
+        journal = ServiceJournal(path)
+        live = RunSpec("e4", quick=True)
+        dead = RunSpec("e4", quick=True, seed=9)
+        journal.record_queued(dead.key(), dead.canonical())
+        journal.record_settled(dead.key(), None)
+        journal.record_queued(live.key(), live.canonical())
+        journal.close()
+        reopened, debt = ServiceJournal.recover(tmp_path)
+        reopened.close()
+        assert set(debt) == {live.key()}
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 1  # compacted: the dead pair is gone
+        assert json.loads(lines[0])["key"] == live.key()
+
+
+class TestDaemonRecovery:
+    """Crash recovery: ``--resume`` replays the journal's debt."""
+
+    def test_resume_requeues_and_runs_journal_debt(
+            self, start_daemon, fake_experiment, tmp_path):
+        cache_root = tmp_path / "recover-cache"
+        specs = [fake_experiment.spec(seed) for seed in range(2)]
+        journal = ServiceJournal(journal_path(cache_root))
+        for spec in specs:
+            journal.record_queued(spec.key(), spec.canonical())
+        journal.close()
+        # The restarted daemon owes these specs to clients that have
+        # not reconnected yet: they must run with zero subscribers.
+        daemon = start_daemon(cache_dir=str(cache_root))
+        assert daemon.stats.recovered_jobs == 2
+        _wait_until(lambda: daemon.stats.executed == 2,
+                    what="recovered jobs to execute")
+        # A reconnecting client resubmits and reads pure cache hits:
+        # zero client-visible loss, nothing ran twice.
+        outcomes = execute_via_server(daemon.bound_address, specs)
+        assert all(o.cached and o.error is None for o in outcomes)
+        assert [o.report.data["seed"] for o in outcomes] == [0, 1]
+        assert all(count == 1
+                   for count in fake_experiment.calls.values())
+
+    def test_no_resume_forgets_the_journal(self, start_daemon,
+                                           fake_experiment, tmp_path):
+        cache_root = tmp_path / "fresh-cache"
+        spec = fake_experiment.spec(7)
+        journal = ServiceJournal(journal_path(cache_root))
+        journal.record_queued(spec.key(), spec.canonical())
+        journal.close()
+        daemon = start_daemon(cache_dir=str(cache_root), resume=False)
+        assert daemon.stats.recovered_jobs == 0
+        assert replay(journal_path(cache_root)) == {}  # wiped
+        assert sum(fake_experiment.calls.values()) == 0
+
+    def test_garbage_in_journal_is_skipped(self, start_daemon,
+                                           tmp_path):
+        cache_root = tmp_path / "garbage-cache"
+        journal = ServiceJournal(journal_path(cache_root))
+        journal.record_queued("bogus-key", {"not": "a spec"})
+        journal.close()
+        daemon = start_daemon(cache_dir=str(cache_root))
+        assert daemon.stats.recovered_jobs == 0
+        assert daemon.wait_ready(1)  # the daemon survived the replay
+
+    def test_clean_drain_leaves_no_debt(self, tmp_path,
+                                        fake_experiment):
+        cache_root = tmp_path / "drain-cache"
+        daemon = ReproDaemon("127.0.0.1:0", jobs=1, quiet=True,
+                             cache_dir=str(cache_root))
+        thread = threading.Thread(target=daemon.run, daemon=True)
+        thread.start()
+        try:
+            assert daemon.wait_ready(10)
+            outcomes = execute_via_server(daemon.bound_address,
+                                          [fake_experiment.spec(4)])
+            assert outcomes[0].error is None
+        finally:
+            daemon.request_shutdown()
+            thread.join(timeout=15)
+        assert not thread.is_alive()
+        assert replay(journal_path(cache_root)) == {}
+
+    def test_journal_retires_settled_keys_live(self, start_daemon,
+                                               fake_experiment,
+                                               tmp_path):
+        cache_root = tmp_path / "live-cache"
+        daemon = start_daemon(cache_dir=str(cache_root))
+        execute_via_server(daemon.bound_address,
+                           [fake_experiment.spec(2)])
+        # Crash *now* and nothing would be owed: the settle record
+        # followed the queued record into the journal.
+        assert replay(journal_path(cache_root)) == {}
+
+
+class TestWorkerReconnect:
+    """Reconnect-without-requeue: a flap costs zero re-executions."""
+
+    def test_flap_reclaims_leases_and_flushes_results(
+            self, start_daemon, start_worker, fake_experiment):
+        fake_experiment.gate.clear()
+        daemon = start_daemon(local_execution=False,
+                              lease_timeout_s=10.0)
+        handle = start_worker(
+            daemon.bound_address,
+            retry=RetryPolicy(max_attempts=40, base_delay_s=0.05,
+                              max_delay_s=0.1))
+        specs = [fake_experiment.spec(seed) for seed in range(2)]
+        results = []
+        client = threading.Thread(
+            target=lambda: results.append(
+                execute_via_server(daemon.bound_address, specs)),
+            daemon=True)
+        client.start()
+        assert fake_experiment.entered.wait(10), \
+            "the worker never started executing"
+        # Sever the connection out from under the worker — the
+        # network flap, not a death: execution keeps running.
+        sock = handle.worker._sock
+        sock.shutdown(socket.SHUT_RDWR)
+        _wait_until(lambda: daemon.stats.workers_flapped == 1,
+                    what="the daemon to park the flapped worker")
+        assert daemon.stats.leases_reassigned == 0
+        fake_experiment.gate.set()
+        client.join(timeout=30)
+        assert not client.is_alive(), "client never got its results"
+        (outcomes,) = results
+        assert [o.report.data["seed"] for o in outcomes] == [0, 1]
+        assert all(o.error is None for o in outcomes)
+        # The reclaim did all the work: nothing was requeued, nothing
+        # ran twice, and the flap-finished result arrived hub-ward as
+        # a cache-push.
+        assert daemon.stats.workers_reconnected == 1
+        assert daemon.stats.leases_reclaimed >= 1
+        assert daemon.stats.leases_reassigned == 0
+        assert daemon.stats.cache_pushes >= 1
+        assert handle.worker.reconnects == 1
+        assert all(count == 1
+                   for count in fake_experiment.calls.values())
+
+    def test_stats_row_flags_flapping_worker(self, start_daemon,
+                                             start_worker,
+                                             fake_experiment):
+        fake_experiment.gate.clear()
+        daemon = start_daemon(local_execution=False,
+                              lease_timeout_s=10.0)
+        handle = start_worker(
+            daemon.bound_address,
+            retry=RetryPolicy(max_attempts=40, base_delay_s=0.2,
+                              max_delay_s=0.3))
+        results = []
+        client = threading.Thread(
+            target=lambda: results.append(
+                execute_via_server(daemon.bound_address,
+                                   [fake_experiment.spec(6)])),
+            daemon=True)
+        client.start()
+        assert fake_experiment.entered.wait(10)
+        handle.worker._sock.shutdown(socket.SHUT_RDWR)
+        _wait_until(lambda: daemon.stats.workers_flapped == 1,
+                    what="the flap to be parked")
+        with ServiceClient(daemon.bound_address, timeout=10.0) as c:
+            rows = c.stats()["workers"]
+        if rows:  # the worker may already have reconnected
+            assert rows[0]["status"] in ("up", "flapping")
+        fake_experiment.gate.set()
+        client.join(timeout=30)
+        assert not client.is_alive()
+        assert results[0][0].error is None
+
+    def test_worker_exhausts_reconnects_exit_1(self):
+        # A one-shot fake daemon: registers the worker, then dies for
+        # good.  The worker must retry per policy, then give up with
+        # exit code 1 (not 0, not a traceback).
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        host, port = listener.getsockname()
+
+        def serve_once():
+            conn, _ = listener.accept()
+            assert read_frame(conn)["type"] == "register"
+            write_frame(conn, {"type": "registered", "worker_id": 1,
+                               "reclaimed": 0,
+                               "heartbeat_interval_s": 5.0,
+                               "lease_timeout_s": 30.0,
+                               "credit_window": 2})
+            conn.close()
+            listener.close()
+
+        fake = threading.Thread(target=serve_once, daemon=True)
+        fake.start()
+        worker = ReproWorker(
+            f"{host}:{port}", jobs=1, quiet=True,
+            retry=RetryPolicy(max_attempts=2, base_delay_s=0.02,
+                              max_delay_s=0.05))
+        assert worker.run() == 1
+        fake.join(timeout=5)
+
+
+class TestCacheTransport:
+    """The fleet cache rides the protocol: lookups settle hub-side,
+    pushes merge worker results in, corruption is caught in transit."""
+
+    def test_midcampaign_worker_executes_zero_warm_specs(
+            self, start_daemon, start_worker, fake_experiment):
+        daemon = start_daemon()
+        specs = [fake_experiment.spec(seed) for seed in range(4)]
+        first = execute_via_server(daemon.bound_address, specs)
+        assert sum(fake_experiment.calls.values()) == 4
+        # A worker joining mid-campaign: wide enough to win every
+        # lease, but the cache-lookup must drop the whole batch.
+        handle = start_worker(daemon.bound_address, jobs=8)
+        again = execute_via_server(daemon.bound_address, specs)
+        assert all(o.cached and o.error is None for o in again)
+        assert [report_to_payload(o.report) for o in first] == \
+            [report_to_payload(o.report) for o in again]
+        assert daemon.stats.cache_lookup_hits == 4
+        # The same counter must surface over the wire (what
+        # `repro service stats --json` prints).
+        with ServiceClient(daemon.bound_address) as client:
+            assert client.stats()["cache_lookup_hits"] == 4
+        # The daemon settles hits before the worker even reads the
+        # cache-result, so the client can finish first — wait for the
+        # worker's side of the story.
+        _wait_until(lambda: handle.worker.specs_skipped_warm == 4,
+                    what="the worker to drop the warm batch")
+        # The acceptance criterion: zero executions anywhere.
+        assert sum(fake_experiment.calls.values()) == 4
+
+    def test_corrupted_cache_payload_evicted_and_reexecuted(
+            self, start_daemon, start_worker, fake_experiment):
+        daemon = start_daemon()
+        spec = fake_experiment.spec(33)
+        execute_via_server(daemon.bound_address, [spec])
+        assert fake_experiment.calls[33] == 1
+        # Bit-rot the stored report payload without touching the spec
+        # half, so the digest check (not the spec check) must fire.
+        path = daemon.cache.path_for(spec)
+        entry = json.loads(path.read_text())
+        entry["report"]["data"]["seed"] = 9999
+        path.write_text(json.dumps(entry))
+        handle = start_worker(daemon.bound_address, jobs=8)
+        outcomes = execute_via_server(daemon.bound_address, [spec])
+        # The corrupt entry was caught at cache-lookup time, evicted,
+        # and the spec transparently re-executed on the worker.
+        assert outcomes[0].error is None
+        assert outcomes[0].report.data["seed"] == 33
+        assert not outcomes[0].cached
+        assert daemon.cache.stats.evictions >= 1
+        assert daemon.stats.cache_lookup_misses >= 1
+        assert fake_experiment.calls[33] == 2
+        assert handle.worker.specs_completed >= 1
+        # ... and the re-executed result healed the cache.
+        healed = execute_via_server(daemon.bound_address, [spec])
+        assert healed[0].cached
+        assert healed[0].report.data["seed"] == 33
+
+    def test_worker_local_cache_pushes_hub_ward(
+            self, start_daemon, start_worker, fake_experiment,
+            tmp_path):
+        # A worker with a private cache full of history ships hits
+        # into the hub as `cached` uploads (remote_cache_hits).
+        spec = fake_experiment.spec(21)
+        worker_cache = ResultCache(tmp_path / "worker-cache")
+        runner = JobRunner(jobs=1, cache=worker_cache)
+        runner.run([spec])
+        assert fake_experiment.calls[21] == 1
+        daemon = start_daemon(local_execution=False,
+                              cache_dir=str(tmp_path / "hub-cache"))
+        start_worker(daemon.bound_address,
+                     cache_dir=str(tmp_path / "worker-cache"))
+        outcomes = execute_via_server(daemon.bound_address, [spec])
+        assert outcomes[0].error is None
+        assert outcomes[0].report.data["seed"] == 21
+        assert fake_experiment.calls[21] == 1  # served from the cache
+        assert daemon.stats.remote_cache_hits == 1
+        # The hub now owns the payload too: a fleetless resubmit hits.
+        assert daemon.cache.load(spec) is not None
+
+
+class TestWorkerSigterm:
+    """Satellite: SIGTERM mid-lease exits fast; the daemon reassigns."""
+
+    def test_sigterm_mid_lease_exits_within_5s(
+            self, start_daemon, start_worker, fake_experiment,
+            tmp_path):
+        daemon = start_daemon(local_execution=False,
+                              lease_timeout_s=1.0)
+        address = daemon.bound_address
+        script = textwrap.dedent("""
+            import sys, time
+            import repro.experiments as experiments
+            from repro.experiments.base import ExperimentReport
+
+            def slow(config):
+                time.sleep(60)
+                return ExperimentReport(experiment_id="esvc",
+                                        title="slow", data={})
+
+            experiments.ENTRY_POINTS["esvc"] = slow
+            from repro.cli import main
+            sys.exit(main(["worker", "--connect", sys.argv[1],
+                           "--quiet"]))
+        """)
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(
+            pathlib.Path(__file__).parent.parent / "src")
+        proc = subprocess.Popen(
+            [sys.executable, "-c", script, address],
+            env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+            text=True)
+        try:
+            _wait_until(
+                lambda: daemon.stats.workers_registered == 1,
+                timeout=30, what="the subprocess worker to register")
+            results = []
+            client = threading.Thread(
+                target=lambda: results.append(execute_via_server(
+                    address, [fake_experiment.spec(0)])),
+                daemon=True)
+            client.start()
+            _wait_until(
+                lambda: any(w.leased
+                            for w in daemon._workers.values()),
+                what="the lease to land on the subprocess worker")
+            started = time.monotonic()
+            proc.send_signal(signal.SIGTERM)
+            code = proc.wait(timeout=5)
+            elapsed = time.monotonic() - started
+            assert elapsed < 5.0, \
+                f"worker took {elapsed:.1f}s to die on SIGTERM"
+            assert code == 143, proc.stderr.read()
+            # The daemon parks, times the flap out, and reassigns.
+            _wait_until(
+                lambda: daemon.stats.leases_reassigned >= 1,
+                timeout=10, what="the lease to be reassigned")
+            # An in-process worker (sharing the fixture's fast entry
+            # point) picks the requeued spec up end-to-end.
+            start_worker(address)
+            client.join(timeout=30)
+            assert not client.is_alive(), "client never completed"
+            assert results[0][0].error is None
+            assert results[0][0].report.data["seed"] == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+            proc.wait(timeout=10)

@@ -1,0 +1,375 @@
+"""Chaos tests: whole campaigns through a fault-injecting proxy.
+
+Where tests/test_service.py asserts each durability mechanism in
+isolation (journal replay, flap reclaim, cache transport, backoff),
+this file *proves the composition*: a client or worker talking to the
+daemon through :class:`repro.service.chaos.ChaosProxy` — which drops,
+truncates and delays protocol frames on a seeded schedule — must still
+complete its campaign with byte-identical results and zero visible
+loss.  The daemon-crash drill goes further: a subprocess ``repro
+serve`` is SIGKILLed mid-campaign and restarted with ``--resume``.
+
+Fault schedules are seeded (``random.Random(f"{seed}:{conn}:{dir}")``)
+so every run of this file replays the same misbehaviour; the seeds
+below were chosen so the interesting faults actually fire.
+"""
+
+import collections
+import os
+import pathlib
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+import pytest
+
+from repro import experiments
+from repro.experiments.base import ExperimentReport
+from repro.runner import RunSpec, execute
+from repro.runner.cache import report_to_payload
+from repro.service import (
+    ReproDaemon,
+    RetryPolicy,
+    ServiceClient,
+    ServiceError,
+    execute_via_server,
+)
+from repro.service.chaos import ChaosConfig, ChaosProxy
+from repro.service.protocol import write_frame
+
+SRC_DIR = str(pathlib.Path(__file__).parent.parent / "src")
+
+
+def _wait_until(predicate, timeout=15.0, what="condition"):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(0.02)
+    raise AssertionError(f"timed out waiting for {what}")
+
+
+@pytest.fixture
+def start_daemon(tmp_path):
+    """Factory: a live in-process daemon thread on an ephemeral port."""
+    running = []
+
+    def start(**kwargs):
+        kwargs.setdefault("jobs", 1)
+        kwargs.setdefault("cache_dir", str(tmp_path / "cache"))
+        kwargs.setdefault("quiet", True)
+        daemon = ReproDaemon("127.0.0.1:0", **kwargs)
+        thread = threading.Thread(target=daemon.run, daemon=True)
+        thread.start()
+        assert daemon.wait_ready(10), "daemon never bound"
+        running.append((daemon, thread))
+        return daemon
+
+    yield start
+    for daemon, thread in running:
+        daemon.request_shutdown()
+        thread.join(timeout=15)
+        assert not thread.is_alive(), "daemon failed to drain"
+
+
+@pytest.fixture
+def fake_experiment(monkeypatch):
+    """A fast in-process entry point registered as ``echaos``."""
+
+    class Fake:
+        def __init__(self):
+            self.calls = collections.Counter()
+            self.lock = threading.Lock()
+
+        def __call__(self, config):
+            with self.lock:
+                self.calls[config.seed] += 1
+            return ExperimentReport(
+                experiment_id="echaos", title="chaos test",
+                data={"seed": config.seed},
+                expectations=[f"seed {config.seed} ok"])
+
+        def spec(self, seed=0):
+            return RunSpec("echaos", seed=seed)
+
+    fake = Fake()
+    monkeypatch.setitem(experiments.ENTRY_POINTS, "echaos", fake)
+    return fake
+
+
+class TestProxyMechanics:
+    def test_passthrough_preserves_byte_identity(self, start_daemon,
+                                                 fake_experiment):
+        daemon = start_daemon()
+        specs = [fake_experiment.spec(seed) for seed in range(3)]
+        direct = execute_via_server(daemon.bound_address, specs)
+        with ChaosProxy(daemon.bound_address) as proxy:
+            proxied = execute_via_server(proxy.bound_address, specs)
+        assert [report_to_payload(o.report) for o in direct] == \
+            [report_to_payload(o.report) for o in proxied]
+        counters = proxy.counters.snapshot()
+        assert counters["forwarded"] > 0
+        assert counters["dropped"] == 0
+        assert counters["truncated"] == 0
+
+    def test_listen_must_be_tcp(self):
+        with pytest.raises(ValueError, match="host:port"):
+            ChaosProxy("127.0.0.1:1", listen="/tmp/some.sock")
+
+    def test_seeded_schedule_replays_identically(self):
+        # The same seed against the same frame sequence must make the
+        # same drop decision at the same frame — a failing chaos run
+        # is reproducible from its seed alone.
+        def run_once():
+            sink = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            sink.bind(("127.0.0.1", 0))
+            sink.listen(1)
+
+            def drain():
+                conn, _ = sink.accept()
+                while True:
+                    try:
+                        if not conn.recv(65536):
+                            return
+                    except OSError:
+                        return
+
+            thread = threading.Thread(target=drain, daemon=True)
+            thread.start()
+            host, port = sink.getsockname()
+            proxy = ChaosProxy(
+                f"{host}:{port}", seed=99,
+                config=ChaosConfig(p_disconnect=0.2))
+            proxy.start()
+            phost, pport = proxy.bound_address.split(":")
+            client = socket.create_connection((phost, int(pport)))
+            sent = 0
+            try:
+                for i in range(200):
+                    write_frame(client, {"type": "noise", "i": i})
+                    sent += 1
+            except OSError:
+                pass  # the scheduled drop killed the connection
+            # Let the pump finish counting what it saw.
+            time.sleep(0.2)
+            snapshot = proxy.counters.snapshot()
+            client.close()
+            proxy.stop()
+            sink.close()
+            return snapshot["forwarded"], snapshot["dropped"]
+
+        first = run_once()
+        second = run_once()
+        assert first == second
+        assert first[1] == 1  # the drop fired, and fired once
+
+    def test_min_frames_protects_the_handshake(self, start_daemon,
+                                               fake_experiment):
+        # p_disconnect=1.0 kills on the first eligible frame; with
+        # min_frames=4 the handshake and one submit/result exchange
+        # still complete before the axe falls.
+        daemon = start_daemon()
+        with ChaosProxy(daemon.bound_address, seed=1,
+                        config=ChaosConfig(p_disconnect=1.0,
+                                           min_frames=4)) as proxy:
+            outcomes = execute_via_server(
+                proxy.bound_address, [fake_experiment.spec(0)],
+                retry=RetryPolicy(max_attempts=0))
+        assert outcomes[0].error is None
+
+
+class TestChaoticClient:
+    def test_flaky_client_campaign_completes(self, start_daemon,
+                                             fake_experiment):
+        # Every reconnect opens a new proxy connection (fresh seeded
+        # schedule); backoff plus resubmit-into-cache must converge.
+        daemon = start_daemon()
+        specs = [fake_experiment.spec(seed) for seed in range(6)]
+        direct = execute_via_server(daemon.bound_address, specs)
+        with ChaosProxy(daemon.bound_address, seed=1234,
+                        config=ChaosConfig(p_disconnect=0.12,
+                                           p_delay=0.2,
+                                           delay_s=0.01,
+                                           min_frames=2)) as proxy:
+            chaotic = execute_via_server(
+                proxy.bound_address, specs,
+                retry=RetryPolicy(max_attempts=40, base_delay_s=0.01,
+                                  max_delay_s=0.05))
+        assert [o.error for o in chaotic] == [None] * 6
+        assert [report_to_payload(o.report) for o in chaotic] == \
+            [report_to_payload(o.report) for o in direct]
+        # The chaos was real: frames were dropped, connections died,
+        # and nothing executed twice anyway.
+        assert proxy.counters.snapshot()["dropped"] >= 1
+        assert all(count == 1
+                   for count in fake_experiment.calls.values())
+
+    def test_truncated_frames_dont_poison_the_client(
+            self, start_daemon, fake_experiment):
+        daemon = start_daemon()
+        specs = [fake_experiment.spec(seed) for seed in range(4)]
+        with ChaosProxy(daemon.bound_address, seed=77,
+                        config=ChaosConfig(p_truncate=0.10,
+                                           min_frames=2)) as proxy:
+            outcomes = execute_via_server(
+                proxy.bound_address, specs,
+                retry=RetryPolicy(max_attempts=40, base_delay_s=0.01,
+                                  max_delay_s=0.05))
+        assert [o.error for o in outcomes] == [None] * 4
+        assert all(count == 1
+                   for count in fake_experiment.calls.values())
+
+
+class TestChaoticWorker:
+    def test_flaky_worker_campaign_completes(self, start_daemon,
+                                             fake_experiment,
+                                             tmp_path):
+        from repro.service.worker import ReproWorker
+
+        daemon = start_daemon(local_execution=False,
+                              lease_timeout_s=5.0)
+        specs = [fake_experiment.spec(seed) for seed in range(8)]
+        with ChaosProxy(daemon.bound_address, seed=4242,
+                        config=ChaosConfig(p_disconnect=0.05,
+                                           p_truncate=0.03,
+                                           p_delay=0.2,
+                                           delay_s=0.01,
+                                           min_frames=3)) as proxy:
+            # jobs=1 executes in-process so the entry-point Counter is
+            # actually shared with this test (a forked pool's isn't).
+            # The local cache_dir is what makes exactly-once possible
+            # at all: when the proxy swallows an upload, the reclaimed
+            # lease replays from the worker's disk instead of calling
+            # the entry point again.
+            worker = ReproWorker(
+                proxy.bound_address, jobs=1, quiet=True,
+                cache_dir=str(tmp_path / "worker-cache"),
+                retry=RetryPolicy(max_attempts=60, base_delay_s=0.02,
+                                  max_delay_s=0.1))
+            handle = threading.Thread(target=worker.run, daemon=True)
+            handle.start()
+            assert worker.wait_registered(10)
+            outcomes = execute_via_server(daemon.bound_address, specs)
+            worker.stop()
+            handle.join(timeout=15)
+        assert [o.error for o in outcomes] == [None] * 8
+        assert [o.report.data["seed"] for o in outcomes] == \
+            list(range(8))
+        # Exactly-once execution held through every flap: results
+        # finished on a dead connection arrived later as cache-push.
+        assert all(count == 1
+                   for count in fake_experiment.calls.values())
+        assert proxy.counters.snapshot()["dropped"] \
+            + proxy.counters.snapshot()["truncated"] >= 1
+
+
+def _spawn_daemon(socket_path, cache_dir, log_path, *resume_flag):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_DIR
+    log = open(log_path, "ab")
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve",
+         "--socket", socket_path, "--cache-dir", cache_dir,
+         "--jobs", "1", *resume_flag],
+        env=env, stdout=log, stderr=log)
+
+
+class TestDaemonCrashRecovery:
+    """The tentpole drill: SIGKILL the daemon mid-campaign, restart
+    with --resume, and demand a byte-identical manifest."""
+
+    @pytest.mark.slow
+    def test_sigkill_resume_byte_identity(self, tmp_path):
+        specs = [RunSpec("e4", quick=True, seed=seed)
+                 for seed in range(8)]
+        cache_dir = str(tmp_path / "crash-cache")
+        log_path = tmp_path / "daemon.log"
+        with tempfile.TemporaryDirectory(dir="/tmp") as sock_dir:
+            socket_path = f"{sock_dir}/chaos-svc.sock"
+            daemon_a = _spawn_daemon(socket_path, cache_dir, log_path)
+            try:
+                _wait_until(lambda: os.path.exists(socket_path),
+                            timeout=30, what="daemon A to bind")
+                results = []
+                client = threading.Thread(
+                    target=lambda: results.append(execute_via_server(
+                        socket_path, specs,
+                        retry=RetryPolicy(max_attempts=60,
+                                          base_delay_s=0.2,
+                                          max_delay_s=1.0))),
+                    daemon=True)
+                client.start()
+
+                def some_settled_not_all():
+                    try:
+                        with ServiceClient(socket_path,
+                                           timeout=5.0) as c:
+                            stats = c.stats()
+                    except (ServiceError, OSError):
+                        return False
+                    done = stats["executed"] + stats["cache_hits"]
+                    return 1 <= done < len(specs)
+
+                _wait_until(some_settled_not_all, timeout=60,
+                            what="a partial settlement window")
+                daemon_a.send_signal(signal.SIGKILL)
+                daemon_a.wait(timeout=10)
+                # The socket file of the murdered daemon lingers;
+                # daemon B unlinks and rebinds it on startup.
+                daemon_b = _spawn_daemon(socket_path, cache_dir,
+                                         log_path)
+                try:
+                    client.join(timeout=120)
+                    assert not client.is_alive(), \
+                        "client never recovered from the daemon crash"
+                    (outcomes,) = results
+                    # Zero client-visible loss...
+                    assert [o.error for o in outcomes] == [None] * 8
+                    # ... the journal actually replayed something ...
+                    with ServiceClient(socket_path, timeout=10.0) as c:
+                        stats = c.stats()
+                    assert stats["recovered_jobs"] >= 1
+                    assert stats["journal"] and stats["resume"]
+                    # ... and the manifest is byte-identical to a
+                    # local run that never saw a daemon at all.
+                    local = execute(specs, jobs=1)
+                    assert [report_to_payload(o.report)
+                            for o in outcomes] == \
+                        [report_to_payload(o.report) for o in local]
+                finally:
+                    daemon_b.terminate()
+                    daemon_b.wait(timeout=30)
+            finally:
+                if daemon_a.poll() is None:
+                    daemon_a.kill()
+                daemon_a.wait(timeout=10)
+
+    @pytest.mark.slow
+    def test_no_resume_starts_with_a_clean_slate(self, tmp_path):
+        # --no-resume after a crash must not replay the journal.
+        cache_dir = str(tmp_path / "no-resume-cache")
+        log_path = tmp_path / "daemon.log"
+        with tempfile.TemporaryDirectory(dir="/tmp") as sock_dir:
+            socket_path = f"{sock_dir}/nr-svc.sock"
+            from repro.service import ServiceJournal, journal_path
+
+            spec = RunSpec("e4", quick=True, seed=3)
+            journal = ServiceJournal(journal_path(cache_dir))
+            journal.record_queued(spec.key(), spec.canonical())
+            journal.close()
+            daemon = _spawn_daemon(socket_path, cache_dir, log_path,
+                                   "--no-resume")
+            try:
+                _wait_until(lambda: os.path.exists(socket_path),
+                            timeout=30, what="the daemon to bind")
+                with ServiceClient(socket_path, timeout=10.0) as c:
+                    stats = c.stats()
+                assert stats["recovered_jobs"] == 0
+                assert stats["resume"] is False
+            finally:
+                daemon.terminate()
+                daemon.wait(timeout=30)
