@@ -21,6 +21,10 @@ into job plans::
     repro service stats --json       # live daemon counters
     repro service workers            # the registered worker fleet
     repro service shutdown           # drain in-flight work, then stop
+    repro run e5 --job-timeout 60 --job-memory-mb 2048   # governed run
+    repro cache stats --cache-dir .repro-cache   # footprint + headroom
+    repro cache verify               # fsck: digest + key re-check
+    repro cache gc --target-mb 512   # evict coldest down to 512 MiB
 
 ``run``, ``sweep`` and ``scenario run`` are thin frontends over
 ``repro.runner``: they plan deterministic job lists, execute them
@@ -47,9 +51,10 @@ import sys
 import threading
 from typing import Any, Dict, List, Optional, Sequence
 
-from repro.experiments import EXPERIMENTS, experiment_summaries
+from repro.experiments import ENTRY_POINTS, EXPERIMENTS, experiment_summaries
 from repro.hwmodel.presets import TIMING_PRESETS
 from repro.runner import (
+    ResourceLimits,
     ResultCache,
     RunSpec,
     execute,
@@ -77,7 +82,9 @@ def _resolve_experiments(requested: Sequence[str]) -> Optional[List[str]]:
     """Expand ``all`` and validate ids; ``None`` (+stderr) on error.
 
     ``scenario:<name>`` ids are accepted alongside experiment ids, so
-    ``repro run``/``repro sweep`` mix both job families freely.
+    ``repro run``/``repro sweep`` mix both job families freely.  Any
+    registered entry point is runnable by explicit id (that admits the
+    ``probe`` diagnostic), but ``all`` expands to the paper suite only.
     """
     ids: List[str] = []
     for name in requested:
@@ -91,7 +98,7 @@ def _resolve_experiments(requested: Sequence[str]) -> Optional[List[str]]:
             except ConfigurationError as exc:
                 print(str(exc), file=sys.stderr)
                 return None
-        elif name not in EXPERIMENTS:
+        elif name not in ENTRY_POINTS:
             print(f"unknown experiment {name!r}; "
                   f"try: {', '.join(sorted(EXPERIMENTS))} or "
                   f"{SCENARIO_PREFIX}<name>",
@@ -152,14 +159,28 @@ def _parse_grid(pairs: Sequence[str]) -> Optional[Dict[str, List[Any]]]:
 DEFAULT_SERVICE_SOCKET = ".repro-serve.sock"
 
 
+def _make_limits(args: argparse.Namespace):
+    """``(ok, limits)`` from the governance flags (None when unset)."""
+    timeout_s = getattr(args, "job_timeout", None)
+    memory_mb = getattr(args, "job_memory_mb", None)
+    if timeout_s is None and memory_mb is None:
+        return True, None
+    try:
+        return True, ResourceLimits(timeout_s=timeout_s,
+                                    memory_mb=memory_mb)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return False, None
+
+
 def _run_specs(args: argparse.Namespace, specs, on_outcome=None):
     """Execute ``specs`` locally or via ``--server``.
 
     Returns the outcome list, or ``None`` after printing a one-line
     error (callers exit 2).  With ``--server``, execution settings are
     the daemon's own — the local ``--jobs``/``--cache-dir``/
-    ``--replica-batch`` flags are noted as ignored rather than
-    silently dropped.
+    ``--replica-batch``/``--job-timeout``/``--job-memory-mb`` flags
+    are noted as ignored rather than silently dropped.
     """
     if getattr(args, "server", None):
         from repro.service import ServiceError, execute_via_server
@@ -168,6 +189,10 @@ def _run_specs(args: argparse.Namespace, specs, on_outcome=None):
             ("--jobs", args.jobs > 1),
             ("--cache-dir", bool(args.cache_dir)),
             ("--replica-batch", args.replica_batch),
+            ("--job-timeout",
+             getattr(args, "job_timeout", None) is not None),
+            ("--job-memory-mb",
+             getattr(args, "job_memory_mb", None) is not None),
         ) if on]
         if ignored:
             print(f"note: {', '.join(ignored)} are daemon-side "
@@ -187,9 +212,13 @@ def _run_specs(args: argparse.Namespace, specs, on_outcome=None):
     ok, cache = _make_cache(args)
     if not ok:
         return None
+    ok, limits = _make_limits(args)
+    if not ok:
+        return None
     return execute(specs, jobs=args.jobs, cache=cache,
                    on_outcome=on_outcome,
-                   replica_batch=args.replica_batch)
+                   replica_batch=args.replica_batch,
+                   limits=limits)
 
 
 def _make_cache(args: argparse.Namespace):
@@ -523,16 +552,27 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(f"--lease-timeout must be > 0, got {args.lease_timeout}",
               file=sys.stderr)
         return 2
-    daemon = ReproDaemon(
-        args.socket,
-        jobs=args.jobs,
-        cache_dir=args.cache_dir,
-        replica_batch=args.replica_batch,
-        lease_timeout_s=args.lease_timeout,
-        local_execution=not args.no_local,
-        resume=args.resume,
-        quiet=args.quiet,
-    )
+    ok, limits = _make_limits(args)
+    if not ok:
+        return 2
+    try:
+        daemon = ReproDaemon(
+            args.socket,
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
+            replica_batch=args.replica_batch,
+            lease_timeout_s=args.lease_timeout,
+            local_execution=not args.no_local,
+            resume=args.resume,
+            limits=limits,
+            max_queue=args.max_queue,
+            busy_retry_s=args.busy_retry,
+            min_free_mb=args.min_free_mb,
+            quiet=args.quiet,
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
     return daemon.run()
 
 
@@ -549,6 +589,9 @@ def _cmd_worker(args: argparse.Namespace) -> int:
     except ValueError as exc:
         print(str(exc), file=sys.stderr)
         return 2
+    ok, limits = _make_limits(args)
+    if not ok:
+        return 2
     worker = ReproWorker(
         args.connect,
         jobs=args.jobs,
@@ -559,6 +602,7 @@ def _cmd_worker(args: argparse.Namespace) -> int:
         retry=RetryPolicy(max_attempts=max(0, args.retry_max),
                           base_delay_s=max(0.0, args.retry_base),
                           max_delay_s=5.0),
+        limits=limits,
         quiet=args.quiet,
     )
 
@@ -631,8 +675,103 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
           f"(seed={args.seed})", flush=True)
     stop.wait()
     proxy.stop()
+    counters = proxy.counters.snapshot()
     print(f"chaos proxy stopped: "
-          f"{json.dumps(proxy.counters.snapshot(), sort_keys=True)}")
+          f"{json.dumps(counters, sort_keys=True)}")
+    if args.json_out:
+        # Machine-readable fault tally for CI assertions ("did this
+        # chaos run actually inject anything?").
+        pathlib.Path(args.json_out).write_text(
+            json.dumps({"seed": args.seed,
+                        "upstream": args.upstream,
+                        "counters": counters},
+                       sort_keys=True, indent=1) + "\n",
+            encoding="utf-8")
+    return 0
+
+
+def _cache_for_args(args: argparse.Namespace):
+    """``(ok, cache)`` for the ``repro cache`` subcommands."""
+    path = pathlib.Path(args.cache_dir)
+    if path.exists() and not path.is_dir():
+        print(f"--cache-dir {args.cache_dir!r} exists and is not a "
+              "directory", file=sys.stderr)
+        return False, None
+    budget_mb = getattr(args, "budget_mb", None)
+    budget = None if budget_mb is None else budget_mb * 1024 * 1024
+    try:
+        return True, ResultCache(path, budget_bytes=budget)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return False, None
+
+
+def _cmd_cache_stats(args: argparse.Namespace) -> int:
+    from repro.runner.cache import free_disk_bytes
+
+    ok, cache = _cache_for_args(args)
+    if not ok:
+        return 2
+    entries = cache.index()
+    total = sum(entry.size_bytes for entry in entries)
+    payload = {
+        "root": str(cache.root),
+        "entries": len(entries),
+        "total_bytes": total,
+        "budget_bytes": cache.budget_bytes,
+        "over_budget_bytes": (max(0, total - cache.budget_bytes)
+                              if cache.budget_bytes is not None
+                              else 0),
+        "free_disk_bytes": free_disk_bytes(cache.root),
+        "coldest_mtime": entries[0].mtime if entries else None,
+        "warmest_mtime": entries[-1].mtime if entries else None,
+    }
+    if args.json:
+        print(json.dumps(payload, sort_keys=True, indent=1))
+        return 0
+    for name in ("root", "entries", "total_bytes", "budget_bytes",
+                 "over_budget_bytes", "free_disk_bytes"):
+        print(f"  {name:<18} {payload[name]}")
+    return 0
+
+
+def _cmd_cache_verify(args: argparse.Namespace) -> int:
+    ok, cache = _cache_for_args(args)
+    if not ok:
+        return 2
+    valid, evicted = cache.verify()
+    if args.json:
+        print(json.dumps({"valid": valid, "evicted": evicted},
+                         sort_keys=True))
+    else:
+        print(f"verified {valid + evicted} entr(ies): {valid} valid, "
+              f"{evicted} corrupt (evicted)")
+    return 1 if evicted else 0
+
+
+def _cmd_cache_gc(args: argparse.Namespace) -> int:
+    ok, cache = _cache_for_args(args)
+    if not ok:
+        return 2
+    target_mb = getattr(args, "target_mb", None)
+    target = None if target_mb is None else target_mb * 1024 * 1024
+    if target is None and cache.budget_bytes is None:
+        print("cache gc needs a target: pass --target-mb or "
+              "--budget-mb", file=sys.stderr)
+        return 2
+    try:
+        evicted, freed = cache.gc(target_bytes=target)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    remaining = cache.total_bytes()
+    if args.json:
+        print(json.dumps({"evicted": evicted, "freed_bytes": freed,
+                          "remaining_bytes": remaining},
+                         sort_keys=True))
+    else:
+        print(f"evicted {evicted} cold entr(ies), freed {freed} bytes "
+              f"({remaining} bytes remain)")
     return 0
 
 
@@ -747,6 +886,20 @@ def _add_common_run_options(parser: argparse.ArgumentParser) -> None:
                              "(default 0.2)")
     parser.add_argument("--json-out", metavar="PATH",
                         help="write manifest + all reports as JSON")
+    _add_governance_options(parser)
+
+
+def _add_governance_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--job-timeout", type=float, default=None,
+                        metavar="S", dest="job_timeout",
+                        help="per-job wall-clock deadline in seconds; "
+                             "a job past it becomes a typed TIMEOUT "
+                             "FAIL row instead of hanging the sweep")
+    parser.add_argument("--job-memory-mb", type=int, default=None,
+                        metavar="MB", dest="job_memory_mb",
+                        help="per-job address-space ceiling; a job "
+                             "allocating past it becomes a typed OOM "
+                             "FAIL row instead of taking the host down")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -872,6 +1025,23 @@ def build_parser() -> argparse.ArgumentParser:
                             "previous daemon accepted but never "
                             "settled (default on; --no-resume starts "
                             "with a clean journal)")
+    serve.add_argument("--max-queue", type=int, default=4096,
+                       metavar="N",
+                       help="admission-control watermark: refuse new "
+                            "submissions (a busy frame with a retry "
+                            "hint) once this many jobs are queued "
+                            "(default 4096)")
+    serve.add_argument("--busy-retry", type=float, default=1.0,
+                       metavar="S",
+                       help="retry_after_s hint sent with busy "
+                            "refusals (default 1.0)")
+    serve.add_argument("--min-free-mb", type=int, default=64,
+                       metavar="MB",
+                       help="refuse new work when the cache volume "
+                            "has less free space than this — the "
+                            "journal must never hit a full disk "
+                            "(default 64)")
+    _add_governance_options(serve)
     serve.add_argument("--quiet", action="store_true",
                        help="suppress the per-event log lines on "
                             "stderr")
@@ -913,6 +1083,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="base delay for reconnect backoff "
                              "(default 0.25; doubles per attempt, "
                              "jittered, capped at 5s)")
+    _add_governance_options(worker)
     worker.add_argument("--quiet", action="store_true",
                         help="suppress the per-event log lines on "
                              "stderr")
@@ -954,10 +1125,46 @@ def build_parser() -> argparse.ArgumentParser:
                        help="per-direction frames forwarded untouched "
                             "before faults start (2 keeps handshakes "
                             "clean; default 0)")
+    chaos.add_argument("--json-out", metavar="PATH",
+                       help="on shutdown, write the fault counters "
+                            "(drops, truncations, delays) as JSON")
     chaos.add_argument("--quiet", action="store_true",
                        help="suppress the per-connection log lines on "
                             "stderr")
     chaos.set_defaults(func=_cmd_chaos)
+
+    cache_cmd = sub.add_parser(
+        "cache", help="inspect and govern a result-cache directory: "
+                      "size stats, integrity fsck, LRU garbage "
+                      "collection")
+    cache_sub = cache_cmd.add_subparsers(dest="cache_command",
+                                         required=True)
+    for name, func, doc in (
+            ("stats", _cmd_cache_stats,
+             "entry count, footprint, budget headroom and free disk"),
+            ("verify", _cmd_cache_verify,
+             "re-check every entry's payload digest and spec key, "
+             "evicting corrupt ones (exit 1 if any were)"),
+            ("gc", _cmd_cache_gc,
+             "evict coldest entries until the cache fits the target "
+             "size")):
+        sub_cmd = cache_sub.add_parser(name, help=doc)
+        sub_cmd.add_argument("--cache-dir", metavar="DIR",
+                             default=".repro-cache",
+                             help="cache root (default .repro-cache)")
+        sub_cmd.add_argument("--budget-mb", type=int, default=None,
+                             metavar="MB",
+                             help="size budget; stats reports overage "
+                                  "against it and gc uses it as the "
+                                  "default target")
+        sub_cmd.add_argument("--json", action="store_true",
+                             help="machine-readable output")
+        if name == "gc":
+            sub_cmd.add_argument("--target-mb", type=int, default=None,
+                                 metavar="MB",
+                                 help="gc down to this size "
+                                      "(defaults to --budget-mb)")
+        sub_cmd.set_defaults(func=func)
 
     service = sub.add_parser(
         "service", help="talk to a running `repro serve` daemon")

@@ -29,6 +29,7 @@ from repro.experiments import (
     e6_offload,
     e7_scalability,
     e8_sync,
+    probe,
 )
 from repro.experiments.base import ExperimentConfig, ExperimentReport
 from repro.experiments.e1_buffering import run_e1
@@ -64,6 +65,10 @@ ENTRY_POINTS = {
     "e6": e6_offload.run,
     "e7": e7_scalability.run,
     "e8": e8_sync.run,
+    # Fault injector for the resource-governance tests and CI drills.
+    # ENTRY_POINTS only: absent from EXPERIMENTS so ``run all`` (which
+    # expands from that table) never executes it by accident.
+    "probe": probe.run,
 }
 
 #: Replica-batch entry points: ``fn(configs) -> [report, ...]``, one

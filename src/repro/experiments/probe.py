@@ -1,0 +1,85 @@
+"""Governance probe: an entry point that misbehaves on demand.
+
+Resource governance (deadlines, memory ceilings, the hang watchdog,
+quarantine) can only be tested against jobs that actually hang, bloat,
+and die.  This module is that fault injector: a registered entry point
+whose single ``behavior`` override selects a pathology, so chaos-style
+tests and the CI ``governance-smoke`` drill can mix one poisoned spec
+into an otherwise healthy sweep and assert the typed FAIL row.
+
+Behaviors (``--set behavior=...``):
+
+* ``ok`` (default) — a tiny deterministic report; the healthy control.
+* ``hang`` — spins in short sleeps forever.  Interruptible: Python
+  runs between sleeps, so the in-worker ``SIGALRM`` deadline lands.
+* ``hang-hard`` — blocks ``SIGALRM`` first, then spins.  Models a hang
+  inside a C extension where signal delivery never happens; only the
+  supervisor-side watchdog (kill + requeue) can clear it.
+* ``alloc`` — allocation bomb: hoards 1 MiB bytearrays up to
+  ``alloc_cap_mb`` (default 2048).  Under a memory ceiling this raises
+  ``MemoryError`` almost immediately; without one it stops at the cap
+  and reports survival, so an ungoverned run still terminates.
+* ``crash`` — ``os._exit(13)``: kills the worker process outright,
+  exercising the crash-isolation requeue path.
+* ``raise`` — an ordinary entry-point exception (``RuntimeError``).
+
+Registered in ``ENTRY_POINTS`` only — deliberately absent from the
+legacy ``EXPERIMENTS`` table so ``repro run all`` never trips it.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.experiments.base import ExperimentConfig, ExperimentReport
+
+KNOWN_OVERRIDES = {"behavior", "alloc_cap_mb"}
+
+#: Hoard growth unit for the allocation bomb.
+_ALLOC_CHUNK_BYTES = 1024 * 1024
+
+
+def run(config: ExperimentConfig) -> ExperimentReport:
+    behavior = str(config.get("behavior", "ok"))
+    if behavior == "hang":
+        while True:
+            time.sleep(0.05)
+    if behavior == "hang-hard":
+        import signal
+        signal.pthread_sigmask(signal.SIG_BLOCK, {signal.SIGALRM})
+        try:
+            while True:
+                time.sleep(0.05)
+        finally:  # pragma: no cover — only reached if somehow unwound
+            signal.pthread_sigmask(signal.SIG_UNBLOCK, {signal.SIGALRM})
+    if behavior == "crash":
+        os._exit(13)
+    if behavior == "raise":
+        raise RuntimeError("probe raised on request")
+    if behavior == "alloc":
+        cap_mb = int(config.get("alloc_cap_mb", 2048))
+        hoard = []
+        for _ in range(cap_mb):
+            # bytearray is written on construction: real pages, not a
+            # lazy reservation — RLIMIT_AS trips deterministically.
+            hoard.append(bytearray(_ALLOC_CHUNK_BYTES))
+        del hoard
+        return _report(config, behavior,
+                       note=f"hoarded {cap_mb}MiB and survived")
+    if behavior != "ok":
+        raise ValueError(f"unknown probe behavior {behavior!r}")
+    return _report(config, behavior, note="no fault injected")
+
+
+def _report(config: ExperimentConfig, behavior: str,
+            note: str) -> ExperimentReport:
+    report = ExperimentReport(
+        experiment_id="probe",
+        title="governance probe (fault injector)",
+        data={"behavior": behavior, "seed": config.seed,
+              "quick": config.quick},
+        expectations=[f"probe completed: {note}"],
+    )
+    report.check_overrides(config, KNOWN_OVERRIDES)
+    return report

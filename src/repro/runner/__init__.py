@@ -32,6 +32,16 @@ from repro.runner.executor import (
     imap_jobs,
     map_jobs,
 )
+from repro.runner.governance import (
+    FAIL_CRASH,
+    FAIL_ERROR,
+    FAIL_OOM,
+    FAIL_QUARANTINED,
+    FAIL_TIMEOUT,
+    FAILURE_KINDS,
+    GovernedFailure,
+    ResourceLimits,
+)
 from repro.runner.manifest import (
     RunManifest,
     merge_outcomes,
@@ -61,4 +71,12 @@ __all__ = [
     "write_json_report",
     "canonical_json",
     "jsonable",
+    "ResourceLimits",
+    "GovernedFailure",
+    "FAILURE_KINDS",
+    "FAIL_CRASH",
+    "FAIL_TIMEOUT",
+    "FAIL_OOM",
+    "FAIL_QUARANTINED",
+    "FAIL_ERROR",
 ]

@@ -22,6 +22,17 @@ One deliberate wrinkle: reports pass through JSON, so tuples inside
 ``ExperimentReport.data`` come back as lists and non-string dict keys
 come back as strings.  Canonical comparisons (tests, ``--json-out``)
 therefore go through :func:`repro.runner.spec.jsonable` on both sides.
+
+**Bounded growth.**  A long-lived service writes the cache forever, so
+it now carries an optional size budget and an LRU discipline: every
+hit refreshes the entry's mtime, :meth:`ResultCache.index` lists
+entries coldest-first, and :meth:`ResultCache.gc` evicts from the cold
+end down to a target size — warm (recently served) entries are the
+last to go, and a gc on an under-budget cache evicts nothing.
+:meth:`ResultCache.verify` re-checks every entry's ``digest`` and spec
+key on demand (the fsck for a cache dir that has travelled), and
+:func:`free_disk_bytes` is what the daemon consults to refuse new work
+before a full volume can corrupt the journal.
 """
 
 from __future__ import annotations
@@ -29,9 +40,10 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import shutil
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Optional
+from typing import List, Optional, Tuple
 
 from repro.experiments.base import ExperimentReport
 from repro.runner.spec import RunSpec, SPEC_FORMAT, jsonable
@@ -76,11 +88,49 @@ class CacheStats:
     evictions: int = 0
 
 
-class ResultCache:
-    """Spec-hash → report store under one root directory."""
+@dataclass(frozen=True)
+class CacheEntry:
+    """One on-disk cache file, as the LRU index sees it."""
 
-    def __init__(self, root) -> None:
+    path: Path
+    size_bytes: int
+    mtime: float
+
+
+def free_disk_bytes(root) -> Optional[int]:
+    """Free space on the volume holding ``root`` (best-effort).
+
+    Walks up to the nearest existing ancestor so a cache directory
+    that has not been created yet still reports its volume.  ``None``
+    when the platform cannot answer — callers treat that as "enough".
+    """
+    probe = Path(root).resolve()
+    while not probe.exists():
+        parent = probe.parent
+        if parent == probe:
+            break
+        probe = parent
+    try:
+        return shutil.disk_usage(probe).free
+    except OSError:  # pragma: no cover — exotic filesystems
+        return None
+
+
+class ResultCache:
+    """Spec-hash → report store under one root directory.
+
+    ``budget_bytes`` is advisory: stores never fail, but
+    :meth:`over_budget` reports the excess and :meth:`gc` (or the
+    ``repro cache gc`` CLI) evicts coldest-first back under it.
+    """
+
+    def __init__(self, root,
+                 budget_bytes: Optional[int] = None) -> None:
+        if budget_bytes is not None and budget_bytes < 0:
+            raise ValueError(
+                f"budget_bytes must be >= 0, got {budget_bytes}")
         self.root = Path(root)
+        self.budget_bytes = budget_bytes
         self.stats = CacheStats()
 
     def path_for(self, spec: RunSpec) -> Path:
@@ -117,6 +167,12 @@ class ResultCache:
             self.stats.misses += 1
             return None
         self.stats.hits += 1
+        # LRU recency: a hit re-warms the entry, so gc evicts cold
+        # entries first.  Best-effort — a read-only cache still serves.
+        try:
+            os.utime(path)
+        except OSError:
+            pass
         return report_from_payload(report_payload)
 
     def _evict(self, path: Path) -> None:
@@ -149,6 +205,105 @@ class ResultCache:
             return 0
         return sum(1 for _ in self.root.glob("*/*.json"))
 
+    # -- governance: LRU index, fsck, GC ----------------------------------------
 
-__all__ = ["ResultCache", "CacheStats", "payload_digest",
-           "report_to_payload", "report_from_payload"]
+    def index(self) -> List[CacheEntry]:
+        """Every entry, coldest (oldest mtime) first.
+
+        Ties break on path so the ordering — and therefore gc's
+        eviction choice — is deterministic.
+        """
+        if not self.root.is_dir():
+            return []
+        entries = []
+        for path in self.root.glob("*/*.json"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue  # evicted/replaced under our feet
+            entries.append(CacheEntry(path=path,
+                                      size_bytes=stat.st_size,
+                                      mtime=stat.st_mtime))
+        entries.sort(key=lambda e: (e.mtime, str(e.path)))
+        return entries
+
+    def total_bytes(self) -> int:
+        """Current on-disk footprint of all entries."""
+        return sum(entry.size_bytes for entry in self.index())
+
+    def over_budget(self) -> int:
+        """Bytes above the configured budget (0 when unbudgeted/under)."""
+        if self.budget_bytes is None:
+            return 0
+        return max(0, self.total_bytes() - self.budget_bytes)
+
+    def verify(self) -> Tuple[int, int]:
+        """Re-check every entry's digest and spec key; evict bad ones.
+
+        Returns ``(valid, evicted)``.  This is the full fsck for a
+        cache directory that has travelled (rsync, fleet pushes): the
+        payload digest catches bit-flips and truncation, and the spec
+        key is recomputed from the embedded canonical spec to catch an
+        entry renamed or copied into the wrong slot.
+        """
+        valid = 0
+        evicted = 0
+        for entry in self.index():
+            if self._verify_one(entry.path):
+                valid += 1
+            else:
+                self._evict(entry.path)
+                evicted += 1
+        return valid, evicted
+
+    def _verify_one(self, path: Path) -> bool:
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (ValueError, OSError):
+            return False
+        if payload.get("format") != SPEC_FORMAT:
+            return False
+        report_payload = payload.get("report")
+        if (not isinstance(report_payload, dict)
+                or payload.get("digest")
+                != payload_digest(report_payload)):
+            return False
+        try:
+            spec = RunSpec.from_canonical(payload.get("spec"))
+        except Exception:
+            return False
+        return path.name == f"{spec.key()}.json"
+
+    def gc(self, target_bytes: Optional[int] = None) -> Tuple[int, int]:
+        """Evict coldest entries until the cache fits ``target_bytes``.
+
+        ``target_bytes`` defaults to the configured budget.  Returns
+        ``(evicted, freed_bytes)``.  An under-target cache is left
+        untouched — gc never discards warm entries it doesn't have to.
+        """
+        if target_bytes is None:
+            target_bytes = self.budget_bytes
+        if target_bytes is None:
+            raise ValueError(
+                "gc needs a target: pass target_bytes or construct "
+                "the cache with budget_bytes")
+        if target_bytes < 0:
+            raise ValueError(
+                f"target_bytes must be >= 0, got {target_bytes}")
+        entries = self.index()
+        total = sum(entry.size_bytes for entry in entries)
+        evicted = 0
+        freed = 0
+        for entry in entries:  # coldest first
+            if total <= target_bytes:
+                break
+            self._evict(entry.path)
+            total -= entry.size_bytes
+            freed += entry.size_bytes
+            evicted += 1
+        return evicted, freed
+
+
+__all__ = ["ResultCache", "CacheStats", "CacheEntry", "payload_digest",
+           "report_to_payload", "report_from_payload",
+           "free_disk_bytes"]

@@ -51,6 +51,12 @@ from typing import (
 from repro.experiments.base import ExperimentReport
 from repro.net.packet import reset_packet_ids
 from repro.runner.cache import ResultCache
+from repro.runner.governance import (
+    FAIL_CRASH,
+    FAIL_ERROR,
+    GovernedFailure,
+    ResourceLimits,
+)
 from repro.runner.pool import WorkerCrashError, get_pool
 from repro.runner.spec import RunSpec
 
@@ -70,6 +76,10 @@ class RunOutcome:
     #: (worker crash after the isolation retry); ``None`` on success.
     #: Failed outcomes are never cached.
     error: Optional[str] = None
+    #: Failure-taxonomy tag (``CRASH``/``TIMEOUT``/``OOM``/
+    #: ``QUARANTINED``/``ERROR``) when ``error`` is set; ``None`` on
+    #: success.  See :mod:`repro.runner.governance`.
+    kind: Optional[str] = None
 
 
 def _run_one(spec: RunSpec) -> Tuple[ExperimentReport, float]:
@@ -132,7 +142,8 @@ def map_jobs(fn: Callable[[T], R], items: Sequence[T],
 
 
 def imap_jobs(fn: Callable[[T], R], items: Sequence[T],
-              jobs: int = 1) -> Iterator[R]:
+              jobs: int = 1,
+              limits: Optional[ResourceLimits] = None) -> Iterator[R]:
     """Like :func:`map_jobs`, but yields results as they arrive.
 
     Results come back in item order (workers may finish out of order;
@@ -141,26 +152,49 @@ def imap_jobs(fn: Callable[[T], R], items: Sequence[T],
     consumed by the caller — e.g. stored in the result cache — rather
     than discarded with the batch.  With ``jobs > 1`` the work runs on
     the persistent warm pool (:func:`repro.runner.pool.get_pool`).
+
+    With ``limits`` set, *every* item runs on the pool — even at
+    ``jobs=1`` — because governance needs a killable worker process
+    whose main thread can host the deadline alarm; deadline/memory
+    overruns stream back as in-band ``GovernedFailure`` values.
     """
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
-    if jobs == 1 or len(items) <= 1:
+    governed = limits is not None and limits.enabled
+    if not governed and (jobs == 1 or len(items) <= 1):
         for item in items:
             yield fn(item)
         return
-    yield from get_pool(jobs).imap(fn, items, limit=jobs)
+    yield from get_pool(max(1, jobs)).imap(fn, items, limit=jobs,
+                                           limits=limits)
 
 
 def _crash_outcome(spec: RunSpec, exc: WorkerCrashError) -> RunOutcome:
     """A failed outcome for a job whose worker died (not cacheable)."""
     message = f"{spec.key()}: {exc}"
+    kind = getattr(exc, "kind", FAIL_CRASH) or FAIL_CRASH
+    title = ("job failed — worker crashed" if kind == FAIL_CRASH
+             else f"job failed — {kind.lower()}")
     report = ExperimentReport(
         experiment_id=spec.experiment_id,
-        title="job failed — worker crashed",
+        title=title,
         warnings=[message],
     )
     return RunOutcome(spec, report, cached=False, elapsed_s=0.0,
-                      error=message)
+                      error=message, kind=kind)
+
+
+def _governed_outcome(spec: RunSpec,
+                      failure: GovernedFailure) -> RunOutcome:
+    """A typed failed outcome for a limit trip (not cacheable)."""
+    message = f"{spec.key()}: {failure.message}"
+    report = ExperimentReport(
+        experiment_id=spec.experiment_id,
+        title=f"job failed — {failure.kind.lower()}",
+        warnings=[message],
+    )
+    return RunOutcome(spec, report, cached=False, elapsed_s=0.0,
+                      error=message, kind=failure.kind)
 
 
 def _group_for_batch(specs: Sequence[RunSpec],
@@ -231,12 +265,14 @@ class JobRunner:
 
     def __init__(self, *, jobs: int = 1,
                  cache: Optional[ResultCache] = None,
-                 replica_batch: bool = False) -> None:
+                 replica_batch: bool = False,
+                 limits: Optional[ResourceLimits] = None) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         self.jobs = jobs
         self.cache = cache
         self.replica_batch = replica_batch
+        self.limits = limits
         import threading
 
         self._lock = threading.Lock()
@@ -253,9 +289,15 @@ class JobRunner:
         return credit_window(self.jobs)
 
     def warm(self) -> None:
-        """Spawn the worker fleet (and import entry points) eagerly."""
-        if self.jobs > 1:
-            get_pool(self.jobs)
+        """Spawn the worker fleet (and import entry points) eagerly.
+
+        Governed runners fork the pool even at ``jobs=1``: enforcement
+        lives in worker processes, and forking must happen from the
+        main thread before a long-lived service starts its threads.
+        """
+        if self.jobs > 1 or (self.limits is not None
+                             and self.limits.enabled):
+            get_pool(max(1, self.jobs))
         else:
             import repro.experiments  # noqa: F401
             import repro.scenario  # noqa: F401
@@ -267,7 +309,8 @@ class JobRunner:
         with self._lock:
             return execute(specs, jobs=self.jobs, cache=self.cache,
                            on_outcome=on_outcome,
-                           replica_batch=self.replica_batch)
+                           replica_batch=self.replica_batch,
+                           limits=self.limits)
 
 
 def execute(
@@ -277,6 +320,7 @@ def execute(
     cache: Optional[ResultCache] = None,
     on_outcome: Optional[Callable[[RunOutcome], None]] = None,
     replica_batch: bool = False,
+    limits: Optional[ResourceLimits] = None,
 ) -> List[RunOutcome]:
     """Run every spec; outcomes are returned in spec order.
 
@@ -287,6 +331,10 @@ def execute(
     never discards the completed work before it.  ``replica_batch``
     fuses seed-only replica groups through experiment batch entry
     points (byte-identical reports, one fused execution per group).
+    ``limits`` puts every job under resource governance
+    (:mod:`repro.runner.governance`): a deadline or memory overrun
+    fails that one job with a typed ``TIMEOUT``/``OOM`` outcome while
+    the rest of the batch completes untouched.
     """
     outcomes: List[Optional[RunOutcome]] = [None] * len(specs)
     pending: List[int] = []
@@ -317,10 +365,19 @@ def execute(
                 _run_replica_group,
                 [tuple(specs[i] for i in group)
                  for group in remaining_groups],
-                jobs=jobs)
+                jobs=jobs, limits=limits)
             try:
                 for group, group_results in zip(remaining_groups,
                                                 stream):
+                    if isinstance(group_results, GovernedFailure):
+                        # The whole fused group tripped a limit: each
+                        # member fails typed, remaining groups run.
+                        for failed in group:
+                            outcomes[failed] = _governed_outcome(
+                                specs[failed], group_results)
+                            if on_outcome:
+                                on_outcome(outcomes[failed])
+                        continue
                     for index, (report, elapsed) in zip(group,
                                                         group_results):
                         settle(index, report, elapsed)
@@ -342,9 +399,16 @@ def execute(
     remaining = pending
     while remaining:
         stream = imap_jobs(_run_one, [specs[i] for i in remaining],
-                           jobs=jobs)
+                           jobs=jobs, limits=limits)
         try:
-            for index, (report, elapsed) in zip(remaining, stream):
+            for index, value in zip(remaining, stream):
+                if isinstance(value, GovernedFailure):
+                    outcomes[index] = _governed_outcome(specs[index],
+                                                        value)
+                    if on_outcome:
+                        on_outcome(outcomes[index])
+                    continue
+                report, elapsed = value
                 settle(index, report, elapsed)
         except WorkerCrashError as exc:
             # The poisonous job is isolated; fail it visibly (the

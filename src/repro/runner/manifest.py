@@ -33,6 +33,10 @@ class ManifestEntry:
     #: Failure description for jobs that produced no real report
     #: (worker crash); ``None`` on success.
     error: "str | None" = None
+    #: Failure-taxonomy tag (``CRASH``/``TIMEOUT``/``OOM``/
+    #: ``QUARANTINED``/``ERROR``) when ``error`` is set, so automation
+    #: can tell a governor kill from an entry-point exception.
+    kind: "str | None" = None
 
 
 class RunManifest:
@@ -52,9 +56,33 @@ class RunManifest:
                 elapsed_s=o.elapsed_s,
                 n_expectations=len(o.report.expectations),
                 error=o.error,
+                kind=o.kind,
             )
             for o in outcomes
         ])
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "RunManifest":
+        """Rebuild a manifest from :meth:`to_payload` JSON.
+
+        The inverse half of the taxonomy round-trip: CI and tests read
+        a ``--json-out`` artifact back and assert on typed rows.
+        Unknown fields are ignored; ``error``/``kind`` default to
+        ``None`` for payloads written before the taxonomy existed.
+        """
+        entries = [
+            ManifestEntry(
+                key=str(raw["key"]),
+                label=str(raw["label"]),
+                cached=bool(raw["cached"]),
+                elapsed_s=float(raw["elapsed_s"]),
+                n_expectations=int(raw["n_expectations"]),
+                error=raw.get("error"),
+                kind=raw.get("kind"),
+            )
+            for raw in payload.get("entries", [])
+        ]
+        return cls(entries)
 
     @property
     def n_cached(self) -> int:
@@ -70,7 +98,8 @@ class RunManifest:
 
     def render(self) -> str:
         rows = [[e.key, e.label,
-                 "FAIL" if e.error else ("hit" if e.cached else "run"),
+                 (e.kind or "FAIL") if e.error
+                 else ("hit" if e.cached else "run"),
                  f"{e.elapsed_s:.2f}s", str(e.n_expectations)]
                 for e in self.entries]
         failed = f", {self.n_failed} FAILED" if self.n_failed else ""

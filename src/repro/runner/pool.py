@@ -26,6 +26,15 @@ subset of it):
   exactly once, so a poisonous item is isolated and surfaced as a
   :class:`WorkerCrashError` carrying its index while every other item
   still completes.  Nothing hangs and nothing is silently dropped.
+* **Resource governance** — an ``imap`` stream may carry
+  :class:`~repro.runner.governance.ResourceLimits`: each job then runs
+  under a wall-clock alarm and a lowered ``RLIMIT_AS`` inside the
+  worker, returning typed ``GovernedFailure`` values (TIMEOUT/OOM)
+  in-band instead of results.  A supervisor-side **hang watchdog**
+  backstops the alarm: a worker silent past ``deadline × grace`` for a
+  chunk (a job hung in a C loop where signals never land) is SIGKILLed
+  and its chunk requeued through the crash-isolation path, with the
+  isolated poison surfaced as a TIMEOUT instead of a CRASH.
 
 Ordinary Python exceptions raised by a job do **not** kill workers:
 they are pickled back and re-raised in the parent at the failing item's
@@ -41,6 +50,7 @@ import pickle
 import queue
 import signal
 import sys
+import time
 import traceback
 from collections import deque
 from typing import (
@@ -53,6 +63,13 @@ from typing import (
     Sequence,
     Set,
     Tuple,
+)
+
+from repro.runner.governance import (
+    FAIL_CRASH,
+    FAIL_TIMEOUT,
+    ResourceLimits,
+    governed_call,
 )
 
 #: ``fork`` keeps worker start cheap and — unlike ``spawn`` — does not
@@ -74,6 +91,10 @@ _CREDITS_PER_WORKER = 2
 #: Upper bound on items per dispatched chunk.
 _MAX_CHUNK = 16
 
+#: Total teardown budget for :meth:`WarmWorkerPool.shutdown` — one
+#: bounded deadline for the whole pool, not stacked per-worker joins.
+SHUTDOWN_DEADLINE_S = 5.0
+
 
 class WorkerCrashError(RuntimeError):
     """A worker process died executing one specific item.
@@ -81,12 +102,16 @@ class WorkerCrashError(RuntimeError):
     Raised only after the crash has been isolated to a single item by
     the retry protocol (chunk crash → per-item re-dispatch → second
     crash).  ``item_index`` is the position of the poisonous item in
-    the ``imap`` input sequence.
+    the ``imap`` input sequence.  ``kind`` is the failure-taxonomy tag:
+    ``CRASH`` for a genuine worker death, ``TIMEOUT`` when the hang
+    watchdog shot the worker for exceeding the chunk deadline.
     """
 
-    def __init__(self, message: str, item_index: int) -> None:
+    def __init__(self, message: str, item_index: int,
+                 kind: str = FAIL_CRASH) -> None:
         super().__init__(message)
         self.item_index = item_index
+        self.kind = kind
 
 
 def _dumps_exception(exc: BaseException) -> bytes:
@@ -115,12 +140,18 @@ def _worker_main(task_queue, result_queue) -> None:
         task = task_queue.get()
         if task is None:
             break
-        task_id, fn, items = task
+        task_id, fn, items, limits = task
+        governed = limits is not None and limits.enabled
         results: List[Any] = []
         failure: Optional[Tuple[int, bytes, str]] = None
         for index, item in enumerate(items):
             try:
-                results.append(fn(item))
+                if governed:
+                    # TIMEOUT/OOM come back as in-band GovernedFailure
+                    # values — the chunk keeps going, one job pays.
+                    results.append(governed_call(fn, item, limits))
+                else:
+                    results.append(fn(item))
             except BaseException as exc:  # noqa: BLE001 — forwarded
                 failure = (index, _dumps_exception(exc),
                            traceback.format_exc())
@@ -176,6 +207,13 @@ class WarmWorkerPool:
         self._tasks: Dict[int, Tuple[Callable, List[Any], int, int]] = {}
         #: task ids whose results should be dropped (abandoned imap).
         self._discard: Set[int] = set()
+        #: task_id -> monotonic dispatch time (hang-watchdog clock).
+        self._task_started: Dict[int, float] = {}
+        #: task ids whose worker the watchdog killed (overdue chunks).
+        self._watchdog_killed: Set[int] = set()
+        #: worker indices the watchdog killed — their *other* chunks
+        #: are innocent bystanders and requeue with attempt preserved.
+        self._watchdog_victims: Set[int] = set()
         self._streaming = False
         self._closed = False
         for __ in range(workers):
@@ -204,11 +242,21 @@ class WarmWorkerPool:
         the fly, so only a shutdown pool is dead)."""
         return not self._closed
 
-    def shutdown(self, force: bool = False) -> None:
-        """Stop the workers (sentinel drain, or terminate when forced)."""
+    def shutdown(self, force: bool = False,
+                 deadline_s: float = SHUTDOWN_DEADLINE_S) -> None:
+        """Stop the workers: join → terminate → kill under one budget.
+
+        Teardown escalates against a single total deadline for the
+        whole pool instead of stacking per-worker timeouts: the polite
+        sentinel drain gets the first half of the budget, terminate
+        gets the rest, and any worker still alive after that (hung in
+        uninterruptible state) is SIGKILLed.  Worst case a 16-worker
+        pool tears down in ~``deadline_s``, not 16 × 3s.
+        """
         if self._closed:
             return
         self._closed = True
+        start = time.monotonic()
         for index, process in enumerate(self._procs):
             if force:
                 process.terminate()
@@ -217,11 +265,30 @@ class WarmWorkerPool:
                     self._task_queues[index].put(None)
                 except Exception:
                     process.terminate()
-        for process in self._procs:
-            process.join(timeout=2.0)
-            if process.is_alive():
+        # Phase 1: polite join, capped at half the budget so a worker
+        # mid-job cannot eat the terminate phase's share.
+        self._join_until(start + deadline_s / 2)
+        stubborn = [p for p in self._procs if p.is_alive()]
+        if stubborn:
+            for process in stubborn:
                 process.terminate()
-                process.join(timeout=1.0)
+            self._join_until(start + deadline_s)
+        for process in self._procs:
+            if not process.is_alive():
+                continue
+            # Beyond SIGTERM's reach: SIGKILL cannot be ignored.
+            kill = getattr(process, "kill", process.terminate)
+            kill()
+            process.join(timeout=1.0)
+
+    def _join_until(self, deadline: float) -> None:
+        """Join every live worker against one shared deadline."""
+        for process in self._procs:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                return
+            if process.is_alive():
+                process.join(timeout=remaining)
 
     # -- dispatch ---------------------------------------------------------------
 
@@ -246,7 +313,8 @@ class WarmWorkerPool:
         return best
 
     def _dispatch_backlog(self, backlog: deque, active: Set[int],
-                          limit: int) -> None:
+                          limit: int,
+                          limits: Optional[ResourceLimits] = None) -> None:
         """Hand backlog chunks to free credits (front of queue first)."""
         while backlog:
             worker = self._pick_worker(limit)
@@ -257,12 +325,47 @@ class WarmWorkerPool:
             self._tasks[task_id] = (fn, items, start, attempt)
             self._outstanding[worker].add(task_id)
             active.add(task_id)
-            self._task_queues[worker].put((task_id, fn, items))
+            self._task_started[task_id] = time.monotonic()
+            self._task_queues[worker].put((task_id, fn, items, limits))
 
     def _settle(self, task_id: int) -> Tuple[Callable, List[Any], int, int]:
         for outstanding in self._outstanding:
             outstanding.discard(task_id)
+        self._task_started.pop(task_id, None)
+        # A result that raced the watchdog's kill still counts: drop
+        # the stale kill mark so the reap doesn't mistype survivors.
+        self._watchdog_killed.discard(task_id)
         return self._tasks.pop(task_id)
+
+    def _watchdog_sweep(self, limits: Optional[ResourceLimits]) -> None:
+        """Kill workers whose oldest chunk is past ``deadline × grace``.
+
+        The in-worker alarm normally converts an overrun into an
+        in-band TIMEOUT; a worker still silent past the watchdog
+        deadline is hung where signals cannot reach (C inner loop,
+        blocked SIGALRM) and only SIGKILL clears it.  The kill routes
+        the chunk through :meth:`_reap_crashed_workers`, which types
+        the isolated poison as TIMEOUT rather than CRASH.
+        """
+        if limits is None or limits.timeout_s is None:
+            return
+        now = time.monotonic()
+        for index, process in enumerate(self._procs):
+            if not process.is_alive():
+                continue
+            for task_id in self._outstanding[index]:
+                started = self._task_started.get(task_id)
+                task = self._tasks.get(task_id)
+                if started is None or task is None:
+                    continue
+                deadline = limits.watchdog_deadline_s(len(task[1]))
+                if now - started <= deadline:
+                    continue
+                self._watchdog_killed.add(task_id)
+                self._watchdog_victims.add(index)
+                kill = getattr(process, "kill", process.terminate)
+                kill()
+                break  # the worker is gone; its other chunks reap too
 
     def _load_payload(self, message) -> Tuple[List[Any], Optional[tuple]]:
         if message[0] == "inline":
@@ -280,28 +383,54 @@ class WarmWorkerPool:
             segment.unlink()
 
     def _reap_crashed_workers(self, backlog: deque,
-                              crashes: Dict[int, str]) -> None:
+                              crashes: Dict[int, Tuple[str, str]]) -> None:
         """Requeue dead workers' chunks; record isolated poison items.
 
         First crash of a chunk: split into single-item chunks at the
         *front* of the backlog (deterministic isolation).  Crash of an
         isolation retry: that item is the poison — recorded in
-        ``crashes`` for the stream to raise at its position.
+        ``crashes`` as ``(kind, message)`` for the stream to raise at
+        its position.  Watchdog kills are typed TIMEOUT; chunks that
+        merely shared a watchdog-killed worker are innocent and
+        requeue intact with their attempt count preserved.
         """
         for index, process in enumerate(self._procs):
             if process.is_alive():
                 continue
             died = sorted(self._outstanding[index])
+            victim = index in self._watchdog_victims
+            self._watchdog_victims.discard(index)
             self._spawn_worker(index)
             for task_id in reversed(died):
                 fn, items, start, attempt = self._tasks.pop(task_id)
+                self._task_started.pop(task_id, None)
+                timed_out = task_id in self._watchdog_killed
+                self._watchdog_killed.discard(task_id)
                 if task_id in self._discard:
                     self._discard.discard(task_id)
                     continue
+                if timed_out:
+                    if len(items) == 1:
+                        crashes[start] = (FAIL_TIMEOUT, (
+                            f"watchdog killed job #{start}: no result "
+                            "past deadline × grace (job hung beyond "
+                            "signal reach)"))
+                        continue
+                    # Isolate: one of these items is the hang.
+                    for offset in reversed(range(len(items))):
+                        backlog.appendleft(
+                            (fn, items[offset:offset + 1],
+                             start + offset, attempt))
+                    continue
+                if victim:
+                    # Bystander chunk on a watchdog-killed worker —
+                    # replay unchanged, no attempt charged.
+                    backlog.appendleft((fn, items, start, attempt))
+                    continue
                 if attempt > 0:
-                    crashes[start] = (
+                    crashes[start] = (FAIL_CRASH, (
                         "worker process died twice executing job "
-                        f"#{start}")
+                        f"#{start}"))
                     continue
                 for offset in reversed(range(len(items))):
                     backlog.appendleft(
@@ -310,7 +439,8 @@ class WarmWorkerPool:
 
     def imap(self, fn: Callable, items: Sequence,
              chunk_size: Optional[int] = None,
-             limit: Optional[int] = None) -> Iterator[Any]:
+             limit: Optional[int] = None,
+             limits: Optional[ResourceLimits] = None) -> Iterator[Any]:
         """Ordered, streaming parallel map over the warm workers.
 
         Results are yielded in item order as chunks complete.  An
@@ -320,7 +450,12 @@ class WarmWorkerPool:
         position after the isolation retry; items before it have been
         yielded, items after it are recoverable by re-mapping the tail.
         ``limit`` caps how many of the pool's workers this stream may
-        use (``--jobs`` smaller than the pool size).
+        use (``--jobs`` smaller than the pool size).  ``limits``
+        enables per-job governance: deadline overruns and memory-
+        ceiling hits are *yielded* as in-band ``GovernedFailure``
+        values at the job's position, and the hang watchdog converts a
+        silent worker into a TIMEOUT instead of letting the stream
+        stall forever.
         """
         if self._closed:
             raise RuntimeError("pool is shut down")
@@ -340,11 +475,11 @@ class WarmWorkerPool:
             for start in range(0, len(items), chunk_size))
         results: Dict[int, Any] = {}
         errors: Dict[int, Tuple[BaseException, str]] = {}
-        crashes: Dict[int, str] = {}
+        crashes: Dict[int, Tuple[str, str]] = {}
         active: Set[int] = set()
         self._streaming = True
         try:
-            self._dispatch_backlog(backlog, active, limit)
+            self._dispatch_backlog(backlog, active, limit, limits)
             next_index = 0
             while next_index < len(items):
                 if next_index in results:
@@ -353,8 +488,9 @@ class WarmWorkerPool:
                     yield value
                     continue
                 if next_index in crashes:
-                    raise WorkerCrashError(crashes[next_index],
-                                           next_index)
+                    kind, message_text = crashes[next_index]
+                    raise WorkerCrashError(message_text, next_index,
+                                           kind=kind)
                 if next_index in errors:
                     exc, text = errors[next_index]
                     raise exc from RuntimeError(
@@ -362,8 +498,10 @@ class WarmWorkerPool:
                 try:
                     message = self._result_queue.get(timeout=0.25)
                 except queue.Empty:
+                    self._watchdog_sweep(limits)
                     self._reap_crashed_workers(backlog, crashes)
-                    self._dispatch_backlog(backlog, active, limit)
+                    self._dispatch_backlog(backlog, active, limit,
+                                           limits)
                     continue
                 task_id = message[1]
                 if task_id in self._discard:
@@ -372,7 +510,8 @@ class WarmWorkerPool:
                     self._discard.discard(task_id)
                     self._settle(task_id)
                     self._load_payload(message)
-                    self._dispatch_backlog(backlog, active, limit)
+                    self._dispatch_backlog(backlog, active, limit,
+                                           limits)
                     continue
                 __, chunk, start, __attempt = self._settle(task_id)
                 active.discard(task_id)
@@ -383,7 +522,7 @@ class WarmWorkerPool:
                     fail_offset, exc_payload, text = failure
                     errors[start + fail_offset] = (
                         pickle.loads(exc_payload), text)
-                self._dispatch_backlog(backlog, active, limit)
+                self._dispatch_backlog(backlog, active, limit, limits)
         except KeyboardInterrupt:
             # Deterministic teardown: no orphaned workers, no hang on
             # a queue feeder thread mid-^C.
@@ -440,4 +579,5 @@ __all__ = [
     "get_pool",
     "shutdown_pools",
     "SHM_THRESHOLD_BYTES",
+    "SHUTDOWN_DEADLINE_S",
 ]

@@ -36,6 +36,7 @@ client drops (backoff + idempotent resubmit) all preserve it.
 from repro.service.chaos import ChaosConfig, ChaosProxy
 from repro.service.client import (
     RetryPolicy,
+    ServiceBusy,
     ServiceClient,
     ServiceError,
     execute_via_server,
@@ -58,6 +59,7 @@ __all__ = [
     "WorkerError",
     "ServiceClient",
     "ServiceError",
+    "ServiceBusy",
     "RetryPolicy",
     "execute_via_server",
     "ServiceJournal",

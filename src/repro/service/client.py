@@ -47,6 +47,19 @@ class ServiceError(RuntimeError):
     """The daemon refused a request or the conversation broke down."""
 
 
+class ServiceBusy(ServiceError):
+    """The daemon is over its queue watermark; retry after a delay.
+
+    Carries the server's ``retry_after_s`` hint so callers back off at
+    least as long as the daemon asked — :func:`execute_via_server`
+    treats it as a floor under the normal :class:`RetryPolicy` delay.
+    """
+
+    def __init__(self, message: str, retry_after_s: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after_s = float(retry_after_s)
+
+
 @dataclass(frozen=True)
 class RetryPolicy:
     """Bounded exponential backoff with jitter for (re)connect loops.
@@ -182,6 +195,14 @@ class ServiceClient:
             "specs": [spec.canonical() for spec in specs],
         })
         reply = self._read()
+        if reply.get("type") == "busy":
+            raise ServiceBusy(
+                f"server at {self.address} is overloaded "
+                f"({reply.get('queued')} queued, "
+                f"{reply.get('inflight')} in flight, "
+                f"max_queue={reply.get('max_queue')}); "
+                f"retry after {reply.get('retry_after_s')}s",
+                retry_after_s=float(reply.get("retry_after_s") or 1.0))
         if reply.get("type") == "error":
             raise ServiceError(
                 f"submit refused [{reply.get('code')}]: "
@@ -211,6 +232,7 @@ class ServiceClient:
                     cached=bool(frame.get("cached")),
                     elapsed_s=float(frame.get("elapsed_s") or 0.0),
                     error=frame.get("error"),
+                    kind=frame.get("kind"),
                 )
                 received += 1
                 yield index, outcome
@@ -268,6 +290,21 @@ def execute_via_server(
                     outcomes[missing[position]] = outcome
                     if on_outcome:
                         on_outcome(outcome)
+        except ServiceBusy as exc:
+            # Admission control, not a failure: the daemon asked us to
+            # come back later.  Honor its hint as a floor under the
+            # policy's own backoff so a fleet of refused clients still
+            # decorrelates, but never outwait max_delay_s.
+            if attempts_used >= policy.max_attempts:
+                raise ServiceError(
+                    f"server at {address} stayed busy through "
+                    f"{policy.max_attempts} backoff attempts: {exc}"
+                ) from exc
+            delay = max(exc.retry_after_s,
+                        policy.delay_s(attempts_used, rng))
+            time.sleep(min(delay, policy.max_delay_s))
+            attempts_used += 1
+            continue
         except (ConnectionError, ProtocolError, OSError) as exc:
             if attempts_used >= policy.max_attempts:
                 raise ServiceError(
@@ -280,5 +317,5 @@ def execute_via_server(
             continue
 
 
-__all__ = ["ServiceClient", "ServiceError", "RetryPolicy",
+__all__ = ["ServiceClient", "ServiceError", "ServiceBusy", "RetryPolicy",
            "execute_via_server"]

@@ -66,6 +66,14 @@ What the daemon adds over ``repro run --jobs N``:
   results hub-ward as canonical payloads (``upload``/``cache-push``),
   so a worker joining mid-campaign benefits from the fleet's whole
   history and a flapped worker's finished work is never re-run.
+* **Resource governance** — optional per-job deadlines and memory
+  ceilings (``--job-timeout``/``--job-memory-mb``) bound local
+  execution; a spec that fails the same way twice is **quarantined**
+  (journaled, reported once, never re-leased) so retry storms cannot
+  livelock the scheduler; admission control sheds submits past
+  ``--max-queue`` with a ``busy`` frame clients back off on; and a
+  nearly-full cache volume turns new work away with a typed
+  ``cache-full`` refusal instead of corrupting the journal.
 
 Local execution is delegated batch-by-batch to the ``JobRunner`` in
 a worker thread; the asyncio side never blocks on simulation work.
@@ -89,10 +97,16 @@ from typing import Any, Deque, Dict, List, Optional, Tuple, Union
 
 from repro.runner.cache import (
     ResultCache,
+    free_disk_bytes,
     report_from_payload,
     report_to_payload,
 )
 from repro.runner.executor import JobRunner, RunOutcome, credit_window
+from repro.runner.governance import (
+    FAIL_ERROR,
+    FAIL_QUARANTINED,
+    ResourceLimits,
+)
 from repro.runner.spec import RunSpec
 from repro.service.journal import ServiceJournal, journal_path
 from repro.service.protocol import (
@@ -133,6 +147,10 @@ class DaemonStats:
     remote_cache_hits: int = 0     # uploads served from a worker's cache
     cache_pushes: int = 0          # out-of-lease results shipped hub-ward
     recovered_jobs: int = 0        # specs re-queued from the journal
+    quarantined: int = 0           # poison specs locked out (failed same way twice)
+    quarantine_hits: int = 0       # submits answered by a quarantine verdict
+    busy_rejections: int = 0       # submits shed by admission control
+    disk_refusals: int = 0         # submits refused: cache volume nearly full
 
     def payload(self) -> Dict[str, Any]:
         return dict(vars(self))
@@ -226,12 +244,17 @@ class ReproDaemon:
                  lease_timeout_s: float = 30.0,
                  local_execution: bool = True,
                  resume: bool = True,
+                 limits: Optional[ResourceLimits] = None,
+                 max_queue: int = 4096,
+                 busy_retry_s: float = 1.0,
+                 min_free_mb: int = 64,
                  quiet: bool = False) -> None:
         self.address = address
         self._kind, self._target = parse_address(address)
         self.cache = ResultCache(cache_dir) if cache_dir else None
         self._runner = JobRunner(jobs=jobs, cache=self.cache,
-                                 replica_batch=replica_batch)
+                                 replica_batch=replica_batch,
+                                 limits=limits)
         self.stats = DaemonStats()
         self.high_watermark = high_watermark
         self.low_watermark = min(low_watermark, high_watermark)
@@ -240,6 +263,18 @@ class ReproDaemon:
             raise ValueError(
                 f"lease_timeout_s must be > 0, got {lease_timeout_s}")
         self.lease_timeout_s = lease_timeout_s
+        if max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1, got {max_queue}")
+        if busy_retry_s <= 0:
+            raise ValueError(
+                f"busy_retry_s must be > 0, got {busy_retry_s}")
+        if min_free_mb < 0:
+            raise ValueError(
+                f"min_free_mb must be >= 0, got {min_free_mb}")
+        self.limits = limits
+        self.max_queue = max_queue
+        self.busy_retry_s = busy_retry_s
+        self.min_free_mb = min_free_mb
         self.local_execution = local_execution
         self.resume = resume
         self.quiet = quiet
@@ -263,6 +298,13 @@ class ReproDaemon:
         self._flapping: Dict[str, WorkerState] = {}
         self._worker_ids = itertools.count(1)
         self._lease_ids = itertools.count(1)
+        #: Poison-job quarantine: key -> {"kind", "error"}.  Specs in
+        #: here are never queued or leased again; submits against them
+        #: settle immediately with a QUARANTINED verdict.
+        self._quarantined: Dict[str, Dict[str, str]] = {}
+        #: key -> {kind: consecutive-failure count}; two failures of
+        #: the same kind quarantine the key, a success clears it.
+        self._failures: Dict[str, Dict[str, int]] = {}
         self._local_busy = False
         self._local_task: Optional[asyncio.Task] = None
         self._draining = False
@@ -364,6 +406,10 @@ class ReproDaemon:
             return
         if self.resume:
             self._journal, debt = ServiceJournal.recover(self.cache.root)
+            if self._journal.quarantined:
+                self._quarantined.update(self._journal.quarantined)
+                self.log(f"journal replay: {len(self._quarantined)} "
+                         f"quarantined spec(s) stay locked out")
             self._recover_jobs(debt)
         else:
             self._journal = ServiceJournal(journal_path(self.cache.root))
@@ -626,6 +672,17 @@ class ReproDaemon:
                  index: int) -> None:
         """Queue one spec, or coalesce onto its in-flight twin."""
         key = spec.key()
+        quarantine = self._quarantined.get(key)
+        if quarantine is not None:
+            # Poison spec: report the recorded verdict immediately,
+            # never lease it again — a client retry loop cannot
+            # livelock the scheduler with known-bad work.
+            self.stats.quarantine_hits += 1
+            job = _Job(spec=spec, key=key,
+                       subscribers=[(submission, index)])
+            self._jobs[key] = job
+            self._settle(self._quarantine_outcome(spec, quarantine))
+            return
         job = self._jobs.get(key)
         if job is not None:
             job.subscribers.append((submission, index))
@@ -656,7 +713,53 @@ class ReproDaemon:
                 title="job failed — exception in the entry point",
                 warnings=[error])
             self._settle(RunOutcome(job.spec, report, cached=False,
-                                    elapsed_s=0.0, error=error))
+                                    elapsed_s=0.0, error=error,
+                                    kind=FAIL_ERROR))
+
+    def _quarantine_outcome(self, spec: RunSpec,
+                            record: Dict[str, str]) -> RunOutcome:
+        """The canned verdict a quarantined spec settles with."""
+        from repro.experiments.base import ExperimentReport
+
+        error = (f"{spec.key()}: quarantined after failing the same "
+                 f"way twice ({record.get('kind', FAIL_ERROR)}: "
+                 f"{record.get('error', '')})")
+        report = ExperimentReport(
+            experiment_id=spec.experiment_id,
+            title="job failed — quarantined",
+            warnings=[error])
+        return RunOutcome(spec, report, cached=False, elapsed_s=0.0,
+                          error=error, kind=FAIL_QUARANTINED)
+
+    def _note_failure(self, job: _Job, outcome: RunOutcome) -> None:
+        """Track repeated identical failures; quarantine on the 2nd.
+
+        "Identical" means the same taxonomy kind: a TIMEOUT followed
+        by another TIMEOUT is a deterministic hang, not bad luck.  A
+        success wipes the key's history (a flaky environment that
+        recovered owes nothing).  The quarantine record is journaled
+        fsync-durably so a daemon restart cannot resurrect the storm.
+        """
+        if outcome.error is None:
+            self._failures.pop(job.key, None)
+            return
+        if outcome.kind == FAIL_QUARANTINED:
+            return  # a verdict, not a new failure
+        kind = outcome.kind or FAIL_ERROR
+        counts = self._failures.setdefault(job.key, {})
+        counts[kind] = counts.get(kind, 0) + 1
+        if counts[kind] < 2 or job.key in self._quarantined:
+            return
+        record = {"kind": kind, "error": outcome.error}
+        self._quarantined[job.key] = record
+        self._failures.pop(job.key, None)
+        self.stats.quarantined += 1
+        if self._journal is not None:
+            self._journal.quarantined[job.key] = record
+            self._journal.record_quarantined(job.key, kind,
+                                             outcome.error)
+        self.log(f"quarantined {job.key}: failed the same way twice "
+                 f"({kind})")
 
     def _settle(self, outcome: RunOutcome,
                 worker: Optional[WorkerState] = None) -> None:
@@ -664,12 +767,14 @@ class ReproDaemon:
         job = self._jobs.pop(outcome.spec.key(), None)
         if job is None:  # pragma: no cover — defensive
             return
+        self._note_failure(job, outcome)
         if self._journal is not None:
             self._journal.record_settled(job.key, outcome.error)
             if self._journal.wants_compaction:
                 self._journal.compact({
                     key: live.spec.canonical()
-                    for key, live in self._jobs.items()})
+                    for key, live in self._jobs.items()},
+                    dict(self._quarantined))
         if outcome.error is not None:
             self.stats.failed += 1
             if worker is not None:
@@ -696,6 +801,7 @@ class ReproDaemon:
                 "coalesced": len(job.subscribers) > 1,
                 "elapsed_s": outcome.elapsed_s,
                 "error": outcome.error,
+                "kind": outcome.kind,
                 "report": report_payload,
             })
             self.stats.results_streamed += 1
@@ -804,6 +910,10 @@ class ReproDaemon:
         if error is not None and not isinstance(error, str):
             raise ProtocolError(
                 "bad-upload", "upload 'error' must be null or a string")
+        kind = frame.get("kind")
+        if kind is not None and not isinstance(kind, str):
+            raise ProtocolError(
+                "bad-upload", "upload 'kind' must be null or a string")
         elapsed = frame.get("elapsed_s", 0.0)
         if isinstance(elapsed, bool) or \
                 not isinstance(elapsed, (int, float)):
@@ -830,7 +940,9 @@ class ReproDaemon:
             worker.completed += 1
             self.stats.remote_cache_hits += 1
         self._settle(RunOutcome(job.spec, report, cached=cached,
-                                elapsed_s=float(elapsed), error=error),
+                                elapsed_s=float(elapsed), error=error,
+                                kind=kind if error is not None
+                                else None),
                      worker=worker)
         assert self._wake is not None
         self._wake.set()  # a credit came free — dispatch again
@@ -909,6 +1021,10 @@ class ReproDaemon:
         if error is not None and not isinstance(error, str):
             raise ProtocolError(
                 "bad-push", "cache-push 'error' must be null or a string")
+        kind = frame.get("kind")
+        if kind is not None and not isinstance(kind, str):
+            raise ProtocolError(
+                "bad-push", "cache-push 'kind' must be null or a string")
         elapsed = frame.get("elapsed_s", 0.0)
         if isinstance(elapsed, bool) or \
                 not isinstance(elapsed, (int, float)):
@@ -944,7 +1060,9 @@ class ReproDaemon:
         for other in self._flapping.values():
             other.leased.pop(key, None)
         self._settle(RunOutcome(live.spec, report, cached=False,
-                                elapsed_s=float(elapsed), error=error),
+                                elapsed_s=float(elapsed), error=error,
+                                kind=kind if error is not None
+                                else None),
                      worker=worker)
         assert self._wake is not None
         self._wake.set()
@@ -1264,6 +1382,36 @@ class ReproDaemon:
             self._post(session, error_frame(
                 "bad-spec", f"submit {submit_id!r} rejected: {exc}"))
             return
+        if self._disk_nearly_full():
+            # Refusing to journal beats corrupting the journal: a full
+            # cache volume turns new work away with a typed error the
+            # operator can act on (gc or grow the disk).
+            self.stats.disk_refusals += 1
+            self._post(session, error_frame(
+                "cache-full",
+                f"cache volume has under {self.min_free_mb}MB free; "
+                "refusing to journal new work — run `repro cache gc` "
+                "or free disk space"))
+            return
+        # Admission control: count only keys that would *add* queue
+        # depth — resubmits of in-flight work coalesce for free, and
+        # quarantined keys settle instantly, so neither is load.
+        new_keys = ({spec.key() for spec in specs}
+                    - set(self._jobs) - set(self._quarantined))
+        if len(self._jobs) + len(new_keys) > self.max_queue:
+            self.stats.busy_rejections += 1
+            self._post(session, {
+                "type": "busy",
+                "submit_id": submit_id,
+                "retry_after_s": self.busy_retry_s,
+                "queued": len(self._queue),
+                "inflight": len(self._jobs),
+                "max_queue": self.max_queue,
+            })
+            self.log(f"session {session.id}: shed submit "
+                     f"{submit_id!r} ({len(new_keys)} new keys would "
+                     f"exceed max_queue={self.max_queue})")
+            return
         submission = session.accept(submit_id, len(specs))
         self.stats.submitted += len(specs)
         self._post(session, {
@@ -1307,6 +1455,15 @@ class ReproDaemon:
             "detached": detached,
         })
 
+    def _disk_nearly_full(self) -> bool:
+        """Whether the cache volume is below the free-space floor."""
+        if self.cache is None or self.min_free_mb <= 0:
+            return False
+        free = free_disk_bytes(self.cache.root)
+        if free is None:
+            return False
+        return free < self.min_free_mb * 1024 * 1024
+
     def _stats_frame(self) -> Dict[str, Any]:
         now = time.monotonic()
         payload = self.stats.payload()
@@ -1324,6 +1481,11 @@ class ReproDaemon:
             "lease_timeout_s": self.lease_timeout_s,
             "journal": self._journal is not None,
             "resume": self.resume,
+            "max_queue": self.max_queue,
+            "min_free_mb": self.min_free_mb,
+            "governed": self.limits is not None
+            and self.limits.enabled,
+            "quarantined_keys": len(self._quarantined),
             "workers": [
                 worker.stats_row(now)
                 for worker in sorted(self._workers.values(),

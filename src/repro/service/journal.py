@@ -6,9 +6,10 @@ The journal closes that hole with the cheapest durable structure that
 works: an append-only JSONL file under the cache directory, one record
 per state transition::
 
-    {"op": "queued",  "key": K, "spec": {<canonical spec>}}
-    {"op": "leased",  "key": K, "executor": "local" | "<worker uid>"}
-    {"op": "settled", "key": K, "error": null | str}
+    {"op": "queued",      "key": K, "spec": {<canonical spec>}}
+    {"op": "leased",      "key": K, "executor": "local" | "<worker uid>"}
+    {"op": "settled",     "key": K, "error": null | str}
+    {"op": "quarantined", "key": K, "kind": "...", "error": "..."}
     {"op": "drained"}
 
 Recovery is a linear replay: every ``queued`` key without a matching
@@ -18,8 +19,10 @@ accepting connections.  ``leased`` records are advisory — a lease held
 at crash time is simply re-run, which is safe because specs are
 content-addressed and entry points are pure: the re-execution produces
 byte-identical payloads, and warm specs short-circuit through the
-result cache anyway.  ``drained`` marks a clean shutdown, after which
-replay is a no-op.
+result cache anyway.  ``quarantined`` records poison specs (failed the
+same way twice) so a restart cannot resurrect a retry storm;
+``drained`` marks a clean shutdown, after which replay is a no-op —
+the quarantine is campaign-scoped, so a drain wipes it too.
 
 Two failure modes the format is built around:
 
@@ -79,7 +82,20 @@ def replay(path: Path) -> Dict[str, dict]:
     client submitted that never produced a settlement.  A ``drained``
     record wipes the slate (clean shutdown).
     """
+    return replay_full(path)[0]
+
+
+def replay_full(
+        path: Path) -> Tuple[Dict[str, dict], Dict[str, Dict[str, str]]]:
+    """Replay both the debt and the quarantine roster.
+
+    Returns ``(live, quarantined)`` where ``quarantined`` maps spec
+    key to ``{"kind", "error"}``.  A quarantined key is removed from
+    the live set — recovery must report it once, not re-run it; that
+    is the whole point of the quarantine surviving restarts.
+    """
     live: Dict[str, dict] = {}
+    quarantined: Dict[str, Dict[str, str]] = {}
     for record in _iter_records(path):
         op = record.get("op")
         if op == "queued":
@@ -88,9 +104,18 @@ def replay(path: Path) -> Dict[str, dict]:
                 live[key] = spec
         elif op == "settled":
             live.pop(record.get("key"), None)
+        elif op == "quarantined":
+            key = record.get("key")
+            if isinstance(key, str):
+                quarantined[key] = {
+                    "kind": str(record.get("kind") or "ERROR"),
+                    "error": str(record.get("error") or ""),
+                }
+                live.pop(key, None)
         elif op == "drained":
             live.clear()
-    return live
+            quarantined.clear()
+    return live, quarantined
 
 
 class ServiceJournal:
@@ -107,6 +132,9 @@ class ServiceJournal:
             self.path, "a", encoding="utf-8")
         self._live = 0
         self._dead = 0
+        #: Quarantine roster recovered from disk (filled by
+        #: :meth:`recover`); ``{key: {"kind", "error"}}``.
+        self.quarantined: Dict[str, Dict[str, str]] = {}
 
     # -- appends ------------------------------------------------------------
 
@@ -125,6 +153,13 @@ class ServiceJournal:
         self._append({"op": "settled", "key": key, "error": error})
         self._live = max(0, self._live - 1)
         self._dead += 2  # the settled record + the queued one it retires
+
+    def record_quarantined(self, key: str, kind: str,
+                           error: str) -> None:
+        # fsync for the same reason as ``queued``: losing this record
+        # would let a restart re-run a known poison spec.
+        self._append({"op": "quarantined", "key": key, "kind": kind,
+                      "error": error}, fsync=True)
 
     def record_drained(self) -> None:
         self._append({"op": "drained"}, fsync=True)
@@ -149,13 +184,27 @@ class ServiceJournal:
     def wants_compaction(self) -> bool:
         return self._dead >= COMPACT_THRESHOLD
 
-    def compact(self, live: Dict[str, dict]) -> None:
-        """Rewrite the file to exactly the given live set, atomically."""
+    def compact(self, live: Dict[str, dict],
+                quarantined: Optional[Dict[str, Dict[str, str]]] = None,
+                ) -> None:
+        """Rewrite the file to exactly the given live set, atomically.
+
+        ``quarantined`` entries are preserved ahead of the live set —
+        compaction must never launder a poison spec back to runnable.
+        """
         if self._file is None:
             return
+        if quarantined is None:
+            quarantined = self.quarantined
         tmp = self.path.with_suffix(f".tmp.{os.getpid()}")
         try:
             with open(tmp, "w", encoding="utf-8") as out:
+                for key, record in quarantined.items():
+                    out.write(json.dumps(
+                        {"op": "quarantined", "key": key,
+                         "kind": record.get("kind", "ERROR"),
+                         "error": record.get("error", "")},
+                        sort_keys=True, separators=(",", ":")) + "\n")
                 for key, spec in live.items():
                     out.write(json.dumps(
                         {"op": "queued", "key": key, "spec": spec},
@@ -192,11 +241,12 @@ class ServiceJournal:
         appending resumes, so a crash loop cannot grow it without bound.
         """
         path = journal_path(cache_dir)
-        live = replay(path)
+        live, quarantined = replay_full(path)
         journal = cls(path)
-        journal.compact(live)
+        journal.quarantined = quarantined
+        journal.compact(live, quarantined)
         return journal, live
 
 
 __all__ = ["ServiceJournal", "JOURNAL_NAME", "COMPACT_THRESHOLD",
-           "journal_path", "replay"]
+           "journal_path", "replay", "replay_full"]

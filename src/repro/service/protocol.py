@@ -14,9 +14,14 @@ Conversation shape (client first)::
     <- {"type": "welcome", "version": 1, "jobs": N, ...}
     -> {"type": "submit", "submit_id": "s1", "specs": [<canonical>...]}
     <- {"type": "accepted", "submit_id": "s1", "total": n, "keys": [...]}
+       # — or, when admission control sheds the submission —
+    <- {"type": "busy", "submit_id": "s1", "retry_after_s": r,
+        "queued": q, "inflight": i, "max_queue": m}
     <- {"type": "result", "submit_id": "s1", "index": i, "key": ...,
         "cached": bool, "coalesced": bool, "elapsed_s": t,
-        "error": null | str, "report": {<report payload>}}   # n times
+        "error": null | str, "kind": null | "CRASH" | "TIMEOUT" |
+        "OOM" | "QUARANTINED" | "ERROR",
+        "report": {<report payload>}}   # n times
     <- {"type": "done", "submit_id": "s1", "executed": e, "cached": c,
         "failed": f}
     -> {"type": "cancel", "submit_id": "s1"}     # any time
@@ -40,7 +45,7 @@ same listener but opens with ``register`` instead of ``hello``, then
     -> {"type": "cache-lookup", "lookup_id": "c1", "keys": [...]}
     <- {"type": "cache-result", "lookup_id": "c1", "hits": [...keys]}
     -> {"type": "upload", "lease_id": "L7", "key": ..., "elapsed_s": t,
-        "cached": bool, "error": null | str,
+        "cached": bool, "error": null | str, "kind": null | str,
         "report": {<report payload>}}            # per cold spec
     -> {"type": "cache-push", "key": ..., "spec": <canonical>,
         "elapsed_s": t, "error": null | str,
@@ -74,6 +79,22 @@ Durability semantics layered on top of the framing:
 * Specs are content-addressed, which makes every retry in the system
   (client resubmit, worker reconnect flush, daemon journal replay)
   an idempotent merge rather than duplicate work.
+
+Overload and resource-exhaustion semantics (resource governance):
+
+* ``busy`` is admission control's answer to a submit that would push
+  the daemon past its queue watermark (``--max-queue``): the specs
+  are **not** accepted or journaled, and the client's
+  ``RetryPolicy`` honours ``retry_after_s`` before resubmitting —
+  overload sheds load instead of ballooning daemon memory.  A submit
+  may also be refused with ``error`` code ``cache-full`` when the
+  cache volume is nearly out of disk: refusing to journal beats
+  corrupting the journal.
+* ``kind`` on ``result``/``upload``/``cache-push`` frames carries the
+  failure taxonomy of :mod:`repro.runner.governance` so clients can
+  distinguish a crash from a governor kill (TIMEOUT/OOM) from a
+  quarantine verdict.  Absent/null on success; unknown values must be
+  tolerated (additive field).
 
 Any protocol violation is answered with
 ``{"type": "error", "code": ..., "message": ...}`` and — for framing

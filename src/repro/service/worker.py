@@ -64,6 +64,7 @@ from typing import Any, Deque, Dict, List, Optional
 from repro.experiments.base import ExperimentReport
 from repro.runner.cache import ResultCache, report_to_payload
 from repro.runner.executor import JobRunner, RunOutcome
+from repro.runner.governance import FAIL_ERROR, ResourceLimits
 from repro.runner.spec import RunSpec
 from repro.service.client import RetryPolicy
 from repro.service.protocol import (
@@ -124,6 +125,7 @@ class ReproWorker:
                  cache_dir: Optional[str] = None,
                  retry: Optional[RetryPolicy] = None,
                  use_hub_cache: bool = True,
+                 limits: Optional[ResourceLimits] = None,
                  quiet: bool = False) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -142,7 +144,8 @@ class ReproWorker:
         self.quiet = quiet
         self.cache = ResultCache(cache_dir) if cache_dir else None
         self._runner = JobRunner(jobs=jobs, cache=self.cache,
-                                 replica_batch=replica_batch)
+                                 replica_batch=replica_batch,
+                                 limits=limits)
         self._sock: Optional[socket.socket] = None
         self._send_lock = threading.Lock()
         self._registered = threading.Event()
@@ -152,7 +155,8 @@ class ReproWorker:
         #: (a lease can land while a cache-lookup is in flight).
         self._inbox: Deque[Dict[str, Any]] = collections.deque()
         #: results finished while disconnected, flushed as cache-push
-        #: frames on reconnect: [(spec, elapsed_s, error, payload)].
+        #: frames on reconnect:
+        #: [(spec, elapsed_s, error, kind, payload)].
         self._push_buffer: List[tuple] = []
         self._lookup_ids = itertools.count(1)
         self.worker_id: Optional[int] = None
@@ -291,7 +295,7 @@ class ReproWorker:
         """Ship results that finished while disconnected hub-ward."""
         flushed = 0
         while self._push_buffer:
-            spec, elapsed_s, error, payload = self._push_buffer[0]
+            spec, elapsed_s, error, kind, payload = self._push_buffer[0]
             try:
                 self._send({
                     "type": "cache-push",
@@ -299,6 +303,7 @@ class ReproWorker:
                     "spec": spec.canonical(),
                     "elapsed_s": elapsed_s,
                     "error": error,
+                    "kind": kind,
                     "report": payload,
                 })
             except OSError:
@@ -352,6 +357,13 @@ class ReproWorker:
                          f"lease(s) ({self.specs_completed} ok, "
                          f"{self.specs_failed} failed); exiting")
                 return 0
+            elif kind == "busy":
+                # Admission control reaches workers too: back off for
+                # the daemon's hint (bounded by the retry policy's
+                # ceiling) instead of hammering an overloaded hub.
+                delay = float(frame.get("retry_after_s") or 1.0)
+                self._stop_event.wait(
+                    min(delay, self.retry.max_delay_s))
             elif kind == "error":
                 self.log(f"daemon error [{frame.get('code')}]: "
                          f"{frame.get('message')}")
@@ -467,6 +479,7 @@ class ReproWorker:
                 "cached": outcome.cached,
                 "elapsed_s": outcome.elapsed_s,
                 "error": outcome.error,
+                "kind": outcome.kind,
                 "report": payload,
             })
         except OSError:
@@ -477,7 +490,7 @@ class ReproWorker:
             # buffer turns into cache-push frames on reconnect.
             self._push_buffer.append(
                 (outcome.spec, outcome.elapsed_s, outcome.error,
-                 payload))
+                 outcome.kind, payload))
 
     def _fail_rest(self, lease_id: Any, specs: List[RunSpec],
                    uploaded: set, message: str) -> None:
@@ -492,7 +505,7 @@ class ReproWorker:
                 warnings=[error])
             self._deliver(lease_id, RunOutcome(
                 spec, report, cached=False, elapsed_s=0.0,
-                error=error))
+                error=error, kind=FAIL_ERROR))
 
 
 __all__ = ["ReproWorker", "WorkerError", "SEND_TIMEOUT_S"]

@@ -6,6 +6,7 @@ workload-heavy examples are exercised manually / by the bench harness);
 each runs in a subprocess so import side effects stay isolated.
 """
 
+import os
 import pathlib
 import subprocess
 import sys
@@ -13,46 +14,43 @@ import sys
 import pytest
 
 EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+SRC_DIR = pathlib.Path(__file__).parent.parent / "src"
 
 FAST_EXAMPLES = ["buffering_analysis.py", "quickstart.py",
                  "scenario_gallery.py"]
 
 
-def _child_can_import_repro() -> bool:
-    """Whether a fresh interpreter sees the package.
+def _child_env() -> dict:
+    """A subprocess environment whose ``PYTHONPATH`` carries ``src/``.
 
-    The example scripts run in subprocesses, which import ``repro``
-    only when it is installed or ``PYTHONPATH`` carries ``src/`` —
-    pytest's own ``pythonpath`` config does not propagate to
-    children.  Without it the subprocess tests fail for environment
-    reasons, not code reasons, so they skip instead.
+    pytest's own ``pythonpath`` config does not propagate to child
+    interpreters, so without this the subprocess tests depended on the
+    caller exporting ``PYTHONPATH=src`` (and silently skipped in any
+    environment that didn't).  Injecting it here makes the example
+    smoke tests run everywhere the suite runs.
     """
-    probe = subprocess.run([sys.executable, "-c", "import repro"],
-                           capture_output=True)
-    return probe.returncode == 0
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH", "")
+    env["PYTHONPATH"] = (f"{SRC_DIR}{os.pathsep}{existing}"
+                         if existing else str(SRC_DIR))
+    return env
 
 
-needs_repro_in_child = pytest.mark.skipif(
-    not _child_can_import_repro(),
-    reason="repro is not importable in a fresh interpreter (install "
-           "the package or export PYTHONPATH=src)")
-
-
-@needs_repro_in_child
 @pytest.mark.parametrize("script", FAST_EXAMPLES)
 def test_example_runs_clean(script):
     result = subprocess.run(
         [sys.executable, str(EXAMPLES_DIR / script)],
-        capture_output=True, text=True, timeout=120)
+        capture_output=True, text=True, timeout=120,
+        env=_child_env())
     assert result.returncode == 0, result.stderr
     assert result.stdout.strip(), f"{script} printed nothing"
 
 
-@needs_repro_in_child
 def test_buffering_analysis_reproduces_paper_sentence():
     result = subprocess.run(
         [sys.executable, str(EXAMPLES_DIR / "buffering_analysis.py")],
-        capture_output=True, text=True, timeout=120)
+        capture_output=True, text=True, timeout=120,
+        env=_child_env())
     assert "5.12GB" in result.stdout
     assert "5.12KB" in result.stdout
 
