@@ -45,6 +45,7 @@ from __future__ import annotations
 import argparse
 import contextlib
 import json
+import os
 import pathlib
 import signal
 import sys
@@ -206,7 +207,8 @@ def _run_specs(args: argparse.Namespace, specs, on_outcome=None):
             return execute_via_server(args.server, specs,
                                       on_outcome=on_outcome,
                                       retry=retry)
-        except (ServiceError, OSError) as exc:
+        except (ServiceError, ValueError, OSError) as exc:
+            # ValueError: a malformed --server failover list.
             print(f"--server {args.server}: {exc}", file=sys.stderr)
             return None
     ok, cache = _make_cache(args)
@@ -555,6 +557,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     ok, limits = _make_limits(args)
     if not ok:
         return 2
+    if args.standby or args.follow:
+        return _serve_standby(args, limits)
     try:
         daemon = ReproDaemon(
             args.socket,
@@ -576,18 +580,72 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return daemon.run()
 
 
+def _serve_standby(args: argparse.Namespace, limits) -> int:
+    """The ``repro serve --standby --follow ADDR`` path."""
+    from repro.service import RetryPolicy
+    from repro.service.protocol import parse_address
+    from repro.service.standby import StandbyError, StandbyHub
+
+    if not args.follow:
+        print("--standby needs --follow ADDR (the primary to tail)",
+              file=sys.stderr)
+        return 2
+    try:
+        parse_address(args.follow)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    try:
+        hub = StandbyHub(
+            args.socket,
+            args.follow,
+            cache_dir=args.cache_dir,
+            jobs=args.jobs,
+            replica_batch=args.replica_batch,
+            lease_timeout_s=args.lease_timeout,
+            local_execution=not args.no_local,
+            limits=limits,
+            max_queue=args.max_queue,
+            busy_retry_s=args.busy_retry,
+            min_free_mb=args.min_free_mb,
+            retry=RetryPolicy(max_attempts=max(0, args.retry_max),
+                              base_delay_s=max(0.0, args.retry_base),
+                              max_delay_s=2.0),
+            quiet=args.quiet,
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+    def _stand_down(signum, frame):  # noqa: ARG001
+        hub.stop()
+
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        with contextlib.suppress(ValueError, OSError):
+            signal.signal(signum, _stand_down)
+    try:
+        return hub.run()
+    except StandbyError as exc:
+        print(f"--standby: {exc}", file=sys.stderr)
+        return 2
+
+
 def _cmd_worker(args: argparse.Namespace) -> int:
     from repro.service import RetryPolicy
-    from repro.service.protocol import ProtocolError, parse_address
+    from repro.service.protocol import ProtocolError, parse_address_list
     from repro.service.worker import ReproWorker, WorkerError
 
     if args.jobs < 1:
         print(f"--jobs must be >= 1, got {args.jobs}", file=sys.stderr)
         return 2
     try:
-        parse_address(args.connect)
+        parse_address_list(args.connect)
     except ValueError as exc:
         print(str(exc), file=sys.stderr)
+        return 2
+    if args.heartbeat is not None and args.heartbeat <= 0:
+        print(f"--heartbeat must be > 0 seconds, got {args.heartbeat}",
+              file=sys.stderr)
         return 2
     ok, limits = _make_limits(args)
     if not ok:
@@ -603,6 +661,7 @@ def _cmd_worker(args: argparse.Namespace) -> int:
                           base_delay_s=max(0.0, args.retry_base),
                           max_delay_s=5.0),
         limits=limits,
+        heartbeat_s=args.heartbeat,
         quiet=args.quiet,
     )
 
@@ -673,7 +732,9 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         return 2
     print(f"chaos proxy on {proxy.bound_address} -> {args.upstream} "
           f"(seed={args.seed})", flush=True)
-    stop.wait()
+    # --duration: self-terminating runs for CI (no pid bookkeeping);
+    # a signal still stops the proxy early either way.
+    stop.wait(args.duration if args.duration else None)
     proxy.stop()
     counters = proxy.counters.snapshot()
     print(f"chaos proxy stopped: "
@@ -688,6 +749,62 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
                        sort_keys=True, indent=1) + "\n",
             encoding="utf-8")
     return 0
+
+
+def _cmd_supervise(args: argparse.Namespace) -> int:
+    from repro.service.protocol import parse_address_list
+    from repro.service.supervisor import Supervisor, SupervisorError
+
+    try:
+        candidates = parse_address_list(args.server)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+    hub_argv = None
+    if not args.attach:
+        # Supervised hubs get --resume (they are expected to be
+        # restarted) and --quiet off so crashes leave a trace.
+        hub_argv = [sys.executable, "-m", "repro.cli", "serve",
+                    "--socket", candidates[0],
+                    "--jobs", str(args.hub_jobs)]
+        if args.cache_dir:
+            hub_argv += ["--cache-dir", args.cache_dir]
+
+    def worker_argv(index: int) -> list:
+        argv = [sys.executable, "-m", "repro.cli", "worker",
+                "--connect", args.server,
+                "--jobs", str(args.worker_jobs),
+                "--name", f"sup-{os.getpid()}-{index}"]
+        if args.worker_cache_dir:
+            argv += ["--cache-dir",
+                     f"{args.worker_cache_dir}-{index}"]
+        return argv
+
+    try:
+        supervisor = Supervisor(
+            hub_argv=hub_argv,
+            worker_argv=worker_argv,
+            probe_address=args.server,
+            min_workers=args.min_workers,
+            max_workers=args.max_workers,
+            scale_up_depth=args.scale_up_depth,
+            interval_s=args.interval,
+            restart_budget=args.restart_budget,
+            status_path=args.status_json or None,
+            quiet=args.quiet,
+        )
+    except SupervisorError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+    def _wind_down(signum, frame):  # noqa: ARG001
+        supervisor.request_stop()
+
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        with contextlib.suppress(ValueError, OSError):
+            signal.signal(signum, _wind_down)
+    return supervisor.run()
 
 
 def _cache_for_args(args: argparse.Namespace):
@@ -776,15 +893,29 @@ def _cmd_cache_gc(args: argparse.Namespace) -> int:
 
 
 def _with_service_client(args: argparse.Namespace, action):
-    """Run ``action(client)`` against ``--server``; exit-code result."""
+    """Run ``action(client)`` against ``--server``; exit-code result.
+
+    ``--server`` may be a comma-separated failover list; candidates
+    are tried in order and the first reachable daemon answers.
+    """
     from repro.service import ServiceClient, ServiceError
+    from repro.service.protocol import parse_address_list
 
     try:
-        with ServiceClient(args.server, timeout=args.timeout) as client:
-            return action(client)
-    except (ServiceError, OSError) as exc:
-        print(f"--server {args.server}: {exc}", file=sys.stderr)
+        candidates = parse_address_list(args.server)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
         return 2
+    last_error: Exception = OSError("no address candidates")
+    for address in candidates:
+        try:
+            with ServiceClient(address,
+                               timeout=args.timeout) as client:
+                return action(client)
+        except (ServiceError, OSError) as exc:
+            last_error = exc
+    print(f"--server {args.server}: {last_error}", file=sys.stderr)
+    return 2
 
 
 _WORKER_COLUMNS = ("id", "name", "status", "address", "jobs", "leased",
@@ -872,8 +1003,11 @@ def _add_common_run_options(parser: argparse.ArgumentParser) -> None:
                         help="route jobs through a `repro serve` "
                              "daemon at ADDR (socket path or "
                              "host:port; bare --server uses "
-                             f"{DEFAULT_SERVICE_SOCKET!r}); reports "
-                             "are byte-identical to local execution")
+                             f"{DEFAULT_SERVICE_SOCKET!r}); a "
+                             "comma-separated list (primary,standby) "
+                             "fails over between hubs on reconnect; "
+                             "reports are byte-identical to local "
+                             "execution")
     parser.add_argument("--retry-max", type=int, default=5, metavar="N",
                         help="with --server: reconnect attempts after "
                              "a lost connection, exponential backoff "
@@ -1041,6 +1175,25 @@ def build_parser() -> argparse.ArgumentParser:
                             "has less free space than this — the "
                             "journal must never hit a full disk "
                             "(default 64)")
+    serve.add_argument("--standby", action="store_true",
+                       help="run as a warm spare: follow the primary "
+                            "named by --follow, mirror its journal, "
+                            "and promote to a serving hub (on "
+                            "--socket) if the primary stays gone "
+                            "through the re-dial policy")
+    serve.add_argument("--follow", metavar="ADDR", default=None,
+                       help="primary daemon to tail in --standby "
+                            "mode; the standby's --cache-dir must be "
+                            "its own (never the primary's)")
+    serve.add_argument("--retry-max", type=int, default=3, metavar="N",
+                       help="standby mode: re-dial attempts after "
+                            "losing the primary before promoting "
+                            "(default 3)")
+    serve.add_argument("--retry-base", type=float, default=0.2,
+                       metavar="S",
+                       help="standby mode: base delay for re-dial "
+                            "backoff (default 0.2; doubles per "
+                            "attempt, jittered, capped at 2s)")
     _add_governance_options(serve)
     serve.add_argument("--quiet", action="store_true",
                        help="suppress the per-event log lines on "
@@ -1054,7 +1207,9 @@ def build_parser() -> argparse.ArgumentParser:
     worker.add_argument("--connect", metavar="ADDR",
                         default=DEFAULT_SERVICE_SOCKET,
                         help="daemon address: unix-socket path or "
-                             "host:port (default "
+                             "host:port, optionally a comma-separated "
+                             "failover list (primary,standby) rotated "
+                             "through on reconnect (default "
                              f"{DEFAULT_SERVICE_SOCKET!r})")
     worker.add_argument("--jobs", type=int, default=1, metavar="N",
                         help="parallel worker processes on this node "
@@ -1083,6 +1238,13 @@ def build_parser() -> argparse.ArgumentParser:
                         help="base delay for reconnect backoff "
                              "(default 0.25; doubles per attempt, "
                              "jittered, capped at 5s)")
+    worker.add_argument("--heartbeat", type=float, default=None,
+                        metavar="S",
+                        help="liveness heartbeat interval override; "
+                             "validated at registration (must be at "
+                             "most half the daemon's lease timeout); "
+                             "default: the daemon picks a third of "
+                             "its lease timeout")
     _add_governance_options(worker)
     worker.add_argument("--quiet", action="store_true",
                         help="suppress the per-event log lines on "
@@ -1125,6 +1287,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="per-direction frames forwarded untouched "
                             "before faults start (2 keeps handshakes "
                             "clean; default 0)")
+    chaos.add_argument("--duration", type=float, default=None,
+                       metavar="S",
+                       help="stop the proxy after S seconds instead "
+                            "of waiting for a signal (CI drills need "
+                            "no pid bookkeeping)")
     chaos.add_argument("--json-out", metavar="PATH",
                        help="on shutdown, write the fault counters "
                             "(drops, truncations, delays) as JSON")
@@ -1132,6 +1299,72 @@ def build_parser() -> argparse.ArgumentParser:
                        help="suppress the per-connection log lines on "
                             "stderr")
     chaos.set_defaults(func=_cmd_chaos)
+
+    supervise = sub.add_parser(
+        "supervise", help="self-healing fleet supervision: launch and "
+                          "health-probe a hub plus a worker fleet, "
+                          "restart crashed or hung components under a "
+                          "backoff budget, autoscale workers against "
+                          "queue depth")
+    supervise.add_argument("--server", metavar="ADDR",
+                           default=DEFAULT_SERVICE_SOCKET,
+                           help="hub address to launch and/or probe; "
+                                "a comma-separated failover list "
+                                "probes whichever hub answers "
+                                f"(default {DEFAULT_SERVICE_SOCKET!r})")
+    supervise.add_argument("--attach", action="store_true",
+                           help="do not launch a hub; supervise only "
+                                "the worker fleet against an "
+                                "externally managed hub (or a "
+                                "primary/standby pair)")
+    supervise.add_argument("--hub-jobs", type=int, default=1,
+                           metavar="N",
+                           help="--jobs for the launched hub "
+                                "(default 1)")
+    supervise.add_argument("--cache-dir", metavar="DIR",
+                           default=".repro-cache",
+                           help="--cache-dir for the launched hub "
+                                "(default .repro-cache)")
+    supervise.add_argument("--worker-jobs", type=int, default=1,
+                           metavar="N",
+                           help="--jobs for each supervised worker "
+                                "(default 1)")
+    supervise.add_argument("--worker-cache-dir", metavar="DIR",
+                           default="",
+                           help="per-worker local cache prefix; "
+                                "worker i gets DIR-i (default: no "
+                                "local worker caches)")
+    supervise.add_argument("--min-workers", type=int, default=1,
+                           metavar="N",
+                           help="never run fewer live workers "
+                                "(default 1)")
+    supervise.add_argument("--max-workers", type=int, default=4,
+                           metavar="N",
+                           help="never run more live workers "
+                                "(default 4)")
+    supervise.add_argument("--scale-up-depth", type=int, default=8,
+                           metavar="N",
+                           help="add one worker per tick while the "
+                                "hub's queue depth is at least this "
+                                "(default 8)")
+    supervise.add_argument("--interval", type=float, default=2.0,
+                           metavar="S",
+                           help="control-loop tick interval "
+                                "(default 2.0)")
+    supervise.add_argument("--restart-budget", type=int,
+                           default=5, metavar="N",
+                           help="consecutive fast failures before a "
+                                "component is quarantined instead of "
+                                "restarted (default 5)")
+    supervise.add_argument("--status-json", metavar="PATH", default="",
+                           help="atomically rewrite PATH each tick "
+                                "with machine-readable fleet state "
+                                "(pids, restart counters, "
+                                "quarantines)")
+    supervise.add_argument("--quiet", action="store_true",
+                           help="suppress the per-event log lines on "
+                                "stderr")
+    supervise.set_defaults(func=_cmd_supervise)
 
     cache_cmd = sub.add_parser(
         "cache", help="inspect and govern a result-cache directory: "

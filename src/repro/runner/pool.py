@@ -131,6 +131,12 @@ def _worker_main(task_queue, result_queue) -> None:
     # The parent owns interrupt handling; a ^C must tear the pool down
     # from one place instead of racing n KeyboardInterrupts.
     signal.signal(signal.SIGINT, signal.SIG_IGN)
+    # fork() copies the parent's Python-level SIGTERM handler (a CLI
+    # entry point like ``serve --standby`` installs one); inherited,
+    # it would swallow the SIGTERM multiprocessing sends daemonic
+    # children at exit and deadlock the parent's untimed join.  A
+    # pool worker must stay plainly killable.
+    signal.signal(signal.SIGTERM, signal.SIG_DFL)
     import repro.experiments  # noqa: F401  (warm the entry points)
     import repro.scenario  # noqa: F401
 

@@ -22,6 +22,13 @@ Layering::
     chaos.py      ChaosProxy — seeded fault injection between any
                   peer and the daemon (``repro chaos``), proving the
                   durability claims end to end
+    standby.py    StandbyHub — a warm spare (``repro serve --standby
+                  --follow ADDR``) mirroring the primary's journal
+                  over the peer conversation and promoting itself on
+                  primary loss
+    supervisor.py Supervisor — the ``repro supervise`` control loop:
+                  restart-with-budget, hung-hub detection and
+                  queue-depth autoscaling over a hub + worker fleet
 
 The daemon's contract mirrors the local runner's: a spec fully
 determines its report, so routing a sweep through the service is
@@ -30,7 +37,11 @@ byte-identical to running it in process — the service only changes
 fleet-wide, thanks to the shared cache plus in-flight coalescing).
 The durability layer extends that contract across failures: daemon
 death (journal replay), worker flaps (lease reclaim + cache-push) and
-client drops (backoff + idempotent resubmit) all preserve it.
+client drops (backoff + idempotent resubmit) all preserve it.  The
+failover layer removes the last single point of failure: a standby
+hub mirrors the journal live and takes over the fleet, multi-address
+clients and workers rotate onto it, and the supervisor resurrects
+whatever dies.
 """
 
 from repro.service.chaos import ChaosConfig, ChaosProxy
@@ -48,7 +59,10 @@ from repro.service.protocol import (
     PROTOCOL_VERSION,
     ProtocolError,
     parse_address,
+    parse_address_list,
 )
+from repro.service.standby import StandbyError, StandbyHub
+from repro.service.supervisor import Supervisor, SupervisorError
 from repro.service.worker import ReproWorker, WorkerError
 
 __all__ = [
@@ -66,8 +80,13 @@ __all__ = [
     "journal_path",
     "ChaosProxy",
     "ChaosConfig",
+    "StandbyHub",
+    "StandbyError",
+    "Supervisor",
+    "SupervisorError",
     "ProtocolError",
     "parse_address",
+    "parse_address_list",
     "PROTOCOL_VERSION",
     "MAX_FRAME_BYTES",
 ]

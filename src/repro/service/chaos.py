@@ -66,10 +66,19 @@ class ChaosConfig:
 
 @dataclass
 class ChaosCounters:
-    """What the proxy actually did, for assertions and logs."""
+    """What the proxy actually did, for assertions and logs.
+
+    ``forwarded`` totals both directions; the per-direction split
+    (``forwarded_up`` = client→daemon, ``forwarded_down`` =
+    daemon→client) lets a drill assert that traffic actually flowed
+    the way it claims — a failover test where ``forwarded_down``
+    stays 0 never received a single result.
+    """
 
     connections: int = 0
     forwarded: int = 0
+    forwarded_up: int = 0
+    forwarded_down: int = 0
     dropped: int = 0
     truncated: int = 0
     delayed: int = 0
@@ -193,9 +202,11 @@ class ChaosProxy:
             for direction, (src, dst) in enumerate(
                     [(downstream, upstream), (upstream, downstream)]):
                 rng = random.Random(f"{self.seed}:{conn}:{direction}")
+                label = "forwarded_up" if direction == 0 \
+                    else "forwarded_down"
                 pump = threading.Thread(
                     target=self._pump, name=f"chaos-{conn}-{direction}",
-                    args=(src, dst, rng, downstream, upstream),
+                    args=(src, dst, rng, downstream, upstream, label),
                     daemon=True)
                 pump.start()
                 self._pumps.append(pump)
@@ -209,7 +220,8 @@ class ChaosProxy:
 
     def _pump(self, src: socket.socket, dst: socket.socket,
               rng: random.Random, downstream: socket.socket,
-              upstream: socket.socket) -> None:
+              upstream: socket.socket,
+              direction_label: str = "forwarded_up") -> None:
         """Forward frames src -> dst, injecting scheduled faults."""
         cfg = self.config
         frames = 0
@@ -246,6 +258,7 @@ class ChaosProxy:
                     time.sleep(rng.uniform(0.0, cfg.delay_s))
                 dst.sendall(header + payload)
                 self.counters.bump("forwarded")
+                self.counters.bump(direction_label)
         except OSError:
             pass
         finally:

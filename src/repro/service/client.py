@@ -20,6 +20,15 @@ and the sweep completes with zero re-execution.  Reconnects pace
 themselves with :class:`RetryPolicy` — bounded exponential backoff
 with jitter — so a daemon restart (or a flapping network) sees a
 trickle of retries instead of a thundering herd.
+
+Failover rides the same loop: ``--server`` accepts a comma-separated
+hub list (``primary,standby``), and each reconnect attempt rotates to
+the next candidate.  When a standby promotes itself after primary
+loss, the very next rotation lands on it, the missing indices are
+resubmitted, and the campaign finishes as if nothing happened — the
+client process never restarts.  ``ServiceBusy`` deliberately does
+*not* rotate: a busy hub is alive and holds the warm cache; hopping
+to a cold standby would trade a short wait for recomputation.
 """
 
 from __future__ import annotations
@@ -38,6 +47,7 @@ from repro.service.protocol import (
     ProtocolError,
     connect,
     hello_frame,
+    parse_address_list,
     read_frame,
     write_frame,
 )
@@ -271,19 +281,26 @@ def execute_via_server(
     the missing indices — an idempotent merge, because specs are
     content-addressed: completed work is served from the daemon's
     cache, never re-executed.  ``rng`` pins the jitter for tests.
+
+    ``address`` may be a comma-separated failover list; connection
+    losses rotate through the candidates so a promoted standby picks
+    the campaign up mid-flight.
     """
     specs = list(specs)
     outcomes: List[Optional[RunOutcome]] = [None] * len(specs)
     if not specs:
         return []
+    candidates = parse_address_list(address)
     policy = retry if retry is not None else RetryPolicy()
     attempts_used = 0
+    target = 0
     while True:
         missing = [i for i, done in enumerate(outcomes) if done is None]
         if not missing:
             return list(outcomes)  # type: ignore[return-value]
         try:
-            with ServiceClient(address) as client:
+            with ServiceClient(candidates[target % len(candidates)]) \
+                    as client:
                 stream = client.submit_stream(
                     [specs[i] for i in missing])
                 for position, outcome in stream:
@@ -294,7 +311,8 @@ def execute_via_server(
             # Admission control, not a failure: the daemon asked us to
             # come back later.  Honor its hint as a floor under the
             # policy's own backoff so a fleet of refused clients still
-            # decorrelates, but never outwait max_delay_s.
+            # decorrelates, but never outwait max_delay_s.  No
+            # rotation — a busy hub is alive and warm.
             if attempts_used >= policy.max_attempts:
                 raise ServiceError(
                     f"server at {address} stayed busy through "
@@ -312,6 +330,7 @@ def execute_via_server(
                     f"{policy.max_attempts} reconnect attempts "
                     f"({attempts_used + 1} tries total): {exc}"
                 ) from exc
+            target += 1  # try the next hub in the failover list
             time.sleep(policy.delay_s(attempts_used, rng))
             attempts_used += 1
             continue

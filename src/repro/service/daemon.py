@@ -66,6 +66,14 @@ What the daemon adds over ``repro run --jobs N``:
   results hub-ward as canonical payloads (``upload``/``cache-push``),
   so a worker joining mid-campaign benefits from the fleet's whole
   history and a flapped worker's finished work is never re-run.
+* **Hub failover** — a standby daemon (``repro serve --standby
+  --follow ADDR``, :mod:`repro.service.standby`) connects as a
+  ``peer`` and receives a snapshot of the journal state plus every
+  later append (``journal-sync``), digest-verified, mirrored into its
+  own journal.  When the primary dies the standby promotes itself —
+  a journal replay identical to ``--resume`` — and multi-address
+  clients/workers rotate onto it; ``promotions`` in its stats records
+  the takeover.
 * **Resource governance** — optional per-job deadlines and memory
   ceilings (``--job-timeout``/``--job-memory-mb``) bound local
   execution; a spec that fails the same way twice is **quarantined**
@@ -87,6 +95,7 @@ import asyncio
 import collections
 import contextlib
 import itertools
+import json
 import os
 import signal
 import sys
@@ -115,6 +124,7 @@ from repro.service.protocol import (
     error_frame,
     parse_address,
     read_frame_async,
+    sync_digest,
     write_frame_async,
 )
 from repro.service.session import Session, Submission
@@ -151,6 +161,9 @@ class DaemonStats:
     quarantine_hits: int = 0       # submits answered by a quarantine verdict
     busy_rejections: int = 0       # submits shed by admission control
     disk_refusals: int = 0         # submits refused: cache volume nearly full
+    promotions: int = 0            # 1 when this hub rose from a standby
+    peers_connected: int = 0       # standby peer handshakes accepted, ever
+    sync_records_relayed: int = 0  # journal records relayed to peers
 
     def payload(self) -> Dict[str, Any]:
         return dict(vars(self))
@@ -195,6 +208,9 @@ class WorkerState:
     uid: Optional[str] = None
     #: monotonic deadline while parked in ``_flapping``; 0 when live.
     flap_deadline: float = 0.0
+    #: Worker-requested heartbeat override (``--heartbeat``); 0 means
+    #: "derive from the lease timeout" (the pre-override behaviour).
+    heartbeat_s: float = 0.0
     leased: Dict[str, _Job] = field(default_factory=dict)
     completed: int = 0
     failed: int = 0
@@ -225,6 +241,23 @@ class WorkerState:
         }
 
 
+@dataclass
+class PeerState:
+    """One connected standby hub, primary side.
+
+    Peers are read-mostly: after the ``peer-welcome`` snapshot they
+    just receive every journal append (``journal-sync``) plus a
+    reaper-paced ``sync-ping`` that keeps their read timeout fed, so
+    a silent primary reads as a dead primary.
+    """
+
+    session: Session
+    name: str
+    address: str
+    registered_at: float
+    synced: int = 0
+
+
 class ReproDaemon:
     """``repro serve``: accept sweep jobs over a socket, forever.
 
@@ -248,6 +281,7 @@ class ReproDaemon:
                  max_queue: int = 4096,
                  busy_retry_s: float = 1.0,
                  min_free_mb: int = 64,
+                 promoted: bool = False,
                  quiet: bool = False) -> None:
         self.address = address
         self._kind, self._target = parse_address(address)
@@ -293,6 +327,9 @@ class ReproDaemon:
         self._writer_tasks: Dict[int, asyncio.Task] = {}
         #: registered workers, keyed by their session id.
         self._workers: Dict[int, WorkerState] = {}
+        #: connected standby hubs, keyed by their session id.
+        self._peers: Dict[int, PeerState] = {}
+        self._sync_seq = 0
         #: disconnected-but-not-dead workers, keyed by uid, leases
         #: parked until reconnect or flap deadline.
         self._flapping: Dict[str, WorkerState] = {}
@@ -310,6 +347,8 @@ class ReproDaemon:
         self._draining = False
         self._ready = threading.Event()
         self._exit_requested = False
+        if promoted:
+            self.stats.promotions = 1
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -380,6 +419,10 @@ class ReproDaemon:
         self.log(f"listening on {self.address} "
                  f"(jobs={self._runner.jobs}, "
                  f"cache={'on' if self.cache is not None else 'off'})")
+        # One machine-parseable readiness line on stdout: supervisors
+        # and CI wait for this instead of scraping stderr heuristics.
+        print(json.dumps(self.ready_banner(), sort_keys=True),
+              flush=True)
         self._ready.set()
         drained_clean = False
         try:
@@ -400,6 +443,26 @@ class ReproDaemon:
                     os.unlink(self._target)
             self.log("drained and stopped")
 
+    def ready_banner(self) -> Dict[str, Any]:
+        """The startup banner payload (printed as one stdout line)."""
+        return {
+            "event": "serve-ready",
+            "address": self.bound_address,
+            "pid": os.getpid(),
+            "jobs": self._runner.jobs,
+            "cache": str(self.cache.root) if self.cache is not None
+            else None,
+            "local_execution": self.local_execution,
+            "lease_timeout_s": self.lease_timeout_s,
+            "max_queue": self.max_queue,
+            "governed": self.limits is not None and self.limits.enabled,
+            "resume": self.resume,
+            "recovered_jobs": self.stats.recovered_jobs,
+            "quarantined_keys": len(self._quarantined),
+            "promotions": self.stats.promotions,
+            "version": PROTOCOL_VERSION,
+        }
+
     def _open_journal(self) -> None:
         """Open the WAL and (by default) replay the previous life's debt."""
         if self.cache is None:
@@ -414,6 +477,7 @@ class ReproDaemon:
         else:
             self._journal = ServiceJournal(journal_path(self.cache.root))
             self._journal.compact({})  # explicitly forget the past
+        self._journal.on_append = self._relay_journal
 
     def _recover_jobs(self, debt: Dict[str, dict]) -> None:
         """Re-queue every journaled spec the last daemon still owed.
@@ -508,6 +572,11 @@ class ReproDaemon:
                     self._expel_flapped(
                         uid, "reconnect window expired — gone, "
                         "not flapping")
+            # Standby peers read with a lease-timeout-sized deadline;
+            # this ping keeps a quiet-but-alive primary from looking
+            # dead to them (and a wedged one from looking alive).
+            for peer in list(self._peers.values()):
+                self._post(peer.session, {"type": "sync-ping"})
 
     def _dispatch(self) -> None:
         """One scheduling pass: drain the queue onto free capacity.
@@ -1091,6 +1160,26 @@ class ReproDaemon:
                 "bad-register",
                 "register 'uid' must be a non-empty string "
                 "of at most 256 chars")
+        heartbeat_s = register.get("heartbeat_s")
+        if heartbeat_s is not None:
+            if isinstance(heartbeat_s, bool) \
+                    or not isinstance(heartbeat_s, (int, float)) \
+                    or heartbeat_s <= 0:
+                raise ProtocolError(
+                    "bad-register",
+                    f"register 'heartbeat_s' must be a positive "
+                    f"number, got {heartbeat_s!r}")
+            if heartbeat_s > self.lease_timeout_s / 2.0:
+                # A worker beating slower than half the lease timeout
+                # is one dropped packet away from being reaped as
+                # dead; refuse at registration, where the operator
+                # sees both numbers, instead of expelling it later.
+                raise ProtocolError(
+                    "bad-heartbeat",
+                    f"requested heartbeat interval {heartbeat_s}s "
+                    f"exceeds half this daemon's lease timeout "
+                    f"({self.lease_timeout_s}s); lower --heartbeat "
+                    "or raise the daemon's --lease-timeout")
         name = register.get("name")
         if not isinstance(name, str) or not name:
             name = session.peer
@@ -1114,6 +1203,7 @@ class ReproDaemon:
             worker.version = str(register.get("repro") or "unknown")
             worker.last_seen = now
             worker.flap_deadline = 0.0
+            worker.heartbeat_s = float(heartbeat_s or 0.0)
             self.stats.workers_reconnected += 1
             self.stats.leases_reclaimed += reclaimed
             self.log(f"worker {worker.id} reconnected as {name} — "
@@ -1125,7 +1215,8 @@ class ReproDaemon:
                 address=session.peer, jobs=jobs,
                 replica_batch=bool(register.get("replica_batch")),
                 version=str(register.get("repro") or "unknown"),
-                registered_at=now, last_seen=now, uid=uid)
+                registered_at=now, last_seen=now, uid=uid,
+                heartbeat_s=float(heartbeat_s or 0.0))
             self.stats.workers_registered += 1
             self.log(f"worker {worker.id} registered: {name} "
                      f"(jobs={jobs}, repro {worker.version}) — "
@@ -1135,8 +1226,8 @@ class ReproDaemon:
             "type": "registered",
             "worker_id": worker.id,
             "reclaimed": reclaimed,
-            "heartbeat_interval_s": max(0.05,
-                                        self.lease_timeout_s / 3.0),
+            "heartbeat_interval_s": worker.heartbeat_s
+            or max(0.05, self.lease_timeout_s / 3.0),
             "lease_timeout_s": self.lease_timeout_s,
             "credit_window": worker.credit_window,
         })
@@ -1204,6 +1295,93 @@ class ReproDaemon:
                     live.session.writer.close()
                 return live
         return None
+
+    # -- standby peers -------------------------------------------------------
+
+    def _relay_journal(self, record: Dict[str, Any]) -> None:
+        """Fan one freshly-journaled record out to every standby peer.
+
+        Hung on :attr:`ServiceJournal.on_append`, so it runs on the
+        event loop thread right after the record is durable locally —
+        the standby's mirror can only ever trail ours, never lead it.
+        """
+        if not self._peers:
+            return
+        self._sync_seq += 1
+        frame = {
+            "type": "journal-sync",
+            "seq": self._sync_seq,
+            "records": [record],
+            "digest": sync_digest([record]),
+        }
+        for peer in self._peers.values():
+            peer.synced += 1
+            self._post(peer.session, frame)
+        self.stats.sync_records_relayed += 1
+
+    async def _peer_loop(self, session: Session,
+                         reader: asyncio.StreamReader,
+                         first: Dict[str, Any]) -> None:
+        """One standby hub's connection: snapshot, then live relay.
+
+        The snapshot and the peer registration happen in one
+        synchronous block (no await between them), so no journal
+        append can fall in the gap — the standby sees exactly
+        snapshot + every later record, in order, on one outbox.
+        """
+        version = first.get("version")
+        if version != PROTOCOL_VERSION:
+            raise ProtocolError(
+                "version-mismatch",
+                f"peer speaks protocol {version!r}, "
+                f"server speaks {PROTOCOL_VERSION}")
+        if self._journal is None:
+            self._post(session, error_frame(
+                "no-journal",
+                "this daemon has no journal to sync (no cache dir); "
+                "start it with --cache-dir to support standby peers"))
+            return
+        name = first.get("name")
+        if not isinstance(name, str) or not name:
+            name = session.peer
+        snapshot = {
+            "live": {key: job.spec.canonical()
+                     for key, job in self._jobs.items()},
+            "quarantined": {key: dict(record)
+                            for key, record
+                            in self._quarantined.items()},
+        }
+        peer = PeerState(session=session, name=name,
+                         address=session.peer,
+                         registered_at=time.monotonic())
+        self._peers[session.id] = peer
+        self.stats.peers_connected += 1
+        self._post(session, {
+            "type": "peer-welcome",
+            "snapshot": snapshot,
+            "digest": sync_digest(snapshot),
+            "lease_timeout_s": self.lease_timeout_s,
+        })
+        self.log(f"standby peer {name} connected "
+                 f"({len(snapshot['live'])} live, "
+                 f"{len(snapshot['quarantined'])} quarantined "
+                 "in its snapshot)")
+        try:
+            while True:
+                frame = await read_frame_async(reader)
+                if frame is None:
+                    return
+                kind = frame["type"]
+                if kind == "heartbeat":
+                    continue
+                self._post(session, error_frame(
+                    "unknown-type",
+                    f"unknown frame type {kind!r} on a peer "
+                    "connection"))
+        finally:
+            self._peers.pop(session.id, None)
+            self.log(f"standby peer {name} disconnected after "
+                     f"{peer.synced} synced record(s)")
 
     # -- per-connection protocol ---------------------------------------------
 
@@ -1304,10 +1482,13 @@ class ReproDaemon:
         if first.get("type") == "register":
             await self._worker_loop(session, reader, first)
             return
+        if first.get("type") == "peer":
+            await self._peer_loop(session, reader, first)
+            return
         if first.get("type") != "hello":
             raise ProtocolError(
                 "bad-handshake",
-                f"expected a hello or register frame, got "
+                f"expected a hello, register or peer frame, got "
                 f"{first.get('type')!r}")
         if first.get("version") != PROTOCOL_VERSION:
             raise ProtocolError(
@@ -1486,6 +1667,7 @@ class ReproDaemon:
             "governed": self.limits is not None
             and self.limits.enabled,
             "quarantined_keys": len(self._quarantined),
+            "peers": len(self._peers),
             "workers": [
                 worker.stats_row(now)
                 for worker in sorted(self._workers.values(),
@@ -1499,4 +1681,4 @@ class ReproDaemon:
         return payload
 
 
-__all__ = ["ReproDaemon", "DaemonStats", "WorkerState"]
+__all__ = ["ReproDaemon", "DaemonStats", "WorkerState", "PeerState"]

@@ -42,7 +42,7 @@ from __future__ import annotations
 import json
 import os
 from pathlib import Path
-from typing import Any, Dict, Iterator, Optional, TextIO, Tuple
+from typing import Any, Callable, Dict, Iterator, Optional, TextIO, Tuple
 
 #: Journal file name, placed inside the daemon's cache directory (the
 #: cache globs ``*/*.json`` for its own entries, so a top-level
@@ -85,6 +85,35 @@ def replay(path: Path) -> Dict[str, dict]:
     return replay_full(path)[0]
 
 
+def apply_record(live: Dict[str, dict],
+                 quarantined: Dict[str, Dict[str, str]],
+                 record: Dict[str, Any]) -> None:
+    """Fold one journal record into ``(live, quarantined)`` in place.
+
+    The single replay semantic, shared by :func:`replay_full` (disk)
+    and the standby hub's live mirror (wire): whichever path the
+    records travel, the reconstructed state is identical.
+    """
+    op = record.get("op")
+    if op == "queued":
+        key, spec = record.get("key"), record.get("spec")
+        if isinstance(key, str) and isinstance(spec, dict):
+            live[key] = spec
+    elif op == "settled":
+        live.pop(record.get("key"), None)
+    elif op == "quarantined":
+        key = record.get("key")
+        if isinstance(key, str):
+            quarantined[key] = {
+                "kind": str(record.get("kind") or "ERROR"),
+                "error": str(record.get("error") or ""),
+            }
+            live.pop(key, None)
+    elif op == "drained":
+        live.clear()
+        quarantined.clear()
+
+
 def replay_full(
         path: Path) -> Tuple[Dict[str, dict], Dict[str, Dict[str, str]]]:
     """Replay both the debt and the quarantine roster.
@@ -97,24 +126,7 @@ def replay_full(
     live: Dict[str, dict] = {}
     quarantined: Dict[str, Dict[str, str]] = {}
     for record in _iter_records(path):
-        op = record.get("op")
-        if op == "queued":
-            key, spec = record.get("key"), record.get("spec")
-            if isinstance(key, str) and isinstance(spec, dict):
-                live[key] = spec
-        elif op == "settled":
-            live.pop(record.get("key"), None)
-        elif op == "quarantined":
-            key = record.get("key")
-            if isinstance(key, str):
-                quarantined[key] = {
-                    "kind": str(record.get("kind") or "ERROR"),
-                    "error": str(record.get("error") or ""),
-                }
-                live.pop(key, None)
-        elif op == "drained":
-            live.clear()
-            quarantined.clear()
+        apply_record(live, quarantined, record)
     return live, quarantined
 
 
@@ -135,6 +147,12 @@ class ServiceJournal:
         #: Quarantine roster recovered from disk (filled by
         #: :meth:`recover`); ``{key: {"kind", "error"}}``.
         self.quarantined: Dict[str, Dict[str, str]] = {}
+        #: Called with each record *after* it is durably appended —
+        #: the daemon hangs its standby-peer relay here.  Appends all
+        #: happen on the daemon's event loop, so the callback may
+        #: touch loop state directly.  Compaction does not fire it
+        #: (the logical state is unchanged by a rewrite).
+        self.on_append: Optional[Callable[[Dict[str, Any]], None]] = None
 
     # -- appends ------------------------------------------------------------
 
@@ -164,6 +182,35 @@ class ServiceJournal:
     def record_drained(self) -> None:
         self._append({"op": "drained"}, fsync=True)
 
+    def mirror(self, record: Dict[str, Any]) -> None:
+        """Append one relayed record verbatim (the standby-hub path).
+
+        The record already carries its op; bookkeeping mirrors what
+        the corresponding ``record_*`` method would have done, and
+        durability matches too (fsync for the ops whose loss would
+        break the recovery contract).
+        """
+        op = record.get("op")
+        if op not in ("queued", "leased", "settled", "quarantined",
+                      "drained"):
+            return
+        self._append(record, fsync=op in ("queued", "quarantined",
+                                          "drained"))
+        if op == "queued":
+            self._live += 1
+        elif op == "leased":
+            self._dead += 1
+        elif op == "settled":
+            self._live = max(0, self._live - 1)
+            self._dead += 2
+        elif op == "quarantined":
+            key = record.get("key")
+            if isinstance(key, str):
+                self.quarantined[key] = {
+                    "kind": str(record.get("kind") or "ERROR"),
+                    "error": str(record.get("error") or ""),
+                }
+
     def _append(self, record: Dict[str, Any], fsync: bool = False) -> None:
         if self._file is None:
             return
@@ -177,6 +224,8 @@ class ServiceJournal:
             # A dying disk must not take the daemon down with it; the
             # journal degrades to best-effort and recovery loses depth.
             return
+        if self.on_append is not None:
+            self.on_append(record)
 
     # -- maintenance --------------------------------------------------------
 
@@ -249,4 +298,4 @@ class ServiceJournal:
 
 
 __all__ = ["ServiceJournal", "JOURNAL_NAME", "COMPACT_THRESHOLD",
-           "journal_path", "replay", "replay_full"]
+           "journal_path", "replay", "replay_full", "apply_record"]

@@ -53,6 +53,32 @@ same listener but opens with ``register`` instead of ``hello``, then
     -> {"type": "heartbeat"}                     # every h seconds
     <- {"type": "bye"}                           # on daemon drain
 
+Conversation shape (standby hub first) — a standby daemon
+(``repro serve --standby --follow ADDR``) dials the primary and opens
+with ``peer``; the primary answers with a snapshot of its journal
+state and then relays every subsequent journal append live::
+
+    -> {"type": "peer", "version": 1, "name": "<standby name>"}
+    <- {"type": "peer-welcome", "snapshot": {"live": {key: spec...},
+        "quarantined": {key: {"kind", "error"}}},
+        "digest": sha256(<canonical snapshot JSON>),
+        "lease_timeout_s": t}
+    <- {"type": "journal-sync", "seq": n, "records": [<record>...],
+        "digest": sha256(<canonical records JSON>)}   # per append
+    <- {"type": "sync-ping"}                     # reaper-paced liveness
+    <- {"type": "bye"}                           # clean primary drain
+
+Every ``peer-welcome``/``journal-sync`` frame carries a sha256 digest
+over the canonical JSON of its state payload (:func:`sync_digest`);
+the standby recomputes and, on mismatch, drops the connection and
+re-dials — a fresh snapshot heals any divergence.  A primary without a
+journal (no cache dir) refuses peers with error code ``no-journal``.
+A standby that loses the primary mid-stream re-dials under its
+``RetryPolicy``; only when every attempt fails does it *promote*:
+replay its mirrored journal exactly as ``--resume`` does and start
+serving on its own address.  A clean ``bye`` instead means the
+primary drained on purpose, and the standby exits 0 without promoting.
+
 The daemon leases at most ``credit_window`` specs to a worker at a
 time (``CREDIT_FACTOR`` × its parallel width — one batch running, one
 queued behind it); every ``upload`` frees a credit.  A worker whose
@@ -109,10 +135,11 @@ tests can drive either end against the other.
 from __future__ import annotations
 
 import asyncio
+import hashlib
 import json
 import socket
 import struct
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 #: Bump on incompatible message-shape changes; the HELLO/WELCOME
 #: handshake rejects mismatches before any job state exists.
@@ -277,6 +304,24 @@ def parse_address(text: str) -> Tuple[str, Any]:
         "(contains '/' or ends in .sock), unix:<path>, or host:port")
 
 
+def parse_address_list(text: str) -> List[str]:
+    """Validated addresses from a comma-separated candidate list.
+
+    ``--server`` and ``worker --connect`` accept ``primary,standby``
+    style lists; each entry must individually satisfy
+    :func:`parse_address`.  A single address is a list of one, so
+    every caller can treat the result uniformly.
+    """
+    addresses = [piece.strip() for piece in text.split(",")
+                 if piece.strip()]
+    if not addresses:
+        raise ValueError(
+            f"bad service address list {text!r}: no addresses")
+    for address in addresses:
+        parse_address(address)
+    return addresses
+
+
 def connect(address: str, timeout: Optional[float] = None) -> socket.socket:
     """A connected blocking socket for ``address`` (see parse_address)."""
     kind, target = parse_address(address)
@@ -296,13 +341,17 @@ def hello_frame() -> Dict[str, Any]:
 
 
 def register_frame(*, jobs: int, replica_batch: bool, name: str,
-                   uid: Optional[str] = None) -> Dict[str, Any]:
+                   uid: Optional[str] = None,
+                   heartbeat_s: Optional[float] = None) -> Dict[str, Any]:
     """A worker's opening frame: identity + protocol version + capabilities.
 
     ``uid`` is the worker's stable identity; re-registering with the
     same uid within the lease timeout reclaims parked leases instead
     of triggering reassignment.  ``None`` (legacy callers) degrades to
-    per-connection identity with no reclaim.
+    per-connection identity with no reclaim.  ``heartbeat_s`` asks the
+    daemon to accept a specific heartbeat interval instead of deriving
+    one from its lease timeout; the daemon validates it against that
+    timeout and refuses registrations it could never keep alive.
     """
     from repro import __version__
 
@@ -316,7 +365,27 @@ def register_frame(*, jobs: int, replica_batch: bool, name: str,
     }
     if uid is not None:
         frame["uid"] = uid
+    if heartbeat_s is not None:
+        frame["heartbeat_s"] = heartbeat_s
     return frame
+
+
+def peer_frame(name: str) -> Dict[str, Any]:
+    """A standby hub's opening frame on the journal-sync conversation."""
+    return {"type": "peer", "version": PROTOCOL_VERSION, "name": name}
+
+
+def sync_digest(state: Any) -> str:
+    """sha256 over the canonical JSON of a sync payload.
+
+    Used by ``peer-welcome`` (over the snapshot object) and
+    ``journal-sync`` (over the records list) so a standby can verify
+    that what it mirrors is what the primary journaled — the same
+    digest-before-trust posture the result cache takes with payloads.
+    """
+    blob = json.dumps(state, sort_keys=True,
+                      separators=(",", ":")).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()
 
 
 def error_frame(code: str, message: str) -> Dict[str, Any]:
@@ -334,8 +403,11 @@ __all__ = [
     "read_frame",
     "write_frame",
     "parse_address",
+    "parse_address_list",
     "connect",
     "hello_frame",
     "register_frame",
+    "peer_frame",
+    "sync_digest",
     "error_frame",
 ]

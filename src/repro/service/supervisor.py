@@ -1,0 +1,500 @@
+"""Self-healing fleet supervision: ``repro supervise``.
+
+The journal (PR 8) made the hub's *state* survive a crash, and the
+standby hub (:mod:`repro.service.standby`) gives that state somewhere
+to fail over to — but something still has to notice a dead process
+and start a new one.  The :class:`Supervisor` is that something: a
+control loop that launches a hub and a worker fleet as child
+processes, health-probes the hub over the service protocol
+(``service stats``), and applies three policies every tick:
+
+**Restart with a budget.**  A crashed or hung component is restarted
+under :class:`~repro.service.client.RetryPolicy` backoff.  Restarts
+are only *forgiven* when the component stayed up past
+``healthy_after_s``; a component that keeps dying young burns through
+its ``restart_budget`` and is **quarantined** — the supervisor stops
+feeding it restarts and says so, exactly mirroring the daemon's
+poison-spec logic (fail the same way twice and you are out).  A
+supervisor that flaps a broken binary forever is worse than no
+supervisor: it turns one failure into an infinite log of failures.
+
+**Hung-hub detection.**  A hub process can be alive but wedged (stuck
+event loop, blocked disk).  ``probe_failures_before_kill`` consecutive
+failed stats probes against a process that *is* running — and has been
+up long enough to rule out a slow boot — earns it a SIGKILL, which
+converts "hung" into "crashed" and lets the restart policy take over.
+The journal makes this safe: whatever the hub was holding replays.
+
+**Watermark autoscaling.**  Queue depth from the stats probe drives
+the fleet size between ``min_workers`` and ``max_workers``: depth at
+or above ``scale_up_depth`` adds one worker per tick (gentle on
+purpose — a worker warms its pool on start), and a queue that stays
+empty with idle workers retires the newest one per
+``scale_idle_ticks`` quiet ticks.  Retirement is SIGTERM, which the
+worker maps to a drained exit, not a death.
+
+Everything the loop consumes is injectable — ``spawn``, ``probe``,
+``clock``/``sleep`` — so tests step :meth:`tick` deterministically
+with fake processes and a fake clock; no test ever sleeps.  The CLI
+wires in real subprocesses, a real stats probe, and ``time``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.service.client import RetryPolicy, ServiceClient
+from repro.service.protocol import parse_address_list
+
+#: A component this many restarts deep is quarantined, not restarted.
+DEFAULT_RESTART_BUDGET = 5
+
+#: Uptime (seconds) after which a component counts as healthy and its
+#: fast-failure streak resets.
+DEFAULT_HEALTHY_AFTER_S = 5.0
+
+#: Consecutive failed stats probes before a *running* hub is presumed
+#: hung and killed so the restart policy can take over.
+DEFAULT_PROBE_FAILURES_BEFORE_KILL = 3
+
+
+class SupervisorError(RuntimeError):
+    """Configuration the supervisor cannot act on; the CLI reports
+    one line and exits 2."""
+
+
+@dataclass
+class Component:
+    """One supervised child process and its restart ledger."""
+
+    name: str
+    argv: List[str]
+    #: ``"hub"`` components are stats-probed; ``"worker"`` components
+    #: are only liveness-checked (the hub's lease reaper already
+    #: detects a silent worker).
+    role: str = "worker"
+    process: Optional[Any] = None
+    started_at: float = 0.0
+    #: Restarts consumed (lifetime, for the status report) ...
+    restarts: int = 0
+    #: ... and the *consecutive fast-failure* streak that counts
+    #: against the budget; a healthy stretch resets it.
+    fast_failures: int = 0
+    quarantined: bool = False
+    quarantine_reason: str = ""
+    #: When set, the next exit is expected (scale-down or shutdown)
+    #: and must not be treated as a crash.
+    retiring: bool = False
+    #: Pending restart: earliest clock time the respawn may happen.
+    restart_at: Optional[float] = None
+    probe_failures: int = 0
+
+    @property
+    def live(self) -> bool:
+        return self.process is not None \
+            and self.process.poll() is None
+
+
+def _default_spawn(argv: List[str]) -> Any:
+    """Launch one child; stdout/stderr pass through to the operator."""
+    return subprocess.Popen(argv)
+
+
+def _default_probe(address: str, timeout: float) -> Dict[str, Any]:
+    """One ``service stats`` round-trip; raises on any failure.
+
+    ``address`` may be a comma-separated failover list: whichever
+    candidate answers first wins, so the probe keeps working after a
+    primary dies and its standby promotes.
+    """
+    last_error: Optional[Exception] = None
+    for candidate in parse_address_list(address):
+        try:
+            with ServiceClient(candidate, timeout=timeout) as client:
+                return client.stats()
+        except Exception as exc:  # noqa: BLE001 — try the next hub
+            last_error = exc
+    raise last_error if last_error is not None \
+        else ConnectionError(f"no candidates in {address!r}")
+
+
+class Supervisor:
+    """Control loop keeping a hub + worker fleet alive and sized.
+
+    ``hub_argv`` is the command line for the hub component, or
+    ``None`` to *attach* to an externally managed hub (the failover
+    drill runs primary and standby raw so they can be killed
+    independently; the supervisor then owns only the workers).
+    ``worker_argv`` is a factory: ``worker_argv(index)`` returns the
+    command line for worker slot ``index``.
+
+    ``probe_address`` may be a comma-separated failover list — the
+    probe rotates just like clients do, so supervision survives the
+    same hub death the fleet does.
+    """
+
+    def __init__(self, *,
+                 hub_argv: Optional[List[str]],
+                 worker_argv: Callable[[int], List[str]],
+                 probe_address: str,
+                 min_workers: int = 1,
+                 max_workers: int = 4,
+                 scale_up_depth: int = 8,
+                 scale_idle_ticks: int = 5,
+                 interval_s: float = 2.0,
+                 probe_timeout: float = 5.0,
+                 restart_budget: int = DEFAULT_RESTART_BUDGET,
+                 healthy_after_s: float = DEFAULT_HEALTHY_AFTER_S,
+                 probe_failures_before_kill: int =
+                 DEFAULT_PROBE_FAILURES_BEFORE_KILL,
+                 retry: Optional[RetryPolicy] = None,
+                 status_path: Optional[str] = None,
+                 spawn: Callable[[List[str]], Any] = _default_spawn,
+                 probe: Callable[[str, float], Dict[str, Any]] =
+                 _default_probe,
+                 clock: Callable[[], float] = time.monotonic,
+                 sleep: Callable[[float], bool] = None,  # type: ignore
+                 quiet: bool = False) -> None:
+        if min_workers < 0:
+            raise SupervisorError(
+                f"--min-workers must be >= 0, got {min_workers}")
+        if max_workers < max(1, min_workers):
+            raise SupervisorError(
+                f"--max-workers must be >= max(1, min_workers), got "
+                f"{max_workers} with min_workers={min_workers}")
+        if scale_up_depth < 1:
+            raise SupervisorError(
+                f"--scale-up-depth must be >= 1, got {scale_up_depth}")
+        parse_address_list(probe_address)  # fail fast on typos
+        self.worker_argv = worker_argv
+        self.probe_address = probe_address
+        self.min_workers = min_workers
+        self.max_workers = max_workers
+        self.scale_up_depth = scale_up_depth
+        self.scale_idle_ticks = scale_idle_ticks
+        self.interval_s = interval_s
+        self.probe_timeout = probe_timeout
+        self.restart_budget = restart_budget
+        self.healthy_after_s = healthy_after_s
+        self.probe_failures_before_kill = probe_failures_before_kill
+        self.retry = retry if retry is not None else RetryPolicy(
+            max_attempts=restart_budget, base_delay_s=0.5,
+            max_delay_s=15.0)
+        self.status_path = status_path
+        self.spawn = spawn
+        self.probe = probe
+        self.clock = clock
+        #: Interruptible sleep returning True when a stop arrived.
+        self.sleep = sleep if sleep is not None else self._real_sleep
+        self.quiet = quiet
+        self.hub: Optional[Component] = None
+        if hub_argv is not None:
+            self.hub = Component(name="hub", argv=list(hub_argv),
+                                 role="hub")
+        self.workers: List[Component] = []
+        self.workers_retired = 0
+        self._worker_seq = 0
+        self._idle_ticks = 0
+        self._stop_event = threading.Event()
+        self.ticks = 0
+        self.last_stats: Dict[str, Any] = {}
+
+    # -- plumbing ------------------------------------------------------------
+
+    def log(self, message: str) -> None:
+        if not self.quiet:
+            print(f"[repro-supervise] {message}", file=sys.stderr,
+                  flush=True)
+
+    def _real_sleep(self, seconds: float) -> bool:
+        # Event.wait, not time.sleep: a SIGTERM handler calling
+        # request_stop() must end the wait now, not after the
+        # interval (PEP 475 would resume a bare sleep).
+        return self._stop_event.wait(seconds)
+
+    @property
+    def _stop_requested(self) -> bool:
+        return self._stop_event.is_set()
+
+    def request_stop(self) -> None:
+        """Signal-handler safe: the loop winds down at the next tick."""
+        self._stop_event.set()
+
+    # -- component lifecycle -------------------------------------------------
+
+    def _start(self, component: Component) -> None:
+        component.process = self.spawn(component.argv)
+        component.started_at = self.clock()
+        component.restart_at = None
+        component.probe_failures = 0
+        component.retiring = False
+        self.log(f"started {component.name} "
+                 f"(pid {getattr(component.process, 'pid', '?')})")
+
+    def _new_worker(self) -> Component:
+        index = self._worker_seq
+        self._worker_seq += 1
+        component = Component(name=f"worker-{index}",
+                              argv=self.worker_argv(index))
+        self.workers.append(component)
+        self._start(component)
+        return component
+
+    def _handle_exit(self, component: Component) -> None:
+        """A supervised process is gone: forgive, back off, or bench."""
+        returncode = component.process.poll() \
+            if component.process is not None else None
+        uptime = self.clock() - component.started_at
+        if component.retiring:
+            # Scale-down or shutdown: the slot is freed entirely.
+            self.log(f"{component.name} retired "
+                     f"(exit {returncode})")
+            component.process = None
+            if component in self.workers:
+                self.workers.remove(component)
+                self.workers_retired += 1
+            return
+        if uptime >= self.healthy_after_s:
+            # It served honestly before dying; a fresh start gets a
+            # fresh budget.
+            component.fast_failures = 0
+        component.fast_failures += 1
+        component.restarts += 1
+        if component.fast_failures > self.restart_budget:
+            component.quarantined = True
+            component.quarantine_reason = (
+                f"died {component.fast_failures} consecutive times "
+                f"within {self.healthy_after_s:.0f}s of starting "
+                f"(last exit {returncode})")
+            component.process = None
+            self.log(f"QUARANTINED {component.name}: "
+                     f"{component.quarantine_reason} — no further "
+                     "restarts; fix it and restart the supervisor")
+            return
+        delay = self.retry.delay_s(component.fast_failures - 1)
+        component.restart_at = self.clock() + delay
+        component.process = None
+        self.log(f"{component.name} exited (code {returncode}, up "
+                 f"{uptime:.1f}s); restart "
+                 f"{component.fast_failures}/{self.restart_budget} "
+                 f"in {delay:.1f}s")
+
+    def _kill(self, component: Component, reason: str) -> None:
+        self.log(f"killing {component.name}: {reason}")
+        try:
+            component.process.kill()
+            component.process.wait()
+        except OSError:
+            pass
+
+    def _terminate(self, component: Component) -> None:
+        component.retiring = True
+        try:
+            component.process.send_signal(signal.SIGTERM)
+        except OSError:
+            pass
+
+    # -- the control loop ----------------------------------------------------
+
+    def tick(self) -> None:
+        """One pass of the policy engine; tests call this directly."""
+        self.ticks += 1
+        now = self.clock()
+        components = ([self.hub] if self.hub is not None else []) \
+            + list(self.workers)
+        for component in components:
+            if component.quarantined:
+                continue
+            if component.process is not None and not component.live:
+                self._handle_exit(component)
+            if component.process is None \
+                    and component.restart_at is not None \
+                    and now >= component.restart_at:
+                self._start(component)
+        self._probe_hub(now)
+        self._autoscale()
+        self._write_status()
+
+    def _probe_hub(self, now: float) -> None:
+        """Stats round-trip: hub liveness signal + autoscale input."""
+        hub_running = self.hub is None or self.hub.live
+        try:
+            self.last_stats = self.probe(self.probe_address,
+                                         self.probe_timeout)
+        except Exception as exc:  # noqa: BLE001 — any failure counts
+            self.last_stats = {}
+            if self.hub is None or not hub_running:
+                return  # nothing to diagnose: no hub (yet) to blame
+            if now - self.hub.started_at < self.healthy_after_s:
+                return  # still booting; give it the grace window
+            self.hub.probe_failures += 1
+            self.log(f"stats probe failed "
+                     f"({self.hub.probe_failures}/"
+                     f"{self.probe_failures_before_kill}): {exc}")
+            if self.hub.probe_failures \
+                    >= self.probe_failures_before_kill:
+                # Alive but unresponsive: convert hung into crashed
+                # and let the restart policy handle the rest.
+                self._kill(self.hub, "presumed hung — stats probe "
+                           f"failed {self.hub.probe_failures} times")
+                self.hub.probe_failures = 0
+            return
+        if self.hub is not None:
+            self.hub.probe_failures = 0
+
+    def _autoscale(self) -> None:
+        """Size the live fleet against the queue-depth watermarks."""
+        # Refill toward min, but count quarantined slots as occupied:
+        # replacing a benched worker with a fresh component would
+        # launder the restart budget and flap forever through "new"
+        # processes.  Only clean retirements (removed from the list)
+        # free slots.  Pending-restart workers count too — they
+        # return on their own schedule.
+        while len(self.workers) < self.min_workers \
+                and len(self.workers) < self.max_workers:
+            self._new_worker()
+        live = [w for w in self.workers
+                if w.live and not w.retiring]
+        stats = self.last_stats
+        queued = stats.get("queued") if isinstance(stats, dict) else None
+        if not isinstance(queued, int):
+            return  # no probe data: hold the current size
+        if queued >= self.scale_up_depth and self._can_add():
+            self._idle_ticks = 0
+            worker = self._new_worker()
+            self.log(f"scale up: queue depth {queued} >= "
+                     f"{self.scale_up_depth} — added {worker.name} "
+                     f"({self._live_count()} live)")
+            return
+        if queued == 0 and len(live) > self.min_workers:
+            self._idle_ticks += 1
+            if self._idle_ticks >= self.scale_idle_ticks:
+                self._idle_ticks = 0
+                victim = live[-1]  # newest first: LIFO keeps the
+                self._terminate(victim)  # warmest pools longest
+                self.log(f"scale down: queue idle for "
+                         f"{self.scale_idle_ticks} ticks — retiring "
+                         f"{victim.name}")
+        else:
+            self._idle_ticks = 0
+
+    def _can_add(self) -> bool:
+        active = [w for w in self.workers
+                  if not w.quarantined and not w.retiring and (
+                      w.live or w.restart_at is not None)]
+        return len(active) < self.max_workers
+
+    def _live_count(self) -> int:
+        return sum(1 for w in self.workers
+                   if w.live and not w.retiring)
+
+    # -- reporting -----------------------------------------------------------
+
+    def status(self) -> Dict[str, Any]:
+        """Machine-readable snapshot (also written to --status-json)."""
+        def describe(component: Component) -> Dict[str, Any]:
+            return {
+                "name": component.name,
+                "pid": getattr(component.process, "pid", None)
+                if component.live else None,
+                "live": component.live,
+                "restarts": component.restarts,
+                "quarantined": component.quarantined,
+                "quarantine_reason": component.quarantine_reason,
+                "retiring": component.retiring,
+            }
+        return {
+            "ticks": self.ticks,
+            "hub": describe(self.hub) if self.hub is not None else None,
+            "workers": [describe(w) for w in self.workers],
+            "workers_retired": self.workers_retired,
+            "queued": self.last_stats.get("queued")
+            if isinstance(self.last_stats, dict) else None,
+            "probe_address": self.probe_address,
+        }
+
+    def _write_status(self) -> None:
+        if not self.status_path:
+            return
+        tmp = f"{self.status_path}.tmp.{os.getpid()}"
+        try:
+            with open(tmp, "w", encoding="utf-8") as out:
+                json.dump(self.status(), out, sort_keys=True)
+                out.write("\n")
+            os.replace(tmp, self.status_path)
+        except OSError:
+            return  # status is advisory; never take the loop down
+
+    # -- entry points --------------------------------------------------------
+
+    @property
+    def all_quarantined(self) -> bool:
+        """Every supervised component is benched: supervising nothing
+        is a failure, not a steady state."""
+        components = ([self.hub] if self.hub is not None else []) \
+            + list(self.workers)
+        return bool(components) \
+            and all(c.quarantined for c in components)
+
+    def start_fleet(self) -> None:
+        """Launch the hub (unless attached) and the minimum fleet."""
+        if self.hub is not None:
+            self._start(self.hub)
+        for _ in range(max(self.min_workers, 0)):
+            self._new_worker()
+
+    def shutdown_fleet(self) -> None:
+        """SIGTERM everything, newest worker first, then the hub."""
+        for component in reversed(self.workers):
+            if component.live:
+                self._terminate(component)
+        for component in self.workers:
+            if component.process is not None:
+                try:
+                    component.process.wait()
+                except OSError:
+                    pass
+                component.process = None
+        if self.hub is not None and self.hub.live:
+            self._terminate(self.hub)
+            try:
+                self.hub.process.wait()
+            except OSError:
+                pass
+            self.hub.process = None
+        self._write_status()
+
+    def run(self) -> int:
+        """Blocking entry point; returns the process exit code.
+
+        Exit 0 on a requested stop (signal), 1 when every component
+        ends up quarantined — the fleet is unrecoverable without
+        operator action and pretending otherwise would hide it.
+        """
+        self.start_fleet()
+        try:
+            while not self._stop_requested:
+                self.tick()
+                if self.all_quarantined:
+                    self.log("every component is quarantined; "
+                             "nothing left to supervise")
+                    return 1
+                if self.sleep(self.interval_s):
+                    break
+            return 0
+        finally:
+            self.shutdown_fleet()
+            self.log("fleet stopped")
+
+
+__all__ = ["Supervisor", "SupervisorError", "Component",
+           "DEFAULT_RESTART_BUDGET", "DEFAULT_HEALTHY_AFTER_S",
+           "DEFAULT_PROBE_FAILURES_BEFORE_KILL"]

@@ -35,7 +35,10 @@ Design points:
   :class:`~repro.service.client.RetryPolicy` backoff, reclaims its
   parked leases (the daemon's reconnect-without-requeue path) and
   flushes the buffer as ``cache-push`` frames.  A network flap costs
-  the fleet zero re-executions.
+  the fleet zero re-executions.  ``--connect`` accepts a
+  comma-separated failover list; each reconnect attempt rotates to
+  the next hub, so when a standby promotes itself the fleet
+  re-registers there without operator help.
 * **The hub's cache is checked before executing.**  Each lease opens
   with a ``cache-lookup``; warm keys are settled hub-side and dropped
   from the batch, so a worker joining mid-campaign executes no spec
@@ -70,6 +73,7 @@ from repro.service.client import RetryPolicy
 from repro.service.protocol import (
     ProtocolError,
     connect,
+    parse_address_list,
     read_frame,
     register_frame,
     write_frame,
@@ -126,10 +130,18 @@ class ReproWorker:
                  retry: Optional[RetryPolicy] = None,
                  use_hub_cache: bool = True,
                  limits: Optional[ResourceLimits] = None,
+                 heartbeat_s: Optional[float] = None,
                  quiet: bool = False) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
-        self.address = address
+        if heartbeat_s is not None and heartbeat_s <= 0:
+            raise ValueError(
+                f"heartbeat must be > 0 seconds, got {heartbeat_s}")
+        #: Failover candidates, in preference order; ``self.address``
+        #: tracks whichever one the worker is currently talking to.
+        self.addresses = parse_address_list(address)
+        self.address = self.addresses[0]
+        self._target = 0
         self.jobs = jobs
         self.replica_batch = replica_batch
         self.name = name or f"{socket.gethostname()}-{os.getpid()}"
@@ -160,7 +172,11 @@ class ReproWorker:
         self._push_buffer: List[tuple] = []
         self._lookup_ids = itertools.count(1)
         self.worker_id: Optional[int] = None
-        self.heartbeat_interval_s = 5.0
+        #: Requested override for the daemon-derived interval; the
+        #: daemon validates it against its lease timeout and echoes
+        #: the interval actually in force back at registration.
+        self.heartbeat_override_s = heartbeat_s
+        self.heartbeat_interval_s = heartbeat_s or 5.0
         self.leases_run = 0
         self.specs_completed = 0
         self.specs_failed = 0
@@ -203,7 +219,19 @@ class ReproWorker:
         only an exhausted policy returns 1.
         """
         self._runner.warm()  # fork workers before any threads exist
-        self._connect()
+        # First registration: give every failover candidate one shot
+        # at being dialed (the standby may already be the live hub),
+        # but let a *refusal* raise immediately — a daemon that
+        # rejects our registration (bad heartbeat, version mismatch)
+        # will reject it everywhere.
+        for remaining in range(len(self.addresses) - 1, -1, -1):
+            try:
+                self._connect()
+                break
+            except OSError:
+                if remaining == 0:
+                    raise
+                self._target += 1
         heartbeat = threading.Thread(target=self._heartbeat_loop,
                                      name="repro-worker-heartbeat",
                                      daemon=True)
@@ -237,11 +265,13 @@ class ReproWorker:
 
     def _connect(self) -> None:
         self._inbox.clear()  # stale frames die with their connection
+        self.address = self.addresses[self._target % len(self.addresses)]
         self._sock = connect(self.address, timeout=self.timeout)
         _bound_send_timeout(self._sock)
         self._send(register_frame(jobs=self.jobs,
                                   replica_batch=self.replica_batch,
-                                  name=self.name, uid=self.uid))
+                                  name=self.name, uid=self.uid,
+                                  heartbeat_s=self.heartbeat_override_s))
         reply = read_frame(self._sock)
         if reply is None:
             raise WorkerError(
@@ -275,16 +305,20 @@ class ReproWorker:
         requested mid-backoff).  Registration *refusals* also count as
         failed attempts here — a draining daemon and a dead daemon
         look the same to a worker that just wants its campaign back.
+        Each attempt rotates through the failover list, so a promoted
+        standby is found within ``len(addresses)`` attempts.
         """
         self._registered.clear()
         for attempt, delay in enumerate(self.retry.delays(), start=1):
             if self._stop_event.wait(delay) or self._stopping:
                 return False
+            self._target += 1  # rotate: next hub in the failover list
             try:
                 self._connect()
             except (WorkerError, OSError) as exc:
                 self.log(f"reconnect attempt {attempt}/"
-                         f"{self.retry.max_attempts} failed: {exc}")
+                         f"{self.retry.max_attempts} failed to reach "
+                         f"{self.address}: {exc}")
                 continue
             self.reconnects += 1
             self._flush_pushes()

@@ -467,3 +467,76 @@ class TestDurabilityFlags:
     def test_chaos_rejects_bad_upstream(self, capsys):
         assert main(["chaos", "--upstream", "not-an-address"]) == 2
         assert "bad service address" in capsys.readouterr().err
+
+
+class TestFailoverFlags:
+    def test_serve_standby_flags(self):
+        args = build_parser().parse_args(
+            ["serve", "--standby", "--follow", "127.0.0.1:7461",
+             "--socket", "127.0.0.1:7462"])
+        assert args.standby is True
+        assert args.follow == "127.0.0.1:7461"
+        defaults = build_parser().parse_args(["serve"])
+        assert defaults.standby is False
+        assert defaults.follow is None
+        assert defaults.retry_max == 3
+        assert defaults.retry_base == 0.2
+
+    def test_standby_needs_follow(self, capsys):
+        assert main(["serve", "--standby"]) == 2
+        assert "--follow" in capsys.readouterr().err
+
+    def test_standby_needs_cache_dir(self, capsys):
+        assert main(["serve", "--standby", "--follow", "127.0.0.1:1",
+                     "--cache-dir", ""]) == 2
+        assert "--cache-dir" in capsys.readouterr().err
+
+    def test_standby_rejects_bad_follow(self, capsys):
+        assert main(["serve", "--standby",
+                     "--follow", "host:notaport"]) == 2
+        assert "bad service address" in capsys.readouterr().err
+
+    def test_worker_heartbeat_flag(self):
+        args = build_parser().parse_args(
+            ["worker", "--heartbeat", "2.5"])
+        assert args.heartbeat == 2.5
+        assert build_parser().parse_args(["worker"]).heartbeat is None
+
+    def test_worker_rejects_nonpositive_heartbeat(self, capsys):
+        assert main(["worker", "--heartbeat", "0"]) == 2
+        assert "--heartbeat" in capsys.readouterr().err
+
+    def test_worker_accepts_address_list(self, capsys):
+        # Parse-level validation of the failover list: one bad entry
+        # fails the whole thing before any dial.
+        assert main(["worker", "--connect",
+                     "127.0.0.1:1,host:notaport"]) == 2
+        assert "bad service address" in capsys.readouterr().err
+
+    def test_chaos_duration_flag(self):
+        args = build_parser().parse_args(
+            ["chaos", "--upstream", "127.0.0.1:1",
+             "--duration", "5"])
+        assert args.duration == 5.0
+        bare = build_parser().parse_args(
+            ["chaos", "--upstream", "127.0.0.1:1"])
+        assert bare.duration is None
+
+    def test_supervise_parser_defaults(self):
+        args = build_parser().parse_args(["supervise"])
+        assert args.server == ".repro-serve.sock"
+        assert args.attach is False
+        assert args.min_workers == 1
+        assert args.max_workers == 4
+        assert args.scale_up_depth == 8
+        assert args.restart_budget == 5
+        assert args.status_json == ""
+
+    def test_supervise_rejects_bad_watermarks(self, capsys):
+        assert main(["supervise", "--min-workers", "4",
+                     "--max-workers", "2"]) == 2
+        assert "--max-workers" in capsys.readouterr().err
+
+    def test_supervise_rejects_bad_server_list(self, capsys):
+        assert main(["supervise", "--server", "a,host:notaport"]) == 2
+        assert "bad service address" in capsys.readouterr().err

@@ -967,6 +967,34 @@ class TestRetryPolicy:
         assert list(RetryPolicy(max_attempts=0)
                     .delays(random.Random(0))) == []
 
+    def test_jitter_bounds_hold_across_seeded_policies(self):
+        # Property-style: for a grid of policies and many seeded
+        # draws, every delay lands in [cap·(1-jitter), cap] and the
+        # deterministic floor never collapses to zero.  No sleeps —
+        # delays are computed, not waited on.
+        rng = random.Random(0xC0FFEE)
+        for _ in range(200):
+            policy = RetryPolicy(
+                max_attempts=rng.randrange(1, 9),
+                base_delay_s=rng.uniform(0.01, 2.0),
+                max_delay_s=rng.uniform(2.0, 20.0),
+                jitter=rng.uniform(0.0, 1.0))
+            draw = random.Random(rng.randrange(1 << 30))
+            delays = list(policy.delays(draw))
+            assert len(delays) == policy.max_attempts
+            for attempt, delay in enumerate(delays):
+                cap = min(policy.max_delay_s,
+                          policy.base_delay_s * (2.0 ** attempt))
+                floor = cap * (1.0 - min(1.0, policy.jitter))
+                assert floor - 1e-9 <= delay <= cap + 1e-9
+                assert delay > 0.0
+
+    def test_no_jitter_is_exactly_the_cap(self):
+        policy = RetryPolicy(max_attempts=5, base_delay_s=0.5,
+                             max_delay_s=3.0, jitter=0.0)
+        assert list(policy.delays(random.Random(1))) == \
+            [0.5, 1.0, 2.0, 3.0, 3.0]
+
 
 class TestReconnectClient:
     def test_client_retries_connection_refused(self, tmp_path):
@@ -1038,6 +1066,68 @@ class TestJournal:
         lines = path.read_text().strip().splitlines()
         assert len(lines) == 1  # compacted: the dead pair is gone
         assert json.loads(lines[0])["key"] == live.key()
+
+    def test_compaction_interleaved_with_quarantines(self, tmp_path):
+        # Quarantine records interleaved with queue/settle churn must
+        # survive every compaction — compaction rewrites the file and
+        # a lost quarantine would let a restart re-run a poison spec.
+        from repro.service.journal import replay_full
+
+        path = journal_path(tmp_path)
+        journal = ServiceJournal(path)
+        live = {}
+        for round_no in range(3):
+            for i in range(4):
+                spec = RunSpec("e4", quick=True,
+                               seed=round_no * 10 + i)
+                journal.record_queued(spec.key(), spec.canonical())
+                live[spec.key()] = spec.canonical()
+                if i % 2 == 0:
+                    journal.record_settled(spec.key(), None)
+                    live.pop(spec.key())
+            poison = RunSpec("e4", quick=True,
+                             seed=1000 + round_no)
+            journal.record_queued(poison.key(), poison.canonical())
+            journal.record_quarantined(poison.key(), "TIMEOUT",
+                                       f"round {round_no}")
+            journal.quarantined[poison.key()] = {
+                "kind": "TIMEOUT", "error": f"round {round_no}"}
+            # Compact mid-campaign, exactly as a long-lived daemon
+            # would once the dead-record count crosses the threshold.
+            journal.compact(live)
+        journal.close()
+        recovered_live, recovered_quarantined = replay_full(path)
+        assert recovered_live == live
+        assert set(recovered_quarantined) == {
+            RunSpec("e4", quick=True, seed=1000 + r).key()
+            for r in range(3)}
+        assert recovered_quarantined[
+            RunSpec("e4", quick=True, seed=1002).key()]["error"] == \
+            "round 2"
+        # Quarantine lines are written ahead of live ones, so a torn
+        # compaction can only ever lose runnable work, never a lock.
+        first = json.loads(path.read_text().splitlines()[0])
+        assert first["op"] == "quarantined"
+
+    def test_mirror_matches_record_methods(self, tmp_path):
+        # The standby's mirror() path and the primary's record_*
+        # methods must produce byte-identical journals for the same
+        # stream of operations — that is what makes promotion exactly
+        # --resume.
+        spec = RunSpec("e4", quick=True)
+        primary_path = journal_path(tmp_path / "primary")
+        mirror_path = journal_path(tmp_path / "mirror")
+        primary = ServiceJournal(primary_path)
+        mirror = ServiceJournal(mirror_path)
+        primary.on_append = mirror.mirror
+        primary.record_queued(spec.key(), spec.canonical())
+        primary.record_leased(spec.key(), "local")
+        primary.record_quarantined(spec.key(), "OOM", "boom")
+        primary.record_drained()
+        primary.close()
+        mirror.close()
+        assert primary_path.read_bytes() == mirror_path.read_bytes()
+        assert mirror.quarantined[spec.key()]["kind"] == "OOM"
 
 
 class TestDaemonRecovery:

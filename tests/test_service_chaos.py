@@ -115,6 +115,12 @@ class TestProxyMechanics:
         assert counters["forwarded"] > 0
         assert counters["dropped"] == 0
         assert counters["truncated"] == 0
+        # Per-direction split: submits flowed up, results flowed
+        # down, and the two tallies account for every frame.
+        assert counters["forwarded_up"] > 0
+        assert counters["forwarded_down"] > 0
+        assert counters["forwarded_up"] + counters["forwarded_down"] \
+            == counters["forwarded"]
 
     def test_listen_must_be_tcp(self):
         with pytest.raises(ValueError, match="host:port"):
